@@ -1,0 +1,61 @@
+//! ASCII rendering of layouts and occupancy snapshots (debugging aid and
+//! example output).
+
+use crate::grid::{CellKind, Coord};
+use crate::layout::Layout;
+
+/// Renders a layout: `D` for data home cells, `.` for bus cells.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_arch::{render_layout, Layout};
+///
+/// let l = Layout::with_routing_paths(4, 4);
+/// let art = render_layout(&l);
+/// assert!(art.contains('D'));
+/// assert!(art.contains('.'));
+/// ```
+pub fn render_layout(layout: &Layout) -> String {
+    render_with(layout, |c| match layout.grid().kind(c) {
+        CellKind::Data => 'D',
+        CellKind::Bus => '.',
+    })
+}
+
+/// Renders the grid with a custom glyph per cell (e.g. occupancy snapshots
+/// from the compiler).
+pub fn render_with(layout: &Layout, mut glyph: impl FnMut(Coord) -> char) -> String {
+    let g = layout.grid();
+    let mut out = String::with_capacity((g.num_cells() * 2 + g.rows()) as usize);
+    for r in 0..g.rows() as i32 {
+        for c in 0..g.cols() as i32 {
+            out.push(glyph(Coord::new(r, c)));
+            if c + 1 < g.cols() as i32 {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_has_one_line_per_row() {
+        let l = Layout::with_routing_paths(16, 4);
+        let art = render_layout(&l);
+        assert_eq!(art.lines().count(), l.grid().rows() as usize);
+        assert_eq!(art.matches('D').count(), 16);
+    }
+
+    #[test]
+    fn custom_glyphs() {
+        let l = Layout::with_routing_paths(4, 2);
+        let art = render_with(&l, |_| '#');
+        assert!(art.chars().all(|c| c == '#' || c == ' ' || c == '\n'));
+    }
+}

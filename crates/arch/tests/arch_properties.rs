@@ -1,0 +1,101 @@
+//! Property tests on the layout family and the distillation catalogue.
+
+use ftqc_arch::distillation::{catalogue, choose_protocol, DistillationProtocol};
+use ftqc_arch::qec::{physical_qubits_per_patch, PhysicalAssumptions};
+use ftqc_arch::{CellKind, Layout};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every valid `(n, r)` layout is internally consistent: the data cells
+    /// are distinct, on-grid, marked as data, exactly `n` of them, and the
+    /// patch accounting adds up.
+    #[test]
+    fn layout_family_consistent(n in 1u32..200, r_off in 0u32..12) {
+        let max_r = Layout::max_routing_paths(n);
+        let r = 2 + r_off.min(max_r.saturating_sub(2));
+        let layout = Layout::try_with_routing_paths(n, r).expect("valid r");
+        let grid = layout.grid();
+
+        prop_assert_eq!(layout.data_cells().len(), n as usize);
+        let unique: std::collections::HashSet<_> = layout.data_cells().iter().collect();
+        prop_assert_eq!(unique.len(), n as usize, "duplicate data cells");
+        for &c in layout.data_cells() {
+            prop_assert!(grid.in_bounds(c));
+            prop_assert_eq!(grid.kind(c), CellKind::Data);
+        }
+        prop_assert_eq!(
+            layout.total_patches(),
+            grid.rows() * grid.cols()
+        );
+        prop_assert_eq!(
+            layout.bus_patches() + n,
+            layout.total_patches()
+        );
+    }
+
+    /// More routing paths never shrink the layout, and the boundary bus is
+    /// non-empty for every r ≥ 2 (factories must be able to dock).
+    #[test]
+    fn routing_paths_monotone_in_patches(n in 1u32..150) {
+        let max_r = Layout::max_routing_paths(n);
+        let mut last = 0u32;
+        for r in 2..=max_r {
+            let l = Layout::try_with_routing_paths(n, r).expect("valid r");
+            prop_assert!(l.total_patches() >= last, "r={r} shrank the grid");
+            last = l.total_patches();
+            prop_assert!(!l.boundary_bus_cells().is_empty());
+        }
+    }
+
+    /// The physical patch formula is exactly `2d² − 1` and monotone.
+    #[test]
+    fn patch_formula(d in 3u32..60) {
+        prop_assert_eq!(physical_qubits_per_patch(d), 2 * (d as u64).pow(2) - 1);
+        prop_assert!(physical_qubits_per_patch(d + 2) > physical_qubits_per_patch(d));
+    }
+
+    /// Distillation composition multiplies suppression orders and the
+    /// ideal output error is monotone in the input error.
+    #[test]
+    fn distillation_monotone(p1 in 1e-5f64..1e-2, p2 in 1e-5f64..1e-2) {
+        let proto = DistillationProtocol::fifteen_to_one();
+        let lo = p1.min(p2);
+        let hi = p1.max(p2);
+        prop_assert!(proto.ideal_output_error(lo) <= proto.ideal_output_error(hi));
+        let squared = DistillationProtocol::fifteen_to_one_squared();
+        // Two levels always beat one for the same (sub-threshold) input.
+        prop_assert!(squared.ideal_output_error(lo) <= proto.ideal_output_error(lo));
+    }
+
+    /// `choose_protocol` always returns a protocol that actually meets the
+    /// target, and never a stronger one than the cheapest feasible.
+    #[test]
+    fn chooser_is_sound_and_minimal(
+        exp in 4u32..12,
+        d_half in 5u32..25,
+    ) {
+        let d = 2 * d_half + 1;
+        let target = 10f64.powi(-(exp as i32));
+        let a = PhysicalAssumptions::superconducting();
+        if let Some(p) = choose_protocol(1e-3, target, d, &a) {
+            prop_assert!(p.output_error(1e-3, d, &a) < target);
+            // Minimality: no cheaper catalogue entry is feasible.
+            for other in catalogue() {
+                if other.round_volume() < p.round_volume() {
+                    prop_assert!(other.output_error(1e-3, d, &a) >= target);
+                }
+            }
+        }
+    }
+
+    /// Raw-state consumption grows with level count.
+    #[test]
+    fn raw_consumption_grows(_x in 0..1) {
+        let c = catalogue();
+        for w in c.windows(2) {
+            prop_assert!(w[1].raw_per_output() > w[0].raw_per_output());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the end-to-end compilation pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqc_benchmarks::{adder, ising_2d};
+use ftqc_compiler::{Compiler, CompilerOptions};
+use std::hint::black_box;
+
+fn bench_ising_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_ising");
+    group.sample_size(10);
+    for l in [2u32, 4, 6] {
+        let circuit = ising_2d(l);
+        group.bench_with_input(BenchmarkId::from_parameter(l * l), &circuit, |b, circ| {
+            let compiler = Compiler::new(CompilerOptions::default().routing_paths(4));
+            b.iter(|| black_box(compiler.compile(black_box(circ)).expect("compiles")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_adder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_adder");
+    group.sample_size(10);
+    let circuit = adder();
+    for r in [3u32, 6] {
+        group.bench_with_input(BenchmarkId::new("r", r), &r, |b, &r| {
+            let compiler = Compiler::new(CompilerOptions::default().routing_paths(r));
+            b.iter(|| black_box(compiler.compile(black_box(&circuit)).expect("compiles")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ising_scaling, bench_adder);
+criterion_main!(benches);

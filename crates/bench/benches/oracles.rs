@@ -1,0 +1,73 @@
+//! Criterion benchmarks for the verification oracles and front-end passes
+//! added on top of the core reproduction: the dense state-vector simulator,
+//! the semantic schedule replayer, the peephole optimiser, and the EDPC
+//! baseline model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqc_arch::TimingModel;
+use ftqc_baselines::edpc_estimate;
+use ftqc_benchmarks::{ising_2d, random_clifford_t};
+use ftqc_circuit::{optimize, StateVector};
+use ftqc_compiler::{check_semantics, Compiler, CompilerOptions};
+use std::hint::black_box;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_sim");
+    for n in [8u32, 12, 16] {
+        let circuit = random_clifford_t(n, 200, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circ| {
+            b.iter(|| black_box(StateVector::from_circuit(black_box(circ))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_semantics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("semantic_verify");
+    group.sample_size(10);
+    for l in [2u32, 4] {
+        let circuit = ising_2d(l);
+        let program = Compiler::new(CompilerOptions::default().routing_paths(4))
+            .compile(&circuit)
+            .expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(l * l),
+            &(circuit, program),
+            |b, (circ, prog)| b.iter(|| black_box(check_semantics(circ, prog).expect("sound"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("peephole_optimize");
+    for gates in [200usize, 1000] {
+        let circuit = random_clifford_t(10, gates, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(gates), &circuit, |b, circ| {
+            b.iter(|| black_box(optimize(black_box(circ))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edpc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edpc_model");
+    group.sample_size(10);
+    let timing = TimingModel::paper();
+    for l in [4u32, 8] {
+        let circuit = ising_2d(l);
+        group.bench_with_input(BenchmarkId::from_parameter(l * l), &circuit, |b, circ| {
+            b.iter(|| black_box(edpc_estimate(black_box(circ), Some(2), &timing)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_semantics,
+    bench_optimize,
+    bench_edpc
+);
+criterion_main!(benches);

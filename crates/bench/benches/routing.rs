@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the routing heuristics: the penalty-
+//! weighted Dijkstra pathfinder and the space search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqc_arch::{CellKind, Coord, Grid};
+use ftqc_route::dijkstra::FnOccupancy;
+use ftqc_route::{find_path, space_search, CostModel};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+/// A grid with a data block occupying the centre, like an r=4 layout.
+fn occupied_block(side: i32) -> HashSet<Coord> {
+    let mut occ = HashSet::new();
+    for r in 1..side - 1 {
+        for c in 1..side - 1 {
+            occ.insert(Coord::new(r, c));
+        }
+    }
+    occ
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dijkstra");
+    group.sample_size(30);
+    for side in [12i32, 21, 34] {
+        let grid = Grid::filled(side as u32, side as u32, CellKind::Bus);
+        let occ_set = occupied_block(side);
+        let occ = FnOccupancy::new(|_| false, |p| occ_set.contains(&p));
+        let from = Coord::new(0, 0);
+        let to = Coord::new(side - 1, side - 1);
+        group.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, _| {
+            b.iter(|| {
+                black_box(find_path(
+                    &grid,
+                    &occ,
+                    black_box(from),
+                    black_box(to),
+                    &CostModel::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_space_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space_search");
+    group.sample_size(30);
+    let side = 21i32;
+    let grid = Grid::filled(side as u32, side as u32, CellKind::Bus);
+    let occ_set = occupied_block(side);
+    let occ = FnOccupancy::new(|_| false, |p| occ_set.contains(&p));
+    let target = Coord::new(side / 2, side / 2);
+    group.bench_function("packed_centre", |b| {
+        b.iter(|| black_box(space_search(&grid, &occ, black_box(target))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dijkstra, bench_space_search);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion benchmarks for the Pauli-product-rotation transpiler
+//! (Clifford tableau conjugation), used by the Litinski baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftqc_benchmarks::{heisenberg_2d, ising_2d};
+use ftqc_circuit::PprProgram;
+use std::hint::black_box;
+
+fn bench_ppr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ppr_transpile");
+    group.sample_size(20);
+    for (name, circuit) in [
+        ("ising-4x4", ising_2d(4)),
+        ("ising-8x8", ising_2d(8)),
+        ("heisenberg-4x4", heisenberg_2d(4)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circ| {
+            b.iter(|| black_box(PprProgram::from_circuit(black_box(circ))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ppr);
+criterion_main!(benches);

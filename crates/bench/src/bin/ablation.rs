@@ -1,0 +1,57 @@
+//! Ablation study of the compiler's design choices (DESIGN.md §7):
+//! Dijkstra penalty weight, gate-dependent look-ahead, and redundant-move
+//! elimination, on the 10×10 Ising circuit.
+
+use ftqc_bench::{compile_opts, f2, Table};
+use ftqc_benchmarks::ising_2d;
+use ftqc_compiler::CompilerOptions;
+
+fn main() {
+    println!("Ablations: 10x10 Ising, r=4, 1 factory\n");
+    let c = ising_2d(10);
+    let t = Table::new(&["variant", "exec (d)", "exec/LB", "moves", "eliminated"]);
+    let base = CompilerOptions::default().routing_paths(4).factories(1);
+
+    let variants: Vec<(&str, CompilerOptions)> = vec![
+        ("baseline (paper)", base.clone()),
+        ("penalty weight 0", base.clone().penalty_weight(0)),
+        ("penalty weight 20", base.clone().penalty_weight(20)),
+        ("no look-ahead", base.clone().lookahead(false)),
+        ("no redundant-move pass", base.clone().eliminate_redundant_moves(false)),
+        (
+            "neither heuristic",
+            base.clone().lookahead(false).eliminate_redundant_moves(false),
+        ),
+        ("peephole pre-pass", base.clone().optimize(true)),
+        (
+            "row-major mapping",
+            base.clone().mapping(ftqc_compiler::MappingStrategy::RowMajor),
+        ),
+        (
+            "interaction-aware mapping",
+            base.clone().mapping(ftqc_compiler::MappingStrategy::InteractionAware),
+        ),
+        (
+            "clustered factory ports",
+            base.clone()
+                .factories(4)
+                .port_placement(ftqc_arch::PortPlacement::Clustered),
+        ),
+        (
+            "spread factory ports",
+            base.clone().factories(4),
+        ),
+    ];
+    for (name, opts) in variants {
+        match compile_opts(&c, opts) {
+            Ok(m) => t.row(&[
+                name.to_string(),
+                format!("{:.0}", m.execution_time.as_d()),
+                f2(m.overhead()),
+                m.n_moves.to_string(),
+                m.n_moves_eliminated.to_string(),
+            ]),
+            Err(e) => t.row(&[name.to_string(), format!("err:{e}"), "-".into(), "-".into(), "-".into()]),
+        }
+    }
+}

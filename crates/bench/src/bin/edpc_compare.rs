@@ -1,0 +1,64 @@
+//! Extension experiment: comparison with the EDPC compiler of Beverland et
+//! al. \[5\] (related work §III), which the paper cites but does not
+//! evaluate against. Same protocol as the DASCOT comparison (Fig 15):
+//! spacetime volume per operation versus factory count, with and without
+//! the distillation constraint.
+//!
+//! Expected shape: EDPC's 1:3-provisioned grid routes aggressively, so like
+//! DASCOT it shines when T states are abundant, but pays its fixed ~4x
+//! qubit overhead at low factory counts where the distillation bound
+//! dominates — our distillation-adaptive layouts win there.
+
+use ftqc_arch::TimingModel;
+use ftqc_baselines::edpc_estimate;
+use ftqc_bench::{compile_opts, compile_with, f1, Table};
+use ftqc_benchmarks::{fermi_hubbard_2d, heisenberg_2d, ising_2d};
+use ftqc_circuit::Circuit;
+use ftqc_compiler::CompilerOptions;
+
+fn sweep(name: &str, c: &Circuit) {
+    println!("== {name}: spacetime volume per op, including factories ==");
+    let rs = [3u32, 4, 6, 10];
+    let headers: Vec<String> = ["factories".to_string(), "edpc".to_string()]
+        .into_iter()
+        .chain(rs.iter().map(|r| format!("ours r={r}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let t = Table::new(&header_refs);
+    let timing = TimingModel::paper();
+    for f in 1..=4u32 {
+        let mut row = vec![f.to_string()];
+        row.push(f1(
+            edpc_estimate(c, Some(f), &timing).spacetime_volume_per_op(true)
+        ));
+        for &r in &rs {
+            match compile_with(c, r, f) {
+                Ok(m) => row.push(f1(m.spacetime_volume_per_op(true))),
+                Err(e) => row.push(format!("err:{e}")),
+            }
+        }
+        t.row(&row);
+    }
+    // Unlimited-supply reading (EDPC's native assumption).
+    let mut row = vec!["inf".to_string()];
+    row.push(f1(edpc_estimate(c, None, &timing).spacetime_volume_per_op(false)));
+    for &r in &rs {
+        let opts = CompilerOptions::default()
+            .routing_paths(r)
+            .factories(4)
+            .unbounded_magic(true);
+        match compile_opts(c, opts) {
+            Ok(m) => row.push(f1(m.spacetime_volume_per_op(false))),
+            Err(e) => row.push(format!("err:{e}")),
+        }
+    }
+    t.row(&row);
+    println!();
+}
+
+fn main() {
+    println!("Extension: comparison with EDPC (Beverland et al. [5])\n");
+    sweep("10x10 Fermi-Hubbard", &fermi_hubbard_2d(10));
+    sweep("10x10 Ising", &ising_2d(10));
+    sweep("10x10 Heisenberg", &heisenberg_2d(10));
+}

@@ -1,0 +1,61 @@
+//! Regenerates paper Fig 11: execution time versus qubit count across
+//! problem sizes (4 to 100 qubits), compared with Litinski's compact and
+//! fast block layouts (modified for realistic PPR implementation), one
+//! distillation factory.
+//!
+//! Expected shape: our r=5..6 points reach comparable execution time at a
+//! ~53% lower qubit count than the blocks.
+
+use ftqc_baselines::{BlockLayout, GameOfSurfaceCodes};
+use ftqc_bench::{compile_with, f2, Table};
+use ftqc_benchmarks::{condensed_sides, Benchmark};
+
+fn main() {
+    println!("Fig 11: execution time vs qubits, problem sizes 4..100, 1 factory\n");
+    for b in [
+        Benchmark::FermiHubbard2d,
+        Benchmark::Ising2d,
+        Benchmark::Heisenberg2d,
+    ] {
+        println!("== {} ==", b.name());
+        let t = Table::new(&["size", "series", "qubits", "exec (d)", "exec/LB"]);
+        for l in condensed_sides() {
+            let c = b.circuit_at(l).expect("condensed benchmark");
+            for r in 2..=6u32 {
+                match compile_with(&c, r, 1) {
+                    Ok(m) => t.row(&[
+                        format!("{0}x{0}", l),
+                        format!("ours r={r}"),
+                        m.total_qubits().to_string(),
+                        format!("{:.0}", m.execution_time.as_d()),
+                        f2(m.overhead()),
+                    ]),
+                    Err(e) => t.row(&[
+                        format!("{0}x{0}", l),
+                        format!("ours r={r}"),
+                        "-".into(),
+                        format!("err:{e}"),
+                        "-".into(),
+                    ]),
+                }
+            }
+            for layout in [BlockLayout::Compact, BlockLayout::Fast] {
+                let res = GameOfSurfaceCodes::new(layout).estimate(&c);
+                let lb = res.n_magic as f64 * 11.0;
+                t.row(&[
+                    format!("{0}x{0}", l),
+                    format!("litinski {}", layout.name()),
+                    res.total_qubits().to_string(),
+                    format!("{:.0}", res.execution_time.as_d()),
+                    f2(res.execution_time.as_d() / lb.max(1.0)),
+                ]);
+            }
+            t.rule();
+        }
+        println!();
+    }
+    println!(
+        "Paper: at 100 qubits our best cases run at 1.04-1.22x the bound with ~53% fewer \
+         qubits than the modified blocks (compact 3n+3, fast 4n+6)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates paper Fig 13: spacetime volume, qubit count and execution
+//! time versus the LSQCA Line-SAM architecture across all Table I
+//! benchmarks, one distillation factory. Our side picks the best layout
+//! per benchmark (the paper compares "the most optimal layouts for each
+//! benchmark").
+//!
+//! Expected shape: ~20% average spacetime-volume reduction versus
+//! Line SAM.
+
+use ftqc_baselines::LineSam;
+use ftqc_bench::{best_layout, f1, f2, Table};
+use ftqc_benchmarks::Benchmark;
+
+fn main() {
+    println!("Fig 13: comparison with LSQCA Line-SAM (1 factory, best layout per benchmark)\n");
+    let t = Table::new(&[
+        "benchmark",
+        "series",
+        "qubits",
+        "exec (d)",
+        "CPI",
+        "volume/op",
+    ]);
+    let mut ratio_sum = 0.0;
+    let mut count = 0usize;
+    for b in Benchmark::all() {
+        let c = b.circuit();
+        let (r, ours) = best_layout(&c, &[3, 4, 5, 6, 8, 10], 1).expect("compiles");
+        let line = LineSam::new().estimate(&c);
+        t.row(&[
+            b.name().to_string(),
+            format!("ours (r={r})"),
+            ours.total_qubits().to_string(),
+            format!("{:.0}", ours.execution_time.as_d()),
+            f2(ours.cpi()),
+            f1(ours.spacetime_volume_per_op(true)),
+        ]);
+        t.row(&[
+            String::new(),
+            "line-SAM".to_string(),
+            line.total_qubits().to_string(),
+            format!("{:.0}", line.execution_time.as_d()),
+            f2(line.cpi()),
+            f1(line.spacetime_volume_per_op(true)),
+        ]);
+        t.rule();
+        ratio_sum += ours.spacetime_volume(true) / line.spacetime_volume(true);
+        count += 1;
+    }
+    println!(
+        "\nmean volume ratio ours/line-SAM: {:.2} (paper: ~0.8, i.e. a 20% reduction)",
+        ratio_sum / count as f64
+    );
+}

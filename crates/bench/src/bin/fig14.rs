@@ -1,0 +1,64 @@
+//! Regenerates paper Fig 14: (a-c) CPI versus factory count 1..4 for the
+//! 10×10 condensed-matter circuits, ours versus LSQCA Line-SAM; (d) CPI
+//! versus magic-state processing time for the 10×10 Ising circuit.
+//!
+//! Expected shape: Line SAM's CPI is flat in the factory count (its
+//! sequential movement dominates), while ours falls; shrinking the
+//! processing time widens our advantage.
+
+use ftqc_arch::Ticks;
+use ftqc_baselines::LineSam;
+use ftqc_bench::{compile_opts, compile_with, f2, Table};
+use ftqc_benchmarks::{fermi_hubbard_2d, heisenberg_2d, ising_2d};
+use ftqc_circuit::Circuit;
+use ftqc_compiler::CompilerOptions;
+
+const R: u32 = 6;
+
+fn cpi_vs_factories(name: &str, c: &Circuit) {
+    println!("== (CPI vs factories) {name}, ours at r={R} ==");
+    let t = Table::new(&["factories", "ours CPI", "line-SAM CPI", "ratio"]);
+    for f in 1..=4u32 {
+        let ours = compile_with(c, R, f).expect("compiles");
+        let line = LineSam::new().factories(f).estimate(c);
+        t.row(&[
+            f.to_string(),
+            f2(ours.cpi()),
+            f2(line.cpi()),
+            f2(line.cpi() / ours.cpi()),
+        ]);
+    }
+    println!();
+}
+
+fn main() {
+    println!("Fig 14(a-c): CPI vs factory count, ours vs Line-SAM\n");
+    cpi_vs_factories("10x10 Fermi-Hubbard", &fermi_hubbard_2d(10));
+    cpi_vs_factories("10x10 Ising", &ising_2d(10));
+    cpi_vs_factories("10x10 Heisenberg", &heisenberg_2d(10));
+
+    println!("Fig 14(d): CPI vs magic-state processing time, 10x10 Ising, 2 factories\n");
+    let c = ising_2d(10);
+    let t = Table::new(&["t_MSF (d)", "ours CPI", "line-SAM CPI", "ratio"]);
+    for msf in [11.0f64, 8.0, 5.0, 2.0] {
+        let opts = CompilerOptions::default()
+            .routing_paths(R)
+            .factories(2)
+            .magic_production(Ticks::from_d(msf));
+        let ours = compile_opts(&c, opts).expect("compiles");
+        let mut line_model = LineSam::new().factories(2);
+        line_model.timing.magic_production = Ticks::from_d(msf);
+        let line = line_model.estimate(&c);
+        t.row(&[
+            format!("{msf}"),
+            f2(ours.cpi()),
+            f2(line.cpi()),
+            f2(line.cpi() / ours.cpi()),
+        ]);
+    }
+    println!(
+        "\nPaper: Line SAM at 1 factory is ~1.003x ours, rising to ~1.69x at 4 factories; \
+         faster distillation amplifies the gap (Line SAM is near-optimal only when the \
+         distillation bottleneck dominates)."
+    );
+}

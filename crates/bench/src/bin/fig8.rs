@@ -1,0 +1,43 @@
+//! Regenerates paper Fig 8: execution time and unit-cost execution time
+//! against the distillation lower bound, for the r=4 layout with one
+//! factory.
+//!
+//! Expected shape: unit-cost 1.1–1.3× and execution time 1.06–1.4× the
+//! lower bound across the five benchmarks.
+
+use ftqc_bench::{compile_with, f2, Table};
+use ftqc_benchmarks::{adder, fermi_hubbard_2d, heisenberg_2d, ising_2d, multiplier};
+
+fn main() {
+    println!("Fig 8: execution time vs lower bound (r=4, 1 factory)\n");
+    let t = Table::new(&[
+        "benchmark",
+        "lower bound (d)",
+        "unit-cost (d)",
+        "exec (d)",
+        "unit/LB",
+        "exec/LB",
+    ]);
+    let benches = [
+        ("Ising 2D 10x10", ising_2d(10)),
+        ("Heisenberg 2D 10x10", heisenberg_2d(10)),
+        ("Fermi-Hubbard 10x10", fermi_hubbard_2d(10)),
+        ("Adder", adder()),
+        ("Multiplier", multiplier()),
+    ];
+    for (name, c) in benches {
+        let m = compile_with(&c, 4, 1).expect("compiles");
+        t.row(&[
+            name.to_string(),
+            format!("{:.0}", m.lower_bound.as_d()),
+            format!("{:.0}", m.unit_cost_time.as_d()),
+            format!("{:.0}", m.execution_time.as_d()),
+            f2(m.unit_overhead()),
+            f2(m.overhead()),
+        ]);
+    }
+    println!(
+        "\nPaper: unit-cost 1.1-1.2x (Ising/FH), 1.3x (Heisenberg); exec 1.2-1.4x; \
+         multiplier 1.06x."
+    );
+}

@@ -1,0 +1,291 @@
+//! Condensed-matter Trotter circuits on an `L×L` spin grid.
+//!
+//! All three models use nearest-neighbour interactions only, which "map
+//! naturally onto logical qubits arranged on a 2D grid" (paper §V). Each
+//! generator emits a single first-order Trotter step; qubit `i` is the spin
+//! at grid position `(i / L, i % L)`.
+
+use ftqc_circuit::Circuit;
+
+/// Default Trotter rotation angle (in units of π). Any non-Clifford value
+/// works; each rotation consumes one magic state under the paper's policy.
+const THETA: f64 = 0.1;
+
+/// Nearest-neighbour edges of the `L×L` grid: all horizontal then all
+/// vertical pairs, row-major. `2·L·(L−1)` edges in total.
+fn grid_edges(l: u32) -> Vec<(u32, u32)> {
+    let mut edges = Vec::with_capacity((2 * l * (l.saturating_sub(1))) as usize);
+    for r in 0..l {
+        for c in 0..l {
+            let q = r * l + c;
+            if c + 1 < l {
+                edges.push((q, q + 1));
+            }
+        }
+    }
+    for r in 0..l {
+        for c in 0..l {
+            let q = r * l + c;
+            if r + 1 < l {
+                edges.push((q, q + l));
+            }
+        }
+    }
+    edges
+}
+
+/// `exp(-iθ Z_a Z_b)`: CNOT · Rz · CNOT.
+fn zz_term(c: &mut Circuit, a: u32, b: u32, theta: f64) {
+    c.cnot(a, b).rz_pi(b, theta).cnot(a, b);
+}
+
+/// `exp(-iθ X_a X_b)`: basis change with H on both sides of a ZZ term.
+fn xx_term(c: &mut Circuit, a: u32, b: u32, theta: f64) {
+    c.h(a).h(b);
+    zz_term(c, a, b, theta);
+    c.h(a).h(b);
+}
+
+/// `exp(-iθ Y_a Y_b)`: basis change with S†·H … H·S.
+fn yy_term(c: &mut Circuit, a: u32, b: u32, theta: f64) {
+    c.sdg(a).sdg(b).h(a).h(b);
+    zz_term(c, a, b, theta);
+    c.h(a).h(b).s(a).s(b);
+}
+
+/// Transverse-field Ising model, single Trotter step on `L×L` spins:
+/// initial `|+⟩` preparation (H layer), `ZZ` on every NN edge, then the
+/// transverse field `exp(-iθ X_i)` (H·Rz·H) on every spin.
+///
+/// Gate counts: `H = 3L²`, `CNOT = 4L(L−1)`, `Rz = 2L(L−1) + L²`
+/// — for `L = 10`: H 300, CNOT 360, Rz 280 (Table I).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_benchmarks::ising_2d;
+///
+/// let c = ising_2d(10);
+/// assert_eq!(c.num_qubits(), 100);
+/// assert_eq!(c.counts().cnot, 360);
+/// assert_eq!(c.counts().rz, 280);
+/// assert_eq!(c.counts().h, 300);
+/// ```
+pub fn ising_2d(l: u32) -> Circuit {
+    let n = l * l;
+    let mut c = Circuit::with_name(n, format!("ising-{l}x{l}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for (a, b) in grid_edges(l) {
+        zz_term(&mut c, a, b, THETA);
+    }
+    for q in 0..n {
+        c.h(q).rz_pi(q, THETA).h(q);
+    }
+    c
+}
+
+/// Transverse-field Ising model on a 1D chain of `n` spins, single Trotter
+/// step. The paper notes that "a 1D Ising model benefits from a snake-like
+/// mapping that preserves NN interactions" — this generator is the workload
+/// behind that claim (chain neighbours stay grid-adjacent under
+/// `MappingStrategy::Snake`).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_benchmarks::condensed::ising_1d;
+///
+/// let c = ising_1d(10);
+/// assert_eq!(c.counts().cnot, 18); // 2 per chain edge
+/// assert_eq!(c.counts().rz, 19);   // 9 edges + 10 sites
+/// ```
+pub fn ising_1d(n: u32) -> Circuit {
+    let mut c = Circuit::with_name(n, format!("ising-1d-{n}"));
+    for q in 0..n {
+        c.h(q);
+    }
+    for q in 0..n.saturating_sub(1) {
+        zz_term(&mut c, q, q + 1, THETA);
+    }
+    for q in 0..n {
+        c.h(q).rz_pi(q, THETA).h(q);
+    }
+    c
+}
+
+/// Heisenberg XXX model, single Trotter step: `XX + YY + ZZ` on every NN
+/// edge.
+///
+/// Per edge: 8 H, 6 CNOT, 3 Rz, 2 S, 2 S† — for `L = 10` (180 edges):
+/// H 1440, CNOT 1080, Rz 540, S 360, S† 360 (Table I).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_benchmarks::heisenberg_2d;
+///
+/// let c = heisenberg_2d(10);
+/// assert_eq!(c.counts().h, 1440);
+/// assert_eq!(c.counts().cnot, 1080);
+/// assert_eq!(c.counts().rz, 540);
+/// ```
+pub fn heisenberg_2d(l: u32) -> Circuit {
+    let n = l * l;
+    let mut c = Circuit::with_name(n, format!("heisenberg-{l}x{l}"));
+    for (a, b) in grid_edges(l) {
+        xx_term(&mut c, a, b, THETA);
+        yy_term(&mut c, a, b, THETA);
+        zz_term(&mut c, a, b, THETA);
+    }
+    c
+}
+
+/// Fermi–Hubbard model (Jordan–Wigner, simplified one-layer step): each
+/// lattice site holds two qubits `(2k, 2k+1)`; hopping (`XX + YY`) acts on
+/// site-internal pairs and the on-site interaction (`ZZ`) on the bridging
+/// pairs `(2k+1, 2k+2)` (wrapping at the end).
+///
+/// Per site pair: 8 H, 4 CNOT, 2 Rz, 2 S, 2 S† (hopping) + 2 CNOT, 1 Rz
+/// (interaction) — for `L = 10` (50 pairs): H 400, CNOT 300, Rz 150,
+/// S 100, S† 100 (Table I).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_benchmarks::fermi_hubbard_2d;
+///
+/// let c = fermi_hubbard_2d(10);
+/// assert_eq!(c.counts().h, 400);
+/// assert_eq!(c.counts().cnot, 300);
+/// assert_eq!(c.counts().rz, 150);
+/// assert_eq!(c.counts().s, 100);
+/// assert_eq!(c.counts().sdg, 100);
+/// ```
+pub fn fermi_hubbard_2d(l: u32) -> Circuit {
+    let n = l * l;
+    let mut c = Circuit::with_name(n, format!("fermi-hubbard-{l}x{l}"));
+    let pairs = n / 2;
+    // Hopping on site-internal pairs.
+    for k in 0..pairs {
+        let (a, b) = (2 * k, 2 * k + 1);
+        xx_term(&mut c, a, b, THETA);
+        yy_term(&mut c, a, b, THETA);
+    }
+    // On-site interaction on bridging pairs (chain with wrap-around).
+    for k in 0..pairs {
+        let a = 2 * k + 1;
+        let b = (2 * k + 2) % n;
+        zz_term(&mut c, a, b, THETA);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_edges_count() {
+        assert_eq!(grid_edges(10).len(), 180);
+        assert_eq!(grid_edges(2).len(), 4);
+        assert_eq!(grid_edges(1).len(), 0);
+    }
+
+    #[test]
+    fn grid_edges_are_nearest_neighbour() {
+        let l = 4;
+        for (a, b) in grid_edges(l) {
+            let (ra, ca) = (a / l, a % l);
+            let (rb, cb) = (b / l, b % l);
+            let dist = ra.abs_diff(rb) + ca.abs_diff(cb);
+            assert_eq!(dist, 1, "edge ({a},{b}) must be NN");
+        }
+    }
+
+    #[test]
+    fn ising_table1_counts() {
+        let c = ising_2d(10);
+        let k = c.counts();
+        assert_eq!(c.num_qubits(), 100);
+        assert_eq!(k.cnot, 360);
+        assert_eq!(k.rz, 280);
+        assert_eq!(k.h, 300);
+        assert_eq!(k.total(), 360 + 280 + 300);
+        assert_eq!(c.t_count(), 280, "every Rz consumes one magic state");
+    }
+
+    #[test]
+    fn heisenberg_table1_counts() {
+        let c = heisenberg_2d(10);
+        let k = c.counts();
+        assert_eq!(k.h, 1440);
+        assert_eq!(k.cnot, 1080);
+        assert_eq!(k.rz, 540);
+        assert_eq!(k.s, 360);
+        assert_eq!(k.sdg, 360);
+    }
+
+    #[test]
+    fn fermi_hubbard_table1_counts() {
+        let c = fermi_hubbard_2d(10);
+        let k = c.counts();
+        assert_eq!(k.h, 400);
+        assert_eq!(k.cnot, 300);
+        assert_eq!(k.rz, 150);
+        assert_eq!(k.s, 100);
+        assert_eq!(k.sdg, 100);
+    }
+
+    #[test]
+    fn all_problem_sizes_generate() {
+        // The paper evaluates L ∈ {2, 4, 6, 8, 10} (4 to 100 qubits).
+        for l in [2u32, 4, 6, 8, 10] {
+            for c in [ising_2d(l), heisenberg_2d(l), fermi_hubbard_2d(l)] {
+                assert_eq!(c.num_qubits(), l * l);
+                assert!(c.t_count() > 0, "{} needs magic states", c.name());
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_formulas() {
+        for l in [2u32, 4, 6] {
+            let c = ising_2d(l);
+            let edges = (2 * l * (l - 1)) as usize;
+            let n = (l * l) as usize;
+            assert_eq!(c.counts().cnot, 2 * edges);
+            assert_eq!(c.counts().rz, edges + n);
+            assert_eq!(c.counts().h, 3 * n);
+        }
+    }
+
+    #[test]
+    fn rotations_are_non_clifford() {
+        let c = ising_2d(2);
+        assert_eq!(c.t_count(), c.counts().rz);
+    }
+
+    #[test]
+    fn ising_1d_counts() {
+        let c = ising_1d(10);
+        assert_eq!(c.num_qubits(), 10);
+        assert_eq!(c.counts().cnot, 18);
+        assert_eq!(c.counts().rz, 19);
+        assert_eq!(c.counts().h, 30);
+        // All two-qubit gates are chain-NN.
+        for g in c.iter() {
+            if let ftqc_circuit::Gate::Cnot { control, target } = g {
+                assert_eq!(control.abs_diff(*target), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ising_1d_single_site() {
+        let c = ising_1d(1);
+        assert_eq!(c.counts().cnot, 0);
+        assert_eq!(c.counts().rz, 1);
+    }
+}

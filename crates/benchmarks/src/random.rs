@@ -1,0 +1,98 @@
+//! Seeded random Clifford+T circuits — fuzz inputs for compiler property
+//! tests and throughput benchmarks.
+
+use ftqc_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random Clifford+T circuit with `gates` gates over `n`
+/// qubits, reproducible from `seed`.
+///
+/// The gate mix is roughly the condensed-matter profile: heavy on H/CNOT,
+/// a T-like rotation every ~6 gates.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or (for two-qubit gates to exist) `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_benchmarks::random_clifford_t;
+///
+/// let a = random_clifford_t(8, 50, 42);
+/// let b = random_clifford_t(8, 50, 42);
+/// assert_eq!(a, b); // same seed, same circuit
+/// assert_eq!(a.len(), 50);
+/// ```
+pub fn random_clifford_t(n: u32, gates: usize, seed: u64) -> Circuit {
+    assert!(n >= 2, "random circuits need at least two qubits");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::with_name(n, format!("random-{n}q-{gates}g-s{seed}"));
+    for _ in 0..gates {
+        let q = rng.gen_range(0..n);
+        match rng.gen_range(0..12u32) {
+            0..=2 => {
+                c.h(q);
+            }
+            3 => {
+                c.s(q);
+            }
+            4 => {
+                c.sdg(q);
+            }
+            5 => {
+                c.sx(q);
+            }
+            6 => {
+                c.x(q);
+            }
+            7..=9 => {
+                let mut p = rng.gen_range(0..n);
+                while p == q {
+                    p = rng.gen_range(0..n);
+                }
+                c.cnot(q, p);
+            }
+            10 => {
+                c.t(q);
+            }
+            _ => {
+                c.rz_pi(q, 0.1 + rng.gen_range(0..8) as f64 * 0.03);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        assert_eq!(random_clifford_t(5, 100, 7), random_clifford_t(5, 100, 7));
+        assert_ne!(random_clifford_t(5, 100, 7), random_clifford_t(5, 100, 8));
+    }
+
+    #[test]
+    fn respects_gate_budget() {
+        let c = random_clifford_t(4, 33, 0);
+        assert_eq!(c.len(), 33);
+        assert_eq!(c.num_qubits(), 4);
+    }
+
+    #[test]
+    fn contains_magic_and_clifford() {
+        let c = random_clifford_t(6, 300, 1);
+        assert!(c.t_count() > 0);
+        assert!(c.counts().cnot > 0);
+        assert!(c.counts().h > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_qubit() {
+        random_clifford_t(1, 10, 0);
+    }
+}

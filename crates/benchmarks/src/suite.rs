@@ -1,0 +1,111 @@
+//! The named benchmark registry used by the figure-regeneration binaries.
+
+use crate::condensed::{fermi_hubbard_2d, heisenberg_2d, ising_2d};
+use crate::qasmbench::{adder, ghz, multiplier};
+use ftqc_circuit::Circuit;
+
+/// The six benchmark families of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Transverse-field Ising model, 2D.
+    Ising2d,
+    /// Heisenberg XXX model, 2D.
+    Heisenberg2d,
+    /// Fermi–Hubbard model, 2D.
+    FermiHubbard2d,
+    /// GHZ-255 state preparation.
+    Ghz,
+    /// 28-qubit adder.
+    Adder,
+    /// 15-qubit multiplier.
+    Multiplier,
+}
+
+impl Benchmark {
+    /// All six families, Table I order.
+    pub fn all() -> [Benchmark; 6] {
+        [
+            Benchmark::Ising2d,
+            Benchmark::Heisenberg2d,
+            Benchmark::FermiHubbard2d,
+            Benchmark::Ghz,
+            Benchmark::Adder,
+            Benchmark::Multiplier,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Ising2d => "Ising 2D",
+            Benchmark::Heisenberg2d => "Heisenberg 2D",
+            Benchmark::FermiHubbard2d => "Fermi Hubbard 2D",
+            Benchmark::Ghz => "GHZ",
+            Benchmark::Adder => "Adder",
+            Benchmark::Multiplier => "Multiplier",
+        }
+    }
+
+    /// The circuit at the paper's maximum (Table I) size.
+    pub fn circuit(self) -> Circuit {
+        match self {
+            Benchmark::Ising2d => ising_2d(10),
+            Benchmark::Heisenberg2d => heisenberg_2d(10),
+            Benchmark::FermiHubbard2d => fermi_hubbard_2d(10),
+            Benchmark::Ghz => ghz(255),
+            Benchmark::Adder => adder(),
+            Benchmark::Multiplier => multiplier(),
+        }
+    }
+
+    /// Condensed-matter circuit at side length `l` (condensed families
+    /// only).
+    pub fn circuit_at(self, l: u32) -> Option<Circuit> {
+        match self {
+            Benchmark::Ising2d => Some(ising_2d(l)),
+            Benchmark::Heisenberg2d => Some(heisenberg_2d(l)),
+            Benchmark::FermiHubbard2d => Some(fermi_hubbard_2d(l)),
+            _ => None,
+        }
+    }
+}
+
+/// The condensed-matter problem sizes of the paper: `L ∈ {2,4,6,8,10}`
+/// (4 to 100 qubits).
+pub fn condensed_sides() -> [u32; 5] {
+    [2, 4, 6, 8, 10]
+}
+
+/// All Table I circuits at their reported sizes.
+pub fn table1_suite() -> Vec<Circuit> {
+    Benchmark::all().iter().map(|b| b.circuit()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        let suite = table1_suite();
+        assert_eq!(suite.len(), 6);
+        let qubits: Vec<u32> = suite.iter().map(|c| c.num_qubits()).collect();
+        assert_eq!(qubits, vec![100, 100, 100, 255, 28, 15]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Benchmark::Ising2d.name(), "Ising 2D");
+        assert_eq!(Benchmark::Multiplier.name(), "Multiplier");
+    }
+
+    #[test]
+    fn circuit_at_only_for_condensed() {
+        assert!(Benchmark::Ising2d.circuit_at(4).is_some());
+        assert!(Benchmark::Ghz.circuit_at(4).is_none());
+        assert_eq!(
+            Benchmark::Heisenberg2d.circuit_at(4).unwrap().num_qubits(),
+            16
+        );
+    }
+}

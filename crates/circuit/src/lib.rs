@@ -1,0 +1,55 @@
+//! Quantum circuit intermediate representation for the `ftqc` compiler.
+//!
+//! This crate provides the front-end substrate of the workspace:
+//!
+//! * [`Gate`] / [`Circuit`] — a Clifford+T circuit IR with the gate set used
+//!   by the paper's benchmarks (`H`, `S`, `S†`, `SX`, Paulis, `T`, `T†`,
+//!   `Rz(θ)`, `CNOT`, `CZ`, `SWAP`, measurement).
+//! * [`DagCircuit`] — the dependency DAG consumed by the greedy scheduler and
+//!   the gate-dependent look-ahead heuristic (paper §V.A).
+//! * [`PauliString`] / [`CliffordTableau`] — binary-symplectic Pauli algebra
+//!   used to commute Clifford gates past rotations.
+//! * [`ppr`] — transpilation of a circuit into a sequence of Pauli-product
+//!   rotations (Litinski's *Game of Surface Codes* form), used by the
+//!   baseline models in `ftqc-baselines`.
+//! * [`qasm`] — a reader/writer for the OpenQASM 2 subset used by
+//!   QASMBench-style benchmark files.
+//!
+//! # Example
+//!
+//! ```
+//! use ftqc_circuit::{Circuit, Gate, Qubit};
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0);
+//! c.cnot(0, 1);
+//! c.t(1);
+//! assert_eq!(c.len(), 3);
+//! assert_eq!(c.counts().t_like(), 1);
+//! let dag = c.dag();
+//! assert_eq!(dag.front_layer().count(), 1);
+//! ```
+
+pub mod circuit;
+pub mod dag;
+pub mod gate;
+pub mod optimize;
+pub mod pauli;
+pub mod ppr;
+pub mod qasm;
+pub mod stabilizer;
+pub mod statevector;
+pub mod synthesis;
+pub mod tableau;
+
+pub use circuit::{Circuit, GateCounts};
+pub use dag::{DagCircuit, DagNode, FrontTracker, NodeId};
+pub use gate::{Angle, Gate, Qubit};
+pub use optimize::{optimize, OptimizeStats};
+pub use pauli::{Pauli, PauliString, Phase};
+pub use ppr::{PauliRotation, PprProgram, RotationKind};
+pub use qasm::{parse_qasm, write_qasm, QasmError};
+pub use stabilizer::{Outcome, StabilizerState};
+pub use statevector::{circuits_equivalent, StateVector, C64};
+pub use synthesis::{synthesize_rz, SynthesisModel, SynthesizedRotation};
+pub use tableau::CliffordTableau;

@@ -1,0 +1,364 @@
+//! Peephole circuit optimisation: cancellation and rotation merging.
+//!
+//! The paper's pipeline compiles the input circuit as-is; a production
+//! front end first removes the redundancy that Trotterised and synthesised
+//! circuits accumulate. This pass applies three local rewrites until a
+//! fixed point:
+//!
+//! 1. **Inverse-pair cancellation** — adjacent `g·g⁻¹` on the same operand
+//!    set (`H H`, `X X`, `S S†`, `T T†`, identical `CNOT CNOT`, …) vanish.
+//!    "Adjacent" means no intervening gate touches the shared qubits, which
+//!    the per-qubit last-gate index tracks exactly.
+//! 2. **Z-rotation merging** — consecutive Z-diagonal gates on one qubit
+//!    (`Z`, `S`, `S†`, `T`, `T†`, `Rz(θ)`) fuse into a single rotation;
+//!    exact multiples of π/4 re-canonicalise to named gates via
+//!    [`crate::synthesis::synthesize_rz`], anything `≡ 0 (mod 2π)` vanishes.
+//! 3. **Identity elimination** — `Rz(0)` and empty merges are dropped.
+//!
+//! Every rewrite preserves the unitary exactly (up to global phase); the
+//! property suite checks optimised circuits against the dense state-vector
+//! oracle on random inputs.
+
+use crate::circuit::Circuit;
+use crate::gate::{Angle, Gate, Qubit};
+use crate::synthesis::{synthesize_rz, SynthesisModel};
+
+/// Statistics of one [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OptimizeStats {
+    /// Gates in the input.
+    pub gates_in: usize,
+    /// Gates in the output.
+    pub gates_out: usize,
+    /// Inverse pairs cancelled.
+    pub pairs_cancelled: usize,
+    /// Z-rotations merged into a neighbour.
+    pub rotations_merged: usize,
+    /// Fixed-point iterations used.
+    pub passes: usize,
+}
+
+impl OptimizeStats {
+    /// Gates removed.
+    pub fn removed(&self) -> usize {
+        self.gates_in.saturating_sub(self.gates_out)
+    }
+}
+
+/// The Z-diagonal angle of a gate, if it is a Z-rotation up to global
+/// phase.
+fn z_angle(g: &Gate) -> Option<(Qubit, Angle)> {
+    match *g {
+        Gate::Z(q) => Some((q, Angle::new(1.0))),
+        Gate::S(q) => Some((q, Angle::new(0.5))),
+        Gate::Sdg(q) => Some((q, Angle::new(-0.5))),
+        Gate::T(q) => Some((q, Angle::new(0.25))),
+        Gate::Tdg(q) => Some((q, Angle::new(-0.25))),
+        Gate::Rz(q, a) => Some((q, a)),
+        _ => None,
+    }
+}
+
+/// Canonical gate sequence for a merged Z-rotation (empty when the angle is
+/// an identity).
+fn canonical_z(q: Qubit, a: Angle) -> Vec<Gate> {
+    if a.is_identity() {
+        return Vec::new();
+    }
+    match synthesize_rz(q, a, SynthesisModel::default()).gates {
+        Some(word) => word,
+        None => vec![Gate::Rz(q, a)],
+    }
+}
+
+/// One sweep of cancellation + merging. Returns the rewritten gate list and
+/// the number of rewrites applied.
+fn sweep(gates: &[Gate], stats: &mut OptimizeStats) -> (Vec<Gate>, usize) {
+    // out[i] = None marks a removed gate; last[q] = index into `out` of the
+    // most recent surviving gate touching q.
+    let mut out: Vec<Option<Gate>> = Vec::with_capacity(gates.len());
+    let mut last: std::collections::HashMap<Qubit, usize> = std::collections::HashMap::new();
+    let mut rewrites = 0usize;
+
+    'next_gate: for g in gates {
+        if g.is_measurement() {
+            // Measurements are barriers on their qubit.
+            let q = g.qubits().next().expect("measure is single-qubit");
+            out.push(Some(*g));
+            last.insert(q, out.len() - 1);
+            continue;
+        }
+
+        let operands: Vec<Qubit> = g.qubits().collect();
+        // The candidate predecessor: the same surviving index for *all*
+        // operands (otherwise something intervened on one of them).
+        let prev_idx = operands
+            .iter()
+            .map(|q| last.get(q).copied())
+            .reduce(|a, b| if a == b { a } else { None })
+            .flatten();
+
+        if let Some(i) = prev_idx {
+            if let Some(prev) = out[i] {
+                // Rule 1: inverse pair on the identical operand set.
+                let same_operands =
+                    prev.qubits().collect::<Vec<_>>() == operands && prev.arity() == g.arity();
+                if same_operands && !prev.is_measurement() && prev.inverse() == *g {
+                    out[i] = None;
+                    for q in &operands {
+                        last.remove(q);
+                    }
+                    // Re-expose the previous survivor on these qubits.
+                    for (j, slot) in out.iter().enumerate().take(i).rev() {
+                        if let Some(e) = slot {
+                            for q in e.qubits() {
+                                if operands.contains(&q) {
+                                    last.entry(q).or_insert(j);
+                                }
+                            }
+                        }
+                        if operands.iter().all(|q| last.contains_key(q)) {
+                            break;
+                        }
+                    }
+                    stats.pairs_cancelled += 1;
+                    rewrites += 1;
+                    continue 'next_gate;
+                }
+                // Rule 2: Z-rotation merging.
+                if let (Some((q1, a1)), Some((q2, a2))) = (z_angle(&prev), z_angle(g)) {
+                    if q1 == q2 {
+                        let merged = Angle::new(a1.turns_of_pi() + a2.turns_of_pi());
+                        let word = canonical_z(q1, merged);
+                        // Replace `prev` with the head of the word (or
+                        // remove); any word tail is appended.
+                        let mut word_iter = word.into_iter();
+                        match word_iter.next() {
+                            Some(head) => {
+                                out[i] = Some(head);
+                                for tail in word_iter {
+                                    out.push(Some(tail));
+                                    last.insert(q1, out.len() - 1);
+                                }
+                            }
+                            None => {
+                                out[i] = None;
+                                last.remove(&q1);
+                                for (j, slot) in out.iter().enumerate().take(i).rev() {
+                                    if let Some(e) = slot {
+                                        if e.qubits().any(|q| q == q1) {
+                                            last.insert(q1, j);
+                                            break;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        stats.rotations_merged += 1;
+                        rewrites += 1;
+                        continue 'next_gate;
+                    }
+                }
+            }
+        }
+
+        // Rule 3: drop bare identity rotations.
+        if let Gate::Rz(_, a) = g {
+            if a.is_identity() {
+                rewrites += 1;
+                continue;
+            }
+        }
+
+        out.push(Some(*g));
+        let idx = out.len() - 1;
+        for q in operands {
+            last.insert(q, idx);
+        }
+    }
+
+    (out.into_iter().flatten().collect(), rewrites)
+}
+
+/// Optimises `circuit` to a fixed point and reports what changed.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::{optimize, Circuit};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).h(0).t(1).t(1).cnot(0, 1).cnot(0, 1);
+/// let (opt, stats) = optimize(&c);
+/// // H·H and CNOT·CNOT vanish; T·T fuses to S.
+/// assert_eq!(opt.len(), 1);
+/// assert_eq!(stats.removed(), 5);
+/// ```
+pub fn optimize(circuit: &Circuit) -> (Circuit, OptimizeStats) {
+    let mut stats = OptimizeStats {
+        gates_in: circuit.len(),
+        ..Default::default()
+    };
+    let mut gates: Vec<Gate> = circuit.iter().copied().collect();
+    // Each sweep strictly shrinks or rewrites; bound the fixed point
+    // defensively anyway.
+    for _ in 0..circuit.len().max(4) {
+        stats.passes += 1;
+        let (next, rewrites) = sweep(&gates, &mut stats);
+        gates = next;
+        if rewrites == 0 {
+            break;
+        }
+    }
+    stats.gates_out = gates.len();
+    let mut out = Circuit::with_name(circuit.num_qubits(), circuit.name());
+    out.append(gates);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::circuits_equivalent;
+
+    fn assert_preserves(c: &Circuit) -> Circuit {
+        let (opt, stats) = optimize(c);
+        assert!(
+            circuits_equivalent(c, &opt, 1e-9),
+            "optimisation changed semantics"
+        );
+        assert!(stats.gates_out <= stats.gates_in);
+        assert_eq!(stats.gates_out, opt.len());
+        opt
+    }
+
+    #[test]
+    fn adjacent_hh_cancels() {
+        let mut c = Circuit::new(1);
+        c.h(0).h(0);
+        let opt = assert_preserves(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn cnot_pair_cancels() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).cnot(0, 1);
+        let opt = assert_preserves(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn reversed_cnot_does_not_cancel() {
+        let mut c = Circuit::new(2);
+        c.cnot(0, 1).cnot(1, 0);
+        let opt = assert_preserves(&c);
+        assert_eq!(opt.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_pair_still_cancels_when_disjoint() {
+        // H(1) between the two H(0) does not block the cancellation.
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).h(0);
+        let opt = assert_preserves(&c);
+        assert_eq!(opt.len(), 1);
+        assert_eq!(opt.gates()[0], Gate::H(1));
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).h(0);
+        let opt = assert_preserves(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn tt_merges_to_s() {
+        let mut c = Circuit::new(1);
+        c.t(0).t(0);
+        let opt = assert_preserves(&c);
+        assert_eq!(opt.gates(), &[Gate::S(0)]);
+    }
+
+    #[test]
+    fn s_sdg_vanishes() {
+        let mut c = Circuit::new(1);
+        c.s(0).sdg(0);
+        let opt = assert_preserves(&c);
+        assert!(opt.is_empty());
+    }
+
+    #[test]
+    fn rotation_chain_fuses_completely() {
+        // T·T·S·Z = Rz(2π) = identity.
+        let mut c = Circuit::new(1);
+        c.t(0).t(0).s(0).z(0);
+        let opt = assert_preserves(&c);
+        assert!(opt.is_empty(), "got {:?}", opt.gates());
+    }
+
+    #[test]
+    fn generic_angles_accumulate() {
+        let mut c = Circuit::new(1);
+        c.rz_pi(0, 0.1).rz_pi(0, 0.17);
+        let opt = assert_preserves(&c);
+        assert_eq!(opt.len(), 1);
+        let Gate::Rz(_, a) = opt.gates()[0] else {
+            panic!("expected a fused rotation");
+        };
+        assert!((a.turns_of_pi() - 0.27).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_rotation_dropped() {
+        let mut c = Circuit::new(1);
+        c.rz_pi(0, 0.0).h(0).rz_pi(0, 2.0);
+        let opt = assert_preserves(&c);
+        assert_eq!(opt.len(), 1);
+    }
+
+    #[test]
+    fn cascading_cancellation_reaches_fixed_point() {
+        // T Tdg exposes the H pair: everything vanishes.
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).tdg(0).h(0);
+        let opt = assert_preserves(&c);
+        assert!(opt.is_empty(), "got {:?}", opt.gates());
+    }
+
+    #[test]
+    fn measurement_is_a_barrier() {
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0).h(0);
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt.len(), 3);
+    }
+
+    #[test]
+    fn trotter_style_circuit_shrinks() {
+        // Adjacent Trotter steps produce back-to-back CNOT pairs.
+        let mut c = Circuit::new(4);
+        for _ in 0..2 {
+            c.cnot(0, 1).rz_pi(1, 0.1).cnot(0, 1);
+            c.cnot(2, 3).rz_pi(3, 0.1).cnot(2, 3);
+        }
+        let (opt, stats) = optimize(&c);
+        assert!(circuits_equivalent(&c, &opt, 1e-9));
+        assert!(stats.removed() >= 2, "middle CNOT pairs should cancel");
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).t(1).t(1);
+        let (_, stats) = optimize(&c);
+        assert_eq!(stats.gates_in, 4);
+        assert_eq!(stats.gates_out, 1);
+        assert_eq!(stats.removed(), 3);
+        assert!(stats.passes >= 1);
+        assert!(stats.pairs_cancelled >= 1);
+        assert!(stats.rotations_merged >= 1);
+    }
+}

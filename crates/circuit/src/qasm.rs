@@ -1,0 +1,493 @@
+//! Reader/writer for the OpenQASM 2 subset used by QASMBench-style files.
+//!
+//! The paper evaluates GHZ/adder/multiplier circuits from QASMBench \[26\].
+//! This module lets the original `.qasm` files be fed to the compiler when
+//! available; the `ftqc-benchmarks` crate provides synthetic generators with
+//! identical gate counts for fully offline runs.
+//!
+//! Supported statements: `OPENQASM 2.0`, `include`, `qreg`, `creg`, gate
+//! applications from the compiler's instruction set (`h s sdg sx sxdg x y z
+//! t tdg rz cx cz swap`), `measure`, and `barrier` (ignored). Angle
+//! expressions accept decimal literals and `±a*pi/b` fractions.
+
+use crate::circuit::Circuit;
+use crate::gate::{Angle, Gate, Qubit};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing OpenQASM input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QasmError {
+    line: usize,
+    message: String,
+}
+
+impl QasmError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for QasmError {}
+
+/// Parses an OpenQASM 2 source string into a [`Circuit`].
+///
+/// Multiple `qreg` declarations are flattened into one register in
+/// declaration order. Classical registers and the classical targets of
+/// `measure` are accepted and discarded (the compiler models measurement as
+/// a qubit-level operation).
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] describing the first offending statement.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::parse_qasm;
+///
+/// let src = r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     h q[0];
+///     cx q[0], q[1];
+///     rz(pi/4) q[1];
+/// "#;
+/// let c = parse_qasm(src)?;
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.len(), 3);
+/// # Ok::<(), ftqc_circuit::QasmError>(())
+/// ```
+pub fn parse_qasm(src: &str) -> Result<Circuit, QasmError> {
+    let mut regs: Vec<(String, u32)> = Vec::new();
+    let mut reg_offset: HashMap<String, u32> = HashMap::new();
+    let mut total_qubits = 0u32;
+    let mut gates: Vec<Gate> = Vec::new();
+
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = strip_comment(raw_line).trim();
+        if line.is_empty() {
+            continue;
+        }
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            parse_statement(
+                stmt,
+                lineno,
+                &mut regs,
+                &mut reg_offset,
+                &mut total_qubits,
+                &mut gates,
+            )?;
+        }
+    }
+
+    let mut circuit = Circuit::new(total_qubits);
+    for g in gates {
+        circuit.push(g);
+    }
+    Ok(circuit)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_statement(
+    stmt: &str,
+    lineno: usize,
+    regs: &mut Vec<(String, u32)>,
+    reg_offset: &mut HashMap<String, u32>,
+    total_qubits: &mut u32,
+    gates: &mut Vec<Gate>,
+) -> Result<(), QasmError> {
+    let lower = stmt.to_ascii_lowercase();
+    if lower.starts_with("openqasm") || lower.starts_with("include") || lower.starts_with("creg") {
+        return Ok(());
+    }
+    if lower.starts_with("barrier") {
+        return Ok(());
+    }
+    if lower.starts_with("qreg") {
+        let rest = stmt["qreg".len()..].trim();
+        let (name, size) = parse_reg_decl(rest)
+            .ok_or_else(|| QasmError::new(lineno, format!("malformed qreg '{stmt}'")))?;
+        if reg_offset.contains_key(&name) {
+            return Err(QasmError::new(lineno, format!("duplicate qreg '{name}'")));
+        }
+        reg_offset.insert(name.clone(), *total_qubits);
+        regs.push((name, size));
+        *total_qubits += size;
+        return Ok(());
+    }
+    if lower.starts_with("measure") {
+        // "measure q[i] -> c[i]" or "measure q -> c" (whole register)
+        let body = stmt["measure".len()..].trim();
+        let src = body.split("->").next().unwrap_or("").trim();
+        let operands = resolve_operands(src, regs, reg_offset, lineno)?;
+        for q in operands {
+            gates.push(Gate::Measure(q));
+        }
+        return Ok(());
+    }
+
+    // Gate application: name[(params)] operands
+    let (head, operand_str) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(i) => (&stmt[..i], stmt[i..].trim()),
+        None => return Err(QasmError::new(lineno, format!("malformed statement '{stmt}'"))),
+    };
+    let (name, param) = match head.find('(') {
+        Some(i) => {
+            let close = head
+                .rfind(')')
+                .ok_or_else(|| QasmError::new(lineno, "unbalanced parenthesis"))?;
+            (&head[..i], Some(&head[i + 1..close]))
+        }
+        None => (head, None),
+    };
+
+    let mut operands: Vec<Qubit> = Vec::new();
+    for part in operand_str.split(',') {
+        let resolved = resolve_operands(part.trim(), regs, reg_offset, lineno)?;
+        operands.extend(resolved);
+    }
+
+    let name = name.to_ascii_lowercase();
+    let require = |n: usize| -> Result<(), QasmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(QasmError::new(
+                lineno,
+                format!("gate '{name}' expects {n} operand(s), got {}", operands.len()),
+            ))
+        }
+    };
+
+    match name.as_str() {
+        "h" | "s" | "sdg" | "sx" | "sxdg" | "x" | "y" | "z" | "t" | "tdg" | "id" => {
+            // Single-qubit mnemonics may be applied to a whole register;
+            // resolve_operands already expanded that case.
+            for &q in &operands {
+                let g = match name.as_str() {
+                    "h" => Gate::H(q),
+                    "s" => Gate::S(q),
+                    "sdg" => Gate::Sdg(q),
+                    "sx" => Gate::Sx(q),
+                    "sxdg" => Gate::Sxdg(q),
+                    "x" => Gate::X(q),
+                    "y" => Gate::Y(q),
+                    "z" => Gate::Z(q),
+                    "t" => Gate::T(q),
+                    "tdg" => Gate::Tdg(q),
+                    "id" => continue,
+                    _ => unreachable!(),
+                };
+                gates.push(g);
+            }
+        }
+        "rz" | "u1" | "p" => {
+            require(1)?;
+            let angle = parse_angle(param.ok_or_else(|| {
+                QasmError::new(lineno, format!("'{name}' requires an angle parameter"))
+            })?)
+            .map_err(|e| QasmError::new(lineno, e))?;
+            gates.push(Gate::Rz(operands[0], angle));
+        }
+        "cx" | "cnot" => {
+            require(2)?;
+            gates.push(Gate::Cnot {
+                control: operands[0],
+                target: operands[1],
+            });
+        }
+        "cz" => {
+            require(2)?;
+            gates.push(Gate::Cz(operands[0], operands[1]));
+        }
+        "swap" => {
+            require(2)?;
+            gates.push(Gate::Swap(operands[0], operands[1]));
+        }
+        other => {
+            return Err(QasmError::new(
+                lineno,
+                format!("unsupported gate '{other}' (supported: h s sdg sx sxdg x y z t tdg rz cx cz swap measure)"),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn parse_reg_decl(s: &str) -> Option<(String, u32)> {
+    let open = s.find('[')?;
+    let close = s.find(']')?;
+    let name = s[..open].trim().to_string();
+    let size: u32 = s[open + 1..close].trim().parse().ok()?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name, size))
+}
+
+/// Resolves `q\[3\]` to one flat index, or a bare register name `q` to all of
+/// its indices (register broadcast).
+fn resolve_operands(
+    s: &str,
+    regs: &[(String, u32)],
+    reg_offset: &HashMap<String, u32>,
+    lineno: usize,
+) -> Result<Vec<Qubit>, QasmError> {
+    if let Some(open) = s.find('[') {
+        let close = s
+            .find(']')
+            .ok_or_else(|| QasmError::new(lineno, format!("missing ']' in '{s}'")))?;
+        let name = s[..open].trim();
+        let idx: u32 = s[open + 1..close]
+            .trim()
+            .parse()
+            .map_err(|_| QasmError::new(lineno, format!("bad index in '{s}'")))?;
+        let &offset = reg_offset
+            .get(name)
+            .ok_or_else(|| QasmError::new(lineno, format!("unknown register '{name}'")))?;
+        let size = regs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, sz)| *sz)
+            .unwrap_or(0);
+        if idx >= size {
+            return Err(QasmError::new(
+                lineno,
+                format!("index {idx} out of range for register '{name}[{size}]'"),
+            ));
+        }
+        Ok(vec![offset + idx])
+    } else {
+        let name = s.trim();
+        let &offset = reg_offset
+            .get(name)
+            .ok_or_else(|| QasmError::new(lineno, format!("unknown register '{name}'")))?;
+        let size = regs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, sz)| *sz)
+            .unwrap_or(0);
+        Ok((offset..offset + size).collect())
+    }
+}
+
+/// Parses an angle expression: decimal radians, or `±a*pi/b` with optional
+/// parts (`pi`, `-pi/2`, `3*pi/4`, `2*pi`).
+fn parse_angle(s: &str) -> Result<Angle, String> {
+    let s = s.trim().replace(' ', "");
+    if s.is_empty() {
+        return Err("empty angle expression".into());
+    }
+    if let Ok(v) = s.parse::<f64>() {
+        return Ok(Angle::from_radians(v));
+    }
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s.as_str()),
+    };
+    let (num_part, den): (&str, f64) = match body.find('/') {
+        Some(i) => {
+            let den: f64 = body[i + 1..]
+                .parse()
+                .map_err(|_| format!("bad denominator in '{s}'"))?;
+            (&body[..i], den)
+        }
+        None => (body, 1.0),
+    };
+    let coeff: f64 = match num_part.find("pi") {
+        Some(0) => 1.0,
+        Some(i) => {
+            let lead = num_part[..i].trim_end_matches('*');
+            lead.parse()
+                .map_err(|_| format!("bad coefficient in '{s}'"))?
+        }
+        None => return Err(format!("cannot parse angle '{s}'")),
+    };
+    let turns = if neg { -coeff / den } else { coeff / den };
+    Ok(Angle::new(turns))
+}
+
+/// Serialises a circuit back to OpenQASM 2 text.
+///
+/// Measurements are written with a matching `creg`. Output parses back to
+/// an equivalent circuit via [`parse_qasm`].
+pub fn write_qasm(circuit: &Circuit) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    let n_measure = circuit.counts().measure;
+    if n_measure > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_qubits());
+    }
+    for g in circuit.iter() {
+        match g {
+            Gate::Rz(q, a) => {
+                let _ = writeln!(out, "rz({}) q[{}];", a.radians(), q);
+            }
+            Gate::Cnot { control, target } => {
+                let _ = writeln!(out, "cx q[{control}], q[{target}];");
+            }
+            Gate::Cz(a, b) => {
+                let _ = writeln!(out, "cz q[{a}], q[{b}];");
+            }
+            Gate::Swap(a, b) => {
+                let _ = writeln!(out, "swap q[{a}], q[{b}];");
+            }
+            Gate::Measure(q) => {
+                let _ = writeln!(out, "measure q[{q}] -> c[{q}];");
+            }
+            g => {
+                let q = g.qubits().next().expect("single-qubit gate");
+                let _ = writeln!(out, "{} q[{}];", g.name(), q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_program() {
+        let src = r#"
+            OPENQASM 2.0;
+            include "qelib1.inc";
+            qreg q[3];
+            creg c[3];
+            h q[0];
+            cx q[0], q[1];
+            rz(pi/4) q[2];
+            t q[1]; tdg q[2];
+            measure q[0] -> c[0];
+        "#;
+        let c = parse_qasm(src).expect("parses");
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.counts().h, 1);
+        assert_eq!(c.counts().cnot, 1);
+        assert_eq!(c.counts().rz, 1);
+        assert_eq!(c.counts().t, 1);
+        assert_eq!(c.counts().tdg, 1);
+        assert_eq!(c.counts().measure, 1);
+    }
+
+    #[test]
+    fn rz_pi_fraction_is_exact() {
+        let c = parse_qasm("qreg q[1]; rz(pi/4) q[0];").unwrap();
+        match c.gates()[0] {
+            Gate::Rz(_, a) => assert_eq!(a, Angle::new(0.25)),
+            _ => panic!("expected rz"),
+        }
+        let c = parse_qasm("qreg q[1]; rz(-3*pi/2) q[0];").unwrap();
+        match c.gates()[0] {
+            Gate::Rz(_, a) => assert_eq!(a, Angle::new(-1.5)),
+            _ => panic!("expected rz"),
+        }
+    }
+
+    #[test]
+    fn rz_decimal_radians() {
+        let c = parse_qasm("qreg q[1]; rz(1.5707963267948966) q[0];").unwrap();
+        match c.gates()[0] {
+            Gate::Rz(_, a) => assert!((a.turns_of_pi() - 0.5).abs() < 1e-12),
+            _ => panic!("expected rz"),
+        }
+    }
+
+    #[test]
+    fn register_broadcast() {
+        let c = parse_qasm("qreg q[4]; h q;").unwrap();
+        assert_eq!(c.counts().h, 4);
+    }
+
+    #[test]
+    fn multiple_qregs_flatten() {
+        let c = parse_qasm("qreg a[2]; qreg b[3]; cx a[1], b[0];").unwrap();
+        assert_eq!(c.num_qubits(), 5);
+        match c.gates()[0] {
+            Gate::Cnot { control, target } => {
+                assert_eq!(control, 1);
+                assert_eq!(target, 2);
+            }
+            _ => panic!("expected cx"),
+        }
+    }
+
+    #[test]
+    fn comments_and_barriers_ignored() {
+        let c = parse_qasm("qreg q[1]; // comment\nbarrier q; h q[0]; // trailing").unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_qasm("qreg q[1];\nfoo q[0];").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("unsupported gate"));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let err = parse_qasm("qreg q[2]; h q[5];").unwrap_err();
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let err = parse_qasm("qreg q[2]; h r[0];").unwrap_err();
+        assert!(err.to_string().contains("unknown register"));
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cnot(0, 1)
+            .rz_pi(2, 0.25)
+            .sdg(1)
+            .sx(2)
+            .swap(0, 2)
+            .cz(1, 2)
+            .measure(0);
+        let text = write_qasm(&c);
+        let back = parse_qasm(&text).expect("writer output parses");
+        assert_eq!(back.num_qubits(), c.num_qubits());
+        assert_eq!(back.counts(), c.counts());
+    }
+
+    #[test]
+    fn duplicate_qreg_rejected() {
+        let err = parse_qasm("qreg q[1]; qreg q[2];").unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+}

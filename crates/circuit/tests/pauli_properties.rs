@@ -1,0 +1,171 @@
+//! Property-based tests of the Pauli algebra and Clifford tableau — the
+//! foundations everything in the workspace rests on.
+
+use ftqc_circuit::pauli::Phase;
+use ftqc_circuit::{CliffordTableau, Gate, Pauli, PauliString};
+use proptest::prelude::*;
+
+const N: usize = 5;
+
+fn arb_pauli() -> impl Strategy<Value = Pauli> {
+    prop_oneof![
+        Just(Pauli::I),
+        Just(Pauli::X),
+        Just(Pauli::Y),
+        Just(Pauli::Z),
+    ]
+}
+
+fn arb_string() -> impl Strategy<Value = PauliString> {
+    (
+        proptest::collection::vec(arb_pauli(), N),
+        0u8..4,
+    )
+        .prop_map(|(ps, phase)| {
+            let mut s = PauliString::identity(N);
+            for (i, p) in ps.into_iter().enumerate() {
+                s.set(i as u32, p);
+            }
+            s.set_phase(Phase::from_i_exponent(phase));
+            s
+        })
+}
+
+fn arb_clifford_gate() -> impl Strategy<Value = Gate> {
+    let q = 0u32..N as u32;
+    let pair = (0u32..N as u32, 0u32..N as u32)
+        .prop_filter("distinct", |(a, b)| a != b);
+    prop_oneof![
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Sdg),
+        q.clone().prop_map(Gate::Sx),
+        q.clone().prop_map(Gate::Sxdg),
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.prop_map(Gate::Z),
+        pair.clone().prop_map(|(a, b)| Gate::Cnot {
+            control: a,
+            target: b
+        }),
+        pair.clone().prop_map(|(a, b)| Gate::Cz(a, b)),
+        pair.prop_map(|(a, b)| Gate::Swap(a, b)),
+    ]
+}
+
+proptest! {
+    /// Multiplication is associative (phases included).
+    #[test]
+    fn mul_is_associative(a in arb_string(), b in arb_string(), c in arb_string()) {
+        let mut ab = a.clone();
+        ab.mul_assign(&b);
+        let mut ab_c = ab;
+        ab_c.mul_assign(&c);
+
+        let mut bc = b.clone();
+        bc.mul_assign(&c);
+        let mut a_bc = a.clone();
+        a_bc.mul_assign(&bc);
+
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// P·P = ± identity-with-phase: squaring clears the bits.
+    #[test]
+    fn squaring_clears_support(a in arb_string()) {
+        let mut sq = a.clone();
+        sq.mul_assign(&a);
+        prop_assert!(sq.is_identity());
+        // A Hermitian Pauli squares to +1; i-phased strings square to -1.
+        if a.phase().is_real() {
+            prop_assert_eq!(sq.phase(), Phase::PLUS);
+        } else {
+            prop_assert_eq!(sq.phase(), Phase::MINUS);
+        }
+    }
+
+    /// Commutation is symmetric and consistent with products:
+    /// AB = ±BA with the sign given by commutes_with.
+    #[test]
+    fn commutation_matches_product(a in arb_string(), b in arb_string()) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+        let mut ab = a.clone();
+        ab.mul_assign(&b);
+        let mut ba = b.clone();
+        ba.mul_assign(&a);
+        if a.commutes_with(&b) {
+            prop_assert_eq!(ab, ba);
+        } else {
+            let mut neg = ba;
+            neg.set_phase(neg.phase().negate());
+            prop_assert_eq!(ab, neg);
+        }
+    }
+
+    /// Conjugation by a Clifford gate preserves commutation relations and
+    /// support weight bounds, and is inverted by the inverse gate.
+    #[test]
+    fn conjugation_roundtrip(a in arb_string(), g in arb_clifford_gate()) {
+        let mut c = a.clone();
+        c.conjugate_by(&g);
+        c.conjugate_by(&g.inverse());
+        prop_assert_eq!(c, a);
+    }
+
+    /// Conjugation is a homomorphism: (AB)^g = A^g · B^g.
+    #[test]
+    fn conjugation_is_homomorphism(
+        a in arb_string(),
+        b in arb_string(),
+        g in arb_clifford_gate(),
+    ) {
+        let mut ab = a.clone();
+        ab.mul_assign(&b);
+        ab.conjugate_by(&g);
+
+        let mut ag = a.clone();
+        ag.conjugate_by(&g);
+        let mut bg = b.clone();
+        bg.conjugate_by(&g);
+        ag.mul_assign(&bg);
+
+        prop_assert_eq!(ab, ag);
+    }
+
+    /// Tableaux stay symplectic under arbitrary gate sequences, through
+    /// both composition directions.
+    #[test]
+    fn tableau_invariants_hold(gates in proptest::collection::vec(arb_clifford_gate(), 0..25)) {
+        let mut post = CliffordTableau::identity(N);
+        let mut pre = CliffordTableau::identity(N);
+        for g in &gates {
+            post.apply(g);
+            pre.apply_pre(g);
+        }
+        prop_assert!(post.check_invariants().is_ok());
+        prop_assert!(pre.check_invariants().is_ok());
+    }
+
+    /// apply and apply_pre are mutually inverse: applying a circuit with
+    /// `apply` and its reversed inverse with `apply_pre` — composed as
+    /// images — returns every generator unchanged.
+    #[test]
+    fn apply_pre_inverts_apply(gates in proptest::collection::vec(arb_clifford_gate(), 0..15)) {
+        let mut t = CliffordTableau::identity(N);
+        for g in &gates {
+            t.apply(g);
+        }
+        // Φ(P) = C P C†. Feeding Φ's rows through the pre-tableau of the
+        // same circuit (Ψ(P) = C† P C) must give the identity map.
+        let mut pre = CliffordTableau::identity(N);
+        for g in &gates {
+            pre.apply_pre(g);
+        }
+        for q in 0..N as u32 {
+            let img = pre.image(t.image_z(q));
+            prop_assert_eq!(img, PauliString::single(N, q, Pauli::Z));
+            let img = pre.image(t.image_x(q));
+            prop_assert_eq!(img, PauliString::single(N, q, Pauli::X));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-validation of the PPR transpiler against the stabilizer
+//! simulator.
+//!
+//! For a Clifford circuit `C` followed by a Z-measurement of qubit `q`,
+//! Litinski's transformation replaces the measurement by the Pauli-product
+//! observable `M = C† Z_q C`. The measurement on `C|0…0⟩` is deterministic
+//! with outcome `b` exactly when `(-1)^b M` stabilises the *initial* state
+//! `|0…0⟩`. The transpiler (built on `CliffordTableau::apply_pre`) and the
+//! simulator (built on row conjugation) implement these two sides
+//! independently, so agreement is a strong end-to-end check of the whole
+//! Pauli algebra.
+
+use ftqc_circuit::pauli::Phase;
+use ftqc_circuit::{Circuit, PprProgram, StabilizerState};
+
+/// Deterministic pseudo-random Clifford circuit (no measurement).
+fn random_clifford(n: u32, gates: usize, mut state: u64) -> Circuit {
+    let mut c = Circuit::new(n);
+    for _ in 0..gates {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let q = ((state >> 33) % n as u64) as u32;
+        let r = ((state >> 20) % n as u64) as u32;
+        match (state >> 10) % 7 {
+            0 => c.h(q),
+            1 => c.s(q),
+            2 => c.sdg(q),
+            3 => c.sx(q),
+            4 if q != r => c.cnot(q, r),
+            5 if q != r => c.cz(q, r),
+            _ => c.z(q),
+        };
+    }
+    c
+}
+
+#[test]
+fn measurement_observables_agree_with_simulation() {
+    for seed in 0..20u64 {
+        let n = 4;
+        let clifford = random_clifford(n, 40, seed.wrapping_mul(0x9e3779b97f4a7c15) | 1);
+
+        // Side A: simulate and measure every qubit's determinism status.
+        let mut sim = StabilizerState::new(n as usize);
+        sim.apply_circuit(clifford.iter());
+
+        // Side B: transpile `clifford ; measure q` to get the observable.
+        for q in 0..n {
+            let mut with_measure = clifford.clone();
+            with_measure.measure(q);
+            let ppr = PprProgram::from_circuit(&with_measure);
+            assert_eq!(ppr.t_count(), 0, "Clifford circuit emits no rotations");
+            let observable = &ppr.measurements()[0];
+
+            let mut probe = sim.clone();
+            match probe.measure_z(q, false) {
+                outcome if outcome.is_deterministic() => {
+                    let b = outcome.bit();
+                    // Measuring Z_q after C with outcome b means
+                    // (-1)^b · (C† Z_q C) stabilises |0…0⟩; the observable
+                    // already carries the sign of C† Z_q C.
+                    let mut signed = observable.clone();
+                    if b {
+                        signed.set_phase(signed.phase().negate());
+                    }
+                    let initial = StabilizerState::new(n as usize);
+                    assert!(
+                        initial.is_stabilized_by(&signed),
+                        "seed {seed}, qubit {q}: deterministic outcome {b} but \
+                         {signed} does not stabilise |0..0>",
+                    );
+                }
+                _ => {
+                    // Random outcome: neither +M nor -M stabilises |0..0>.
+                    let initial = StabilizerState::new(n as usize);
+                    let mut plus = observable.clone();
+                    plus.set_phase(Phase::PLUS);
+                    let mut minus = observable.clone();
+                    minus.set_phase(Phase::MINUS);
+                    assert!(
+                        !initial.is_stabilized_by(&plus) && !initial.is_stabilized_by(&minus),
+                        "seed {seed}, qubit {q}: random outcome but observable pinned",
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rotation_axes_commute_consistently() {
+    // The rotations emitted for a layer of disjoint ZZ Trotter terms
+    // commute pairwise (disjoint supports in the original circuit conjugate
+    // to commuting axes).
+    let mut c = Circuit::new(6);
+    c.h(0).cnot(0, 1).sx(2).cz(2, 3).s(4).cnot(4, 5);
+    for (a, b) in [(0u32, 1u32), (2, 3), (4, 5)] {
+        c.cnot(a, b).rz_pi(b, 0.07).cnot(a, b);
+    }
+    let ppr = PprProgram::from_circuit(&c);
+    assert_eq!(ppr.t_count(), 3);
+    for i in 0..3 {
+        for j in i + 1..3 {
+            assert!(
+                ppr.rotations()[i]
+                    .pauli
+                    .commutes_with(&ppr.rotations()[j].pauli),
+                "rotations {i} and {j} must commute"
+            );
+        }
+    }
+}
+
+#[test]
+fn clifford_absorption_is_exhaustive() {
+    // Any pure-Clifford circuit transpiles to zero rotations, whatever mix
+    // of gates it contains.
+    for seed in 0..10u64 {
+        let c = random_clifford(5, 60, seed * 77 + 1);
+        let ppr = PprProgram::from_circuit(&c);
+        assert_eq!(ppr.t_count(), 0);
+        assert!(ppr.rotations().is_empty());
+    }
+}

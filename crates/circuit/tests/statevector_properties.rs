@@ -1,0 +1,153 @@
+//! Property tests cross-validating the three semantic oracles: dense
+//! state-vector simulation, the stabilizer simulator, and the Clifford
+//! tableau.
+//!
+//! The oracles are implemented independently (amplitudes vs binary
+//! symplectic rows), so their agreement on random circuits is strong
+//! evidence each is correct.
+
+use ftqc_circuit::{circuits_equivalent, Circuit, Gate, StabilizerState, StateVector};
+use proptest::prelude::*;
+
+/// A random Clifford gate on `n` qubits.
+fn clifford_gate(n: u32) -> impl Strategy<Value = Gate> {
+    (0..n, 0..n, 0u8..8).prop_map(move |(a, b, kind)| match kind {
+        0 => Gate::H(a),
+        1 => Gate::S(a),
+        2 => Gate::Sdg(a),
+        3 => Gate::Sx(a),
+        4 => Gate::X(a),
+        5 => Gate::Z(a),
+        6 => Gate::Y(a),
+        _ => {
+            if a == b {
+                Gate::H(a)
+            } else {
+                Gate::Cnot {
+                    control: a,
+                    target: b,
+                }
+            }
+        }
+    })
+}
+
+fn clifford_circuit(n: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    prop::collection::vec(clifford_gate(n), 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        c.append(gates);
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Unitary evolution preserves the norm.
+    #[test]
+    fn norm_preserved(c in clifford_circuit(4, 30)) {
+        let s = StateVector::from_circuit(&c);
+        prop_assert!((s.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// A circuit followed by its inverse returns to |0…0⟩.
+    #[test]
+    fn inverse_returns_to_start(c in clifford_circuit(4, 20)) {
+        let mut s = StateVector::new(4);
+        s.apply_all(c.iter());
+        let inverse: Vec<Gate> = c.iter().rev().map(|g| g.inverse()).collect();
+        s.apply_all(inverse.iter());
+        prop_assert!((s.prob_of_basis(0) - 1.0).abs() < 1e-9);
+    }
+
+    /// Deterministic stabilizer measurements match state-vector
+    /// probabilities (0 or 1), qubit by qubit.
+    #[test]
+    fn stabilizer_and_statevector_agree_on_deterministic_outcomes(
+        c in clifford_circuit(4, 25),
+    ) {
+        let sv = StateVector::from_circuit(&c);
+        let mut st = StabilizerState::new(4);
+        st.apply_circuit(c.iter());
+        for q in 0..4u32 {
+            let p1 = sv.prob_one(q);
+            // Probe a *copy* so earlier measurements don't disturb later
+            // qubits' statistics.
+            let mut probe = st.clone();
+            let outcome = probe.measure_z(q, false);
+            if outcome.is_deterministic() {
+                let expect = if outcome.bit() { 1.0 } else { 0.0 };
+                prop_assert!(
+                    (p1 - expect).abs() < 1e-9,
+                    "qubit {q}: stabilizer says {expect}, statevector says {p1}"
+                );
+            } else {
+                prop_assert!(
+                    (p1 - 0.5).abs() < 1e-9,
+                    "qubit {q}: stabilizer says random, statevector says {p1}"
+                );
+            }
+        }
+    }
+
+    /// Commuting adjacent gates on disjoint qubits leaves the state
+    /// unchanged — the algebraic fact the semantic verifier's trace check
+    /// rests on.
+    #[test]
+    fn disjoint_adjacent_gates_commute(
+        c in clifford_circuit(5, 20),
+        swap_at in 0usize..18,
+    ) {
+        let gates: Vec<Gate> = c.iter().copied().collect();
+        if swap_at + 1 >= gates.len() {
+            return Ok(());
+        }
+        let a = gates[swap_at];
+        let b = gates[swap_at + 1];
+        let disjoint = a.qubits().all(|q| b.qubits().all(|p| p != q));
+        if !disjoint {
+            return Ok(());
+        }
+        let mut swapped = gates.clone();
+        swapped.swap(swap_at, swap_at + 1);
+        let mut c2 = Circuit::new(5);
+        c2.append(swapped);
+        prop_assert!(circuits_equivalent(&c, &c2, 1e-9));
+    }
+
+    /// Appending one more non-identity-like gate at the end changes the
+    /// unitary (detected by the probe set) for T gates, which no Clifford
+    /// can silently absorb.
+    #[test]
+    fn appended_t_gate_detected(c in clifford_circuit(3, 15), q in 0u32..3) {
+        let mut c2 = Circuit::new(3);
+        c2.append(c.iter().copied());
+        c2.t(q);
+        prop_assert!(!circuits_equivalent(&c, &c2, 1e-9));
+    }
+}
+
+#[test]
+fn ghz_agreement_between_oracles() {
+    let mut c = Circuit::new(6);
+    c.h(0);
+    for q in 0..5 {
+        c.cnot(q, q + 1);
+    }
+    let sv = StateVector::from_circuit(&c);
+    let mut st = StabilizerState::new(6);
+    st.apply_circuit(c.iter());
+    // Each qubit individually is maximally mixed: P(1) = 1/2 everywhere.
+    for q in 0..6u32 {
+        assert!((sv.prob_one(q) - 0.5).abs() < 1e-12);
+        assert!(!st.clone().measure_z(q, false).is_deterministic());
+    }
+    // Forcing the first measurement to 1 collapses the rest to 1.
+    let mut st1 = st.clone();
+    st1.measure_z(0, true);
+    for q in 1..6u32 {
+        let o = st1.clone().measure_z(q, false);
+        assert!(o.is_deterministic());
+        assert!(o.bit());
+    }
+}

@@ -1,0 +1,217 @@
+//! A small, dependency-free argument parser.
+//!
+//! The workspace's dependency policy has no CLI crate, and the `ftqc` tool
+//! needs only subcommands, `--flag value` options, and positionals — a
+//! hundred lines of parser keeps the policy intact and the error messages
+//! domain-specific.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Parsed command line: a subcommand, positional arguments, and options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positionals: Vec<String>,
+    /// `--key value` and boolean `--key` options (boolean flags map to
+    /// `"true"`).
+    pub options: HashMap<String, String>,
+}
+
+/// An argument-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// An option was malformed or a value failed to parse.
+    Invalid {
+        /// The option name.
+        option: String,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand (try `ftqc help`)"),
+            ArgError::Invalid { option, reason } => write!(f, "--{option}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that take no value.
+const BOOLEAN_FLAGS: &[&str] = &[
+    "verify",
+    "optimize",
+    "semantics",
+    "unit-cost",
+    "no-lookahead",
+    "no-redundant-elim",
+    "unbounded-magic",
+    "include-factories",
+];
+
+/// Parses a raw argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError::MissingCommand`] on an empty list.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut it = args.iter().peekable();
+    let command = it.next().cloned().ok_or(ArgError::MissingCommand)?;
+    let mut parsed = ParsedArgs {
+        command,
+        ..Default::default()
+    };
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            if BOOLEAN_FLAGS.contains(&key) {
+                parsed.options.insert(key.to_string(), "true".into());
+            } else {
+                let value = it.next().cloned().ok_or_else(|| ArgError::Invalid {
+                    option: key.to_string(),
+                    reason: "expects a value".into(),
+                })?;
+                parsed.options.insert(key.to_string(), value);
+            }
+        } else {
+            parsed.positionals.push(a.clone());
+        }
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// A `--key` option parsed as `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Invalid`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                option: key.to_string(),
+                reason: format!("cannot parse {v:?}"),
+            }),
+        }
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(String::as_str) == Some("true")
+    }
+
+    /// A range option of the form `lo..hi` (inclusive), or a single number
+    /// `n` (meaning `n..n`).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::Invalid`] on malformed input.
+    pub fn range_or(&self, key: &str, default: (u32, u32)) -> Result<Vec<u32>, ArgError> {
+        let (lo, hi) = match self.options.get(key) {
+            None => default,
+            Some(v) => {
+                let bad = |reason: &str| ArgError::Invalid {
+                    option: key.to_string(),
+                    reason: reason.to_string(),
+                };
+                if let Some((a, b)) = v.split_once("..") {
+                    (
+                        a.parse().map_err(|_| bad("bad range start"))?,
+                        b.parse().map_err(|_| bad("bad range end"))?,
+                    )
+                } else {
+                    let n: u32 = v.parse().map_err(|_| bad("expected N or LO..HI"))?;
+                    (n, n)
+                }
+            }
+        };
+        if lo > hi {
+            return Err(ArgError::Invalid {
+                option: key.to_string(),
+                reason: format!("empty range {lo}..{hi}"),
+            });
+        }
+        Ok((lo..=hi).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_positionals() {
+        let p = parse(&argv("compile ising")).unwrap();
+        assert_eq!(p.command, "compile");
+        assert_eq!(p.positionals, vec!["ising"]);
+    }
+
+    #[test]
+    fn parses_options_and_flags() {
+        let p = parse(&argv("compile ising --r 6 --factories 2 --verify")).unwrap();
+        assert_eq!(p.get_or("r", 4u32).unwrap(), 6);
+        assert_eq!(p.get_or("factories", 1u32).unwrap(), 2);
+        assert!(p.flag("verify"));
+        assert!(!p.flag("semantics"));
+    }
+
+    #[test]
+    fn missing_command_rejected() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::MissingCommand);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let e = parse(&argv("compile --r")).unwrap_err();
+        assert!(matches!(e, ArgError::Invalid { .. }));
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let p = parse(&argv("compile --r banana")).unwrap();
+        assert!(p.get_or("r", 4u32).is_err());
+    }
+
+    #[test]
+    fn default_used_when_absent() {
+        let p = parse(&argv("compile")).unwrap();
+        assert_eq!(p.get_or("r", 4u32).unwrap(), 4);
+        assert_eq!(p.get_or("eps", 1e-10).unwrap(), 1e-10);
+    }
+
+    #[test]
+    fn range_forms() {
+        let p = parse(&argv("explore --r 2..6 --factories 3")).unwrap();
+        assert_eq!(p.range_or("r", (1, 1)).unwrap(), vec![2, 3, 4, 5, 6]);
+        assert_eq!(p.range_or("factories", (1, 1)).unwrap(), vec![3]);
+        assert_eq!(p.range_or("absent", (1, 2)).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_range_rejected() {
+        let p = parse(&argv("explore --r 6..2")).unwrap();
+        assert!(p.range_or("r", (1, 1)).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::MissingCommand.to_string().contains("subcommand"));
+        let e = ArgError::Invalid {
+            option: "r".into(),
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains("--r"));
+    }
+}

@@ -1,0 +1,488 @@
+//! Subcommand implementations.
+//!
+//! Every subcommand returns its report as a `String` (printed by `main`),
+//! which keeps the command layer unit-testable without capturing stdout.
+
+use crate::args::{parse, ArgError, ParsedArgs};
+use ftqc_arch::qec::PhysicalAssumptions;
+use ftqc_arch::{render_layout, Layout, Ticks};
+use ftqc_baselines::litinski::{BlockLayout, GameOfSurfaceCodes};
+use ftqc_baselines::{dascot_estimate, edpc_estimate, LineSam};
+use ftqc_benchmarks::suite::Benchmark;
+use ftqc_circuit::{parse_qasm, Circuit};
+use ftqc_compiler::estimate::{estimate_resources, EstimateRequest, Objective};
+use ftqc_compiler::svg::to_svg;
+use ftqc_compiler::{
+    check_semantics, explore, pareto_front, to_csv, verify, Compiler, CompilerOptions,
+};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// A CLI failure: argument, I/O, parse, or pipeline error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line.
+    Args(ArgError),
+    /// Unknown subcommand or circuit.
+    Unknown(String),
+    /// Anything the underlying libraries report.
+    Pipeline(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Unknown(s) => write!(f, "{s}"),
+            CliError::Pipeline(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+/// Dispatches a raw argument list to its subcommand.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing what went wrong; `main` prints it to
+/// stderr and exits non-zero.
+pub fn run(raw: &[String]) -> Result<String, CliError> {
+    if raw.is_empty() {
+        return Ok(help());
+    }
+    let parsed = parse(raw)?;
+    match parsed.command.as_str() {
+        "compile" => cmd_compile(&parsed),
+        "explore" => cmd_explore(&parsed),
+        "estimate" => cmd_estimate(&parsed),
+        "compare" => cmd_compare(&parsed),
+        "layout" => cmd_layout(&parsed),
+        "bench" => Ok(cmd_bench()),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(CliError::Unknown(format!(
+            "unknown subcommand {other:?} (try `ftqc help`)"
+        ))),
+    }
+}
+
+fn help() -> String {
+    "ftqc — space-time optimising compiler for early fault-tolerant quantum computers
+
+USAGE: ftqc <command> [circuit] [options]
+
+COMMANDS
+  compile <circuit>    compile and print metrics
+                       --r N   routing paths (default 4)
+                       --factories N (default 1)
+                       --t-msf D     magic-state production time in d (default 11)
+                       --verify      run the physical schedule verifier
+                       --semantics   run the semantic replay verifier
+                       --csv FILE    write the schedule as CSV
+                       --svg FILE    render the schedule as an SVG Gantt chart
+                       --optimize    peephole-optimise the circuit first
+                       --mapping snake|row-major|interaction (default snake)
+                       --no-lookahead / --no-redundant-elim / --unbounded-magic
+  explore <circuit>    sweep the design space
+                       --r LO..HI (default 2..8), --factories LO..HI (default 1..4)
+                       --pareto yes|no  print only the Pareto front (default no)
+  estimate <circuit>   physical resource estimate
+                       --error-rate P (default 1e-3), --budget B (default 0.01)
+                       --objective qubits|volume|time (default qubits)
+  compare <circuit>    compare against Litinski, LSQCA, DASCOT and EDPC
+                       --factories N (default 1), --r N (default 4)
+  layout <n> <r>       render the layout for n data qubits, r routing paths
+  bench                list built-in benchmark circuits
+
+CIRCUITS
+  built-ins: ising, heisenberg, fermi-hubbard (append :L for an LxL lattice,
+  default 10), ghz, adder, multiplier — or a path to an OpenQASM 2 file."
+        .to_string()
+}
+
+/// Resolves a circuit argument: benchmark name (with optional `:L` size) or
+/// a QASM file path.
+fn load_circuit(spec: &str) -> Result<Circuit, CliError> {
+    let (name, size) = match spec.split_once(':') {
+        Some((n, l)) => {
+            let l: u32 = l
+                .parse()
+                .map_err(|_| CliError::Unknown(format!("bad size in {spec:?}")))?;
+            (n, Some(l))
+        }
+        None => (spec, None),
+    };
+    let bench = match name {
+        "ising" => Some(Benchmark::Ising2d),
+        "heisenberg" => Some(Benchmark::Heisenberg2d),
+        "fermi-hubbard" | "fh" => Some(Benchmark::FermiHubbard2d),
+        "ghz" => Some(Benchmark::Ghz),
+        "adder" => Some(Benchmark::Adder),
+        "multiplier" => Some(Benchmark::Multiplier),
+        _ => None,
+    };
+    if let Some(b) = bench {
+        return match size {
+            None => Ok(b.circuit()),
+            Some(l) => b.circuit_at(l).ok_or_else(|| {
+                CliError::Unknown(format!("{name} has no size parameter (drop `:{l}`)"))
+            }),
+        };
+    }
+    // Treat as a QASM path.
+    let src = std::fs::read_to_string(name)
+        .map_err(|e| CliError::Unknown(format!("no benchmark or readable file {name:?}: {e}")))?;
+    parse_qasm(&src).map_err(|e| CliError::Pipeline(format!("QASM parse error: {e}")))
+}
+
+fn options_from(p: &ParsedArgs) -> Result<CompilerOptions, CliError> {
+    let mut o = CompilerOptions::default()
+        .routing_paths(p.get_or("r", 4u32)?)
+        .factories(p.get_or("factories", 1u32)?)
+        .magic_production(Ticks::from_d(p.get_or("t-msf", 11.0f64)?));
+    if p.flag("no-lookahead") {
+        o = o.lookahead(false);
+    }
+    if p.flag("no-redundant-elim") {
+        o = o.eliminate_redundant_moves(false);
+    }
+    if p.flag("unbounded-magic") {
+        o = o.unbounded_magic(true);
+    }
+    if p.flag("optimize") {
+        o = o.optimize(true);
+    }
+    o = o.mapping(match p.get_or("mapping", "snake".to_string())?.as_str() {
+        "snake" => ftqc_compiler::MappingStrategy::Snake,
+        "row-major" => ftqc_compiler::MappingStrategy::RowMajor,
+        "interaction" => ftqc_compiler::MappingStrategy::InteractionAware,
+        other => {
+            return Err(CliError::Unknown(format!(
+                "mapping {other:?} (use snake|row-major|interaction)"
+            )))
+        }
+    });
+    Ok(o)
+}
+
+fn circuit_arg(p: &ParsedArgs) -> Result<Circuit, CliError> {
+    let spec = p
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Unknown("missing circuit argument".into()))?;
+    load_circuit(spec)
+}
+
+fn cmd_compile(p: &ParsedArgs) -> Result<String, CliError> {
+    let circuit = circuit_arg(p)?;
+    let options = options_from(p)?;
+    let timing = options.timing;
+    let program = Compiler::new(options)
+        .compile(&circuit)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+
+    let mut out = String::new();
+    let m = program.metrics();
+    let _ = writeln!(out, "circuit         : {} ({} qubits, {} gates)", circuit.name(), circuit.num_qubits(), circuit.len());
+    let _ = writeln!(out, "layout          : r={} ({} patches + {} factory tiles)", m.routing_paths, m.grid_patches, m.factory_patches);
+    let _ = writeln!(out, "execution time  : {} (unit-cost {})", m.execution_time, m.unit_cost_time);
+    let _ = writeln!(out, "lower bound     : {} (overhead {:.2}x)", m.lower_bound, m.overhead());
+    let _ = writeln!(out, "magic states    : {}", m.n_magic_states);
+    let _ = writeln!(out, "surgery ops     : {} ({} moves, {} eliminated)", m.n_surgery_ops, m.n_moves, m.n_moves_eliminated);
+    let _ = writeln!(out, "spacetime volume: {:.0} qubit-d (incl. factories)", m.spacetime_volume(true));
+    let _ = write!(out, "bottleneck      : {}", ftqc_compiler::diagnose(&program));
+
+    if p.flag("verify") {
+        verify(&program, &timing).map_err(|e| CliError::Pipeline(format!("VERIFY FAILED: {e}")))?;
+        let _ = write!(out, "\nphysical verify : ok");
+    }
+    if p.flag("semantics") {
+        let r = check_semantics(&circuit, &program)
+            .map_err(|e| CliError::Pipeline(format!("SEMANTICS FAILED: {e}")))?;
+        let _ = write!(out, "\nsemantic verify : ok ({r})");
+    }
+    if let Some(path) = p.options.get("csv") {
+        std::fs::write(path, to_csv(&program))
+            .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
+        let _ = write!(out, "\nschedule csv    : {path}");
+    }
+    if let Some(path) = p.options.get("svg") {
+        std::fs::write(path, to_svg(&program))
+            .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
+        let _ = write!(out, "\nschedule svg    : {path}");
+    }
+    Ok(out)
+}
+
+fn cmd_explore(p: &ParsedArgs) -> Result<String, CliError> {
+    let circuit = circuit_arg(p)?;
+    let rs = p.range_or("r", (2, 8))?;
+    let fs = p.range_or("factories", (1, 4))?;
+    let pareto: String = p.get_or("pareto", "no".to_string())?;
+    let points = explore(&circuit, &rs, &fs, &CompilerOptions::default())
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let rows = if pareto == "yes" {
+        pareto_front(&points)
+    } else {
+        points
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>3} {:>9} {:>8} {:>12} {:>10} {:>14}", "r", "factories", "qubits", "time (d)", "overhead", "volume (q·d)");
+    for pt in &rows {
+        let _ = writeln!(
+            out,
+            "{:>3} {:>9} {:>8} {:>12.1} {:>9.2}x {:>14.0}",
+            pt.routing_paths,
+            pt.factories,
+            pt.qubits(),
+            pt.time_d(),
+            pt.metrics.overhead(),
+            pt.volume(),
+        );
+    }
+    let _ = write!(out, "{} design points", rows.len());
+    Ok(out)
+}
+
+fn cmd_estimate(p: &ParsedArgs) -> Result<String, CliError> {
+    let circuit = circuit_arg(p)?;
+    let objective = match p.get_or("objective", "qubits".to_string())?.as_str() {
+        "qubits" => Objective::PhysicalQubits,
+        "volume" => Objective::SpacetimeVolume,
+        "time" => Objective::WallClock,
+        other => {
+            return Err(CliError::Unknown(format!(
+                "objective {other:?} (use qubits|volume|time)"
+            )))
+        }
+    };
+    let request = EstimateRequest {
+        budget: p.get_or("budget", 0.01f64)?,
+        assumptions: PhysicalAssumptions {
+            physical_error_rate: p.get_or("error-rate", 1e-3f64)?,
+            ..PhysicalAssumptions::superconducting()
+        },
+        objective,
+        ..Default::default()
+    };
+    let e = estimate_resources(&circuit, &request).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    Ok(format!("{e}"))
+}
+
+fn cmd_compare(p: &ParsedArgs) -> Result<String, CliError> {
+    let circuit = circuit_arg(p)?;
+    let options = options_from(p)?;
+    let timing = options.timing;
+    let f = options.factories;
+    let program = Compiler::new(options.clone())
+        .compile(&circuit)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let m = program.metrics();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<28} {:>8} {:>12} {:>8} {:>16}", "approach", "qubits", "time (d)", "CPI", "volume/op (q·d)");
+    let mut row = |name: &str, qubits: u32, time: Ticks, n_ops: usize| {
+        let cpi = time.as_d() / n_ops.max(1) as f64;
+        let vol = qubits as f64 * time.as_d() / n_ops.max(1) as f64;
+        let _ = writeln!(out, "{name:<28} {qubits:>8} {:>12.1} {cpi:>8.2} {vol:>16.1}", time.as_d());
+    };
+    row("ours (greedy, this work)", m.total_qubits(), m.execution_time, m.n_gates);
+
+    for block in [BlockLayout::Compact, BlockLayout::Intermediate, BlockLayout::Fast] {
+        let g = GameOfSurfaceCodes::new(block).factories(f).estimate(&circuit);
+        row(&g.name, g.total_qubits(), g.execution_time, g.n_input_gates);
+    }
+    let l = LineSam::new().factories(f).estimate(&circuit);
+    row(&l.name, l.total_qubits(), l.execution_time, l.n_input_gates);
+    let d = dascot_estimate(&circuit, Some(f), &timing);
+    row(&d.name, d.total_qubits(), d.execution_time, d.n_input_gates);
+    let e = edpc_estimate(&circuit, Some(f), &timing);
+    row(&e.name, e.total_qubits(), e.execution_time, e.n_input_gates);
+
+    let _ = write!(out, "({} factories, t_MSF={})", f, timing.magic_production);
+    Ok(out)
+}
+
+fn cmd_layout(p: &ParsedArgs) -> Result<String, CliError> {
+    let n: u32 = p
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Unknown("usage: ftqc layout <n> <r>".into()))?
+        .parse()
+        .map_err(|_| CliError::Unknown("n must be a number".into()))?;
+    let r: u32 = p
+        .positionals
+        .get(1)
+        .ok_or_else(|| CliError::Unknown("usage: ftqc layout <n> <r>".into()))?
+        .parse()
+        .map_err(|_| CliError::Unknown("r must be a number".into()))?;
+    let layout =
+        Layout::try_with_routing_paths(n, r).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    Ok(format!(
+        "{}\n{} data qubits, r={}: {} patches ({}x{} grid)",
+        render_layout(&layout),
+        n,
+        r,
+        layout.total_patches(),
+        layout.grid().rows(),
+        layout.grid().cols(),
+    ))
+}
+
+fn cmd_bench() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<18} {:>7} {:>7} {:>8}", "benchmark", "qubits", "gates", "T-count");
+    for b in Benchmark::all() {
+        let c = b.circuit();
+        let _ = writeln!(
+            out,
+            "{:<18} {:>7} {:>7} {:>8}",
+            b.name(),
+            c.num_qubits(),
+            c.len(),
+            c.t_count()
+        );
+    }
+    let _ = write!(out, "condensed-matter families accept `:L` (e.g. ising:4 for a 4x4 lattice)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(s: &str) -> Result<String, CliError> {
+        let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn help_on_empty_and_help() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run_line("help").unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        assert!(run_line("frobnicate").is_err());
+    }
+
+    #[test]
+    fn bench_lists_table1() {
+        let out = run_line("bench").unwrap();
+        assert!(out.contains("Ising 2D"));
+        assert!(out.contains("Multiplier"));
+        assert!(out.contains("255") || out.contains("GHZ"));
+    }
+
+    #[test]
+    fn compile_small_ising() {
+        let out = run_line("compile ising:2 --r 4 --verify --semantics").unwrap();
+        assert!(out.contains("execution time"));
+        assert!(out.contains("physical verify : ok"));
+        assert!(out.contains("semantic verify : ok"));
+    }
+
+    #[test]
+    fn compile_unknown_circuit() {
+        assert!(run_line("compile not-a-circuit").is_err());
+    }
+
+    #[test]
+    fn explore_produces_table() {
+        let out = run_line("explore ising:2 --r 2..4 --factories 1..2").unwrap();
+        assert!(out.contains("design points"));
+        assert!(out.lines().count() >= 4);
+    }
+
+    #[test]
+    fn explore_pareto_subset() {
+        let full = run_line("explore ising:2 --r 2..5 --factories 1..2").unwrap();
+        let pareto = run_line("explore ising:2 --r 2..5 --factories 1..2 --pareto yes").unwrap();
+        let count = |s: &str| -> usize {
+            s.lines()
+                .last()
+                .unwrap()
+                .split_whitespace()
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        assert!(count(&pareto) <= count(&full));
+    }
+
+    #[test]
+    fn estimate_reports_physical_resources() {
+        let out = run_line("estimate ising:2 --error-rate 1e-4").unwrap();
+        assert!(out.contains("physical qubits"));
+        assert!(out.contains("wall clock"));
+    }
+
+    #[test]
+    fn estimate_rejects_bad_objective() {
+        assert!(run_line("estimate ising:2 --objective banana").is_err());
+    }
+
+    #[test]
+    fn compare_lists_all_baselines() {
+        let out = run_line("compare ising:2").unwrap();
+        assert!(out.contains("ours"));
+        assert!(out.contains("compact"));
+        assert!(out.contains("line-sam") || out.contains("Line-SAM") || out.contains("lsqca"));
+        assert!(out.contains("dascot"));
+        assert!(out.contains("edpc"));
+    }
+
+    #[test]
+    fn layout_renders() {
+        let out = run_line("layout 16 4").unwrap();
+        assert!(out.contains("16 data qubits"));
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn layout_usage_errors() {
+        assert!(run_line("layout").is_err());
+        assert!(run_line("layout 16").is_err());
+        assert!(run_line("layout banana 4").is_err());
+    }
+
+    #[test]
+    fn qasm_file_roundtrip() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bell.qasm");
+        std::fs::write(
+            &path,
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n",
+        )
+        .unwrap();
+        let out = run_line(&format!("compile {} --semantics", path.display())).unwrap();
+        assert!(out.contains("semantic verify : ok"));
+    }
+
+    #[test]
+    fn csv_export_writes_file() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sched.csv");
+        let out = run_line(&format!("compile ising:2 --csv {}", path.display())).unwrap();
+        assert!(out.contains("schedule csv"));
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.lines().count() > 10);
+    }
+
+    #[test]
+    fn compile_ablation_flags_accepted() {
+        let out = run_line("compile ising:2 --no-lookahead --no-redundant-elim").unwrap();
+        assert!(out.contains("execution time"));
+    }
+}

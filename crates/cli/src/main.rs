@@ -1,0 +1,34 @@
+//! `ftqc` — command-line front end for the surface-code compiler.
+//!
+//! ```text
+//! ftqc compile <circuit>   compile one circuit, print metrics
+//! ftqc explore <circuit>   sweep routing paths × factories
+//! ftqc estimate <circuit>  physical resources for a hardware model
+//! ftqc compare <circuit>   our compiler vs all four baselines
+//! ftqc layout <n> <r>      render the layout for n qubits, r paths
+//! ftqc bench               list the built-in benchmark circuits
+//! ftqc help                this text
+//! ```
+//!
+//! `<circuit>` is a built-in benchmark name (`ising`, `heisenberg`,
+//! `fermi-hubbard`, `ghz`, `adder`, `multiplier` — optionally `name:L` for
+//! a condensed-matter side length) or a path to an OpenQASM 2 file.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&raw) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,749 @@
+//! The greedy routing engine (paper §V).
+//!
+//! The engine consumes the circuit DAG front layer in earliest-ready order
+//! and realises each gate on the grid:
+//!
+//! * data-qubit relocations are planned with penalty-weighted Dijkstra and
+//!   executed one cell per move (1d each, Fig 7(d)), displacing blocking
+//!   qubits with space-search push chains when the block is packed;
+//! * CNOT configurations come from the gate-dependent move heuristic
+//!   (cheapest of the eight diagonal placements when look-ahead is on);
+//! * magic states are granted by the earliest-available factory and routed
+//!   along a bus corridor to a cell vertically adjacent to the consumer;
+//! * single-patch Cliffords borrow the nearest free neighbouring ancilla.
+//!
+//! The engine emits [`RoutedOp`]s in issue order together with provisional
+//! times; the authoritative timing happens in [`crate::timer`] after the
+//! redundant-move pass.
+
+use crate::error::CompileError;
+use crate::mapping::InitialMapping;
+use crate::options::CompilerOptions;
+use crate::routed::RoutedOp;
+use ftqc_arch::{
+    cnot_ancilla, CellKind, Coord, FactoryBank, Grid, Layout, SingleQubitKind, SurgeryOp, Ticks,
+};
+use ftqc_circuit::{Circuit, Gate};
+use ftqc_route::dijkstra::{find_path, CostModel, Occupancy};
+use ftqc_route::moves::{best_cnot_config, Mover};
+use ftqc_route::space::{clear_cell_plan, space_search};
+use ftqc_sim::ResourceTimeline;
+use std::collections::{HashMap, HashSet};
+
+/// Occupancy view over the engine's mutable state.
+struct OccView<'a> {
+    grid: &'a Grid,
+    occ: &'a HashMap<Coord, u32>,
+    extra_blocked: &'a HashSet<Coord>,
+}
+
+impl Occupancy for OccView<'_> {
+    fn is_blocked(&self, c: Coord) -> bool {
+        !self.grid.in_bounds(c) || self.extra_blocked.contains(&c)
+    }
+    fn is_occupied(&self, c: Coord) -> bool {
+        self.occ.contains_key(&c)
+    }
+}
+
+/// The routing engine. Create with [`Engine::new`], run with
+/// [`Engine::run`], then take the emitted ops with [`Engine::into_ops`].
+pub struct Engine<'a> {
+    layout: &'a Layout,
+    options: &'a CompilerOptions,
+    bank: FactoryBank,
+    cost: CostModel,
+    /// qubit -> current cell
+    pos: Vec<Coord>,
+    /// cell -> qubit
+    occ: HashMap<Coord, u32>,
+    /// Provisional per-cell timeline guiding greedy ordering decisions.
+    timeline: ResourceTimeline,
+    qubit_ready: Vec<Ticks>,
+    ops: Vec<RoutedOp>,
+    current_gate: usize,
+    /// Cells no operation may enter while the current gate executes
+    /// (operand positions).
+    protected: HashSet<Coord>,
+    /// Cells displacement chains may pass *through* but never park a qubit
+    /// in (the planned merge ancilla of the current gate).
+    no_park: HashSet<Coord>,
+    n_magic_states: u64,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine over `layout` with qubits placed by `mapping`.
+    pub fn new(
+        layout: &'a Layout,
+        mapping: &InitialMapping,
+        bank: FactoryBank,
+        options: &'a CompilerOptions,
+    ) -> Self {
+        let pos: Vec<Coord> = mapping.cells().to_vec();
+        let occ = pos
+            .iter()
+            .enumerate()
+            .map(|(q, &c)| (c, q as u32))
+            .collect();
+        Self {
+            layout,
+            options,
+            bank,
+            cost: CostModel {
+                penalty_weight: options.penalty_weight,
+            },
+            qubit_ready: vec![Ticks::ZERO; pos.len()],
+            pos,
+            occ,
+            timeline: ResourceTimeline::new(),
+            ops: Vec::new(),
+            current_gate: 0,
+            protected: HashSet::new(),
+            no_park: HashSet::new(),
+            n_magic_states: 0,
+        }
+    }
+
+    /// Routes every gate of `circuit` (already lowered to the surgery gate
+    /// set), consuming the DAG front layer in earliest-ready order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::RoutingFailed`] if a gate cannot be realised.
+    pub fn run(&mut self, circuit: &Circuit) -> Result<(), CompileError> {
+        let dag = circuit.dag();
+        let mut tracker = dag.tracker();
+        while !tracker.is_done() {
+            let &gate_id = tracker
+                .ready()
+                .iter()
+                .min_by_key(|&&id| {
+                    let ready = dag
+                        .node(id)
+                        .gate
+                        .qubits()
+                        .map(|q| self.qubit_ready[q as usize])
+                        .fold(Ticks::ZERO, Ticks::max);
+                    (ready, id)
+                })
+                .expect("tracker not done implies non-empty ready set");
+            self.current_gate = gate_id;
+            self.schedule_gate(&dag.node(gate_id).gate)?;
+            tracker.complete(gate_id);
+        }
+        Ok(())
+    }
+
+    /// The emitted operations, in issue order.
+    pub fn into_ops(self) -> (Vec<RoutedOp>, u64) {
+        (self.ops, self.n_magic_states)
+    }
+
+    fn grid(&self) -> &Grid {
+        self.layout.grid()
+    }
+
+    fn view(&self) -> OccView<'_> {
+        OccView {
+            grid: self.layout.grid(),
+            occ: &self.occ,
+            extra_blocked: &self.protected,
+        }
+    }
+
+    fn fail(&self, reason: impl Into<String>) -> CompileError {
+        CompileError::RoutingFailed {
+            gate_index: self.current_gate,
+            reason: reason.into(),
+        }
+    }
+
+    /// Emits an op: assigns a provisional start (per-cell timeline + qubit
+    /// readiness + `extra_dep`), reserves resources, updates qubit clocks.
+    fn emit(
+        &mut self,
+        op: SurgeryOp,
+        patches: Vec<u32>,
+        factory: Option<usize>,
+        extra_dep: Ticks,
+    ) -> Ticks {
+        debug_assert!(op.validate().is_ok(), "emitting invalid op {op}");
+        let cells = op.cells();
+        let dep = patches
+            .iter()
+            .map(|&q| self.qubit_ready[q as usize])
+            .fold(extra_dep, Ticks::max);
+        let start = self.timeline.earliest_start(cells.iter().copied(), dep);
+        let duration = op.duration(&self.options.timing);
+        self.timeline.reserve(cells.iter().copied(), start, duration);
+        let end = start + duration;
+        for &q in &patches {
+            self.qubit_ready[q as usize] = end;
+        }
+        self.ops.push(RoutedOp {
+            op,
+            patches,
+            factory,
+            gate: Some(self.current_gate),
+        });
+        end
+    }
+
+    /// Moves the qubit occupying `from` one step to `to` (must be free).
+    fn raw_move(&mut self, from: Coord, to: Coord) {
+        let q = *self
+            .occ
+            .get(&from)
+            .unwrap_or_else(|| panic!("raw move from empty cell {from}"));
+        debug_assert!(!self.occ.contains_key(&to), "raw move into occupied {to}");
+        self.emit(SurgeryOp::Move { from, to }, vec![q], None, Ticks::ZERO);
+        self.occ.remove(&from);
+        self.occ.insert(to, q);
+        self.pos[q as usize] = to;
+    }
+
+    /// Frees `cell` (if occupied) by pushing its occupant — and any chain of
+    /// occupants — toward the nearest free cell, never entering `avoid`
+    /// cells or protected operand cells.
+    fn ensure_free(&mut self, cell: Coord, avoid: &HashSet<Coord>) -> Result<(), CompileError> {
+        if !self.occ.contains_key(&cell) {
+            return Ok(());
+        }
+        let mut strict: HashSet<Coord> = avoid.clone();
+        strict.extend(self.protected.iter().copied());
+        strict.extend(self.no_park.iter().copied());
+        strict.remove(&cell);
+        // Preferred: keep the planned ancilla (no_park) clear. If that boxes
+        // the occupant in, allow parking there — the ancilla gets its own
+        // clearing pass before the merge, so this is recoverable.
+        let mut relaxed: HashSet<Coord> = avoid.clone();
+        relaxed.extend(self.protected.iter().copied());
+        relaxed.remove(&cell);
+        let plan = {
+            let view = OccView {
+                grid: self.layout.grid(),
+                occ: &self.occ,
+                extra_blocked: &HashSet::new(),
+            };
+            clear_cell_plan(self.grid(), &view, cell, &strict)
+                .or_else(|| clear_cell_plan(self.grid(), &view, cell, &relaxed))
+        };
+        match plan {
+            Some(moves) => {
+                for (f, t) in moves {
+                    self.raw_move(f, t);
+                }
+                Ok(())
+            }
+            None => Err(self.fail(format!("cannot clear cell {cell}"))),
+        }
+    }
+
+    /// Walks qubit `q` to `dest` along a planned path, displacing blockers
+    /// on the way. The path is committed to (no per-step re-planning, which
+    /// can oscillate under displacement churn); re-planning happens only
+    /// when a blocker cannot be displaced, with that cell banned. Protected
+    /// cells are never entered.
+    fn relocate(&mut self, q: u32, dest: Coord) -> Result<(), CompileError> {
+        let budget = (self.grid().num_cells() as usize) * 8;
+        let mut steps = 0usize;
+        let mut banned: HashSet<Coord> = HashSet::new();
+        'replan: while self.pos[q as usize] != dest {
+            let from = self.pos[q as usize];
+            let path = {
+                let mut blocked = self.protected.clone();
+                blocked.extend(banned.iter().copied());
+                let view = OccView {
+                    grid: self.layout.grid(),
+                    occ: &self.occ,
+                    extra_blocked: &blocked,
+                };
+                find_path(self.grid(), &view, from, dest, &self.cost)
+            }
+            .ok_or_else(|| self.fail(format!("no path from {from} to {dest}")))?;
+            for i in 1..path.cells.len() {
+                steps += 1;
+                if steps > budget {
+                    return Err(
+                        self.fail(format!("relocation of q{q} to {dest} did not converge"))
+                    );
+                }
+                let here = self.pos[q as usize];
+                let next = path.cells[i];
+                if self.occ.contains_key(&next) {
+                    let mut avoid = HashSet::new();
+                    avoid.insert(here);
+                    if self.ensure_free(next, &avoid).is_err() {
+                        if next == dest {
+                            // The destination itself cannot be cleared:
+                            // this relocation target is infeasible.
+                            return Err(self.fail(format!(
+                                "destination {dest} cannot be cleared for q{q}"
+                            )));
+                        }
+                        // The occupant of `next` is boxed in: ban the cell
+                        // and route around it.
+                        banned.insert(next);
+                        continue 'replan;
+                    }
+                }
+                self.raw_move(here, next);
+            }
+        }
+        Ok(())
+    }
+
+    /// Finds (clearing if necessary) a free ancilla adjacent to `cell`.
+    fn acquire_ancilla(&mut self, cell: Coord) -> Result<Coord, CompileError> {
+        let plan = {
+            let view = self.view();
+            space_search(self.grid(), &view, cell)
+        };
+        match plan {
+            Some(p) => {
+                for (f, t) in p.clearing_moves {
+                    self.raw_move(f, t);
+                }
+                Ok(p.ancilla)
+            }
+            None => Err(self.fail(format!("no ancilla available near {cell}"))),
+        }
+    }
+
+    fn schedule_gate(&mut self, gate: &Gate) -> Result<(), CompileError> {
+        match *gate {
+            Gate::X(q) | Gate::Y(q) | Gate::Z(q) => {
+                let cell = self.pos[q as usize];
+                self.emit(SurgeryOp::PauliFrame { cell }, vec![q], None, Ticks::ZERO);
+                Ok(())
+            }
+            Gate::H(q) => self.exec_single(q, SingleQubitKind::H),
+            Gate::S(q) => self.exec_single(q, SingleQubitKind::S),
+            Gate::Sdg(q) => self.exec_single(q, SingleQubitKind::Sdg),
+            Gate::Sx(q) => self.exec_single(q, SingleQubitKind::Sx),
+            Gate::Sxdg(q) => self.exec_single(q, SingleQubitKind::Sxdg),
+            Gate::Rz(q, a) if a.is_clifford() => {
+                // Rz(kπ/2): k≡0,2 are frame updates; k≡1,3 are S/S†.
+                let halves = (a.turns_of_pi() * 2.0).round() as i64;
+                match halves.rem_euclid(4) {
+                    0 | 2 => {
+                        let cell = self.pos[q as usize];
+                        self.emit(SurgeryOp::PauliFrame { cell }, vec![q], None, Ticks::ZERO);
+                        Ok(())
+                    }
+                    1 => self.exec_single(q, SingleQubitKind::S),
+                    _ => self.exec_single(q, SingleQubitKind::Sdg),
+                }
+            }
+            Gate::T(q) | Gate::Tdg(q) => {
+                let n = self.options.t_state_policy.states_per_t.max(1);
+                self.exec_magic(q, n)
+            }
+            Gate::Rz(q, _) => {
+                let n = self.options.t_state_policy.states_per_rz.max(1);
+                self.exec_magic(q, n)
+            }
+            Gate::Cnot { control, target } => self.exec_cnot(control, target),
+            Gate::Measure(q) => {
+                let cell = self.pos[q as usize];
+                self.emit(SurgeryOp::MeasureZ { cell }, vec![q], None, Ticks::ZERO);
+                Ok(())
+            }
+            Gate::Cz(_, _) | Gate::Swap(_, _) => Err(self.fail(
+                "CZ/SWAP must be lowered before routing (Compiler::compile does this)",
+            )),
+        }
+    }
+
+    fn exec_single(&mut self, q: u32, kind: SingleQubitKind) -> Result<(), CompileError> {
+        self.protected = [self.pos[q as usize]].into_iter().collect();
+        let cell = self.pos[q as usize];
+        let ancilla = self.acquire_ancilla(cell)?;
+        self.emit(
+            SurgeryOp::Single { kind, cell, ancilla },
+            vec![q],
+            None,
+            Ticks::ZERO,
+        );
+        self.protected.clear();
+        self.no_park.clear();
+        Ok(())
+    }
+
+    fn exec_magic(&mut self, q: u32, states: u32) -> Result<(), CompileError> {
+        for _ in 0..states {
+            self.protected = [self.pos[q as usize]].into_iter().collect();
+            let tq = self.pos[q as usize];
+            // Delivery cell: vertical neighbour (M_ZZ constraint), preferring
+            // a free one, then the cheaper to clear.
+            let candidates: Vec<Coord> = [
+                Coord::new(tq.row - 1, tq.col),
+                Coord::new(tq.row + 1, tq.col),
+            ]
+            .into_iter()
+            .filter(|&c| self.grid().in_bounds(c))
+            .collect();
+            if candidates.is_empty() {
+                return Err(self.fail(format!("no vertical neighbour for magic at {tq}")));
+            }
+            let dest = candidates
+                .iter()
+                .copied()
+                .min_by_key(|&c| {
+                    let occupied = self.occ.contains_key(&c);
+                    let bus_bias = match self.grid().kind(c) {
+                        CellKind::Bus => 0,
+                        CellKind::Data => 1,
+                    };
+                    (occupied as u32, bus_bias, c.row, c.col)
+                })
+                .expect("candidates non-empty");
+            let avoid: HashSet<Coord> = [tq].into_iter().collect();
+            self.ensure_free(dest, &avoid)?;
+
+            let grant = self.bank.acquire(self.qubit_ready[q as usize]);
+            let path = {
+                let view = self.view();
+                find_path(self.grid(), &view, grant.port, dest, &self.cost)
+            }
+            .ok_or_else(|| self.fail(format!("no delivery path {} -> {dest}", grant.port)))?;
+            self.n_magic_states += 1;
+            if path.cells.len() >= 2 {
+                self.emit(
+                    SurgeryOp::DeliverMagic { path: path.cells },
+                    vec![],
+                    Some(grant.factory),
+                    grant.available,
+                );
+                self.emit(
+                    SurgeryOp::ConsumeMagic { target: tq, magic: dest },
+                    vec![q],
+                    None,
+                    Ticks::ZERO,
+                );
+            } else {
+                // The factory port *is* the delivery cell: the state appears
+                // in place and the consumption carries the grant itself.
+                self.emit(
+                    SurgeryOp::ConsumeMagic { target: tq, magic: dest },
+                    vec![q],
+                    Some(grant.factory),
+                    grant.available,
+                );
+            }
+            self.protected.clear();
+            self.no_park.clear();
+        }
+        Ok(())
+    }
+
+    /// Whether the occupant of `ancilla` (if any) can escape once the
+    /// operands sit at `cp`/`tp`: it needs at least one in-bounds neighbour
+    /// that is not an operand cell. Prevents committing to boxed-corner
+    /// configurations whose ancilla can never be cleared.
+    fn ancilla_clearable(&self, ancilla: Coord, cp: Coord, tp: Coord) -> bool {
+        if !self.occ.contains_key(&ancilla) {
+            return true;
+        }
+        ancilla
+            .neighbours()
+            .into_iter()
+            .any(|n| self.grid().in_bounds(n) && n != cp && n != tp)
+    }
+
+    fn exec_cnot(&mut self, control: u32, target: u32) -> Result<(), CompileError> {
+        let (c_pos, t_pos) = (self.pos[control as usize], self.pos[target as usize]);
+        self.protected = [c_pos, t_pos].into_iter().collect();
+
+        // Preferred: the gate-dependent move heuristic over free cells.
+        let cfg = {
+            let view = OccView {
+                grid: self.layout.grid(),
+                occ: &self.occ,
+                extra_blocked: &HashSet::new(),
+            };
+            best_cnot_config(
+                self.grid(),
+                &view,
+                c_pos,
+                t_pos,
+                &self.cost,
+                self.options.lookahead,
+            )
+        }
+        .filter(|cfg| self.ancilla_clearable(cfg.ancilla, cfg.control, cfg.target));
+
+        let (mover, dest) = match cfg {
+            Some(cfg) => match cfg.mover {
+                Mover::None => (None, None),
+                Mover::Control => (Some(control), Some(cfg.control)),
+                Mover::Target => (Some(target), Some(cfg.target)),
+            },
+            None => {
+                // Packed block (or the heuristic's pick was a boxed corner):
+                // allow occupied destinations, scored by distance plus a
+                // clearing estimate.
+                let mut best: Option<(u32, Coord, u32)> = None;
+                for (mq, anchor, from) in
+                    [(control, t_pos, c_pos), (target, c_pos, t_pos)]
+                {
+                    for d in anchor.diagonals() {
+                        if !self.grid().in_bounds(d) || d == from || d == anchor {
+                            continue;
+                        }
+                        let (cp, tp) = if mq == control { (d, t_pos) } else { (c_pos, d) };
+                        let anc = match cnot_ancilla(cp, tp) {
+                            Some(a) => a,
+                            None => continue,
+                        };
+                        if !self.grid().in_bounds(anc) || anc == cp || anc == tp {
+                            continue;
+                        }
+                        if !self.ancilla_clearable(anc, cp, tp) {
+                            continue;
+                        }
+                        let est = from.manhattan(d)
+                            + 2 * self.occ.contains_key(&d) as u32
+                            + 2 * self.occ.contains_key(&anc) as u32;
+                        if best.is_none_or(|(_, _, b)| est < b) {
+                            best = Some((mq, d, est));
+                        }
+                    }
+                }
+                let (mq, d, _) =
+                    best.ok_or_else(|| self.fail("no CNOT configuration reachable"))?;
+                (Some(mq), Some(d))
+            }
+        };
+
+        if let (Some(mq), Some(d)) = (mover, dest) {
+            // Protect the anchor operand and the *planned* ancilla cell so
+            // displacement chains never park a qubit where the merge must
+            // happen; the mover itself walks freely.
+            self.protected.remove(&self.pos[mq as usize]);
+            let planned = if mq == control {
+                cnot_ancilla(d, t_pos)
+            } else {
+                cnot_ancilla(c_pos, d)
+            };
+            if let Some(a) = planned {
+                if !self.occ.contains_key(&a) {
+                    // Only freeze it when free — a pre-existing occupant
+                    // still needs to escape through normal clearing. The
+                    // mover may pass through; nothing may park there.
+                    self.no_park.insert(a);
+                }
+            }
+            let avoid: HashSet<Coord> = HashSet::new();
+            self.ensure_free(d, &avoid)?;
+            self.relocate(mq, d)?;
+            self.protected.insert(d);
+        }
+
+        let (cp, tp) = (self.pos[control as usize], self.pos[target as usize]);
+        let ancilla = cnot_ancilla(cp, tp)
+            .ok_or_else(|| self.fail("operands not diagonal after relocation"))?;
+        self.protected = [cp, tp].into_iter().collect();
+        let avoid: HashSet<Coord> = HashSet::new();
+        self.ensure_free(ancilla, &avoid)?;
+        self.emit(
+            SurgeryOp::Cnot {
+                control: cp,
+                target: tp,
+                ancilla,
+            },
+            vec![control, target],
+            None,
+            Ticks::ZERO,
+        );
+        self.protected.clear();
+        self.no_park.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MappingStrategy;
+    use ftqc_circuit::Circuit;
+
+    fn run_engine(circuit: &Circuit, r: u32, factories: u32) -> (Vec<RoutedOp>, u64) {
+        let options = CompilerOptions::default()
+            .routing_paths(r)
+            .factories(factories);
+        let layout = Layout::with_routing_paths(circuit.num_qubits(), r);
+        let mapping = InitialMapping::new(&layout, circuit.num_qubits(), MappingStrategy::Snake);
+        let bank = FactoryBank::dock(&layout, factories, options.timing.magic_production);
+        let mut engine = Engine::new(&layout, &mapping, bank, &options);
+        engine.run(circuit).expect("engine routes the circuit");
+        engine.into_ops()
+    }
+
+    #[test]
+    fn hadamard_emits_single_with_ancilla() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        let (ops, magic) = run_engine(&c, 4, 1);
+        assert_eq!(magic, 0);
+        assert!(ops.iter().any(|o| matches!(
+            o.op,
+            SurgeryOp::Single {
+                kind: SingleQubitKind::H,
+                ..
+            }
+        )));
+        for o in &ops {
+            o.op.validate().expect("all emitted ops valid");
+        }
+    }
+
+    #[test]
+    fn pauli_gates_are_frame_updates() {
+        let mut c = Circuit::new(4);
+        c.x(0).y(1).z(2);
+        let (ops, _) = run_engine(&c, 4, 1);
+        assert_eq!(ops.len(), 3);
+        assert!(ops
+            .iter()
+            .all(|o| matches!(o.op, SurgeryOp::PauliFrame { .. })));
+    }
+
+    #[test]
+    fn t_gate_delivers_and_consumes() {
+        let mut c = Circuit::new(4);
+        c.t(0);
+        let (ops, magic) = run_engine(&c, 4, 1);
+        assert_eq!(magic, 1);
+        let deliver = ops
+            .iter()
+            .find(|o| matches!(o.op, SurgeryOp::DeliverMagic { .. }))
+            .expect("delivery emitted");
+        assert_eq!(deliver.factory, Some(0));
+        let consume = ops
+            .iter()
+            .find(|o| matches!(o.op, SurgeryOp::ConsumeMagic { .. }))
+            .expect("consumption emitted");
+        assert_eq!(consume.patches, vec![0]);
+        // Delivery ends at the consume's magic cell.
+        if let (SurgeryOp::DeliverMagic { path }, SurgeryOp::ConsumeMagic { magic, .. }) =
+            (&deliver.op, &consume.op)
+        {
+            assert_eq!(path.last(), Some(magic));
+        }
+    }
+
+    #[test]
+    fn clifford_rz_needs_no_magic() {
+        let mut c = Circuit::new(4);
+        c.rz_pi(0, 0.5).rz_pi(1, 1.0).rz_pi(2, -0.5).rz_pi(3, 2.0);
+        let (ops, magic) = run_engine(&c, 4, 1);
+        assert_eq!(magic, 0);
+        // S, frame, Sdg, frame.
+        let singles = ops
+            .iter()
+            .filter(|o| matches!(o.op, SurgeryOp::Single { .. }))
+            .count();
+        let frames = ops
+            .iter()
+            .filter(|o| matches!(o.op, SurgeryOp::PauliFrame { .. }))
+            .count();
+        assert_eq!(singles, 2);
+        assert_eq!(frames, 2);
+    }
+
+    #[test]
+    fn synthesis_policy_multiplies_states() {
+        let mut c = Circuit::new(4);
+        c.rz_pi(0, 0.1);
+        let options = CompilerOptions::default()
+            .routing_paths(4)
+            .t_state_policy(crate::options::TStatePolicy::synthesis(3));
+        let layout = Layout::with_routing_paths(4, 4);
+        let mapping = InitialMapping::new(&layout, 4, MappingStrategy::Snake);
+        let bank = FactoryBank::dock(&layout, 1, options.timing.magic_production);
+        let mut engine = Engine::new(&layout, &mapping, bank, &options);
+        engine.run(&c).unwrap();
+        let (_, magic) = engine.into_ops();
+        assert_eq!(magic, 3);
+    }
+
+    #[test]
+    fn adjacent_cnot_requires_one_move() {
+        // Snake mapping on 2x2: qubits 0,1 horizontally adjacent.
+        let mut c = Circuit::new(4);
+        c.cnot(0, 1);
+        let (ops, _) = run_engine(&c, 6, 1);
+        let moves = ops.iter().filter(|o| o.is_movement()).count();
+        assert!(moves >= 1, "horizontal pair needs at least one move");
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o.op, SurgeryOp::Cnot { .. })));
+        for o in &ops {
+            o.op.validate().expect("valid ops");
+        }
+    }
+
+    #[test]
+    fn cnot_in_packed_block_displaces() {
+        // 3x3 fully packed, r=2 (top+left bus only): interior CNOTs force
+        // displacement chains.
+        let mut c = Circuit::new(9);
+        c.cnot(4, 7).cnot(1, 4).cnot(3, 4);
+        let (ops, _) = run_engine(&c, 2, 1);
+        assert_eq!(
+            ops.iter()
+                .filter(|o| matches!(o.op, SurgeryOp::Cnot { .. }))
+                .count(),
+            3
+        );
+        for o in &ops {
+            o.op.validate().expect("valid ops");
+        }
+    }
+
+    #[test]
+    fn measure_emits_measure_op() {
+        let mut c = Circuit::new(4);
+        c.h(0).measure(0);
+        let (ops, _) = run_engine(&c, 4, 1);
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o.op, SurgeryOp::MeasureZ { .. })));
+    }
+
+    #[test]
+    fn engine_positions_stay_consistent() {
+        // A busy little program: every op must stay valid, implying the
+        // internal position/occupancy maps never diverge.
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.h(q);
+        }
+        for (a, b) in [(0u32, 1u32), (3, 4), (7, 8), (2, 5), (4, 7)] {
+            c.cnot(a, b);
+        }
+        for q in [0u32, 4, 8] {
+            c.t(q);
+        }
+        let (ops, magic) = run_engine(&c, 4, 2);
+        assert_eq!(magic, 3);
+        for o in &ops {
+            o.op.validate()
+                .unwrap_or_else(|e| panic!("invalid op {}: {e}", o.op));
+        }
+    }
+
+    #[test]
+    fn two_factories_split_deliveries() {
+        let mut c = Circuit::new(16);
+        for q in 0..8 {
+            c.t(q);
+        }
+        let (ops, _) = run_engine(&c, 4, 2);
+        let mut used: Vec<usize> = ops.iter().filter_map(|o| o.factory).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used, vec![0, 1], "both factories used");
+    }
+}

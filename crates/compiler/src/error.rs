@@ -1,0 +1,73 @@
+//! Compiler error type.
+
+use ftqc_arch::LayoutError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`Compiler::compile`](crate::Compiler::compile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The requested layout is invalid for this circuit.
+    Layout(LayoutError),
+    /// The router could not realise a gate (congestion beyond recovery).
+    RoutingFailed {
+        /// Index of the gate in the (lowered) circuit.
+        gate_index: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// The circuit is empty of qubits.
+    EmptyRegister,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Layout(e) => write!(f, "layout error: {e}"),
+            CompileError::RoutingFailed { gate_index, reason } => {
+                write!(f, "routing failed at gate {gate_index}: {reason}")
+            }
+            CompileError::EmptyRegister => write!(f, "circuit has no qubits"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LayoutError> for CompileError {
+    fn from(e: LayoutError) -> Self {
+        CompileError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = CompileError::EmptyRegister;
+        assert_eq!(e.to_string(), "circuit has no qubits");
+        let e = CompileError::RoutingFailed {
+            gate_index: 7,
+            reason: "no path".into(),
+        };
+        assert!(e.to_string().contains("gate 7"));
+        let e: CompileError = LayoutError::NoDataQubits.into();
+        assert!(e.to_string().contains("layout error"));
+    }
+
+    #[test]
+    fn source_chains_layout_errors() {
+        let e: CompileError = LayoutError::TooFewRoutingPaths { requested: 0 }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CompileError::EmptyRegister).is_none());
+    }
+}

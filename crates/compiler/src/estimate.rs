@@ -1,0 +1,464 @@
+//! End-to-end physical resource estimation: from a logical circuit and a
+//! hardware model to a full machine specification.
+//!
+//! The paper's evaluation stays in logical units (patches, code-distance
+//! timesteps). A hardware designer planning an early-FT system needs the
+//! question answered the other way round: *given this circuit, this
+//! physical error rate, and this failure budget, what machine do I build?*
+//! This module closes that loop by combining:
+//!
+//! * the compiler (execution time, patch count, magic-state bill as a
+//!   function of routing paths `r` and factory count);
+//! * the QEC fit ([`ftqc_arch::qec`]) for the code distance;
+//! * the distillation catalogue ([`ftqc_arch::distillation`]) for the
+//!   factory protocol meeting the per-state error target.
+//!
+//! Distance, protocol, and schedule are mutually dependent (a slower
+//! protocol stretches the schedule, a longer schedule needs more distance,
+//! more distance lowers the distillation noise floor), so the estimator
+//! iterates to a fixed point — in practice two or three rounds.
+
+use crate::error::CompileError;
+use crate::options::CompilerOptions;
+use crate::pipeline::{CompiledProgram, Compiler};
+use ftqc_arch::distillation::{choose_protocol, per_state_target, DistillationProtocol};
+use ftqc_arch::qec::{physical_qubits_per_patch, PhysicalAssumptions};
+use ftqc_circuit::Circuit;
+use std::error::Error;
+use std::fmt;
+
+/// What the design-space search minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Fewest physical qubits (the early-FT regime's scarcest resource).
+    #[default]
+    PhysicalQubits,
+    /// Smallest physical spacetime volume (qubits × wall-clock).
+    SpacetimeVolume,
+    /// Shortest wall-clock time.
+    WallClock,
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::PhysicalQubits => write!(f, "physical-qubits"),
+            Objective::SpacetimeVolume => write!(f, "spacetime-volume"),
+            Objective::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
+/// Parameters of an estimation run.
+#[derive(Debug, Clone)]
+pub struct EstimateRequest {
+    /// Total failure budget for the run (logical + magic), e.g. `0.01`.
+    pub budget: f64,
+    /// Physical machine assumptions.
+    pub assumptions: PhysicalAssumptions,
+    /// Candidate routing-path counts to sweep.
+    pub routing_paths: Vec<u32>,
+    /// Candidate factory counts to sweep.
+    pub factories: Vec<u32>,
+    /// Selection objective.
+    pub objective: Objective,
+    /// Base compiler options (timing’s `magic_production` is overridden by
+    /// the chosen protocol).
+    pub base_options: CompilerOptions,
+}
+
+impl Default for EstimateRequest {
+    fn default() -> Self {
+        Self {
+            budget: 0.01,
+            assumptions: PhysicalAssumptions::superconducting(),
+            routing_paths: vec![2, 3, 4, 5, 6],
+            factories: vec![1, 2, 3, 4],
+            objective: Objective::default(),
+            base_options: CompilerOptions::default(),
+        }
+    }
+}
+
+/// A fully resolved machine specification for one circuit.
+#[derive(Debug, Clone)]
+pub struct ResourceEstimate {
+    /// Routing paths of the chosen layout.
+    pub routing_paths: u32,
+    /// Factory count.
+    pub factories: u32,
+    /// Chosen distillation protocol.
+    pub protocol: DistillationProtocol,
+    /// Chosen code distance.
+    pub code_distance: u32,
+    /// Logical patches: grid plus factory footprint at the chosen protocol.
+    pub logical_qubits: u32,
+    /// Total physical qubits.
+    pub physical_qubits: u64,
+    /// Wall-clock execution time in seconds.
+    pub wall_clock_seconds: f64,
+    /// Expected total logical + magic error of the run.
+    pub expected_error: f64,
+    /// The compiled program behind this estimate.
+    pub program: CompiledProgram,
+}
+
+impl ResourceEstimate {
+    /// Physical spacetime volume: qubits × seconds.
+    pub fn physical_volume(&self) -> f64 {
+        self.physical_qubits as f64 * self.wall_clock_seconds
+    }
+
+    fn score(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::PhysicalQubits => self.physical_qubits as f64,
+            Objective::SpacetimeVolume => self.physical_volume(),
+            Objective::WallClock => self.wall_clock_seconds,
+        }
+    }
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "r={} factories={} protocol={} d={}",
+            self.routing_paths, self.factories, self.protocol.name, self.code_distance
+        )?;
+        writeln!(
+            f,
+            "  logical qubits : {} ({} grid + {} factory tiles)",
+            self.logical_qubits,
+            self.program.metrics().grid_patches,
+            self.logical_qubits - self.program.metrics().grid_patches,
+        )?;
+        writeln!(f, "  physical qubits: {}", self.physical_qubits)?;
+        writeln!(f, "  wall clock     : {:.3} s", self.wall_clock_seconds)?;
+        write!(f, "  expected error : {:.2e}", self.expected_error)
+    }
+}
+
+/// An estimation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimateError {
+    /// Every candidate design point failed to compile.
+    AllCandidatesFailed {
+        /// The last compile error seen.
+        last: CompileError,
+    },
+    /// No distance/protocol combination meets the budget.
+    Infeasible {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EstimateError::AllCandidatesFailed { last } => {
+                write!(f, "no design point compiled (last error: {last})")
+            }
+            EstimateError::Infeasible { reason } => write!(f, "infeasible: {reason}"),
+        }
+    }
+}
+
+impl Error for EstimateError {}
+
+/// Estimates the best machine for `circuit` under `request`.
+///
+/// Sweeps the `(routing paths × factories)` grid, resolves each point to a
+/// physical design (distance + protocol fixed point), and returns the
+/// winner under the request's objective.
+///
+/// # Errors
+///
+/// * [`EstimateError::AllCandidatesFailed`] if no design point compiles;
+/// * [`EstimateError::Infeasible`] if none meets the failure budget.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::Circuit;
+/// use ftqc_compiler::estimate::{estimate_resources, EstimateRequest};
+///
+/// let mut c = Circuit::new(4);
+/// c.h(0).cnot(0, 1).t(1).cnot(1, 2).t(2).cnot(2, 3);
+/// let e = estimate_resources(&c, &EstimateRequest::default()).expect("feasible");
+/// assert!(e.code_distance >= 3);
+/// assert!(e.physical_qubits > 0);
+/// ```
+pub fn estimate_resources(
+    circuit: &Circuit,
+    request: &EstimateRequest,
+) -> Result<ResourceEstimate, EstimateError> {
+    let mut best: Option<ResourceEstimate> = None;
+    let mut last_err: Option<CompileError> = None;
+    let mut any_compiled = false;
+
+    for &r in &request.routing_paths {
+        for &nf in &request.factories {
+            let candidate = resolve_point(circuit, request, r, nf);
+            match candidate {
+                Ok(Some(est)) => {
+                    any_compiled = true;
+                    let better = best
+                        .as_ref()
+                        .map(|b| est.score(request.objective) < b.score(request.objective))
+                        .unwrap_or(true);
+                    if better {
+                        best = Some(est);
+                    }
+                }
+                Ok(None) => {
+                    any_compiled = true; // compiled but infeasible at budget
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+    }
+
+    match best {
+        Some(b) => Ok(b),
+        None if any_compiled => Err(EstimateError::Infeasible {
+            reason: format!(
+                "no candidate met the failure budget {:.0e} at p={:.0e}",
+                request.budget, request.assumptions.physical_error_rate
+            ),
+        }),
+        None => Err(EstimateError::AllCandidatesFailed {
+            last: last_err.unwrap_or(CompileError::EmptyRegister),
+        }),
+    }
+}
+
+/// Resolves one `(r, factories)` point to a physical design, or `None` if
+/// the budget cannot be met at any distance ≤ 99.
+fn resolve_point(
+    circuit: &Circuit,
+    request: &EstimateRequest,
+    r: u32,
+    nf: u32,
+) -> Result<Option<ResourceEstimate>, CompileError> {
+    let a = &request.assumptions;
+    // Budget split: half to the computation's logical errors, half to the
+    // consumed magic states.
+    let logical_budget = request.budget / 2.0;
+    let magic_budget = request.budget / 2.0;
+
+    let mut protocol = DistillationProtocol::fifteen_to_one();
+    let mut resolved: Option<(CompiledProgram, u32, DistillationProtocol)> = None;
+
+    // Fixed point over (protocol latency → schedule → distance → protocol).
+    for _ in 0..4 {
+        let options = request
+            .base_options
+            .clone()
+            .routing_paths(r)
+            .factories(nf)
+            .magic_production(protocol.production_time());
+        let program = Compiler::new(options).compile(circuit)?;
+        let m = program.metrics();
+        // Magic-free circuits need no factories at all.
+        let factory_tiles = if m.n_magic_states == 0 { 0 } else { nf * protocol.tiles };
+        let logical_qubits = m.grid_patches + factory_tiles;
+
+        // Distance fixed point (patch-cycles depend on d).
+        let mut d = 3u32;
+        let mut found: Option<u32> = None;
+        for _ in 0..32 {
+            let patch_cycles = logical_qubits as f64 * m.execution_time.as_d() * d as f64;
+            match a.required_distance(patch_cycles, logical_budget) {
+                Some(needed) if needed <= d => {
+                    found = Some(d);
+                    break;
+                }
+                Some(needed) => d = needed,
+                None => break,
+            }
+        }
+        let Some(mut d) = found else { return Ok(None) };
+
+        // The distillation noise floor may demand more distance than the
+        // computation's own budget does (extra distance only lowers the
+        // logical error, so escalating is always safe).
+        let target = per_state_target(magic_budget, m.n_magic_states);
+        let chosen = loop {
+            match choose_protocol(a.physical_error_rate, target, d, a) {
+                Some(p) => break p,
+                None if d < 99 => d += 2,
+                None => return Ok(None),
+            }
+        };
+
+        let stable = chosen.cycles_d == protocol.cycles_d;
+        protocol = chosen;
+        resolved = Some((program, d, protocol.clone()));
+        if stable {
+            break;
+        }
+    }
+
+    let Some((program, d, protocol)) = resolved else {
+        return Ok(None);
+    };
+    let m = program.metrics();
+    let factory_tiles = if m.n_magic_states == 0 { 0 } else { nf * protocol.tiles };
+    let logical_qubits = m.grid_patches + factory_tiles;
+    let patch_cycles = logical_qubits as f64 * m.execution_time.as_d() * d as f64;
+    let logical_error = a.logical_error_per_cycle(d) * patch_cycles;
+    let magic_error =
+        protocol.output_error(a.physical_error_rate, d, a) * m.n_magic_states as f64;
+
+    Ok(Some(ResourceEstimate {
+        routing_paths: r,
+        factories: nf,
+        code_distance: d,
+        logical_qubits,
+        physical_qubits: logical_qubits as u64 * physical_qubits_per_patch(d),
+        wall_clock_seconds: m.execution_time.physical_seconds(d, a.cycle_seconds),
+        expected_error: logical_error + magic_error,
+        protocol,
+        program,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.h(0).cnot(0, 1).t(1).cnot(1, 2).t(2).cnot(2, 3).t(3);
+        c
+    }
+
+    #[test]
+    fn default_request_estimates() {
+        let e = estimate_resources(&toy_circuit(), &EstimateRequest::default()).expect("ok");
+        assert!(e.code_distance >= 3 && e.code_distance % 2 == 1);
+        assert!(e.logical_qubits > e.program.metrics().grid_patches);
+        assert_eq!(
+            e.physical_qubits,
+            e.logical_qubits as u64 * physical_qubits_per_patch(e.code_distance)
+        );
+        assert!(e.expected_error < 0.01);
+        assert!(e.wall_clock_seconds > 0.0);
+    }
+
+    #[test]
+    fn qubit_objective_prefers_fewer_factories() {
+        let c = toy_circuit();
+        let mut req = EstimateRequest {
+            objective: Objective::PhysicalQubits,
+            ..Default::default()
+        };
+        req.factories = vec![1, 4];
+        let e = estimate_resources(&c, &req).expect("ok");
+        assert_eq!(e.factories, 1, "qubit-minimising design uses one factory");
+    }
+
+    #[test]
+    fn wall_clock_objective_accepts_more_qubits() {
+        // A magic-heavy circuit: more factories shorten the critical path.
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.t(q);
+            c.t(q);
+        }
+        let mut req = EstimateRequest {
+            objective: Objective::WallClock,
+            ..Default::default()
+        };
+        req.factories = vec![1, 4];
+        req.routing_paths = vec![4];
+        let fast = estimate_resources(&c, &req).expect("ok");
+        req.objective = Objective::PhysicalQubits;
+        let small = estimate_resources(&c, &req).expect("ok");
+        assert!(fast.wall_clock_seconds <= small.wall_clock_seconds);
+        assert!(fast.physical_qubits >= small.physical_qubits);
+    }
+
+    #[test]
+    fn better_hardware_shrinks_the_machine() {
+        let c = toy_circuit();
+        let req = EstimateRequest::default();
+        let sc = estimate_resources(&c, &req).expect("ok");
+        let better = EstimateRequest {
+            assumptions: PhysicalAssumptions {
+                physical_error_rate: 1e-4,
+                ..PhysicalAssumptions::superconducting()
+            },
+            ..EstimateRequest::default()
+        };
+        let b = estimate_resources(&c, &better).expect("ok");
+        assert!(b.code_distance < sc.code_distance);
+        assert!(b.physical_qubits < sc.physical_qubits);
+    }
+
+    #[test]
+    fn above_threshold_is_infeasible() {
+        let c = toy_circuit();
+        let req = EstimateRequest {
+            assumptions: PhysicalAssumptions {
+                physical_error_rate: 2e-2,
+                ..PhysicalAssumptions::superconducting()
+            },
+            ..EstimateRequest::default()
+        };
+        let err = estimate_resources(&c, &req).unwrap_err();
+        assert!(matches!(err, EstimateError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn tight_budget_escalates_protocol_or_distance() {
+        let c = toy_circuit();
+        let loose = estimate_resources(
+            &c,
+            &EstimateRequest {
+                budget: 0.1,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
+        let tight = estimate_resources(
+            &c,
+            &EstimateRequest {
+                budget: 1e-9,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
+        assert!(tight.code_distance >= loose.code_distance);
+        assert!(tight.physical_qubits > loose.physical_qubits);
+    }
+
+    #[test]
+    fn estimate_display_is_informative() {
+        let e = estimate_resources(&toy_circuit(), &EstimateRequest::default()).expect("ok");
+        let s = e.to_string();
+        assert!(s.contains("physical qubits"));
+        assert!(s.contains("wall clock"));
+        assert!(s.contains("15-to-1"));
+    }
+
+    #[test]
+    fn objective_display() {
+        assert_eq!(Objective::PhysicalQubits.to_string(), "physical-qubits");
+        assert_eq!(Objective::SpacetimeVolume.to_string(), "spacetime-volume");
+        assert_eq!(Objective::WallClock.to_string(), "wall-clock");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = EstimateError::Infeasible {
+            reason: "x".into(),
+        };
+        assert!(e.to_string().contains("infeasible"));
+        let e = EstimateError::AllCandidatesFailed {
+            last: CompileError::EmptyRegister,
+        };
+        assert!(e.to_string().contains("no design point"));
+    }
+}

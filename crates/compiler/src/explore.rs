@@ -1,0 +1,191 @@
+//! Design-space exploration: the paper's third contribution is that the
+//! compiler "enables a richer set of space vs. time tradeoffs compared to
+//! prior work which handpicks certain space-time configurations" (§I).
+//!
+//! [`explore`] compiles a circuit across a grid of routing-path and
+//! factory counts; [`pareto_front`] filters the results to the
+//! qubit/time-Pareto-optimal machines a hardware designer would choose
+//! from; [`best_by_volume`] picks the single spacetime-volume optimum
+//! (the quantity minimised in Fig 9).
+
+use crate::error::CompileError;
+use crate::metrics::Metrics;
+use crate::options::CompilerOptions;
+use crate::pipeline::Compiler;
+use ftqc_circuit::Circuit;
+use serde::{Deserialize, Serialize};
+
+/// One evaluated machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// Routing paths of the layout.
+    pub routing_paths: u32,
+    /// Distillation factories.
+    pub factories: u32,
+    /// The compiled metrics.
+    pub metrics: Metrics,
+}
+
+impl DesignPoint {
+    /// Total qubits of this configuration.
+    pub fn qubits(&self) -> u32 {
+        self.metrics.total_qubits()
+    }
+
+    /// Execution time in `d` units.
+    pub fn time_d(&self) -> f64 {
+        self.metrics.execution_time.as_d()
+    }
+
+    /// Spacetime volume (including factories), qubit·d.
+    pub fn volume(&self) -> f64 {
+        self.metrics.spacetime_volume(true)
+    }
+}
+
+/// Compiles `circuit` for every combination of `routing_paths` ×
+/// `factories`, skipping combinations whose layout is invalid for this
+/// register size.
+///
+/// # Errors
+///
+/// Returns a routing failure if one occurs; invalid-layout combinations
+/// are silently skipped (e.g. `r > 2L+2`). Returns an empty vector only if
+/// every combination was skipped.
+pub fn explore(
+    circuit: &Circuit,
+    routing_paths: &[u32],
+    factories: &[u32],
+    base: &CompilerOptions,
+) -> Result<Vec<DesignPoint>, CompileError> {
+    let max_r = ftqc_arch::Layout::max_routing_paths(circuit.num_qubits());
+    let mut out = Vec::new();
+    for &r in routing_paths {
+        if r < 2 || r > max_r {
+            continue;
+        }
+        for &f in factories {
+            let options = base.clone().routing_paths(r).factories(f);
+            let metrics = *Compiler::new(options).compile(circuit)?.metrics();
+            out.push(DesignPoint {
+                routing_paths: r,
+                factories: f,
+                metrics,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Filters to the Pareto front over `(qubits, execution time)`: a point
+/// survives iff no other point is at least as good in both dimensions and
+/// strictly better in one. The result is sorted by ascending qubit count.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut front: Vec<DesignPoint> = points
+        .iter()
+        .filter(|p| {
+            !points.iter().any(|q| {
+                let leq = q.qubits() <= p.qubits() && q.time_d() <= p.time_d();
+                let strict = q.qubits() < p.qubits() || q.time_d() < p.time_d();
+                leq && strict
+            })
+        })
+        .copied()
+        .collect();
+    front.sort_by_key(|p| (p.qubits(), p.metrics.execution_time));
+    front.dedup_by_key(|p| (p.qubits(), p.metrics.execution_time));
+    front
+}
+
+/// The single point minimising spacetime volume (including factories).
+/// Returns `None` for an empty slice.
+pub fn best_by_volume(points: &[DesignPoint]) -> Option<DesignPoint> {
+    points
+        .iter()
+        .min_by(|a, b| a.volume().total_cmp(&b.volume()))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_arch::Ticks;
+
+    fn point(r: u32, f: u32, qubits: u32, time_d: f64) -> DesignPoint {
+        let mut metrics = Metrics {
+            execution_time: Ticks::from_d(time_d),
+            unit_cost_time: Ticks::from_d(time_d),
+            lower_bound: Ticks::from_d(1.0),
+            grid_patches: qubits,
+            factory_patches: 0,
+            routing_paths: r,
+            factories: f,
+            n_gates: 10,
+            n_surgery_ops: 10,
+            n_moves: 0,
+            n_moves_eliminated: 0,
+            n_magic_states: 1,
+        };
+        metrics.factory_patches = 0;
+        DesignPoint {
+            routing_paths: r,
+            factories: f,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn pareto_drops_dominated_points() {
+        let pts = vec![
+            point(2, 1, 100, 50.0),
+            point(4, 1, 120, 40.0),
+            point(6, 1, 150, 45.0), // dominated by (120, 40)
+            point(8, 1, 200, 30.0),
+        ];
+        let front = pareto_front(&pts);
+        let qubits: Vec<u32> = front.iter().map(|p| p.qubits()).collect();
+        assert_eq!(qubits, vec![100, 120, 200]);
+    }
+
+    #[test]
+    fn pareto_keeps_all_when_none_dominated() {
+        let pts = vec![point(2, 1, 100, 50.0), point(4, 1, 200, 25.0)];
+        assert_eq!(pareto_front(&pts).len(), 2);
+    }
+
+    #[test]
+    fn best_by_volume_picks_minimum() {
+        let pts = vec![
+            point(2, 1, 100, 50.0), // 5000
+            point(4, 1, 120, 40.0), // 4800
+            point(8, 1, 200, 30.0), // 6000
+        ];
+        let best = best_by_volume(&pts).unwrap();
+        assert_eq!(best.qubits(), 120);
+        assert!(best_by_volume(&[]).is_none());
+    }
+
+    #[test]
+    fn explore_on_real_circuit() {
+        use ftqc_circuit::Circuit;
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.h(q);
+            c.t(q);
+        }
+        c.cnot(0, 1).cnot(4, 5);
+        let pts = explore(&c, &[2, 4, 6, 99], &[1, 2], &CompilerOptions::default())
+            .expect("compiles");
+        // r=99 is invalid for 9 qubits (max 2*3+2=8) and silently skipped.
+        assert_eq!(pts.len(), 6);
+        let front = pareto_front(&pts);
+        assert!(!front.is_empty());
+        // Front is sorted and strictly improving in time as qubits grow.
+        for w in front.windows(2) {
+            assert!(w[0].qubits() < w[1].qubits());
+            assert!(w[0].time_d() > w[1].time_d());
+        }
+        let best = best_by_volume(&pts).unwrap();
+        assert!(pts.iter().any(|p| p.volume() >= best.volume()));
+    }
+}

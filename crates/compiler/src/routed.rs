@@ -1,0 +1,82 @@
+//! The routed operation record passed between the compiler stages.
+
+use ftqc_arch::SurgeryOp;
+use serde::{Deserialize, Serialize};
+
+/// A lattice-surgery operation with the scheduling metadata the timing
+/// stage needs: which program qubits it orders against, which factory
+/// produced its magic state, and which circuit gate it realises.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedOp {
+    /// The surgery operation.
+    pub op: SurgeryOp,
+    /// Program qubits whose ready-times gate this operation (and are pushed
+    /// to its completion time). Moves carry the moved qubit; logical gates
+    /// carry their operands; magic deliveries carry none.
+    pub patches: Vec<u32>,
+    /// For [`SurgeryOp::DeliverMagic`]: the index of the producing factory.
+    pub factory: Option<usize>,
+    /// Index of the originating gate in the lowered circuit, if any
+    /// (movements planned for a gate carry that gate's index).
+    pub gate: Option<usize>,
+}
+
+impl RoutedOp {
+    /// A movement op (move/delivery) for qubit `q` planned while realising
+    /// gate `gate`.
+    pub fn movement(op: SurgeryOp, q: Option<u32>, gate: usize) -> Self {
+        Self {
+            op,
+            patches: q.into_iter().collect(),
+            factory: None,
+            gate: Some(gate),
+        }
+    }
+
+    /// A logical gate operation over `patches`.
+    pub fn gate_op(op: SurgeryOp, patches: Vec<u32>, gate: usize) -> Self {
+        Self {
+            op,
+            patches,
+            factory: None,
+            gate: Some(gate),
+        }
+    }
+
+    /// Whether this is a data-qubit move or magic delivery.
+    pub fn is_movement(&self) -> bool {
+        self.op.is_movement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_arch::Coord;
+
+    #[test]
+    fn constructors_tag_metadata() {
+        let mv = RoutedOp::movement(
+            SurgeryOp::Move {
+                from: Coord::new(0, 0),
+                to: Coord::new(0, 1),
+            },
+            Some(3),
+            17,
+        );
+        assert!(mv.is_movement());
+        assert_eq!(mv.patches, vec![3]);
+        assert_eq!(mv.gate, Some(17));
+        assert_eq!(mv.factory, None);
+
+        let g = RoutedOp::gate_op(
+            SurgeryOp::MeasureZ {
+                cell: Coord::new(1, 1),
+            },
+            vec![0],
+            2,
+        );
+        assert!(!g.is_movement());
+        assert_eq!(g.patches, vec![0]);
+    }
+}

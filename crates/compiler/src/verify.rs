@@ -1,0 +1,343 @@
+//! Schedule verification: checks that a compiled program is physically
+//! executable.
+//!
+//! Verified invariants:
+//!
+//! 1. every operation satisfies its lattice-surgery placement constraint;
+//! 2. no two time-overlapping operations share a grid cell;
+//! 3. operations on the same program qubit never overlap in time;
+//! 4. consecutive magic grants from one factory are spaced by at least the
+//!    production latency;
+//! 5. every cell used lies on the layout grid.
+//!
+//! The compiler's own tests run this on every schedule they produce; it is
+//! public so downstream users can validate programs before exporting them
+//! to a control system.
+
+use crate::pipeline::CompiledProgram;
+use crate::routed::RoutedOp;
+use ftqc_arch::{Coord, Ticks, TimingModel};
+use ftqc_sim::ScheduledOp;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifyError {
+    /// An operation violates its placement constraint.
+    InvalidPlacement {
+        /// Index in the schedule.
+        index: usize,
+        /// Constraint description.
+        reason: String,
+    },
+    /// Two concurrent operations share a cell.
+    ResourceConflict {
+        /// Indices of the conflicting operations.
+        first: usize,
+        /// Index of the second operation.
+        second: usize,
+        /// The shared cell.
+        cell: Coord,
+    },
+    /// Two operations on one qubit overlap in time.
+    QubitOverlap {
+        /// The program qubit.
+        qubit: u32,
+        /// Indices of the overlapping operations.
+        first: usize,
+        /// Index of the second operation.
+        second: usize,
+    },
+    /// A factory granted states faster than it can produce them.
+    FactoryOverrun {
+        /// The factory index.
+        factory: usize,
+        /// Start times of the two grants (ticks).
+        starts: (u64, u64),
+    },
+    /// An operation uses a cell outside the layout grid.
+    OffGrid {
+        /// Index in the schedule.
+        index: usize,
+        /// The offending cell.
+        cell: Coord,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::InvalidPlacement { index, reason } => {
+                write!(f, "op {index} violates placement: {reason}")
+            }
+            VerifyError::ResourceConflict { first, second, cell } => {
+                write!(f, "ops {first} and {second} both occupy {cell} concurrently")
+            }
+            VerifyError::QubitOverlap { qubit, first, second } => {
+                write!(f, "ops {first} and {second} overlap on qubit {qubit}")
+            }
+            VerifyError::FactoryOverrun { factory, starts } => write!(
+                f,
+                "factory {factory} granted states at ticks {} and {} (< production apart)",
+                starts.0, starts.1
+            ),
+            VerifyError::OffGrid { index, cell } => {
+                write!(f, "op {index} uses off-grid cell {cell}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Verifies a compiled program against the given timing model.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify(program: &CompiledProgram, timing: &TimingModel) -> Result<(), VerifyError> {
+    let items = program.schedule().items();
+    verify_items(items, timing, |c| program.layout().grid().in_bounds(c))
+}
+
+/// Core verification over raw scheduled items (exposed for tests of custom
+/// schedules).
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify_items(
+    items: &[ScheduledOp<RoutedOp>],
+    timing: &TimingModel,
+    in_bounds: impl Fn(Coord) -> bool,
+) -> Result<(), VerifyError> {
+    // 1 & 5: placement and bounds.
+    for (i, item) in items.iter().enumerate() {
+        if let Err(reason) = item.op.op.validate() {
+            return Err(VerifyError::InvalidPlacement { index: i, reason });
+        }
+        for c in item.op.op.cells() {
+            if !in_bounds(c) {
+                return Err(VerifyError::OffGrid { index: i, cell: c });
+            }
+        }
+    }
+
+    // 2: resource conflicts via a sweep over per-cell interval lists.
+    let mut by_cell: HashMap<Coord, Vec<(u64, u64, usize)>> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        if item.duration == Ticks::ZERO {
+            continue;
+        }
+        for c in item.op.op.cells() {
+            by_cell
+                .entry(c)
+                .or_default()
+                .push((item.start.raw(), item.end().raw(), i));
+        }
+    }
+    for (cell, mut intervals) in by_cell {
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(VerifyError::ResourceConflict {
+                    first: w[0].2,
+                    second: w[1].2,
+                    cell,
+                });
+            }
+        }
+    }
+
+    // 3: per-qubit ordering.
+    let mut by_qubit: HashMap<u32, Vec<(u64, u64, usize)>> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        if item.duration == Ticks::ZERO {
+            continue;
+        }
+        for &q in &item.op.patches {
+            by_qubit
+                .entry(q)
+                .or_default()
+                .push((item.start.raw(), item.end().raw(), i));
+        }
+    }
+    for (qubit, mut intervals) in by_qubit {
+        intervals.sort_unstable();
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Err(VerifyError::QubitOverlap {
+                    qubit,
+                    first: w[0].2,
+                    second: w[1].2,
+                });
+            }
+        }
+    }
+
+    // 4: factory production spacing.
+    let mut per_factory: HashMap<usize, Vec<u64>> = HashMap::new();
+    for item in items {
+        if let Some(f) = item.op.factory {
+            per_factory.entry(f).or_default().push(item.start.raw());
+        }
+    }
+    for (factory, mut starts) in per_factory {
+        starts.sort_unstable();
+        for w in starts.windows(2) {
+            if w[1] - w[0] < timing.magic_production.raw() {
+                return Err(VerifyError::FactoryOverrun {
+                    factory,
+                    starts: (w[0], w[1]),
+                });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, CompilerOptions};
+    use ftqc_arch::SurgeryOp;
+    use ftqc_circuit::Circuit;
+    use ftqc_sim::ScheduledOp;
+
+    fn scheduled(op: SurgeryOp, patches: Vec<u32>, start: f64, dur: f64) -> ScheduledOp<RoutedOp> {
+        ScheduledOp {
+            op: RoutedOp {
+                op,
+                patches,
+                factory: None,
+                gate: None,
+            },
+            start: Ticks::from_d(start),
+            duration: Ticks::from_d(dur),
+        }
+    }
+
+    #[test]
+    fn compiled_programs_verify() {
+        let mut c = Circuit::new(9);
+        for q in 0..9 {
+            c.h(q);
+        }
+        c.cnot(0, 4).t(4).cnot(4, 8).measure(8);
+        let p = Compiler::new(CompilerOptions::default().routing_paths(4).factories(2))
+            .compile(&c)
+            .expect("compiles");
+        verify(&p, &TimingModel::paper()).expect("compiled schedule verifies");
+    }
+
+    #[test]
+    fn detects_resource_conflict() {
+        let items = vec![
+            scheduled(
+                SurgeryOp::Move {
+                    from: Coord::new(0, 0),
+                    to: Coord::new(0, 1),
+                },
+                vec![0],
+                0.0,
+                1.0,
+            ),
+            scheduled(
+                SurgeryOp::Move {
+                    from: Coord::new(0, 1),
+                    to: Coord::new(0, 2),
+                },
+                vec![1],
+                0.5,
+                1.0,
+            ),
+        ];
+        let err = verify_items(&items, &TimingModel::paper(), |_| true).unwrap_err();
+        assert!(matches!(err, VerifyError::ResourceConflict { .. }));
+    }
+
+    #[test]
+    fn detects_qubit_overlap() {
+        let items = vec![
+            scheduled(
+                SurgeryOp::MeasureZ {
+                    cell: Coord::new(0, 0),
+                },
+                vec![7],
+                0.0,
+                1.0,
+            ),
+            scheduled(
+                SurgeryOp::MeasureZ {
+                    cell: Coord::new(5, 5),
+                },
+                vec![7],
+                0.5,
+                1.0,
+            ),
+        ];
+        let err = verify_items(&items, &TimingModel::paper(), |_| true).unwrap_err();
+        assert!(matches!(err, VerifyError::QubitOverlap { qubit: 7, .. }));
+    }
+
+    #[test]
+    fn detects_invalid_placement() {
+        let items = vec![scheduled(
+            SurgeryOp::MergeZz {
+                a: Coord::new(0, 0),
+                b: Coord::new(0, 1), // horizontal: illegal for M_ZZ
+            },
+            vec![0],
+            0.0,
+            1.0,
+        )];
+        let err = verify_items(&items, &TimingModel::paper(), |_| true).unwrap_err();
+        assert!(matches!(err, VerifyError::InvalidPlacement { .. }));
+    }
+
+    #[test]
+    fn detects_factory_overrun() {
+        let mk = |start: f64, col: i32| ScheduledOp {
+            op: RoutedOp {
+                op: SurgeryOp::DeliverMagic {
+                    path: vec![Coord::new(0, col), Coord::new(1, col)],
+                },
+                patches: vec![],
+                factory: Some(0),
+                gate: None,
+            },
+            start: Ticks::from_d(start),
+            duration: Ticks::from_d(1.0),
+        };
+        let items = vec![mk(0.0, 0), mk(5.0, 3)]; // 5d apart < 11d
+        let err = verify_items(&items, &TimingModel::paper(), |_| true).unwrap_err();
+        assert!(matches!(err, VerifyError::FactoryOverrun { factory: 0, .. }));
+    }
+
+    #[test]
+    fn detects_off_grid() {
+        let items = vec![scheduled(
+            SurgeryOp::MeasureZ {
+                cell: Coord::new(99, 99),
+            },
+            vec![0],
+            0.0,
+            1.0,
+        )];
+        let err = verify_items(&items, &TimingModel::paper(), |c| c.row < 10 && c.col < 10)
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::OffGrid { .. }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VerifyError::OffGrid {
+            index: 3,
+            cell: Coord::new(9, 9),
+        };
+        assert!(e.to_string().contains("off-grid"));
+    }
+}

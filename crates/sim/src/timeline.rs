@@ -1,0 +1,134 @@
+//! Per-cell busy-until tracking.
+
+use ftqc_arch::{Coord, Ticks};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Tracks, for every grid cell, the instant it becomes free.
+///
+/// Cells never touched are free from time zero. The timeline is the
+/// contention model of the scheduler: two operations sharing any cell are
+/// serialised, operations on disjoint cells overlap freely.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_arch::{Coord, Ticks};
+/// use ftqc_sim::ResourceTimeline;
+///
+/// let mut tl = ResourceTimeline::new();
+/// let cells = [Coord::new(0, 0), Coord::new(0, 1)];
+/// let start = tl.earliest_start(cells.iter().copied(), Ticks::ZERO);
+/// tl.reserve(cells.iter().copied(), start, Ticks::from_d(2.0));
+/// assert_eq!(tl.busy_until(Coord::new(0, 0)), Ticks::from_d(2.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceTimeline {
+    busy_until: HashMap<Coord, Ticks>,
+}
+
+impl ResourceTimeline {
+    /// An empty timeline (everything free at time zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// When `cell` becomes free.
+    pub fn busy_until(&self, cell: Coord) -> Ticks {
+        self.busy_until.get(&cell).copied().unwrap_or(Ticks::ZERO)
+    }
+
+    /// Earliest instant ≥ `not_before` at which every cell in `cells` is
+    /// free.
+    pub fn earliest_start(
+        &self,
+        cells: impl IntoIterator<Item = Coord>,
+        not_before: Ticks,
+    ) -> Ticks {
+        cells
+            .into_iter()
+            .map(|c| self.busy_until(c))
+            .fold(not_before, Ticks::max)
+    }
+
+    /// Marks every cell in `cells` busy during `[start, start + duration)`.
+    ///
+    /// Reservations are expected to be issued in non-decreasing start order
+    /// per cell (the scheduler's discipline); a reservation never shortens
+    /// an existing one.
+    pub fn reserve(
+        &mut self,
+        cells: impl IntoIterator<Item = Coord>,
+        start: Ticks,
+        duration: Ticks,
+    ) {
+        let end = start + duration;
+        for c in cells {
+            let e = self.busy_until.entry(c).or_insert(Ticks::ZERO);
+            *e = (*e).max(end);
+        }
+    }
+
+    /// The latest busy-until across all cells (the resource makespan).
+    pub fn horizon(&self) -> Ticks {
+        self.busy_until
+            .values()
+            .copied()
+            .fold(Ticks::ZERO, Ticks::max)
+    }
+
+    /// Number of cells ever reserved.
+    pub fn touched_cells(&self) -> usize {
+        self.busy_until.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_cells_are_free() {
+        let tl = ResourceTimeline::new();
+        assert_eq!(tl.busy_until(Coord::new(5, 5)), Ticks::ZERO);
+        assert_eq!(tl.horizon(), Ticks::ZERO);
+    }
+
+    #[test]
+    fn earliest_start_respects_not_before() {
+        let tl = ResourceTimeline::new();
+        let t = tl.earliest_start([Coord::new(0, 0)], Ticks::from_d(3.0));
+        assert_eq!(t, Ticks::from_d(3.0));
+    }
+
+    #[test]
+    fn reserve_serialises_overlapping_ops() {
+        let mut tl = ResourceTimeline::new();
+        let a = [Coord::new(0, 0), Coord::new(0, 1)];
+        let b = [Coord::new(0, 1), Coord::new(0, 2)];
+        tl.reserve(a.iter().copied(), Ticks::ZERO, Ticks::from_d(2.0));
+        let start_b = tl.earliest_start(b.iter().copied(), Ticks::ZERO);
+        assert_eq!(start_b, Ticks::from_d(2.0), "shared cell (0,1) serialises");
+        // Disjoint cells overlap.
+        let c = [Coord::new(5, 5)];
+        assert_eq!(tl.earliest_start(c.iter().copied(), Ticks::ZERO), Ticks::ZERO);
+    }
+
+    #[test]
+    fn reserve_never_shrinks() {
+        let mut tl = ResourceTimeline::new();
+        let c = Coord::new(1, 1);
+        tl.reserve([c], Ticks::ZERO, Ticks::from_d(5.0));
+        tl.reserve([c], Ticks::from_d(1.0), Ticks::from_d(1.0));
+        assert_eq!(tl.busy_until(c), Ticks::from_d(5.0));
+    }
+
+    #[test]
+    fn horizon_tracks_max() {
+        let mut tl = ResourceTimeline::new();
+        tl.reserve([Coord::new(0, 0)], Ticks::ZERO, Ticks::from_d(2.0));
+        tl.reserve([Coord::new(9, 9)], Ticks::from_d(4.0), Ticks::from_d(3.0));
+        assert_eq!(tl.horizon(), Ticks::from_d(7.0));
+        assert_eq!(tl.touched_cells(), 2);
+    }
+}

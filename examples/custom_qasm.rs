@@ -1,0 +1,45 @@
+//! Compile an OpenQASM 2 program (e.g. a QASMBench file): pass a path as
+//! the first argument, or run without arguments to use a built-in sample.
+//!
+//! Run with: `cargo run --release --example custom_qasm [file.qasm]`
+
+use ftqc::circuit::parse_qasm;
+use ftqc::compiler::{Compiler, CompilerOptions};
+
+const SAMPLE: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+t q[3];
+rz(pi/8) q[1];
+tdg q[0];
+measure q[0] -> c[0];
+measure q[3] -> c[3];
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => SAMPLE.to_string(),
+    };
+    let circuit = parse_qasm(&source)?;
+    println!(
+        "parsed {} qubits, {} gates ({}), {} magic states needed",
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.counts(),
+        circuit.t_count()
+    );
+
+    for r in [2u32, 4] {
+        let options = CompilerOptions::default().routing_paths(r).factories(1);
+        let compiled = Compiler::new(options).compile(&circuit)?;
+        println!("\n--- r={r} ---\n{}", compiled.metrics());
+    }
+    Ok(())
+}

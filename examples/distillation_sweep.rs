@@ -1,0 +1,43 @@
+//! Distillation sensitivity study: how execution time responds to the
+//! magic-state production latency and the factory count (generalising the
+//! paper's Fig 14(d)).
+//!
+//! Run with: `cargo run --release --example distillation_sweep`
+
+use ftqc::arch::Ticks;
+use ftqc::benchmarks::fermi_hubbard_2d;
+use ftqc::compiler::{Compiler, CompilerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = fermi_hubbard_2d(6);
+    println!(
+        "distillation sensitivity for {} ({} magic states), r=6\n",
+        circuit.name(),
+        circuit.t_count()
+    );
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "t_MSF (d)", "factories", "bound (d)", "exec (d)", "exec/LB"
+    );
+    for msf in [11.0f64, 8.0, 5.0, 2.0] {
+        for f in [1u32, 2, 4] {
+            let options = CompilerOptions::default()
+                .routing_paths(6)
+                .factories(f)
+                .magic_production(Ticks::from_d(msf));
+            let m = *Compiler::new(options).compile(&circuit)?.metrics();
+            println!(
+                "{msf:>10} {f:>10} {:>12.0} {:>12.0} {:>10.2}",
+                m.lower_bound.as_d(),
+                m.execution_time.as_d(),
+                m.overhead()
+            );
+        }
+    }
+    println!(
+        "\nAs production gets faster the distillation bound stops dominating and the \
+         compiler's routing quality becomes the limiting factor."
+    );
+    Ok(())
+}

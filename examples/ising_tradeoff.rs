@@ -1,0 +1,50 @@
+//! Space-time trade-off explorer: sweep routing paths and factory counts
+//! for an Ising Trotter step and report the spacetime-volume-optimal
+//! configuration — the workflow a hardware designer would use to size an
+//! early-FTQC machine (paper §VII.B).
+//!
+//! Run with: `cargo run --release --example ising_tradeoff`
+
+use ftqc::benchmarks::ising_2d;
+use ftqc::compiler::{Compiler, CompilerOptions, Metrics};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = ising_2d(6); // 6x6 = 36 spins
+    println!(
+        "exploring space-time trade-offs for {} ({} gates, {} magic states)\n",
+        circuit.name(),
+        circuit.len(),
+        circuit.t_count()
+    );
+
+    let mut best: Option<(u32, u32, Metrics)> = None;
+    println!("{:>4} {:>10} {:>8} {:>10} {:>12}", "r", "factories", "qubits", "time (d)", "volume/op");
+    for r in [2u32, 3, 4, 6, 8, 10, 14] {
+        for f in [1u32, 2, 3, 4, 6] {
+            let options = CompilerOptions::default().routing_paths(r).factories(f);
+            let m = *Compiler::new(options).compile(&circuit)?.metrics();
+            let vol = m.spacetime_volume_per_op(true);
+            println!(
+                "{r:>4} {f:>10} {:>8} {:>10.0} {vol:>12.1}",
+                m.total_qubits(),
+                m.execution_time.as_d()
+            );
+            if best
+                .as_ref()
+                .is_none_or(|(_, _, b)| vol < b.spacetime_volume_per_op(true))
+            {
+                best = Some((r, f, m));
+            }
+        }
+    }
+
+    let (r, f, m) = best.expect("at least one configuration compiled");
+    println!(
+        "\noptimal configuration: r={r}, {f} factories -> {} qubits, {} execution time \
+         ({:.2}x the distillation bound)",
+        m.total_qubits(),
+        m.execution_time,
+        m.overhead()
+    );
+    Ok(())
+}

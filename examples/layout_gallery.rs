@@ -1,0 +1,33 @@
+//! Render the routing-path-parameterised layout family of paper Fig 3:
+//! a 4x4 data block with 2, 4, 6 and 10 routing paths, plus the factory
+//! ports docked on the boundary.
+//!
+//! Run with: `cargo run --example layout_gallery`
+
+use ftqc::arch::{render_with, CellKind, FactoryBank, Layout, Ticks};
+
+fn main() {
+    for r in [2u32, 4, 6, 10] {
+        let layout = Layout::with_routing_paths(16, r);
+        let bank = FactoryBank::dock(&layout, 2, Ticks::from_d(11.0));
+        println!(
+            "r = {r}: {} patches ({} data, {} bus), data:ancilla = {:.2}",
+            layout.total_patches(),
+            layout.data_cells().len(),
+            layout.bus_patches(),
+            layout.data_to_ancilla_ratio()
+        );
+        let art = render_with(&layout, |c| {
+            if bank.ports().contains(&c) {
+                'P'
+            } else {
+                match layout.grid().kind(c) {
+                    CellKind::Data => 'D',
+                    CellKind::Bus => '.',
+                }
+            }
+        });
+        println!("{art}");
+    }
+    println!("D = data qubit, . = bus/ancilla, P = magic-state factory port");
+}

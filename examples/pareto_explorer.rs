@@ -1,0 +1,52 @@
+//! Pareto-front exploration with the `explore` API: enumerate machine
+//! configurations for a Fermi–Hubbard step and print the qubit/time Pareto
+//! front plus the spacetime-volume optimum.
+//!
+//! Run with: `cargo run --release --example pareto_explorer`
+
+use ftqc::benchmarks::fermi_hubbard_2d;
+use ftqc::compiler::{best_by_volume, explore, pareto_front, CompilerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = fermi_hubbard_2d(6);
+    println!(
+        "design-space exploration for {} ({} gates, {} magic states)\n",
+        circuit.name(),
+        circuit.len(),
+        circuit.t_count()
+    );
+
+    let points = explore(
+        &circuit,
+        &[2, 3, 4, 6, 8, 10, 14],
+        &[1, 2, 3, 4, 6],
+        &CompilerOptions::default(),
+    )?;
+    println!("evaluated {} configurations", points.len());
+
+    println!("\nPareto front (qubits vs execution time):");
+    println!(
+        "{:>4} {:>10} {:>8} {:>10} {:>12}",
+        "r", "factories", "qubits", "time (d)", "volume/op"
+    );
+    for p in pareto_front(&points) {
+        println!(
+            "{:>4} {:>10} {:>8} {:>10.0} {:>12.1}",
+            p.routing_paths,
+            p.factories,
+            p.qubits(),
+            p.time_d(),
+            p.metrics.spacetime_volume_per_op(true)
+        );
+    }
+
+    let best = best_by_volume(&points).expect("non-empty");
+    println!(
+        "\nspacetime-volume optimum: r={}, {} factories ({} qubits x {:.0}d)",
+        best.routing_paths,
+        best.factories,
+        best.qubits(),
+        best.time_d()
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Hardware planning: from a logical circuit and a physical error rate to a
+//! complete machine specification (code distance, distillation protocol,
+//! layout, physical qubit count, wall-clock time).
+//!
+//! The paper's evaluation stays in logical units; this example shows the
+//! library closing the loop to physical resources — the question an
+//! early-FTQC roadmap actually asks.
+//!
+//! Run with: `cargo run --release --example resource_estimate`
+
+use ftqc::arch::qec::PhysicalAssumptions;
+use ftqc::benchmarks::ising_2d;
+use ftqc::compiler::estimate::{estimate_resources, EstimateRequest, Objective};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = ising_2d(6); // 6x6 Ising Trotter step
+    println!(
+        "planning hardware for {} ({} qubits, {} gates, {} T-like rotations)\n",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.t_count(),
+    );
+
+    println!("=== sweep over physical error rates (objective: fewest physical qubits) ===");
+    for p in [1e-3, 5e-4, 1e-4] {
+        let request = EstimateRequest {
+            assumptions: PhysicalAssumptions {
+                physical_error_rate: p,
+                ..PhysicalAssumptions::superconducting()
+            },
+            ..Default::default()
+        };
+        match estimate_resources(&circuit, &request) {
+            Ok(e) => {
+                println!("p = {p:.0e}:");
+                println!("{e}\n");
+            }
+            Err(err) => println!("p = {p:.0e}: {err}\n"),
+        }
+    }
+
+    println!("=== objective trade-off at p = 1e-3 ===");
+    for objective in [
+        Objective::PhysicalQubits,
+        Objective::SpacetimeVolume,
+        Objective::WallClock,
+    ] {
+        let request = EstimateRequest {
+            objective,
+            ..Default::default()
+        };
+        let e = estimate_resources(&circuit, &request)?;
+        println!(
+            "{objective:<18} -> r={} f={} d={} {:>9} phys qubits, {:.3} s",
+            e.routing_paths, e.factories, e.code_distance, e.physical_qubits, e.wall_clock_seconds
+        );
+    }
+    Ok(())
+}

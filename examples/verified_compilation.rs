@@ -1,0 +1,53 @@
+//! End-to-end verified compilation: compile a circuit, then prove the
+//! schedule (a) physically executable and (b) semantically equivalent to
+//! the input, by replaying every patch movement and checking the realised
+//! gate sequence against three independent oracles (trace projection,
+//! Clifford tableau, dense state vector).
+//!
+//! Run with: `cargo run --release --example verified_compilation`
+
+use ftqc::arch::TimingModel;
+use ftqc::circuit::{Angle, Circuit};
+use ftqc::compiler::{check_semantics, verify, Compiler, CompilerOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An 8-qubit kernel mixing everything the ISA supports: Cliffords,
+    // T gates, arbitrary rotations, CZ/SWAP (lowered), and measurement.
+    let mut c = Circuit::with_name(8, "verified-kernel");
+    c.h(0).cnot(0, 1).t(1).cz(1, 2).swap(2, 3);
+    c.rz(3, Angle::new(0.3)).sx(4).cnot(4, 5).tdg(5);
+    c.rz(6, Angle::new(0.5)) // Clifford rotation: becomes an S
+        .cnot(6, 7)
+        .measure(7);
+
+    println!(
+        "input: {} ({} qubits, {} gates)",
+        c.name(),
+        c.num_qubits(),
+        c.len()
+    );
+
+    let options = CompilerOptions::default().routing_paths(4).factories(1);
+    let program = Compiler::new(options).compile(&c)?;
+    let m = program.metrics();
+    println!(
+        "compiled: {} surgery ops ({} moves), makespan {}",
+        m.n_surgery_ops, m.n_moves, m.execution_time
+    );
+
+    // Physical: placement constraints, cell exclusivity, factory spacing.
+    verify(&program, &TimingModel::paper())?;
+    println!("physical verification  : ok");
+
+    // Semantic: replay the schedule, track every patch, rebuild the logical
+    // circuit and prove equivalence.
+    let report = check_semantics(&c, &program)?;
+    println!("semantic verification  : ok ({report})");
+
+    println!(
+        "\nevery compiled schedule in this repository's tests passes both\n\
+         verifiers; run `ftqc compile <circuit> --verify --semantics` to\n\
+         check your own."
+    );
+    Ok(())
+}

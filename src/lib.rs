@@ -1,0 +1,41 @@
+//! `ftqc` — space-time optimisations for early fault-tolerant quantum
+//! computation.
+//!
+//! Umbrella crate re-exporting the workspace: a distillation-adaptive
+//! surface-code compiler (Sharma & Murali, CGO 2026) together with the
+//! substrates it is built on and the baselines it is evaluated against.
+//!
+//! * [`circuit`] — Clifford+T IR, dependency DAG, Pauli/tableau algebra,
+//!   PPR transpilation, OpenQASM subset I/O.
+//! * [`arch`] — logical-qubit grid, routing-path-parameterised layouts,
+//!   lattice-surgery instruction set, timing model, distillation factories.
+//! * [`route`] — weighted Dijkstra pathfinding, space search, and
+//!   gate-dependent look-ahead moves.
+//! * [`sim`] — per-cell resource timeline (discrete-event scheduling core).
+//! * [`compiler`] — the mapping → routing → scheduling pipeline and its
+//!   metrics (the paper's primary contribution).
+//! * [`baselines`] — Litinski block layouts, LSQCA Line-SAM, and DASCOT
+//!   comparison models.
+//! * [`benchmarks`] — Table I workload generators (condensed-matter Trotter
+//!   circuits, GHZ, adder, multiplier).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ftqc::benchmarks::ising_2d;
+//! use ftqc::compiler::{Compiler, CompilerOptions};
+//!
+//! let circuit = ising_2d(2); // 2x2 Ising model, single Trotter step
+//! let options = CompilerOptions::default().routing_paths(4).factories(1);
+//! let compiled = Compiler::new(options).compile(&circuit)?;
+//! assert!(compiled.metrics().execution_time >= compiled.metrics().lower_bound);
+//! # Ok::<(), ftqc::compiler::CompileError>(())
+//! ```
+
+pub use ftqc_arch as arch;
+pub use ftqc_baselines as baselines;
+pub use ftqc_benchmarks as benchmarks;
+pub use ftqc_circuit as circuit;
+pub use ftqc_compiler as compiler;
+pub use ftqc_route as route;
+pub use ftqc_sim as sim;

@@ -1,0 +1,118 @@
+//! Cross-model integration tests: the relationships between our compiler
+//! and the three baselines that the paper's figures rely on.
+
+use ftqc::baselines::{dascot_estimate, BlockLayout, GameOfSurfaceCodes, LineSam};
+use ftqc::benchmarks::{fermi_hubbard_2d, ising_2d};
+use ftqc::compiler::{Compiler, CompilerOptions, Metrics};
+use ftqc_arch::TimingModel;
+use ftqc_circuit::Circuit;
+
+fn ours(c: &Circuit, r: u32, f: u32) -> Metrics {
+    *Compiler::new(CompilerOptions::default().routing_paths(r).factories(f))
+        .compile(c)
+        .expect("compiles")
+        .metrics()
+}
+
+#[test]
+fn we_use_far_fewer_qubits_than_modified_blocks() {
+    // §VII.C: ~53% qubit reduction versus the blocks at 100 qubits.
+    let c = ising_2d(10);
+    let m = ours(&c, 4, 1);
+    let compact = GameOfSurfaceCodes::new(BlockLayout::Compact).estimate(&c);
+    let fast = GameOfSurfaceCodes::new(BlockLayout::Fast).estimate(&c);
+    assert!(m.total_qubits() < compact.total_qubits());
+    assert!((m.total_qubits() as f64) < 0.5 * fast.total_qubits() as f64);
+}
+
+#[test]
+fn our_time_is_close_to_blocks_at_one_factory() {
+    // With one 11d factory everything is distillation-bound; our overhead
+    // versus the blocks should be modest (paper: ~1.2x average).
+    let c = ising_2d(4);
+    let m = ours(&c, 4, 1);
+    let fast = GameOfSurfaceCodes::new(BlockLayout::Fast).estimate(&c);
+    let ratio = m.execution_time.as_d() / fast.execution_time.as_d();
+    assert!(
+        ratio < 1.5,
+        "our time {:.0}d should be within 1.5x of fast block {:.0}d",
+        m.execution_time.as_d(),
+        fast.execution_time.as_d()
+    );
+}
+
+#[test]
+fn line_sam_is_insensitive_to_factories_but_we_are_not() {
+    let c = fermi_hubbard_2d(4);
+    let ours_1 = ours(&c, 6, 1).execution_time.as_d();
+    let ours_4 = ours(&c, 6, 4).execution_time.as_d();
+    let line_1 = LineSam::new().estimate(&c).execution_time.as_d();
+    let line_4 = LineSam::new().factories(4).estimate(&c).execution_time.as_d();
+    let our_gain = ours_1 / ours_4;
+    let line_gain = line_1 / line_4;
+    assert!(
+        our_gain > line_gain,
+        "our factory scaling {our_gain:.2} must beat Line SAM's {line_gain:.2}"
+    );
+    assert!(our_gain > 1.5, "we should gain substantially from 4 factories");
+}
+
+#[test]
+fn dascot_wins_with_unlimited_states_loses_with_one_factory() {
+    // Fig 15's two regimes.
+    let c = fermi_hubbard_2d(10);
+    let timing = TimingModel::paper();
+
+    let ours_1f = ours(&c, 4, 1);
+    let dascot_1f = dascot_estimate(&c, Some(1), &timing);
+    assert!(
+        dascot_1f.spacetime_volume(false) > ours_1f.spacetime_volume(false),
+        "with 1 factory DASCOT's volume must exceed ours"
+    );
+
+    let options = CompilerOptions::default()
+        .routing_paths(4)
+        .factories(4)
+        .unbounded_magic(true);
+    let ours_unlimited = *Compiler::new(options).compile(&c).expect("compiles").metrics();
+    let dascot_unlimited = dascot_estimate(&c, None, &timing);
+    assert!(
+        dascot_unlimited.spacetime_volume(false) < ours_unlimited.spacetime_volume(false),
+        "with unlimited magic states DASCOT's volume must beat ours"
+    );
+}
+
+#[test]
+fn blocks_hit_the_lower_bound_with_one_factory() {
+    // §VII.C: "the overall time in compact and fast blocks is the same as
+    // the lower bound" (up to the final rotation tail).
+    let c = ising_2d(4);
+    let n_t = c.t_count() as f64;
+    for layout in BlockLayout::all() {
+        let r = GameOfSurfaceCodes::new(layout).estimate(&c);
+        let bound = n_t * 11.0;
+        let ratio = r.execution_time.as_d() / bound;
+        assert!(
+            ratio < 1.05,
+            "{} at {:.3}x the bound",
+            layout.name(),
+            ratio
+        );
+    }
+}
+
+#[test]
+fn baseline_qubit_ordering_matches_paper() {
+    // ours < compact < intermediate ≤ fast (modified blocks), and DASCOT's
+    // 4n sits near the intermediate block.
+    let c = ising_2d(10);
+    let m = ours(&c, 4, 1);
+    let compact = BlockLayout::Compact.qubit_count(100, true);
+    let intermediate = BlockLayout::Intermediate.qubit_count(100, true);
+    let fast = BlockLayout::Fast.qubit_count(100, true);
+    assert!(m.grid_patches < compact);
+    assert!(compact < intermediate);
+    assert!(intermediate <= fast);
+    let dascot = dascot_estimate(&c, Some(1), &TimingModel::paper());
+    assert_eq!(dascot.grid_qubits, 400);
+}

@@ -1,0 +1,62 @@
+//! Property-based integration tests over random Clifford+T circuits.
+
+use ftqc::benchmarks::random_clifford_t;
+use ftqc::compiler::{Compiler, CompilerOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random Clifford+T circuit compiles, and the invariant metrics
+    /// hold: execution time dominates both the unit-cost time and the
+    /// distillation lower bound, and the magic-state count matches the
+    /// circuit's T count.
+    #[test]
+    fn random_circuits_compile_with_sound_metrics(
+        n in 2u32..10,
+        gates in 1usize..80,
+        seed in 0u64..1000,
+        r in 2u32..7,
+        f in 1u32..4,
+    ) {
+        let c = random_clifford_t(n, gates, seed);
+        let options = CompilerOptions::default().routing_paths(r).factories(f);
+        let m = *Compiler::new(options).compile(&c).expect("compiles").metrics();
+        prop_assert!(m.execution_time >= m.lower_bound);
+        prop_assert!(m.unit_cost_time <= m.execution_time);
+        prop_assert_eq!(m.n_magic_states, c.t_count() as u64);
+        prop_assert_eq!(m.n_gates, c.len());
+        prop_assert!(m.n_surgery_ops >= c.len() - c.counts().x - c.counts().y - c.counts().z);
+    }
+
+    /// Redundant-move elimination never changes the logical content.
+    #[test]
+    fn elimination_preserves_logical_ops(
+        seed in 0u64..200,
+    ) {
+        let c = random_clifford_t(6, 60, seed);
+        let with = *Compiler::new(CompilerOptions::default())
+            .compile(&c).expect("compiles").metrics();
+        let without = *Compiler::new(
+            CompilerOptions::default().eliminate_redundant_moves(false))
+            .compile(&c).expect("compiles").metrics();
+        prop_assert_eq!(with.n_magic_states, without.n_magic_states);
+        // Non-movement op counts are identical.
+        prop_assert_eq!(
+            with.n_surgery_ops - with.n_moves,
+            without.n_surgery_ops - without.n_moves
+        );
+        prop_assert!(with.execution_time <= without.execution_time);
+    }
+
+    /// More factories never increase execution time.
+    #[test]
+    fn factories_monotone(seed in 0u64..100) {
+        let c = random_clifford_t(8, 60, seed);
+        let t1 = Compiler::new(CompilerOptions::default().factories(1))
+            .compile(&c).expect("compiles").metrics().execution_time;
+        let t4 = Compiler::new(CompilerOptions::default().factories(4))
+            .compile(&c).expect("compiles").metrics().execution_time;
+        prop_assert!(t4 <= t1);
+    }
+}

@@ -1,0 +1,50 @@
+//! QASM round-trip integration tests: benchmark circuits survive
+//! serialisation, and parsed programs compile.
+
+use ftqc::benchmarks::{adder, ghz, ising_2d, multiplier};
+use ftqc::circuit::{parse_qasm, write_qasm};
+use ftqc::compiler::{Compiler, CompilerOptions};
+
+#[test]
+fn benchmarks_roundtrip_through_qasm() {
+    for c in [ising_2d(4), ghz(16), adder(), multiplier()] {
+        let text = write_qasm(&c);
+        let back = parse_qasm(&text).unwrap_or_else(|e| panic!("{}: {e}", c.name()));
+        assert_eq!(back.num_qubits(), c.num_qubits(), "{}", c.name());
+        assert_eq!(back.counts(), c.counts(), "{}", c.name());
+        assert_eq!(back.t_count(), c.t_count(), "{}", c.name());
+    }
+}
+
+#[test]
+fn parsed_qasm_compiles() {
+    let text = write_qasm(&ising_2d(2));
+    let parsed = parse_qasm(&text).expect("parses");
+    let m = *Compiler::new(CompilerOptions::default())
+        .compile(&parsed)
+        .expect("compiles")
+        .metrics();
+    assert!(m.execution_time >= m.lower_bound);
+    assert_eq!(m.n_magic_states, parsed.t_count() as u64);
+}
+
+#[test]
+fn angles_survive_roundtrip_semantically() {
+    let c = {
+        let mut c = ftqc::circuit::Circuit::new(1);
+        c.rz_pi(0, 0.25).rz_pi(0, -1.5).rz_pi(0, 0.1);
+        c
+    };
+    let back = parse_qasm(&write_qasm(&c)).expect("parses");
+    // Clifford/non-Clifford classification is preserved.
+    assert_eq!(back.t_count(), c.t_count());
+    for (a, b) in back.gates().iter().zip(c.gates()) {
+        match (a, b) {
+            (
+                ftqc::circuit::Gate::Rz(_, x),
+                ftqc::circuit::Gate::Rz(_, y),
+            ) => assert!((x.turns_of_pi() - y.turns_of_pi()).abs() < 1e-9),
+            _ => panic!("gate kinds changed"),
+        }
+    }
+}

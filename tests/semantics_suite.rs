@@ -1,0 +1,113 @@
+//! Semantic verification across the benchmark suite and random circuits.
+//!
+//! These tests exercise `check_semantics` — replaying compiled schedules
+//! into logical circuits and proving them equivalent to the input — as a
+//! *blanket* guarantee over the whole compiler configuration space, rather
+//! than the per-feature cases in the unit tests.
+
+use ftqc::benchmarks::random_clifford_t;
+use ftqc::benchmarks::suite::Benchmark;
+use ftqc::circuit::Circuit;
+use ftqc::compiler::{check_semantics, lower, Compiler, CompilerOptions, EquivalenceMethod};
+use proptest::prelude::*;
+
+#[test]
+fn all_table1_benchmarks_are_semantically_sound() {
+    // Condensed families at 4x4 (fast to compile) plus the three
+    // QASMBench-style circuits at full size.
+    let circuits: Vec<Circuit> = vec![
+        Benchmark::Ising2d.circuit_at(4).unwrap(),
+        Benchmark::Heisenberg2d.circuit_at(4).unwrap(),
+        Benchmark::FermiHubbard2d.circuit_at(4).unwrap(),
+        Benchmark::Adder.circuit(),
+        Benchmark::Multiplier.circuit(),
+    ];
+    for c in &circuits {
+        let p = Compiler::new(CompilerOptions::default().routing_paths(4))
+            .compile(c)
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", c.name()));
+        let r = check_semantics(c, &p)
+            .unwrap_or_else(|e| panic!("{} is semantically unsound: {e}", c.name()));
+        assert_eq!(r.gates_realized, lower(c).len(), "{}", c.name());
+        assert!(r.methods.contains(&EquivalenceMethod::Trace));
+    }
+}
+
+#[test]
+fn ghz_255_is_semantically_sound() {
+    // The largest benchmark: Clifford-only, so the tableau oracle applies
+    // at full width.
+    let c = Benchmark::Ghz.circuit();
+    let p = Compiler::new(CompilerOptions::default().routing_paths(4))
+        .compile(&c)
+        .expect("compiles");
+    let r = check_semantics(&c, &p).expect("sound");
+    assert!(r.methods.contains(&EquivalenceMethod::Tableau));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Every compiled random circuit replays to an equivalent program,
+    /// across layouts and factory counts.
+    #[test]
+    fn random_circuits_are_semantically_sound(
+        n in 2u32..9,
+        gates in 1usize..60,
+        seed in 0u64..500,
+        r in 2u32..7,
+        f in 1u32..3,
+    ) {
+        let c = random_clifford_t(n, gates, seed);
+        let options = CompilerOptions::default().routing_paths(r).factories(f);
+        let p = Compiler::new(options).compile(&c).expect("compiles");
+        let report = check_semantics(&c, &p).expect("semantically sound");
+        prop_assert_eq!(report.gates_realized, lower(&c).len());
+        prop_assert_eq!(report.magic_consumed as u64, p.metrics().n_magic_states);
+    }
+
+    /// Disabling each optimisation (look-ahead, redundant-move elimination)
+    /// must not change program semantics, only cost.
+    #[test]
+    fn ablated_compilers_stay_sound(
+        seed in 0u64..200,
+        lookahead in any::<bool>(),
+        redundant in any::<bool>(),
+    ) {
+        let c = random_clifford_t(5, 40, seed);
+        let options = CompilerOptions::default()
+            .lookahead(lookahead)
+            .eliminate_redundant_moves(redundant);
+        let p = Compiler::new(options).compile(&c).expect("compiles");
+        check_semantics(&c, &p).expect("sound under ablation");
+    }
+
+    /// The interaction-aware mapping changes only *where* qubits start,
+    /// never what the program computes.
+    #[test]
+    fn interaction_aware_mapping_stays_sound(seed in 0u64..150) {
+        use ftqc::compiler::MappingStrategy;
+        let c = random_clifford_t(6, 45, seed);
+        let options = CompilerOptions::default()
+            .mapping(MappingStrategy::InteractionAware);
+        let p = Compiler::new(options).compile(&c).expect("compiles");
+        check_semantics(&c, &p).expect("sound under interaction-aware mapping");
+    }
+
+    /// The peephole pre-pass may shrink the circuit, but the compiled
+    /// schedule must still replay soundly against the *prepared* circuit,
+    /// and the prepared circuit must match the original on the dense
+    /// oracle.
+    #[test]
+    fn optimizing_compiler_stays_sound(seed in 0u64..200) {
+        use ftqc::circuit::{circuits_equivalent, optimize};
+        let c = random_clifford_t(6, 50, seed);
+        let options = CompilerOptions::default().optimize(true);
+        let p = Compiler::new(options).compile(&c).expect("compiles");
+        let report = check_semantics(&c, &p).expect("sound with pre-pass");
+        let (opt, stats) = optimize(&c);
+        prop_assert_eq!(report.gates_realized, lower(&opt).len());
+        prop_assert!(stats.gates_out <= stats.gates_in);
+        prop_assert!(circuits_equivalent(&c, &opt, 1e-9));
+    }
+}
