@@ -196,7 +196,11 @@ impl FactoryBank {
     pub fn reset(&mut self) {
         self.granted = 0;
         for r in &mut self.ready_at {
-            *r = if self.unbounded { Ticks::ZERO } else { self.production };
+            *r = if self.unbounded {
+                Ticks::ZERO
+            } else {
+                self.production
+            };
         }
     }
 }
@@ -272,12 +276,9 @@ mod tests {
     #[test]
     fn clustered_ports_pack_together() {
         let layout = Layout::with_routing_paths(16, 4);
-        let spread = FactoryBank::dock_with(
-            &layout, 3, Ticks::from_d(11.0), PortPlacement::Spread,
-        );
-        let clustered = FactoryBank::dock_with(
-            &layout, 3, Ticks::from_d(11.0), PortPlacement::Clustered,
-        );
+        let spread = FactoryBank::dock_with(&layout, 3, Ticks::from_d(11.0), PortPlacement::Spread);
+        let clustered =
+            FactoryBank::dock_with(&layout, 3, Ticks::from_d(11.0), PortPlacement::Clustered);
         let span = |ports: &[Coord]| -> u32 {
             ports
                 .iter()

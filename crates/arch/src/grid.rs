@@ -7,9 +7,7 @@ use std::fmt;
 ///
 /// Coordinates are signed so that neighbour arithmetic at the boundary never
 /// wraps; [`Grid::in_bounds`] rejects negatives.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Coord {
     /// Row index (grows downward).
     pub row: i32,
@@ -147,8 +145,7 @@ impl Grid {
     /// Iterates over all coordinates in row-major order.
     pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
         let cols = self.cols as i32;
-        (0..self.rows as i32)
-            .flat_map(move |r| (0..cols).map(move |c| Coord::new(r, c)))
+        (0..self.rows as i32).flat_map(move |r| (0..cols).map(move |c| Coord::new(r, c)))
     }
 
     /// Count of cells with the given kind.

@@ -42,7 +42,10 @@ impl fmt::Display for LayoutError {
                 write!(f, "at least 2 routing paths are required (got {requested})")
             }
             LayoutError::TooManyRoutingPaths { requested, max } => {
-                write!(f, "at most {max} routing paths fit this data block (got {requested})")
+                write!(
+                    f,
+                    "at most {max} routing paths fit this data block (got {requested})"
+                )
             }
         }
     }

@@ -128,8 +128,7 @@ pub fn estimate(
                 code_distance: d,
                 logical_qubits,
                 physical_qubits: logical_qubits as u64 * physical_qubits_per_patch(d),
-                wall_clock_seconds: execution_time
-                    .physical_seconds(d, assumptions.cycle_seconds),
+                wall_clock_seconds: execution_time.physical_seconds(d, assumptions.cycle_seconds),
                 expected_logical_error: assumptions.logical_error_per_cycle(d) * patch_cycles,
             });
         }

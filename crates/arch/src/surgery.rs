@@ -12,7 +12,7 @@
 //! (for the `M_XX`).
 
 use crate::grid::Coord;
-use crate::timing::{TimingModel, Ticks};
+use crate::timing::{Ticks, TimingModel};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -169,7 +169,10 @@ impl SurgeryOp {
     /// than a logical gate — used by the redundant-move pass and by the
     /// movement-overhead statistics.
     pub fn is_movement(&self) -> bool {
-        matches!(self, SurgeryOp::Move { .. } | SurgeryOp::DeliverMagic { .. })
+        matches!(
+            self,
+            SurgeryOp::Move { .. } | SurgeryOp::DeliverMagic { .. }
+        )
     }
 
     /// Validates the placement constraints of Fig 7 / §VI.A.
@@ -199,12 +202,16 @@ impl SurgeryOp {
             }
             SurgeryOp::MergeZz { a, b } => {
                 if !a.is_vertical_neighbour(*b) {
-                    return Err(format!("M_ZZ {a}-{b} must be vertical (Z edges are top/bottom)"));
+                    return Err(format!(
+                        "M_ZZ {a}-{b} must be vertical (Z edges are top/bottom)"
+                    ));
                 }
             }
             SurgeryOp::MergeXx { a, b } => {
                 if !a.is_horizontal_neighbour(*b) {
-                    return Err(format!("M_XX {a}-{b} must be horizontal (X edges are left/right)"));
+                    return Err(format!(
+                        "M_XX {a}-{b} must be horizontal (X edges are left/right)"
+                    ));
                 }
             }
             SurgeryOp::Cnot {
@@ -213,7 +220,9 @@ impl SurgeryOp {
                 ancilla,
             } => {
                 if !control.is_diagonal(*target) {
-                    return Err(format!("CNOT control {control} and target {target} must be diagonal"));
+                    return Err(format!(
+                        "CNOT control {control} and target {target} must be diagonal"
+                    ));
                 }
                 if !ancilla.is_vertical_neighbour(*control) {
                     return Err(format!(
@@ -262,7 +271,11 @@ impl fmt::Display for SurgeryOp {
                 target,
                 ancilla,
             } => write!(f, "cnot c={control} t={target} a={ancilla}"),
-            SurgeryOp::Single { kind, cell, ancilla } => {
+            SurgeryOp::Single {
+                kind,
+                cell,
+                ancilla,
+            } => {
                 write!(f, "{} {} (ancilla {})", kind.name(), cell, ancilla)
             }
             SurgeryOp::ConsumeMagic { target, magic } => {
@@ -338,7 +351,9 @@ mod tests {
             magic: Coord::new(0, 0),
         };
         assert_eq!(consume.duration(&tm).as_d(), 2.5);
-        let frame = SurgeryOp::PauliFrame { cell: Coord::new(0, 0) };
+        let frame = SurgeryOp::PauliFrame {
+            cell: Coord::new(0, 0),
+        };
         assert_eq!(frame.duration(&tm), Ticks::ZERO);
     }
 
@@ -351,7 +366,9 @@ mod tests {
             ancilla: Coord::new(0, 1),
         };
         assert_eq!(h.unit_duration(&tm).as_d(), 1.0);
-        let frame = SurgeryOp::PauliFrame { cell: Coord::new(0, 0) };
+        let frame = SurgeryOp::PauliFrame {
+            cell: Coord::new(0, 0),
+        };
         assert_eq!(frame.unit_duration(&tm), Ticks::ZERO);
     }
 
@@ -372,7 +389,8 @@ mod tests {
                 target: t_cell,
                 ancilla: a,
             };
-            op.validate().expect("generated CNOT configuration is valid");
+            op.validate()
+                .expect("generated CNOT configuration is valid");
         }
     }
 
@@ -387,7 +405,10 @@ mod tests {
             a: Coord::new(0, 0),
             b: Coord::new(0, 1),
         };
-        assert!(horizontal.validate().is_err(), "horizontal M_ZZ must be rejected");
+        assert!(
+            horizontal.validate().is_err(),
+            "horizontal M_ZZ must be rejected"
+        );
 
         let mxx_ok = SurgeryOp::MergeXx {
             a: Coord::new(0, 0),

@@ -178,8 +178,7 @@ impl EdpcModel {
                         }
                     }
                     Gate::Cnot { control, target } | Gate::Cz(control, target) => {
-                        if self.try_path(self.cell_of(*control), self.cell_of(*target), &mut used)
-                        {
+                        if self.try_path(self.cell_of(*control), self.cell_of(*target), &mut used) {
                             round_cost = round_cost.max(timing.cnot.raw());
                             completed.push(id);
                         }
@@ -456,7 +455,9 @@ mod tests {
             c
         };
         assert!(edpc_estimate(&c, None, &t()).name.contains("unlimited"));
-        assert!(edpc_estimate(&c, Some(2), &t()).name.contains("2 factories"));
+        assert!(edpc_estimate(&c, Some(2), &t())
+            .name
+            .contains("2 factories"));
     }
 
     #[test]

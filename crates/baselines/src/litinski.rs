@@ -35,7 +35,11 @@ pub enum BlockLayout {
 impl BlockLayout {
     /// All three layouts.
     pub fn all() -> [BlockLayout; 3] {
-        [BlockLayout::Compact, BlockLayout::Intermediate, BlockLayout::Fast]
+        [
+            BlockLayout::Compact,
+            BlockLayout::Intermediate,
+            BlockLayout::Fast,
+        ]
     }
 
     /// Display name.

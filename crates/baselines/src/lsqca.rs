@@ -65,15 +65,16 @@ impl LineSam {
         let mut t = Ticks::ZERO;
         let mut n_magic = 0u64;
 
-        let ensure_resident = |lines: &mut [Option<u32>; 2], line: u32, t: &mut Ticks, timing: &TimingModel| {
-            if lines.contains(&Some(line)) {
-                return;
-            }
-            // Store the least-recently-loaded line, scan-load the new one.
-            lines.rotate_left(1);
-            lines[1] = Some(line);
-            *t += timing.move_op + timing.move_op;
-        };
+        let ensure_resident =
+            |lines: &mut [Option<u32>; 2], line: u32, t: &mut Ticks, timing: &TimingModel| {
+                if lines.contains(&Some(line)) {
+                    return;
+                }
+                // Store the least-recently-loaded line, scan-load the new one.
+                lines.rotate_left(1);
+                lines[1] = Some(line);
+                *t += timing.move_op + timing.move_op;
+            };
 
         for gate in circuit.iter() {
             for q in gate.qubits() {

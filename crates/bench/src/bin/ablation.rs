@@ -17,19 +17,26 @@ fn main() {
         ("penalty weight 0", base.clone().penalty_weight(0)),
         ("penalty weight 20", base.clone().penalty_weight(20)),
         ("no look-ahead", base.clone().lookahead(false)),
-        ("no redundant-move pass", base.clone().eliminate_redundant_moves(false)),
+        (
+            "no redundant-move pass",
+            base.clone().eliminate_redundant_moves(false),
+        ),
         (
             "neither heuristic",
-            base.clone().lookahead(false).eliminate_redundant_moves(false),
+            base.clone()
+                .lookahead(false)
+                .eliminate_redundant_moves(false),
         ),
         ("peephole pre-pass", base.clone().optimize(true)),
         (
             "row-major mapping",
-            base.clone().mapping(ftqc_compiler::MappingStrategy::RowMajor),
+            base.clone()
+                .mapping(ftqc_compiler::MappingStrategy::RowMajor),
         ),
         (
             "interaction-aware mapping",
-            base.clone().mapping(ftqc_compiler::MappingStrategy::InteractionAware),
+            base.clone()
+                .mapping(ftqc_compiler::MappingStrategy::InteractionAware),
         ),
         (
             "clustered factory ports",
@@ -37,10 +44,7 @@ fn main() {
                 .factories(4)
                 .port_placement(ftqc_arch::PortPlacement::Clustered),
         ),
-        (
-            "spread factory ports",
-            base.clone().factories(4),
-        ),
+        ("spread factory ports", base.clone().factories(4)),
     ];
     for (name, opts) in variants {
         match compile_opts(&c, opts) {
@@ -51,7 +55,13 @@ fn main() {
                 m.n_moves.to_string(),
                 m.n_moves_eliminated.to_string(),
             ]),
-            Err(e) => t.row(&[name.to_string(), format!("err:{e}"), "-".into(), "-".into(), "-".into()]),
+            Err(e) => t.row(&[
+                name.to_string(),
+                format!("err:{e}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
         }
     }
 }

@@ -41,7 +41,9 @@ fn sweep(name: &str, c: &Circuit) {
     }
     // Unlimited-supply reading (EDPC's native assumption).
     let mut row = vec!["inf".to_string()];
-    row.push(f1(edpc_estimate(c, None, &timing).spacetime_volume_per_op(false)));
+    row.push(f1(
+        edpc_estimate(c, None, &timing).spacetime_volume_per_op(false)
+    ));
     for &r in &rs {
         let opts = CompilerOptions::default()
             .routing_paths(r)

@@ -22,7 +22,12 @@ fn sweep(name: &str, c: &Circuit) {
                 format!("{:.0}", m.execution_time.as_d()),
                 f2(m.overhead()),
             ]),
-            Err(e) => t.row(&[format!("ours r={r}"), "-".into(), format!("err:{e}"), "-".into()]),
+            Err(e) => t.row(&[
+                format!("ours r={r}"),
+                "-".into(),
+                format!("err:{e}"),
+                "-".into(),
+            ]),
         }
     }
     for layout in [BlockLayout::Compact, BlockLayout::Fast] {

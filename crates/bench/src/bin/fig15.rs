@@ -39,7 +39,9 @@ fn sweep(name: &str, c: &Circuit) {
     }
     // The unlimited-supply point.
     let mut row = vec!["inf".to_string()];
-    row.push(f1(dascot_estimate(c, None, &timing).spacetime_volume_per_op(false)));
+    row.push(f1(
+        dascot_estimate(c, None, &timing).spacetime_volume_per_op(false)
+    ));
     for &r in &rs {
         let opts = CompilerOptions::default()
             .routing_paths(r)

@@ -29,7 +29,10 @@ use ftqc_compiler::{CompileError, Compiler, CompilerOptions, Metrics};
 ///
 /// Propagates [`CompileError`] from the compiler.
 pub fn compile_with(circuit: &Circuit, r: u32, f: u32) -> Result<Metrics, CompileError> {
-    compile_opts(circuit, CompilerOptions::default().routing_paths(r).factories(f))
+    compile_opts(
+        circuit,
+        CompilerOptions::default().routing_paths(r).factories(f),
+    )
 }
 
 /// Compiles with explicit options.

@@ -99,7 +99,11 @@ impl Circuit {
         }
         if gate.is_two_qubit() {
             let qs: Vec<Qubit> = gate.qubits().collect();
-            assert!(qs[0] != qs[1], "two-qubit gate {gate} uses qubit {} twice", qs[0]);
+            assert!(
+                qs[0] != qs[1],
+                "two-qubit gate {gate} uses qubit {} twice",
+                qs[0]
+            );
         }
         self.gates.push(gate);
         self

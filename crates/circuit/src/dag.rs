@@ -121,16 +121,18 @@ impl DagCircuit {
         let mut level = vec![0usize; self.nodes.len()];
         let mut max_level = 0;
         for (id, node) in self.nodes.iter().enumerate() {
-            let lvl = node
-                .preds
-                .iter()
-                .map(|&p| level[p] + 1)
-                .max()
-                .unwrap_or(0);
+            let lvl = node.preds.iter().map(|&p| level[p] + 1).max().unwrap_or(0);
             level[id] = lvl;
             max_level = max_level.max(lvl);
         }
-        let mut layers = vec![Vec::new(); if self.nodes.is_empty() { 0 } else { max_level + 1 }];
+        let mut layers = vec![
+            Vec::new();
+            if self.nodes.is_empty() {
+                0
+            } else {
+                max_level + 1
+            }
+        ];
         for (id, &lvl) in level.iter().enumerate() {
             layers[lvl].push(id);
         }

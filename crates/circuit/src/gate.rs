@@ -196,7 +196,8 @@ impl Gate {
     /// Whether the gate consumes a magic state when implemented with lattice
     /// surgery (T, T†, or a non-Clifford `Rz`).
     pub fn is_magic(&self) -> bool {
-        matches!(self, Gate::T(_) | Gate::Tdg(_)) || matches!(self, Gate::Rz(_, a) if !a.is_clifford())
+        matches!(self, Gate::T(_) | Gate::Tdg(_))
+            || matches!(self, Gate::Rz(_, a) if !a.is_clifford())
     }
 
     /// Whether the gate is a bare Pauli (tracked in the Pauli frame at zero

@@ -151,7 +151,11 @@ impl PprProgram {
     /// Maximum rotation weight (how "wide" the PPRs get — determines the
     /// ancilla cost of the constant-depth decomposition of \[30\]).
     pub fn max_weight(&self) -> usize {
-        self.rotations.iter().map(PauliRotation::weight).max().unwrap_or(0)
+        self.rotations
+            .iter()
+            .map(PauliRotation::weight)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean rotation weight.
@@ -159,7 +163,11 @@ impl PprProgram {
         if self.rotations.is_empty() {
             return 0.0;
         }
-        self.rotations.iter().map(|r| r.weight() as f64).sum::<f64>() / self.rotations.len() as f64
+        self.rotations
+            .iter()
+            .map(|r| r.weight() as f64)
+            .sum::<f64>()
+            / self.rotations.len() as f64
     }
 
     /// Depth of the rotation sequence when rotations acting on disjoint

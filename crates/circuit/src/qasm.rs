@@ -39,7 +39,11 @@ impl QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -157,7 +161,12 @@ fn parse_statement(
     // Gate application: name[(params)] operands
     let (head, operand_str) = match stmt.find(|c: char| c.is_whitespace()) {
         Some(i) => (&stmt[..i], stmt[i..].trim()),
-        None => return Err(QasmError::new(lineno, format!("malformed statement '{stmt}'"))),
+        None => {
+            return Err(QasmError::new(
+                lineno,
+                format!("malformed statement '{stmt}'"),
+            ))
+        }
     };
     let (name, param) = match head.find('(') {
         Some(i) => {
@@ -182,7 +191,10 @@ fn parse_statement(
         } else {
             Err(QasmError::new(
                 lineno,
-                format!("gate '{name}' expects {n} operand(s), got {}", operands.len()),
+                format!(
+                    "gate '{name}' expects {n} operand(s), got {}",
+                    operands.len()
+                ),
             ))
         }
     };

@@ -252,7 +252,11 @@ impl StateVector {
     /// Applies a single-qubit unitary given by its 2×2 matrix
     /// `[[m00, m01], [m10, m11]]` to qubit `q`.
     pub fn apply_1q(&mut self, q: Qubit, m: [[C64; 2]; 2]) {
-        debug_assert!(q < self.n, "qubit {q} out of range for {}-qubit state", self.n);
+        debug_assert!(
+            q < self.n,
+            "qubit {q} out of range for {}-qubit state",
+            self.n
+        );
         let mask = 1usize << q;
         for i in 0..self.amps.len() {
             if i & mask == 0 {

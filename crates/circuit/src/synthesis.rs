@@ -82,11 +82,17 @@ impl SynthesisModel {
         match self {
             SynthesisModel::PerRotation(k) => k,
             SynthesisModel::RossSelinger { eps } => {
-                assert!(eps > 0.0 && eps < 1.0, "precision must be in (0,1), got {eps}");
+                assert!(
+                    eps > 0.0 && eps < 1.0,
+                    "precision must be in (0,1), got {eps}"
+                );
                 (3.0 * (1.0 / eps).log2()).ceil() as u32 + ROSS_SELINGER_DELTA
             }
             SynthesisModel::RepeatUntilSuccess { eps } => {
-                assert!(eps > 0.0 && eps < 1.0, "precision must be in (0,1), got {eps}");
+                assert!(
+                    eps > 0.0 && eps < 1.0,
+                    "precision must be in (0,1), got {eps}"
+                );
                 (1.15 * (1.0 / eps).log2()).ceil() as u32
             }
         }
@@ -205,16 +211,14 @@ pub fn expand_exact_rotations(circuit: &crate::circuit::Circuit) -> crate::circu
     let mut out = crate::circuit::Circuit::with_name(circuit.num_qubits(), circuit.name());
     for g in circuit.iter() {
         match *g {
-            Gate::Rz(q, a) => {
-                match synthesize_rz(q, a, SynthesisModel::default()).gates {
-                    Some(word) => {
-                        out.append(word);
-                    }
-                    None => {
-                        out.push(*g);
-                    }
+            Gate::Rz(q, a) => match synthesize_rz(q, a, SynthesisModel::default()).gates {
+                Some(word) => {
+                    out.append(word);
                 }
-            }
+                None => {
+                    out.push(*g);
+                }
+            },
             g => {
                 out.push(g);
             }
@@ -348,7 +352,10 @@ mod tests {
 
     #[test]
     fn model_display() {
-        assert_eq!(SynthesisModel::PerRotation(2).to_string(), "per-rotation(2)");
+        assert_eq!(
+            SynthesisModel::PerRotation(2).to_string(),
+            "per-rotation(2)"
+        );
         assert!(SynthesisModel::RossSelinger { eps: 1e-10 }
             .to_string()
             .contains("ross-selinger"));

@@ -324,11 +324,7 @@ mod tests {
         let mut t = CliffordTableau::identity(2);
         t.apply_pre(&g1);
         t.apply_pre(&g2);
-        for (make, label) in [
-            (Pauli::X, "X"),
-            (Pauli::Z, "Z"),
-            (Pauli::Y, "Y"),
-        ] {
+        for (make, label) in [(Pauli::X, "X"), (Pauli::Z, "Z"), (Pauli::Y, "Y")] {
             for q in 0..2u32 {
                 let mut expected = PauliString::single(2, q, make);
                 // g2† P g2 then g1† (…) g1, via conjugate_by with inverses.

@@ -17,24 +17,19 @@ fn arb_pauli() -> impl Strategy<Value = Pauli> {
 }
 
 fn arb_string() -> impl Strategy<Value = PauliString> {
-    (
-        proptest::collection::vec(arb_pauli(), N),
-        0u8..4,
-    )
-        .prop_map(|(ps, phase)| {
-            let mut s = PauliString::identity(N);
-            for (i, p) in ps.into_iter().enumerate() {
-                s.set(i as u32, p);
-            }
-            s.set_phase(Phase::from_i_exponent(phase));
-            s
-        })
+    (proptest::collection::vec(arb_pauli(), N), 0u8..4).prop_map(|(ps, phase)| {
+        let mut s = PauliString::identity(N);
+        for (i, p) in ps.into_iter().enumerate() {
+            s.set(i as u32, p);
+        }
+        s.set_phase(Phase::from_i_exponent(phase));
+        s
+    })
 }
 
 fn arb_clifford_gate() -> impl Strategy<Value = Gate> {
     let q = 0u32..N as u32;
-    let pair = (0u32..N as u32, 0u32..N as u32)
-        .prop_filter("distinct", |(a, b)| a != b);
+    let pair = (0u32..N as u32, 0u32..N as u32).prop_filter("distinct", |(a, b)| a != b);
     prop_oneof![
         q.clone().prop_map(Gate::H),
         q.clone().prop_map(Gate::S),

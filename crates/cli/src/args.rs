@@ -55,6 +55,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "no-redundant-elim",
     "unbounded-magic",
     "include-factories",
+    "parallel",
 ];
 
 /// Parses a raw argument list (without the program name).

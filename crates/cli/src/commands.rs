@@ -13,11 +13,17 @@ use ftqc_circuit::{parse_qasm, Circuit};
 use ftqc_compiler::estimate::{estimate_resources, EstimateRequest, Objective};
 use ftqc_compiler::svg::to_svg;
 use ftqc_compiler::{
-    check_semantics, explore, pareto_front, to_csv, verify, Compiler, CompilerOptions,
+    check_semantics, explore, explore_parallel_with, pareto_front, to_csv, verify, Compiler,
+    CompilerOptions, DesignPoint, Metrics,
+};
+use ftqc_service::{
+    parse_jobs, render_results, BatchConfig, BatchService, CircuitSource, CompileCache, CompileJob,
+    SharedCache,
 };
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// A CLI failure: argument, I/O, parse, or pipeline error.
 #[derive(Debug)]
@@ -62,6 +68,8 @@ pub fn run(raw: &[String]) -> Result<String, CliError> {
     match parsed.command.as_str() {
         "compile" => cmd_compile(&parsed),
         "explore" => cmd_explore(&parsed),
+        "sweep" => cmd_sweep(&parsed),
+        "batch" => cmd_batch(&parsed),
         "estimate" => cmd_estimate(&parsed),
         "compare" => cmd_compare(&parsed),
         "layout" => cmd_layout(&parsed),
@@ -93,6 +101,22 @@ COMMANDS
   explore <circuit>    sweep the design space
                        --r LO..HI (default 2..8), --factories LO..HI (default 1..4)
                        --pareto yes|no  print only the Pareto front (default no)
+  sweep <circuit>      explore through the batch-compilation service
+                       --parallel       fan the sweep across all cores
+                       --workers N      worker threads (implies --parallel)
+                       --cache FILE     JSON file-backed compile cache (reused
+                                        across runs; created when missing)
+                       --r / --factories / --pareto as for explore
+  batch <jobs.jsonl>   run a JSON-lines batch of compile jobs
+                       one job per line, e.g.
+                       {\"id\":\"a\",\"source\":{\"benchmark\":\"ising\",\"size\":2},
+                        \"options\":{\"routing_paths\":4,\"factories\":1}}
+                       source: {\"benchmark\":NAME[,\"size\":L]} | {\"qasm_file\":PATH}
+                               | {\"qasm\":SOURCE}
+                       --workers N      worker threads (default: all cores)
+                       --cache FILE     file-backed compile cache
+                       --cache-capacity N  memory-tier entries (default 4096)
+                       --out FILE       write results as JSON-lines
   estimate <circuit>   physical resource estimate
                        --error-rate P (default 1e-3), --budget B (default 0.01)
                        --objective qubits|volume|time (default qubits)
@@ -190,14 +214,45 @@ fn cmd_compile(p: &ParsedArgs) -> Result<String, CliError> {
 
     let mut out = String::new();
     let m = program.metrics();
-    let _ = writeln!(out, "circuit         : {} ({} qubits, {} gates)", circuit.name(), circuit.num_qubits(), circuit.len());
-    let _ = writeln!(out, "layout          : r={} ({} patches + {} factory tiles)", m.routing_paths, m.grid_patches, m.factory_patches);
-    let _ = writeln!(out, "execution time  : {} (unit-cost {})", m.execution_time, m.unit_cost_time);
-    let _ = writeln!(out, "lower bound     : {} (overhead {:.2}x)", m.lower_bound, m.overhead());
+    let _ = writeln!(
+        out,
+        "circuit         : {} ({} qubits, {} gates)",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.len()
+    );
+    let _ = writeln!(
+        out,
+        "layout          : r={} ({} patches + {} factory tiles)",
+        m.routing_paths, m.grid_patches, m.factory_patches
+    );
+    let _ = writeln!(
+        out,
+        "execution time  : {} (unit-cost {})",
+        m.execution_time, m.unit_cost_time
+    );
+    let _ = writeln!(
+        out,
+        "lower bound     : {} (overhead {:.2}x)",
+        m.lower_bound,
+        m.overhead()
+    );
     let _ = writeln!(out, "magic states    : {}", m.n_magic_states);
-    let _ = writeln!(out, "surgery ops     : {} ({} moves, {} eliminated)", m.n_surgery_ops, m.n_moves, m.n_moves_eliminated);
-    let _ = writeln!(out, "spacetime volume: {:.0} qubit-d (incl. factories)", m.spacetime_volume(true));
-    let _ = write!(out, "bottleneck      : {}", ftqc_compiler::diagnose(&program));
+    let _ = writeln!(
+        out,
+        "surgery ops     : {} ({} moves, {} eliminated)",
+        m.n_surgery_ops, m.n_moves, m.n_moves_eliminated
+    );
+    let _ = writeln!(
+        out,
+        "spacetime volume: {:.0} qubit-d (incl. factories)",
+        m.spacetime_volume(true)
+    );
+    let _ = write!(
+        out,
+        "bottleneck      : {}",
+        ftqc_compiler::diagnose(&program)
+    );
 
     if p.flag("verify") {
         verify(&program, &timing).map_err(|e| CliError::Pipeline(format!("VERIFY FAILED: {e}")))?;
@@ -221,21 +276,14 @@ fn cmd_compile(p: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_explore(p: &ParsedArgs) -> Result<String, CliError> {
-    let circuit = circuit_arg(p)?;
-    let rs = p.range_or("r", (2, 8))?;
-    let fs = p.range_or("factories", (1, 4))?;
-    let pareto: String = p.get_or("pareto", "no".to_string())?;
-    let points = explore(&circuit, &rs, &fs, &CompilerOptions::default())
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
-    let rows = if pareto == "yes" {
-        pareto_front(&points)
-    } else {
-        points
-    };
+fn render_design_points(rows: &[DesignPoint]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:>3} {:>9} {:>8} {:>12} {:>10} {:>14}", "r", "factories", "qubits", "time (d)", "overhead", "volume (q·d)");
-    for pt in &rows {
+    let _ = writeln!(
+        out,
+        "{:>3} {:>9} {:>8} {:>12} {:>10} {:>14}",
+        "r", "factories", "qubits", "time (d)", "overhead", "volume (q·d)"
+    );
+    for pt in rows {
         let _ = writeln!(
             out,
             "{:>3} {:>9} {:>8} {:>12.1} {:>9.2}x {:>14.0}",
@@ -248,6 +296,205 @@ fn cmd_explore(p: &ParsedArgs) -> Result<String, CliError> {
         );
     }
     let _ = write!(out, "{} design points", rows.len());
+    out
+}
+
+fn cmd_explore(p: &ParsedArgs) -> Result<String, CliError> {
+    let circuit = circuit_arg(p)?;
+    let rs = p.range_or("r", (2, 8))?;
+    let fs = p.range_or("factories", (1, 4))?;
+    let pareto: String = p.get_or("pareto", "no".to_string())?;
+    let points = explore(&circuit, &rs, &fs, &CompilerOptions::default())
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let rows = if pareto == "yes" {
+        pareto_front(&points)
+    } else {
+        points
+    };
+    Ok(render_design_points(&rows))
+}
+
+/// The `--workers` option resolved against the service's 0-means-all-cores
+/// convention.
+fn worker_count(p: &ParsedArgs) -> Result<usize, CliError> {
+    let n: usize = p.get_or("workers", 0)?;
+    Ok(if n == 0 {
+        ftqc_service::WorkerPool::auto().workers()
+    } else {
+        n
+    })
+}
+
+/// `explore` routed through the batch-compilation service: a worker pool
+/// plus a (optionally file-backed) content-addressed compile cache.
+fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
+    let circuit = circuit_arg(p)?;
+    let rs = p.range_or("r", (2, 8))?;
+    let fs = p.range_or("factories", (1, 4))?;
+    let pareto: String = p.get_or("pareto", "no".to_string())?;
+    // --parallel defaults to all cores; an explicit --workers N implies
+    // parallelism on its own rather than being silently ignored.
+    let workers = if p.flag("parallel") || p.options.contains_key("workers") {
+        worker_count(p)?
+    } else {
+        1
+    };
+
+    let cache_file = p.options.get("cache").map(PathBuf::from);
+    let mut cache = CompileCache::new(ftqc_service::DEFAULT_CACHE_CAPACITY);
+    if let Some(path) = &cache_file {
+        cache = cache
+            .with_file_tier(path)
+            .map_err(|e| CliError::Pipeline(format!("cache file: {e}")))?;
+    }
+    let cache = SharedCache::new(cache);
+
+    let points = explore_parallel_with(
+        &circuit,
+        &rs,
+        &fs,
+        &CompilerOptions::default(),
+        workers,
+        &cache,
+    )
+    .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    if cache_file.is_some() {
+        cache
+            .persist()
+            .map_err(|e| CliError::Pipeline(format!("cannot persist cache: {e}")))?;
+    }
+
+    let rows = if pareto == "yes" {
+        pareto_front(&points)
+    } else {
+        points
+    };
+    let stats = cache.stats();
+    let mut out = render_design_points(&rows);
+    let _ = write!(
+        out,
+        "\nservice: {workers} worker(s), cache {}/{} hits ({:.0}%){}",
+        stats.hits,
+        stats.lookups(),
+        stats.hit_rate() * 100.0,
+        match &cache_file {
+            Some(f) => format!(", file tier {}", f.display()),
+            None => String::new(),
+        },
+    );
+    Ok(out)
+}
+
+/// Resolves a batch job's circuit source (benchmark name, QASM file, or
+/// inline QASM) to a circuit; errors become the job's failure text.
+fn resolve_source(source: &CircuitSource) -> Result<Circuit, String> {
+    match source {
+        CircuitSource::Benchmark { name, size } => {
+            let spec = match size {
+                None => name.clone(),
+                Some(l) => format!("{name}:{l}"),
+            };
+            load_circuit(&spec).map_err(|e| e.to_string())
+        }
+        CircuitSource::QasmFile { path } => load_circuit(path).map_err(|e| e.to_string()),
+        CircuitSource::QasmInline { qasm } => {
+            parse_qasm(qasm).map_err(|e| format!("QASM parse error: {e}"))
+        }
+    }
+}
+
+/// Runs a JSON-lines batch of compile jobs through the service.
+fn cmd_batch(p: &ParsedArgs) -> Result<String, CliError> {
+    let path = p
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Unknown("usage: ftqc batch <jobs.jsonl>".into()))?;
+    let jsonl = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Unknown(format!("cannot read {path:?}: {e}")))?;
+    let jobs: Vec<CompileJob<CompilerOptions>> =
+        parse_jobs(&jsonl).map_err(|e| CliError::Pipeline(format!("{path}: {e}")))?;
+    if jobs.is_empty() {
+        return Err(CliError::Unknown(format!("{path} contains no jobs")));
+    }
+
+    let cache_capacity: usize = p.get_or("cache-capacity", ftqc_service::DEFAULT_CACHE_CAPACITY)?;
+    if cache_capacity == 0 {
+        return Err(CliError::Unknown(
+            "--cache-capacity must be at least 1".into(),
+        ));
+    }
+    let config = BatchConfig {
+        workers: worker_count(p)?,
+        cache_capacity,
+        cache_file: p.options.get("cache").map(PathBuf::from),
+    };
+    let persist = config.cache_file.is_some();
+    let workers = config.workers;
+    let service: BatchService<Metrics> =
+        BatchService::new(config).map_err(|e| CliError::Pipeline(format!("cache file: {e}")))?;
+
+    let started = std::time::Instant::now();
+    let results = service.run(
+        jobs,
+        resolve_source,
+        |circuit, options: &CompilerOptions| {
+            Compiler::new(options.clone())
+                .compile(circuit)
+                .map(|program| *program.metrics())
+                .map_err(|e| e.to_string())
+        },
+    );
+    let elapsed = started.elapsed();
+    if persist {
+        service
+            .persist_cache()
+            .map_err(|e| CliError::Pipeline(format!("cannot persist cache: {e}")))?;
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>8} {:>12} {:>14} {:>9} {:>10}",
+        "job", "status", "qubits", "time (d)", "volume (q·d)", "cache", "µs"
+    );
+    for r in &results {
+        match (&r.status, &r.metrics) {
+            (ftqc_service::JobStatus::Ok, Some(m)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>7} {:>8} {:>12.1} {:>14.0} {:>9} {:>10}",
+                    r.id,
+                    "ok",
+                    m.total_qubits(),
+                    m.execution_time.as_d(),
+                    m.spacetime_volume(true),
+                    r.provenance.as_str(),
+                    r.micros,
+                );
+            }
+            (ftqc_service::JobStatus::Failed(e), _) => {
+                let _ = writeln!(out, "{:<16} {:>7}  {e}", r.id, "FAILED");
+            }
+            (ftqc_service::JobStatus::Ok, None) => unreachable!("ok results carry metrics"),
+        }
+    }
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let stats = service.cache_stats();
+    let _ = write!(
+        out,
+        "{ok}/{} jobs ok in {:.1} ms ({workers} workers); cache: {} hits / {} lookups ({:.0}%)",
+        results.len(),
+        elapsed.as_secs_f64() * 1e3,
+        stats.hits,
+        stats.lookups(),
+        stats.hit_rate() * 100.0,
+    );
+
+    if let Some(out_path) = p.options.get("out") {
+        std::fs::write(out_path, render_results(&results))
+            .map_err(|e| CliError::Pipeline(format!("cannot write {out_path}: {e}")))?;
+        let _ = write!(out, "\nresults jsonl   : {out_path}");
+    }
     Ok(out)
 }
 
@@ -272,7 +519,8 @@ fn cmd_estimate(p: &ParsedArgs) -> Result<String, CliError> {
         objective,
         ..Default::default()
     };
-    let e = estimate_resources(&circuit, &request).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let e =
+        estimate_resources(&circuit, &request).map_err(|e| CliError::Pipeline(e.to_string()))?;
     Ok(format!("{e}"))
 }
 
@@ -287,16 +535,35 @@ fn cmd_compare(p: &ParsedArgs) -> Result<String, CliError> {
     let m = program.metrics();
 
     let mut out = String::new();
-    let _ = writeln!(out, "{:<28} {:>8} {:>12} {:>8} {:>16}", "approach", "qubits", "time (d)", "CPI", "volume/op (q·d)");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>12} {:>8} {:>16}",
+        "approach", "qubits", "time (d)", "CPI", "volume/op (q·d)"
+    );
     let mut row = |name: &str, qubits: u32, time: Ticks, n_ops: usize| {
         let cpi = time.as_d() / n_ops.max(1) as f64;
         let vol = qubits as f64 * time.as_d() / n_ops.max(1) as f64;
-        let _ = writeln!(out, "{name:<28} {qubits:>8} {:>12.1} {cpi:>8.2} {vol:>16.1}", time.as_d());
+        let _ = writeln!(
+            out,
+            "{name:<28} {qubits:>8} {:>12.1} {cpi:>8.2} {vol:>16.1}",
+            time.as_d()
+        );
     };
-    row("ours (greedy, this work)", m.total_qubits(), m.execution_time, m.n_gates);
+    row(
+        "ours (greedy, this work)",
+        m.total_qubits(),
+        m.execution_time,
+        m.n_gates,
+    );
 
-    for block in [BlockLayout::Compact, BlockLayout::Intermediate, BlockLayout::Fast] {
-        let g = GameOfSurfaceCodes::new(block).factories(f).estimate(&circuit);
+    for block in [
+        BlockLayout::Compact,
+        BlockLayout::Intermediate,
+        BlockLayout::Fast,
+    ] {
+        let g = GameOfSurfaceCodes::new(block)
+            .factories(f)
+            .estimate(&circuit);
         row(&g.name, g.total_qubits(), g.execution_time, g.n_input_gates);
     }
     let l = LineSam::new().factories(f).estimate(&circuit);
@@ -338,7 +605,11 @@ fn cmd_layout(p: &ParsedArgs) -> Result<String, CliError> {
 
 fn cmd_bench() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<18} {:>7} {:>7} {:>8}", "benchmark", "qubits", "gates", "T-count");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>7} {:>7} {:>8}",
+        "benchmark", "qubits", "gates", "T-count"
+    );
     for b in Benchmark::all() {
         let c = b.circuit();
         let _ = writeln!(
@@ -350,7 +621,10 @@ fn cmd_bench() -> String {
             c.t_count()
         );
     }
-    let _ = write!(out, "condensed-matter families accept `:L` (e.g. ising:4 for a 4x4 lattice)");
+    let _ = write!(
+        out,
+        "condensed-matter families accept `:L` (e.g. ising:4 for a 4x4 lattice)"
+    );
     out
 }
 
@@ -417,6 +691,99 @@ mod tests {
                 .unwrap()
         };
         assert!(count(&pareto) <= count(&full));
+    }
+
+    #[test]
+    fn sweep_serial_matches_explore() {
+        let explore = run_line("explore ising:2 --r 2..4 --factories 1..2").unwrap();
+        let sweep = run_line("sweep ising:2 --r 2..4 --factories 1..2").unwrap();
+        // Same table; sweep adds a service stats line.
+        assert!(sweep.starts_with(explore.as_str()));
+        assert!(sweep.contains("service: 1 worker(s)"));
+    }
+
+    #[test]
+    fn sweep_parallel_matches_explore() {
+        let explore = run_line("explore ising:2 --r 2..4 --factories 1..2").unwrap();
+        let sweep =
+            run_line("sweep ising:2 --r 2..4 --factories 1..2 --parallel --workers 3").unwrap();
+        assert!(sweep.starts_with(explore.as_str()));
+        assert!(sweep.contains("3 worker(s)"));
+    }
+
+    #[test]
+    fn sweep_file_cache_hits_on_second_run() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-cache.json");
+        let _ = std::fs::remove_file(&path);
+        let line = format!(
+            "sweep ising:2 --r 2..3 --factories 1..2 --parallel --cache {}",
+            path.display()
+        );
+        let first = run_line(&line).unwrap();
+        assert!(first.contains("cache 0/4 hits"), "got: {first}");
+        let second = run_line(&line).unwrap();
+        assert!(second.contains("cache 4/4 hits (100%)"), "got: {second}");
+        // Identical tables either way.
+        assert_eq!(first.lines().next(), second.lines().next());
+    }
+
+    #[test]
+    fn batch_runs_jobs_and_reports_cache() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test-batch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("jobs.jsonl");
+        let out = dir.join("results.jsonl");
+        let cache = dir.join("batch-cache.json");
+        let _ = std::fs::remove_file(&cache);
+        std::fs::write(
+            &jobs,
+            concat!(
+                "# sample batch\n",
+                "{\"id\":\"r4\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":4}}\n",
+                "{\"id\":\"r6\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":6}}\n",
+                "{\"id\":\"broken\",\"source\":{\"benchmark\":\"nope\"}}\n",
+            ),
+        )
+        .unwrap();
+        let line = format!(
+            "batch {} --workers 2 --cache {} --out {}",
+            jobs.display(),
+            cache.display(),
+            out.display()
+        );
+        let report = run_line(&line).unwrap();
+        assert!(report.contains("2/3 jobs ok"), "got: {report}");
+        assert!(report.contains("0 hits / 2 lookups"), "got: {report}");
+        assert!(report.contains("FAILED"));
+        let results = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(results.lines().count(), 3);
+        assert!(results.contains("\"cache\":\"computed\""));
+
+        // A second identical invocation is a fresh process-level service;
+        // the file tier answers both compilable jobs.
+        let report = run_line(&line).unwrap();
+        assert!(
+            report.contains("2 hits / 2 lookups (100%)"),
+            "got: {report}"
+        );
+        let results = std::fs::read_to_string(&out).unwrap();
+        assert!(results.contains("\"cache\":\"file\""), "got: {results}");
+    }
+
+    #[test]
+    fn batch_rejects_missing_and_malformed_input() {
+        assert!(run_line("batch").is_err());
+        assert!(run_line("batch /nonexistent/jobs.jsonl").is_err());
+        let dir = std::env::temp_dir().join("ftqc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "{\"source\":{}}\n").unwrap();
+        assert!(run_line(&format!("batch {}", bad.display())).is_err());
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "# nothing\n").unwrap();
+        assert!(run_line(&format!("batch {}", empty.display())).is_err());
     }
 
     #[test]

@@ -3,6 +3,9 @@
 //! ```text
 //! ftqc compile <circuit>   compile one circuit, print metrics
 //! ftqc explore <circuit>   sweep routing paths × factories
+//! ftqc sweep <circuit>     the same sweep through the batch service
+//!                          (--parallel, --workers, --cache FILE)
+//! ftqc batch <jobs.jsonl>  run a JSON-lines batch of compile jobs
 //! ftqc estimate <circuit>  physical resources for a hardware model
 //! ftqc compare <circuit>   our compiler vs all four baselines
 //! ftqc layout <n> <r>      render the layout for n qubits, r paths

@@ -1,0 +1,362 @@
+//! JSON codec for [`CompilerOptions`] and [`Metrics`] — the concrete
+//! instantiation of `ftqc-service`'s generic wire format.
+//!
+//! These impls make the compiler's types usable as the `O` / `M`
+//! parameters of `ftqc_service::BatchService` and as payloads of the
+//! file-backed compile-cache tier. Encoding choices:
+//!
+//! * Durations travel as **raw ticks** (`u64`, 1 tick = 0.5 d): exact, and
+//!   canonical for fingerprinting.
+//! * Enum knobs travel as lowercase strings (`"snake"`, `"spread"`, …),
+//!   matching the CLI's flag values.
+//! * `CompilerOptions::from_json` treats every missing field as its
+//!   default, so a jobs.jsonl line only names the knobs it changes —
+//!   `{"routing_paths": 6, "factories": 2}` is a complete options object.
+
+use crate::metrics::Metrics;
+use crate::options::{CompilerOptions, TStatePolicy};
+use crate::MappingStrategy;
+use ftqc_arch::{PortPlacement, Ticks, TimingModel};
+use ftqc_service::json::{self, FromJson, JsonError, ToJson, Value};
+
+fn num(v: u64) -> Value {
+    Value::Num(v as f64)
+}
+
+fn ticks_field(value: &Value, key: &str, default: Ticks) -> Result<Ticks, JsonError> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .map(Ticks)
+            .ok_or_else(|| JsonError::schema(format!("field {key:?} must be raw ticks"))),
+    }
+}
+
+fn u32_field(value: &Value, key: &str, default: u32) -> Result<u32, JsonError> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| JsonError::schema(format!("field {key:?} must be a u32"))),
+    }
+}
+
+fn bool_field(value: &Value, key: &str, default: bool) -> Result<bool, JsonError> {
+    match value.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| JsonError::schema(format!("field {key:?} must be a boolean"))),
+    }
+}
+
+impl ToJson for CompilerOptions {
+    fn to_json(&self) -> Value {
+        let timing = Value::Obj(vec![
+            ("move_op".into(), num(self.timing.move_op.raw())),
+            ("merge".into(), num(self.timing.merge.raw())),
+            ("cnot".into(), num(self.timing.cnot.raw())),
+            ("hadamard".into(), num(self.timing.hadamard.raw())),
+            ("phase".into(), num(self.timing.phase.raw())),
+            ("t_consume".into(), num(self.timing.t_consume.raw())),
+            ("measure".into(), num(self.timing.measure.raw())),
+            (
+                "magic_production".into(),
+                num(self.timing.magic_production.raw()),
+            ),
+            ("ppr_compact".into(), num(self.timing.ppr_compact.raw())),
+            ("ppr_fast".into(), num(self.timing.ppr_fast.raw())),
+            ("unit".into(), num(self.timing.unit.raw())),
+        ]);
+        let mapping = match self.mapping {
+            MappingStrategy::RowMajor => "row-major",
+            MappingStrategy::Snake => "snake",
+            MappingStrategy::InteractionAware => "interaction",
+        };
+        let port_placement = match self.port_placement {
+            PortPlacement::Spread => "spread",
+            PortPlacement::Clustered => "clustered",
+        };
+        Value::Obj(vec![
+            ("routing_paths".into(), num(u64::from(self.routing_paths))),
+            ("factories".into(), num(u64::from(self.factories))),
+            ("timing".into(), timing),
+            ("penalty_weight".into(), num(self.penalty_weight)),
+            ("lookahead".into(), Value::Bool(self.lookahead)),
+            (
+                "eliminate_redundant_moves".into(),
+                Value::Bool(self.eliminate_redundant_moves),
+            ),
+            ("mapping".into(), Value::Str(mapping.into())),
+            (
+                "t_state_policy".into(),
+                Value::Obj(vec![
+                    (
+                        "states_per_t".into(),
+                        num(u64::from(self.t_state_policy.states_per_t)),
+                    ),
+                    (
+                        "states_per_rz".into(),
+                        num(u64::from(self.t_state_policy.states_per_rz)),
+                    ),
+                ]),
+            ),
+            ("optimize".into(), Value::Bool(self.optimize)),
+            ("port_placement".into(), Value::Str(port_placement.into())),
+            ("unbounded_magic".into(), Value::Bool(self.unbounded_magic)),
+        ])
+    }
+}
+
+impl FromJson for CompilerOptions {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        if value.as_obj().is_none() {
+            return Err(JsonError::schema("options must be a JSON object"));
+        }
+        let defaults = CompilerOptions::default();
+        let dt = defaults.timing;
+        let timing = match value.get("timing") {
+            None => dt,
+            Some(t) => TimingModel {
+                move_op: ticks_field(t, "move_op", dt.move_op)?,
+                merge: ticks_field(t, "merge", dt.merge)?,
+                cnot: ticks_field(t, "cnot", dt.cnot)?,
+                hadamard: ticks_field(t, "hadamard", dt.hadamard)?,
+                phase: ticks_field(t, "phase", dt.phase)?,
+                t_consume: ticks_field(t, "t_consume", dt.t_consume)?,
+                measure: ticks_field(t, "measure", dt.measure)?,
+                magic_production: ticks_field(t, "magic_production", dt.magic_production)?,
+                ppr_compact: ticks_field(t, "ppr_compact", dt.ppr_compact)?,
+                ppr_fast: ticks_field(t, "ppr_fast", dt.ppr_fast)?,
+                unit: ticks_field(t, "unit", dt.unit)?,
+            },
+        };
+        let mapping = match value.get("mapping") {
+            None => defaults.mapping,
+            Some(m) => match m.as_str() {
+                Some("row-major") => MappingStrategy::RowMajor,
+                Some("snake") => MappingStrategy::Snake,
+                Some("interaction") => MappingStrategy::InteractionAware,
+                _ => {
+                    return Err(JsonError::schema(
+                        "mapping must be \"snake\", \"row-major\" or \"interaction\"",
+                    ))
+                }
+            },
+        };
+        let port_placement = match value.get("port_placement") {
+            None => defaults.port_placement,
+            Some(p) => match p.as_str() {
+                Some("spread") => PortPlacement::Spread,
+                Some("clustered") => PortPlacement::Clustered,
+                _ => {
+                    return Err(JsonError::schema(
+                        "port_placement must be \"spread\" or \"clustered\"",
+                    ))
+                }
+            },
+        };
+        let t_state_policy = match value.get("t_state_policy") {
+            None => defaults.t_state_policy,
+            Some(p) => TStatePolicy {
+                states_per_t: u32_field(p, "states_per_t", defaults.t_state_policy.states_per_t)?,
+                states_per_rz: u32_field(
+                    p,
+                    "states_per_rz",
+                    defaults.t_state_policy.states_per_rz,
+                )?,
+            },
+        };
+        let penalty_weight = match value.get("penalty_weight") {
+            None => defaults.penalty_weight,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| JsonError::schema("penalty_weight must be a u64"))?,
+        };
+        Ok(CompilerOptions {
+            routing_paths: u32_field(value, "routing_paths", defaults.routing_paths)?,
+            factories: u32_field(value, "factories", defaults.factories)?,
+            timing,
+            penalty_weight,
+            lookahead: bool_field(value, "lookahead", defaults.lookahead)?,
+            eliminate_redundant_moves: bool_field(
+                value,
+                "eliminate_redundant_moves",
+                defaults.eliminate_redundant_moves,
+            )?,
+            mapping,
+            t_state_policy,
+            optimize: bool_field(value, "optimize", defaults.optimize)?,
+            port_placement,
+            unbounded_magic: bool_field(value, "unbounded_magic", defaults.unbounded_magic)?,
+        })
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("execution_time".into(), num(self.execution_time.raw())),
+            ("unit_cost_time".into(), num(self.unit_cost_time.raw())),
+            ("lower_bound".into(), num(self.lower_bound.raw())),
+            ("grid_patches".into(), num(u64::from(self.grid_patches))),
+            (
+                "factory_patches".into(),
+                num(u64::from(self.factory_patches)),
+            ),
+            ("routing_paths".into(), num(u64::from(self.routing_paths))),
+            ("factories".into(), num(u64::from(self.factories))),
+            ("n_gates".into(), num(self.n_gates as u64)),
+            ("n_surgery_ops".into(), num(self.n_surgery_ops as u64)),
+            ("n_moves".into(), num(self.n_moves as u64)),
+            (
+                "n_moves_eliminated".into(),
+                num(self.n_moves_eliminated as u64),
+            ),
+            ("n_magic_states".into(), num(self.n_magic_states)),
+        ])
+    }
+}
+
+impl FromJson for Metrics {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let u32_of = |key: &str| -> Result<u32, JsonError> {
+            json::require_u64(value, key).and_then(|n| {
+                u32::try_from(n).map_err(|_| JsonError::schema(format!("{key} overflows u32")))
+            })
+        };
+        Ok(Metrics {
+            execution_time: Ticks(json::require_u64(value, "execution_time")?),
+            unit_cost_time: Ticks(json::require_u64(value, "unit_cost_time")?),
+            lower_bound: Ticks(json::require_u64(value, "lower_bound")?),
+            grid_patches: u32_of("grid_patches")?,
+            factory_patches: u32_of("factory_patches")?,
+            routing_paths: u32_of("routing_paths")?,
+            factories: u32_of("factories")?,
+            n_gates: json::require_u64(value, "n_gates")? as usize,
+            n_surgery_ops: json::require_u64(value, "n_surgery_ops")? as usize,
+            n_moves: json::require_u64(value, "n_moves")? as usize,
+            n_moves_eliminated: json::require_u64(value, "n_moves_eliminated")? as usize,
+            n_magic_states: json::require_u64(value, "n_magic_states")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_service::fingerprint::fingerprint_value;
+
+    #[test]
+    fn options_roundtrip() {
+        let o = CompilerOptions::default()
+            .routing_paths(7)
+            .factories(3)
+            .penalty_weight(2)
+            .lookahead(false)
+            .mapping(MappingStrategy::InteractionAware)
+            .port_placement(PortPlacement::Clustered)
+            .magic_production(Ticks::from_d(5.0))
+            .unbounded_magic(true);
+        let back = CompilerOptions::from_json(&o.to_json()).unwrap();
+        assert_eq!(back, o);
+    }
+
+    #[test]
+    fn sparse_options_fill_defaults() {
+        let v = Value::parse(r#"{"routing_paths":6,"factories":2}"#).unwrap();
+        let o = CompilerOptions::from_json(&v).unwrap();
+        assert_eq!(o.routing_paths, 6);
+        assert_eq!(o.factories, 2);
+        assert_eq!(o.timing, TimingModel::paper());
+        assert!(o.lookahead);
+        let empty = CompilerOptions::from_json(&Value::parse("{}").unwrap()).unwrap();
+        assert_eq!(empty, CompilerOptions::default());
+    }
+
+    #[test]
+    fn bad_enum_values_rejected() {
+        let v = Value::parse(r#"{"mapping":"banana"}"#).unwrap();
+        assert!(CompilerOptions::from_json(&v).is_err());
+        let v = Value::parse(r#"{"port_placement":"banana"}"#).unwrap();
+        assert!(CompilerOptions::from_json(&v).is_err());
+        assert!(CompilerOptions::from_json(&Value::Num(3.0)).is_err());
+    }
+
+    #[test]
+    fn metrics_roundtrip() {
+        let m = Metrics {
+            execution_time: Ticks::from_d(120.0),
+            unit_cost_time: Ticks::from_d(110.0),
+            lower_bound: Ticks::from_d(100.0),
+            grid_patches: 144,
+            factory_patches: 11,
+            routing_paths: 4,
+            factories: 1,
+            n_gates: 60,
+            n_surgery_ops: 150,
+            n_moves: 40,
+            n_moves_eliminated: 6,
+            n_magic_states: 10,
+        };
+        let back = Metrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn metrics_missing_field_is_an_error() {
+        let mut v = m_json();
+        if let Value::Obj(fields) = &mut v {
+            fields.retain(|(k, _)| k != "n_moves");
+        }
+        assert!(Metrics::from_json(&v).is_err());
+
+        fn m_json() -> Value {
+            Metrics {
+                execution_time: Ticks(1),
+                unit_cost_time: Ticks(1),
+                lower_bound: Ticks(1),
+                grid_patches: 1,
+                factory_patches: 0,
+                routing_paths: 2,
+                factories: 1,
+                n_gates: 1,
+                n_surgery_ops: 1,
+                n_moves: 0,
+                n_moves_eliminated: 0,
+                n_magic_states: 0,
+            }
+            .to_json()
+        }
+    }
+
+    #[test]
+    fn option_fingerprints_distinguish_single_field_changes() {
+        let base = CompilerOptions::default();
+        let variants = [
+            base.clone().routing_paths(5),
+            base.clone().factories(2),
+            base.clone().penalty_weight(6),
+            base.clone().lookahead(false),
+            base.clone().eliminate_redundant_moves(false),
+            base.clone().mapping(MappingStrategy::RowMajor),
+            base.clone().optimize(true),
+            base.clone().unbounded_magic(true),
+            base.clone().port_placement(PortPlacement::Clustered),
+            base.clone().magic_production(Ticks::from_d(9.0)),
+            base.clone().t_state_policy(TStatePolicy::synthesis(3)),
+        ];
+        let base_fp = fingerprint_value(&base.to_json());
+        let mut seen = vec![base_fp];
+        for v in &variants {
+            let fp = fingerprint_value(&v.to_json());
+            assert!(
+                !seen.contains(&fp),
+                "fingerprint collision for variant {v:?}"
+            );
+            seen.push(fp);
+        }
+    }
+}

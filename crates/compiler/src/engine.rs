@@ -175,7 +175,8 @@ impl<'a> Engine<'a> {
             .fold(extra_dep, Ticks::max);
         let start = self.timeline.earliest_start(cells.iter().copied(), dep);
         let duration = op.duration(&self.options.timing);
-        self.timeline.reserve(cells.iter().copied(), start, duration);
+        self.timeline
+            .reserve(cells.iter().copied(), start, duration);
         let end = start + duration;
         for &q in &patches {
             self.qubit_ready[q as usize] = end;
@@ -264,9 +265,7 @@ impl<'a> Engine<'a> {
             for i in 1..path.cells.len() {
                 steps += 1;
                 if steps > budget {
-                    return Err(
-                        self.fail(format!("relocation of q{q} to {dest} did not converge"))
-                    );
+                    return Err(self.fail(format!("relocation of q{q} to {dest} did not converge")));
                 }
                 let here = self.pos[q as usize];
                 let next = path.cells[i];
@@ -277,9 +276,9 @@ impl<'a> Engine<'a> {
                         if next == dest {
                             // The destination itself cannot be cleared:
                             // this relocation target is infeasible.
-                            return Err(self.fail(format!(
-                                "destination {dest} cannot be cleared for q{q}"
-                            )));
+                            return Err(
+                                self.fail(format!("destination {dest} cannot be cleared for q{q}"))
+                            );
                         }
                         // The occupant of `next` is boxed in: ban the cell
                         // and route around it.
@@ -349,9 +348,10 @@ impl<'a> Engine<'a> {
                 self.emit(SurgeryOp::MeasureZ { cell }, vec![q], None, Ticks::ZERO);
                 Ok(())
             }
-            Gate::Cz(_, _) | Gate::Swap(_, _) => Err(self.fail(
-                "CZ/SWAP must be lowered before routing (Compiler::compile does this)",
-            )),
+            Gate::Cz(_, _) | Gate::Swap(_, _) => {
+                Err(self
+                    .fail("CZ/SWAP must be lowered before routing (Compiler::compile does this)"))
+            }
         }
     }
 
@@ -360,7 +360,11 @@ impl<'a> Engine<'a> {
         let cell = self.pos[q as usize];
         let ancilla = self.acquire_ancilla(cell)?;
         self.emit(
-            SurgeryOp::Single { kind, cell, ancilla },
+            SurgeryOp::Single {
+                kind,
+                cell,
+                ancilla,
+            },
             vec![q],
             None,
             Ticks::ZERO,
@@ -416,7 +420,10 @@ impl<'a> Engine<'a> {
                     grant.available,
                 );
                 self.emit(
-                    SurgeryOp::ConsumeMagic { target: tq, magic: dest },
+                    SurgeryOp::ConsumeMagic {
+                        target: tq,
+                        magic: dest,
+                    },
                     vec![q],
                     None,
                     Ticks::ZERO,
@@ -425,7 +432,10 @@ impl<'a> Engine<'a> {
                 // The factory port *is* the delivery cell: the state appears
                 // in place and the consumption carries the grant itself.
                 self.emit(
-                    SurgeryOp::ConsumeMagic { target: tq, magic: dest },
+                    SurgeryOp::ConsumeMagic {
+                        target: tq,
+                        magic: dest,
+                    },
                     vec![q],
                     Some(grant.factory),
                     grant.available,
@@ -484,14 +494,16 @@ impl<'a> Engine<'a> {
                 // allow occupied destinations, scored by distance plus a
                 // clearing estimate.
                 let mut best: Option<(u32, Coord, u32)> = None;
-                for (mq, anchor, from) in
-                    [(control, t_pos, c_pos), (target, c_pos, t_pos)]
-                {
+                for (mq, anchor, from) in [(control, t_pos, c_pos), (target, c_pos, t_pos)] {
                     for d in anchor.diagonals() {
                         if !self.grid().in_bounds(d) || d == from || d == anchor {
                             continue;
                         }
-                        let (cp, tp) = if mq == control { (d, t_pos) } else { (c_pos, d) };
+                        let (cp, tp) = if mq == control {
+                            (d, t_pos)
+                        } else {
+                            (c_pos, d)
+                        };
                         let anc = match cnot_ancilla(cp, tp) {
                             Some(a) => a,
                             None => continue,
@@ -676,9 +688,7 @@ mod tests {
         let (ops, _) = run_engine(&c, 6, 1);
         let moves = ops.iter().filter(|o| o.is_movement()).count();
         assert!(moves >= 1, "horizontal pair needs at least one move");
-        assert!(ops
-            .iter()
-            .any(|o| matches!(o.op, SurgeryOp::Cnot { .. })));
+        assert!(ops.iter().any(|o| matches!(o.op, SurgeryOp::Cnot { .. })));
         for o in &ops {
             o.op.validate().expect("valid ops");
         }

@@ -261,7 +261,11 @@ fn resolve_point(
         let program = Compiler::new(options).compile(circuit)?;
         let m = program.metrics();
         // Magic-free circuits need no factories at all.
-        let factory_tiles = if m.n_magic_states == 0 { 0 } else { nf * protocol.tiles };
+        let factory_tiles = if m.n_magic_states == 0 {
+            0
+        } else {
+            nf * protocol.tiles
+        };
         let logical_qubits = m.grid_patches + factory_tiles;
 
         // Distance fixed point (patch-cycles depend on d).
@@ -304,12 +308,15 @@ fn resolve_point(
         return Ok(None);
     };
     let m = program.metrics();
-    let factory_tiles = if m.n_magic_states == 0 { 0 } else { nf * protocol.tiles };
+    let factory_tiles = if m.n_magic_states == 0 {
+        0
+    } else {
+        nf * protocol.tiles
+    };
     let logical_qubits = m.grid_patches + factory_tiles;
     let patch_cycles = logical_qubits as f64 * m.execution_time.as_d() * d as f64;
     let logical_error = a.logical_error_per_cycle(d) * patch_cycles;
-    let magic_error =
-        protocol.output_error(a.physical_error_rate, d, a) * m.n_magic_states as f64;
+    let magic_error = protocol.output_error(a.physical_error_rate, d, a) * m.n_magic_states as f64;
 
     Ok(Some(ResourceEstimate {
         routing_paths: r,
@@ -452,9 +459,7 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = EstimateError::Infeasible {
-            reason: "x".into(),
-        };
+        let e = EstimateError::Infeasible { reason: "x".into() };
         assert!(e.to_string().contains("infeasible"));
         let e = EstimateError::AllCandidatesFailed {
             last: CompileError::EmptyRegister,

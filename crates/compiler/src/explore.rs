@@ -3,16 +3,20 @@
 //! prior work which handpicks certain space-time configurations" (§I).
 //!
 //! [`explore`] compiles a circuit across a grid of routing-path and
-//! factory counts; [`pareto_front`] filters the results to the
-//! qubit/time-Pareto-optimal machines a hardware designer would choose
-//! from; [`best_by_volume`] picks the single spacetime-volume optimum
-//! (the quantity minimised in Fig 9).
+//! factory counts; [`explore_parallel`] is the same sweep routed through
+//! `ftqc-service`'s worker pool and content-addressed compile cache;
+//! [`pareto_front`] filters the results to the qubit/time-Pareto-optimal
+//! machines a hardware designer would choose from; [`best_by_volume`]
+//! picks the single spacetime-volume optimum (the quantity minimised in
+//! Fig 9).
 
 use crate::error::CompileError;
 use crate::metrics::Metrics;
 use crate::options::CompilerOptions;
 use crate::pipeline::Compiler;
 use ftqc_circuit::Circuit;
+use ftqc_service::json::ToJson;
+use ftqc_service::{fingerprint, SharedCache, WorkerPool};
 use serde::{Deserialize, Serialize};
 
 /// One evaluated machine configuration.
@@ -58,23 +62,120 @@ pub fn explore(
     factories: &[u32],
     base: &CompilerOptions,
 ) -> Result<Vec<DesignPoint>, CompileError> {
-    let max_r = ftqc_arch::Layout::max_routing_paths(circuit.num_qubits());
     let mut out = Vec::new();
+    for (r, f) in sweep_grid(circuit, routing_paths, factories) {
+        let options = base.clone().routing_paths(r).factories(f);
+        let metrics = *Compiler::new(options).compile(circuit)?.metrics();
+        out.push(DesignPoint {
+            routing_paths: r,
+            factories: f,
+            metrics,
+        });
+    }
+    Ok(out)
+}
+
+/// The `(routing_paths, factories)` combinations [`explore`] would visit,
+/// in its visit order: the shared work-list of the serial and parallel
+/// sweeps.
+fn sweep_grid(circuit: &Circuit, routing_paths: &[u32], factories: &[u32]) -> Vec<(u32, u32)> {
+    let max_r = ftqc_arch::Layout::max_routing_paths(circuit.num_qubits());
+    let mut combos = Vec::new();
     for &r in routing_paths {
         if r < 2 || r > max_r {
             continue;
         }
         for &f in factories {
-            let options = base.clone().routing_paths(r).factories(f);
-            let metrics = *Compiler::new(options).compile(circuit)?.metrics();
-            out.push(DesignPoint {
-                routing_paths: r,
-                factories: f,
-                metrics,
-            });
+            combos.push((r, f));
         }
     }
-    Ok(out)
+    combos
+}
+
+/// [`explore`] with the sweep fanned across `workers` threads through
+/// `ftqc-service`'s deterministic worker pool, memoised in a fresh
+/// in-memory compile cache. Same arguments, same skip rules, and exactly
+/// the same result vector (submission-order merging makes the parallel
+/// run indistinguishable from the serial one).
+///
+/// To reuse compile results across calls (or to attach a file-backed
+/// tier), build the cache yourself and use [`explore_parallel_with`].
+///
+/// # Errors
+///
+/// As [`explore`]: the first routing failure in grid order.
+pub fn explore_parallel(
+    circuit: &Circuit,
+    routing_paths: &[u32],
+    factories: &[u32],
+    base: &CompilerOptions,
+    workers: usize,
+) -> Result<Vec<DesignPoint>, CompileError> {
+    let cache = SharedCache::in_memory(ftqc_service::DEFAULT_CACHE_CAPACITY);
+    explore_parallel_with(circuit, routing_paths, factories, base, workers, &cache)
+}
+
+/// [`explore_parallel`] against a caller-owned [`SharedCache`], so repeated
+/// sweeps (resource estimators, interactive frontends, the `ftqc sweep`
+/// CLI) are answered from cache instead of recompiled.
+///
+/// Cache keys are content-addressed over the canonical circuit and the
+/// full option set — see `ftqc_service::fingerprint` — so a hit is only
+/// possible when both match exactly.
+///
+/// # Errors
+///
+/// As [`explore`]: the first routing failure in grid order.
+pub fn explore_parallel_with(
+    circuit: &Circuit,
+    routing_paths: &[u32],
+    factories: &[u32],
+    base: &CompilerOptions,
+    workers: usize,
+    cache: &SharedCache<Metrics>,
+) -> Result<Vec<DesignPoint>, CompileError> {
+    let combos = sweep_grid(circuit, routing_paths, factories);
+    let circuit_fp = fingerprint::fingerprint_circuit(circuit);
+    let results = WorkerPool::new(workers).run(combos, |(r, f)| {
+        let options = base.clone().routing_paths(r).factories(f);
+        let metrics = compile_cached(circuit, circuit_fp, options, cache)?;
+        Ok(DesignPoint {
+            routing_paths: r,
+            factories: f,
+            metrics,
+        })
+    });
+    // collect() surfaces the first error in grid order — the same error a
+    // serial sweep would have stopped at.
+    results.into_iter().collect()
+}
+
+/// Compiles `circuit` under `options`, memoised in `cache` under the
+/// content-addressed key `combine(circuit_fp, fingerprint(options))` —
+/// the single place that key recipe lives. `circuit_fp` is
+/// `ftqc_service::fingerprint::fingerprint_circuit(circuit)`, hoisted out
+/// so sweeps hash the circuit once, not per grid point.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`] on cache misses that fail to compile
+/// (failures are not cached).
+pub fn compile_cached(
+    circuit: &Circuit,
+    circuit_fp: u64,
+    options: CompilerOptions,
+    cache: &SharedCache<Metrics>,
+) -> Result<Metrics, CompileError> {
+    let key = fingerprint::combine(
+        circuit_fp,
+        fingerprint::fingerprint_value(&options.to_json()),
+    );
+    if let Some(hit) = cache.get(key) {
+        return Ok(hit.value);
+    }
+    let metrics = *Compiler::new(options).compile(circuit)?.metrics();
+    cache.insert(key, metrics);
+    Ok(metrics)
 }
 
 /// Filters to the Pareto front over `(qubits, execution time)`: a point
@@ -166,6 +267,44 @@ mod tests {
     }
 
     #[test]
+    fn explore_parallel_matches_serial() {
+        use ftqc_circuit::Circuit;
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q).t(q);
+        }
+        c.cnot(0, 1).cnot(2, 3).cnot(4, 5);
+        let base = CompilerOptions::default();
+        let serial = explore(&c, &[2, 4, 6], &[1, 2], &base).expect("serial compiles");
+        for workers in [1, 2, 4] {
+            let parallel =
+                explore_parallel(&c, &[2, 4, 6], &[1, 2], &base, workers).expect("parallel");
+            assert_eq!(parallel, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn explore_parallel_with_reuses_cache() {
+        use ftqc_circuit::Circuit;
+        use ftqc_service::SharedCache;
+        let mut c = Circuit::new(4);
+        c.h(0).t(0).cnot(0, 1).t(2).cnot(2, 3);
+        let base = CompilerOptions::default();
+        let cache = SharedCache::in_memory(256);
+        let first =
+            explore_parallel_with(&c, &[2, 4], &[1, 2], &base, 2, &cache).expect("first sweep");
+        let after_first = cache.stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 4);
+        let second =
+            explore_parallel_with(&c, &[2, 4], &[1, 2], &base, 2, &cache).expect("second sweep");
+        assert_eq!(second, first);
+        let after_second = cache.stats();
+        assert_eq!(after_second.misses, 4, "second sweep compiled nothing");
+        assert_eq!(after_second.hits, 4, "second sweep was all cache hits");
+    }
+
+    #[test]
     fn explore_on_real_circuit() {
         use ftqc_circuit::Circuit;
         let mut c = Circuit::new(9);
@@ -174,8 +313,8 @@ mod tests {
             c.t(q);
         }
         c.cnot(0, 1).cnot(4, 5);
-        let pts = explore(&c, &[2, 4, 6, 99], &[1, 2], &CompilerOptions::default())
-            .expect("compiles");
+        let pts =
+            explore(&c, &[2, 4, 6, 99], &[1, 2], &CompilerOptions::default()).expect("compiles");
         // r=99 is invalid for 9 qubits (max 2*3+2=8) and silently skipped.
         assert_eq!(pts.len(), 6);
         let front = pareto_front(&pts);

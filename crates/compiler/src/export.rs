@@ -78,14 +78,14 @@ pub struct UtilizationStats {
 
 /// Computes utilisation statistics for a compiled program.
 pub fn utilization(program: &CompiledProgram) -> UtilizationStats {
-    stats_of(program.schedule(), program.layout().total_patches(), program.metrics().execution_time)
+    stats_of(
+        program.schedule(),
+        program.layout().total_patches(),
+        program.metrics().execution_time,
+    )
 }
 
-fn stats_of(
-    schedule: &Schedule<RoutedOp>,
-    grid_patches: u32,
-    makespan: Ticks,
-) -> UtilizationStats {
+fn stats_of(schedule: &Schedule<RoutedOp>, grid_patches: u32, makespan: Ticks) -> UtilizationStats {
     let mut busy_ticks = 0u64;
     let mut movement_ticks = 0u64;
     let mut movement_ops = 0usize;

@@ -34,6 +34,7 @@
 //! [`Circuit`]: ftqc_circuit::Circuit
 
 pub mod analysis;
+pub mod codec;
 pub mod engine;
 pub mod error;
 pub mod estimate;
@@ -53,8 +54,13 @@ pub mod verify;
 
 pub use analysis::{diagnose, Bottleneck, BottleneckReport};
 pub use error::CompileError;
-pub use estimate::{estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate};
-pub use explore::{best_by_volume, explore, pareto_front, DesignPoint};
+pub use estimate::{
+    estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate,
+};
+pub use explore::{
+    best_by_volume, compile_cached, explore, explore_parallel, explore_parallel_with, pareto_front,
+    DesignPoint,
+};
 pub use export::{to_csv, utilization, UtilizationStats};
 pub use mapping::{InitialMapping, MappingStrategy};
 pub use metrics::Metrics;

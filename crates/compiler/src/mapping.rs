@@ -121,7 +121,9 @@ impl InitialMapping {
             let k = data.len().max(1) as i64;
             Coord::new((r / k) as i32, (c / k) as i32)
         };
-        let seed = (0..n).max_by_key(|&q| (total[q], std::cmp::Reverse(q))).unwrap_or(0);
+        let seed = (0..n)
+            .max_by_key(|&q| (total[q], std::cmp::Reverse(q)))
+            .unwrap_or(0);
         let seed_cell_idx = (0..free.len())
             .min_by_key(|&i| free[i].manhattan(centroid))
             .expect("layout has data cells");
@@ -151,7 +153,12 @@ impl InitialMapping {
                             })
                         })
                         .sum();
-                    (cost, u64::from(free[i].manhattan(centroid)), free[i].row, free[i].col)
+                    (
+                        cost,
+                        u64::from(free[i].manhattan(centroid)),
+                        free[i].row,
+                        free[i].col,
+                    )
                 })
                 .expect("free cell remains");
             placed[next] = Some(free.swap_remove(best));
@@ -268,10 +275,11 @@ mod tests {
         }
         let layout = Layout::with_routing_paths(16, 4);
         let pair_distance = |m: &InitialMapping| -> u32 {
-            (0..8u32).map(|i| m.cell_of(i).manhattan(m.cell_of(i + 8))).sum()
+            (0..8u32)
+                .map(|i| m.cell_of(i).manhattan(m.cell_of(i + 8)))
+                .sum()
         };
-        let aware =
-            InitialMapping::for_circuit(&layout, &c, MappingStrategy::InteractionAware);
+        let aware = InitialMapping::for_circuit(&layout, &c, MappingStrategy::InteractionAware);
         let row = InitialMapping::for_circuit(&layout, &c, MappingStrategy::RowMajor);
         assert!(
             pair_distance(&aware) < pair_distance(&row),

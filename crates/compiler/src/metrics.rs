@@ -120,7 +120,11 @@ impl fmt::Display for Metrics {
         writeln!(
             f,
             "ops: {} surgery ({} moves, {} eliminated) for {} gates, {} magic states",
-            self.n_surgery_ops, self.n_moves, self.n_moves_eliminated, self.n_gates, self.n_magic_states
+            self.n_surgery_ops,
+            self.n_moves,
+            self.n_moves_eliminated,
+            self.n_gates,
+            self.n_magic_states
         )?;
         write!(
             f,
@@ -188,9 +192,7 @@ mod tests {
         let m = sample();
         assert!((m.spacetime_volume(true) - 155.0 * 120.0).abs() < 1e-9);
         assert!((m.spacetime_volume(false) - 144.0 * 120.0).abs() < 1e-9);
-        assert!(
-            (m.spacetime_volume_per_op(true) - 155.0 * 120.0 / 60.0).abs() < 1e-9
-        );
+        assert!((m.spacetime_volume_per_op(true) - 155.0 * 120.0 / 60.0).abs() < 1e-9);
     }
 
     #[test]

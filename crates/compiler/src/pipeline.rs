@@ -277,10 +277,7 @@ mod tests {
             c.t(q);
         }
         for f in 1..=3u32 {
-            let p = compile(
-                &c,
-                CompilerOptions::default().routing_paths(4).factories(f),
-            );
+            let p = compile(&c, CompilerOptions::default().routing_paths(4).factories(f));
             let m = p.metrics();
             assert!(
                 m.execution_time >= m.lower_bound,
@@ -313,9 +310,7 @@ mod tests {
         c.t(0).t(1).t(2).t(3);
         let bounded = compile(&c, CompilerOptions::default());
         let unbounded = compile(&c, CompilerOptions::default().unbounded_magic(true));
-        assert!(
-            unbounded.metrics().execution_time < bounded.metrics().execution_time
-        );
+        assert!(unbounded.metrics().execution_time < bounded.metrics().execution_time);
         assert_eq!(unbounded.metrics().factory_patches, 0);
     }
 
@@ -347,7 +342,10 @@ mod tests {
         assert!(with.metrics().n_surgery_ops <= without.metrics().n_surgery_ops);
         assert!(with.metrics().execution_time <= without.metrics().execution_time);
         // Same logical work either way.
-        assert_eq!(with.metrics().n_magic_states, without.metrics().n_magic_states);
+        assert_eq!(
+            with.metrics().n_magic_states,
+            without.metrics().n_magic_states
+        );
     }
 
     #[test]

@@ -129,10 +129,22 @@ impl fmt::Display for SemanticsError {
             SemanticsError::WrongCircuit => {
                 write!(f, "program was compiled from a different circuit")
             }
-            SemanticsError::GateMismatch { index, expected, found } => {
-                write!(f, "op {index}: gate requires {expected}, schedule has {found}")
+            SemanticsError::GateMismatch {
+                index,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "op {index}: gate requires {expected}, schedule has {found}"
+                )
             }
-            SemanticsError::OperandMismatch { index, qubit, tracked, used } => write!(
+            SemanticsError::OperandMismatch {
+                index,
+                qubit,
+                tracked,
+                used,
+            } => write!(
                 f,
                 "op {index}: qubit {qubit} is at {tracked} but the operation used {used}"
             ),
@@ -149,7 +161,10 @@ impl fmt::Display for SemanticsError {
             }
             SemanticsError::Coverage { reason } => write!(f, "coverage: {reason}"),
             SemanticsError::TraceMismatch { qubit } => {
-                write!(f, "realised gate order on qubit {qubit} differs from the input")
+                write!(
+                    f,
+                    "realised gate order on qubit {qubit} differs from the input"
+                )
             }
             SemanticsError::NotEquivalent { method } => {
                 write!(f, "reconstructed circuit rejected by the {method} oracle")
@@ -290,9 +305,11 @@ fn replay(program: &CompiledProgram) -> Result<Replayed, SemanticsError> {
     for (index, item) in program.schedule().items().iter().enumerate() {
         let routed = &item.op;
         let gate_idx = routed.gate;
-        let require_gate = || gate_idx
-            .filter(|&g| g < lowered.len())
-            .ok_or(SemanticsError::Untagged { index });
+        let require_gate = || {
+            gate_idx
+                .filter(|&g| g < lowered.len())
+                .ok_or(SemanticsError::Untagged { index })
+        };
 
         // Position check helper: qubit q must sit at `used`.
         let check_at = |q: u32, used: Coord, pos: &[Coord]| {
@@ -312,10 +329,13 @@ fn replay(program: &CompiledProgram) -> Result<Replayed, SemanticsError> {
         match &routed.op {
             SurgeryOp::Move { from, to } => {
                 moves += 1;
-                let q = *routed.patches.first().ok_or_else(|| SemanticsError::BadMove {
-                    index,
-                    reason: "move carries no qubit".into(),
-                })?;
+                let q = *routed
+                    .patches
+                    .first()
+                    .ok_or_else(|| SemanticsError::BadMove {
+                        index,
+                        reason: "move carries no qubit".into(),
+                    })?;
                 if occ.get(from) != Some(&q) {
                     return Err(SemanticsError::BadMove {
                         index,
@@ -350,10 +370,16 @@ fn replay(program: &CompiledProgram) -> Result<Replayed, SemanticsError> {
                 check_at(q, *target, &pos)?;
                 realizations.push((index, g));
             }
-            SurgeryOp::Cnot { control, target, .. } => {
+            SurgeryOp::Cnot {
+                control, target, ..
+            } => {
                 let g = require_gate()?;
                 let gate = &lowered.gates()[g];
-                let Gate::Cnot { control: gc, target: gt } = *gate else {
+                let Gate::Cnot {
+                    control: gc,
+                    target: gt,
+                } = *gate
+                else {
                     return Err(SemanticsError::GateMismatch {
                         index,
                         expected: gate.to_string(),
@@ -476,7 +502,10 @@ fn coverage_and_order(
 }
 
 /// Pass 3: per-qubit projections agree (trace-monoid equality).
-fn check_trace(lowered: &Circuit, reconstructed: &Circuit) -> Result<EquivalenceMethod, SemanticsError> {
+fn check_trace(
+    lowered: &Circuit,
+    reconstructed: &Circuit,
+) -> Result<EquivalenceMethod, SemanticsError> {
     for q in 0..lowered.num_qubits() {
         let proj = |c: &Circuit| -> Vec<Gate> {
             c.iter()
@@ -593,7 +622,10 @@ mod tests {
         let mut b = Circuit::new(2);
         b.h(1).cnot(0, 1);
         let p = compile(&a, CompilerOptions::default());
-        assert_eq!(check_semantics(&b, &p).unwrap_err(), SemanticsError::WrongCircuit);
+        assert_eq!(
+            check_semantics(&b, &p).unwrap_err(),
+            SemanticsError::WrongCircuit
+        );
     }
 
     #[test]
@@ -645,7 +677,9 @@ mod tests {
                 missing_pred: 4,
             },
             SemanticsError::DoubleRealization { gate: 6 },
-            SemanticsError::Coverage { reason: "gap".into() },
+            SemanticsError::Coverage {
+                reason: "gap".into(),
+            },
             SemanticsError::TraceMismatch { qubit: 7 },
             SemanticsError::NotEquivalent {
                 method: EquivalenceMethod::Tableau,

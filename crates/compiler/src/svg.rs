@@ -152,7 +152,11 @@ mod tests {
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         // Balanced rect tags (every rect is self-closing or title-closed).
-        assert_eq!(svg.matches("<rect").count(), svg.matches("/rect>").count() + svg.matches("/>").count() - svg.matches("<line").count());
+        assert_eq!(
+            svg.matches("<rect").count(),
+            svg.matches("/rect>").count() + svg.matches("/>").count()
+                - svg.matches("<line").count()
+        );
     }
 
     #[test]

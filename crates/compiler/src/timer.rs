@@ -100,7 +100,14 @@ mod tests {
     #[test]
     fn disjoint_ops_run_in_parallel() {
         let ops = vec![mv((0, 0), (0, 1), 0), mv((5, 5), (5, 6), 1)];
-        let s = time_ops(&ops, 2, 1, &TimingModel::paper(), CostKind::Realistic, false);
+        let s = time_ops(
+            &ops,
+            2,
+            1,
+            &TimingModel::paper(),
+            CostKind::Realistic,
+            false,
+        );
         assert_eq!(s.items()[0].start, Ticks::ZERO);
         assert_eq!(s.items()[1].start, Ticks::ZERO);
         assert_eq!(s.makespan(), Ticks::from_d(1.0));
@@ -109,7 +116,14 @@ mod tests {
     #[test]
     fn shared_cell_serialises() {
         let ops = vec![mv((0, 0), (0, 1), 0), mv((0, 1), (0, 2), 1)];
-        let s = time_ops(&ops, 2, 1, &TimingModel::paper(), CostKind::Realistic, false);
+        let s = time_ops(
+            &ops,
+            2,
+            1,
+            &TimingModel::paper(),
+            CostKind::Realistic,
+            false,
+        );
         assert_eq!(s.items()[1].start, Ticks::from_d(1.0));
     }
 
@@ -117,7 +131,14 @@ mod tests {
     fn qubit_dependency_serialises() {
         // Same qubit moving twice through disjoint cells still serialises.
         let ops = vec![mv((0, 0), (0, 1), 0), mv((5, 5), (5, 6), 0)];
-        let s = time_ops(&ops, 1, 1, &TimingModel::paper(), CostKind::Realistic, false);
+        let s = time_ops(
+            &ops,
+            1,
+            1,
+            &TimingModel::paper(),
+            CostKind::Realistic,
+            false,
+        );
         assert_eq!(s.items()[1].start, Ticks::from_d(1.0));
     }
 
@@ -142,7 +163,14 @@ mod tests {
         assert_eq!(s.items()[0].start, Ticks::from_d(11.0));
 
         // Unbounded supply starts immediately.
-        let s = time_ops(std::slice::from_ref(&deliver), 1, 1, &TimingModel::paper(), CostKind::Realistic, true);
+        let s = time_ops(
+            std::slice::from_ref(&deliver),
+            1,
+            1,
+            &TimingModel::paper(),
+            CostKind::Realistic,
+            true,
+        );
         assert_eq!(s.items()[0].start, Ticks::ZERO);
     }
 
@@ -158,7 +186,14 @@ mod tests {
         };
         // Two factories, four deliveries on disjoint paths.
         let ops = vec![d(0, 0), d(1, 2), d(0, 4), d(1, 6)];
-        let s = time_ops(&ops, 1, 2, &TimingModel::paper(), CostKind::Realistic, false);
+        let s = time_ops(
+            &ops,
+            1,
+            2,
+            &TimingModel::paper(),
+            CostKind::Realistic,
+            false,
+        );
         let starts: Vec<f64> = s.items().iter().map(|x| x.start.as_d()).collect();
         assert_eq!(starts, vec![11.0, 11.0, 22.0, 22.0]);
     }
@@ -174,7 +209,14 @@ mod tests {
             vec![0],
             0,
         );
-        let real = time_ops(std::slice::from_ref(&h), 1, 1, &TimingModel::paper(), CostKind::Realistic, false);
+        let real = time_ops(
+            std::slice::from_ref(&h),
+            1,
+            1,
+            &TimingModel::paper(),
+            CostKind::Realistic,
+            false,
+        );
         let unit = time_ops(&[h], 1, 1, &TimingModel::paper(), CostKind::UnitCost, false);
         assert_eq!(real.makespan(), Ticks::from_d(3.0));
         assert_eq!(unit.makespan(), Ticks::from_d(1.0));

@@ -117,8 +117,7 @@ impl KindBreakdown {
 pub fn kind_breakdown(program: &CompiledProgram) -> KindBreakdown {
     let mut b = KindBreakdown::default();
     for item in program.schedule() {
-        let vol = item.duration.raw() as f64 * item.op.op.cells().len() as f64
-            / TICKS_PER_D as f64;
+        let vol = item.duration.raw() as f64 * item.op.op.cells().len() as f64 / TICKS_PER_D as f64;
         match item.op.op {
             SurgeryOp::Move { .. } => b.moves += vol,
             SurgeryOp::DeliverMagic { .. } => b.deliveries += vol,

@@ -72,10 +72,21 @@ impl fmt::Display for VerifyError {
             VerifyError::InvalidPlacement { index, reason } => {
                 write!(f, "op {index} violates placement: {reason}")
             }
-            VerifyError::ResourceConflict { first, second, cell } => {
-                write!(f, "ops {first} and {second} both occupy {cell} concurrently")
+            VerifyError::ResourceConflict {
+                first,
+                second,
+                cell,
+            } => {
+                write!(
+                    f,
+                    "ops {first} and {second} both occupy {cell} concurrently"
+                )
             }
-            VerifyError::QubitOverlap { qubit, first, second } => {
+            VerifyError::QubitOverlap {
+                qubit,
+                first,
+                second,
+            } => {
                 write!(f, "ops {first} and {second} overlap on qubit {qubit}")
             }
             VerifyError::FactoryOverrun { factory, starts } => write!(
@@ -314,7 +325,10 @@ mod tests {
         };
         let items = vec![mk(0.0, 0), mk(5.0, 3)]; // 5d apart < 11d
         let err = verify_items(&items, &TimingModel::paper(), |_| true).unwrap_err();
-        assert!(matches!(err, VerifyError::FactoryOverrun { factory: 0, .. }));
+        assert!(matches!(
+            err,
+            VerifyError::FactoryOverrun { factory: 0, .. }
+        ));
     }
 
     #[test]
@@ -327,8 +341,8 @@ mod tests {
             0.0,
             1.0,
         )];
-        let err = verify_items(&items, &TimingModel::paper(), |c| c.row < 10 && c.col < 10)
-            .unwrap_err();
+        let err =
+            verify_items(&items, &TimingModel::paper(), |c| c.row < 10 && c.col < 10).unwrap_err();
         assert!(matches!(err, VerifyError::OffGrid { .. }));
     }
 

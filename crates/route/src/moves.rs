@@ -97,7 +97,10 @@ pub fn best_cnot_config(
 
     let mut best: Option<CnotConfig> = None;
     let consider = |cand: CnotConfig, best: &mut Option<CnotConfig>| {
-        if best.as_ref().is_none_or(|b| cand.move_cost() < b.move_cost()) {
+        if best
+            .as_ref()
+            .is_none_or(|b| cand.move_cost() < b.move_cost())
+        {
             *best = Some(cand);
         }
     };
@@ -260,10 +263,8 @@ mod tests {
             }
         }
         let occ = occ_of(&occupied);
-        let greedy =
-            best_cnot_config(&grid7(), &occ, c, t, &CostModel::default(), true).unwrap();
-        let naive =
-            best_cnot_config(&grid7(), &occ, c, t, &CostModel::default(), false).unwrap();
+        let greedy = best_cnot_config(&grid7(), &occ, c, t, &CostModel::default(), true).unwrap();
+        let naive = best_cnot_config(&grid7(), &occ, c, t, &CostModel::default(), false).unwrap();
         assert!(greedy.move_cost() <= naive.move_cost());
     }
 

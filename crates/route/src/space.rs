@@ -307,7 +307,10 @@ mod tests {
     fn clear_cell_plan_none_when_already_free() {
         let occ = occ_of(&[]);
         let avoid = HashSet::new();
-        assert_eq!(clear_cell_plan(&grid5(), &occ, Coord::new(2, 2), &avoid), None);
+        assert_eq!(
+            clear_cell_plan(&grid5(), &occ, Coord::new(2, 2), &avoid),
+            None
+        );
     }
 
     #[test]

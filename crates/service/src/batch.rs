@@ -1,0 +1,379 @@
+//! The batch-compilation service: worker pool + compile cache glued under
+//! the job model.
+//!
+//! [`BatchService::run`] takes a job list, a circuit resolver, and a
+//! compile function, fans the jobs across the pool, answers repeats from
+//! the content-addressed cache, and returns results in submission order.
+//! The service is generic over the option type `O` and metrics type `M`;
+//! the compiler and CLI instantiate it with `CompilerOptions` / `Metrics`.
+
+use crate::cache::{CacheStats, CacheTier, CompileCache, SharedCache};
+use crate::fingerprint;
+use crate::job::{CacheProvenance, CompileJob, JobResult, JobStatus};
+use crate::json::{FromJson, JsonError, ToJson};
+use crate::pool::WorkerPool;
+use ftqc_circuit::Circuit;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Sizing and persistence knobs for a [`BatchService`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads (0 ⇒ the machine's available parallelism).
+    pub workers: usize,
+    /// Memory-tier capacity of the compile cache.
+    pub cache_capacity: usize,
+    /// Optional file-backed cache tier for cross-run reuse.
+    pub cache_file: Option<PathBuf>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 0,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            cache_file: None,
+        }
+    }
+}
+
+/// A reusable batch-compilation service holding a pool and a cache.
+///
+/// Keep one service alive across batches to benefit from the cache; see
+/// [`BatchService::cache_stats`] for how much it saved.
+#[derive(Debug)]
+pub struct BatchService<M> {
+    pool: WorkerPool,
+    cache: SharedCache<M>,
+}
+
+impl<M: Clone + Send + FromJson> BatchService<M> {
+    /// Builds a service from `config`, loading the file cache tier when
+    /// one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the configured cache file exists but is
+    /// malformed.
+    pub fn new(config: BatchConfig) -> Result<Self, JsonError> {
+        let pool = if config.workers == 0 {
+            WorkerPool::auto()
+        } else {
+            WorkerPool::new(config.workers)
+        };
+        let mut cache = CompileCache::new(config.cache_capacity);
+        if let Some(path) = &config.cache_file {
+            cache = cache.with_file_tier(path)?;
+        }
+        Ok(BatchService {
+            pool,
+            cache: SharedCache::new(cache),
+        })
+    }
+
+    /// Runs a batch: `resolve` turns each job's source into a circuit,
+    /// `compile` produces metrics on cache misses. Results come back in
+    /// submission order with cache provenance and per-job timing.
+    ///
+    /// Identical jobs inside one batch deduplicate best-effort: a twin
+    /// claimed after the first copy finished hits the cache, one claimed
+    /// while the first is still compiling is computed again (same result,
+    /// wasted work — there is no in-flight wait). Across batches on the
+    /// same service, deduplication is exact.
+    pub fn run<O, R, C>(
+        &self,
+        jobs: Vec<CompileJob<O>>,
+        resolve: R,
+        compile: C,
+    ) -> Vec<JobResult<M>>
+    where
+        O: ToJson + Send,
+        R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
+        C: Fn(&Circuit, &O) -> Result<M, String> + Sync,
+    {
+        let cache = &self.cache;
+        let resolve = &resolve;
+        let compile = &compile;
+        self.pool.run(jobs, move |job| {
+            let start = Instant::now();
+            let done = |status, fingerprint, metrics, provenance| JobResult {
+                id: job.id.clone(),
+                fingerprint,
+                status,
+                metrics,
+                provenance,
+                micros: start.elapsed().as_micros() as u64,
+            };
+
+            let circuit = match resolve(&job.source) {
+                Ok(c) => c,
+                Err(e) => {
+                    return done(
+                        JobStatus::Failed(format!("cannot resolve {}: {e}", job.source)),
+                        0,
+                        None,
+                        CacheProvenance::Computed,
+                    )
+                }
+            };
+            let fp = fingerprint::combine(
+                fingerprint::fingerprint_circuit(&circuit),
+                fingerprint::fingerprint_value(&job.options.to_json()),
+            );
+            if let Some(hit) = cache.get(fp) {
+                let provenance = match hit.tier {
+                    CacheTier::Memory => CacheProvenance::MemoryHit,
+                    CacheTier::File => CacheProvenance::FileHit,
+                };
+                return done(JobStatus::Ok, fp, Some(hit.value), provenance);
+            }
+            match compile(&circuit, &job.options) {
+                Ok(metrics) => {
+                    cache.insert(fp, metrics.clone());
+                    done(JobStatus::Ok, fp, Some(metrics), CacheProvenance::Computed)
+                }
+                Err(e) => done(JobStatus::Failed(e), fp, None, CacheProvenance::Computed),
+            }
+        })
+    }
+
+    /// Cache counters accumulated across every batch this service ran.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The shared cache handle (e.g. to seed or inspect it).
+    pub fn cache(&self) -> &SharedCache<M> {
+        &self.cache
+    }
+
+    /// The pool's worker count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Writes the cache's file tier, when one is configured.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error from writing the file.
+    pub fn persist_cache(&self) -> std::io::Result<()>
+    where
+        M: ToJson,
+    {
+        self.cache.persist()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::CircuitSource;
+    use crate::json::{JsonError, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Opts {
+        cost: u64,
+    }
+
+    impl ToJson for Opts {
+        fn to_json(&self) -> Value {
+            Value::Obj(vec![("cost".to_string(), Value::Num(self.cost as f64))])
+        }
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Out {
+        gates_times_cost: u64,
+    }
+
+    impl ToJson for Out {
+        fn to_json(&self) -> Value {
+            Value::Obj(vec![(
+                "gates_times_cost".to_string(),
+                Value::Num(self.gates_times_cost as f64),
+            )])
+        }
+    }
+
+    impl FromJson for Out {
+        fn from_json(value: &Value) -> Result<Self, JsonError> {
+            Ok(Out {
+                gates_times_cost: crate::json::require_u64(value, "gates_times_cost")?,
+            })
+        }
+    }
+
+    fn job(id: &str, qasm_gates: u32, cost: u64) -> CompileJob<Opts> {
+        // Inline "qasm" is abused as a gate count so the resolver can build
+        // distinguishable circuits without a parser.
+        CompileJob {
+            id: id.to_string(),
+            source: CircuitSource::QasmInline {
+                qasm: qasm_gates.to_string(),
+            },
+            options: Opts { cost },
+        }
+    }
+
+    fn resolver(source: &CircuitSource) -> Result<Circuit, String> {
+        match source {
+            CircuitSource::QasmInline { qasm } => {
+                let gates: u32 = qasm.parse().map_err(|_| "bad gate count".to_string())?;
+                let mut c = Circuit::new(2);
+                for _ in 0..gates {
+                    c.h(0);
+                }
+                Ok(c)
+            }
+            other => Err(format!("unsupported source {other}")),
+        }
+    }
+
+    fn service() -> BatchService<Out> {
+        BatchService::new(BatchConfig {
+            workers: 3,
+            cache_capacity: 64,
+            cache_file: None,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn results_in_submission_order_with_provenance() {
+        let svc = service();
+        let compiles = AtomicUsize::new(0);
+        let compile = |c: &Circuit, o: &Opts| {
+            compiles.fetch_add(1, Ordering::SeqCst);
+            Ok(Out {
+                gates_times_cost: c.len() as u64 * o.cost,
+            })
+        };
+        // Jobs 0 and 3 are identical: one compiles, one hits.
+        let jobs = vec![
+            job("a", 5, 2),
+            job("b", 6, 2),
+            job("c", 5, 3),
+            job("a2", 5, 2),
+        ];
+        let results = svc.run(jobs, resolver, compile);
+        assert_eq!(
+            results.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c", "a2"]
+        );
+        assert!(results.iter().all(JobResult::is_ok));
+        assert_eq!(
+            results[0].metrics,
+            Some(Out {
+                gates_times_cost: 10
+            })
+        );
+        assert_eq!(results[3].metrics, results[0].metrics);
+        assert_eq!(results[0].fingerprint, results[3].fingerprint);
+        // Three distinct (circuit, options) pairs; the duplicate either hit
+        // the cache or (if claimed while its twin was still compiling) was
+        // computed again — intra-batch dedup is best-effort.
+        let compiled = compiles.load(Ordering::SeqCst) as u64;
+        let hits = svc.cache_stats().hits;
+        assert!((3..=4).contains(&compiled), "got {compiled} compiles");
+        assert_eq!(compiled + hits, 4, "every job compiled or hit");
+    }
+
+    #[test]
+    fn second_identical_batch_is_all_hits() {
+        let svc = service();
+        let compile = |c: &Circuit, o: &Opts| {
+            Ok(Out {
+                gates_times_cost: c.len() as u64 * o.cost,
+            })
+        };
+        let jobs = || vec![job("a", 4, 1), job("b", 9, 1), job("c", 4, 7)];
+        let first = svc.run(jobs(), resolver, compile);
+        let second = svc.run(jobs(), resolver, compile);
+        assert!(first
+            .iter()
+            .all(|r| r.provenance == CacheProvenance::Computed));
+        assert!(second
+            .iter()
+            .all(|r| r.provenance == CacheProvenance::MemoryHit));
+        for (f, s) in first.iter().zip(&second) {
+            assert_eq!(f.metrics, s.metrics);
+            assert_eq!(f.fingerprint, s.fingerprint);
+        }
+        let stats = svc.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn failures_are_reported_not_cached() {
+        let svc = service();
+        let compile = |c: &Circuit, _o: &Opts| {
+            if c.len() > 5 {
+                Err("too big".to_string())
+            } else {
+                Ok(Out {
+                    gates_times_cost: 1,
+                })
+            }
+        };
+        let results = svc.run(vec![job("ok", 3, 1), job("bad", 9, 1)], resolver, compile);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].status, JobStatus::Failed("too big".into()));
+        assert_eq!(results[1].metrics, None);
+        // The failure is not cached: running again recompiles it.
+        let again = svc.run(vec![job("bad", 9, 1)], resolver, compile);
+        assert_eq!(again[0].provenance, CacheProvenance::Computed);
+    }
+
+    #[test]
+    fn unresolvable_sources_fail_gracefully() {
+        let svc = service();
+        let results = svc.run(
+            vec![CompileJob {
+                id: "x".into(),
+                source: CircuitSource::Benchmark {
+                    name: "nope".into(),
+                    size: None,
+                },
+                options: Opts { cost: 1 },
+            }],
+            resolver,
+            |_c: &Circuit, _o: &Opts| {
+                Ok(Out {
+                    gates_times_cost: 0,
+                })
+            },
+        );
+        assert!(!results[0].is_ok());
+        assert_eq!(results[0].fingerprint, 0);
+    }
+
+    #[test]
+    fn file_tier_survives_service_restart() {
+        let dir = std::env::temp_dir().join("ftqc-service-batch-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch-cache.json");
+        let _ = std::fs::remove_file(&path);
+        let config = BatchConfig {
+            workers: 2,
+            cache_capacity: 16,
+            cache_file: Some(path.clone()),
+        };
+        let compile = |c: &Circuit, o: &Opts| {
+            Ok(Out {
+                gates_times_cost: c.len() as u64 * o.cost,
+            })
+        };
+
+        let svc = BatchService::<Out>::new(config.clone()).unwrap();
+        let first = svc.run(vec![job("a", 4, 2)], resolver, compile);
+        svc.persist_cache().unwrap();
+
+        let svc2 = BatchService::<Out>::new(config).unwrap();
+        let second = svc2.run(vec![job("a", 4, 2)], resolver, compile);
+        assert_eq!(second[0].provenance, CacheProvenance::FileHit);
+        assert_eq!(second[0].metrics, first[0].metrics);
+    }
+}

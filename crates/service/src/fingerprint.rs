@@ -1,0 +1,166 @@
+//! Content-addressed fingerprints for compile jobs.
+//!
+//! A compile result is determined entirely by the pair *(circuit,
+//! compiler options)*, so the cache keys on a 64-bit FNV-1a digest of the
+//! circuit's canonical gate sequence combined with the canonical JSON of
+//! the options. Circuit *names* are deliberately excluded: two identically
+//! named circuits with different gates get different keys, and the same
+//! circuit under two names gets the same key.
+
+use crate::json::Value;
+use ftqc_circuit::Circuit;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a string.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs a little-endian `u64`.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Digest of a byte slice.
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+/// Digest of a JSON value's canonical rendering — the options half of a
+/// cache key.
+pub fn fingerprint_value(value: &Value) -> u64 {
+    fingerprint_bytes(value.render().as_bytes())
+}
+
+/// Digest of a circuit's canonical form: register width plus the exact gate
+/// sequence (angles included). The circuit name does not participate.
+pub fn fingerprint_circuit(circuit: &Circuit) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(u64::from(circuit.num_qubits()));
+    for gate in circuit.gates() {
+        h.write_str(&format!("{gate:?}"));
+        h.write_bytes(b";");
+    }
+    h.finish()
+}
+
+/// Order-sensitive combination of two digests (circuit half + options
+/// half).
+pub fn combine(a: u64, b: u64) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_u64(a).write_u64(b);
+    h.finish()
+}
+
+/// Formats a fingerprint the way the file cache and JSONL results carry it
+/// (16 hex digits, so `u64`s never squeeze through `f64` JSON numbers).
+pub fn to_hex(fp: u64) -> String {
+    format!("{fp:016x}")
+}
+
+/// Parses [`to_hex`]'s output.
+pub fn from_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        assert_eq!(fingerprint_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn circuit_name_does_not_participate() {
+        let mut a = Circuit::with_name(3, "alpha");
+        let mut b = Circuit::with_name(3, "beta");
+        for c in [&mut a, &mut b] {
+            c.h(0).cnot(0, 1).t(2);
+        }
+        assert_eq!(fingerprint_circuit(&a), fingerprint_circuit(&b));
+    }
+
+    #[test]
+    fn one_gate_changes_fingerprint() {
+        let mut a = Circuit::new(3);
+        a.h(0).cnot(0, 1).t(2);
+        let mut b = Circuit::new(3);
+        b.h(0).cnot(0, 1).t(1); // t on a different qubit
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1); // one gate fewer
+        assert_ne!(fingerprint_circuit(&a), fingerprint_circuit(&b));
+        assert_ne!(fingerprint_circuit(&a), fingerprint_circuit(&c));
+    }
+
+    #[test]
+    fn register_width_participates() {
+        let mut a = Circuit::new(3);
+        a.h(0);
+        let mut b = Circuit::new(4);
+        b.h(0);
+        assert_ne!(fingerprint_circuit(&a), fingerprint_circuit(&b));
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        assert_ne!(combine(1, 2), combine(2, 1));
+        assert_eq!(combine(1, 2), combine(1, 2));
+    }
+
+    #[test]
+    fn value_fingerprint_tracks_content() {
+        let a = Value::Obj(vec![("r".into(), Value::Num(4.0))]);
+        let b = Value::Obj(vec![("r".into(), Value::Num(5.0))]);
+        assert_ne!(fingerprint_value(&a), fingerprint_value(&b));
+        assert_eq!(fingerprint_value(&a), fingerprint_value(&a.clone()));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for fp in [0u64, 1, u64::MAX, 0xdead_beef_cafe_f00d] {
+            assert_eq!(from_hex(&to_hex(fp)), Some(fp));
+        }
+        assert_eq!(from_hex("zz"), None);
+    }
+}

@@ -1,0 +1,434 @@
+//! The batch job model: [`CompileJob`] in, [`JobResult`] out, both carried
+//! in a JSON-lines format (one job or result per line).
+//!
+//! The job model is generic over the compiler's option type `O` (and the
+//! result over its metrics type `M`): this crate sits *below* the compiler
+//! so the compiler itself can route `explore_parallel` through the pool and
+//! cache; the concrete instantiation with `CompilerOptions` / `Metrics`
+//! lives in `ftqc-compiler` and the CLI.
+
+use crate::json::{self, FromJson, JsonError, ToJson, Value};
+
+/// Where a job's circuit comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitSource {
+    /// A built-in benchmark, e.g. `ising` with optional lattice side.
+    Benchmark {
+        /// Benchmark name as the CLI accepts it.
+        name: String,
+        /// Optional size parameter (`ising:4` ⇒ `Some(4)`).
+        size: Option<u32>,
+    },
+    /// An OpenQASM 2 file on disk.
+    QasmFile {
+        /// Path to the file.
+        path: String,
+    },
+    /// OpenQASM 2 source carried inline in the job.
+    QasmInline {
+        /// The program text.
+        qasm: String,
+    },
+}
+
+impl ToJson for CircuitSource {
+    fn to_json(&self) -> Value {
+        match self {
+            CircuitSource::Benchmark { name, size } => {
+                let mut fields = vec![("benchmark".to_string(), Value::Str(name.clone()))];
+                if let Some(l) = size {
+                    fields.push(("size".to_string(), Value::Num(f64::from(*l))));
+                }
+                Value::Obj(fields)
+            }
+            CircuitSource::QasmFile { path } => {
+                Value::Obj(vec![("qasm_file".to_string(), Value::Str(path.clone()))])
+            }
+            CircuitSource::QasmInline { qasm } => {
+                Value::Obj(vec![("qasm".to_string(), Value::Str(qasm.clone()))])
+            }
+        }
+    }
+}
+
+impl FromJson for CircuitSource {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let keys = ["benchmark", "qasm_file", "qasm"];
+        if keys.iter().filter(|k| value.get(k).is_some()).count() > 1 {
+            return Err(JsonError::schema(
+                "source must carry exactly one of \"benchmark\", \"qasm_file\", \"qasm\"",
+            ));
+        }
+        if let Some(name) = value.get("benchmark") {
+            let name = name
+                .as_str()
+                .ok_or_else(|| JsonError::schema("\"benchmark\" must be a string"))?
+                .to_string();
+            let size =
+                match value.get("size") {
+                    None => None,
+                    Some(s) => Some(s.as_u64().and_then(|v| u32::try_from(v).ok()).ok_or_else(
+                        || JsonError::schema("\"size\" must be a non-negative integer"),
+                    )?),
+                };
+            return Ok(CircuitSource::Benchmark { name, size });
+        }
+        if let Some(path) = value.get("qasm_file") {
+            let path = path
+                .as_str()
+                .ok_or_else(|| JsonError::schema("\"qasm_file\" must be a string"))?;
+            return Ok(CircuitSource::QasmFile {
+                path: path.to_string(),
+            });
+        }
+        if let Some(qasm) = value.get("qasm") {
+            let qasm = qasm
+                .as_str()
+                .ok_or_else(|| JsonError::schema("\"qasm\" must be a string"))?;
+            return Ok(CircuitSource::QasmInline {
+                qasm: qasm.to_string(),
+            });
+        }
+        Err(JsonError::schema(
+            "source needs one of \"benchmark\", \"qasm_file\", \"qasm\"",
+        ))
+    }
+}
+
+impl std::fmt::Display for CircuitSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitSource::Benchmark { name, size: None } => write!(f, "{name}"),
+            CircuitSource::Benchmark {
+                name,
+                size: Some(l),
+            } => write!(f, "{name}:{l}"),
+            CircuitSource::QasmFile { path } => write!(f, "{path}"),
+            CircuitSource::QasmInline { .. } => write!(f, "<inline qasm>"),
+        }
+    }
+}
+
+/// One unit of batch work: a circuit source plus compiler options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileJob<O> {
+    /// Caller-chosen identifier, echoed into the result.
+    pub id: String,
+    /// Where the circuit comes from.
+    pub source: CircuitSource,
+    /// Compiler options for this job.
+    pub options: O,
+}
+
+impl<O: ToJson> ToJson for CompileJob<O> {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            ("source".to_string(), self.source.to_json()),
+            ("options".to_string(), self.options.to_json()),
+        ])
+    }
+}
+
+/// How a finished job was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheProvenance {
+    /// Compiled fresh on a worker.
+    Computed,
+    /// Served from the in-memory cache tier.
+    MemoryHit,
+    /// Served from the file-backed cache tier.
+    FileHit,
+}
+
+impl CacheProvenance {
+    /// Whether the job was served from either cache tier.
+    pub fn is_hit(self) -> bool {
+        self != CacheProvenance::Computed
+    }
+
+    /// The wire/display label (`"computed"`, `"memory"`, `"file"`) used in
+    /// JSONL results and batch reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheProvenance::Computed => "computed",
+            CacheProvenance::MemoryHit => "memory",
+            CacheProvenance::FileHit => "file",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "computed" => Some(CacheProvenance::Computed),
+            "memory" => Some(CacheProvenance::MemoryHit),
+            "file" => Some(CacheProvenance::FileHit),
+            _ => None,
+        }
+    }
+}
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Compiled (or cache-served) successfully.
+    Ok,
+    /// Failed, with the error rendered as text.
+    Failed(String),
+}
+
+/// The outcome of one [`CompileJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult<M> {
+    /// The job's identifier.
+    pub id: String,
+    /// Content-addressed fingerprint of (circuit, options); `0` when the
+    /// circuit could not even be resolved.
+    pub fingerprint: u64,
+    /// Success or failure.
+    pub status: JobStatus,
+    /// The compile metrics on success.
+    pub metrics: Option<M>,
+    /// Cache provenance of the metrics.
+    pub provenance: CacheProvenance,
+    /// Wall-clock microseconds spent on this job (resolution + lookup +
+    /// compile).
+    pub micros: u64,
+}
+
+impl<M> JobResult<M> {
+    /// Whether the job succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.status == JobStatus::Ok
+    }
+}
+
+impl<M: ToJson> ToJson for JobResult<M> {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
+            (
+                "fingerprint".to_string(),
+                Value::Str(crate::fingerprint::to_hex(self.fingerprint)),
+            ),
+            (
+                "status".to_string(),
+                match &self.status {
+                    JobStatus::Ok => Value::Str("ok".to_string()),
+                    JobStatus::Failed(e) => Value::Str(format!("failed: {e}")),
+                },
+            ),
+            (
+                "cache".to_string(),
+                Value::Str(self.provenance.as_str().to_string()),
+            ),
+            ("micros".to_string(), Value::Num(self.micros as f64)),
+        ];
+        if let Some(m) = &self.metrics {
+            fields.push(("metrics".to_string(), m.to_json()));
+        }
+        Value::Obj(fields)
+    }
+}
+
+impl<M: FromJson> FromJson for JobResult<M> {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let id = json::require_str(value, "id")?.to_string();
+        let fingerprint = crate::fingerprint::from_hex(json::require_str(value, "fingerprint")?)
+            .ok_or_else(|| JsonError::schema("\"fingerprint\" must be 16 hex digits"))?;
+        let status_text = json::require_str(value, "status")?;
+        let status = if status_text == "ok" {
+            JobStatus::Ok
+        } else if let Some(e) = status_text.strip_prefix("failed: ") {
+            JobStatus::Failed(e.to_string())
+        } else {
+            return Err(JsonError::schema(
+                "\"status\" must be \"ok\" or \"failed: …\"",
+            ));
+        };
+        let provenance = CacheProvenance::parse(json::require_str(value, "cache")?)
+            .ok_or_else(|| JsonError::schema("bad \"cache\" value"))?;
+        let micros = json::require_u64(value, "micros")?;
+        let metrics = match value.get("metrics") {
+            None => None,
+            Some(m) => Some(M::from_json(m)?),
+        };
+        Ok(JobResult {
+            id,
+            fingerprint,
+            status,
+            metrics,
+            provenance,
+            micros,
+        })
+    }
+}
+
+/// Parses a JSON-lines batch: one job object per non-blank line, `#` lines
+/// are comments. A missing `"id"` defaults to `job-<line number>` (1-based,
+/// counting blank/comment lines, so the name points at the actual line); a
+/// missing `"options"` decodes `O` from an empty object (option types
+/// default missing fields). Ids are not checked for uniqueness — results
+/// are matched to jobs by position, not by id.
+///
+/// # Errors
+///
+/// Returns the first syntax or schema error, tagged with its line number.
+pub fn parse_jobs<O: FromJson>(jsonl: &str) -> Result<Vec<CompileJob<O>>, JsonError> {
+    let mut jobs = Vec::new();
+    for (lineno, line) in jsonl.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tag = |e: JsonError| JsonError::schema(format!("line {}: {e}", lineno + 1));
+        let doc = Value::parse(line).map_err(tag)?;
+        let id = match doc.get("id") {
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| tag(JsonError::schema("\"id\" must be a string")))?
+                .to_string(),
+            None => format!("job-{}", lineno + 1),
+        };
+        let source =
+            CircuitSource::from_json(json::require(&doc, "source").map_err(tag)?).map_err(tag)?;
+        let empty = Value::Obj(Vec::new());
+        let options = O::from_json(doc.get("options").unwrap_or(&empty)).map_err(tag)?;
+        jobs.push(CompileJob {
+            id,
+            source,
+            options,
+        });
+    }
+    Ok(jobs)
+}
+
+/// Renders results as JSON-lines, one result per line, in order.
+pub fn render_results<M: ToJson>(results: &[JobResult<M>]) -> String {
+    let mut out = String::new();
+    for r in results {
+        out.push_str(&r.to_json().render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{FromJson, JsonError, ToJson, Value};
+
+    /// A minimal stand-in for compiler options in this crate's tests.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Opts {
+        r: u64,
+    }
+
+    impl ToJson for Opts {
+        fn to_json(&self) -> Value {
+            Value::Obj(vec![("r".to_string(), Value::Num(self.r as f64))])
+        }
+    }
+
+    impl FromJson for Opts {
+        fn from_json(value: &Value) -> Result<Self, JsonError> {
+            Ok(Opts {
+                r: value.get("r").and_then(Value::as_u64).unwrap_or(4),
+            })
+        }
+    }
+
+    #[test]
+    fn parses_jobs_with_defaults_and_comments() {
+        let jsonl = r#"
+# two jobs; the first has everything, the second uses defaults
+{"id":"a","source":{"benchmark":"ising","size":2},"options":{"r":6}}
+{"source":{"qasm":"OPENQASM 2.0;"}}
+"#;
+        let jobs: Vec<CompileJob<Opts>> = parse_jobs(jsonl).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].id, "a");
+        assert_eq!(jobs[0].options, Opts { r: 6 });
+        assert_eq!(
+            jobs[0].source,
+            CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: Some(2)
+            }
+        );
+        assert_eq!(jobs[1].id, "job-4", "default id names the source line");
+        assert_eq!(jobs[1].options, Opts { r: 4 });
+    }
+
+    #[test]
+    fn bad_lines_report_line_numbers() {
+        let err = parse_jobs::<Opts>("\n{\"source\":{}}\n").unwrap_err();
+        assert!(err.message.contains("line 2"), "got {err}");
+        let err = parse_jobs::<Opts>("{oops}").unwrap_err();
+        assert!(err.message.contains("line 1"), "got {err}");
+    }
+
+    #[test]
+    fn ambiguous_source_rejected() {
+        let v = Value::parse(r#"{"benchmark":"ising","qasm_file":"mine.qasm"}"#).unwrap();
+        let err = CircuitSource::from_json(&v).unwrap_err();
+        assert!(err.message.contains("exactly one"), "got {err}");
+    }
+
+    #[test]
+    fn source_forms_roundtrip() {
+        for src in [
+            CircuitSource::Benchmark {
+                name: "adder".into(),
+                size: None,
+            },
+            CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: Some(4),
+            },
+            CircuitSource::QasmFile {
+                path: "bell.qasm".into(),
+            },
+            CircuitSource::QasmInline {
+                qasm: "OPENQASM 2.0;".into(),
+            },
+        ] {
+            let back = CircuitSource::from_json(&src.to_json()).unwrap();
+            assert_eq!(back, src);
+        }
+    }
+
+    #[test]
+    fn results_roundtrip_through_jsonl() {
+        let results = vec![
+            JobResult::<Opts> {
+                id: "a".into(),
+                fingerprint: 0xdead_beef,
+                status: JobStatus::Ok,
+                metrics: Some(Opts { r: 6 }),
+                provenance: CacheProvenance::MemoryHit,
+                micros: 1234,
+            },
+            JobResult::<Opts> {
+                id: "b".into(),
+                fingerprint: 0,
+                status: JobStatus::Failed("no such benchmark".into()),
+                metrics: None,
+                provenance: CacheProvenance::Computed,
+                micros: 5,
+            },
+        ];
+        let text = render_results(&results);
+        assert_eq!(text.lines().count(), 2);
+        for (line, expected) in text.lines().zip(&results) {
+            let back: JobResult<Opts> = JobResult::from_json(&Value::parse(line).unwrap()).unwrap();
+            assert_eq!(&back, expected);
+        }
+    }
+
+    #[test]
+    fn provenance_flags() {
+        assert!(CacheProvenance::MemoryHit.is_hit());
+        assert!(CacheProvenance::FileHit.is_hit());
+        assert!(!CacheProvenance::Computed.is_hit());
+    }
+}

@@ -58,7 +58,11 @@ impl<T> Schedule<T> {
     /// Appends an operation.
     pub fn push(&mut self, op: T, start: Ticks, duration: Ticks) {
         self.makespan = self.makespan.max(start + duration);
-        self.items.push(ScheduledOp { op, start, duration });
+        self.items.push(ScheduledOp {
+            op,
+            start,
+            duration,
+        });
     }
 
     /// The scheduled operations, in issue order.

@@ -111,7 +111,10 @@ mod tests {
         assert_eq!(start_b, Ticks::from_d(2.0), "shared cell (0,1) serialises");
         // Disjoint cells overlap.
         let c = [Coord::new(5, 5)];
-        assert_eq!(tl.earliest_start(c.iter().copied(), Ticks::ZERO), Ticks::ZERO);
+        assert_eq!(
+            tl.earliest_start(c.iter().copied(), Ticks::ZERO),
+            Ticks::ZERO
+        );
     }
 
     #[test]

@@ -9,8 +9,7 @@ use ftqc::compiler::{activity_strip, kind_breakdown, Compiler, CompilerOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = ising_2d(4);
-    let compiled = Compiler::new(CompilerOptions::default().routing_paths(4))
-        .compile(&circuit)?;
+    let compiled = Compiler::new(CompilerOptions::default().routing_paths(4)).compile(&circuit)?;
     let m = compiled.metrics();
     println!("{} compiled: {}\n", circuit.name(), m.execution_time);
 
@@ -28,8 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  cnots      {:>8.1}", b.cnots);
     println!("  singles    {:>8.1}", b.singles);
     println!("  other      {:>8.1}", b.other);
-    println!("  total      {:>8.1} of {:.0} qubit-d capacity",
+    println!(
+        "  total      {:>8.1} of {:.0} qubit-d capacity",
         b.total(),
-        m.total_qubits() as f64 * m.execution_time.as_d());
+        m.total_qubits() as f64 * m.execution_time.as_d()
+    );
     Ok(())
 }

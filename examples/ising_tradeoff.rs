@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut best: Option<(u32, u32, Metrics)> = None;
-    println!("{:>4} {:>10} {:>8} {:>10} {:>12}", "r", "factories", "qubits", "time (d)", "volume/op");
+    println!(
+        "{:>4} {:>10} {:>8} {:>10} {:>12}",
+        "r", "factories", "qubits", "time (d)", "volume/op"
+    );
     for r in [2u32, 3, 4, 6, 8, 10, 14] {
         for f in [1u32, 2, 3, 4, 6] {
             let options = CompilerOptions::default().routing_paths(r).factories(f);

@@ -10,8 +10,7 @@ use ftqc::compiler::{Compiler, CompilerOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = ising_2d(10);
-    let compiled = Compiler::new(CompilerOptions::default().routing_paths(4))
-        .compile(&circuit)?;
+    let compiled = Compiler::new(CompilerOptions::default().routing_paths(4)).compile(&circuit)?;
     let m = compiled.metrics();
 
     println!(

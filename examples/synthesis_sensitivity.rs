@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example synthesis_sensitivity`
 
-use ftqc::circuit::SynthesisModel;
 use ftqc::benchmarks::ising_2d;
+use ftqc::circuit::SynthesisModel;
 use ftqc::compiler::{Compiler, CompilerOptions, TStatePolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,10 +22,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let models: Vec<(&str, SynthesisModel)> = vec![
         ("paper (1 per Rz)", SynthesisModel::PerRotation(1)),
-        ("RUS eps=1e-4", SynthesisModel::RepeatUntilSuccess { eps: 1e-4 }),
-        ("RUS eps=1e-10", SynthesisModel::RepeatUntilSuccess { eps: 1e-10 }),
-        ("Ross-Selinger eps=1e-4", SynthesisModel::RossSelinger { eps: 1e-4 }),
-        ("Ross-Selinger eps=1e-10", SynthesisModel::RossSelinger { eps: 1e-10 }),
+        (
+            "RUS eps=1e-4",
+            SynthesisModel::RepeatUntilSuccess { eps: 1e-4 },
+        ),
+        (
+            "RUS eps=1e-10",
+            SynthesisModel::RepeatUntilSuccess { eps: 1e-10 },
+        ),
+        (
+            "Ross-Selinger eps=1e-4",
+            SynthesisModel::RossSelinger { eps: 1e-4 },
+        ),
+        (
+            "Ross-Selinger eps=1e-10",
+            SynthesisModel::RossSelinger { eps: 1e-10 },
+        ),
     ];
 
     println!(

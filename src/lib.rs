@@ -18,6 +18,10 @@
 //!   comparison models.
 //! * [`benchmarks`] — Table I workload generators (condensed-matter Trotter
 //!   circuits, GHZ, adder, multiplier).
+//! * [`service`] — the parallel batch-compilation service: JSON-lines
+//!   compile jobs, a deterministic worker pool, and a content-addressed
+//!   compile cache shared by `compiler::explore_parallel`, the sweep
+//!   binaries and the `ftqc batch` / `ftqc sweep --parallel` CLI.
 //!
 //! # Quickstart
 //!
@@ -38,4 +42,5 @@ pub use ftqc_benchmarks as benchmarks;
 pub use ftqc_circuit as circuit;
 pub use ftqc_compiler as compiler;
 pub use ftqc_route as route;
+pub use ftqc_service as service;
 pub use ftqc_sim as sim;

@@ -47,14 +47,21 @@ fn line_sam_is_insensitive_to_factories_but_we_are_not() {
     let ours_1 = ours(&c, 6, 1).execution_time.as_d();
     let ours_4 = ours(&c, 6, 4).execution_time.as_d();
     let line_1 = LineSam::new().estimate(&c).execution_time.as_d();
-    let line_4 = LineSam::new().factories(4).estimate(&c).execution_time.as_d();
+    let line_4 = LineSam::new()
+        .factories(4)
+        .estimate(&c)
+        .execution_time
+        .as_d();
     let our_gain = ours_1 / ours_4;
     let line_gain = line_1 / line_4;
     assert!(
         our_gain > line_gain,
         "our factory scaling {our_gain:.2} must beat Line SAM's {line_gain:.2}"
     );
-    assert!(our_gain > 1.5, "we should gain substantially from 4 factories");
+    assert!(
+        our_gain > 1.5,
+        "we should gain substantially from 4 factories"
+    );
 }
 
 #[test]
@@ -74,7 +81,10 @@ fn dascot_wins_with_unlimited_states_loses_with_one_factory() {
         .routing_paths(4)
         .factories(4)
         .unbounded_magic(true);
-    let ours_unlimited = *Compiler::new(options).compile(&c).expect("compiles").metrics();
+    let ours_unlimited = *Compiler::new(options)
+        .compile(&c)
+        .expect("compiles")
+        .metrics();
     let dascot_unlimited = dascot_estimate(&c, None, &timing);
     assert!(
         dascot_unlimited.spacetime_volume(false) < ours_unlimited.spacetime_volume(false),
@@ -92,12 +102,7 @@ fn blocks_hit_the_lower_bound_with_one_factory() {
         let r = GameOfSurfaceCodes::new(layout).estimate(&c);
         let bound = n_t * 11.0;
         let ratio = r.execution_time.as_d() / bound;
-        assert!(
-            ratio < 1.05,
-            "{} at {:.3}x the bound",
-            layout.name(),
-            ratio
-        );
+        assert!(ratio < 1.05, "{} at {:.3}x the bound", layout.name(), ratio);
     }
 }
 

@@ -78,8 +78,14 @@ fn factories_trade_qubits_for_time() {
     let c = fermi_hubbard_2d(4);
     let m1 = compile(&c, 6, 1);
     let m4 = compile(&c, 6, 4);
-    assert!(m4.execution_time < m1.execution_time, "more factories, less time");
-    assert!(m4.total_qubits() > m1.total_qubits(), "more factories, more qubits");
+    assert!(
+        m4.execution_time < m1.execution_time,
+        "more factories, less time"
+    );
+    assert!(
+        m4.total_qubits() > m1.total_qubits(),
+        "more factories, more qubits"
+    );
     assert_eq!(m4.factory_patches, 44);
 }
 
@@ -103,8 +109,13 @@ fn snake_vs_row_major_mapping_both_work() {
     use ftqc::compiler::MappingStrategy;
     let c = ising_2d(4);
     for strategy in [MappingStrategy::Snake, MappingStrategy::RowMajor] {
-        let options = CompilerOptions::default().routing_paths(4).mapping(strategy);
-        let m = *Compiler::new(options).compile(&c).expect("compiles").metrics();
+        let options = CompilerOptions::default()
+            .routing_paths(4)
+            .mapping(strategy);
+        let m = *Compiler::new(options)
+            .compile(&c)
+            .expect("compiles")
+            .metrics();
         assert!(m.execution_time >= m.lower_bound);
     }
 }
@@ -120,7 +131,10 @@ fn ablation_flags_change_only_quality_not_correctness() {
                     .lookahead(lookahead)
                     .eliminate_redundant_moves(elim)
                     .penalty_weight(pw);
-                let m = *Compiler::new(options).compile(&c).expect("compiles").metrics();
+                let m = *Compiler::new(options)
+                    .compile(&c)
+                    .expect("compiles")
+                    .metrics();
                 assert!(m.execution_time >= m.lower_bound);
                 assert_eq!(m.n_magic_states, c.t_count() as u64);
             }

@@ -40,10 +40,9 @@ fn angles_survive_roundtrip_semantically() {
     assert_eq!(back.t_count(), c.t_count());
     for (a, b) in back.gates().iter().zip(c.gates()) {
         match (a, b) {
-            (
-                ftqc::circuit::Gate::Rz(_, x),
-                ftqc::circuit::Gate::Rz(_, y),
-            ) => assert!((x.turns_of_pi() - y.turns_of_pi()).abs() < 1e-9),
+            (ftqc::circuit::Gate::Rz(_, x), ftqc::circuit::Gate::Rz(_, y)) => {
+                assert!((x.turns_of_pi() - y.turns_of_pi()).abs() < 1e-9)
+            }
             _ => panic!("gate kinds changed"),
         }
     }

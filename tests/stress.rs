@@ -127,8 +127,16 @@ fn fast_distillation_shifts_bottleneck_to_routing() {
     }
     let slow = CompilerOptions::default().magic_production(Ticks::from_d(22.0));
     let fast = CompilerOptions::default().magic_production(Ticks::from_d(1.0));
-    let ts = Compiler::new(slow).compile(&c).unwrap().metrics().execution_time;
-    let tf = Compiler::new(fast).compile(&c).unwrap().metrics().execution_time;
+    let ts = Compiler::new(slow)
+        .compile(&c)
+        .unwrap()
+        .metrics()
+        .execution_time;
+    let tf = Compiler::new(fast)
+        .compile(&c)
+        .unwrap()
+        .metrics()
+        .execution_time;
     assert!(tf < ts);
 }
 
@@ -136,10 +144,7 @@ fn fast_distillation_shifts_bottleneck_to_routing() {
 fn zero_latency_distillation_still_verifies() {
     let mut c = Circuit::new(2);
     c.t(0).t(1).cnot(0, 1).t(1);
-    compile_and_verify(
-        &c,
-        CompilerOptions::default().magic_production(Ticks::ZERO),
-    );
+    compile_and_verify(&c, CompilerOptions::default().magic_production(Ticks::ZERO));
 }
 
 #[test]
@@ -148,12 +153,21 @@ fn unbounded_magic_mode_verifies() {
     for i in 0..12 {
         c.t(i % 4);
     }
-    let options = CompilerOptions::default().unbounded_magic(true).factories(2);
+    let options = CompilerOptions::default()
+        .unbounded_magic(true)
+        .factories(2);
     let timing = options.timing;
     let p = Compiler::new(options).compile(&c).expect("compiles");
     // Factory-overrun checks don't apply in unbounded mode, but cell
     // exclusivity and semantics still must hold.
-    verify(&p, &TimingModel { magic_production: Ticks::ZERO, ..timing }).expect("executable");
+    verify(
+        &p,
+        &TimingModel {
+            magic_production: Ticks::ZERO,
+            ..timing
+        },
+    )
+    .expect("executable");
     check_semantics(&c, &p).expect("sound");
     assert_eq!(p.metrics().lower_bound, Ticks::ZERO);
 }
@@ -161,7 +175,9 @@ fn unbounded_magic_mode_verifies() {
 #[test]
 fn heavy_synthesis_policy_multiplies_consumption() {
     let mut c = Circuit::new(3);
-    c.rz(0, Angle::new(0.123)).cnot(0, 1).rz(2, Angle::new(0.71));
+    c.rz(0, Angle::new(0.123))
+        .cnot(0, 1)
+        .rz(2, Angle::new(0.71));
     let options = CompilerOptions::default()
         .t_state_policy(TStatePolicy::synthesis(17))
         .factories(3);
@@ -222,7 +238,13 @@ fn random_soak_with_full_verification() {
 #[test]
 fn mixed_measure_mid_circuit() {
     let mut c = Circuit::new(3);
-    c.h(0).cnot(0, 1).measure(1).h(2).cnot(2, 0).measure(0).measure(2);
+    c.h(0)
+        .cnot(0, 1)
+        .measure(1)
+        .h(2)
+        .cnot(2, 0)
+        .measure(0)
+        .measure(2);
     compile_and_verify(&c, CompilerOptions::default());
 }
 

@@ -26,10 +26,7 @@ fn testbed() -> (Circuit, CompiledProgram) {
 
 /// Rebuilds the schedule through `f`, which may edit, drop, or reorder the
 /// item list.
-fn mutate(
-    p: &CompiledProgram,
-    f: impl FnOnce(&mut Vec<ScheduledOp<RoutedOp>>),
-) -> CompiledProgram {
+fn mutate(p: &CompiledProgram, f: impl FnOnce(&mut Vec<ScheduledOp<RoutedOp>>)) -> CompiledProgram {
     let mut items: Vec<ScheduledOp<RoutedOp>> = p.schedule().items().to_vec();
     f(&mut items);
     let mut s = Schedule::new();
@@ -57,7 +54,10 @@ fn dropping_a_gate_is_caught() {
     });
     let err = check_semantics(&c, &bad).unwrap_err();
     assert!(
-        matches!(err, SemanticsError::Coverage { .. } | SemanticsError::OrderViolation { .. }),
+        matches!(
+            err,
+            SemanticsError::Coverage { .. } | SemanticsError::OrderViolation { .. }
+        ),
         "got {err}"
     );
 }
@@ -134,7 +134,10 @@ fn retagging_an_op_is_caught() {
         items[i].op.gate = Some(measure_gate);
     });
     let err = check_semantics(&c, &bad).unwrap_err();
-    assert!(matches!(err, SemanticsError::GateMismatch { .. }), "got {err}");
+    assert!(
+        matches!(err, SemanticsError::GateMismatch { .. }),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -153,7 +156,10 @@ fn swapping_cnot_direction_is_caught() {
     let (c, p) = testbed();
     let i = find(&p, |op| matches!(op, SurgeryOp::Cnot { .. }));
     let bad = mutate(&p, |items| {
-        if let SurgeryOp::Cnot { control, target, .. } = &mut items[i].op.op {
+        if let SurgeryOp::Cnot {
+            control, target, ..
+        } = &mut items[i].op.op
+        {
             std::mem::swap(control, target);
         }
     });
@@ -222,7 +228,10 @@ fn wrong_policy_count_is_caught() {
     });
     let err = check_semantics(&c, &bad).unwrap_err();
     assert!(
-        matches!(err, SemanticsError::Coverage { .. } | SemanticsError::OrderViolation { .. }),
+        matches!(
+            err,
+            SemanticsError::Coverage { .. } | SemanticsError::OrderViolation { .. }
+        ),
         "got {err}"
     );
 }

@@ -3,7 +3,9 @@
 //! larger circuits and edge-case layouts.
 
 use ftqc::arch::TimingModel;
-use ftqc::benchmarks::{adder, fermi_hubbard_2d, ghz, heisenberg_2d, ising_1d, ising_2d, multiplier};
+use ftqc::benchmarks::{
+    adder, fermi_hubbard_2d, ghz, heisenberg_2d, ising_1d, ising_2d, multiplier,
+};
 use ftqc::compiler::{verify, Compiler, CompilerOptions};
 use ftqc_circuit::Circuit;
 
@@ -17,7 +19,12 @@ fn check(c: &Circuit, options: CompilerOptions) {
 
 #[test]
 fn condensed_benchmarks_verify() {
-    for c in [ising_2d(6), heisenberg_2d(4), fermi_hubbard_2d(6), ising_1d(20)] {
+    for c in [
+        ising_2d(6),
+        heisenberg_2d(4),
+        fermi_hubbard_2d(6),
+        ising_1d(20),
+    ] {
         check(&c, CompilerOptions::default().routing_paths(4).factories(2));
     }
 }
@@ -25,7 +32,10 @@ fn condensed_benchmarks_verify() {
 #[test]
 fn arithmetic_benchmarks_verify() {
     check(&adder(), CompilerOptions::default().routing_paths(3));
-    check(&multiplier(), CompilerOptions::default().routing_paths(5).factories(2));
+    check(
+        &multiplier(),
+        CompilerOptions::default().routing_paths(5).factories(2),
+    );
 }
 
 #[test]
@@ -49,7 +59,13 @@ fn nonstandard_timing_verifies() {
     timing.magic_production = ftqc::arch::Ticks::from_d(3.0);
     timing.hadamard = ftqc::arch::Ticks::from_d(5.0);
     let c = fermi_hubbard_2d(4);
-    check(&c, CompilerOptions::default().routing_paths(6).factories(3).timing(timing));
+    check(
+        &c,
+        CompilerOptions::default()
+            .routing_paths(6)
+            .factories(3)
+            .timing(timing),
+    );
 }
 
 #[test]

@@ -1,0 +1,147 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements exactly the surface this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64` and `Rng::gen_range` over half-open integer
+//! ranges — on top of a SplitMix64 generator. Deterministic for a given
+//! seed, which is all the callers (seeded circuit generators and property
+//! tests) rely on; statistical quality beyond that is not a goal.
+
+use std::ops::Range;
+
+/// Core RNG: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), &range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types uniformly samplable from a half-open range (modulo reduction; the
+/// tiny bias is irrelevant for workload generation).
+pub trait SampleUniform: Copy {
+    /// Maps 64 random bits into `range`.
+    fn sample(bits: u64, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(bits: u64, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (bits % span) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(bits: u64, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // Work on the unsigned image so ranges wider than the
+                // type's positive half (e.g. -100i8..100) neither wrap nor
+                // panic; the modular wrapping_add maps back exactly.
+                let span = (range.end as i64).wrapping_sub(range.start as i64) as u64;
+                (range.start as i64).wrapping_add((bits % span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64: tiny, fast, and plenty for seeded workload generation.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn stays_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+        }
+        for _ in 0..1000 {
+            let x = r.gen_range(0..8);
+            assert!((0..8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_wider_than_half_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = r.gen_range(-100i8..100);
+            assert!((-100..100).contains(&x), "got {x}");
+            let y = r.gen_range(i64::MIN..i64::MAX);
+            assert!(y < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..32).map(|_| a.gen_range(0u32..1_000_000)).collect();
+        let vb: Vec<u32> = (0..32).map(|_| b.gen_range(0u32..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container building this workspace has no crates.io access, so the
+//! real `serde` cannot be fetched. Workspace code only uses serde as a
+//! *decoration* — `#[derive(Serialize, Deserialize)]` on plain-data types —
+//! and never calls a serializer, so this stub supplies:
+//!
+//! * marker traits [`Serialize`] / [`Deserialize`] with blanket impls, so
+//!   any `T: Serialize` bound is trivially satisfied, and
+//! * no-op derive macros of the same names (from `serde_derive`).
+//!
+//! Actual serialization in this workspace is hand-written: `ftqc-service`
+//! ships a small canonical-JSON module (`ftqc_service::json`) used for the
+//! JSON-lines batch format and the file-backed compile cache. If registry
+//! access is ever available, deleting `vendor/` and repointing
+//! `[workspace.dependencies]` at crates.io restores the real crates with no
+//! source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; blanket-implemented for all
+/// types so derived code and generic bounds compile unchanged.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker counterpart of `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Marker counterpart of `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! a minimal derive pair that accepts `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(...)]` helper attributes) and expands to nothing.
+//! The matching marker traits live in the sibling `vendor/serde` crate;
+//! real wire formats in this workspace are hand-written (see
+//! `ftqc-service`'s `json` module).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing; the `serde`
+/// stub's blanket impl already covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
