@@ -56,6 +56,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "unbounded-magic",
     "include-factories",
     "parallel",
+    "json",
 ];
 
 /// Parses a raw argument list (without the program name).

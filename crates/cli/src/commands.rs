@@ -9,21 +9,24 @@ use ftqc_arch::{render_layout, Layout, Ticks};
 use ftqc_baselines::litinski::{BlockLayout, GameOfSurfaceCodes};
 use ftqc_baselines::{dascot_estimate, edpc_estimate, LineSam};
 use ftqc_benchmarks::suite::Benchmark;
-use ftqc_circuit::{parse_qasm, Circuit};
+use ftqc_circuit::Circuit;
 use ftqc_compiler::estimate::{estimate_resources, EstimateRequest, Objective};
 use ftqc_compiler::svg::to_svg;
 use ftqc_compiler::{
     check_semantics, explore, explore_parallel_with, pareto_front, to_csv, verify, Compiler,
     CompilerOptions, DesignPoint, Metrics,
 };
+use ftqc_server::{Client, Server, ServerConfig, SweepResponse};
+use ftqc_service::json::ToJson;
 use ftqc_service::{
-    parse_jobs, render_results, BatchConfig, BatchService, CircuitSource, CompileCache, CompileJob,
-    SharedCache,
+    fingerprint, render_results, BatchConfig, BatchService, CacheProvenance, CompileCache,
+    CompileJob, JobResult, JobStatus, SharedCache,
 };
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 /// A CLI failure: argument, I/O, parse, or pipeline error.
 #[derive(Debug)]
@@ -54,27 +57,49 @@ impl From<ArgError> for CliError {
     }
 }
 
+/// What a subcommand printed, plus whether the process should exit
+/// non-zero even though there was a report to print (e.g. a batch where
+/// some jobs failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// The report for stdout.
+    pub text: String,
+    /// Whether the run should exit with a failure status.
+    pub failed: bool,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> Self {
+        CmdOutput {
+            text,
+            failed: false,
+        }
+    }
+}
+
 /// Dispatches a raw argument list to its subcommand.
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] describing what went wrong; `main` prints it to
 /// stderr and exits non-zero.
-pub fn run(raw: &[String]) -> Result<String, CliError> {
+pub fn run(raw: &[String]) -> Result<CmdOutput, CliError> {
     if raw.is_empty() {
-        return Ok(help());
+        return Ok(help().into());
     }
     let parsed = parse(raw)?;
     match parsed.command.as_str() {
         "compile" => cmd_compile(&parsed),
-        "explore" => cmd_explore(&parsed),
-        "sweep" => cmd_sweep(&parsed),
+        "explore" => cmd_explore(&parsed).map(CmdOutput::from),
+        "sweep" => cmd_sweep(&parsed).map(CmdOutput::from),
         "batch" => cmd_batch(&parsed),
-        "estimate" => cmd_estimate(&parsed),
-        "compare" => cmd_compare(&parsed),
-        "layout" => cmd_layout(&parsed),
-        "bench" => Ok(cmd_bench()),
-        "help" | "--help" | "-h" => Ok(help()),
+        "serve" => cmd_serve(&parsed).map(CmdOutput::from),
+        "client" => cmd_client(&parsed),
+        "estimate" => cmd_estimate(&parsed).map(CmdOutput::from),
+        "compare" => cmd_compare(&parsed).map(CmdOutput::from),
+        "layout" => cmd_layout(&parsed).map(CmdOutput::from),
+        "bench" => Ok(cmd_bench().into()),
+        "help" | "--help" | "-h" => Ok(help().into()),
         other => Err(CliError::Unknown(format!(
             "unknown subcommand {other:?} (try `ftqc help`)"
         ))),
@@ -113,10 +138,28 @@ COMMANDS
                         \"options\":{\"routing_paths\":4,\"factories\":1}}
                        source: {\"benchmark\":NAME[,\"size\":L]} | {\"qasm_file\":PATH}
                                | {\"qasm\":SOURCE}
+                       a malformed line fails that line only; the exit code
+                       is non-zero when any job failed
                        --workers N      worker threads (default: all cores)
                        --cache FILE     file-backed compile cache
                        --cache-capacity N  memory-tier entries (default 4096)
                        --out FILE       write results as JSON-lines
+  serve                run the HTTP compile server (POST /v1/compile,
+                       /v1/batch, /v1/sweep; GET /v1/cache/stats, /healthz,
+                       /metrics); Ctrl-C drains and persists the cache
+                       --addr HOST:PORT (default 127.0.0.1:7070; port 0
+                                         picks an ephemeral port)
+                       --workers N      worker threads (default: all cores)
+                       --cache FILE     file-backed compile cache, persisted
+                                        on shutdown
+                       --cache-capacity N / --max-connections N (default 64)
+                       --timeout-ms N   per-request read timeout (dflt 10000)
+  client compile <circuit>   compile on a remote server
+                       --addr HOST:PORT (default 127.0.0.1:7070)
+                       compile options as for `compile`; file paths are
+                       shipped as inline QASM
+  client batch <jobs.jsonl>  run a JSONL batch on a remote server
+                       --addr HOST:PORT, --out FILE as for `batch`
   estimate <circuit>   physical resource estimate
                        --error-rate P (default 1e-3), --budget B (default 0.01)
                        --objective qubits|volume|time (default qubits)
@@ -127,43 +170,19 @@ COMMANDS
 
 CIRCUITS
   built-ins: ising, heisenberg, fermi-hubbard (append :L for an LxL lattice,
-  default 10), ghz, adder, multiplier — or a path to an OpenQASM 2 file."
+  default 10), ghz, adder, multiplier — or a path to an OpenQASM 2 file.
+
+OUTPUT
+  compile, sweep, and client compile accept --json: machine-readable
+  JobResult / sweep JSON on stdout instead of the human tables."
         .to_string()
 }
 
 /// Resolves a circuit argument: benchmark name (with optional `:L` size) or
-/// a QASM file path.
+/// a QASM file path. The shared recipe lives in `ftqc_service::resolve` so
+/// the CLI and the HTTP server cannot drift on what a spec means.
 fn load_circuit(spec: &str) -> Result<Circuit, CliError> {
-    let (name, size) = match spec.split_once(':') {
-        Some((n, l)) => {
-            let l: u32 = l
-                .parse()
-                .map_err(|_| CliError::Unknown(format!("bad size in {spec:?}")))?;
-            (n, Some(l))
-        }
-        None => (spec, None),
-    };
-    let bench = match name {
-        "ising" => Some(Benchmark::Ising2d),
-        "heisenberg" => Some(Benchmark::Heisenberg2d),
-        "fermi-hubbard" | "fh" => Some(Benchmark::FermiHubbard2d),
-        "ghz" => Some(Benchmark::Ghz),
-        "adder" => Some(Benchmark::Adder),
-        "multiplier" => Some(Benchmark::Multiplier),
-        _ => None,
-    };
-    if let Some(b) = bench {
-        return match size {
-            None => Ok(b.circuit()),
-            Some(l) => b.circuit_at(l).ok_or_else(|| {
-                CliError::Unknown(format!("{name} has no size parameter (drop `:{l}`)"))
-            }),
-        };
-    }
-    // Treat as a QASM path.
-    let src = std::fs::read_to_string(name)
-        .map_err(|e| CliError::Unknown(format!("no benchmark or readable file {name:?}: {e}")))?;
-    parse_qasm(&src).map_err(|e| CliError::Pipeline(format!("QASM parse error: {e}")))
+    ftqc_service::resolve::load_circuit_spec(spec).map_err(CliError::Unknown)
 }
 
 fn options_from(p: &ParsedArgs) -> Result<CompilerOptions, CliError> {
@@ -204,7 +223,43 @@ fn circuit_arg(p: &ParsedArgs) -> Result<Circuit, CliError> {
     load_circuit(spec)
 }
 
-fn cmd_compile(p: &ParsedArgs) -> Result<String, CliError> {
+/// Builds the `JobResult` the `--json` flag emits for a locally compiled
+/// circuit: the same codec the server speaks, so shell pipelines can mix
+/// local and remote output.
+fn local_job_result(id: &str, circuit: &Circuit, options: &CompilerOptions) -> JobResult<Metrics> {
+    let started = Instant::now();
+    let fingerprint = fingerprint::combine(
+        fingerprint::fingerprint_circuit(circuit),
+        fingerprint::fingerprint_value(&options.to_json()),
+    );
+    let (status, metrics) = match compile_metrics(circuit, options) {
+        Ok(m) => (JobStatus::Ok, Some(m)),
+        Err(e) => (JobStatus::Failed(e), None),
+    };
+    JobResult {
+        id: id.to_string(),
+        fingerprint,
+        status,
+        metrics,
+        provenance: CacheProvenance::Computed,
+        micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
+    if p.flag("json") {
+        let spec = p
+            .positionals
+            .first()
+            .ok_or_else(|| CliError::Unknown("missing circuit argument".into()))?;
+        let circuit = load_circuit(spec)?;
+        let options = options_from(p)?;
+        let result = local_job_result(spec, &circuit, &options);
+        return Ok(CmdOutput {
+            text: result.to_json().render(),
+            failed: !result.is_ok(),
+        });
+    }
     let circuit = circuit_arg(p)?;
     let options = options_from(p)?;
     let timing = options.timing;
@@ -273,7 +328,7 @@ fn cmd_compile(p: &ParsedArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
         let _ = write!(out, "\nschedule svg    : {path}");
     }
-    Ok(out)
+    Ok(out.into())
 }
 
 fn render_design_points(rows: &[DesignPoint]) -> String {
@@ -370,6 +425,15 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
         points
     };
     let stats = cache.stats();
+    if p.flag("json") {
+        // The same document the server's POST /v1/sweep returns.
+        let response = SweepResponse {
+            points: rows,
+            cache: stats,
+            workers: workers as u64,
+        };
+        return Ok(response.to_json().render());
+    }
     let mut out = render_design_points(&rows);
     let _ = write!(
         out,
@@ -385,37 +449,72 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Resolves a batch job's circuit source (benchmark name, QASM file, or
-/// inline QASM) to a circuit; errors become the job's failure text.
-fn resolve_source(source: &CircuitSource) -> Result<Circuit, String> {
-    match source {
-        CircuitSource::Benchmark { name, size } => {
-            let spec = match size {
-                None => name.clone(),
-                Some(l) => format!("{name}:{l}"),
-            };
-            load_circuit(&spec).map_err(|e| e.to_string())
-        }
-        CircuitSource::QasmFile { path } => load_circuit(path).map_err(|e| e.to_string()),
-        CircuitSource::QasmInline { qasm } => {
-            parse_qasm(qasm).map_err(|e| format!("QASM parse error: {e}"))
-        }
-    }
+use ftqc_service::resolve::resolve_source;
+
+/// The compile closure `batch` and the compile/sweep paths share.
+fn compile_metrics(circuit: &Circuit, options: &CompilerOptions) -> Result<Metrics, String> {
+    Compiler::new(options.clone())
+        .compile(circuit)
+        .map(|program| *program.metrics())
+        .map_err(|e| e.to_string())
 }
 
-/// Runs a JSON-lines batch of compile jobs through the service.
-fn cmd_batch(p: &ParsedArgs) -> Result<String, CliError> {
+/// The per-job table shared by `batch` and `client batch`.
+fn render_batch_table(results: &[JobResult<Metrics>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>7} {:>8} {:>12} {:>14} {:>9} {:>10}",
+        "job", "status", "qubits", "time (d)", "volume (q·d)", "cache", "µs"
+    );
+    for r in results {
+        match (&r.status, &r.metrics) {
+            (JobStatus::Ok, Some(m)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>7} {:>8} {:>12.1} {:>14.0} {:>9} {:>10}",
+                    r.id,
+                    "ok",
+                    m.total_qubits(),
+                    m.execution_time.as_d(),
+                    m.spacetime_volume(true),
+                    r.provenance.as_str(),
+                    r.micros,
+                );
+            }
+            (JobStatus::Failed(e), _) => {
+                let _ = writeln!(out, "{:<16} {:>7}  {e}", r.id, "FAILED");
+            }
+            (JobStatus::Ok, None) => unreachable!("ok results carry metrics"),
+        }
+    }
+    out
+}
+
+/// Writes `--out FILE` results, appending a note to the report.
+fn write_results_out(
+    p: &ParsedArgs,
+    results: &[JobResult<Metrics>],
+    out: &mut String,
+) -> Result<(), CliError> {
+    if let Some(out_path) = p.options.get("out") {
+        std::fs::write(out_path, render_results(results))
+            .map_err(|e| CliError::Pipeline(format!("cannot write {out_path}: {e}")))?;
+        let _ = write!(out, "\nresults jsonl   : {out_path}");
+    }
+    Ok(())
+}
+
+/// Runs a JSON-lines batch of compile jobs through the service. A
+/// malformed line fails that line only; the exit status is non-zero when
+/// any job failed.
+fn cmd_batch(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     let path = p
         .positionals
         .first()
         .ok_or_else(|| CliError::Unknown("usage: ftqc batch <jobs.jsonl>".into()))?;
     let jsonl = std::fs::read_to_string(path)
         .map_err(|e| CliError::Unknown(format!("cannot read {path:?}: {e}")))?;
-    let jobs: Vec<CompileJob<CompilerOptions>> =
-        parse_jobs(&jsonl).map_err(|e| CliError::Pipeline(format!("{path}: {e}")))?;
-    if jobs.is_empty() {
-        return Err(CliError::Unknown(format!("{path} contains no jobs")));
-    }
 
     let cache_capacity: usize = p.get_or("cache-capacity", ftqc_service::DEFAULT_CACHE_CAPACITY)?;
     if cache_capacity == 0 {
@@ -433,51 +532,20 @@ fn cmd_batch(p: &ParsedArgs) -> Result<String, CliError> {
     let service: BatchService<Metrics> =
         BatchService::new(config).map_err(|e| CliError::Pipeline(format!("cache file: {e}")))?;
 
-    let started = std::time::Instant::now();
-    let results = service.run(
-        jobs,
-        resolve_source,
-        |circuit, options: &CompilerOptions| {
-            Compiler::new(options.clone())
-                .compile(circuit)
-                .map(|program| *program.metrics())
-                .map_err(|e| e.to_string())
-        },
-    );
+    let started = Instant::now();
+    let results =
+        service.run_jsonl::<CompilerOptions, _, _>(&jsonl, resolve_source, compile_metrics);
     let elapsed = started.elapsed();
+    if results.is_empty() {
+        return Err(CliError::Unknown(format!("{path} contains no jobs")));
+    }
     if persist {
         service
             .persist_cache()
             .map_err(|e| CliError::Pipeline(format!("cannot persist cache: {e}")))?;
     }
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<16} {:>7} {:>8} {:>12} {:>14} {:>9} {:>10}",
-        "job", "status", "qubits", "time (d)", "volume (q·d)", "cache", "µs"
-    );
-    for r in &results {
-        match (&r.status, &r.metrics) {
-            (ftqc_service::JobStatus::Ok, Some(m)) => {
-                let _ = writeln!(
-                    out,
-                    "{:<16} {:>7} {:>8} {:>12.1} {:>14.0} {:>9} {:>10}",
-                    r.id,
-                    "ok",
-                    m.total_qubits(),
-                    m.execution_time.as_d(),
-                    m.spacetime_volume(true),
-                    r.provenance.as_str(),
-                    r.micros,
-                );
-            }
-            (ftqc_service::JobStatus::Failed(e), _) => {
-                let _ = writeln!(out, "{:<16} {:>7}  {e}", r.id, "FAILED");
-            }
-            (ftqc_service::JobStatus::Ok, None) => unreachable!("ok results carry metrics"),
-        }
-    }
+    let mut out = render_batch_table(&results);
     let ok = results.iter().filter(|r| r.is_ok()).count();
     let stats = service.cache_stats();
     let _ = write!(
@@ -489,13 +557,124 @@ fn cmd_batch(p: &ParsedArgs) -> Result<String, CliError> {
         stats.lookups(),
         stats.hit_rate() * 100.0,
     );
+    write_results_out(p, &results, &mut out)?;
+    Ok(CmdOutput {
+        text: out,
+        failed: ok < results.len(),
+    })
+}
 
-    if let Some(out_path) = p.options.get("out") {
-        std::fs::write(out_path, render_results(&results))
-            .map_err(|e| CliError::Pipeline(format!("cannot write {out_path}: {e}")))?;
-        let _ = write!(out, "\nresults jsonl   : {out_path}");
+/// Runs the HTTP compile server until SIGINT (or a shutdown poke), then
+/// reports what it served.
+fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
+    let cache_capacity: usize = p.get_or("cache-capacity", ftqc_service::DEFAULT_CACHE_CAPACITY)?;
+    if cache_capacity == 0 {
+        return Err(CliError::Unknown(
+            "--cache-capacity must be at least 1".into(),
+        ));
+    }
+    let config = ServerConfig {
+        addr: p.get_or("addr", "127.0.0.1:7070".to_string())?,
+        workers: p.get_or("workers", 0usize)?,
+        cache_capacity,
+        cache_file: p.options.get("cache").map(PathBuf::from),
+        max_connections: p.get_or("max-connections", 64usize)?.max(1),
+        read_timeout: Duration::from_millis(p.get_or("timeout-ms", 10_000u64)?),
+        ..ServerConfig::default()
+    };
+    let cache_note = match &config.cache_file {
+        Some(f) => format!(", cache file {}", f.display()),
+        None => String::new(),
+    };
+    let server = Server::bind(config).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    server.install_sigint_handler();
+    // Announce before blocking: main only prints after run() returns.
+    println!(
+        "ftqc-server listening on {addr} ({} workers{cache_note}); Ctrl-C to stop",
+        server.workers()
+    );
+    let report = server
+        .run()
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let mut out = format!(
+        "shut down cleanly: {} requests over {} connections; cache: {} hits / {} lookups ({:.0}%)",
+        report.requests,
+        report.connections,
+        report.cache.hits,
+        report.cache.lookups(),
+        report.cache.hit_rate() * 100.0,
+    );
+    if let Some(path) = report.persisted {
+        let _ = write!(out, "\ncache persisted : {}", path.display());
     }
     Ok(out)
+}
+
+/// `ftqc client compile|batch --addr …`: drive a remote compile server.
+fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
+    let addr: String = p.get_or("addr", "127.0.0.1:7070".to_string())?;
+    let client = Client::new(addr);
+    let usage = || CliError::Unknown("usage: ftqc client compile|batch <arg> [--addr]".into());
+    match p.positionals.first().map(String::as_str) {
+        Some("compile") => {
+            let spec = p.positionals.get(1).ok_or_else(usage)?;
+            let source =
+                ftqc_service::resolve::source_from_spec(spec).map_err(CliError::Unknown)?;
+            let job = CompileJob {
+                id: spec.clone(),
+                source,
+                options: options_from(p)?,
+            };
+            let result = client
+                .compile(&job)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            let failed = !result.is_ok();
+            if p.flag("json") {
+                return Ok(CmdOutput {
+                    text: result.to_json().render(),
+                    failed,
+                });
+            }
+            Ok(CmdOutput {
+                text: render_batch_table(std::slice::from_ref(&result))
+                    .trim_end()
+                    .to_string(),
+                failed,
+            })
+        }
+        Some("batch") => {
+            let path = p.positionals.get(1).ok_or_else(usage)?;
+            let jsonl = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Unknown(format!("cannot read {path:?}: {e}")))?;
+            let results = client
+                .batch(&jsonl)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            let ok = results.iter().filter(|r| r.is_ok()).count();
+            if p.flag("json") {
+                // Stdout stays pure JSONL (--out still writes its file,
+                // but the human-readable note would corrupt the stream).
+                let mut text = render_results(&results);
+                text.truncate(text.trim_end().len());
+                let mut ignored_note = String::new();
+                write_results_out(p, &results, &mut ignored_note)?;
+                return Ok(CmdOutput {
+                    text,
+                    failed: ok < results.len(),
+                });
+            }
+            let mut out = render_batch_table(&results);
+            let _ = write!(out, "{ok}/{} jobs ok (remote)", results.len());
+            write_results_out(p, &results, &mut out)?;
+            Ok(CmdOutput {
+                text: out,
+                failed: ok < results.len(),
+            })
+        }
+        _ => Err(usage()),
+    }
 }
 
 fn cmd_estimate(p: &ParsedArgs) -> Result<String, CliError> {
@@ -633,14 +812,19 @@ mod tests {
     use super::*;
 
     fn run_line(s: &str) -> Result<String, CliError> {
+        run_full(s).map(|out| out.text)
+    }
+
+    fn run_full(s: &str) -> Result<CmdOutput, CliError> {
         let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
         run(&argv)
     }
 
     #[test]
     fn help_on_empty_and_help() {
-        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap().text.contains("USAGE"));
         assert!(run_line("help").unwrap().contains("USAGE"));
+        assert!(run_line("help").unwrap().contains("serve"));
     }
 
     #[test]
@@ -773,17 +957,121 @@ mod tests {
     }
 
     #[test]
-    fn batch_rejects_missing_and_malformed_input() {
+    fn batch_rejects_missing_input_and_survives_malformed_lines() {
         assert!(run_line("batch").is_err());
         assert!(run_line("batch /nonexistent/jobs.jsonl").is_err());
         let dir = std::env::temp_dir().join("ftqc-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
+        // A malformed line fails that line, not the batch; the exit status
+        // reflects the failure.
         let bad = dir.join("bad.jsonl");
-        std::fs::write(&bad, "{\"source\":{}}\n").unwrap();
-        assert!(run_line(&format!("batch {}", bad.display())).is_err());
+        std::fs::write(
+            &bad,
+            "{\"source\":{}}\n{\"id\":\"ok\",\"source\":{\"benchmark\":\"ising\",\"size\":2}}\n",
+        )
+        .unwrap();
+        let out = run_full(&format!("batch {}", bad.display())).unwrap();
+        assert!(out.failed, "a failed line must fail the exit status");
+        assert!(out.text.contains("line-1"), "got: {}", out.text);
+        assert!(out.text.contains("line 1"), "got: {}", out.text);
+        assert!(out.text.contains("1/2 jobs ok"), "got: {}", out.text);
+        // An input with no jobs at all is still a hard error.
         let empty = dir.join("empty.jsonl");
         std::fs::write(&empty, "# nothing\n").unwrap();
         assert!(run_line(&format!("batch {}", empty.display())).is_err());
+    }
+
+    #[test]
+    fn batch_exit_status_clean_when_all_jobs_ok() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("clean.jsonl");
+        std::fs::write(
+            &jobs,
+            "{\"id\":\"a\",\"source\":{\"benchmark\":\"ising\",\"size\":2}}\n",
+        )
+        .unwrap();
+        let out = run_full(&format!("batch {}", jobs.display())).unwrap();
+        assert!(!out.failed);
+        assert!(out.text.contains("1/1 jobs ok"));
+    }
+
+    #[test]
+    fn compile_json_emits_job_result() {
+        let out = run_full("compile ising:2 --r 4 --json").unwrap();
+        assert!(!out.failed);
+        let doc = ftqc_service::Value::parse(&out.text).expect("valid json");
+        assert_eq!(
+            doc.get("id").and_then(ftqc_service::Value::as_str),
+            Some("ising:2")
+        );
+        assert_eq!(
+            doc.get("status").and_then(ftqc_service::Value::as_str),
+            Some("ok")
+        );
+        let result: JobResult<Metrics> =
+            ftqc_service::FromJson::from_json(&doc).expect("decodes as JobResult");
+        let m = result.metrics.expect("ok result carries metrics");
+        assert_eq!(m.routing_paths, 4);
+    }
+
+    #[test]
+    fn sweep_json_matches_server_schema() {
+        let out = run_full("sweep ising:2 --r 2..3 --factories 1 --json").unwrap();
+        assert!(!out.failed);
+        let doc = ftqc_service::Value::parse(&out.text).expect("valid json");
+        let resp: SweepResponse =
+            ftqc_service::FromJson::from_json(&doc).expect("decodes as SweepResponse");
+        assert_eq!(resp.points.len(), 2);
+        assert_eq!(resp.cache.misses, 2);
+    }
+
+    #[test]
+    fn serve_and_client_roundtrip_on_loopback() {
+        // `serve` itself blocks, so drive the server directly and exercise
+        // the `client` subcommands against it.
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let thread = std::thread::spawn(move || server.run().unwrap());
+
+        let out = run_full(&format!("client compile ising:2 --r 4 --addr {addr}")).unwrap();
+        assert!(!out.failed, "got: {}", out.text);
+        assert!(out.text.contains("ising:2"), "got: {}", out.text);
+
+        let out = run_full(&format!(
+            "client compile ising:2 --r 4 --addr {addr} --json"
+        ))
+        .unwrap();
+        let doc = ftqc_service::Value::parse(&out.text).expect("valid json");
+        assert_eq!(
+            doc.get("cache").and_then(ftqc_service::Value::as_str),
+            Some("memory"),
+            "second identical request must hit the server's cache"
+        );
+
+        let dir = std::env::temp_dir().join("ftqc-cli-test-client");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("jobs.jsonl");
+        std::fs::write(
+            &jobs,
+            "{\"id\":\"a\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":4}}\n{oops}\n",
+        )
+        .unwrap();
+        let out = run_full(&format!("client batch {} --addr {addr}", jobs.display())).unwrap();
+        assert!(out.failed, "the malformed line must fail the exit status");
+        assert!(out.text.contains("1/2 jobs ok"), "got: {}", out.text);
+
+        assert!(run_line(&format!("client --addr {addr}")).is_err());
+        assert!(run_line("client compile ising:2 --addr 127.0.0.1:1").is_err());
+
+        handle.shutdown();
+        thread.join().unwrap();
     }
 
     #[test]

@@ -26,8 +26,14 @@ fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match commands::run(&raw) {
         Ok(output) => {
-            println!("{output}");
-            ExitCode::SUCCESS
+            println!("{}", output.text);
+            // Commands like `batch` print a report but still signal partial
+            // failure through the exit status.
+            if output.failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");

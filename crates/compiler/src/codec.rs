@@ -244,6 +244,31 @@ impl FromJson for Metrics {
     }
 }
 
+impl ToJson for crate::DesignPoint {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("routing_paths".into(), num(u64::from(self.routing_paths))),
+            ("factories".into(), num(u64::from(self.factories))),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for crate::DesignPoint {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let u32_of = |key: &str| -> Result<u32, JsonError> {
+            json::require_u64(value, key).and_then(|n| {
+                u32::try_from(n).map_err(|_| JsonError::schema(format!("{key} overflows u32")))
+            })
+        };
+        Ok(crate::DesignPoint {
+            routing_paths: u32_of("routing_paths")?,
+            factories: u32_of("factories")?,
+            metrics: Metrics::from_json(json::require(value, "metrics")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +328,31 @@ mod tests {
         };
         let back = Metrics::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn design_point_roundtrip() {
+        let p = crate::DesignPoint {
+            routing_paths: 4,
+            factories: 2,
+            metrics: Metrics {
+                execution_time: Ticks::from_d(120.0),
+                unit_cost_time: Ticks::from_d(110.0),
+                lower_bound: Ticks::from_d(100.0),
+                grid_patches: 144,
+                factory_patches: 11,
+                routing_paths: 4,
+                factories: 2,
+                n_gates: 60,
+                n_surgery_ops: 150,
+                n_moves: 40,
+                n_moves_eliminated: 6,
+                n_magic_states: 10,
+            },
+        };
+        let back = crate::DesignPoint::from_json(&p.to_json()).unwrap();
+        assert_eq!(back, p);
+        assert!(crate::DesignPoint::from_json(&Value::parse("{}").unwrap()).is_err());
     }
 
     #[test]

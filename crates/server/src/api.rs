@@ -1,0 +1,223 @@
+//! Wire types for the sweep endpoint, shared by server, client, and the
+//! CLI's `--json` output so there is exactly one schema.
+//!
+//! A sweep request names a circuit source, the `(routing_paths, factories)`
+//! grid, base options, and whether to reduce to the Pareto front:
+//!
+//! ```json
+//! {"source":{"benchmark":"ising","size":2},
+//!  "routing_paths":[2,3,4],"factories":[1,2],
+//!  "options":{"lookahead":true},"pareto":true}
+//! ```
+//!
+//! The response carries the design points (full metrics each) plus the
+//! shared cache's counters and the worker count that served the sweep.
+
+use ftqc_compiler::{CompilerOptions, DesignPoint};
+use ftqc_service::json::{self, FromJson, JsonError, ToJson, Value};
+use ftqc_service::{CacheStats, CircuitSource};
+
+/// Default routing-path grid when a request omits `"routing_paths"`.
+pub const DEFAULT_ROUTING_PATHS: [u32; 7] = [2, 3, 4, 5, 6, 7, 8];
+/// Default factory grid when a request omits `"factories"`.
+pub const DEFAULT_FACTORIES: [u32; 4] = [1, 2, 3, 4];
+
+/// A design-space sweep over one circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// The circuit to sweep.
+    pub source: CircuitSource,
+    /// Routing-path counts to visit.
+    pub routing_paths: Vec<u32>,
+    /// Factory counts to visit.
+    pub factories: Vec<u32>,
+    /// Base options applied at every grid point (the grid overrides
+    /// `routing_paths`/`factories`).
+    pub options: CompilerOptions,
+    /// Whether to reduce the result to the Pareto front.
+    pub pareto: bool,
+}
+
+impl SweepRequest {
+    /// A default-grid sweep of `source`.
+    pub fn new(source: CircuitSource) -> Self {
+        SweepRequest {
+            source,
+            routing_paths: DEFAULT_ROUTING_PATHS.to_vec(),
+            factories: DEFAULT_FACTORIES.to_vec(),
+            options: CompilerOptions::default(),
+            pareto: false,
+        }
+    }
+}
+
+fn u32_list(value: &Value, key: &str, default: &[u32]) -> Result<Vec<u32>, JsonError> {
+    match value.get(key) {
+        None => Ok(default.to_vec()),
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| JsonError::schema(format!("{key:?} must be an array")))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| {
+                            JsonError::schema(format!("{key:?} entries must be small integers"))
+                        })
+                })
+                .collect()
+        }
+    }
+}
+
+impl ToJson for SweepRequest {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("source".into(), self.source.to_json()),
+            (
+                "routing_paths".into(),
+                Value::Arr(
+                    self.routing_paths
+                        .iter()
+                        .map(|r| Value::Num(f64::from(*r)))
+                        .collect(),
+                ),
+            ),
+            (
+                "factories".into(),
+                Value::Arr(
+                    self.factories
+                        .iter()
+                        .map(|f| Value::Num(f64::from(*f)))
+                        .collect(),
+                ),
+            ),
+            ("options".into(), self.options.to_json()),
+            ("pareto".into(), Value::Bool(self.pareto)),
+        ])
+    }
+}
+
+impl FromJson for SweepRequest {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let source = CircuitSource::from_json(json::require(value, "source")?)?;
+        let routing_paths = u32_list(value, "routing_paths", &DEFAULT_ROUTING_PATHS)?;
+        let factories = u32_list(value, "factories", &DEFAULT_FACTORIES)?;
+        let empty = Value::Obj(Vec::new());
+        let options = CompilerOptions::from_json(value.get("options").unwrap_or(&empty))?;
+        let pareto = match value.get("pareto") {
+            None => false,
+            Some(p) => p
+                .as_bool()
+                .ok_or_else(|| JsonError::schema("\"pareto\" must be a boolean"))?,
+        };
+        Ok(SweepRequest {
+            source,
+            routing_paths,
+            factories,
+            options,
+            pareto,
+        })
+    }
+}
+
+/// The result of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResponse {
+    /// The design points, in grid order (or the sorted Pareto front when
+    /// the request asked for it).
+    pub points: Vec<DesignPoint>,
+    /// The shared cache's counters after this sweep.
+    pub cache: CacheStats,
+    /// Worker threads that served the sweep.
+    pub workers: u64,
+}
+
+impl ToJson for SweepResponse {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "points".into(),
+                Value::Arr(self.points.iter().map(ToJson::to_json).collect()),
+            ),
+            ("cache".into(), self.cache.to_json()),
+            ("workers".into(), Value::Num(self.workers as f64)),
+        ])
+    }
+}
+
+impl FromJson for SweepResponse {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let points = json::require(value, "points")?
+            .as_arr()
+            .ok_or_else(|| JsonError::schema("\"points\" must be an array"))?
+            .iter()
+            .map(DesignPoint::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SweepResponse {
+            points,
+            cache: CacheStats::from_json(json::require(value, "cache")?)?,
+            workers: json::require_u64(value, "workers")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_and_defaults() {
+        let req = SweepRequest {
+            source: CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: Some(2),
+            },
+            routing_paths: vec![2, 4],
+            factories: vec![1],
+            options: CompilerOptions::default().lookahead(false),
+            pareto: true,
+        };
+        let back = SweepRequest::from_json(&req.to_json()).unwrap();
+        assert_eq!(back, req);
+
+        let sparse = Value::parse(r#"{"source":{"benchmark":"ghz"}}"#).unwrap();
+        let req = SweepRequest::from_json(&sparse).unwrap();
+        assert_eq!(req.routing_paths, DEFAULT_ROUTING_PATHS.to_vec());
+        assert_eq!(req.factories, DEFAULT_FACTORIES.to_vec());
+        assert_eq!(req.options, CompilerOptions::default());
+        assert!(!req.pareto);
+    }
+
+    #[test]
+    fn request_shape_errors() {
+        for text in [
+            r#"{}"#,
+            r#"{"source":{"benchmark":"ghz"},"routing_paths":4}"#,
+            r#"{"source":{"benchmark":"ghz"},"routing_paths":["x"]}"#,
+            r#"{"source":{"benchmark":"ghz"},"pareto":"yes"}"#,
+        ] {
+            let v = Value::parse(text).unwrap();
+            assert!(SweepRequest::from_json(&v).is_err(), "accepted {text}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = SweepResponse {
+            points: Vec::new(),
+            cache: CacheStats {
+                hits: 4,
+                file_hits: 0,
+                misses: 4,
+                insertions: 4,
+                evictions: 0,
+            },
+            workers: 3,
+        };
+        let back = SweepResponse::from_json(&resp.to_json()).unwrap();
+        assert_eq!(back, resp);
+    }
+}

@@ -1,0 +1,197 @@
+//! A small blocking client for the compile server: one connection per
+//! request (the server speaks `Connection: close`), typed wrappers over
+//! every endpoint. Used by `ftqc client …`, the loopback tests, and the
+//! `remote_compile` example.
+
+use crate::api::{SweepRequest, SweepResponse};
+use crate::http::{self, HttpError};
+use ftqc_compiler::{CompilerOptions, Metrics};
+use ftqc_service::json::{FromJson, JsonError, ToJson, Value};
+use ftqc_service::{CacheStats, CompileJob, JobResult};
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect / read / write.
+    Io(io::Error),
+    /// The HTTP exchange itself broke (truncated message, bad framing).
+    Http(HttpError),
+    /// The server answered with a non-2xx status; the body usually carries
+    /// `{"error": …}`.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body, as text.
+        body: String,
+    },
+    /// The response body did not decode to the expected shape.
+    Decode(JsonError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Http(e) => write!(f, "bad HTTP exchange: {e}"),
+            ClientError::Status { status, body } => {
+                write!(f, "server answered {status}: {body}")
+            }
+            ClientError::Decode(e) => write!(f, "cannot decode response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<HttpError> for ClientError {
+    fn from(e: HttpError) -> Self {
+        ClientError::Http(e)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(e: JsonError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A handle on one server address.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+    timeout: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:7070`) with a 60 s timeout
+    /// (sweeps over large circuits are slow).
+    pub fn new(addr: impl Into<String>) -> Self {
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Overrides the per-request socket timeout.
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// One request/response exchange on a fresh connection.
+    fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<http::Response, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        let _ = stream.set_nodelay(true);
+        http::write_all(
+            &mut stream,
+            &http::render_request(method, path, content_type, body),
+        )?;
+        let response = http::read_response(&mut stream)?;
+        if response.status / 100 != 2 {
+            return Err(ClientError::Status {
+                status: response.status,
+                body: String::from_utf8_lossy(&response.body).into_owned(),
+            });
+        }
+        Ok(response)
+    }
+
+    fn exchange_json(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Value>,
+    ) -> Result<Value, ClientError> {
+        let rendered = body.map(Value::render).unwrap_or_default();
+        let response = self.exchange(method, path, "application/json", rendered.as_bytes())?;
+        let text = response.body_str()?;
+        Ok(Value::parse(text)?)
+    }
+
+    /// `POST /v1/compile`: one job in, one result out.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; a job-level compile failure is *not* an error —
+    /// inspect the returned result's `status`.
+    pub fn compile(
+        &self,
+        job: &CompileJob<CompilerOptions>,
+    ) -> Result<JobResult<Metrics>, ClientError> {
+        let doc = self.exchange_json("POST", "/v1/compile", Some(&job.to_json()))?;
+        Ok(JobResult::from_json(&doc)?)
+    }
+
+    /// `POST /v1/batch`: raw JSONL in, results out in submission order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; per-line failures come back as failed results.
+    pub fn batch(&self, jsonl: &str) -> Result<Vec<JobResult<Metrics>>, ClientError> {
+        let response = self.exchange("POST", "/v1/batch", "application/jsonl", jsonl.as_bytes())?;
+        let text = response.body_str()?;
+        text.lines()
+            .map(|line| {
+                Value::parse(line)
+                    .and_then(|doc| JobResult::from_json(&doc))
+                    .map_err(ClientError::from)
+            })
+            .collect()
+    }
+
+    /// `POST /v1/sweep`: a design-space sweep.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn sweep(&self, request: &SweepRequest) -> Result<SweepResponse, ClientError> {
+        let doc = self.exchange_json("POST", "/v1/sweep", Some(&request.to_json()))?;
+        Ok(SweepResponse::from_json(&doc)?)
+    }
+
+    /// `GET /v1/cache/stats`: the shared cache's counters.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn cache_stats(&self) -> Result<CacheStats, ClientError> {
+        let doc = self.exchange_json("GET", "/v1/cache/stats", None)?;
+        Ok(CacheStats::from_json(&doc)?)
+    }
+
+    /// `GET /healthz`: the liveness document.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn healthz(&self) -> Result<Value, ClientError> {
+        self.exchange_json("GET", "/healthz", None)
+    }
+
+    /// `GET /metrics`: the raw Prometheus exposition text.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        let response = self.exchange("GET", "/metrics", "text/plain", b"")?;
+        Ok(response.body_str()?.to_string())
+    }
+}

@@ -1,0 +1,49 @@
+//! `ftqc-server` — the HTTP compile server.
+//!
+//! PR 1 built the in-process half of the serving story (`ftqc-service`:
+//! job model, deterministic worker pool, content-addressed compile cache);
+//! this crate adds the network boundary: a long-lived daemon that amortises
+//! process startup and cache warmth across clients. Dependency-free by
+//! construction — the HTTP/1.1 layer is hand-rolled on
+//! `std::net::TcpListener` because the build environment has no registry
+//! access (no hyper, no tokio).
+//!
+//! * [`http`] — request/response parsing and writing with Content-Length
+//!   framing, size limits, and timeout mapping.
+//! * [`server`] — the bounded thread-per-connection accept loop, the JSON
+//!   endpoints, graceful (SIGINT-safe) shutdown that drains in-flight
+//!   requests and persists the cache file tier.
+//! * [`metrics`] — Prometheus-style counters behind `GET /metrics`.
+//! * [`api`] — sweep request/response wire types shared with the CLI.
+//! * [`client`] — a small blocking client for every endpoint.
+//!
+//! Circuit resolution lives in `ftqc_service::resolve`, shared with the
+//! CLI; the server uses the remote-safe variant, which refuses
+//! `qasm_file` sources rather than reading paths network clients name.
+//!
+//! # Endpoints
+//!
+//! | Route | Payload |
+//! |---|---|
+//! | `POST /v1/compile` | one JSON `CompileJob` → one JSON `JobResult` |
+//! | `POST /v1/batch` | JSONL jobs → JSONL results (submission order) |
+//! | `POST /v1/sweep` | options grid → design points / Pareto front |
+//! | `GET /v1/cache/stats` | shared compile-cache counters |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | Prometheus text exposition |
+//!
+//! All compile paths share one process-wide
+//! [`ftqc_service::SharedCache`], so concurrent clients warm each other:
+//! the second client to ask for a configuration gets it at cache speed no
+//! matter who asked first.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use api::{SweepRequest, SweepResponse, DEFAULT_FACTORIES, DEFAULT_ROUTING_PATHS};
+pub use client::{Client, ClientError};
+pub use metrics::{Endpoint, ServerMetrics};
+pub use server::{Server, ServerConfig, ServerError, ServerReport, ShutdownHandle};

@@ -1,0 +1,352 @@
+//! Server-side counters rendered in the Prometheus text exposition format.
+//!
+//! Everything is a plain atomic: handlers bump counters as requests finish,
+//! and `GET /metrics` renders a point-in-time snapshot. Cache hit/miss
+//! gauges are not duplicated here — they are read live from the shared
+//! [`ftqc_service::CacheStats`] at render time, so the numbers can never
+//! drift from what the cache itself reports.
+
+use ftqc_service::CacheStats;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The endpoints the registry tracks individually; anything else lands in
+/// [`Endpoint::Other`] (404s, typos, probes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /v1/compile`
+    Compile,
+    /// `POST /v1/batch`
+    Batch,
+    /// `POST /v1/sweep`
+    Sweep,
+    /// `GET /v1/cache/stats`
+    CacheStats,
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// Everything else.
+    Other,
+}
+
+impl Endpoint {
+    /// All tracked endpoints, in render order.
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Compile,
+        Endpoint::Batch,
+        Endpoint::Sweep,
+        Endpoint::CacheStats,
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Other,
+    ];
+
+    /// The label value used in the exposition format.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Compile => "compile",
+            Endpoint::Batch => "batch",
+            Endpoint::Sweep => "sweep",
+            Endpoint::CacheStats => "cache_stats",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+
+    /// Classifies a request path.
+    pub fn of_path(path: &str) -> Endpoint {
+        match path {
+            "/v1/compile" => Endpoint::Compile,
+            "/v1/batch" => Endpoint::Batch,
+            "/v1/sweep" => Endpoint::Sweep,
+            "/v1/cache/stats" => Endpoint::CacheStats,
+            "/healthz" => Endpoint::Healthz,
+            "/metrics" => Endpoint::Metrics,
+            _ => Endpoint::Other,
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("listed")
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_micros: AtomicU64,
+}
+
+/// The process-wide counter registry.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    per_endpoint: [EndpointCounters; 7],
+    in_flight: AtomicU64,
+    connections: AtomicU64,
+    rejected: AtomicU64,
+    jobs_ok: AtomicU64,
+    jobs_failed: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts an accepted connection.
+    pub fn connection_opened(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection turned away at the limit.
+    pub fn connection_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a request in flight; the guard decrements on drop (even if the
+    /// handler panics).
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Records a finished request: endpoint, status, and wall-clock
+    /// latency.
+    pub fn record(&self, endpoint: Endpoint, status: u16, latency: std::time::Duration) {
+        let c = &self.per_endpoint[endpoint.index()];
+        c.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            c.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        c.latency_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Records job outcomes from compile/batch handlers.
+    pub fn record_jobs(&self, ok: u64, failed: u64) {
+        self.jobs_ok.fetch_add(ok, Ordering::Relaxed);
+        self.jobs_failed.fetch_add(failed, Ordering::Relaxed);
+    }
+
+    /// Requests finished so far for `endpoint`.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.per_endpoint[endpoint.index()]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    /// Total requests finished across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        Endpoint::ALL.iter().map(|e| self.requests(*e)).sum()
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests currently being handled.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text exposition: request/error counts and
+    /// latency sums per endpoint, the in-flight gauge, connection counters,
+    /// job outcomes, and the shared cache's live counters.
+    pub fn render_prometheus(&self, cache: &CacheStats, uptime: std::time::Duration) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = writeln!(
+            out,
+            "# HELP ftqc_http_requests_total Requests finished, by endpoint.\n# TYPE ftqc_http_requests_total counter"
+        );
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "ftqc_http_requests_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.requests(e)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ftqc_http_errors_total Requests finished with status >= 400, by endpoint.\n# TYPE ftqc_http_errors_total counter"
+        );
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "ftqc_http_errors_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.per_endpoint[e.index()].errors.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ftqc_http_latency_micros_total Summed request latency in microseconds, by endpoint.\n# TYPE ftqc_http_latency_micros_total counter"
+        );
+        for e in Endpoint::ALL {
+            let _ = writeln!(
+                out,
+                "ftqc_http_latency_micros_total{{endpoint=\"{}\"}} {}",
+                e.label(),
+                self.per_endpoint[e.index()]
+                    .latency_micros
+                    .load(Ordering::Relaxed)
+            );
+        }
+        let gauges: [(&str, &str, u64); 6] = [
+            (
+                "ftqc_http_in_flight",
+                "Requests currently being handled.",
+                self.in_flight(),
+            ),
+            (
+                "ftqc_connections_total",
+                "TCP connections accepted.",
+                self.connections(),
+            ),
+            (
+                "ftqc_connections_rejected_total",
+                "Connections turned away at the connection limit.",
+                self.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "ftqc_jobs_ok_total",
+                "Compile jobs that succeeded.",
+                self.jobs_ok.load(Ordering::Relaxed),
+            ),
+            (
+                "ftqc_jobs_failed_total",
+                "Compile jobs that failed.",
+                self.jobs_failed.load(Ordering::Relaxed),
+            ),
+            (
+                "ftqc_uptime_seconds",
+                "Seconds since the server started.",
+                uptime.as_secs(),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let cache_counters: [(&str, &str, u64); 5] = [
+            (
+                "ftqc_cache_hits_total",
+                "Compile-cache lookups served from memory or file.",
+                cache.hits,
+            ),
+            (
+                "ftqc_cache_file_hits_total",
+                "Of the hits, how many came from the file tier.",
+                cache.file_hits,
+            ),
+            (
+                "ftqc_cache_misses_total",
+                "Compile-cache lookups that found nothing.",
+                cache.misses,
+            ),
+            (
+                "ftqc_cache_insertions_total",
+                "Compile-cache entries inserted.",
+                cache.insertions,
+            ),
+            (
+                "ftqc_cache_evictions_total",
+                "Compile-cache entries evicted by the LRU bound.",
+                cache.evictions,
+            ),
+        ];
+        for (name, help, value) in cache_counters {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+}
+
+/// RAII guard holding the in-flight gauge up for one request.
+#[derive(Debug)]
+pub struct InFlightGuard<'m> {
+    metrics: &'m ServerMetrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn endpoints_classify_paths() {
+        assert_eq!(Endpoint::of_path("/v1/compile"), Endpoint::Compile);
+        assert_eq!(Endpoint::of_path("/v1/batch"), Endpoint::Batch);
+        assert_eq!(Endpoint::of_path("/v1/sweep"), Endpoint::Sweep);
+        assert_eq!(Endpoint::of_path("/v1/cache/stats"), Endpoint::CacheStats);
+        assert_eq!(Endpoint::of_path("/healthz"), Endpoint::Healthz);
+        assert_eq!(Endpoint::of_path("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of_path("/nope"), Endpoint::Other);
+    }
+
+    #[test]
+    fn counters_accumulate_and_render() {
+        let m = ServerMetrics::new();
+        m.connection_opened();
+        m.connection_opened();
+        m.connection_rejected();
+        {
+            let _g = m.begin_request();
+            assert_eq!(m.in_flight(), 1);
+            m.record(Endpoint::Compile, 200, Duration::from_micros(150));
+        }
+        assert_eq!(m.in_flight(), 0, "guard drop releases the gauge");
+        m.record(Endpoint::Compile, 200, Duration::from_micros(50));
+        m.record(Endpoint::Batch, 400, Duration::from_micros(10));
+        m.record_jobs(3, 1);
+
+        assert_eq!(m.requests(Endpoint::Compile), 2);
+        assert_eq!(m.requests(Endpoint::Batch), 1);
+        assert_eq!(m.total_requests(), 3);
+
+        let cache = CacheStats {
+            hits: 7,
+            file_hits: 2,
+            misses: 3,
+            insertions: 3,
+            evictions: 0,
+        };
+        let text = m.render_prometheus(&cache, Duration::from_secs(42));
+        assert!(text.contains("ftqc_http_requests_total{endpoint=\"compile\"} 2"));
+        assert!(text.contains("ftqc_http_errors_total{endpoint=\"batch\"} 1"));
+        assert!(text.contains("ftqc_http_latency_micros_total{endpoint=\"compile\"} 200"));
+        assert!(text.contains("ftqc_http_in_flight 0"));
+        assert!(text.contains("ftqc_connections_total 2"));
+        assert!(text.contains("ftqc_connections_rejected_total 1"));
+        assert!(text.contains("ftqc_cache_hits_total 7"));
+        assert!(text.contains("ftqc_cache_misses_total 3"));
+        assert!(text.contains("ftqc_jobs_ok_total 3"));
+        assert!(text.contains("ftqc_jobs_failed_total 1"));
+        assert!(text.contains("ftqc_uptime_seconds 42"));
+        // Every exposed family carries HELP/TYPE lines.
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("# HELP")).count(),
+            text.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        );
+    }
+}

@@ -1,0 +1,731 @@
+//! The compile server: a bounded thread-per-connection accept loop over
+//! `std::net::TcpListener`, JSON endpoints over the batch-compilation
+//! service, and graceful shutdown that drains in-flight requests and
+//! persists the file cache tier.
+//!
+//! Every request path — single compiles, JSONL batches, design-space
+//! sweeps — shares one process-wide [`SharedCache`], so concurrent clients
+//! warm each other and a repeated request mix is answered without
+//! recompiling.
+//!
+//! ```no_run
+//! use ftqc_server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig::default())?;
+//! println!("listening on {}", server.local_addr()?);
+//! let handle = server.handle()?; // clone into another thread to stop it
+//! server.install_sigint_handler(); // Ctrl-C also shuts down cleanly
+//! let report = server.run()?;
+//! println!("served {} requests", report.requests);
+//! # Ok::<(), ftqc_server::ServerError>(())
+//! ```
+
+use crate::api::{SweepRequest, SweepResponse};
+use crate::http::{self, HttpError, Request};
+use crate::metrics::{Endpoint, ServerMetrics};
+use ftqc_compiler::{explore_parallel_with, pareto_front, Compiler, CompilerOptions, Metrics};
+use ftqc_service::json::{JsonError, ToJson, Value};
+use ftqc_service::resolve::resolve_source_remote;
+use ftqc_service::{
+    job_from_value, render_results, BatchService, CacheStats, CompileCache, CompileJob, JobResult,
+    SharedCache, WorkerPool,
+};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sizing, persistence, and safety knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads per batch/sweep (0 ⇒ the machine's available
+    /// parallelism).
+    pub workers: usize,
+    /// Memory-tier capacity of the shared compile cache.
+    pub cache_capacity: usize,
+    /// Optional file-backed cache tier, persisted on graceful shutdown.
+    pub cache_file: Option<PathBuf>,
+    /// Concurrent connections before new ones are turned away with 503.
+    pub max_connections: usize,
+    /// Per-request socket read timeout.
+    pub read_timeout: Duration,
+    /// How long shutdown waits for in-flight connections to drain.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".into(),
+            workers: 0,
+            cache_capacity: ftqc_service::DEFAULT_CACHE_CAPACITY,
+            cache_file: None,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(10),
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A server-level failure (bind, cache file, I/O).
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The configured cache file exists but is malformed.
+    CacheFile(JsonError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "{e}"),
+            ServerError::CacheFile(e) => write!(f, "cache file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<io::Error> for ServerError {
+    fn from(e: io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+/// What a finished server run did, returned by [`Server::run`].
+#[derive(Debug, Clone)]
+pub struct ServerReport {
+    /// Requests handled.
+    pub requests: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// The shared cache's final counters.
+    pub cache: CacheStats,
+    /// Where the cache was persisted, when a file tier was configured.
+    pub persisted: Option<PathBuf>,
+}
+
+/// Everything the request handlers share, behind one `Arc`.
+struct AppState {
+    service: BatchService<Metrics>,
+    cache: SharedCache<Metrics>,
+    metrics: ServerMetrics,
+    workers: usize,
+    started: Instant,
+    read_timeout: Duration,
+}
+
+/// A cloneable handle that stops a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ShutdownHandle {
+    /// Asks the server to stop: the accept loop exits, in-flight requests
+    /// drain, and the cache persists. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        // Poke the listener so a blocked accept iteration notices promptly
+        // (the loop also polls, so this is a latency optimisation only).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+    }
+}
+
+// A SIGINT handler can only set a flag; the accept loop polls it. Installed
+// lazily by `install_sigint_handler` so embedded servers (tests, examples)
+// never touch process-global signal state.
+static SIGINT_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sigint {
+    use super::SIGINT_FLAG;
+    use std::sync::atomic::Ordering;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: a single atomic store.
+        SIGINT_FLAG.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // std already links libc on unix; declaring `signal` directly keeps
+        // the crate dependency-free.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    pub fn install() {
+        unsafe {
+            #[allow(clippy::fn_to_numeric_cast, clippy::fn_to_numeric_cast_any)]
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// The compile server. Build with [`Server::bind`], stop with a
+/// [`ShutdownHandle`] or SIGINT.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    shutdown: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    max_connections: usize,
+    drain_timeout: Duration,
+    cache_file: Option<PathBuf>,
+}
+
+impl Server {
+    /// Binds the listener and loads the file cache tier when configured.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] when the address cannot be bound,
+    /// [`ServerError::CacheFile`] when the cache file exists but is
+    /// malformed.
+    pub fn bind(config: ServerConfig) -> Result<Server, ServerError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let mut cache = CompileCache::new(config.cache_capacity);
+        if let Some(path) = &config.cache_file {
+            cache = cache.with_file_tier(path).map_err(ServerError::CacheFile)?;
+        }
+        let cache = SharedCache::new(cache);
+        let workers = if config.workers == 0 {
+            WorkerPool::auto().workers()
+        } else {
+            config.workers
+        };
+        let state = AppState {
+            service: BatchService::with_cache(workers, cache.clone()),
+            cache,
+            metrics: ServerMetrics::new(),
+            workers,
+            started: Instant::now(),
+            read_timeout: config.read_timeout,
+        };
+        Ok(Server {
+            listener,
+            state: Arc::new(state),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            active: Arc::new(AtomicUsize::new(0)),
+            max_connections: config.max_connections.max(1),
+            drain_timeout: config.drain_timeout,
+            cache_file: config.cache_file,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops this server from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn handle(&self) -> io::Result<ShutdownHandle> {
+        Ok(ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Routes SIGINT (Ctrl-C) to a graceful shutdown of every server in
+    /// this process. No-op on non-unix platforms.
+    pub fn install_sigint_handler(&self) {
+        #[cfg(unix)]
+        sigint::install();
+    }
+
+    /// The resolved worker-thread count (after 0-means-all-cores).
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+
+    /// Runs the accept loop until a [`ShutdownHandle`] fires or SIGINT
+    /// arrives (after [`Self::install_sigint_handler`]), then drains
+    /// in-flight connections, persists the cache file tier, and reports.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] from persisting the cache; accept errors on
+    /// individual connections are absorbed, not fatal.
+    pub fn run(self) -> Result<ServerReport, ServerError> {
+        while !self.should_stop() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.dispatch(stream),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => {
+                    // Transient accept failure (e.g. EMFILE); back off
+                    // rather than spinning or dying.
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+
+        // Drain: connection threads are detached, so wait on the counter.
+        let deadline = Instant::now() + self.drain_timeout;
+        while self.active.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        let persisted = match &self.cache_file {
+            Some(path) => {
+                self.state.cache.persist().map_err(ServerError::Io)?;
+                Some(path.clone())
+            }
+            None => None,
+        };
+        Ok(ServerReport {
+            requests: self.state.metrics.total_requests(),
+            connections: self.state.metrics.connections(),
+            cache: self.state.cache.stats(),
+            persisted,
+        })
+    }
+
+    fn should_stop(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || SIGINT_FLAG.load(Ordering::SeqCst)
+    }
+
+    /// Hands an accepted stream to a connection thread, or turns it away
+    /// with 503 at the connection limit.
+    fn dispatch(&self, mut stream: TcpStream) {
+        // The listener is non-blocking for the shutdown poll; on BSD-family
+        // platforms accepted sockets inherit that flag (Linux clears it),
+        // which would turn every slow read into a spurious WouldBlock and
+        // defeat set_read_timeout. Make the stream explicitly blocking.
+        let _ = stream.set_nonblocking(false);
+        if self.active.load(Ordering::SeqCst) >= self.max_connections {
+            self.state.metrics.connection_rejected();
+            let body = error_body("server at connection limit, retry later");
+            let _ = http::write_all(
+                &mut stream,
+                &http::render_response(503, "application/json", body.as_bytes()),
+            );
+            return;
+        }
+        self.state.metrics.connection_opened();
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let active = Arc::clone(&self.active);
+        std::thread::spawn(move || {
+            // Decrement on every exit path, panics included, so shutdown's
+            // drain loop cannot hang on a crashed connection.
+            struct Release(Arc<AtomicUsize>);
+            impl Drop for Release {
+                fn drop(&mut self) {
+                    self.0.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            let _release = Release(active);
+            serve_connection(&state, stream);
+        });
+    }
+}
+
+/// Serves one request on `stream` and closes it (`Connection: close`).
+fn serve_connection(state: &AppState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let request = match http::read_request(&mut stream) {
+        Ok(Some(request)) => request,
+        Ok(None) => return, // peer closed without sending anything
+        Err(e) => {
+            let status = match e {
+                HttpError::Malformed(_) => 400,
+                HttpError::TooLarge(_) => 413,
+                HttpError::Unsupported(_) => 501,
+                HttpError::Timeout => 408,
+                HttpError::Io(_) => return, // connection already gone
+            };
+            let body = error_body(&e.to_string());
+            let _ = http::write_all(
+                &mut stream,
+                &http::render_response(status, "application/json", body.as_bytes()),
+            );
+            return;
+        }
+    };
+
+    let endpoint = Endpoint::of_path(&request.path);
+    let started = Instant::now();
+    let in_flight = state.metrics.begin_request();
+    // A handler panic (a compiler bug on some exotic input) must cost one
+    // request, not the whole server.
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_request(state, &request)
+    }));
+    drop(in_flight);
+    let (status, content_type, body) = outcome.unwrap_or_else(|_| {
+        (
+            500,
+            "application/json",
+            error_body("internal error: handler panicked"),
+        )
+    });
+    state.metrics.record(endpoint, status, started.elapsed());
+    let _ = http::write_all(
+        &mut stream,
+        &http::render_response(status, content_type, body.as_bytes()),
+    );
+}
+
+fn error_body(message: &str) -> String {
+    Value::Obj(vec![("error".into(), Value::Str(message.into()))]).render()
+}
+
+type HandlerResult = (u16, &'static str, String);
+
+/// Routes one parsed request to its endpoint.
+fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/compile") => handle_compile(state, request),
+        ("POST", "/v1/batch") => handle_batch(state, request),
+        ("POST", "/v1/sweep") => handle_sweep(state, request),
+        ("GET", "/v1/cache/stats") => handle_cache_stats(state),
+        ("GET", "/healthz") => handle_healthz(state),
+        ("GET", "/metrics") => (
+            200,
+            "text/plain; version=0.0.4",
+            state
+                .metrics
+                .render_prometheus(&state.cache.stats(), state.started.elapsed()),
+        ),
+        (
+            _,
+            "/v1/compile" | "/v1/batch" | "/v1/sweep" | "/v1/cache/stats" | "/healthz" | "/metrics",
+        ) => (
+            405,
+            "application/json",
+            error_body(&format!("method {} not allowed here", request.method)),
+        ),
+        (_, path) => (
+            404,
+            "application/json",
+            error_body(&format!("no such endpoint {path:?}")),
+        ),
+    }
+}
+
+/// The compile closure every job endpoint shares.
+fn compile_metrics(
+    circuit: &ftqc_circuit::Circuit,
+    options: &CompilerOptions,
+) -> Result<Metrics, String> {
+    Compiler::new(options.clone())
+        .compile(circuit)
+        .map(|program| *program.metrics())
+        .map_err(|e| e.to_string())
+}
+
+/// Counts finished jobs into the `ftqc_jobs_*` metrics — the single
+/// accounting recipe for every job-producing endpoint.
+fn record_job_outcomes(state: &AppState, results: &[JobResult<Metrics>]) {
+    let ok = results.iter().filter(|r| r.is_ok()).count() as u64;
+    state.metrics.record_jobs(ok, results.len() as u64 - ok);
+}
+
+fn run_jobs(state: &AppState, jobs: Vec<CompileJob<CompilerOptions>>) -> Vec<JobResult<Metrics>> {
+    let results = state
+        .service
+        .run(jobs, resolve_source_remote, compile_metrics);
+    record_job_outcomes(state, &results);
+    results
+}
+
+/// `POST /v1/compile`: one JSON job object in, one JSON result out. A job
+/// that fails to *compile* is still HTTP 200 — the failure is in the
+/// result's `status`; only an unparseable request is a 400.
+fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
+    let parsed = request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(|text| Value::parse(text).map_err(|e| e.to_string()))
+        .and_then(|doc| {
+            job_from_value::<CompilerOptions>(&doc, "job-1").map_err(|e| e.to_string())
+        });
+    match parsed {
+        Err(e) => (400, "application/json", error_body(&e)),
+        Ok(job) => {
+            let results = run_jobs(state, vec![job]);
+            let result = results.into_iter().next().expect("one job, one result");
+            (200, "application/json", result.to_json().render())
+        }
+    }
+}
+
+/// `POST /v1/batch`: a JSONL body fanned through the worker pool, JSONL
+/// results in submission order. Malformed lines cost only themselves: each
+/// yields an error result naming its line number.
+fn handle_batch(state: &AppState, request: &Request) -> HandlerResult {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => return (400, "application/json", error_body(&e.to_string())),
+    };
+    let results = state.service.run_jsonl::<CompilerOptions, _, _>(
+        body,
+        resolve_source_remote,
+        compile_metrics,
+    );
+    if results.is_empty() {
+        return (
+            400,
+            "application/json",
+            error_body("batch contains no jobs"),
+        );
+    }
+    record_job_outcomes(state, &results);
+    (200, "application/jsonl", render_results(&results))
+}
+
+/// `POST /v1/sweep`: an options grid in, design points (optionally reduced
+/// to the Pareto front) out, memoised in the shared cache.
+fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
+    let parsed = request
+        .body_str()
+        .map_err(|e| e.to_string())
+        .and_then(|text| Value::parse(text).map_err(|e| e.to_string()))
+        .and_then(|doc| {
+            use ftqc_service::json::FromJson as _;
+            SweepRequest::from_json(&doc).map_err(|e| e.to_string())
+        });
+    let req = match parsed {
+        Ok(req) => req,
+        Err(e) => return (400, "application/json", error_body(&e)),
+    };
+    let circuit = match resolve_source_remote(&req.source) {
+        Ok(c) => c,
+        Err(e) => return (400, "application/json", error_body(&e)),
+    };
+    match explore_parallel_with(
+        &circuit,
+        &req.routing_paths,
+        &req.factories,
+        &req.options,
+        state.workers,
+        &state.cache,
+    ) {
+        Err(e) => (500, "application/json", error_body(&e.to_string())),
+        Ok(points) => {
+            let points = if req.pareto {
+                pareto_front(&points)
+            } else {
+                points
+            };
+            let response = SweepResponse {
+                points,
+                cache: state.cache.stats(),
+                workers: state.workers as u64,
+            };
+            (200, "application/json", response.to_json().render())
+        }
+    }
+}
+
+/// `GET /v1/cache/stats`: the shared cache's counters plus the memory
+/// tier's current entry count.
+fn handle_cache_stats(state: &AppState) -> HandlerResult {
+    let mut doc = match state.cache.stats().to_json() {
+        Value::Obj(fields) => fields,
+        _ => unreachable!("CacheStats renders as an object"),
+    };
+    doc.push(("entries".into(), Value::Num(state.cache.len() as f64)));
+    (200, "application/json", Value::Obj(doc).render())
+}
+
+/// `GET /healthz`: liveness plus a little context.
+fn handle_healthz(state: &AppState) -> HandlerResult {
+    let doc = Value::Obj(vec![
+        ("status".into(), Value::Str("ok".into())),
+        (
+            "uptime_seconds".into(),
+            Value::Num(state.started.elapsed().as_secs() as f64),
+        ),
+        (
+            "in_flight".into(),
+            Value::Num(state.metrics.in_flight() as f64),
+        ),
+        ("workers".into(), Value::Num(state.workers as f64)),
+    ]);
+    (200, "application/json", doc.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_state(workers: usize) -> AppState {
+        let cache = SharedCache::in_memory(64);
+        AppState {
+            service: BatchService::with_cache(workers, cache.clone()),
+            cache,
+            metrics: ServerMetrics::new(),
+            workers,
+            started: Instant::now(),
+            read_timeout: Duration::from_secs(5),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn compile_endpoint_roundtrips_a_job() {
+        let state = test_state(2);
+        let (status, _ct, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"id":"a","source":{"benchmark":"ising","size":2},"options":{"routing_paths":4}}"#,
+            ),
+        );
+        assert_eq!(status, 200, "got {body}");
+        let doc = Value::parse(&body).unwrap();
+        assert_eq!(doc.get("id").and_then(Value::as_str), Some("a"));
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(doc.get("cache").and_then(Value::as_str), Some("computed"));
+
+        // Same job again: served from the shared cache.
+        let (_s, _ct, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"id":"a","source":{"benchmark":"ising","size":2},"options":{"routing_paths":4}}"#,
+            ),
+        );
+        let doc = Value::parse(&body).unwrap();
+        assert_eq!(doc.get("cache").and_then(Value::as_str), Some("memory"));
+    }
+
+    #[test]
+    fn compile_endpoint_rejects_garbage() {
+        let state = test_state(1);
+        let (status, _, _) = handle_request(&state, &post("/v1/compile", "{oops"));
+        assert_eq!(status, 400);
+        let (status, _, _) = handle_request(&state, &post("/v1/compile", r#"{"source":{}}"#));
+        assert_eq!(status, 400);
+        // An unresolvable benchmark is a job-level failure, not an HTTP one.
+        let (status, _, body) = handle_request(
+            &state,
+            &post("/v1/compile", r#"{"source":{"benchmark":"nope"}}"#),
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("failed"), "got {body}");
+    }
+
+    #[test]
+    fn batch_endpoint_is_line_resilient() {
+        let state = test_state(2);
+        let jsonl = concat!(
+            "{\"id\":\"good\",\"source\":{\"benchmark\":\"ising\",\"size\":2}}\n",
+            "{oops}\n",
+            "{\"id\":\"also-good\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":3}}\n",
+        );
+        let (status, ct, body) = handle_request(&state, &post("/v1/batch", jsonl));
+        assert_eq!(status, 200);
+        assert_eq!(ct, "application/jsonl");
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "got {body}");
+        assert!(lines[0].contains("\"id\":\"good\""));
+        assert!(lines[0].contains("\"status\":\"ok\""));
+        assert!(lines[1].contains("\"id\":\"line-2\""));
+        assert!(lines[1].contains("line 2"));
+        assert!(lines[2].contains("\"id\":\"also-good\""));
+
+        let (status, _, _) = handle_request(&state, &post("/v1/batch", "# nothing\n"));
+        assert_eq!(status, 400, "an empty batch is a client error");
+    }
+
+    #[test]
+    fn sweep_endpoint_matches_local_explore() {
+        let state = test_state(2);
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/sweep",
+                r#"{"source":{"benchmark":"ising","size":2},"routing_paths":[2,3],"factories":[1]}"#,
+            ),
+        );
+        assert_eq!(status, 200, "got {body}");
+        use ftqc_service::json::FromJson as _;
+        let resp = SweepResponse::from_json(&Value::parse(&body).unwrap()).unwrap();
+        assert_eq!(resp.points.len(), 2);
+        let circuit = resolve_source_remote(&ftqc_service::CircuitSource::Benchmark {
+            name: "ising".into(),
+            size: Some(2),
+        })
+        .unwrap();
+        let local =
+            ftqc_compiler::explore(&circuit, &[2, 3], &[1], &CompilerOptions::default()).unwrap();
+        assert_eq!(resp.points, local, "served sweep must equal local explore");
+
+        let (status, _, _) = handle_request(
+            &state,
+            &post("/v1/sweep", r#"{"source":{"benchmark":"nope"}}"#),
+        );
+        assert_eq!(status, 400, "unresolvable source is a client error");
+    }
+
+    #[test]
+    fn observability_endpoints() {
+        let state = test_state(1);
+        let (status, _, body) = handle_request(&state, &get("/healthz"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""));
+
+        let (status, _, body) = handle_request(&state, &get("/v1/cache/stats"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"hits\":0"));
+        assert!(body.contains("\"entries\":0"));
+
+        state
+            .metrics
+            .record(Endpoint::Healthz, 200, Duration::from_micros(5));
+        let (status, ct, body) = handle_request(&state, &get("/metrics"));
+        assert_eq!(status, 200);
+        assert!(ct.starts_with("text/plain"));
+        assert!(body.contains("ftqc_http_requests_total{endpoint=\"healthz\"} 1"));
+    }
+
+    #[test]
+    fn unknown_paths_and_methods() {
+        let state = test_state(1);
+        let (status, _, _) = handle_request(&state, &get("/nope"));
+        assert_eq!(status, 404);
+        let (status, _, _) = handle_request(&state, &get("/v1/compile"));
+        assert_eq!(status, 405);
+        let (status, _, _) = handle_request(&state, &post("/metrics", ""));
+        assert_eq!(status, 405);
+    }
+}

@@ -71,6 +71,19 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         })
     }
 
+    /// A service over a caller-owned shared cache (0 workers ⇒ all cores):
+    /// how a long-lived process (e.g. the HTTP server) points several
+    /// request paths at one process-wide cache so concurrent clients warm
+    /// each other.
+    pub fn with_cache(workers: usize, cache: SharedCache<M>) -> Self {
+        let pool = if workers == 0 {
+            WorkerPool::auto()
+        } else {
+            WorkerPool::new(workers)
+        };
+        BatchService { pool, cache }
+    }
+
     /// Runs a batch: `resolve` turns each job's source into a circuit,
     /// `compile` produces metrics on cache misses. Results come back in
     /// submission order with cache provenance and per-job timing.
@@ -137,6 +150,42 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         })
     }
 
+    /// Runs a JSONL batch leniently: every well-formed line compiles as
+    /// usual, and a malformed line yields an error result naming its line
+    /// number ([`JobResult::malformed_line`]) instead of aborting the
+    /// batch. Results come back in line order. An empty vector means the
+    /// input had no jobs at all.
+    pub fn run_jsonl<O, R, C>(&self, jsonl: &str, resolve: R, compile: C) -> Vec<JobResult<M>>
+    where
+        O: FromJson + ToJson + Send,
+        R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
+        C: Fn(&Circuit, &O) -> Result<M, String> + Sync,
+    {
+        let lines = crate::job::parse_jobs_lenient::<O>(jsonl);
+        let mut slots: Vec<Option<JobResult<M>>> = Vec::with_capacity(lines.len());
+        let mut jobs = Vec::new();
+        let mut job_slots = Vec::new();
+        for line in lines {
+            match line {
+                crate::job::ParsedLine::Job { job, .. } => {
+                    job_slots.push(slots.len());
+                    slots.push(None);
+                    jobs.push(job);
+                }
+                crate::job::ParsedLine::Malformed { lineno, error } => {
+                    slots.push(Some(JobResult::malformed_line(lineno, &error)));
+                }
+            }
+        }
+        for (slot, result) in job_slots.into_iter().zip(self.run(jobs, resolve, compile)) {
+            slots[slot] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every line produced a result"))
+            .collect()
+    }
+
     /// Cache counters accumulated across every batch this service ran.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -180,6 +229,14 @@ mod tests {
     impl ToJson for Opts {
         fn to_json(&self) -> Value {
             Value::Obj(vec![("cost".to_string(), Value::Num(self.cost as f64))])
+        }
+    }
+
+    impl FromJson for Opts {
+        fn from_json(value: &Value) -> Result<Self, JsonError> {
+            Ok(Opts {
+                cost: value.get("cost").and_then(Value::as_u64).unwrap_or(1),
+            })
         }
     }
 
@@ -304,6 +361,38 @@ mod tests {
         let stats = svc.cache_stats();
         assert_eq!(stats.misses, 3);
         assert_eq!(stats.hits, 3);
+    }
+
+    #[test]
+    fn jsonl_batches_survive_malformed_lines() {
+        let svc = service();
+        let compile = |c: &Circuit, o: &Opts| {
+            Ok(Out {
+                gates_times_cost: c.len() as u64 * o.cost,
+            })
+        };
+        let jsonl = concat!(
+            "{\"id\":\"a\",\"source\":{\"qasm\":\"4\"},\"options\":{\"cost\":2}}\n",
+            "{nope}\n",
+            "# comment\n",
+            "{\"source\":{\"qasm\":\"3\"}}\n",
+        );
+        let results = svc.run_jsonl::<Opts, _, _>(jsonl, resolver, compile);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert_eq!(
+            results[0].metrics,
+            Some(Out {
+                gates_times_cost: 8
+            })
+        );
+        assert_eq!(results[1].id, "line-2");
+        assert!(matches!(&results[1].status, JobStatus::Failed(e) if e.starts_with("line 2: ")));
+        assert_eq!(results[2].id, "job-4", "default id names the source line");
+        assert!(results[2].is_ok());
+        assert!(svc
+            .run_jsonl::<Opts, _, _>("# nothing here\n", resolver, compile)
+            .is_empty());
     }
 
     #[test]

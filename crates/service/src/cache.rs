@@ -65,6 +65,32 @@ impl CacheStats {
     }
 }
 
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("hits".into(), Value::Num(self.hits as f64)),
+            ("file_hits".into(), Value::Num(self.file_hits as f64)),
+            ("misses".into(), Value::Num(self.misses as f64)),
+            ("insertions".into(), Value::Num(self.insertions as f64)),
+            ("evictions".into(), Value::Num(self.evictions as f64)),
+            // Derived, carried for human consumers; FromJson ignores it.
+            ("hit_rate".into(), Value::Num(self.hit_rate())),
+        ])
+    }
+}
+
+impl FromJson for CacheStats {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(CacheStats {
+            hits: crate::json::require_u64(value, "hits")?,
+            file_hits: crate::json::require_u64(value, "file_hits")?,
+            misses: crate::json::require_u64(value, "misses")?,
+            insertions: crate::json::require_u64(value, "insertions")?,
+            evictions: crate::json::require_u64(value, "evictions")?,
+        })
+    }
+}
+
 /// A bounded LRU cache from fingerprint to compile result, with an optional
 /// file tier.
 #[derive(Debug)]

@@ -200,6 +200,20 @@ impl<M> JobResult<M> {
     pub fn is_ok(&self) -> bool {
         self.status == JobStatus::Ok
     }
+
+    /// The error result standing in for a JSONL line that failed to parse:
+    /// the id names the source line so the caller can find the culprit, and
+    /// the status carries the line number plus the parse error.
+    pub fn malformed_line(lineno: usize, error: &JsonError) -> Self {
+        JobResult {
+            id: format!("line-{lineno}"),
+            fingerprint: 0,
+            status: JobStatus::Failed(format!("line {lineno}: {error}")),
+            metrics: None,
+            provenance: CacheProvenance::Computed,
+            micros: 0,
+        }
+    }
 }
 
 impl<M: ToJson> ToJson for JobResult<M> {
@@ -263,6 +277,35 @@ impl<M: FromJson> FromJson for JobResult<M> {
     }
 }
 
+/// Decodes one job object: `"id"` defaults to `default_id`, a missing
+/// `"options"` decodes `O` from an empty object (option types default
+/// missing fields). This is the single decoding recipe shared by the JSONL
+/// batch parsers and the HTTP server's `POST /v1/compile` body.
+///
+/// # Errors
+///
+/// Returns a schema error when the object has the wrong shape.
+pub fn job_from_value<O: FromJson>(
+    doc: &Value,
+    default_id: impl Into<String>,
+) -> Result<CompileJob<O>, JsonError> {
+    let id = match doc.get("id") {
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| JsonError::schema("\"id\" must be a string"))?
+            .to_string(),
+        None => default_id.into(),
+    };
+    let source = CircuitSource::from_json(json::require(doc, "source")?)?;
+    let empty = Value::Obj(Vec::new());
+    let options = O::from_json(doc.get("options").unwrap_or(&empty))?;
+    Ok(CompileJob {
+        id,
+        source,
+        options,
+    })
+}
+
 /// Parses a JSON-lines batch: one job object per non-blank line, `#` lines
 /// are comments. A missing `"id"` defaults to `job-<line number>` (1-based,
 /// counting blank/comment lines, so the name points at the actual line); a
@@ -274,32 +317,57 @@ impl<M: FromJson> FromJson for JobResult<M> {
 ///
 /// Returns the first syntax or schema error, tagged with its line number.
 pub fn parse_jobs<O: FromJson>(jsonl: &str) -> Result<Vec<CompileJob<O>>, JsonError> {
-    let mut jobs = Vec::new();
-    for (lineno, line) in jsonl.lines().enumerate() {
+    parse_jobs_lenient(jsonl)
+        .into_iter()
+        .map(|line| match line {
+            ParsedLine::Job { job, .. } => Ok(job),
+            ParsedLine::Malformed { lineno, error } => {
+                Err(JsonError::schema(format!("line {lineno}: {error}")))
+            }
+        })
+        .collect()
+}
+
+/// One line of a leniently parsed JSONL batch: either a decoded job or the
+/// error that line produced, both tagged with the 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedLine<O> {
+    /// The line decoded to a job.
+    Job {
+        /// 1-based source line.
+        lineno: usize,
+        /// The decoded job.
+        job: CompileJob<O>,
+    },
+    /// The line was syntactically or structurally broken.
+    Malformed {
+        /// 1-based source line.
+        lineno: usize,
+        /// What was wrong with it.
+        error: JsonError,
+    },
+}
+
+/// [`parse_jobs`] without the fail-fast: every non-blank, non-comment line
+/// yields a [`ParsedLine`], so one malformed line costs only that line
+/// rather than the whole batch. Callers turn `Malformed` lines into error
+/// results ([`JobResult::malformed_line`]) and keep going.
+pub fn parse_jobs_lenient<O: FromJson>(jsonl: &str) -> Vec<ParsedLine<O>> {
+    let mut lines = Vec::new();
+    for (index, line) in jsonl.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let tag = |e: JsonError| JsonError::schema(format!("line {}: {e}", lineno + 1));
-        let doc = Value::parse(line).map_err(tag)?;
-        let id = match doc.get("id") {
-            Some(v) => v
-                .as_str()
-                .ok_or_else(|| tag(JsonError::schema("\"id\" must be a string")))?
-                .to_string(),
-            None => format!("job-{}", lineno + 1),
-        };
-        let source =
-            CircuitSource::from_json(json::require(&doc, "source").map_err(tag)?).map_err(tag)?;
-        let empty = Value::Obj(Vec::new());
-        let options = O::from_json(doc.get("options").unwrap_or(&empty)).map_err(tag)?;
-        jobs.push(CompileJob {
-            id,
-            source,
-            options,
+        let lineno = index + 1;
+        let parsed =
+            Value::parse(line).and_then(|doc| job_from_value(&doc, format!("job-{lineno}")));
+        lines.push(match parsed {
+            Ok(job) => ParsedLine::Job { lineno, job },
+            Err(error) => ParsedLine::Malformed { lineno, error },
         });
     }
-    Ok(jobs)
+    lines
 }
 
 /// Renders results as JSON-lines, one result per line, in order.
@@ -365,6 +433,35 @@ mod tests {
         assert!(err.message.contains("line 2"), "got {err}");
         let err = parse_jobs::<Opts>("{oops}").unwrap_err();
         assert!(err.message.contains("line 1"), "got {err}");
+    }
+
+    #[test]
+    fn lenient_parse_isolates_bad_lines() {
+        let jsonl = concat!(
+            "{\"id\":\"good\",\"source\":{\"benchmark\":\"ising\"}}\n",
+            "{oops}\n",
+            "# comment\n",
+            "{\"source\":{}}\n",
+            "{\"id\":\"tail\",\"source\":{\"qasm\":\"OPENQASM 2.0;\"}}\n",
+        );
+        let lines: Vec<ParsedLine<Opts>> = parse_jobs_lenient(jsonl);
+        assert_eq!(lines.len(), 4, "comment line dropped, bad lines kept");
+        assert!(matches!(&lines[0], ParsedLine::Job { lineno: 1, job } if job.id == "good"));
+        assert!(matches!(&lines[1], ParsedLine::Malformed { lineno: 2, .. }));
+        assert!(matches!(&lines[2], ParsedLine::Malformed { lineno: 4, .. }));
+        assert!(matches!(&lines[3], ParsedLine::Job { lineno: 5, job } if job.id == "tail"));
+
+        // Malformed lines convert to failure results naming the line.
+        if let ParsedLine::Malformed { lineno, error } = &lines[1] {
+            let r: JobResult<Opts> = JobResult::malformed_line(*lineno, error);
+            assert_eq!(r.id, "line-2");
+            assert!(!r.is_ok());
+            assert!(matches!(&r.status, JobStatus::Failed(e) if e.starts_with("line 2: ")));
+        }
+
+        // The strict parser reports the first bad line and fails the batch.
+        let err = parse_jobs::<Opts>(jsonl).unwrap_err();
+        assert!(err.message.contains("line 2"), "got {err}");
     }
 
     #[test]

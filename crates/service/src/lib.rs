@@ -78,6 +78,7 @@ pub mod fingerprint;
 pub mod job;
 pub mod json;
 pub mod pool;
+pub mod resolve;
 
 pub use batch::{BatchConfig, BatchService};
 pub use cache::{
@@ -85,7 +86,8 @@ pub use cache::{
 };
 pub use fingerprint::{combine, fingerprint_circuit, fingerprint_value, Fnv64};
 pub use job::{
-    parse_jobs, render_results, CacheProvenance, CircuitSource, CompileJob, JobResult, JobStatus,
+    job_from_value, parse_jobs, parse_jobs_lenient, render_results, CacheProvenance, CircuitSource,
+    CompileJob, JobResult, JobStatus, ParsedLine,
 };
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use pool::WorkerPool;

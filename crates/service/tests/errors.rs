@@ -1,0 +1,157 @@
+//! Error-path coverage for `ftqc_service::json` (truncated input, bad
+//! surrogate pairs, depth-limit overflow) and for worker-pool panic
+//! propagation under concurrent submitters.
+
+use ftqc_service::json::{JsonError, Value};
+use ftqc_service::WorkerPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn truncated_documents_error_instead_of_hanging() {
+    // Every prefix of a valid document must fail cleanly — no panic, no
+    // accepted value.
+    let full = r#"{"id":"a","xs":[1,2,{"y":"z\u00e9"}],"ok":true}"#;
+    for cut in 1..full.len() {
+        let prefix = &full[..cut];
+        if prefix.is_char_boundary(cut) && Value::parse(prefix).is_ok() {
+            panic!("prefix {prefix:?} parsed despite truncation");
+        }
+    }
+    // Truncation inside every escape form.
+    for text in [
+        "\"abc",
+        "\"a\\",
+        "\"a\\u",
+        "\"a\\u0",
+        "\"a\\u00",
+        "\"a\\u004",
+        "[1,",
+        "{\"a\":",
+        "{\"a\"",
+        "tru",
+        "fals",
+        "nul",
+        "-",
+    ] {
+        let err = Value::parse(text).unwrap_err();
+        assert!(
+            err.offset >= 1,
+            "{text:?} should carry an offset, got {err}"
+        );
+    }
+}
+
+#[test]
+fn surrogate_pair_abuse_is_rejected() {
+    // Lone high, lone low, high+non-low, high+garbage, high+truncated-low.
+    for text in [
+        "\"\\ud800\"",
+        "\"\\udfff\"",
+        "\"\\ud83d\\u0041\"",
+        "\"\\ud83dxx\"",
+        "\"\\ud83d\\ud83d\"",
+        "\"\\ud83d\\ude\"",
+    ] {
+        assert!(Value::parse(text).is_err(), "accepted {text:?}");
+    }
+    // And the well-formed pair still works right next to the broken ones.
+    assert_eq!(
+        Value::parse("\"\\ud83d\\ude00\"").unwrap().as_str(),
+        Some("😀")
+    );
+}
+
+#[test]
+fn depth_limit_is_exact_and_symmetric() {
+    let nested = |n: usize| "[".repeat(n) + &"]".repeat(n);
+    assert!(Value::parse(&nested(128)).is_ok(), "128 levels fit");
+    let err = Value::parse(&nested(129)).unwrap_err();
+    assert!(err.message.contains("nesting"), "got {err}");
+    // Objects hit the same limit.
+    let deep_obj = "{\"a\":".repeat(129) + "1" + &"}".repeat(129);
+    assert!(Value::parse(&deep_obj).is_err());
+    // And the writer round-trips the deepest accepted value.
+    let v = Value::parse(&nested(128)).unwrap();
+    assert_eq!(Value::parse(&v.render()).unwrap(), v);
+}
+
+#[test]
+fn schema_helpers_name_the_field() {
+    let doc = Value::parse(r#"{"n":"not a number"}"#).unwrap();
+    let err = ftqc_service::json::require_u64(&doc, "n").unwrap_err();
+    assert!(err.message.contains("\"n\""), "got {err}");
+    let err = ftqc_service::json::require(&doc, "missing").unwrap_err();
+    assert!(err.message.contains("missing"), "got {err}");
+    assert_eq!(err, JsonError::schema("missing field \"missing\""));
+}
+
+#[test]
+fn pool_panics_propagate_to_each_concurrent_submitter() {
+    // Four submitters share one pool value; the two whose job lists
+    // contain a poisoned job must each observe *their own* panic message,
+    // and the clean submitters must be unaffected.
+    let pool = WorkerPool::new(3);
+    let completed = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for submitter in 0..4usize {
+            let completed = &completed;
+            handles.push((
+                submitter,
+                scope.spawn(move || {
+                    std::panic::catch_unwind(|| {
+                        pool.run((0..16u32).collect::<Vec<_>>(), move |j| {
+                            // Submitters 1 and 3 poison job 7.
+                            assert!(
+                                !(submitter % 2 == 1 && j == 7),
+                                "submitter {submitter} poisoned job {j}"
+                            );
+                            j * 2
+                        })
+                    })
+                    .inspect(|_results| {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    })
+                }),
+            ));
+        }
+        for (submitter, handle) in handles {
+            let outcome = handle.join().expect("submitter thread itself must not die");
+            if submitter % 2 == 1 {
+                let payload = outcome.expect_err("poisoned batch must panic");
+                let message = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_default();
+                assert!(
+                    message.contains(&format!("submitter {submitter} poisoned job 7")),
+                    "submitter {submitter} must see its own panic, got {message:?}"
+                );
+            } else {
+                let results = outcome.expect("clean batch must complete");
+                assert_eq!(results, (0..16u32).map(|j| j * 2).collect::<Vec<_>>());
+            }
+        }
+    });
+    assert_eq!(
+        completed.load(Ordering::SeqCst),
+        2,
+        "both clean batches ran"
+    );
+}
+
+#[test]
+fn pool_survives_panics_in_back_to_back_batches() {
+    // A pool value is reusable after a panicking run: the next run sees a
+    // fresh set of scoped workers.
+    let pool = WorkerPool::new(2);
+    let boom = std::panic::catch_unwind(|| {
+        pool.run(vec![1u32, 2, 3], |j| {
+            assert!(j != 2, "boom on {j}");
+            j
+        })
+    });
+    assert!(boom.is_err());
+    assert_eq!(pool.run(vec![1u32, 2, 3], |j| j + 1), vec![2, 3, 4]);
+}

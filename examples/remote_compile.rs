@@ -1,0 +1,122 @@
+//! Remote compilation walkthrough: start the HTTP compile server
+//! in-process on an ephemeral port, drive every endpoint through the
+//! blocking client API, and shut it down gracefully.
+//!
+//! In production the server side of this example is simply
+//! `ftqc serve --addr 0.0.0.0:7070 --cache compile-cache.json`; the client
+//! half works unchanged against any address.
+//!
+//! Run with: `cargo run --release --example remote_compile`
+
+use ftqc::compiler::CompilerOptions;
+use ftqc::server::{Client, Server, ServerConfig, SweepRequest};
+use ftqc::service::{CircuitSource, CompileJob};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A server on an ephemeral loopback port. `ftqc serve` does exactly
+    //    this with a fixed address and a SIGINT hook.
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })?;
+    let addr = server.local_addr()?;
+    let handle = server.handle()?;
+    let server_thread = std::thread::spawn(move || server.run());
+    println!("server listening on {addr}");
+
+    let client = Client::new(addr.to_string());
+
+    // 2. One compile job: a built-in benchmark at r=4. The result carries
+    //    metrics, the content-addressed fingerprint, and cache provenance.
+    let job = CompileJob {
+        id: "ising-r4".to_string(),
+        source: CircuitSource::Benchmark {
+            name: "ising".into(),
+            size: Some(4),
+        },
+        options: CompilerOptions::default().routing_paths(4),
+    };
+    let first = client.compile(&job)?;
+    println!(
+        "first compile : {} in {} µs ({})",
+        first.id,
+        first.micros,
+        first.provenance.as_str()
+    );
+
+    // 3. The same job again: the server's shared cache answers without
+    //    recompiling — that is the point of a long-lived daemon.
+    let again = client.compile(&job)?;
+    println!(
+        "second compile: {} in {} µs ({})",
+        again.id,
+        again.micros,
+        again.provenance.as_str()
+    );
+    assert!(
+        again.provenance.is_hit(),
+        "repeat must be served from cache"
+    );
+    assert_eq!(again.metrics, first.metrics);
+
+    // 4. A JSONL batch — a malformed line fails alone, not the batch.
+    let results = client.batch(concat!(
+        "{\"id\":\"r3\",\"source\":{\"benchmark\":\"ising\",\"size\":4},\"options\":{\"routing_paths\":3}}\n",
+        "{this line is broken}\n",
+        "{\"id\":\"r5\",\"source\":{\"benchmark\":\"ising\",\"size\":4},\"options\":{\"routing_paths\":5}}\n",
+    ))?;
+    for r in &results {
+        println!(
+            "batch result  : {:<8} ok={} ({})",
+            r.id,
+            r.is_ok(),
+            r.provenance.as_str()
+        );
+    }
+
+    // 5. A Pareto sweep over the (routing paths × factories) grid. Grid
+    //    points the compile/batch calls above already computed come out of
+    //    the shared cache.
+    let sweep = client.sweep(&SweepRequest {
+        pareto: true,
+        ..SweepRequest::new(CircuitSource::Benchmark {
+            name: "ising".into(),
+            size: Some(4),
+        })
+    })?;
+    println!("pareto front  : {} points", sweep.points.len());
+    for p in &sweep.points {
+        println!(
+            "                r={} f={} -> {} qubits, {:.1} d",
+            p.routing_paths,
+            p.factories,
+            p.qubits(),
+            p.time_d()
+        );
+    }
+
+    // 6. Observability: cache counters and the Prometheus exposition.
+    let stats = client.cache_stats()?;
+    println!(
+        "cache         : {} hits / {} lookups ({:.0}%)",
+        stats.hits,
+        stats.lookups(),
+        stats.hit_rate() * 100.0
+    );
+    let metrics = client.metrics_text()?;
+    let requests_line = metrics
+        .lines()
+        .find(|l| l.starts_with("ftqc_http_requests_total{endpoint=\"compile\"}"))
+        .unwrap_or("ftqc_http_requests_total{endpoint=\"compile\"} ?");
+    println!("prometheus    : {requests_line}");
+
+    // 7. Graceful shutdown: in-flight requests drain, the report sums up.
+    handle.shutdown();
+    let report = server_thread.join().expect("server thread")?;
+    println!(
+        "shut down     : {} requests over {} connections",
+        report.requests, report.connections
+    );
+    Ok(())
+}

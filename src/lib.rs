@@ -22,6 +22,11 @@
 //!   compile jobs, a deterministic worker pool, and a content-addressed
 //!   compile cache shared by `compiler::explore_parallel`, the sweep
 //!   binaries and the `ftqc batch` / `ftqc sweep --parallel` CLI.
+//! * [`server`] — the HTTP compile server over that service: JSON
+//!   endpoints for single compiles, JSONL batches, and design-space
+//!   sweeps, one process-wide compile cache shared by all clients,
+//!   Prometheus metrics, graceful shutdown, and a blocking client API
+//!   (`ftqc serve` / `ftqc client`).
 //!
 //! # Quickstart
 //!
@@ -42,5 +47,6 @@ pub use ftqc_benchmarks as benchmarks;
 pub use ftqc_circuit as circuit;
 pub use ftqc_compiler as compiler;
 pub use ftqc_route as route;
+pub use ftqc_server as server;
 pub use ftqc_service as service;
 pub use ftqc_sim as sim;

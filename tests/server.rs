@@ -1,0 +1,329 @@
+//! Loopback integration tests for the HTTP compile server (ISSUE 2
+//! acceptance criteria): N concurrent clients receive byte-identical
+//! results to serial `compile_cached` compilation, a repeat pass is served
+//! entirely from the shared cache, and `/metrics` counters match the
+//! request mix.
+
+use ftqc::compiler::{compile_cached, explore, pareto_front, CompilerOptions, Metrics};
+use ftqc::server::{Client, Server, ServerConfig, ShutdownHandle, SweepRequest};
+use ftqc::service::json::ToJson;
+use ftqc::service::{fingerprint, CircuitSource, CompileJob, JobResult, SharedCache};
+
+/// Starts a server on an ephemeral loopback port; returns the client
+/// address, the shutdown handle, and the join handle for the run thread.
+fn spawn_server(
+    config: ServerConfig,
+) -> (
+    String,
+    ShutdownHandle,
+    std::thread::JoinHandle<ftqc::server::ServerReport>,
+) {
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        ..config
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle().expect("shutdown handle");
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+/// The job grid: one circuit across eight (routing_paths, factories)
+/// configurations, ids "r<r>f<f>".
+fn grid_jobs() -> Vec<CompileJob<CompilerOptions>> {
+    let mut jobs = Vec::new();
+    for r in [2u32, 3, 4, 5] {
+        for f in [1u32, 2] {
+            jobs.push(CompileJob {
+                id: format!("r{r}f{f}"),
+                source: CircuitSource::Benchmark {
+                    name: "ising".into(),
+                    size: Some(2),
+                },
+                options: CompilerOptions::default().routing_paths(r).factories(f),
+            });
+        }
+    }
+    jobs
+}
+
+/// Serial reference results via `compile_cached` against a fresh cache —
+/// the ground truth the served responses must reproduce byte-for-byte.
+fn serial_reference(jobs: &[CompileJob<CompilerOptions>]) -> Vec<(u64, Metrics)> {
+    let circuit = ftqc::benchmarks::ising_2d(2);
+    let circuit_fp = fingerprint::fingerprint_circuit(&circuit);
+    let cache: SharedCache<Metrics> = SharedCache::in_memory(64);
+    jobs.iter()
+        .map(|job| {
+            let key = fingerprint::combine(
+                circuit_fp,
+                fingerprint::fingerprint_value(&job.options.to_json()),
+            );
+            let metrics = compile_cached(&circuit, circuit_fp, job.options.clone(), &cache)
+                .expect("serial compile");
+            (key, metrics)
+        })
+        .collect()
+}
+
+/// Fans `jobs` across `threads` concurrent clients; results come back in
+/// job order.
+fn compile_concurrently(
+    addr: &str,
+    jobs: &[CompileJob<CompilerOptions>],
+    threads: usize,
+) -> Vec<JobResult<Metrics>> {
+    let mut slots: Vec<Option<JobResult<Metrics>>> = jobs.iter().map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let chunks: Vec<_> = jobs.chunks(jobs.len().div_ceil(threads)).collect();
+        let mut offset = 0;
+        let mut handles = Vec::new();
+        for chunk in chunks {
+            let client = Client::new(addr.to_string());
+            handles.push((
+                offset,
+                scope.spawn(move || {
+                    chunk
+                        .iter()
+                        .map(|job| client.compile(job).expect("compile request"))
+                        .collect::<Vec<_>>()
+                }),
+            ));
+            offset += chunk.len();
+        }
+        for (offset, handle) in handles {
+            for (i, result) in handle
+                .join()
+                .expect("client thread")
+                .into_iter()
+                .enumerate()
+            {
+                slots[offset + i] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("all jobs ran"))
+        .collect()
+}
+
+#[test]
+fn concurrent_clients_match_serial_and_hit_cache_on_repeat() {
+    let dir = std::env::temp_dir().join("ftqc-server-int-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache_file = dir.join("server-cache.json");
+    let _ = std::fs::remove_file(&cache_file);
+
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        cache_file: Some(cache_file.clone()),
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr.clone());
+    let jobs = grid_jobs();
+    let reference = serial_reference(&jobs);
+
+    // First pass: 8 jobs across 4 concurrent clients, all computed fresh.
+    let first = compile_concurrently(&addr, &jobs, 4);
+    assert_eq!(first.len(), jobs.len());
+    for ((job, result), (key, metrics)) in jobs.iter().zip(&first).zip(&reference) {
+        assert_eq!(result.id, job.id);
+        assert!(result.is_ok(), "{} failed: {:?}", job.id, result.status);
+        assert_eq!(
+            result.fingerprint, *key,
+            "{}: served fingerprint must equal the local compile_cached key",
+            job.id
+        );
+        let served = result.metrics.as_ref().expect("ok result has metrics");
+        assert_eq!(
+            served.to_json().render(),
+            metrics.to_json().render(),
+            "{}: served metrics must be byte-identical to serial compile_cached",
+            job.id
+        );
+    }
+
+    // Repeat pass: the same mix from 4 fresh clients is 100% cache hits
+    // with identical payloads.
+    let second = compile_concurrently(&addr, &jobs, 4);
+    for (f, s) in first.iter().zip(&second) {
+        assert!(
+            s.provenance.is_hit(),
+            "{} repeat must be served from cache, got {:?}",
+            s.id,
+            s.provenance
+        );
+        assert_eq!(
+            s.metrics, f.metrics,
+            "{}: hit must reproduce the miss",
+            s.id
+        );
+        assert_eq!(s.fingerprint, f.fingerprint);
+    }
+    let stats = client.cache_stats().expect("cache stats");
+    assert_eq!(stats.misses, 8, "first pass compiled every job once");
+    assert_eq!(stats.hits, 8, "repeat pass was 100% cache hits");
+    assert_eq!(stats.insertions, 8);
+
+    // /metrics counters match the request mix: 16 compiles + the
+    // cache-stats probe above (the /metrics request itself is counted when
+    // it finishes, i.e. in the *next* scrape).
+    let health = client.healthz().expect("healthz");
+    assert_eq!(
+        health.get("status").and_then(ftqc::service::Value::as_str),
+        Some("ok")
+    );
+    let metrics_text = client.metrics_text().expect("metrics");
+    let expect = |line: &str| {
+        assert!(
+            metrics_text.lines().any(|l| l == line),
+            "missing {line:?} in:\n{metrics_text}"
+        );
+    };
+    expect("ftqc_http_requests_total{endpoint=\"compile\"} 16");
+    expect("ftqc_http_requests_total{endpoint=\"cache_stats\"} 1");
+    expect("ftqc_http_requests_total{endpoint=\"healthz\"} 1");
+    expect("ftqc_http_requests_total{endpoint=\"metrics\"} 0");
+    expect("ftqc_http_errors_total{endpoint=\"compile\"} 0");
+    // The scrape observes itself: it is the one request in flight.
+    expect("ftqc_http_in_flight 1");
+    expect("ftqc_cache_hits_total 8");
+    expect("ftqc_cache_misses_total 8");
+    expect("ftqc_jobs_ok_total 16");
+    expect("ftqc_jobs_failed_total 0");
+    // A second scrape sees the first one counted.
+    let metrics_text = client.metrics_text().expect("metrics again");
+    assert!(
+        metrics_text
+            .lines()
+            .any(|l| l == "ftqc_http_requests_total{endpoint=\"metrics\"} 1"),
+        "the previous /metrics request must now be counted:\n{metrics_text}"
+    );
+
+    // Graceful shutdown drains and persists the cache file tier.
+    handle.shutdown();
+    let report = thread.join().expect("server thread");
+    assert_eq!(
+        report.requests, 20,
+        "16 compiles + stats + healthz + 2 scrapes"
+    );
+    assert_eq!(report.cache.hits, 8);
+    assert_eq!(report.persisted.as_deref(), Some(cache_file.as_path()));
+    let persisted = std::fs::read_to_string(&cache_file).expect("persisted cache");
+    assert!(
+        persisted.contains(&fingerprint::to_hex(reference[0].0)),
+        "persisted cache must contain the first job's key"
+    );
+
+    // A fresh server over the same cache file answers from the file tier.
+    let (addr2, handle2, thread2) = spawn_server(ServerConfig {
+        workers: 2,
+        cache_file: Some(cache_file),
+        ..ServerConfig::default()
+    });
+    let warm = compile_concurrently(&addr2, &jobs[..1], 1);
+    assert!(
+        warm[0].provenance.is_hit(),
+        "restarted server must answer from the persisted tier, got {:?}",
+        warm[0].provenance
+    );
+    handle2.shutdown();
+    thread2.join().expect("second server thread");
+}
+
+#[test]
+fn batch_and_sweep_over_loopback() {
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr);
+
+    // Batch: malformed lines fail alone, good lines compile.
+    let results = client
+        .batch(concat!(
+            "{\"id\":\"a\",\"source\":{\"benchmark\":\"ising\",\"size\":2}}\n",
+            "{definitely not json}\n",
+            "{\"id\":\"b\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":3}}\n",
+        ))
+        .expect("batch request");
+    assert_eq!(results.len(), 3);
+    assert!(results[0].is_ok());
+    assert_eq!(results[1].id, "line-2");
+    assert!(!results[1].is_ok());
+    assert!(results[2].is_ok());
+
+    // Sweep: the served Pareto front equals the locally computed one.
+    let circuit = ftqc::benchmarks::ising_2d(2);
+    let request = SweepRequest {
+        source: CircuitSource::Benchmark {
+            name: "ising".into(),
+            size: Some(2),
+        },
+        routing_paths: vec![2, 3, 4],
+        factories: vec![1, 2],
+        options: CompilerOptions::default(),
+        pareto: true,
+    };
+    let response = client.sweep(&request).expect("sweep request");
+    let local =
+        explore(&circuit, &[2, 3, 4], &[1, 2], &CompilerOptions::default()).expect("local explore");
+    assert_eq!(
+        response.points,
+        pareto_front(&local),
+        "served Pareto front must equal the local one"
+    );
+    assert!(response.workers >= 1);
+    // The sweep shares the compile cache with the batch endpoint: batch
+    // already compiled (r=4,f=1)-defaults and (r=3,f=1), so the sweep's six
+    // grid points include hits.
+    assert!(
+        response.cache.hits >= 2,
+        "sweep must reuse batch-warmed cache entries, got {:?}",
+        response.cache
+    );
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn server_rejects_nonsense_gracefully() {
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr.clone());
+
+    // Unknown endpoint → 404; wrong method → 405; bad JSON → 400. All as
+    // typed status errors, with the connection (and server) surviving.
+    for (path, expected) in [("/nope", 404), ("/v1/compile", 405)] {
+        assert_eq!(client_get_error(&addr, path), expected, "{path}");
+    }
+    let err = client.batch("").expect_err("empty batch rejected");
+    assert!(matches!(
+        err,
+        ftqc::server::ClientError::Status { status: 400, .. }
+    ));
+    // The server is still healthy afterwards.
+    assert!(client.healthz().is_ok());
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+/// GETs `path` and returns the non-2xx status the server answered with.
+fn client_get_error(addr: &str, path: &str) -> u16 {
+    use std::io::Write as _;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nhost: x\r\n\r\n").as_bytes())
+        .expect("send");
+    let response = ftqc::server::http::read_response(&mut stream).expect("response");
+    response.status
+}
