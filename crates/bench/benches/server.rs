@@ -62,14 +62,14 @@ fn bench_http_round_trip(c: &mut Criterion) {
         fingerprint::fingerprint_value(&options.to_json()),
     );
 
-    let job = CompileJob {
-        id: "bench".to_string(),
-        source: CircuitSource::Benchmark {
+    let job = CompileJob::new(
+        "bench",
+        CircuitSource::Benchmark {
             name: "ising".into(),
             size: Some(2),
         },
-        options: options.clone(),
-    };
+        options.clone(),
+    );
     let request_wire = http::render_request(
         "POST",
         "/v1/compile",
@@ -93,6 +93,7 @@ fn bench_http_round_trip(c: &mut Criterion) {
         metrics: Some(hit.value),
         provenance: ftqc_service::CacheProvenance::MemoryHit,
         micros: 42,
+        stage: None,
     };
     group.bench_function("serialize_response", |b| {
         b.iter(|| {
@@ -142,6 +143,7 @@ fn bench_http_round_trip(c: &mut Criterion) {
                 metrics: Some(hit.value),
                 provenance: ftqc_service::CacheProvenance::MemoryHit,
                 micros: 0,
+                stage: None,
             };
             let body = result.to_json().render();
             let wire = http::render_response(200, "application/json", body.as_bytes());

@@ -57,6 +57,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "include-factories",
     "parallel",
     "json",
+    "explain",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -13,8 +13,9 @@ use ftqc_circuit::Circuit;
 use ftqc_compiler::estimate::{estimate_resources, EstimateRequest, Objective};
 use ftqc_compiler::svg::to_svg;
 use ftqc_compiler::{
-    check_semantics, explore, explore_parallel_with, pareto_front, to_csv, verify, Compiler,
-    CompilerOptions, DesignPoint, Metrics,
+    check_semantics, explore, explore_session, pareto_front, stage_outcome, to_csv, verify,
+    CompileSession, Compiler, CompilerOptions, DesignPoint, Metrics, Stage, StageCache,
+    StageCacheStats, StageEvent, StageTrace,
 };
 use ftqc_server::{Client, Server, ServerConfig, SweepResponse};
 use ftqc_service::json::ToJson;
@@ -123,6 +124,11 @@ COMMANDS
                        --optimize    peephole-optimise the circuit first
                        --mapping snake|row-major|interaction (default snake)
                        --no-lookahead / --no-redundant-elim / --unbounded-magic
+                       --stop-after prepare|lower|map|schedule
+                                     run the staged pipeline only that far and
+                                     print the per-stage fingerprint report
+                       --explain     full compile plus per-stage timing /
+                                     fingerprint / cache-provenance table
   explore <circuit>    sweep the design space
                        --r LO..HI (default 2..8), --factories LO..HI (default 1..4)
                        --pareto yes|no  print only the Pareto front (default no)
@@ -156,6 +162,8 @@ COMMANDS
                        --timeout-ms N   per-request read timeout (dflt 10000)
   client compile <circuit>   compile on a remote server
                        --addr HOST:PORT (default 127.0.0.1:7070)
+                       --stop-after STAGE  POST /v1/compile?stage=STAGE (warm
+                                           or probe the server's stage cache)
                        compile options as for `compile`; file paths are
                        shipped as inline QASM
   client batch <jobs.jsonl>  run a JSONL batch on a remote server
@@ -243,31 +251,109 @@ fn local_job_result(id: &str, circuit: &Circuit, options: &CompilerOptions) -> J
         metrics,
         provenance: CacheProvenance::Computed,
         micros: started.elapsed().as_micros() as u64,
+        stage: None,
     }
 }
 
 fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
+    let spec = p
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Unknown("missing circuit argument".into()))?
+        .clone();
+    let circuit = load_circuit(&spec)?;
+    let options = options_from(p)?;
+    let timing = options.timing;
+    let stop_after = match p.options.get("stop-after") {
+        None => None,
+        Some(name) => Some(Stage::parse_or_err(name).map_err(CliError::Unknown)?),
+    };
+
     if p.flag("json") {
-        let spec = p
-            .positionals
-            .first()
-            .ok_or_else(|| CliError::Unknown("missing circuit argument".into()))?;
-        let circuit = load_circuit(spec)?;
-        let options = options_from(p)?;
-        let result = local_job_result(spec, &circuit, &options);
+        if p.flag("explain") {
+            return Err(CliError::Unknown(
+                "--explain is a human-readable report; drop --json or --explain".into(),
+            ));
+        }
+        // `--json --stop-after <stage>`: the same staged JobResult the
+        // server's `?stage=` endpoint returns. A compile failure stays on
+        // the JSON contract too — a failed result document, not a
+        // plain-text error.
+        if let Some(stop) = stop_after {
+            let started = Instant::now();
+            let result = match CompileSession::new(options).run_until(&circuit, stop) {
+                Ok(run) => JobResult::<Metrics> {
+                    id: spec,
+                    fingerprint: run.fingerprint,
+                    status: JobStatus::Ok,
+                    metrics: run.program.as_ref().map(|prog| *prog.metrics()),
+                    provenance: CacheProvenance::Computed,
+                    micros: started.elapsed().as_micros() as u64,
+                    stage: Some(run.stage.name().to_string()),
+                },
+                Err(e) => JobResult::<Metrics> {
+                    id: spec,
+                    fingerprint: 0,
+                    status: JobStatus::Failed(e.to_string()),
+                    metrics: None,
+                    provenance: CacheProvenance::Computed,
+                    micros: started.elapsed().as_micros() as u64,
+                    stage: None,
+                },
+            };
+            let failed = !result.is_ok();
+            return Ok(CmdOutput {
+                text: result.to_json().render(),
+                failed,
+            });
+        }
+        let result = local_job_result(&spec, &circuit, &options);
         return Ok(CmdOutput {
             text: result.to_json().render(),
             failed: !result.is_ok(),
         });
     }
-    let circuit = circuit_arg(p)?;
-    let options = options_from(p)?;
-    let timing = options.timing;
-    let program = Compiler::new(options)
-        .compile(&circuit)
-        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+
+    // `--stop-after <stage>`: run the staged session up to the named
+    // stage and report the trail — no schedule, no metrics.
+    if let Some(stop) = stop_after {
+        if stop != Stage::Schedule {
+            let run = CompileSession::new(options)
+                .run_until(&circuit, stop)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            let mut out = render_stage_trace(&run.events);
+            let _ = write!(
+                out,
+                "stopped after {} (artifact {})",
+                run.stage,
+                fingerprint::to_hex(run.fingerprint)
+            );
+            return Ok(out.into());
+        }
+        // --stop-after schedule is a full compile; fall through (with the
+        // stage table, like --explain).
+    }
+
+    // `--explain`: compile through the session with a trace hook and
+    // prepend the per-stage timing/fingerprint report.
+    let (program, explain) = if p.flag("explain") || stop_after == Some(Stage::Schedule) {
+        let trace = StageTrace::new();
+        let program = CompileSession::new(options)
+            .with_hook(trace.clone())
+            .compile(&circuit)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        (program, Some(render_stage_trace(&trace.events())))
+    } else {
+        let program = Compiler::new(options)
+            .compile(&circuit)
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        (program, None)
+    };
 
     let mut out = String::new();
+    if let Some(trace) = explain {
+        out.push_str(&trace);
+    }
     let m = program.metrics();
     let _ = writeln!(
         out,
@@ -329,6 +415,39 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         let _ = write!(out, "\nschedule svg    : {path}");
     }
     Ok(out.into())
+}
+
+/// The per-stage table behind `compile --explain` and `--stop-after`.
+fn render_stage_trace(events: &[StageEvent]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<9} {:>17} {:>9} {:>9}",
+        "stage", "fingerprint", "cache", "µs"
+    );
+    for e in events {
+        let _ = writeln!(
+            out,
+            "{:<9} {:>17} {:>9} {:>9}",
+            e.stage.name(),
+            fingerprint::to_hex(e.fingerprint),
+            if e.cached { "hit" } else { "computed" },
+            e.micros,
+        );
+    }
+    out
+}
+
+/// One-line stage-cache summary shared by `sweep` and `batch` reports.
+fn render_stage_stats(stats: &StageCacheStats) -> String {
+    Stage::ALL
+        .iter()
+        .map(|s| {
+            let c = stats.for_stage(*s);
+            format!("{} {}/{}", s.name(), c.hits, c.lookups())
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn render_design_points(rows: &[DesignPoint]) -> String {
@@ -404,13 +523,15 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
     }
     let cache = SharedCache::new(cache);
 
-    let points = explore_parallel_with(
+    let stages = StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY);
+    let points = explore_session(
         &circuit,
         &rs,
         &fs,
         &CompilerOptions::default(),
         workers,
         &cache,
+        &stages,
     )
     .map_err(|e| CliError::Pipeline(e.to_string()))?;
     if cache_file.is_some() {
@@ -445,6 +566,11 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
             Some(f) => format!(", file tier {}", f.display()),
             None => String::new(),
         },
+    );
+    let _ = write!(
+        out,
+        "\nstage cache: {}",
+        render_stage_stats(&stages.stats())
     );
     Ok(out)
 }
@@ -485,7 +611,18 @@ fn render_batch_table(results: &[JobResult<Metrics>]) -> String {
             (JobStatus::Failed(e), _) => {
                 let _ = writeln!(out, "{:<16} {:>7}  {e}", r.id, "FAILED");
             }
-            (JobStatus::Ok, None) => unreachable!("ok results carry metrics"),
+            // A staged job stopped before scheduling: no metrics to show,
+            // but the stage and its artifact fingerprint are the payload.
+            (JobStatus::Ok, None) => {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>7}  stopped after {} (artifact {})",
+                    r.id,
+                    "ok",
+                    r.stage.as_deref().unwrap_or("?"),
+                    fingerprint::to_hex(r.fingerprint),
+                );
+            }
         }
     }
     out
@@ -533,8 +670,19 @@ fn cmd_batch(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         BatchService::new(config).map_err(|e| CliError::Pipeline(format!("cache file: {e}")))?;
 
     let started = Instant::now();
-    let results =
-        service.run_jsonl::<CompilerOptions, _, _>(&jsonl, resolve_source, compile_metrics);
+    // One stage cache across the whole batch: jobs that share a circuit
+    // reuse prepare/lower (and map, when only scheduling knobs differ),
+    // and `stop_after`/`resume_from` job fields are honoured.
+    let stages = StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY);
+    let results = service.run_jsonl::<CompilerOptions, _, _>(&jsonl, resolve_source, |c, job| {
+        let session = CompileSession::new(job.options.clone()).with_cache(stages.clone());
+        stage_outcome(
+            &session,
+            c,
+            job.stop_after.as_deref(),
+            job.resume_from.as_deref(),
+        )
+    });
     let elapsed = started.elapsed();
     if results.is_empty() {
         return Err(CliError::Unknown(format!("{path} contains no jobs")));
@@ -556,6 +704,11 @@ fn cmd_batch(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         stats.hits,
         stats.lookups(),
         stats.hit_rate() * 100.0,
+    );
+    let _ = write!(
+        out,
+        "\nstage cache: {}",
+        render_stage_stats(&stages.stats())
     );
     write_results_out(p, &results, &mut out)?;
     Ok(CmdOutput {
@@ -623,14 +776,12 @@ fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
             let spec = p.positionals.get(1).ok_or_else(usage)?;
             let source =
                 ftqc_service::resolve::source_from_spec(spec).map_err(CliError::Unknown)?;
-            let job = CompileJob {
-                id: spec.clone(),
-                source,
-                options: options_from(p)?,
-            };
-            let result = client
-                .compile(&job)
-                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            let job = CompileJob::new(spec.clone(), source, options_from(p)?);
+            let result = match p.options.get("stop-after") {
+                Some(stage) => client.compile_staged(&job, stage),
+                None => client.compile(&job),
+            }
+            .map_err(|e| CliError::Pipeline(e.to_string()))?;
             let failed = !result.is_ok();
             if p.flag("json") {
                 return Ok(CmdOutput {
@@ -854,6 +1005,37 @@ mod tests {
     }
 
     #[test]
+    fn compile_stop_after_reports_stages() {
+        let out = run_line("compile ising:2 --stop-after map").unwrap();
+        assert!(out.contains("stage"), "got: {out}");
+        assert!(out.contains("prepare"), "got: {out}");
+        assert!(out.contains("stopped after map"), "got: {out}");
+        assert!(!out.contains("execution time"), "no schedule ran: {out}");
+        assert!(run_line("compile ising:2 --stop-after banana").is_err());
+
+        // --json composes: the staged JobResult document, like ?stage=.
+        let out = run_full("compile ising:2 --json --stop-after map").unwrap();
+        assert!(!out.failed);
+        let doc = ftqc_service::Value::parse(&out.text).expect("valid json");
+        assert_eq!(
+            doc.get("stage").and_then(ftqc_service::Value::as_str),
+            Some("map")
+        );
+        assert!(doc.get("metrics").is_none(), "got: {}", out.text);
+        assert!(run_line("compile ising:2 --json --explain").is_err());
+    }
+
+    #[test]
+    fn compile_explain_adds_stage_table() {
+        let out = run_line("compile ising:2 --explain").unwrap();
+        for stage in ["prepare", "lower", "map", "schedule"] {
+            assert!(out.contains(stage), "missing {stage} in: {out}");
+        }
+        assert!(out.contains("computed"), "got: {out}");
+        assert!(out.contains("execution time"), "full report follows: {out}");
+    }
+
+    #[test]
     fn explore_produces_table() {
         let out = run_line("explore ising:2 --r 2..4 --factories 1..2").unwrap();
         assert!(out.contains("design points"));
@@ -881,9 +1063,37 @@ mod tests {
     fn sweep_serial_matches_explore() {
         let explore = run_line("explore ising:2 --r 2..4 --factories 1..2").unwrap();
         let sweep = run_line("sweep ising:2 --r 2..4 --factories 1..2").unwrap();
-        // Same table; sweep adds a service stats line.
+        // Same table; sweep adds service + stage-cache stats lines.
         assert!(sweep.starts_with(explore.as_str()));
         assert!(sweep.contains("service: 1 worker(s)"));
+        // 6 grid points over one circuit: the front end is reused.
+        assert!(sweep.contains("stage cache: prepare 5/6"), "got: {sweep}");
+    }
+
+    #[test]
+    fn batch_honours_stop_after_jobs() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test-staged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("staged.jsonl");
+        std::fs::write(
+            &jobs,
+            concat!(
+                "{\"id\":\"warm\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"stop_after\":\"map\"}\n",
+                "{\"id\":\"full\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"resume_from\":\"map\"}\n",
+            ),
+        )
+        .unwrap();
+        let out = run_full(&format!("batch {} --workers 1", jobs.display())).unwrap();
+        assert!(!out.failed, "got: {}", out.text);
+        assert!(out.text.contains("stopped after map"), "got: {}", out.text);
+        // The warm job misses prepare once; the full job's resume_from
+        // probe and run both hit it, and the map artifact is reused.
+        assert!(
+            out.text.contains("stage cache: prepare 2/3"),
+            "the full job resumed from the warm stages: {}",
+            out.text
+        );
+        assert!(out.text.contains("map 1/2"), "got: {}", out.text);
     }
 
     #[test]
@@ -1054,6 +1264,14 @@ mod tests {
             Some("memory"),
             "second identical request must hit the server's cache"
         );
+
+        // A staged remote compile stops at the named stage.
+        let out = run_full(&format!(
+            "client compile ising:2 --r 4 --addr {addr} --stop-after map"
+        ))
+        .unwrap();
+        assert!(!out.failed, "got: {}", out.text);
+        assert!(out.text.contains("stopped after map"), "got: {}", out.text);
 
         let dir = std::env::temp_dir().join("ftqc-cli-test-client");
         std::fs::create_dir_all(&dir).unwrap();

@@ -18,6 +18,7 @@ use crate::options::{CompilerOptions, TStatePolicy};
 use crate::MappingStrategy;
 use ftqc_arch::{PortPlacement, Ticks, TimingModel};
 use ftqc_service::json::{self, FromJson, JsonError, ToJson, Value};
+use ftqc_service::CacheStats;
 
 fn num(v: u64) -> Value {
     Value::Num(v as f64)
@@ -52,24 +53,43 @@ fn bool_field(value: &Value, key: &str, default: bool) -> Result<bool, JsonError
     }
 }
 
+/// Canonical JSON rendering of a timing model — shared by the options
+/// codec and the session's schedule-stage fingerprint.
+pub(crate) fn timing_to_json(t: &TimingModel) -> Value {
+    Value::Obj(vec![
+        ("move_op".into(), num(t.move_op.raw())),
+        ("merge".into(), num(t.merge.raw())),
+        ("cnot".into(), num(t.cnot.raw())),
+        ("hadamard".into(), num(t.hadamard.raw())),
+        ("phase".into(), num(t.phase.raw())),
+        ("t_consume".into(), num(t.t_consume.raw())),
+        ("measure".into(), num(t.measure.raw())),
+        ("magic_production".into(), num(t.magic_production.raw())),
+        ("ppr_compact".into(), num(t.ppr_compact.raw())),
+        ("ppr_fast".into(), num(t.ppr_fast.raw())),
+        ("unit".into(), num(t.unit.raw())),
+    ])
+}
+
+fn timing_from_json(t: &Value, defaults: &TimingModel) -> Result<TimingModel, JsonError> {
+    Ok(TimingModel {
+        move_op: ticks_field(t, "move_op", defaults.move_op)?,
+        merge: ticks_field(t, "merge", defaults.merge)?,
+        cnot: ticks_field(t, "cnot", defaults.cnot)?,
+        hadamard: ticks_field(t, "hadamard", defaults.hadamard)?,
+        phase: ticks_field(t, "phase", defaults.phase)?,
+        t_consume: ticks_field(t, "t_consume", defaults.t_consume)?,
+        measure: ticks_field(t, "measure", defaults.measure)?,
+        magic_production: ticks_field(t, "magic_production", defaults.magic_production)?,
+        ppr_compact: ticks_field(t, "ppr_compact", defaults.ppr_compact)?,
+        ppr_fast: ticks_field(t, "ppr_fast", defaults.ppr_fast)?,
+        unit: ticks_field(t, "unit", defaults.unit)?,
+    })
+}
+
 impl ToJson for CompilerOptions {
     fn to_json(&self) -> Value {
-        let timing = Value::Obj(vec![
-            ("move_op".into(), num(self.timing.move_op.raw())),
-            ("merge".into(), num(self.timing.merge.raw())),
-            ("cnot".into(), num(self.timing.cnot.raw())),
-            ("hadamard".into(), num(self.timing.hadamard.raw())),
-            ("phase".into(), num(self.timing.phase.raw())),
-            ("t_consume".into(), num(self.timing.t_consume.raw())),
-            ("measure".into(), num(self.timing.measure.raw())),
-            (
-                "magic_production".into(),
-                num(self.timing.magic_production.raw()),
-            ),
-            ("ppr_compact".into(), num(self.timing.ppr_compact.raw())),
-            ("ppr_fast".into(), num(self.timing.ppr_fast.raw())),
-            ("unit".into(), num(self.timing.unit.raw())),
-        ]);
+        let timing = timing_to_json(&self.timing);
         let mapping = match self.mapping {
             MappingStrategy::RowMajor => "row-major",
             MappingStrategy::Snake => "snake",
@@ -79,7 +99,7 @@ impl ToJson for CompilerOptions {
             PortPlacement::Spread => "spread",
             PortPlacement::Clustered => "clustered",
         };
-        Value::Obj(vec![
+        let mut doc = Value::Obj(vec![
             ("routing_paths".into(), num(u64::from(self.routing_paths))),
             ("factories".into(), num(u64::from(self.factories))),
             ("timing".into(), timing),
@@ -106,7 +126,13 @@ impl ToJson for CompilerOptions {
             ("optimize".into(), Value::Bool(self.optimize)),
             ("port_placement".into(), Value::Str(port_placement.into())),
             ("unbounded_magic".into(), Value::Bool(self.unbounded_magic)),
-        ])
+        ]);
+        // Omitted when None: the default rendering (and thus every
+        // pre-existing fingerprint and cache file) is unchanged.
+        if let (Value::Obj(fields), Some(st)) = (&mut doc, &self.schedule_timing) {
+            fields.push(("schedule_timing".into(), timing_to_json(st)));
+        }
+        doc
     }
 }
 
@@ -119,19 +145,14 @@ impl FromJson for CompilerOptions {
         let dt = defaults.timing;
         let timing = match value.get("timing") {
             None => dt,
-            Some(t) => TimingModel {
-                move_op: ticks_field(t, "move_op", dt.move_op)?,
-                merge: ticks_field(t, "merge", dt.merge)?,
-                cnot: ticks_field(t, "cnot", dt.cnot)?,
-                hadamard: ticks_field(t, "hadamard", dt.hadamard)?,
-                phase: ticks_field(t, "phase", dt.phase)?,
-                t_consume: ticks_field(t, "t_consume", dt.t_consume)?,
-                measure: ticks_field(t, "measure", dt.measure)?,
-                magic_production: ticks_field(t, "magic_production", dt.magic_production)?,
-                ppr_compact: ticks_field(t, "ppr_compact", dt.ppr_compact)?,
-                ppr_fast: ticks_field(t, "ppr_fast", dt.ppr_fast)?,
-                unit: ticks_field(t, "unit", dt.unit)?,
-            },
+            Some(t) => timing_from_json(t, &dt)?,
+        };
+        // Missing fields of a schedule_timing override default to the
+        // *router* timing, so `{"schedule_timing":{"cnot":2}}` means "as
+        // routed, but re-time CNOTs at 1d".
+        let schedule_timing = match value.get("schedule_timing") {
+            None => None,
+            Some(t) => Some(timing_from_json(t, &timing)?),
         };
         let mapping = match value.get("mapping") {
             None => defaults.mapping,
@@ -191,6 +212,29 @@ impl FromJson for CompilerOptions {
             optimize: bool_field(value, "optimize", defaults.optimize)?,
             port_placement,
             unbounded_magic: bool_field(value, "unbounded_magic", defaults.unbounded_magic)?,
+            schedule_timing,
+        })
+    }
+}
+
+impl ToJson for crate::session::StageCacheStats {
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            crate::session::Stage::ALL
+                .iter()
+                .map(|s| (s.name().to_string(), self.for_stage(*s).to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl FromJson for crate::session::StageCacheStats {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(crate::session::StageCacheStats {
+            prepare: CacheStats::from_json(json::require(value, "prepare")?)?,
+            lower: CacheStats::from_json(json::require(value, "lower")?)?,
+            map: CacheStats::from_json(json::require(value, "map")?)?,
+            schedule: CacheStats::from_json(json::require(value, "schedule")?)?,
         })
     }
 }
@@ -299,6 +343,39 @@ mod tests {
         assert!(o.lookahead);
         let empty = CompilerOptions::from_json(&Value::parse("{}").unwrap()).unwrap();
         assert_eq!(empty, CompilerOptions::default());
+    }
+
+    #[test]
+    fn schedule_timing_roundtrip_and_defaults() {
+        let o = CompilerOptions::default().schedule_timing(TimingModel {
+            cnot: Ticks::from_d(1.0),
+            ..TimingModel::paper()
+        });
+        let rendered = o.to_json();
+        let back = CompilerOptions::from_json(&rendered).unwrap();
+        assert_eq!(back, o);
+        // None is omitted from the rendering, keeping old fingerprints.
+        let plain = CompilerOptions::default().to_json().render();
+        assert!(!plain.contains("schedule_timing"));
+        // Sparse overrides inherit the router timing's other latencies.
+        let v = Value::parse(r#"{"timing":{"cnot":8},"schedule_timing":{"move_op":6}}"#).unwrap();
+        let o = CompilerOptions::from_json(&v).unwrap();
+        let st = o.schedule_timing.unwrap();
+        assert_eq!(st.move_op, Ticks(6));
+        assert_eq!(st.cnot, Ticks(8), "inherits the router's cnot latency");
+    }
+
+    #[test]
+    fn stage_cache_stats_roundtrip() {
+        use crate::session::{StageCache, StageCacheStats};
+        let cache = StageCache::new(4);
+        let stats = cache.stats();
+        let back = StageCacheStats::from_json(&stats.to_json()).unwrap();
+        assert_eq!(back, stats);
+        let rendered = stats.to_json().render();
+        for name in ["prepare", "lower", "map", "schedule"] {
+            assert!(rendered.contains(name), "missing {name} in {rendered}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::error::CompileError;
 use crate::metrics::Metrics;
 use crate::options::CompilerOptions;
 use crate::pipeline::Compiler;
+use crate::session::{CompileSession, StageCache};
 use ftqc_circuit::Circuit;
 use ftqc_service::json::ToJson;
 use ftqc_service::{fingerprint, SharedCache, WorkerPool};
@@ -134,11 +135,59 @@ pub fn explore_parallel_with(
     workers: usize,
     cache: &SharedCache<Metrics>,
 ) -> Result<Vec<DesignPoint>, CompileError> {
+    explore_session(
+        circuit,
+        routing_paths,
+        factories,
+        base,
+        workers,
+        cache,
+        &StageCache::new(crate::session::DEFAULT_STAGE_CACHE_CAPACITY),
+    )
+}
+
+/// [`explore_parallel_with`] running each grid point through the staged
+/// [`CompileSession`](crate::CompileSession) against a caller-owned
+/// [`StageCache`]: whole-job repeats are still answered from `cache`, and
+/// misses reuse stage artifacts — a routing grid shares one prepare/lower
+/// pass, and a sweep varying only scheduling knobs reuses the routed ops
+/// and re-runs scheduling alone. Results are byte-identical to
+/// [`explore`]: artifacts are pure functions of their keys, so concurrent
+/// workers racing on the stage cache cannot change the outcome.
+///
+/// # Errors
+///
+/// As [`explore`]: the first routing failure in grid order.
+pub fn explore_session(
+    circuit: &Circuit,
+    routing_paths: &[u32],
+    factories: &[u32],
+    base: &CompilerOptions,
+    workers: usize,
+    cache: &SharedCache<Metrics>,
+    stages: &StageCache,
+) -> Result<Vec<DesignPoint>, CompileError> {
     let combos = sweep_grid(circuit, routing_paths, factories);
     let circuit_fp = fingerprint::fingerprint_circuit(circuit);
     let results = WorkerPool::new(workers).run(combos, |(r, f)| {
         let options = base.clone().routing_paths(r).factories(f);
-        let metrics = compile_cached(circuit, circuit_fp, options, cache)?;
+        let key = fingerprint::combine(
+            circuit_fp,
+            fingerprint::fingerprint_value(&options.to_json()),
+        );
+        if let Some(hit) = cache.get(key) {
+            return Ok(DesignPoint {
+                routing_paths: r,
+                factories: f,
+                metrics: hit.value,
+            });
+        }
+        let program = CompileSession::new(options)
+            .with_cache(stages.clone())
+            .compile(circuit)
+            .map_err(CompileError::into_root)?;
+        let metrics = *program.metrics();
+        cache.insert(key, metrics);
         Ok(DesignPoint {
             routing_paths: r,
             factories: f,
@@ -302,6 +351,30 @@ mod tests {
         let after_second = cache.stats();
         assert_eq!(after_second.misses, 4, "second sweep compiled nothing");
         assert_eq!(after_second.hits, 4, "second sweep was all cache hits");
+    }
+
+    #[test]
+    fn explore_session_matches_serial_and_reuses_stages() {
+        use ftqc_circuit::Circuit;
+        use ftqc_service::SharedCache;
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q).t(q);
+        }
+        c.cnot(0, 1).cnot(2, 3);
+        let base = CompilerOptions::default();
+        let serial = explore(&c, &[2, 4], &[1, 2], &base).expect("serial");
+        let cache = SharedCache::in_memory(64);
+        let stages = StageCache::new(64);
+        let staged =
+            explore_session(&c, &[2, 4], &[1, 2], &base, 3, &cache, &stages).expect("staged");
+        assert_eq!(staged, serial);
+        let stats = stages.stats();
+        // Four grid points share one circuit: prepare/lower computed once
+        // (modulo benign recompute races), routing per grid point.
+        assert_eq!(stats.prepare.insertions + stats.prepare.hits, 4);
+        assert!(stats.prepare.hits >= 1, "front end reused: {stats:?}");
+        assert_eq!(stats.map.misses, 4, "each grid point routes once");
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //!    the execution time, the unit-cost execution time, and the spacetime
 //!    metrics of the evaluation.
 //!
+//! The pipeline is exposed two ways: the one-shot [`Compiler::compile`]
+//! façade, and the staged [`CompileSession`] (prepare → lower → map →
+//! schedule) whose typed artifacts carry stable fingerprints, checkpoint
+//! into a stage-keyed [`StageCache`], and report per-stage progress to
+//! [`TraceHook`]s — so sweeps that vary only downstream options re-run
+//! only the stages that changed.
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +54,7 @@ pub mod pipeline;
 pub mod redundant;
 pub mod routed;
 pub mod semantics;
+pub mod session;
 pub mod svg;
 pub mod timer;
 pub mod trace;
@@ -58,8 +66,8 @@ pub use estimate::{
     estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate,
 };
 pub use explore::{
-    best_by_volume, compile_cached, explore, explore_parallel, explore_parallel_with, pareto_front,
-    DesignPoint,
+    best_by_volume, compile_cached, explore, explore_parallel, explore_parallel_with,
+    explore_session, pareto_front, DesignPoint,
 };
 pub use export::{to_csv, utilization, UtilizationStats};
 pub use mapping::{InitialMapping, MappingStrategy};
@@ -69,5 +77,9 @@ pub use pipeline::{lower, prepare, CompiledProgram, Compiler};
 pub use redundant::eliminate_redundant_moves;
 pub use routed::RoutedOp;
 pub use semantics::{check_semantics, EquivalenceMethod, SemanticsError, SemanticsReport};
+pub use session::{
+    stage_outcome, CompileSession, Lowered, Mapped, Prepared, Stage, StageCache, StageCacheStats,
+    StageEvent, StageRun, StageTrace, TraceHook, DEFAULT_STAGE_CACHE_CAPACITY,
+};
 pub use trace::{activity_strip, kind_breakdown, Activity, KindBreakdown};
 pub use verify::{verify, VerifyError};

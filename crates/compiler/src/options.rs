@@ -92,6 +92,13 @@ pub struct CompilerOptions {
     /// Model an unlimited magic-state supply (DASCOT-style assumption;
     /// factories still provide ports). Default off.
     pub unbounded_magic: bool,
+    /// Re-time the routed program under this latency model instead of
+    /// [`CompilerOptions::timing`]. The router still plans with `timing`;
+    /// only the scheduling stage (and its lower bound) uses the override,
+    /// so a latency-model sweep through [`CompileSession`](crate::CompileSession)
+    /// reuses the routed ops and re-runs scheduling alone. Default `None`
+    /// (schedule with `timing`, the paper's behaviour).
+    pub schedule_timing: Option<TimingModel>,
 }
 
 impl CompilerOptions {
@@ -166,6 +173,19 @@ impl CompilerOptions {
         self.port_placement = p;
         self
     }
+
+    /// Sets the schedule-stage timing override (re-time without re-routing).
+    pub fn schedule_timing(mut self, t: TimingModel) -> Self {
+        self.schedule_timing = Some(t);
+        self
+    }
+
+    /// The latency model the scheduling stage replays with:
+    /// [`CompilerOptions::schedule_timing`] when set, otherwise
+    /// [`CompilerOptions::timing`].
+    pub fn effective_schedule_timing(&self) -> &TimingModel {
+        self.schedule_timing.as_ref().unwrap_or(&self.timing)
+    }
 }
 
 impl Default for CompilerOptions {
@@ -182,6 +202,7 @@ impl Default for CompilerOptions {
             optimize: false,
             port_placement: PortPlacement::Spread,
             unbounded_magic: false,
+            schedule_timing: None,
         }
     }
 }
@@ -215,6 +236,20 @@ mod tests {
         assert!(o.lookahead);
         assert!(o.eliminate_redundant_moves);
         assert_eq!(o.t_state_policy.states_per_rz, 1);
+    }
+
+    #[test]
+    fn schedule_timing_override() {
+        let o = CompilerOptions::default();
+        assert_eq!(o.schedule_timing, None);
+        assert_eq!(*o.effective_schedule_timing(), o.timing);
+        let fast = TimingModel {
+            cnot: Ticks::from_d(1.0),
+            ..TimingModel::paper()
+        };
+        let o = o.schedule_timing(fast);
+        assert_eq!(o.effective_schedule_timing().cnot.as_d(), 1.0);
+        assert_eq!(o.timing.cnot.as_d(), 2.0, "router timing untouched");
     }
 
     #[test]

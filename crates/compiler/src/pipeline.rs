@@ -1,14 +1,17 @@
 //! The compiler façade: lowering → mapping → routing → scheduling.
+//!
+//! [`Compiler::compile`] is a thin compatibility wrapper over the staged
+//! [`CompileSession`](crate::session::CompileSession) pipeline; use the
+//! session directly for stage-level caching, partial runs, and per-stage
+//! trace hooks.
 
-use crate::engine::Engine;
 use crate::error::CompileError;
 use crate::mapping::InitialMapping;
-use crate::metrics::{lower_bound, Metrics};
+use crate::metrics::Metrics;
 use crate::options::CompilerOptions;
-use crate::redundant::eliminate_redundant_moves;
 use crate::routed::RoutedOp;
-use crate::timer::{time_ops, CostKind};
-use ftqc_arch::{FactoryBank, Layout};
+use crate::session::CompileSession;
+use ftqc_arch::Layout;
 use ftqc_circuit::{Circuit, Gate};
 use ftqc_sim::Schedule;
 
@@ -45,6 +48,12 @@ impl Compiler {
 
     /// Compiles `circuit` to a timed lattice-surgery schedule.
     ///
+    /// Equivalent to running the staged
+    /// [`CompileSession`](crate::session::CompileSession) end to end
+    /// without a stage cache; stage context is stripped from errors so
+    /// callers see the same [`CompileError`] values as before the staged
+    /// redesign.
+    ///
     /// # Errors
     ///
     /// * [`CompileError::EmptyRegister`] for a zero-qubit circuit.
@@ -52,83 +61,9 @@ impl Compiler {
     ///   the circuit's register.
     /// * [`CompileError::RoutingFailed`] when a gate cannot be realised.
     pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
-        if circuit.num_qubits() == 0 {
-            return Err(CompileError::EmptyRegister);
-        }
-        let lowered = lower(&prepare(circuit, &self.options));
-        let layout =
-            Layout::try_with_routing_paths(circuit.num_qubits(), self.options.routing_paths)?;
-        let mapping = InitialMapping::for_circuit(&layout, &lowered, self.options.mapping);
-        let bank = if self.options.unbounded_magic {
-            FactoryBank::unbounded(&layout, self.options.factories)
-        } else {
-            FactoryBank::dock_with(
-                &layout,
-                self.options.factories,
-                self.options.timing.magic_production,
-                self.options.port_placement,
-            )
-        };
-        let factory_patches = bank.total_tiles();
-
-        let mut engine = Engine::new(&layout, &mapping, bank, &self.options);
-        engine.run(&lowered)?;
-        let (mut ops, n_magic_states) = engine.into_ops();
-
-        let n_moves_eliminated = if self.options.eliminate_redundant_moves {
-            eliminate_redundant_moves(&mut ops)
-        } else {
-            0
-        };
-
-        let schedule = time_ops(
-            &ops,
-            circuit.num_qubits(),
-            self.options.factories as usize,
-            &self.options.timing,
-            CostKind::Realistic,
-            self.options.unbounded_magic,
-        );
-        let unit_schedule = time_ops(
-            &ops,
-            circuit.num_qubits(),
-            self.options.factories as usize,
-            &self.options.timing,
-            CostKind::UnitCost,
-            self.options.unbounded_magic,
-        );
-
-        let metrics = Metrics {
-            execution_time: schedule.makespan(),
-            unit_cost_time: unit_schedule.makespan(),
-            lower_bound: if self.options.unbounded_magic {
-                ftqc_arch::Ticks::ZERO
-            } else {
-                lower_bound(
-                    n_magic_states,
-                    self.options.timing.magic_production,
-                    self.options.factories,
-                )
-            },
-            grid_patches: layout.total_patches(),
-            factory_patches,
-            routing_paths: self.options.routing_paths,
-            factories: self.options.factories,
-            n_gates: circuit.len(),
-            n_surgery_ops: ops.len(),
-            n_moves: ops.iter().filter(|o| o.is_movement()).count(),
-            n_moves_eliminated,
-            n_magic_states,
-        };
-
-        Ok(CompiledProgram {
-            layout,
-            schedule,
-            metrics,
-            lowered,
-            initial: mapping,
-            options: self.options.clone(),
-        })
+        CompileSession::new(self.options.clone())
+            .compile(circuit)
+            .map_err(CompileError::into_root)
     }
 }
 
@@ -189,6 +124,26 @@ pub struct CompiledProgram {
 }
 
 impl CompiledProgram {
+    /// Assembles a program from the schedule stage's pieces (the session's
+    /// materialisation step).
+    pub(crate) fn assemble(
+        layout: Layout,
+        schedule: Schedule<RoutedOp>,
+        metrics: Metrics,
+        lowered: Circuit,
+        initial: InitialMapping,
+        options: CompilerOptions,
+    ) -> Self {
+        CompiledProgram {
+            layout,
+            schedule,
+            metrics,
+            lowered,
+            initial,
+            options,
+        }
+    }
+
     /// The layout the program was compiled for.
     pub fn layout(&self) -> &Layout {
         &self.layout

@@ -1,0 +1,1221 @@
+//! The staged compile pipeline: typed stage artifacts, stage-keyed
+//! caching, and per-stage trace hooks.
+//!
+//! [`CompileSession`] splits [`Compiler::compile`](crate::Compiler::compile)
+//! into four explicit stages, each returning a typed artifact with a stable
+//! fingerprint:
+//!
+//! ```text
+//! CompileSession::new(options)
+//!     .prepare(&circuit)? -> Prepared   (front-end optimisation pre-pass)
+//!     .lower()            -> Lowered    (gate-set lowering)
+//!     .map()?             -> Mapped     (layout + placement + routing)
+//!     .schedule()?        -> CompiledProgram  (move elimination + re-timing)
+//! ```
+//!
+//! Each stage consults a [`StageCache`] keyed on *exactly* the inputs that
+//! stage consumes: the upstream artifact's fingerprint combined with the
+//! digest of the option subset the stage reads. A sweep that varies only
+//! scheduling knobs (`eliminate_redundant_moves`,
+//! [`CompilerOptions::schedule_timing`]) therefore reuses the routed-op
+//! artifact — the dominant compile cost — and re-runs scheduling alone,
+//! while a routing-grid sweep (`routing_paths` × `factories`) still reuses
+//! the prepare and lower artifacts.
+//!
+//! Fingerprints are content-addressed where possible: the lower stage keys
+//! on the *prepared circuit's* canonical gate sequence, so `optimize = true`
+//! on a circuit the peephole pass cannot improve shares artifacts with
+//! `optimize = false`.
+//!
+//! [`TraceHook`] observers see one [`StageEvent`] per stage (fingerprint,
+//! cache provenance, wall-clock micros); the CLI's `--explain` report and
+//! the service's stage accounting are built on them.
+
+use crate::engine::Engine;
+use crate::error::CompileError;
+use crate::mapping::InitialMapping;
+use crate::metrics::{lower_bound, Metrics};
+use crate::options::CompilerOptions;
+use crate::pipeline::{lower, prepare, CompiledProgram};
+use crate::redundant::eliminate_redundant_moves;
+use crate::routed::RoutedOp;
+use crate::timer::{time_ops, CostKind};
+use ftqc_arch::{FactoryBank, Layout, Ticks};
+use ftqc_circuit::Circuit;
+use ftqc_service::json::{ToJson, Value};
+use ftqc_service::{fingerprint, CacheStats, SharedCache, StageOutcome};
+use ftqc_sim::Schedule;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-stage capacity of a [`StageCache`]. Stage artifacts (routed
+/// op sequences, schedules) are far heavier than the metrics the whole-job
+/// cache holds, so the default tier is smaller.
+pub const DEFAULT_STAGE_CACHE_CAPACITY: usize = 256;
+
+/// The four pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Stage {
+    /// Front-end preparation (the peephole optimisation pre-pass).
+    Prepare,
+    /// Gate-set lowering (`CZ → H·CX·H`, `SWAP → CX·CX·CX`).
+    Lower,
+    /// Layout construction, initial placement, and greedy routing.
+    Map,
+    /// Redundant-move elimination and resource re-timing.
+    Schedule,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 4] = [Stage::Prepare, Stage::Lower, Stage::Map, Stage::Schedule];
+
+    /// The wire/display name (`"prepare"`, `"lower"`, `"map"`,
+    /// `"schedule"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Prepare => "prepare",
+            Stage::Lower => "lower",
+            Stage::Map => "map",
+            Stage::Schedule => "schedule",
+        }
+    }
+
+    /// Parses a wire name back to a stage.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|stage| stage.name() == s)
+    }
+
+    /// [`Stage::parse`] with the canonical error message — the single
+    /// wording every layer (CLI, client, server, service bridge) shows
+    /// for an unknown stage name.
+    ///
+    /// # Errors
+    ///
+    /// The rendered "unknown stage" message listing the valid names.
+    pub fn parse_or_err(s: &str) -> Result<Stage, String> {
+        Stage::parse(s)
+            .ok_or_else(|| format!("unknown stage {s:?} (use prepare|lower|map|schedule)"))
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finished pipeline stage, as seen by a [`TraceHook`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageEvent {
+    /// Which stage finished.
+    pub stage: Stage,
+    /// The stage artifact's cache key / fingerprint.
+    pub fingerprint: u64,
+    /// Whether the artifact came from the stage cache.
+    pub cached: bool,
+    /// Wall-clock microseconds the stage took (lookup included).
+    pub micros: u64,
+}
+
+/// Observer of per-stage progress. Implementations must be cheap and
+/// panic-free; they run inline on the compiling thread.
+pub trait TraceHook: Send + Sync {
+    /// Called once per successfully finished stage, in execution order.
+    fn on_stage(&self, event: &StageEvent);
+}
+
+/// A [`TraceHook`] that records every event — the collector behind the
+/// CLI's `--explain` report.
+#[derive(Debug, Default)]
+pub struct StageTrace {
+    events: Mutex<Vec<StageEvent>>,
+}
+
+impl StageTrace {
+    /// A fresh shared collector.
+    pub fn new() -> Arc<Self> {
+        Arc::new(StageTrace::default())
+    }
+
+    /// The events recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<StageEvent> {
+        self.events.lock().expect("trace lock").clone()
+    }
+}
+
+impl TraceHook for StageTrace {
+    fn on_stage(&self, event: &StageEvent) {
+        self.events.lock().expect("trace lock").push(*event);
+    }
+}
+
+// Stage artifacts. Each is a pure function of its cache key, so they can be
+// shared (behind `Arc`) between sessions, worker threads, and server
+// requests. Per-job context (the input gate count, the caller's options)
+// deliberately lives *outside* the artifacts, in the typed stage structs.
+
+/// The prepare stage's artifact: the (possibly peephole-optimised) circuit.
+#[derive(Debug)]
+pub struct PreparedArt {
+    circuit: Circuit,
+    /// Canonical content digest of `circuit` — the lower stage's key.
+    content_fp: u64,
+}
+
+/// The lower stage's artifact: the surgery-gate-set circuit.
+#[derive(Debug)]
+pub struct LoweredArt {
+    circuit: Circuit,
+    /// Canonical content digest of `circuit` — half of the map stage's key.
+    content_fp: u64,
+}
+
+/// The map stage's artifact: layout, placement, and the routed op sequence.
+#[derive(Debug)]
+pub struct MappedArt {
+    layout: Layout,
+    mapping: InitialMapping,
+    factory_patches: u32,
+    ops: Vec<RoutedOp>,
+    n_magic_states: u64,
+}
+
+/// The schedule stage's artifact: the timed schedules and op accounting.
+#[derive(Debug, Clone)]
+pub struct ScheduledArt {
+    schedule: Schedule<RoutedOp>,
+    unit_makespan: Ticks,
+    n_surgery_ops: usize,
+    n_moves: usize,
+    n_moves_eliminated: usize,
+}
+
+/// Per-stage hit/miss/insertion counters of a [`StageCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCacheStats {
+    /// Prepare-tier counters.
+    pub prepare: CacheStats,
+    /// Lower-tier counters.
+    pub lower: CacheStats,
+    /// Map-tier counters.
+    pub map: CacheStats,
+    /// Schedule-tier counters.
+    pub schedule: CacheStats,
+}
+
+impl StageCacheStats {
+    /// The counters of one stage's tier.
+    pub fn for_stage(&self, stage: Stage) -> CacheStats {
+        match stage {
+            Stage::Prepare => self.prepare,
+            Stage::Lower => self.lower,
+            Stage::Map => self.map,
+            Stage::Schedule => self.schedule,
+        }
+    }
+
+    /// Hits summed across all four tiers.
+    pub fn hits(&self) -> u64 {
+        Stage::ALL.iter().map(|s| self.for_stage(*s).hits).sum()
+    }
+
+    /// Misses summed across all four tiers.
+    pub fn misses(&self) -> u64 {
+        Stage::ALL.iter().map(|s| self.for_stage(*s).misses).sum()
+    }
+}
+
+/// A cloneable, thread-safe, stage-keyed artifact cache: one in-memory
+/// [`SharedCache`] tier per pipeline stage, with per-stage counters.
+///
+/// Share one `StageCache` across sessions (the HTTP server holds a
+/// process-wide one) so concurrent compiles warm each other stage by
+/// stage. Artifacts are memory-only: unlike the metrics cache there is no
+/// file tier — routed-op sequences are large and cheap to drop.
+#[derive(Debug, Clone)]
+pub struct StageCache {
+    prepare: SharedCache<Arc<PreparedArt>>,
+    lower: SharedCache<Arc<LoweredArt>>,
+    map: SharedCache<Arc<MappedArt>>,
+    schedule: SharedCache<Arc<ScheduledArt>>,
+}
+
+impl StageCache {
+    /// A cache holding at most `capacity` artifacts per stage tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        StageCache {
+            prepare: SharedCache::in_memory(capacity),
+            lower: SharedCache::in_memory(capacity),
+            map: SharedCache::in_memory(capacity),
+            schedule: SharedCache::in_memory(capacity),
+        }
+    }
+
+    /// Whether the named stage's tier holds `key` (no counter or LRU
+    /// effects — this is a probe, not a lookup).
+    pub fn contains(&self, stage: Stage, key: u64) -> bool {
+        match stage {
+            Stage::Prepare => self.prepare.contains(key),
+            Stage::Lower => self.lower.contains(key),
+            Stage::Map => self.map.contains(key),
+            Stage::Schedule => self.schedule.contains(key),
+        }
+    }
+
+    /// The per-stage counters so far.
+    pub fn stats(&self) -> StageCacheStats {
+        StageCacheStats {
+            prepare: self.prepare.stats(),
+            lower: self.lower.stats(),
+            map: self.map.stats(),
+            schedule: self.schedule.stats(),
+        }
+    }
+}
+
+impl Default for StageCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_STAGE_CACHE_CAPACITY)
+    }
+}
+
+// Option subsets each stage actually reads; the union covers every
+// `CompilerOptions` field (`schedule_timing` belongs to the schedule
+// stage, folded into the effective timing below).
+const PREPARE_OPTION_KEYS: &[&str] = &["optimize"];
+const MAP_OPTION_KEYS: &[&str] = &[
+    "routing_paths",
+    "factories",
+    "timing",
+    "penalty_weight",
+    "lookahead",
+    "mapping",
+    "t_state_policy",
+    "port_placement",
+    "unbounded_magic",
+];
+
+/// Digest of the named fields of the canonical options rendering.
+fn subset_fp(options: &CompilerOptions, keys: &[&str]) -> u64 {
+    let Value::Obj(fields) = options.to_json() else {
+        unreachable!("CompilerOptions renders as an object");
+    };
+    let filtered: Vec<_> = fields
+        .into_iter()
+        .filter(|(k, _)| keys.contains(&k.as_str()))
+        .collect();
+    fingerprint::fingerprint_value(&Value::Obj(filtered))
+}
+
+/// Digest of the schedule stage's inputs: the *effective* timing model
+/// (so `schedule_timing: Some(paper)` shares artifacts with the default)
+/// plus the re-timing knobs.
+fn schedule_subset_fp(options: &CompilerOptions) -> u64 {
+    let doc = Value::Obj(vec![
+        (
+            "eliminate_redundant_moves".into(),
+            Value::Bool(options.eliminate_redundant_moves),
+        ),
+        ("factories".into(), Value::Num(f64::from(options.factories))),
+        (
+            "unbounded_magic".into(),
+            Value::Bool(options.unbounded_magic),
+        ),
+        (
+            "timing".into(),
+            crate::codec::timing_to_json(options.effective_schedule_timing()),
+        ),
+    ]);
+    fingerprint::fingerprint_value(&doc)
+}
+
+/// The stable key of one stage invocation: a stage tag combined with the
+/// upstream artifact's fingerprint and the stage's option-subset digest.
+fn stage_key(stage: Stage, upstream: u64, options_fp: u64) -> u64 {
+    let tag = fingerprint::fingerprint_bytes(stage.name().as_bytes());
+    fingerprint::combine(fingerprint::combine(tag, upstream), options_fp)
+}
+
+/// A staged compile pipeline over one option set: the session produces
+/// typed stage artifacts, checkpoints them into an optional [`StageCache`],
+/// and reports per-stage progress to [`TraceHook`]s.
+///
+/// # Example
+///
+/// ```
+/// use ftqc_circuit::Circuit;
+/// use ftqc_compiler::{CompileSession, CompilerOptions};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cnot(0, 1).t(1);
+/// let program = CompileSession::new(CompilerOptions::default())
+///     .prepare(&c)?
+///     .lower()
+///     .map()?
+///     .schedule()?;
+/// println!("{}", program.metrics());
+/// # Ok::<(), ftqc_compiler::CompileError>(())
+/// ```
+#[derive(Clone)]
+pub struct CompileSession {
+    options: CompilerOptions,
+    cache: Option<StageCache>,
+    hooks: Vec<Arc<dyn TraceHook>>,
+    /// Per-stage option-subset digests, computed once — the options are
+    /// immutable for the session's lifetime and these sit on every stage's
+    /// key path.
+    prepare_opts_fp: u64,
+    map_opts_fp: u64,
+    sched_opts_fp: u64,
+}
+
+impl fmt::Debug for CompileSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompileSession")
+            .field("options", &self.options)
+            .field("cached", &self.cache.is_some())
+            .field("hooks", &self.hooks.len())
+            .finish()
+    }
+}
+
+impl CompileSession {
+    /// A session compiling under `options`, without a cache or hooks.
+    pub fn new(options: CompilerOptions) -> Self {
+        let prepare_opts_fp = subset_fp(&options, PREPARE_OPTION_KEYS);
+        let map_opts_fp = subset_fp(&options, MAP_OPTION_KEYS);
+        let sched_opts_fp = schedule_subset_fp(&options);
+        CompileSession {
+            options,
+            cache: None,
+            hooks: Vec::new(),
+            prepare_opts_fp,
+            map_opts_fp,
+            sched_opts_fp,
+        }
+    }
+
+    /// Checkpoints stage artifacts into `cache` (and answers from it).
+    pub fn with_cache(mut self, cache: StageCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Adds a per-stage observer (several may be attached).
+    pub fn with_hook(mut self, hook: Arc<dyn TraceHook>) -> Self {
+        self.hooks.push(hook);
+        self
+    }
+
+    /// The session's options.
+    pub fn options(&self) -> &CompilerOptions {
+        &self.options
+    }
+
+    fn emit(&self, stage: Stage, fingerprint: u64, cached: bool, micros: u64) {
+        let event = StageEvent {
+            stage,
+            fingerprint,
+            cached,
+            micros,
+        };
+        for hook in &self.hooks {
+            hook.on_stage(&event);
+        }
+    }
+
+    /// Runs the prepare stage.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::EmptyRegister`] (stage-tagged) for a zero-qubit
+    /// circuit.
+    pub fn prepare(&self, circuit: &Circuit) -> Result<Prepared, CompileError> {
+        let started = Instant::now();
+        if circuit.num_qubits() == 0 {
+            return Err(CompileError::EmptyRegister.at_stage(Stage::Prepare, 0));
+        }
+        let key = stage_key(
+            Stage::Prepare,
+            fingerprint::fingerprint_circuit(circuit),
+            self.prepare_opts_fp,
+        );
+        let (art, cached) = match self.cache.as_ref().and_then(|c| c.prepare.get(key)) {
+            Some(hit) => (hit.value, true),
+            None => {
+                let prepared = prepare(circuit, &self.options);
+                let content_fp = fingerprint::fingerprint_circuit(&prepared);
+                let art = Arc::new(PreparedArt {
+                    circuit: prepared,
+                    content_fp,
+                });
+                if let Some(c) = &self.cache {
+                    c.prepare.insert(key, Arc::clone(&art));
+                }
+                (art, false)
+            }
+        };
+        self.emit(
+            Stage::Prepare,
+            key,
+            cached,
+            started.elapsed().as_micros() as u64,
+        );
+        Ok(Prepared {
+            session: self.clone(),
+            art,
+            key,
+            input_gates: circuit.len(),
+        })
+    }
+
+    /// Runs the whole pipeline: prepare → lower → map → schedule.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`], tagged with the stage it occurred in.
+    pub fn compile(&self, circuit: &Circuit) -> Result<CompiledProgram, CompileError> {
+        self.prepare(circuit)?.lower().map()?.schedule()
+    }
+
+    /// Runs the pipeline up to and including `stop`, reporting the stage
+    /// trail. `program` is populated only when `stop` is
+    /// [`Stage::Schedule`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`CompileError`], tagged with the stage it occurred in.
+    pub fn run_until(&self, circuit: &Circuit, stop: Stage) -> Result<StageRun, CompileError> {
+        let trace = StageTrace::new();
+        let mut session = self.clone();
+        session.hooks.push(Arc::<StageTrace>::clone(&trace));
+        let done = |fingerprint: u64, stage: Stage, program: Option<CompiledProgram>| StageRun {
+            stage,
+            fingerprint,
+            events: trace.events(),
+            program,
+        };
+
+        let prepared = session.prepare(circuit)?;
+        if stop == Stage::Prepare {
+            let fp = prepared.fingerprint();
+            return Ok(done(fp, Stage::Prepare, None));
+        }
+        let lowered = prepared.lower();
+        if stop == Stage::Lower {
+            let fp = lowered.fingerprint();
+            return Ok(done(fp, Stage::Lower, None));
+        }
+        let mapped = lowered.map()?;
+        if stop == Stage::Map {
+            let fp = mapped.fingerprint();
+            return Ok(done(fp, Stage::Map, None));
+        }
+        let schedule_key = mapped.schedule_key();
+        let program = mapped.schedule()?;
+        Ok(done(schedule_key, Stage::Schedule, Some(program)))
+    }
+
+    /// Computes all four stage keys by running only the cheap front-end
+    /// stages (prepare and lower, cache-assisted); routing and scheduling
+    /// do **not** execute. The map and schedule keys are derivable without
+    /// their artifacts — each is a digest of the upstream key/content plus
+    /// an option subset — which is what makes cheap cache probes possible.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::EmptyRegister`] (stage-tagged) for a zero-qubit
+    /// circuit.
+    pub fn stage_keys(&self, circuit: &Circuit) -> Result<[u64; 4], CompileError> {
+        // Hook-less clone: a probe must not show up in --explain traces.
+        let mut probe = self.clone();
+        probe.hooks.clear();
+        let prepared = probe.prepare(circuit)?;
+        let prepare_key = prepared.key;
+        let lowered = prepared.lower();
+        let lower_key = lowered.key;
+        let map_key = stage_key(Stage::Map, lowered.art.content_fp, self.map_opts_fp);
+        let schedule_key = stage_key(Stage::Schedule, map_key, self.sched_opts_fp);
+        Ok([prepare_key, lower_key, map_key, schedule_key])
+    }
+
+    /// Whether the artifact for `stage` is already present in this
+    /// session's stage cache, without computing anything past the cheap
+    /// front end. Deriving the keys runs (cache-assisted, counted-as-usual)
+    /// prepare/lower lookups; only the final presence check on `stage`'s
+    /// tier is a silent probe. Always `false` when the session has no
+    /// cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompileSession::stage_keys`].
+    pub fn stage_cached(&self, circuit: &Circuit, stage: Stage) -> Result<bool, CompileError> {
+        let Some(cache) = &self.cache else {
+            return Ok(false);
+        };
+        let keys = self.stage_keys(circuit)?;
+        let index = Stage::ALL.iter().position(|s| *s == stage).expect("listed");
+        Ok(cache.contains(stage, keys[index]))
+    }
+}
+
+/// What [`CompileSession::run_until`] did: the terminal stage, its
+/// artifact fingerprint, the full per-stage event trail, and — when the
+/// run reached [`Stage::Schedule`] — the compiled program.
+#[derive(Debug)]
+pub struct StageRun {
+    /// The terminal stage reached.
+    pub stage: Stage,
+    /// The terminal stage artifact's fingerprint.
+    pub fingerprint: u64,
+    /// One event per stage run, in execution order.
+    pub events: Vec<StageEvent>,
+    /// The compiled program, when the run went all the way.
+    pub program: Option<CompiledProgram>,
+}
+
+/// Output of the prepare stage; continue with [`Prepared::lower`].
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    session: CompileSession,
+    art: Arc<PreparedArt>,
+    key: u64,
+    input_gates: usize,
+}
+
+impl Prepared {
+    /// The stage artifact's fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.key
+    }
+
+    /// The prepared circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.art.circuit
+    }
+
+    /// Runs the lower stage.
+    pub fn lower(self) -> Lowered {
+        let started = Instant::now();
+        // Content-addressed: keyed on the prepared circuit itself, so two
+        // option sets that prepare to the same circuit share the artifact.
+        let key = stage_key(Stage::Lower, self.art.content_fp, 0);
+        let (art, cached) = match self.session.cache.as_ref().and_then(|c| c.lower.get(key)) {
+            Some(hit) => (hit.value, true),
+            None => {
+                let lowered = lower(&self.art.circuit);
+                let content_fp = fingerprint::fingerprint_circuit(&lowered);
+                let art = Arc::new(LoweredArt {
+                    circuit: lowered,
+                    content_fp,
+                });
+                if let Some(c) = &self.session.cache {
+                    c.lower.insert(key, Arc::clone(&art));
+                }
+                (art, false)
+            }
+        };
+        self.session.emit(
+            Stage::Lower,
+            key,
+            cached,
+            started.elapsed().as_micros() as u64,
+        );
+        Lowered {
+            session: self.session,
+            art,
+            key,
+            input_gates: self.input_gates,
+        }
+    }
+}
+
+/// Output of the lower stage; continue with [`Lowered::map`].
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    session: CompileSession,
+    art: Arc<LoweredArt>,
+    key: u64,
+    input_gates: usize,
+}
+
+impl Lowered {
+    /// The stage artifact's fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.key
+    }
+
+    /// The lowered circuit.
+    pub fn circuit(&self) -> &Circuit {
+        &self.art.circuit
+    }
+
+    /// Runs the map stage: layout construction, initial placement, factory
+    /// docking, and greedy routing.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Layout`] or [`CompileError::RoutingFailed`], tagged
+    /// with [`Stage::Map`].
+    pub fn map(self) -> Result<Mapped, CompileError> {
+        let started = Instant::now();
+        let options = &self.session.options;
+        let key = stage_key(Stage::Map, self.art.content_fp, self.session.map_opts_fp);
+        let (art, cached) = match self.session.cache.as_ref().and_then(|c| c.map.get(key)) {
+            Some(hit) => (hit.value, true),
+            None => {
+                let art = compute_map(&self.art.circuit, options)
+                    .map_err(|e| e.at_stage(Stage::Map, started.elapsed().as_micros() as u64))?;
+                let art = Arc::new(art);
+                if let Some(c) = &self.session.cache {
+                    c.map.insert(key, Arc::clone(&art));
+                }
+                (art, false)
+            }
+        };
+        self.session.emit(
+            Stage::Map,
+            key,
+            cached,
+            started.elapsed().as_micros() as u64,
+        );
+        Ok(Mapped {
+            session: self.session,
+            lowered: self.art,
+            art,
+            key,
+            input_gates: self.input_gates,
+        })
+    }
+}
+
+/// The map stage's computation, a pure function of the lowered circuit and
+/// the map-stage option subset.
+fn compute_map(lowered: &Circuit, options: &CompilerOptions) -> Result<MappedArt, CompileError> {
+    let layout = Layout::try_with_routing_paths(lowered.num_qubits(), options.routing_paths)?;
+    let mapping = InitialMapping::for_circuit(&layout, lowered, options.mapping);
+    let bank = if options.unbounded_magic {
+        FactoryBank::unbounded(&layout, options.factories)
+    } else {
+        FactoryBank::dock_with(
+            &layout,
+            options.factories,
+            options.timing.magic_production,
+            options.port_placement,
+        )
+    };
+    let factory_patches = bank.total_tiles();
+    let mut engine = Engine::new(&layout, &mapping, bank, options);
+    engine.run(lowered)?;
+    let (ops, n_magic_states) = engine.into_ops();
+    Ok(MappedArt {
+        layout,
+        mapping,
+        factory_patches,
+        ops,
+        n_magic_states,
+    })
+}
+
+/// Output of the map stage; finish with [`Mapped::schedule`] or re-time
+/// under different scheduling knobs with [`Mapped::reschedule`].
+#[derive(Debug, Clone)]
+pub struct Mapped {
+    session: CompileSession,
+    lowered: Arc<LoweredArt>,
+    art: Arc<MappedArt>,
+    key: u64,
+    input_gates: usize,
+}
+
+impl Mapped {
+    /// The stage artifact's fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.key
+    }
+
+    /// The routed operation sequence (before redundant-move elimination).
+    pub fn ops(&self) -> &[RoutedOp] {
+        &self.art.ops
+    }
+
+    /// Magic states the routed program consumes.
+    pub fn n_magic_states(&self) -> u64 {
+        self.art.n_magic_states
+    }
+
+    /// The schedule-stage cache key this artifact would be finished under.
+    fn schedule_key(&self) -> u64 {
+        stage_key(Stage::Schedule, self.key, self.session.sched_opts_fp)
+    }
+
+    /// Runs the schedule stage: redundant-move elimination, the two timing
+    /// replays, and metrics assembly.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice; kept fallible for parity with the
+    /// other stages and future scheduling passes.
+    pub fn schedule(self) -> Result<CompiledProgram, CompileError> {
+        let options = self.session.options.clone();
+        let sched_fp = self.session.sched_opts_fp;
+        self.finish(&options, sched_fp)
+    }
+
+    /// Re-times this routed program under `options`, which may differ from
+    /// the session's only in schedule-stage knobs
+    /// (`eliminate_redundant_moves`, `schedule_timing`). The expensive
+    /// prepare/lower/map artifacts are reused as-is; only scheduling runs.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileError::Stage`] tagged [`Stage::Schedule`] when `options`
+    /// disagree with this artifact's upstream option subsets (the artifact
+    /// would not correspond to the requested compilation).
+    pub fn reschedule(&self, options: &CompilerOptions) -> Result<CompiledProgram, CompileError> {
+        let diverged = subset_fp(options, PREPARE_OPTION_KEYS) != self.session.prepare_opts_fp
+            || subset_fp(options, MAP_OPTION_KEYS) != self.session.map_opts_fp;
+        if diverged {
+            return Err(CompileError::OptionsDiverged {
+                stage: Stage::Schedule,
+            }
+            .at_stage(Stage::Schedule, 0));
+        }
+        self.finish(options, schedule_subset_fp(options))
+    }
+
+    fn finish(
+        &self,
+        options: &CompilerOptions,
+        sched_fp: u64,
+    ) -> Result<CompiledProgram, CompileError> {
+        let started = Instant::now();
+        let key = stage_key(Stage::Schedule, self.key, sched_fp);
+        let (art, cached) = match self
+            .session
+            .cache
+            .as_ref()
+            .and_then(|c| c.schedule.get(key))
+        {
+            Some(hit) => (hit.value, true),
+            None => {
+                let art = Arc::new(compute_schedule(
+                    &self.art,
+                    self.lowered.circuit.num_qubits(),
+                    options,
+                ));
+                if let Some(c) = &self.session.cache {
+                    c.schedule.insert(key, Arc::clone(&art));
+                }
+                (art, false)
+            }
+        };
+        self.session.emit(
+            Stage::Schedule,
+            key,
+            cached,
+            started.elapsed().as_micros() as u64,
+        );
+
+        // Without a cache the Arc is sole-owned, so the schedule moves into
+        // the program instead of being cloned (the monolithic path's cost).
+        let art = if self.session.cache.is_none() {
+            Arc::try_unwrap(art).unwrap_or_else(|shared| (*shared).clone())
+        } else {
+            (*art).clone()
+        };
+        let timing = options.effective_schedule_timing();
+        let metrics = Metrics {
+            execution_time: art.schedule.makespan(),
+            unit_cost_time: art.unit_makespan,
+            lower_bound: if options.unbounded_magic {
+                Ticks::ZERO
+            } else {
+                lower_bound(
+                    self.art.n_magic_states,
+                    timing.magic_production,
+                    options.factories,
+                )
+            },
+            grid_patches: self.art.layout.total_patches(),
+            factory_patches: self.art.factory_patches,
+            routing_paths: options.routing_paths,
+            factories: options.factories,
+            n_gates: self.input_gates,
+            n_surgery_ops: art.n_surgery_ops,
+            n_moves: art.n_moves,
+            n_moves_eliminated: art.n_moves_eliminated,
+            n_magic_states: self.art.n_magic_states,
+        };
+        Ok(CompiledProgram::assemble(
+            self.art.layout.clone(),
+            art.schedule,
+            metrics,
+            self.lowered.circuit.clone(),
+            self.art.mapping.clone(),
+            options.clone(),
+        ))
+    }
+}
+
+/// The schedule stage's computation, a pure function of the routed ops and
+/// the schedule-stage option subset.
+fn compute_schedule(
+    mapped: &MappedArt,
+    num_qubits: u32,
+    options: &CompilerOptions,
+) -> ScheduledArt {
+    let mut ops = mapped.ops.clone();
+    let n_moves_eliminated = if options.eliminate_redundant_moves {
+        eliminate_redundant_moves(&mut ops)
+    } else {
+        0
+    };
+    let timing = options.effective_schedule_timing();
+    let schedule = time_ops(
+        &ops,
+        num_qubits,
+        options.factories as usize,
+        timing,
+        CostKind::Realistic,
+        options.unbounded_magic,
+    );
+    let unit_schedule = time_ops(
+        &ops,
+        num_qubits,
+        options.factories as usize,
+        timing,
+        CostKind::UnitCost,
+        options.unbounded_magic,
+    );
+    ScheduledArt {
+        unit_makespan: unit_schedule.makespan(),
+        n_surgery_ops: ops.len(),
+        n_moves: ops.iter().filter(|o| o.is_movement()).count(),
+        n_moves_eliminated,
+        schedule,
+    }
+}
+
+/// Runs a session up to `stop_after` (default: the full pipeline) and
+/// folds the result into the service's generic [`StageOutcome`] — the
+/// single compile recipe behind the HTTP server's job endpoints and the
+/// CLI's batch command.
+///
+/// `resume_from` requires the named stage's artifact to already be in the
+/// stage cache. The probe runs **before** anything expensive: only the
+/// cheap prepare/lower front end executes to derive the stage keys, so a
+/// cold-cache job fails without paying the routing cost the field exists
+/// to avoid. (Should the artifact be evicted concurrently between probe
+/// and run, the run recomputes it — still correct, just slower.)
+///
+/// # Errors
+///
+/// A rendered error string (bad stage names, stage-tagged compile
+/// failures, unmet `resume_from` requirements) — the shape
+/// [`BatchService::run`](ftqc_service::BatchService::run) expects.
+pub fn stage_outcome(
+    session: &CompileSession,
+    circuit: &Circuit,
+    stop_after: Option<&str>,
+    resume_from: Option<&str>,
+) -> Result<StageOutcome<Metrics>, String> {
+    let stop = match stop_after {
+        None => Stage::Schedule,
+        Some(name) => Stage::parse_or_err(name)?,
+    };
+    if let Some(stage) = resume_from.map(Stage::parse_or_err).transpose()? {
+        if stage > stop {
+            return Err(format!(
+                "resume_from={}: stage not reached (stop_after={})",
+                stage.name(),
+                stop.name()
+            ));
+        }
+        let cached = session
+            .stage_cached(circuit, stage)
+            .map_err(|e| e.to_string())?;
+        if !cached {
+            return Err(format!(
+                "resume_from={}: stage artifact was not in the stage cache",
+                stage.name()
+            ));
+        }
+    }
+
+    let run = session
+        .run_until(circuit, stop)
+        .map_err(|e| e.to_string())?;
+    Ok(match run.program {
+        Some(program) if stop_after.is_none() => StageOutcome::complete(*program.metrics()),
+        Some(program) => StageOutcome {
+            metrics: Some(*program.metrics()),
+            stage: Some(Stage::Schedule.name().to_string()),
+            fingerprint: Some(run.fingerprint),
+        },
+        None => StageOutcome::partial(run.stage.name(), run.fingerprint),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Compiler;
+    use ftqc_arch::TimingModel;
+
+    fn circuit() -> Circuit {
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q);
+        }
+        c.cnot(0, 1).t(1).cnot(2, 3).t(4).cz(4, 5).measure(5);
+        c
+    }
+
+    fn assert_programs_equal(a: &CompiledProgram, b: &CompiledProgram) {
+        assert_eq!(a.metrics(), b.metrics());
+        assert_eq!(a.schedule().len(), b.schedule().len());
+        for (x, y) in a.schedule().iter().zip(b.schedule().iter()) {
+            assert_eq!(x, y);
+        }
+        assert_eq!(a.lowered_circuit(), b.lowered_circuit());
+        assert_eq!(a.initial_mapping(), b.initial_mapping());
+    }
+
+    #[test]
+    fn staged_equals_monolithic() {
+        for options in [
+            CompilerOptions::default(),
+            CompilerOptions::default()
+                .routing_paths(3)
+                .factories(2)
+                .optimize(true),
+            CompilerOptions::default().eliminate_redundant_moves(false),
+            CompilerOptions::default().unbounded_magic(true),
+        ] {
+            let c = circuit();
+            let mono = Compiler::new(options.clone()).compile(&c).expect("mono");
+            let staged = CompileSession::new(options)
+                .prepare(&c)
+                .expect("prepare")
+                .lower()
+                .map()
+                .expect("map")
+                .schedule()
+                .expect("schedule");
+            assert_programs_equal(&mono, &staged);
+        }
+    }
+
+    #[test]
+    fn stage_names_roundtrip() {
+        for stage in Stage::ALL {
+            assert_eq!(Stage::parse(stage.name()), Some(stage));
+            assert_eq!(stage.to_string(), stage.name());
+        }
+        assert_eq!(Stage::parse("banana"), None);
+    }
+
+    #[test]
+    fn second_compile_hits_every_stage() {
+        let cache = StageCache::new(64);
+        let session = CompileSession::new(CompilerOptions::default()).with_cache(cache.clone());
+        let c = circuit();
+        let first = session.compile(&c).expect("first");
+        let stats = cache.stats();
+        for stage in Stage::ALL {
+            assert_eq!(stats.for_stage(stage).misses, 1, "{stage} missed once");
+            assert_eq!(stats.for_stage(stage).hits, 0);
+        }
+        let second = session.compile(&c).expect("second");
+        assert_programs_equal(&first, &second);
+        let stats = cache.stats();
+        for stage in Stage::ALL {
+            assert_eq!(stats.for_stage(stage).hits, 1, "{stage} hit on repeat");
+        }
+        assert_eq!(stats.hits(), 4);
+        assert_eq!(stats.misses(), 4);
+    }
+
+    #[test]
+    fn schedule_only_sweep_reuses_routing() {
+        // Varying only scheduling knobs must hit prepare/lower/map and
+        // re-run scheduling alone — the tentpole's payoff.
+        let cache = StageCache::new(64);
+        let c = circuit();
+        let variants = [
+            CompilerOptions::default(),
+            CompilerOptions::default().eliminate_redundant_moves(false),
+            CompilerOptions::default().schedule_timing(TimingModel {
+                cnot: Ticks::from_d(4.0),
+                ..TimingModel::paper()
+            }),
+            CompilerOptions::default().schedule_timing(TimingModel {
+                move_op: Ticks::from_d(2.0),
+                ..TimingModel::paper()
+            }),
+        ];
+        for options in &variants {
+            CompileSession::new(options.clone())
+                .with_cache(cache.clone())
+                .compile(&c)
+                .expect("compiles");
+        }
+        let stats = cache.stats();
+        let n = variants.len() as u64;
+        assert_eq!(stats.prepare.misses, 1);
+        assert_eq!(stats.prepare.hits, n - 1);
+        assert_eq!(stats.lower.misses, 1);
+        assert_eq!(stats.lower.hits, n - 1);
+        assert_eq!(stats.map.misses, 1, "routing ran exactly once");
+        assert_eq!(stats.map.hits, n - 1);
+        assert_eq!(stats.schedule.misses, n, "every variant re-schedules");
+    }
+
+    #[test]
+    fn grid_sweep_reuses_front_end() {
+        let cache = StageCache::new(64);
+        let c = circuit();
+        let mut grid = 0u64;
+        for r in [2u32, 3, 4] {
+            for f in [1u32, 2] {
+                grid += 1;
+                CompileSession::new(CompilerOptions::default().routing_paths(r).factories(f))
+                    .with_cache(cache.clone())
+                    .compile(&c)
+                    .expect("compiles");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.prepare.misses, 1);
+        assert_eq!(stats.prepare.hits, grid - 1);
+        assert_eq!(stats.lower.misses, 1);
+        assert_eq!(stats.map.misses, grid, "each grid point routes");
+    }
+
+    #[test]
+    fn noop_optimize_shares_lower_artifact() {
+        // The circuit has nothing to peephole away, so optimize on/off
+        // prepares to the same content and the lower tier converges.
+        let cache = StageCache::new(64);
+        let mut c = Circuit::new(3);
+        c.h(0).cnot(0, 1).t(2);
+        for optimize in [false, true] {
+            CompileSession::new(CompilerOptions::default().optimize(optimize))
+                .with_cache(cache.clone())
+                .compile(&c)
+                .expect("compiles");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.prepare.misses, 2, "prepare keys differ on optimize");
+        assert_eq!(stats.lower.misses, 1, "identical content shares lowering");
+        assert_eq!(stats.lower.hits, 1);
+        assert_eq!(stats.map.hits, 1);
+    }
+
+    #[test]
+    fn trace_hook_sees_all_stages() {
+        let trace = StageTrace::new();
+        let session = CompileSession::new(CompilerOptions::default())
+            .with_hook(trace.clone() as Arc<dyn TraceHook>);
+        session.compile(&circuit()).expect("compiles");
+        let events = trace.events();
+        let stages: Vec<Stage> = events.iter().map(|e| e.stage).collect();
+        assert_eq!(stages, Stage::ALL.to_vec());
+        assert!(events.iter().all(|e| !e.cached), "no cache attached");
+        assert!(events.iter().all(|e| e.fingerprint != 0));
+    }
+
+    #[test]
+    fn run_until_stops_early() {
+        let session = CompileSession::new(CompilerOptions::default());
+        let c = circuit();
+        let run = session.run_until(&c, Stage::Map).expect("runs");
+        assert_eq!(run.stage, Stage::Map);
+        assert!(run.program.is_none());
+        assert_eq!(run.events.len(), 3);
+        let full = session.run_until(&c, Stage::Schedule).expect("runs");
+        assert_eq!(full.events.len(), 4);
+        let program = full.program.expect("full run compiles");
+        let mono = Compiler::default().compile(&c).expect("mono");
+        assert_programs_equal(&mono, &program);
+    }
+
+    #[test]
+    fn errors_carry_their_stage() {
+        let c = circuit();
+        let err = CompileSession::new(CompilerOptions::default().routing_paths(99))
+            .prepare(&c)
+            .expect("prepare fine")
+            .lower()
+            .map()
+            .expect_err("layout invalid");
+        assert_eq!(err.stage(), Some(Stage::Map));
+        assert!(matches!(err.into_root(), CompileError::Layout(_)));
+
+        let err = CompileSession::new(CompilerOptions::default())
+            .prepare(&Circuit::new(0))
+            .expect_err("empty register");
+        assert_eq!(err.stage(), Some(Stage::Prepare));
+    }
+
+    #[test]
+    fn reschedule_varies_schedule_knobs_only() {
+        let c = circuit();
+        let base = CompilerOptions::default();
+        let mapped = CompileSession::new(base.clone())
+            .prepare(&c)
+            .unwrap()
+            .lower()
+            .map()
+            .unwrap();
+        let slow = base.clone().schedule_timing(TimingModel {
+            cnot: Ticks::from_d(6.0),
+            ..TimingModel::paper()
+        });
+        let retimed = mapped.reschedule(&slow).expect("re-times");
+        let mono = Compiler::new(slow).compile(&c).expect("mono");
+        assert_programs_equal(&mono, &retimed);
+
+        // Upstream divergence is rejected, not silently mis-compiled.
+        let err = mapped
+            .reschedule(&base.routing_paths(3))
+            .expect_err("diverged");
+        assert_eq!(err.stage(), Some(Stage::Schedule));
+    }
+
+    #[test]
+    fn stage_outcome_bridges_to_the_service() {
+        let cache = StageCache::new(64);
+        let session = CompileSession::new(CompilerOptions::default()).with_cache(cache.clone());
+        let c = circuit();
+
+        let partial = stage_outcome(&session, &c, Some("map"), None).expect("partial");
+        assert_eq!(partial.stage.as_deref(), Some("map"));
+        assert!(partial.metrics.is_none());
+        assert!(partial.fingerprint.is_some());
+
+        // resume_from now holds: the map artifact is cached.
+        let full = stage_outcome(&session, &c, None, Some("map")).expect("resumes");
+        assert!(full.metrics.is_some());
+        assert_eq!(full.stage, None);
+
+        // On a cold cache the same assertion fails loudly.
+        let cold = CompileSession::new(CompilerOptions::default()).with_cache(StageCache::new(8));
+        let err = stage_outcome(&cold, &c, None, Some("map")).expect_err("cold cache");
+        assert!(err.contains("not in the stage cache"), "got {err}");
+
+        let err = stage_outcome(&session, &c, Some("banana"), None).expect_err("bad stage");
+        assert!(err.contains("unknown stage"), "got {err}");
+
+        let err = stage_outcome(&session, &c, Some("lower"), Some("map")).expect_err("not reached");
+        assert!(err.contains("not reached"), "got {err}");
+    }
+}

@@ -12,10 +12,61 @@
 //!
 //! The response carries the design points (full metrics each) plus the
 //! shared cache's counters and the worker count that served the sweep.
+//!
+//! # Wire-contract versioning
+//!
+//! Every top-level JSON document the server emits carries a `"v"` field
+//! naming the contract version ([`WIRE_VERSION`], currently 1). Requests
+//! *may* carry `"v"`; a missing field means version 1, a different
+//! version is rejected with 400 rather than misinterpreted. JSONL streams
+//! (`POST /v1/batch`) are versioned per *line* on the request side — a
+//! job line may carry `"v"`, and an unsupported version fails that line
+//! alone (see `ftqc_service::job::JOB_SCHEMA_VERSION`) — while response
+//! lines follow the v1 result schema without a per-line `"v"`. Both sides
+//! parse unknown-field-tolerantly, so additive changes (new response
+//! fields, new optional request fields such as `stop_after`) do **not**
+//! bump the version — only incompatible changes (renamed/retyped fields,
+//! changed semantics of existing fields) do. Old clients keep working
+//! against new servers and vice versa within a version.
 
 use ftqc_compiler::{CompilerOptions, DesignPoint};
 use ftqc_service::json::{self, FromJson, JsonError, ToJson, Value};
 use ftqc_service::{CacheStats, CircuitSource};
+
+/// The wire-contract version this crate speaks.
+pub const WIRE_VERSION: u64 = 1;
+
+/// Validates a request document's optional `"v"` field: absent means
+/// [`WIRE_VERSION`]; any other version is an error (the caller answers
+/// 400).
+///
+/// # Errors
+///
+/// A rendered message naming the unsupported version.
+pub fn check_wire_version(doc: &Value) -> Result<(), String> {
+    match doc.get("v") {
+        None => Ok(()),
+        Some(v) => match v.as_u64() {
+            Some(n) if n == WIRE_VERSION => Ok(()),
+            Some(n) => Err(format!(
+                "unsupported wire version {n} (this server speaks v{WIRE_VERSION})"
+            )),
+            None => Err("\"v\" must be an integer wire version".into()),
+        },
+    }
+}
+
+/// Stamps a response document with the wire version (prepended as the
+/// first field). Non-object documents pass through unchanged.
+pub fn versioned(value: Value) -> Value {
+    match value {
+        Value::Obj(mut fields) => {
+            fields.insert(0, ("v".into(), Value::Num(WIRE_VERSION as f64)));
+            Value::Obj(fields)
+        }
+        other => other,
+    }
+}
 
 /// Default routing-path grid when a request omits `"routing_paths"`.
 pub const DEFAULT_ROUTING_PATHS: [u32; 7] = [2, 3, 4, 5, 6, 7, 8];
@@ -202,6 +253,22 @@ mod tests {
             let v = Value::parse(text).unwrap();
             assert!(SweepRequest::from_json(&v).is_err(), "accepted {text}");
         }
+    }
+
+    #[test]
+    fn wire_version_checks() {
+        assert!(check_wire_version(&Value::parse("{}").unwrap()).is_ok());
+        assert!(check_wire_version(&Value::parse(r#"{"v":1}"#).unwrap()).is_ok());
+        let err = check_wire_version(&Value::parse(r#"{"v":99}"#).unwrap()).unwrap_err();
+        assert!(err.contains("99"), "got {err}");
+        assert!(check_wire_version(&Value::parse(r#"{"v":"one"}"#).unwrap()).is_err());
+
+        let stamped = versioned(Value::Obj(vec![("x".into(), Value::Num(1.0))]));
+        assert_eq!(stamped.get("v").and_then(Value::as_u64), Some(WIRE_VERSION));
+        // Requests with unknown fields still decode (tolerant parsing).
+        let req =
+            Value::parse(r#"{"v":1,"source":{"benchmark":"ghz"},"future_knob":true}"#).unwrap();
+        assert!(SweepRequest::from_json(&req).is_ok());
     }
 
     #[test]

@@ -139,6 +139,30 @@ impl Client {
         Ok(JobResult::from_json(&doc)?)
     }
 
+    /// `POST /v1/compile?stage=…`: run the pipeline only up to `stage`
+    /// (`"prepare"`, `"lower"`, `"map"`, `"schedule"`). Partial results
+    /// carry the stage name and its artifact fingerprint instead of
+    /// metrics; use this to warm or probe the server's stage cache.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; unknown stage names come back as
+    /// [`ClientError::Status`] 400.
+    pub fn compile_staged(
+        &self,
+        job: &CompileJob<CompilerOptions>,
+        stage: &str,
+    ) -> Result<JobResult<Metrics>, ClientError> {
+        // Validate before splicing into the request target: an arbitrary
+        // string (spaces, CRLF) would corrupt the request line and come
+        // back as a confusing generic 400.
+        let stage = ftqc_compiler::Stage::parse_or_err(stage)
+            .map_err(|e| ClientError::Http(HttpError::Malformed(e)))?;
+        let path = format!("/v1/compile?stage={}", stage.name());
+        let doc = self.exchange_json("POST", &path, Some(&job.to_json()))?;
+        Ok(JobResult::from_json(&doc)?)
+    }
+
     /// `POST /v1/batch`: raw JSONL in, results out in submission order.
     ///
     /// # Errors

@@ -63,6 +63,8 @@ pub struct Request {
     pub method: String,
     /// Path component of the target, query string stripped.
     pub path: String,
+    /// Raw query string (without the `?`); empty when the target had none.
+    pub query: String,
     /// Header list in arrival order, names lowercased.
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
@@ -101,6 +103,16 @@ impl Request {
     pub fn body_str(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body)
             .map_err(|_| HttpError::Malformed("body is not UTF-8".into()))
+    }
+
+    /// The first value of a `name=value` query parameter, or `None` when
+    /// absent. Values are returned raw (this server's parameters are plain
+    /// tokens; no percent-decoding is applied).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -248,12 +260,16 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Option<Request>, HttpErro
             )))
         }
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     let headers = parse_headers(lines)?;
     let body = read_body(reader, &headers, leftover)?;
     Ok(Some(Request {
         method,
         path,
+        query,
         headers,
         body,
     }))
@@ -375,10 +391,19 @@ mod tests {
 
     #[test]
     fn empty_body_and_query_stripping() {
-        let wire = b"GET /healthz?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+        let wire = b"GET /healthz?verbose=1&mode=full HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
         let req = read_request(&mut Cursor::new(wire)).unwrap().unwrap();
         assert_eq!(req.path, "/healthz");
         assert!(req.body.is_empty());
+        assert_eq!(req.query, "verbose=1&mode=full");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("mode"), Some("full"));
+        assert_eq!(req.query_param("absent"), None);
+
+        let wire = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".to_vec();
+        let req = read_request(&mut Cursor::new(wire)).unwrap().unwrap();
+        assert_eq!(req.query, "");
+        assert_eq!(req.query_param("verbose"), None);
     }
 
     #[test]

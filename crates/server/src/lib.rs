@@ -43,7 +43,10 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use api::{SweepRequest, SweepResponse, DEFAULT_FACTORIES, DEFAULT_ROUTING_PATHS};
+pub use api::{
+    check_wire_version, versioned, SweepRequest, SweepResponse, DEFAULT_FACTORIES,
+    DEFAULT_ROUTING_PATHS, WIRE_VERSION,
+};
 pub use client::{Client, ClientError};
 pub use metrics::{Endpoint, ServerMetrics};
 pub use server::{Server, ServerConfig, ServerError, ServerReport, ShutdownHandle};

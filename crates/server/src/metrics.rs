@@ -6,6 +6,7 @@
 //! [`ftqc_service::CacheStats`] at render time, so the numbers can never
 //! drift from what the cache itself reports.
 
+use ftqc_compiler::{Stage, StageCacheStats};
 use ftqc_service::CacheStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -159,8 +160,14 @@ impl ServerMetrics {
 
     /// Renders the Prometheus text exposition: request/error counts and
     /// latency sums per endpoint, the in-flight gauge, connection counters,
-    /// job outcomes, and the shared cache's live counters.
-    pub fn render_prometheus(&self, cache: &CacheStats, uptime: std::time::Duration) -> String {
+    /// job outcomes, the shared cache's live counters, and the stage
+    /// cache's per-stage hit/miss counters.
+    pub fn render_prometheus(
+        &self,
+        cache: &CacheStats,
+        stages: &StageCacheStats,
+        uptime: std::time::Duration,
+    ) -> String {
         let mut out = String::with_capacity(2048);
         let _ = writeln!(
             out,
@@ -272,6 +279,30 @@ impl ServerMetrics {
             let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
             let _ = writeln!(out, "{name} {value}");
         }
+        type StagePick = fn(CacheStats) -> u64;
+        let stage_counters: [(&str, &str, StagePick); 2] = [
+            (
+                "ftqc_stage_cache_hits_total",
+                "Stage-cache lookups answered from a cached stage artifact, by stage.",
+                |s| s.hits,
+            ),
+            (
+                "ftqc_stage_cache_misses_total",
+                "Stage-cache lookups that recomputed the stage, by stage.",
+                |s| s.misses,
+            ),
+        ];
+        for (name, help, pick) in stage_counters {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            for stage in Stage::ALL {
+                let _ = writeln!(
+                    out,
+                    "{name}{{stage=\"{}\"}} {}",
+                    stage.name(),
+                    pick(stages.for_stage(stage))
+                );
+            }
+        }
         out
     }
 }
@@ -331,7 +362,17 @@ mod tests {
             insertions: 3,
             evictions: 0,
         };
-        let text = m.render_prometheus(&cache, Duration::from_secs(42));
+        let stages = StageCacheStats {
+            map: CacheStats {
+                hits: 5,
+                file_hits: 0,
+                misses: 2,
+                insertions: 2,
+                evictions: 0,
+            },
+            ..StageCacheStats::default()
+        };
+        let text = m.render_prometheus(&cache, &stages, Duration::from_secs(42));
         assert!(text.contains("ftqc_http_requests_total{endpoint=\"compile\"} 2"));
         assert!(text.contains("ftqc_http_errors_total{endpoint=\"batch\"} 1"));
         assert!(text.contains("ftqc_http_latency_micros_total{endpoint=\"compile\"} 200"));
@@ -343,6 +384,9 @@ mod tests {
         assert!(text.contains("ftqc_jobs_ok_total 3"));
         assert!(text.contains("ftqc_jobs_failed_total 1"));
         assert!(text.contains("ftqc_uptime_seconds 42"));
+        assert!(text.contains("ftqc_stage_cache_hits_total{stage=\"map\"} 5"));
+        assert!(text.contains("ftqc_stage_cache_misses_total{stage=\"map\"} 2"));
+        assert!(text.contains("ftqc_stage_cache_hits_total{stage=\"prepare\"} 0"));
         // Every exposed family carries HELP/TYPE lines.
         assert_eq!(
             text.lines().filter(|l| l.starts_with("# HELP")).count(),

@@ -20,15 +20,18 @@
 //! # Ok::<(), ftqc_server::ServerError>(())
 //! ```
 
-use crate::api::{SweepRequest, SweepResponse};
+use crate::api::{check_wire_version, versioned, SweepRequest, SweepResponse};
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{Endpoint, ServerMetrics};
-use ftqc_compiler::{explore_parallel_with, pareto_front, Compiler, CompilerOptions, Metrics};
+use ftqc_compiler::{
+    explore_session, pareto_front, stage_outcome, CompileSession, CompilerOptions, Metrics, Stage,
+    StageCache, StageCacheStats,
+};
 use ftqc_service::json::{JsonError, ToJson, Value};
 use ftqc_service::resolve::resolve_source_remote;
 use ftqc_service::{
     job_from_value, render_results, BatchService, CacheStats, CompileCache, CompileJob, JobResult,
-    SharedCache, WorkerPool,
+    SharedCache, StageOutcome, WorkerPool,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -107,6 +110,8 @@ pub struct ServerReport {
     pub connections: u64,
     /// The shared cache's final counters.
     pub cache: CacheStats,
+    /// The stage cache's final per-stage counters.
+    pub stages: StageCacheStats,
     /// Where the cache was persisted, when a file tier was configured.
     pub persisted: Option<PathBuf>,
 }
@@ -115,6 +120,10 @@ pub struct ServerReport {
 struct AppState {
     service: BatchService<Metrics>,
     cache: SharedCache<Metrics>,
+    /// Process-wide stage-artifact cache: every compile on this server —
+    /// single jobs, batch lines, sweep grid points — resumes from whatever
+    /// stages any earlier request already computed.
+    stages: StageCache,
     metrics: ServerMetrics,
     workers: usize,
     started: Instant,
@@ -206,6 +215,7 @@ impl Server {
         let state = AppState {
             service: BatchService::with_cache(workers, cache.clone()),
             cache,
+            stages: StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY),
             metrics: ServerMetrics::new(),
             workers,
             started: Instant::now(),
@@ -295,6 +305,7 @@ impl Server {
             requests: self.state.metrics.total_requests(),
             connections: self.state.metrics.connections(),
             cache: self.state.cache.stats(),
+            stages: self.state.stages.stats(),
             persisted,
         })
     }
@@ -387,7 +398,11 @@ fn serve_connection(state: &AppState, mut stream: TcpStream) {
 }
 
 fn error_body(message: &str) -> String {
-    Value::Obj(vec![("error".into(), Value::Str(message.into()))]).render()
+    versioned(Value::Obj(vec![(
+        "error".into(),
+        Value::Str(message.into()),
+    )]))
+    .render()
 }
 
 type HandlerResult = (u16, &'static str, String);
@@ -403,9 +418,11 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
         ("GET", "/metrics") => (
             200,
             "text/plain; version=0.0.4",
-            state
-                .metrics
-                .render_prometheus(&state.cache.stats(), state.started.elapsed()),
+            state.metrics.render_prometheus(
+                &state.cache.stats(),
+                &state.stages.stats(),
+                state.started.elapsed(),
+            ),
         ),
         (
             _,
@@ -423,15 +440,22 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
     }
 }
 
-/// The compile closure every job endpoint shares.
-fn compile_metrics(
+/// The compile closure every job endpoint shares: a staged session over
+/// the process-wide stage cache, honouring each job's `stop_after` /
+/// `resume_from` stage fields. Failures carry the failing stage in their
+/// message, so batch JSONL error lines say where a job died.
+fn compile_staged(
+    state: &AppState,
     circuit: &ftqc_circuit::Circuit,
-    options: &CompilerOptions,
-) -> Result<Metrics, String> {
-    Compiler::new(options.clone())
-        .compile(circuit)
-        .map(|program| *program.metrics())
-        .map_err(|e| e.to_string())
+    job: &CompileJob<CompilerOptions>,
+) -> Result<StageOutcome<Metrics>, String> {
+    let session = CompileSession::new(job.options.clone()).with_cache(state.stages.clone());
+    stage_outcome(
+        &session,
+        circuit,
+        job.stop_after.as_deref(),
+        job.resume_from.as_deref(),
+    )
 }
 
 /// Counts finished jobs into the `ftqc_jobs_*` metrics — the single
@@ -442,30 +466,45 @@ fn record_job_outcomes(state: &AppState, results: &[JobResult<Metrics>]) {
 }
 
 fn run_jobs(state: &AppState, jobs: Vec<CompileJob<CompilerOptions>>) -> Vec<JobResult<Metrics>> {
-    let results = state
-        .service
-        .run(jobs, resolve_source_remote, compile_metrics);
+    let results = state.service.run(jobs, resolve_source_remote, |c, job| {
+        compile_staged(state, c, job)
+    });
     record_job_outcomes(state, &results);
     results
 }
 
-/// `POST /v1/compile`: one JSON job object in, one JSON result out. A job
-/// that fails to *compile* is still HTTP 200 — the failure is in the
-/// result's `status`; only an unparseable request is a 400.
+/// `POST /v1/compile[?stage=prepare|lower|map|schedule]`: one JSON job
+/// object in, one JSON result out. The `stage` query parameter (or the
+/// body's `stop_after` field, which it overrides) stops the pipeline at
+/// the named stage: the result then carries the stage name and its
+/// artifact fingerprint instead of metrics. A job that fails to *compile*
+/// is still HTTP 200 — the failure is in the result's `status`; only an
+/// unparseable request (or an unsupported wire version) is a 400.
 fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
     let parsed = request
         .body_str()
         .map_err(|e| e.to_string())
         .and_then(|text| Value::parse(text).map_err(|e| e.to_string()))
         .and_then(|doc| {
+            check_wire_version(&doc)?;
             job_from_value::<CompilerOptions>(&doc, "job-1").map_err(|e| e.to_string())
+        })
+        .and_then(|mut job: CompileJob<CompilerOptions>| {
+            if let Some(stage) = request.query_param("stage") {
+                job.stop_after = Some(Stage::parse_or_err(stage)?.name().to_string());
+            }
+            Ok(job)
         });
     match parsed {
         Err(e) => (400, "application/json", error_body(&e)),
         Ok(job) => {
             let results = run_jobs(state, vec![job]);
             let result = results.into_iter().next().expect("one job, one result");
-            (200, "application/json", result.to_json().render())
+            (
+                200,
+                "application/json",
+                versioned(result.to_json()).render(),
+            )
         }
     }
 }
@@ -478,11 +517,12 @@ fn handle_batch(state: &AppState, request: &Request) -> HandlerResult {
         Ok(b) => b,
         Err(e) => return (400, "application/json", error_body(&e.to_string())),
     };
-    let results = state.service.run_jsonl::<CompilerOptions, _, _>(
-        body,
-        resolve_source_remote,
-        compile_metrics,
-    );
+    let results =
+        state
+            .service
+            .run_jsonl::<CompilerOptions, _, _>(body, resolve_source_remote, |c, job| {
+                compile_staged(state, c, job)
+            });
     if results.is_empty() {
         return (
             400,
@@ -503,6 +543,7 @@ fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
         .and_then(|text| Value::parse(text).map_err(|e| e.to_string()))
         .and_then(|doc| {
             use ftqc_service::json::FromJson as _;
+            check_wire_version(&doc)?;
             SweepRequest::from_json(&doc).map_err(|e| e.to_string())
         });
     let req = match parsed {
@@ -513,13 +554,14 @@ fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
         Ok(c) => c,
         Err(e) => return (400, "application/json", error_body(&e)),
     };
-    match explore_parallel_with(
+    match explore_session(
         &circuit,
         &req.routing_paths,
         &req.factories,
         &req.options,
         state.workers,
         &state.cache,
+        &state.stages,
     ) {
         Err(e) => (500, "application/json", error_body(&e.to_string())),
         Ok(points) => {
@@ -533,20 +575,25 @@ fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
                 cache: state.cache.stats(),
                 workers: state.workers as u64,
             };
-            (200, "application/json", response.to_json().render())
+            (
+                200,
+                "application/json",
+                versioned(response.to_json()).render(),
+            )
         }
     }
 }
 
-/// `GET /v1/cache/stats`: the shared cache's counters plus the memory
-/// tier's current entry count.
+/// `GET /v1/cache/stats`: the shared cache's counters, the memory tier's
+/// current entry count, and the stage cache's per-stage counters.
 fn handle_cache_stats(state: &AppState) -> HandlerResult {
     let mut doc = match state.cache.stats().to_json() {
         Value::Obj(fields) => fields,
         _ => unreachable!("CacheStats renders as an object"),
     };
     doc.push(("entries".into(), Value::Num(state.cache.len() as f64)));
-    (200, "application/json", Value::Obj(doc).render())
+    doc.push(("stages".into(), state.stages.stats().to_json()));
+    (200, "application/json", versioned(Value::Obj(doc)).render())
 }
 
 /// `GET /healthz`: liveness plus a little context.
@@ -563,7 +610,7 @@ fn handle_healthz(state: &AppState) -> HandlerResult {
         ),
         ("workers".into(), Value::Num(state.workers as f64)),
     ]);
-    (200, "application/json", doc.render())
+    (200, "application/json", versioned(doc).render())
 }
 
 #[cfg(test)]
@@ -575,6 +622,7 @@ mod tests {
         AppState {
             service: BatchService::with_cache(workers, cache.clone()),
             cache,
+            stages: StageCache::new(64),
             metrics: ServerMetrics::new(),
             workers,
             started: Instant::now(),
@@ -582,19 +630,25 @@ mod tests {
         }
     }
 
-    fn post(path: &str, body: &str) -> Request {
+    fn post_q(path: &str, query: &str, body: &str) -> Request {
         Request {
             method: "POST".into(),
             path: path.into(),
+            query: query.into(),
             headers: Vec::new(),
             body: body.as_bytes().to_vec(),
         }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        post_q(path, "", body)
     }
 
     fn get(path: &str) -> Request {
         Request {
             method: "GET".into(),
             path: path.into(),
+            query: String::new(),
             headers: Vec::new(),
             body: Vec::new(),
         }
@@ -616,7 +670,8 @@ mod tests {
         assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
         assert_eq!(doc.get("cache").and_then(Value::as_str), Some("computed"));
 
-        // Same job again: served from the shared cache.
+        // Same job again: served from the shared cache. Responses carry
+        // the wire version.
         let (_s, _ct, body) = handle_request(
             &state,
             &post(
@@ -626,6 +681,70 @@ mod tests {
         );
         let doc = Value::parse(&body).unwrap();
         assert_eq!(doc.get("cache").and_then(Value::as_str), Some("memory"));
+        assert_eq!(doc.get("v").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn compile_endpoint_staged_requests() {
+        let state = test_state(2);
+        let job = r#"{"id":"warm","source":{"benchmark":"ising","size":2}}"#;
+        // ?stage=map stops the pipeline: no metrics, stage named, stage
+        // cache warmed.
+        let (status, _, body) = handle_request(&state, &post_q("/v1/compile", "stage=map", job));
+        assert_eq!(status, 200, "got {body}");
+        let doc = Value::parse(&body).unwrap();
+        assert_eq!(doc.get("stage").and_then(Value::as_str), Some("map"));
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert!(doc.get("metrics").is_none(), "partial runs carry none");
+        let stats = state.stages.stats();
+        assert_eq!(stats.map.misses, 1);
+
+        // A full compile of the same job resumes from the warmed stages.
+        let (status, _, body) = handle_request(&state, &post("/v1/compile", job));
+        assert_eq!(status, 200);
+        let doc = Value::parse(&body).unwrap();
+        assert!(doc.get("metrics").is_some(), "got {body}");
+        let stats = state.stages.stats();
+        assert_eq!(stats.map.hits, 1, "routing reused: {stats:?}");
+        assert_eq!(stats.map.misses, 1);
+
+        // resume_from in the body asserts the warm path; a bad stage 400s.
+        let resumed = r#"{"source":{"benchmark":"ising","size":2},"resume_from":"map"}"#;
+        let (status, _, body) = handle_request(&state, &post("/v1/compile", resumed));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\":\"ok\""), "got {body}");
+        let (status, _, body) = handle_request(&state, &post_q("/v1/compile", "stage=banana", job));
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown stage"), "got {body}");
+    }
+
+    #[test]
+    fn wire_version_is_enforced_and_tolerant() {
+        let state = test_state(1);
+        // v:1 and unknown extra fields are accepted.
+        let (status, _, _) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"v":1,"source":{"benchmark":"ising","size":2},"future_field":[1,2]}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        // A version from the future is refused, not misread.
+        let (status, _, body) = handle_request(
+            &state,
+            &post("/v1/compile", r#"{"v":99,"source":{"benchmark":"ising"}}"#),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("unsupported wire version"), "got {body}");
+        let (status, _, _) = handle_request(
+            &state,
+            &post("/v1/sweep", r#"{"v":2,"source":{"benchmark":"ising"}}"#),
+        );
+        assert_eq!(status, 400);
+        // Error bodies are versioned too.
+        let (_, _, body) = handle_request(&state, &post("/v1/compile", "{oops"));
+        assert!(body.contains("\"v\":1"), "got {body}");
     }
 
     #[test]
@@ -708,6 +827,8 @@ mod tests {
         assert_eq!(status, 200);
         assert!(body.contains("\"hits\":0"));
         assert!(body.contains("\"entries\":0"));
+        assert!(body.contains("\"stages\""), "got {body}");
+        assert!(body.contains("\"prepare\""), "got {body}");
 
         state
             .metrics

@@ -9,7 +9,7 @@
 
 use crate::cache::{CacheStats, CacheTier, CompileCache, SharedCache};
 use crate::fingerprint;
-use crate::job::{CacheProvenance, CompileJob, JobResult, JobStatus};
+use crate::job::{CacheProvenance, CompileJob, JobResult, JobStatus, StageOutcome};
 use crate::json::{FromJson, JsonError, ToJson};
 use crate::pool::WorkerPool;
 use ftqc_circuit::Circuit;
@@ -85,8 +85,14 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
     }
 
     /// Runs a batch: `resolve` turns each job's source into a circuit,
-    /// `compile` produces metrics on cache misses. Results come back in
-    /// submission order with cache provenance and per-job timing.
+    /// `compile` produces a [`StageOutcome`] on cache misses (plain full
+    /// compiles return `StageOutcome::complete(metrics)`). Results come
+    /// back in submission order with cache provenance and per-job timing.
+    ///
+    /// Jobs carrying a `stop_after` stage bypass the whole-job metrics
+    /// cache on both lookup and insert — a partial artifact is not a full
+    /// result; stage-granular reuse is the compiler's stage cache's job,
+    /// which the compile callback is expected to consult.
     ///
     /// Identical jobs inside one batch deduplicate best-effort: a twin
     /// claimed after the first copy finished hits the cache, one claimed
@@ -102,20 +108,21 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
     where
         O: ToJson + Send,
         R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
-        C: Fn(&Circuit, &O) -> Result<M, String> + Sync,
+        C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
     {
         let cache = &self.cache;
         let resolve = &resolve;
         let compile = &compile;
         self.pool.run(jobs, move |job| {
             let start = Instant::now();
-            let done = |status, fingerprint, metrics, provenance| JobResult {
+            let done = |status, fingerprint, metrics, provenance, stage| JobResult {
                 id: job.id.clone(),
                 fingerprint,
                 status,
                 metrics,
                 provenance,
                 micros: start.elapsed().as_micros() as u64,
+                stage,
             };
 
             let circuit = match resolve(&job.source) {
@@ -126,6 +133,7 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
                         0,
                         None,
                         CacheProvenance::Computed,
+                        None,
                     )
                 }
             };
@@ -133,19 +141,38 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
                 fingerprint::fingerprint_circuit(&circuit),
                 fingerprint::fingerprint_value(&job.options.to_json()),
             );
-            if let Some(hit) = cache.get(fp) {
-                let provenance = match hit.tier {
-                    CacheTier::Memory => CacheProvenance::MemoryHit,
-                    CacheTier::File => CacheProvenance::FileHit,
-                };
-                return done(JobStatus::Ok, fp, Some(hit.value), provenance);
-            }
-            match compile(&circuit, &job.options) {
-                Ok(metrics) => {
-                    cache.insert(fp, metrics.clone());
-                    done(JobStatus::Ok, fp, Some(metrics), CacheProvenance::Computed)
+            let full = job.stop_after.is_none();
+            if full {
+                if let Some(hit) = cache.get(fp) {
+                    let provenance = match hit.tier {
+                        CacheTier::Memory => CacheProvenance::MemoryHit,
+                        CacheTier::File => CacheProvenance::FileHit,
+                    };
+                    return done(JobStatus::Ok, fp, Some(hit.value), provenance, None);
                 }
-                Err(e) => done(JobStatus::Failed(e), fp, None, CacheProvenance::Computed),
+            }
+            match compile(&circuit, &job) {
+                Ok(outcome) => {
+                    if full {
+                        if let Some(m) = &outcome.metrics {
+                            cache.insert(fp, m.clone());
+                        }
+                    }
+                    done(
+                        JobStatus::Ok,
+                        outcome.fingerprint.unwrap_or(fp),
+                        outcome.metrics,
+                        CacheProvenance::Computed,
+                        outcome.stage,
+                    )
+                }
+                Err(e) => done(
+                    JobStatus::Failed(e),
+                    fp,
+                    None,
+                    CacheProvenance::Computed,
+                    None,
+                ),
             }
         })
     }
@@ -159,7 +186,7 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
     where
         O: FromJson + ToJson + Send,
         R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
-        C: Fn(&Circuit, &O) -> Result<M, String> + Sync,
+        C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
     {
         let lines = crate::job::parse_jobs_lenient::<O>(jsonl);
         let mut slots: Vec<Option<JobResult<M>>> = Vec::with_capacity(lines.len());
@@ -265,13 +292,13 @@ mod tests {
     fn job(id: &str, qasm_gates: u32, cost: u64) -> CompileJob<Opts> {
         // Inline "qasm" is abused as a gate count so the resolver can build
         // distinguishable circuits without a parser.
-        CompileJob {
-            id: id.to_string(),
-            source: CircuitSource::QasmInline {
+        CompileJob::new(
+            id,
+            CircuitSource::QasmInline {
                 qasm: qasm_gates.to_string(),
             },
-            options: Opts { cost },
-        }
+            Opts { cost },
+        )
     }
 
     fn resolver(source: &CircuitSource) -> Result<Circuit, String> {
@@ -301,11 +328,11 @@ mod tests {
     fn results_in_submission_order_with_provenance() {
         let svc = service();
         let compiles = AtomicUsize::new(0);
-        let compile = |c: &Circuit, o: &Opts| {
+        let compile = |c: &Circuit, job: &CompileJob<Opts>| {
             compiles.fetch_add(1, Ordering::SeqCst);
-            Ok(Out {
-                gates_times_cost: c.len() as u64 * o.cost,
-            })
+            Ok(StageOutcome::complete(Out {
+                gates_times_cost: c.len() as u64 * job.options.cost,
+            }))
         };
         // Jobs 0 and 3 are identical: one compiles, one hits.
         let jobs = vec![
@@ -340,10 +367,10 @@ mod tests {
     #[test]
     fn second_identical_batch_is_all_hits() {
         let svc = service();
-        let compile = |c: &Circuit, o: &Opts| {
-            Ok(Out {
-                gates_times_cost: c.len() as u64 * o.cost,
-            })
+        let compile = |c: &Circuit, job: &CompileJob<Opts>| {
+            Ok(StageOutcome::complete(Out {
+                gates_times_cost: c.len() as u64 * job.options.cost,
+            }))
         };
         let jobs = || vec![job("a", 4, 1), job("b", 9, 1), job("c", 4, 7)];
         let first = svc.run(jobs(), resolver, compile);
@@ -366,10 +393,10 @@ mod tests {
     #[test]
     fn jsonl_batches_survive_malformed_lines() {
         let svc = service();
-        let compile = |c: &Circuit, o: &Opts| {
-            Ok(Out {
-                gates_times_cost: c.len() as u64 * o.cost,
-            })
+        let compile = |c: &Circuit, job: &CompileJob<Opts>| {
+            Ok(StageOutcome::complete(Out {
+                gates_times_cost: c.len() as u64 * job.options.cost,
+            }))
         };
         let jsonl = concat!(
             "{\"id\":\"a\",\"source\":{\"qasm\":\"4\"},\"options\":{\"cost\":2}}\n",
@@ -398,13 +425,13 @@ mod tests {
     #[test]
     fn failures_are_reported_not_cached() {
         let svc = service();
-        let compile = |c: &Circuit, _o: &Opts| {
+        let compile = |c: &Circuit, _job: &CompileJob<Opts>| {
             if c.len() > 5 {
                 Err("too big".to_string())
             } else {
-                Ok(Out {
+                Ok(StageOutcome::complete(Out {
                     gates_times_cost: 1,
-                })
+                }))
             }
         };
         let results = svc.run(vec![job("ok", 3, 1), job("bad", 9, 1)], resolver, compile);
@@ -420,19 +447,19 @@ mod tests {
     fn unresolvable_sources_fail_gracefully() {
         let svc = service();
         let results = svc.run(
-            vec![CompileJob {
-                id: "x".into(),
-                source: CircuitSource::Benchmark {
+            vec![CompileJob::new(
+                "x",
+                CircuitSource::Benchmark {
                     name: "nope".into(),
                     size: None,
                 },
-                options: Opts { cost: 1 },
-            }],
+                Opts { cost: 1 },
+            )],
             resolver,
-            |_c: &Circuit, _o: &Opts| {
-                Ok(Out {
+            |_c: &Circuit, _job: &CompileJob<Opts>| {
+                Ok(StageOutcome::complete(Out {
                     gates_times_cost: 0,
-                })
+                }))
             },
         );
         assert!(!results[0].is_ok());
@@ -450,10 +477,10 @@ mod tests {
             cache_capacity: 16,
             cache_file: Some(path.clone()),
         };
-        let compile = |c: &Circuit, o: &Opts| {
-            Ok(Out {
-                gates_times_cost: c.len() as u64 * o.cost,
-            })
+        let compile = |c: &Circuit, job: &CompileJob<Opts>| {
+            Ok(StageOutcome::complete(Out {
+                gates_times_cost: c.len() as u64 * job.options.cost,
+            }))
         };
 
         let svc = BatchService::<Out>::new(config.clone()).unwrap();

@@ -217,6 +217,12 @@ impl<V: Clone> CompileCache<V> {
         }
     }
 
+    /// Whether either tier holds `fingerprint`, without counting a lookup
+    /// or touching LRU order — a probe, not a read.
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.entries.contains_key(&fingerprint) || self.file_entries.contains_key(&fingerprint)
+    }
+
     /// Entries currently in the memory tier.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -309,6 +315,11 @@ impl<V: Clone> SharedCache<V> {
             .insert(fingerprint, value);
     }
 
+    /// See [`CompileCache::contains`].
+    pub fn contains(&self, fingerprint: u64) -> bool {
+        self.inner.lock().expect("cache lock").contains(fingerprint)
+    }
+
     /// See [`CompileCache::stats`].
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().expect("cache lock").stats()
@@ -358,6 +369,18 @@ mod tests {
                 .map(Payload)
                 .ok_or_else(|| JsonError::schema("payload must be an integer"))
         }
+    }
+
+    #[test]
+    fn contains_is_a_silent_probe() {
+        let mut c: CompileCache<Payload> = CompileCache::new(4);
+        assert!(!c.contains(1));
+        c.insert(1, Payload(10));
+        assert!(c.contains(1));
+        let before = c.stats();
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert_eq!(c.stats(), before, "probes leave the counters untouched");
     }
 
     #[test]

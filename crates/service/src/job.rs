@@ -118,15 +118,43 @@ pub struct CompileJob<O> {
     pub source: CircuitSource,
     /// Compiler options for this job.
     pub options: O,
+    /// Stop the pipeline after this stage (`"prepare"`, `"lower"`,
+    /// `"map"`, `"schedule"`); `None` compiles fully. Partial jobs bypass
+    /// the whole-job metrics cache — their point is warming and probing
+    /// the compiler's stage cache.
+    pub stop_after: Option<String>,
+    /// Assert that the named stage is answered from the stage cache; the
+    /// job fails (instead of silently recomputing) when it is not.
+    pub resume_from: Option<String>,
+}
+
+impl<O> CompileJob<O> {
+    /// A full-compile job (no stage fields set).
+    pub fn new(id: impl Into<String>, source: CircuitSource, options: O) -> Self {
+        CompileJob {
+            id: id.into(),
+            source,
+            options,
+            stop_after: None,
+            resume_from: None,
+        }
+    }
 }
 
 impl<O: ToJson> ToJson for CompileJob<O> {
     fn to_json(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             ("id".to_string(), Value::Str(self.id.clone())),
             ("source".to_string(), self.source.to_json()),
             ("options".to_string(), self.options.to_json()),
-        ])
+        ];
+        if let Some(stage) = &self.stop_after {
+            fields.push(("stop_after".to_string(), Value::Str(stage.clone())));
+        }
+        if let Some(stage) = &self.resume_from {
+            fields.push(("resume_from".to_string(), Value::Str(stage.clone())));
+        }
+        Value::Obj(fields)
     }
 }
 
@@ -176,12 +204,49 @@ pub enum JobStatus {
     Failed(String),
 }
 
+/// What a staged compile produced: the terminal stage, its artifact
+/// fingerprint, and — when the pipeline ran to completion — the metrics.
+/// This is what a [`BatchService`](crate::BatchService) compile callback
+/// returns; [`StageOutcome::complete`] is the plain full-compile case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutcome<M> {
+    /// The compile metrics; present only when the schedule stage ran.
+    pub metrics: Option<M>,
+    /// The terminal stage's wire name for explicitly staged jobs; `None`
+    /// for ordinary full compiles.
+    pub stage: Option<String>,
+    /// The terminal stage artifact's fingerprint, when it differs from the
+    /// whole-job fingerprint (i.e. for staged jobs).
+    pub fingerprint: Option<u64>,
+}
+
+impl<M> StageOutcome<M> {
+    /// A finished full compile.
+    pub fn complete(metrics: M) -> Self {
+        StageOutcome {
+            metrics: Some(metrics),
+            stage: None,
+            fingerprint: None,
+        }
+    }
+
+    /// A run stopped after `stage`, leaving its artifact fingerprint.
+    pub fn partial(stage: impl Into<String>, fingerprint: u64) -> Self {
+        StageOutcome {
+            metrics: None,
+            stage: Some(stage.into()),
+            fingerprint: Some(fingerprint),
+        }
+    }
+}
+
 /// The outcome of one [`CompileJob`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobResult<M> {
     /// The job's identifier.
     pub id: String,
-    /// Content-addressed fingerprint of (circuit, options); `0` when the
+    /// Content-addressed fingerprint of (circuit, options); for staged
+    /// jobs the terminal stage artifact's fingerprint; `0` when the
     /// circuit could not even be resolved.
     pub fingerprint: u64,
     /// Success or failure.
@@ -193,6 +258,9 @@ pub struct JobResult<M> {
     /// Wall-clock microseconds spent on this job (resolution + lookup +
     /// compile).
     pub micros: u64,
+    /// The terminal stage of an explicitly staged job (`stop_after`);
+    /// `None` for ordinary full compiles.
+    pub stage: Option<String>,
 }
 
 impl<M> JobResult<M> {
@@ -212,6 +280,7 @@ impl<M> JobResult<M> {
             metrics: None,
             provenance: CacheProvenance::Computed,
             micros: 0,
+            stage: None,
         }
     }
 }
@@ -237,6 +306,9 @@ impl<M: ToJson> ToJson for JobResult<M> {
             ),
             ("micros".to_string(), Value::Num(self.micros as f64)),
         ];
+        if let Some(stage) = &self.stage {
+            fields.push(("stage".to_string(), Value::Str(stage.clone())));
+        }
         if let Some(m) = &self.metrics {
             fields.push(("metrics".to_string(), m.to_json()));
         }
@@ -266,6 +338,14 @@ impl<M: FromJson> FromJson for JobResult<M> {
             None => None,
             Some(m) => Some(M::from_json(m)?),
         };
+        let stage = match value.get("stage") {
+            None => None,
+            Some(s) => Some(
+                s.as_str()
+                    .ok_or_else(|| JsonError::schema("\"stage\" must be a string"))?
+                    .to_string(),
+            ),
+        };
         Ok(JobResult {
             id,
             fingerprint,
@@ -273,22 +353,43 @@ impl<M: FromJson> FromJson for JobResult<M> {
             metrics,
             provenance,
             micros,
+            stage,
         })
     }
 }
 
+/// The job-document schema version this build speaks (the service half of
+/// the server's wire contract). Documents may carry `"v"`; absent means
+/// this version, anything else is refused rather than misread.
+pub const JOB_SCHEMA_VERSION: u64 = 1;
+
 /// Decodes one job object: `"id"` defaults to `default_id`, a missing
 /// `"options"` decodes `O` from an empty object (option types default
-/// missing fields). This is the single decoding recipe shared by the JSONL
-/// batch parsers and the HTTP server's `POST /v1/compile` body.
+/// missing fields), and an optional `"v"` field must match
+/// [`JOB_SCHEMA_VERSION`]. This is the single decoding recipe shared by
+/// the JSONL batch parsers and the HTTP server's `POST /v1/compile` body —
+/// so a future-version job line fails its line instead of being silently
+/// processed under current semantics.
 ///
 /// # Errors
 ///
-/// Returns a schema error when the object has the wrong shape.
+/// Returns a schema error when the object has the wrong shape or an
+/// unsupported version.
 pub fn job_from_value<O: FromJson>(
     doc: &Value,
     default_id: impl Into<String>,
 ) -> Result<CompileJob<O>, JsonError> {
+    if let Some(v) = doc.get("v") {
+        match v.as_u64() {
+            Some(n) if n == JOB_SCHEMA_VERSION => {}
+            Some(n) => {
+                return Err(JsonError::schema(format!(
+                    "unsupported job schema version {n} (this build speaks v{JOB_SCHEMA_VERSION})"
+                )))
+            }
+            None => return Err(JsonError::schema("\"v\" must be an integer version")),
+        }
+    }
     let id = match doc.get("id") {
         Some(v) => v
             .as_str()
@@ -299,10 +400,22 @@ pub fn job_from_value<O: FromJson>(
     let source = CircuitSource::from_json(json::require(doc, "source")?)?;
     let empty = Value::Obj(Vec::new());
     let options = O::from_json(doc.get("options").unwrap_or(&empty))?;
+    let stage_field = |key: &str| -> Result<Option<String>, JsonError> {
+        match doc.get(key) {
+            None => Ok(None),
+            Some(v) => Ok(Some(
+                v.as_str()
+                    .ok_or_else(|| JsonError::schema(format!("{key:?} must be a stage name")))?
+                    .to_string(),
+            )),
+        }
+    };
     Ok(CompileJob {
         id,
         source,
         options,
+        stop_after: stage_field("stop_after")?,
+        resume_from: stage_field("resume_from")?,
     })
 }
 
@@ -504,6 +617,7 @@ mod tests {
                 metrics: Some(Opts { r: 6 }),
                 provenance: CacheProvenance::MemoryHit,
                 micros: 1234,
+                stage: None,
             },
             JobResult::<Opts> {
                 id: "b".into(),
@@ -512,14 +626,83 @@ mod tests {
                 metrics: None,
                 provenance: CacheProvenance::Computed,
                 micros: 5,
+                stage: None,
+            },
+            JobResult::<Opts> {
+                id: "c".into(),
+                fingerprint: 0xabc,
+                status: JobStatus::Ok,
+                metrics: None,
+                provenance: CacheProvenance::Computed,
+                micros: 9,
+                stage: Some("map".into()),
             },
         ];
         let text = render_results(&results);
-        assert_eq!(text.lines().count(), 2);
+        assert_eq!(text.lines().count(), 3);
         for (line, expected) in text.lines().zip(&results) {
             let back: JobResult<Opts> = JobResult::from_json(&Value::parse(line).unwrap()).unwrap();
             assert_eq!(&back, expected);
         }
+    }
+
+    #[test]
+    fn stage_fields_parse_and_roundtrip() {
+        let v = Value::parse(
+            r#"{"id":"warm","source":{"benchmark":"ising"},"stop_after":"map","resume_from":"lower"}"#,
+        )
+        .unwrap();
+        let job: CompileJob<Opts> = job_from_value(&v, "x").unwrap();
+        assert_eq!(job.stop_after.as_deref(), Some("map"));
+        assert_eq!(job.resume_from.as_deref(), Some("lower"));
+        let back: CompileJob<Opts> = job_from_value(&job.to_json(), "x").unwrap();
+        assert_eq!(back, job);
+
+        // Absent fields decode to None, and `new` builds a full job.
+        let plain = CompileJob::new(
+            "p",
+            CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: None,
+            },
+            Opts { r: 4 },
+        );
+        assert_eq!(plain.stop_after, None);
+        assert_eq!(plain.resume_from, None);
+        assert!(!plain.to_json().render().contains("stop_after"));
+
+        let v = Value::parse(r#"{"source":{"benchmark":"ising"},"stop_after":7}"#).unwrap();
+        assert!(job_from_value::<Opts>(&v, "x").is_err());
+    }
+
+    #[test]
+    fn job_schema_version_is_checked_per_document() {
+        let ok = Value::parse(r#"{"v":1,"source":{"benchmark":"ising"}}"#).unwrap();
+        assert!(job_from_value::<Opts>(&ok, "x").is_ok());
+        let future = Value::parse(r#"{"v":9,"source":{"benchmark":"ising"}}"#).unwrap();
+        let err = job_from_value::<Opts>(&future, "x").unwrap_err();
+        assert!(err.message.contains("version 9"), "got {err}");
+        let bad = Value::parse(r#"{"v":"one","source":{"benchmark":"ising"}}"#).unwrap();
+        assert!(job_from_value::<Opts>(&bad, "x").is_err());
+        // Lenient batch parsing isolates a future-version line.
+        let jsonl = concat!(
+            "{\"source\":{\"benchmark\":\"ising\"}}\n",
+            "{\"v\":9,\"source\":{\"benchmark\":\"ising\"}}\n",
+        );
+        let lines: Vec<ParsedLine<Opts>> = parse_jobs_lenient(jsonl);
+        assert!(matches!(&lines[0], ParsedLine::Job { .. }));
+        assert!(matches!(&lines[1], ParsedLine::Malformed { lineno: 2, .. }));
+    }
+
+    #[test]
+    fn stage_outcome_constructors() {
+        let full: StageOutcome<Opts> = StageOutcome::complete(Opts { r: 4 });
+        assert!(full.metrics.is_some());
+        assert_eq!(full.stage, None);
+        let partial: StageOutcome<Opts> = StageOutcome::partial("map", 0xfeed);
+        assert_eq!(partial.stage.as_deref(), Some("map"));
+        assert_eq!(partial.fingerprint, Some(0xfeed));
+        assert!(partial.metrics.is_none());
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! # Example
 //!
 //! ```
-//! use ftqc_service::{BatchConfig, BatchService, CompileJob, CircuitSource};
+//! use ftqc_service::{BatchConfig, BatchService, CompileJob, CircuitSource, StageOutcome};
 //! use ftqc_service::json::{FromJson, JsonError, ToJson, Value};
 //! use ftqc_circuit::Circuit;
 //!
@@ -57,15 +57,15 @@
 //!     workers: 2,
 //!     ..BatchConfig::default()
 //! })?;
-//! let jobs = vec![CompileJob {
-//!     id: "bell".into(),
-//!     source: CircuitSource::QasmInline { qasm: "2".into() },
-//!     options: NoOptions,
-//! }];
+//! let jobs = vec![CompileJob::new(
+//!     "bell",
+//!     CircuitSource::QasmInline { qasm: "2".into() },
+//!     NoOptions,
+//! )];
 //! let results = service.run(
 //!     jobs,
 //!     |_source| { let mut c = Circuit::new(2); c.h(0).cnot(0, 1); Ok(c) },
-//!     |circuit, _opts| Ok(GateCount(circuit.len() as u64)),
+//!     |circuit, _job| Ok(StageOutcome::complete(GateCount(circuit.len() as u64))),
 //! );
 //! assert!(results[0].is_ok());
 //! assert_eq!(service.cache_stats().misses, 1);
@@ -87,7 +87,7 @@ pub use cache::{
 pub use fingerprint::{combine, fingerprint_circuit, fingerprint_value, Fnv64};
 pub use job::{
     job_from_value, parse_jobs, parse_jobs_lenient, render_results, CacheProvenance, CircuitSource,
-    CompileJob, JobResult, JobStatus, ParsedLine,
+    CompileJob, JobResult, JobStatus, ParsedLine, StageOutcome,
 };
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use pool::WorkerPool;

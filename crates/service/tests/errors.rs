@@ -1,9 +1,14 @@
 //! Error-path coverage for `ftqc_service::json` (truncated input, bad
-//! surrogate pairs, depth-limit overflow) and for worker-pool panic
-//! propagation under concurrent submitters.
+//! surrogate pairs, depth-limit overflow), for worker-pool panic
+//! propagation under concurrent submitters, and for the staged job model:
+//! batch error lines carry the failing stage, and `stop_after` jobs bypass
+//! the whole-job cache.
 
-use ftqc_service::json::{JsonError, Value};
-use ftqc_service::WorkerPool;
+use ftqc_service::json::{FromJson, JsonError, ToJson, Value};
+use ftqc_service::{
+    render_results, BatchConfig, BatchService, CircuitSource, CompileJob, JobResult, JobStatus,
+    StageOutcome, WorkerPool,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[test]
@@ -83,6 +88,137 @@ fn schema_helpers_name_the_field() {
     let err = ftqc_service::json::require(&doc, "missing").unwrap_err();
     assert!(err.message.contains("missing"), "got {err}");
     assert_eq!(err, JsonError::schema("missing field \"missing\""));
+}
+
+/// Minimal option/metric stand-ins for the staged-job tests below (this
+/// crate sits beneath the compiler, so the real `CompilerOptions` /
+/// `Metrics` are not available here).
+#[derive(Debug, Clone, PartialEq)]
+struct Opts;
+
+impl ToJson for Opts {
+    fn to_json(&self) -> Value {
+        Value::Obj(Vec::new())
+    }
+}
+
+impl FromJson for Opts {
+    fn from_json(_: &Value) -> Result<Self, JsonError> {
+        Ok(Opts)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Out(u64);
+
+impl ToJson for Out {
+    fn to_json(&self) -> Value {
+        Value::Num(self.0 as f64)
+    }
+}
+
+impl FromJson for Out {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        v.as_u64()
+            .map(Out)
+            .ok_or_else(|| JsonError::schema("number"))
+    }
+}
+
+fn staged_service() -> BatchService<Out> {
+    BatchService::new(BatchConfig {
+        workers: 2,
+        cache_capacity: 16,
+        cache_file: None,
+    })
+    .expect("service")
+}
+
+fn resolve(source: &CircuitSource) -> Result<ftqc_circuit::Circuit, String> {
+    // Distinct sources resolve to distinct circuits (one H per source
+    // byte), so jobs over different sources never share a cache key.
+    let CircuitSource::QasmInline { qasm } = source else {
+        return Err("inline only".into());
+    };
+    let mut c = ftqc_circuit::Circuit::new(2);
+    for _ in 0..qasm.len() {
+        c.h(0);
+    }
+    c.cnot(0, 1);
+    Ok(c)
+}
+
+/// A compile callback shaped like the compiler's `stage_outcome` bridge:
+/// honours `stop_after`, and fails with a stage-tagged message the way a
+/// `CompileError::Stage` renders.
+fn staged_compile(
+    _c: &ftqc_circuit::Circuit,
+    job: &CompileJob<Opts>,
+) -> Result<StageOutcome<Out>, String> {
+    if job.id.contains("boom") {
+        return Err("map stage failed after 17µs: routing failed at gate 3: congested".into());
+    }
+    match job.stop_after.as_deref() {
+        None => Ok(StageOutcome::complete(Out(42))),
+        Some(stage) => Ok(StageOutcome::partial(stage, 0xfeed_beef)),
+    }
+}
+
+#[test]
+fn batch_error_lines_name_the_failing_stage() {
+    let svc = staged_service();
+    let jsonl = concat!(
+        "{\"id\":\"fine\",\"source\":{\"qasm\":\"x\"}}\n",
+        "{\"id\":\"boom\",\"source\":{\"qasm\":\"xx\"}}\n",
+    );
+    let results = svc.run_jsonl::<Opts, _, _>(jsonl, resolve, staged_compile);
+    assert!(results[0].is_ok());
+    let JobStatus::Failed(message) = &results[1].status else {
+        panic!("boom job must fail");
+    };
+    assert!(message.starts_with("map stage failed"), "got {message}");
+
+    // The stage survives the JSONL rendering round trip, so batch output
+    // files say where each job died.
+    let rendered = render_results(&results);
+    let line = rendered.lines().nth(1).expect("two lines");
+    assert!(line.contains("map stage failed"), "got {line}");
+    let back: JobResult<Out> = JobResult::from_json(&Value::parse(line).unwrap()).unwrap();
+    assert_eq!(&back, &results[1]);
+}
+
+#[test]
+fn stop_after_jobs_bypass_the_job_cache_and_carry_their_stage() {
+    let svc = staged_service();
+    let job = |id: &str, stop: Option<&str>| {
+        let mut j = CompileJob::new(id, CircuitSource::QasmInline { qasm: "x".into() }, Opts);
+        j.stop_after = stop.map(String::from);
+        j
+    };
+
+    // A partial job: stage + artifact fingerprint, no metrics, no cache
+    // traffic.
+    let results = svc.run(vec![job("warm", Some("map"))], resolve, staged_compile);
+    assert!(results[0].is_ok());
+    assert_eq!(results[0].stage.as_deref(), Some("map"));
+    assert_eq!(results[0].fingerprint, 0xfeed_beef);
+    assert_eq!(results[0].metrics, None);
+    let stats = svc.cache_stats();
+    assert_eq!(stats.lookups(), 0, "partial jobs skip the job cache");
+    assert_eq!(stats.insertions, 0);
+
+    // The same circuit as a full job still misses (nothing partial was
+    // cached), then hits on repeat.
+    let first = svc.run(vec![job("full", None)], resolve, staged_compile);
+    assert_eq!(first[0].metrics, Some(Out(42)));
+    assert_eq!(first[0].stage, None);
+    let second = svc.run(vec![job("full", None)], resolve, staged_compile);
+    assert!(second[0].provenance.is_hit());
+    assert_eq!(svc.cache_stats().insertions, 1);
+
+    // JSONL round trip keeps the stage field.
+    let rendered = render_results(&results);
+    assert!(rendered.contains("\"stage\":\"map\""), "got {rendered}");
 }
 
 #[test]

@@ -29,14 +29,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. One compile job: a built-in benchmark at r=4. The result carries
     //    metrics, the content-addressed fingerprint, and cache provenance.
-    let job = CompileJob {
-        id: "ising-r4".to_string(),
-        source: CircuitSource::Benchmark {
+    let job = CompileJob::new(
+        "ising-r4",
+        CircuitSource::Benchmark {
             name: "ising".into(),
             size: Some(4),
         },
-        options: CompilerOptions::default().routing_paths(4),
-    };
+        CompilerOptions::default().routing_paths(4),
+    );
     let first = client.compile(&job)?;
     println!(
         "first compile : {} in {} µs ({})",

@@ -1,0 +1,93 @@
+//! Staged compilation walkthrough: the typed `CompileSession` pipeline,
+//! stage fingerprints, trace hooks, stage-level caching, and the
+//! resume-from-`Mapped` latency-model sweep that re-runs scheduling alone.
+//!
+//! Run with: `cargo run --release --example staged_compile`
+
+use ftqc::arch::{Ticks, TimingModel};
+use ftqc::benchmarks::ising_2d;
+use ftqc::compiler::{CompileSession, CompilerOptions, StageCache, StageTrace};
+use ftqc::service::fingerprint;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = ising_2d(4);
+    println!(
+        "circuit: {} ({} qubits, {} gates)\n",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.len()
+    );
+
+    // 1. The typed pipeline, stage by stage. Each artifact carries a
+    //    stable fingerprint: the upstream artifact's digest combined with
+    //    the option subset that stage actually reads.
+    let options = CompilerOptions::default().routing_paths(4);
+    let session = CompileSession::new(options.clone());
+    let prepared = session.prepare(&circuit)?;
+    println!("prepared : {}", fingerprint::to_hex(prepared.fingerprint()));
+    let lowered = prepared.lower();
+    println!("lowered  : {}", fingerprint::to_hex(lowered.fingerprint()));
+    let mapped = lowered.map()?;
+    println!(
+        "mapped   : {} ({} routed ops, {} magic states)",
+        fingerprint::to_hex(mapped.fingerprint()),
+        mapped.ops().len(),
+        mapped.n_magic_states()
+    );
+    let program = mapped.clone().schedule()?;
+    println!("scheduled: {}\n", program.metrics().execution_time);
+
+    // 2. Resume-from-Mapped: sweep re-timing models over the routed ops.
+    //    Routing (the dominant cost) runs zero times in this loop.
+    println!("latency-model sweep over the cached routed program:");
+    for cnot_d in [1.0, 2.0, 4.0] {
+        let retimed = mapped.reschedule(&options.clone().schedule_timing(TimingModel {
+            cnot: Ticks::from_d(cnot_d),
+            ..TimingModel::paper()
+        }))?;
+        println!(
+            "  cnot={cnot_d}d -> execution time {}",
+            retimed.metrics().execution_time
+        );
+    }
+
+    // 3. The same reuse, hands-free, through a shared StageCache — how the
+    //    batch service and the HTTP server run every compile. The second
+    //    pass hits all four stage tiers.
+    let stages = StageCache::new(64);
+    let trace = StageTrace::new();
+    let cached_session = CompileSession::new(options.clone())
+        .with_cache(stages.clone())
+        .with_hook(trace.clone());
+    let cold = Instant::now();
+    cached_session.compile(&circuit)?;
+    let cold = cold.elapsed();
+    let warm = Instant::now();
+    cached_session.compile(&circuit)?;
+    let warm = warm.elapsed();
+    println!("\ncold compile {cold:?}, warm compile {warm:?}");
+    println!("\nper-stage trace (what `ftqc compile --explain` prints):");
+    for event in trace.events() {
+        println!(
+            "  {:<9} {} {:>9} {:>7} µs",
+            event.stage.name(),
+            fingerprint::to_hex(event.fingerprint),
+            if event.cached { "hit" } else { "computed" },
+            event.micros
+        );
+    }
+    let stats = stages.stats();
+    println!(
+        "\nstage cache: prepare {}/{}, lower {}/{}, map {}/{}, schedule {}/{}",
+        stats.prepare.hits,
+        stats.prepare.lookups(),
+        stats.lower.hits,
+        stats.lower.lookups(),
+        stats.map.hits,
+        stats.map.lookups(),
+        stats.schedule.hits,
+        stats.schedule.lookups(),
+    );
+    Ok(())
+}

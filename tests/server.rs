@@ -35,14 +35,14 @@ fn grid_jobs() -> Vec<CompileJob<CompilerOptions>> {
     let mut jobs = Vec::new();
     for r in [2u32, 3, 4, 5] {
         for f in [1u32, 2] {
-            jobs.push(CompileJob {
-                id: format!("r{r}f{f}"),
-                source: CircuitSource::Benchmark {
+            jobs.push(CompileJob::new(
+                format!("r{r}f{f}"),
+                CircuitSource::Benchmark {
                     name: "ising".into(),
                     size: Some(2),
                 },
-                options: CompilerOptions::default().routing_paths(r).factories(f),
-            });
+                CompilerOptions::default().routing_paths(r).factories(f),
+            ));
         }
     }
     jobs
@@ -287,6 +287,128 @@ fn batch_and_sweep_over_loopback() {
 
     handle.shutdown();
     thread.join().expect("server thread");
+}
+
+#[test]
+fn staged_requests_and_per_stage_counters_over_loopback() {
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr.clone());
+    let job = CompileJob::new(
+        "warm",
+        CircuitSource::Benchmark {
+            name: "ising".into(),
+            size: Some(2),
+        },
+        CompilerOptions::default(),
+    );
+
+    // 1. `?stage=map` stops the pipeline: stage named, no metrics.
+    let partial = client.compile_staged(&job, "map").expect("staged compile");
+    assert!(partial.is_ok(), "got {:?}", partial.status);
+    assert_eq!(partial.stage.as_deref(), Some("map"));
+    assert!(
+        partial.metrics.is_none(),
+        "partial results carry no metrics"
+    );
+    assert_ne!(partial.fingerprint, 0);
+
+    // 2. A full compile of the same job resumes from the warmed stages and
+    //    reports the same metrics a cold server would compute.
+    let full = client.compile(&job).expect("full compile");
+    assert!(full.is_ok());
+    let circuit = ftqc::benchmarks::ising_2d(2);
+    let circuit_fp = fingerprint::fingerprint_circuit(&circuit);
+    let cache: SharedCache<Metrics> = SharedCache::in_memory(8);
+    let expected = compile_cached(&circuit, circuit_fp, CompilerOptions::default(), &cache)
+        .expect("local reference");
+    assert_eq!(
+        full.metrics.as_ref().unwrap().to_json().render(),
+        expected.to_json().render(),
+        "resumed compile must equal a cold local compile"
+    );
+
+    // 3. An unknown stage is rejected client-side before a malformed
+    //    request target ever hits the wire…
+    let err = client
+        .compile_staged(&job, "banana")
+        .expect_err("unknown stage");
+    assert!(err.to_string().contains("unknown stage"), "got {err:?}");
+    // …and a raw request that sneaks one through still gets a clean 400.
+    {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let body = r#"{"source":{"benchmark":"ising","size":2}}"#;
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/compile?stage=banana HTTP/1.1\r\nhost: x\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let response = ftqc::server::http::read_response(&mut stream).expect("response");
+        assert_eq!(response.status, 400);
+        assert!(
+            response.body_str().unwrap().contains("unknown stage"),
+            "got {:?}",
+            response.body_str()
+        );
+    }
+
+    // 4. /v1/cache/stats and /metrics expose the per-stage counters: the
+    //    full compile hit prepare/lower/map (warmed by the staged request)
+    //    and computed only scheduling.
+    let stats_doc = {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"GET /v1/cache/stats HTTP/1.1\r\nhost: x\r\n\r\n")
+            .expect("send");
+        let response = ftqc::server::http::read_response(&mut stream).expect("response");
+        ftqc::service::Value::parse(response.body_str().expect("utf8")).expect("json")
+    };
+    assert_eq!(
+        stats_doc.get("v").and_then(ftqc::service::Value::as_u64),
+        Some(1),
+        "responses carry the wire version"
+    );
+    let stages = stats_doc.get("stages").expect("stages object");
+    let stage_counter = |stage: &str, field: &str| {
+        stages
+            .get(stage)
+            .and_then(|s| s.get(field))
+            .and_then(ftqc::service::Value::as_u64)
+            .unwrap_or_else(|| panic!("missing stages.{stage}.{field}"))
+    };
+    assert_eq!(stage_counter("map", "misses"), 1, "routing ran once");
+    assert_eq!(stage_counter("map", "hits"), 1, "full compile reused it");
+    assert_eq!(stage_counter("prepare", "hits"), 1);
+    assert_eq!(
+        stage_counter("schedule", "misses"),
+        1,
+        "only the full run scheduled"
+    );
+
+    let metrics_text = client.metrics_text().expect("metrics");
+    for line in [
+        "ftqc_stage_cache_hits_total{stage=\"map\"} 1",
+        "ftqc_stage_cache_misses_total{stage=\"map\"} 1",
+        "ftqc_stage_cache_misses_total{stage=\"schedule\"} 1",
+    ] {
+        assert!(
+            metrics_text.lines().any(|l| l == line),
+            "missing {line:?} in:\n{metrics_text}"
+        );
+    }
+
+    handle.shutdown();
+    let report = thread.join().expect("server thread");
+    assert_eq!(report.stages.map.misses, 1);
+    assert_eq!(report.stages.map.hits, 1);
 }
 
 #[test]

@@ -10,7 +10,8 @@ use ftqc::compiler::{
 };
 use ftqc::service::json::ToJson;
 use ftqc::service::{
-    fingerprint, parse_jobs, BatchConfig, BatchService, CacheProvenance, CircuitSource, SharedCache,
+    fingerprint, parse_jobs, BatchConfig, BatchService, CacheProvenance, CircuitSource, CompileJob,
+    SharedCache, StageOutcome,
 };
 use ftqc_circuit::{parse_qasm, Circuit};
 
@@ -97,10 +98,10 @@ fn repeated_batch_is_all_cache_hits() {
         CircuitSource::Benchmark { size: Some(l), .. } => Ok(ising_2d(*l)),
         other => Err(format!("unsupported source {other}")),
     };
-    let compile = |circuit: &Circuit, options: &CompilerOptions| {
-        Compiler::new(options.clone())
+    let compile = |circuit: &Circuit, job: &CompileJob<CompilerOptions>| {
+        Compiler::new(job.options.clone())
             .compile(circuit)
-            .map(|p| *p.metrics())
+            .map(|p| StageOutcome::complete(*p.metrics()))
             .map_err(|e| e.to_string())
     };
 
@@ -198,10 +199,10 @@ fn jsonl_roundtrip_through_service() {
     let results = service.run(
         jobs,
         |_| Ok(ising_2d(2)),
-        |circuit, options: &CompilerOptions| {
-            Compiler::new(options.clone())
+        |circuit, job: &CompileJob<CompilerOptions>| {
+            Compiler::new(job.options.clone())
                 .compile(circuit)
-                .map(|p| *p.metrics())
+                .map(|p| StageOutcome::complete(*p.metrics()))
                 .map_err(|e| e.to_string())
         },
     );
