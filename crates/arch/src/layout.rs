@@ -16,6 +16,10 @@ use std::error::Error;
 use std::fmt;
 
 /// Error constructing a [`Layout`].
+///
+/// Every routing-path message quotes the legal range `2..=2L+2` for the
+/// data block at hand, so a caller sweeping `r` can see the bound without
+/// recomputing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LayoutError {
     /// The layout needs at least one data qubit.
@@ -24,6 +28,8 @@ pub enum LayoutError {
     TooFewRoutingPaths {
         /// The requested number of routing paths.
         requested: u32,
+        /// The maximum for this data block (`2L+2`).
+        max: u32,
     },
     /// More than `2L+2` bus lines do not fit the `L×L` data block.
     TooManyRoutingPaths {
@@ -32,19 +38,35 @@ pub enum LayoutError {
         /// The maximum for this data block (`2L+2`).
         max: u32,
     },
+    /// An explicit bus-line gap position lies outside the data block.
+    BusLineOutOfRange {
+        /// The offending gap position.
+        line: i32,
+        /// The largest legal gap (`L-1`; the smallest is always `-1`).
+        max: i32,
+    },
 }
 
 impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LayoutError::NoDataQubits => write!(f, "layout requires at least one data qubit"),
-            LayoutError::TooFewRoutingPaths { requested } => {
-                write!(f, "at least 2 routing paths are required (got {requested})")
+            LayoutError::TooFewRoutingPaths { requested, max } => {
+                write!(
+                    f,
+                    "routing paths must be in 2..={max} for this data block (got {requested})"
+                )
             }
             LayoutError::TooManyRoutingPaths { requested, max } => {
                 write!(
                     f,
-                    "at most {max} routing paths fit this data block (got {requested})"
+                    "routing paths must be in 2..={max} for this data block (got {requested})"
+                )
+            }
+            LayoutError::BusLineOutOfRange { line, max } => {
+                write!(
+                    f,
+                    "bus line gap {line} is outside the data block (legal gaps are -1..={max})"
                 )
             }
         }
@@ -103,7 +125,10 @@ impl Layout {
         let side = (n_data as f64).sqrt().ceil() as u32;
         let max_r = Self::max_routing_paths_for_side(side);
         if r < 2 {
-            return Err(LayoutError::TooFewRoutingPaths { requested: r });
+            return Err(LayoutError::TooFewRoutingPaths {
+                requested: r,
+                max: max_r,
+            });
         }
         if r > max_r {
             return Err(LayoutError::TooManyRoutingPaths {
@@ -113,6 +138,63 @@ impl Layout {
         }
 
         let (row_gaps, col_gaps) = bus_line_plan(side, r);
+        Ok(Self::assemble(side, n_data, &row_gaps, &col_gaps, r))
+    }
+
+    /// Builds a layout from an explicit bus mask: the exact gap positions
+    /// of every bus row and column (`-1` = before data line 0, `k ∈
+    /// [0, L-1]` = after data line `k`). Duplicate gaps collapse; the
+    /// resulting line count is the layout's `routing_paths()`.
+    ///
+    /// This is the constructor behind `BusSpec::Explicit` targets —
+    /// irregular machines (one-sided buses, heavy-hex-style provisioning)
+    /// that the middle-out family of [`Layout::try_with_routing_paths`]
+    /// cannot describe.
+    ///
+    /// # Errors
+    ///
+    /// [`LayoutError::NoDataQubits`] for an empty register,
+    /// [`LayoutError::BusLineOutOfRange`] for a gap outside `-1..=L-1`,
+    /// and [`LayoutError::TooFewRoutingPaths`] when fewer than 2 distinct
+    /// lines are given (lattice surgery needs bus on two sides).
+    pub fn try_with_bus_lines(
+        n_data: u32,
+        row_gaps: &[i32],
+        col_gaps: &[i32],
+    ) -> Result<Self, LayoutError> {
+        if n_data == 0 {
+            return Err(LayoutError::NoDataQubits);
+        }
+        let side = (n_data as f64).sqrt().ceil() as u32;
+        let max_gap = side as i32 - 1;
+        let mut rows: Vec<Gap> = Vec::with_capacity(row_gaps.len());
+        let mut cols: Vec<Gap> = Vec::with_capacity(col_gaps.len());
+        for (gaps, out) in [(row_gaps, &mut rows), (col_gaps, &mut cols)] {
+            for &g in gaps {
+                if !(-1..=max_gap).contains(&g) {
+                    return Err(LayoutError::BusLineOutOfRange {
+                        line: g,
+                        max: max_gap,
+                    });
+                }
+                out.push(g);
+            }
+            out.sort_unstable();
+            out.dedup();
+        }
+        let r = (rows.len() + cols.len()) as u32;
+        if r < 2 {
+            return Err(LayoutError::TooFewRoutingPaths {
+                requested: r,
+                max: Self::max_routing_paths_for_side(side),
+            });
+        }
+        Ok(Self::assemble(side, n_data, &rows, &cols, r))
+    }
+
+    /// Materialises the grid from sorted, deduplicated gap lists — the
+    /// shared back half of both constructors.
+    fn assemble(side: u32, n_data: u32, row_gaps: &[Gap], col_gaps: &[Gap], r: u32) -> Self {
         let rows = side + row_gaps.len() as u32;
         let cols = side + col_gaps.len() as u32;
         let mut grid = Grid::filled(rows, cols, CellKind::Bus);
@@ -133,12 +215,12 @@ impl Layout {
             data_cells.push(c);
         }
 
-        Ok(Self {
+        Self {
             grid,
             data_cells,
             routing_paths: r,
             data_side: side,
-        })
+        }
     }
 
     /// The maximum routing paths (`2L+2`) for `n_data` data qubits.
@@ -290,7 +372,10 @@ mod tests {
         );
         assert_eq!(
             Layout::try_with_routing_paths(16, 1).unwrap_err(),
-            LayoutError::TooFewRoutingPaths { requested: 1 }
+            LayoutError::TooFewRoutingPaths {
+                requested: 1,
+                max: 10
+            }
         );
         assert_eq!(
             Layout::try_with_routing_paths(16, 11).unwrap_err(),
@@ -298,6 +383,54 @@ mod tests {
                 requested: 11,
                 max: 10
             }
+        );
+    }
+
+    #[test]
+    fn error_messages_quote_the_legal_range() {
+        // Every routing-path error names the 2..=2L+2 bound.
+        let few = Layout::try_with_routing_paths(16, 1).unwrap_err();
+        assert!(few.to_string().contains("2..=10"), "got {few}");
+        let many = Layout::try_with_routing_paths(16, 11).unwrap_err();
+        assert!(many.to_string().contains("2..=10"), "got {many}");
+        let oob = Layout::try_with_bus_lines(16, &[7], &[-1]).unwrap_err();
+        assert_eq!(oob, LayoutError::BusLineOutOfRange { line: 7, max: 3 });
+        assert!(oob.to_string().contains("-1..=3"), "got {oob}");
+    }
+
+    #[test]
+    fn explicit_bus_lines_match_the_family() {
+        // The r=4 family rings the block: the same gaps given explicitly
+        // must reproduce the grid exactly.
+        let family = Layout::with_routing_paths(16, 4);
+        let explicit = Layout::try_with_bus_lines(16, &[-1, 3], &[-1, 3]).unwrap();
+        assert_eq!(explicit, family);
+    }
+
+    #[test]
+    fn explicit_bus_lines_irregular_masks() {
+        // A one-sided machine: buses only above and left of the block.
+        let l = Layout::try_with_bus_lines(16, &[-1], &[-1, 1]).unwrap();
+        assert_eq!(l.routing_paths(), 3);
+        assert_eq!(l.grid().rows(), 5);
+        assert_eq!(l.grid().cols(), 6);
+        assert_eq!(l.grid().count_kind(CellKind::Data), 16);
+        // Duplicates collapse rather than double-counting.
+        let d = Layout::try_with_bus_lines(16, &[-1, -1], &[-1, 1, 1]).unwrap();
+        assert_eq!(d.routing_paths(), 3);
+        assert_eq!(d.grid().rows(), 5);
+        // Too few distinct lines is rejected with the range in the error.
+        let err = Layout::try_with_bus_lines(16, &[-1, -1], &[]).unwrap_err();
+        assert_eq!(
+            err,
+            LayoutError::TooFewRoutingPaths {
+                requested: 1,
+                max: 10
+            }
+        );
+        assert_eq!(
+            Layout::try_with_bus_lines(0, &[-1], &[-1]).unwrap_err(),
+            LayoutError::NoDataQubits
         );
     }
 

@@ -36,6 +36,7 @@ pub mod grid;
 pub mod layout;
 pub mod qec;
 pub mod surgery;
+pub mod target;
 pub mod timing;
 pub mod viz;
 
@@ -44,5 +45,9 @@ pub use factory::{FactoryBank, PortPlacement, FACTORY_TILES};
 pub use grid::{CellKind, Coord, Grid};
 pub use layout::{Layout, LayoutError};
 pub use surgery::{cnot_ancilla, SingleQubitKind, SurgeryOp};
+pub use target::{
+    BusSpec, Capabilities, FastD, PaperGrid, ProgramShape, SparseBus, Target, TargetEntry,
+    TargetError, TargetRegistry, TargetSpec,
+};
 pub use timing::{Ticks, TimingModel, TICKS_PER_D};
 pub use viz::{render_layout, render_with};

@@ -178,6 +178,33 @@ impl TimingModel {
         self.magic_production = t;
         self
     }
+
+    /// Every latency multiplied by `num/den`, rounded **up** to whole
+    /// ticks with a 1-tick floor — the recipe behind timing-scaled targets
+    /// (e.g. the `fast-d` machine at `1/2`, whose effective code distance
+    /// is halved). Rounding up keeps the model conservative: a scaled
+    /// machine is never credited with impossible sub-tick latencies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num == 0` or `den == 0`.
+    pub fn scaled(self, num: u64, den: u64) -> Self {
+        assert!(num > 0 && den > 0, "scale factor must be positive");
+        let scale = |t: Ticks| Ticks(((t.0 * num).div_ceil(den)).max(1));
+        Self {
+            move_op: scale(self.move_op),
+            merge: scale(self.merge),
+            cnot: scale(self.cnot),
+            hadamard: scale(self.hadamard),
+            phase: scale(self.phase),
+            t_consume: scale(self.t_consume),
+            measure: scale(self.measure),
+            magic_production: scale(self.magic_production),
+            ppr_compact: scale(self.ppr_compact),
+            ppr_fast: scale(self.ppr_fast),
+            unit: scale(self.unit),
+        }
+    }
 }
 
 impl Default for TimingModel {
@@ -254,5 +281,26 @@ mod tests {
         let t = TimingModel::paper().with_magic_production(Ticks::from_d(5.0));
         assert_eq!(t.magic_production.as_d(), 5.0);
         assert_eq!(t.cnot.as_d(), 2.0);
+    }
+
+    #[test]
+    fn scaled_rounds_up_with_a_floor() {
+        let half = TimingModel::paper().scaled(1, 2);
+        assert_eq!(half.cnot, Ticks::from_d(1.0));
+        assert_eq!(half.magic_production, Ticks::from_d(5.5));
+        // 0.5d move stays a whole tick; 1.5d phase rounds up to 2 ticks.
+        assert_eq!(half.move_op, Ticks(1));
+        assert_eq!(half.phase, Ticks(2));
+        // Identity scale is exact; doubling is exact.
+        assert_eq!(TimingModel::paper().scaled(1, 1), TimingModel::paper());
+        assert_eq!(TimingModel::paper().scaled(2, 1).cnot, Ticks::from_d(4.0));
+        // The floor keeps every latency at least one tick.
+        assert_eq!(TimingModel::paper().scaled(1, 1000).cnot, Ticks(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        TimingModel::paper().scaled(0, 2);
     }
 }

@@ -1,0 +1,142 @@
+//! Staged-session bench across the built-in hardware targets, with a
+//! machine-readable summary for CI trajectories.
+//!
+//! Compiles one circuit repeatedly for every registered target through a
+//! single shared stage cache, then reports per-stage median latencies and
+//! cache-hit ratios — the numbers that show what the target-aware stage
+//! cache actually saves (prepare/lower shared across targets, map/schedule
+//! per machine).
+//!
+//! ```text
+//! cargo run --release -p ftqc-bench --bin bench_session -- \
+//!     --circuit ising:3 --iters 5 --json BENCH_session.json
+//! ```
+
+use ftqc_arch::TargetRegistry;
+use ftqc_bench::report::{summarise_stages, CaseReport, SessionReport};
+use ftqc_bench::Table;
+use ftqc_compiler::{CompileSession, CompilerOptions, StageCache, StageTrace, TraceHook};
+use std::sync::Arc;
+
+struct Args {
+    circuit: String,
+    iters: u64,
+    json: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        circuit: "ising:3".into(),
+        iters: 5,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--circuit" => args.circuit = value("--circuit")?,
+            "--iters" => {
+                args.iters = value("--iters")?
+                    .parse()
+                    .map_err(|_| "--iters expects a number".to_string())?;
+            }
+            "--json" => args.json = Some(value("--json")?),
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (use --circuit/--iters/--json)"
+                ))
+            }
+        }
+    }
+    if args.iters == 0 {
+        return Err("--iters must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bench_session: {e}");
+            std::process::exit(2);
+        }
+    };
+    let circuit = match ftqc_service::resolve::load_circuit_spec(&args.circuit) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_session: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "Staged sessions over {} ({} qubits, {} gates), {} iterations per target\n",
+        args.circuit,
+        circuit.num_qubits(),
+        circuit.len(),
+        args.iters
+    );
+
+    // One stage cache for the whole fleet: the interesting number is how
+    // much of each target's pipeline the cache absorbs once any target
+    // (or iteration) has warmed the shared front end.
+    let stages = StageCache::default();
+    let registry = TargetRegistry::builtin();
+    let table = Table::new(&[
+        "target",
+        "stage",
+        "samples",
+        "median µs",
+        "hits",
+        "hit ratio",
+    ]);
+    let mut cases = Vec::new();
+    for entry in registry.entries() {
+        let trace = StageTrace::new();
+        let session = CompileSession::new(CompilerOptions::default().target(entry.spec.clone()))
+            .with_cache(stages.clone())
+            .with_hook(Arc::clone(&trace) as Arc<dyn TraceHook>);
+        for _ in 0..args.iters {
+            if let Err(e) = session.compile(&circuit) {
+                eprintln!("bench_session: {}: {e}", entry.name);
+                std::process::exit(1);
+            }
+        }
+        let summary = summarise_stages(&trace.events());
+        for s in &summary {
+            table.row(&[
+                entry.name.clone(),
+                s.stage.name().to_string(),
+                s.samples.to_string(),
+                s.median_micros.to_string(),
+                s.cached.to_string(),
+                format!("{:.2}", s.hit_ratio()),
+            ]);
+        }
+        cases.push(CaseReport {
+            label: entry.name.clone(),
+            stages: summary,
+        });
+    }
+
+    let report = SessionReport {
+        circuit: args.circuit.clone(),
+        iterations: args.iters,
+        cases,
+        stage_cache: stages.stats(),
+    };
+    let stats = report.stage_cache;
+    println!(
+        "\nshared stage cache: {} hits / {} lookups",
+        stats.hits(),
+        stats.hits() + stats.misses()
+    );
+    if let Some(path) = &args.json {
+        if let Err(e) = report.write_json(path) {
+            eprintln!("bench_session: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("json summary      : {path}");
+    }
+}

@@ -19,6 +19,8 @@
 //! Criterion micro-benchmarks (`cargo bench`) cover the router and the
 //! end-to-end pipeline.
 
+pub mod report;
+
 use ftqc_circuit::Circuit;
 use ftqc_compiler::{CompileError, Compiler, CompilerOptions, Metrics};
 

@@ -1,0 +1,211 @@
+//! Machine-readable bench summaries: the `--json` writer behind
+//! `cargo run -p ftqc-bench --bin bench_session`, so CI can archive a
+//! `BENCH_session.json` trajectory (median per-stage latencies,
+//! stage-cache hit ratios) next to the human-readable tables.
+
+use ftqc_compiler::{Stage, StageCacheStats, StageEvent};
+use ftqc_service::json::{ToJson, Value};
+use std::io;
+use std::path::Path;
+
+fn num(v: u64) -> Value {
+    Value::Num(v as f64)
+}
+
+/// The median of a sample set (lower-middle for even counts, 0 for empty).
+pub fn median_micros(mut samples: Vec<u64>) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    samples[(samples.len() - 1) / 2]
+}
+
+/// One pipeline stage's aggregate over a bench run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// The stage.
+    pub stage: Stage,
+    /// Events observed.
+    pub samples: u64,
+    /// Median wall-clock microseconds per event.
+    pub median_micros: u64,
+    /// Events answered from the stage cache.
+    pub cached: u64,
+}
+
+impl StageSummary {
+    /// Cache-hit ratio over the observed events (0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.cached as f64 / self.samples as f64
+        }
+    }
+}
+
+impl ToJson for StageSummary {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("stage".into(), Value::Str(self.stage.name().into())),
+            ("samples".into(), num(self.samples)),
+            ("median_micros".into(), num(self.median_micros)),
+            ("cached".into(), num(self.cached)),
+            ("hit_ratio".into(), Value::Num(self.hit_ratio())),
+        ])
+    }
+}
+
+/// Folds raw per-stage trace events into one [`StageSummary`] per stage,
+/// in pipeline order.
+pub fn summarise_stages(events: &[StageEvent]) -> Vec<StageSummary> {
+    Stage::ALL
+        .iter()
+        .map(|&stage| {
+            let of_stage: Vec<&StageEvent> = events.iter().filter(|e| e.stage == stage).collect();
+            StageSummary {
+                stage,
+                samples: of_stage.len() as u64,
+                median_micros: median_micros(of_stage.iter().map(|e| e.micros).collect()),
+                cached: of_stage.iter().filter(|e| e.cached).count() as u64,
+            }
+        })
+        .collect()
+}
+
+/// One benched configuration (a target, a circuit, …) with its stage
+/// aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseReport {
+    /// The configuration's label (e.g. the target name).
+    pub label: String,
+    /// Per-stage aggregates, in pipeline order.
+    pub stages: Vec<StageSummary>,
+}
+
+impl ToJson for CaseReport {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("label".into(), Value::Str(self.label.clone())),
+            (
+                "stages".into(),
+                Value::Arr(self.stages.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// The whole bench run: what ran, how often, and what the shared stage
+/// cache did across all cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// The benched circuit spec (e.g. `"ising:3"`).
+    pub circuit: String,
+    /// Compile iterations per case.
+    pub iterations: u64,
+    /// One entry per benched configuration.
+    pub cases: Vec<CaseReport>,
+    /// The shared stage cache's final counters.
+    pub stage_cache: StageCacheStats,
+}
+
+impl ToJson for SessionReport {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("circuit".into(), Value::Str(self.circuit.clone())),
+            ("iterations".into(), num(self.iterations)),
+            (
+                "cases".into(),
+                Value::Arr(self.cases.iter().map(ToJson::to_json).collect()),
+            ),
+            ("stage_cache".into(), self.stage_cache.to_json()),
+        ])
+    }
+}
+
+impl SessionReport {
+    /// Writes the report as pretty-enough JSON (one document, trailing
+    /// newline) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the filesystem error.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.to_json().render()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median_micros(vec![]), 0);
+        assert_eq!(median_micros(vec![7]), 7);
+        assert_eq!(median_micros(vec![9, 1, 5]), 5);
+        assert_eq!(median_micros(vec![4, 1, 9, 5]), 4, "lower middle");
+    }
+
+    #[test]
+    fn summarise_groups_by_stage() {
+        let events = vec![
+            StageEvent {
+                stage: Stage::Prepare,
+                fingerprint: 1,
+                cached: false,
+                micros: 10,
+            },
+            StageEvent {
+                stage: Stage::Prepare,
+                fingerprint: 1,
+                cached: true,
+                micros: 2,
+            },
+            StageEvent {
+                stage: Stage::Map,
+                fingerprint: 2,
+                cached: false,
+                micros: 100,
+            },
+        ];
+        let summary = summarise_stages(&events);
+        assert_eq!(summary.len(), 4, "every stage appears");
+        assert_eq!(summary[0].stage, Stage::Prepare);
+        assert_eq!(summary[0].samples, 2);
+        assert_eq!(summary[0].median_micros, 2);
+        assert!((summary[0].hit_ratio() - 0.5).abs() < 1e-9);
+        assert_eq!(summary[2].stage, Stage::Map);
+        assert_eq!(summary[2].samples, 1);
+        assert_eq!(summary[3].samples, 0, "schedule unobserved");
+        assert_eq!(summary[3].hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn report_renders_and_writes() {
+        use ftqc_compiler::StageCache;
+        let report = SessionReport {
+            circuit: "ising:2".into(),
+            iterations: 3,
+            cases: vec![CaseReport {
+                label: "paper".into(),
+                stages: summarise_stages(&[]),
+            }],
+            stage_cache: StageCache::new(4).stats(),
+        };
+        let rendered = report.to_json().render();
+        assert!(rendered.contains("\"circuit\":\"ising:2\""), "{rendered}");
+        assert!(rendered.contains("\"median_micros\""), "{rendered}");
+        assert!(rendered.contains("\"hit_ratio\""), "{rendered}");
+
+        let dir = std::env::temp_dir().join("ftqc-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_session.json");
+        report.write_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.ends_with('\n'));
+        // The written document parses back.
+        assert!(ftqc_service::Value::parse(text.trim()).is_ok());
+    }
+}

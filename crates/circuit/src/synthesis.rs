@@ -20,7 +20,7 @@
 //! this module emits the exact gate word for them.
 //!
 //! **Substitution note** (see DESIGN.md): full Ross–Selinger synthesis
-//! requires exact arithmetic over ℤ[ω] and a Diophantine solver; since the
+//! requires exact arithmetic over ℤ\[ω\] and a Diophantine solver; since the
 //! compiler consumes only the *T-count* of a rotation (never the word
 //! itself — rotations execute as repeated magic-state consumptions), we
 //! implement the published count formulas exactly and emit explicit words

@@ -5,7 +5,6 @@
 //! hundred lines of parser keeps the policy intact and the error messages
 //! domain-specific.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Parsed command line: a subcommand, positional arguments, and options.
@@ -16,8 +15,9 @@ pub struct ParsedArgs {
     /// Positional arguments after the subcommand.
     pub positionals: Vec<String>,
     /// `--key value` and boolean `--key` options (boolean flags map to
-    /// `"true"`).
-    pub options: HashMap<String, String>,
+    /// `"true"`), in command-line order. A key may repeat (`--target a
+    /// --target b`); single-value accessors take the last occurrence.
+    pub options: Vec<(String, String)>,
 }
 
 /// An argument-parsing failure.
@@ -75,13 +75,13 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
     while let Some(a) = it.next() {
         if let Some(key) = a.strip_prefix("--") {
             if BOOLEAN_FLAGS.contains(&key) {
-                parsed.options.insert(key.to_string(), "true".into());
+                parsed.options.push((key.to_string(), "true".into()));
             } else {
                 let value = it.next().cloned().ok_or_else(|| ArgError::Invalid {
                     option: key.to_string(),
                     reason: "expects a value".into(),
                 })?;
-                parsed.options.insert(key.to_string(), value);
+                parsed.options.push((key.to_string(), value));
             }
         } else {
             parsed.positionals.push(a.clone());
@@ -91,13 +91,37 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
 }
 
 impl ParsedArgs {
+    /// The last `--key` value, when given.
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Every `--key` value, in command-line order (for repeatable options
+    /// like `--target`).
+    pub fn get_all(&self, key: &str) -> Vec<&str> {
+        self.options
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Whether `--key` was given at all.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.options.iter().any(|(k, _)| k == key)
+    }
+
     /// A `--key` option parsed as `T`, or `default` when absent.
     ///
     /// # Errors
     ///
     /// [`ArgError::Invalid`] when present but unparsable.
     pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
-        match self.options.get(key) {
+        match self.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgError::Invalid {
                 option: key.to_string(),
@@ -108,7 +132,7 @@ impl ParsedArgs {
 
     /// Whether a boolean flag was passed.
     pub fn flag(&self, key: &str) -> bool {
-        self.options.get(key).map(String::as_str) == Some("true")
+        self.get(key).map(String::as_str) == Some("true")
     }
 
     /// A range option of the form `lo..hi` (inclusive), or a single number
@@ -118,7 +142,7 @@ impl ParsedArgs {
     ///
     /// [`ArgError::Invalid`] on malformed input.
     pub fn range_or(&self, key: &str, default: (u32, u32)) -> Result<Vec<u32>, ArgError> {
-        let (lo, hi) = match self.options.get(key) {
+        let (lo, hi) = match self.get(key) {
             None => default,
             Some(v) => {
                 let bad = |reason: &str| ArgError::Invalid {
@@ -206,6 +230,19 @@ mod tests {
     fn empty_range_rejected() {
         let p = parse(&argv("explore --r 6..2")).unwrap();
         assert!(p.range_or("r", (1, 1)).is_err());
+    }
+
+    #[test]
+    fn repeated_options_accumulate() {
+        let p = parse(&argv("sweep ising --target sparse --target paper --r 2")).unwrap();
+        assert_eq!(p.get_all("target"), vec!["sparse", "paper"]);
+        assert_eq!(p.get("target"), Some(&"paper".to_string()), "last wins");
+        assert!(p.contains_key("target"));
+        assert!(!p.contains_key("factories"));
+        assert_eq!(p.get_all("factories"), Vec::<&str>::new());
+        // Repeated single-value options: the last occurrence is taken.
+        let p = parse(&argv("compile ising --r 2 --r 6")).unwrap();
+        assert_eq!(p.get_or("r", 4u32).unwrap(), 6);
     }
 
     #[test]

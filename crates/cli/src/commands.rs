@@ -6,6 +6,7 @@
 use crate::args::{parse, ArgError, ParsedArgs};
 use ftqc_arch::qec::PhysicalAssumptions;
 use ftqc_arch::{render_layout, Layout, Ticks};
+use ftqc_arch::{TargetRegistry, TargetSpec};
 use ftqc_baselines::litinski::{BlockLayout, GameOfSurfaceCodes};
 use ftqc_baselines::{dascot_estimate, edpc_estimate, LineSam};
 use ftqc_benchmarks::suite::Benchmark;
@@ -13,15 +14,16 @@ use ftqc_circuit::Circuit;
 use ftqc_compiler::estimate::{estimate_resources, EstimateRequest, Objective};
 use ftqc_compiler::svg::to_svg;
 use ftqc_compiler::{
-    check_semantics, explore, explore_session, pareto_front, stage_outcome, to_csv, verify,
-    CompileSession, Compiler, CompilerOptions, DesignPoint, Metrics, Stage, StageCache,
-    StageCacheStats, StageEvent, StageTrace,
+    apply_job_target, check_semantics, explore, explore_session, explore_targets, pareto_front,
+    stage_outcome, target_digest, target_from_json, target_to_json, to_csv, verify, CompileSession,
+    Compiler, CompilerOptions, DesignPoint, Metrics, Stage, StageCache, StageCacheStats,
+    StageEvent, StageTrace,
 };
-use ftqc_server::{Client, Server, ServerConfig, SweepResponse};
+use ftqc_server::{Client, MultiSweepResponse, Server, ServerConfig, SweepResponse};
 use ftqc_service::json::ToJson;
 use ftqc_service::{
     fingerprint, render_results, BatchConfig, BatchService, CacheProvenance, CompileCache,
-    CompileJob, JobResult, JobStatus, SharedCache,
+    CompileJob, JobResult, JobStatus, SharedCache, TargetRef,
 };
 use std::error::Error;
 use std::fmt;
@@ -99,6 +101,7 @@ pub fn run(raw: &[String]) -> Result<CmdOutput, CliError> {
         "estimate" => cmd_estimate(&parsed).map(CmdOutput::from),
         "compare" => cmd_compare(&parsed).map(CmdOutput::from),
         "layout" => cmd_layout(&parsed).map(CmdOutput::from),
+        "targets" => cmd_targets(&parsed).map(CmdOutput::from),
         "bench" => Ok(cmd_bench().into()),
         "help" | "--help" | "-h" => Ok(help().into()),
         other => Err(CliError::Unknown(format!(
@@ -114,6 +117,10 @@ USAGE: ftqc <command> [circuit] [options]
 
 COMMANDS
   compile <circuit>    compile and print metrics
+                       --target NAME|@spec.json   hardware target (preset name
+                                     or a JSON spec file; see `ftqc targets`);
+                                     explicit --r/--factories/--t-msf override
+                                     the target's own values
                        --r N   routing paths (default 4)
                        --factories N (default 1)
                        --t-msf D     magic-state production time in d (default 11)
@@ -138,14 +145,26 @@ COMMANDS
                        --cache FILE     JSON file-backed compile cache (reused
                                         across runs; created when missing)
                        --r / --factories / --pareto as for explore
+                       --target NAME|@spec.json (repeatable) cross-target
+                                        sweep: one grid + Pareto front per
+                                        target, all sharing one stage cache;
+                                        pinned-bus targets (sparse, explicit
+                                        masks) sweep factories only
   batch <jobs.jsonl>   run a JSON-lines batch of compile jobs
                        one job per line, e.g.
                        {\"id\":\"a\",\"source\":{\"benchmark\":\"ising\",\"size\":2},
                         \"options\":{\"routing_paths\":4,\"factories\":1}}
                        source: {\"benchmark\":NAME[,\"size\":L]} | {\"qasm_file\":PATH}
                                | {\"qasm\":SOURCE}
+                       a job may name a hardware target: \"target\":\"sparse\"
+                       or an inline spec object (declare \"v\":2)
                        a malformed line fails that line only; the exit code
                        is non-zero when any job failed
+                       --target NAME|@spec.json  default target for jobs
+                                        still on the paper machine; a job's
+                                        own \"target\" field or non-default
+                                        machine options win (pin the paper
+                                        machine with \"target\":\"paper\")
                        --workers N      worker threads (default: all cores)
                        --cache FILE     file-backed compile cache
                        --cache-capacity N  memory-tier entries (default 4096)
@@ -164,6 +183,8 @@ COMMANDS
                        --addr HOST:PORT (default 127.0.0.1:7070)
                        --stop-after STAGE  POST /v1/compile?stage=STAGE (warm
                                            or probe the server's stage cache)
+                       --target NAME|@spec.json  resolved by the server
+                                           (wire v2)
                        compile options as for `compile`; file paths are
                        shipped as inline QASM
   client batch <jobs.jsonl>  run a JSONL batch on a remote server
@@ -174,6 +195,8 @@ COMMANDS
   compare <circuit>    compare against Litinski, LSQCA, DASCOT and EDPC
                        --factories N (default 1), --r N (default 4)
   layout <n> <r>       render the layout for n data qubits, r routing paths
+  targets [list]       list the registered hardware targets
+  targets show <NAME|@spec.json>  canonical spec JSON + digest of a target
   bench                list built-in benchmark circuits
 
 CIRCUITS
@@ -193,11 +216,69 @@ fn load_circuit(spec: &str) -> Result<Circuit, CliError> {
     ftqc_service::resolve::load_circuit_spec(spec).map_err(CliError::Unknown)
 }
 
+/// The CLI's target registry: the built-in presets. User-defined specs
+/// come in as `@file.json` values rather than registrations.
+fn target_registry() -> TargetRegistry {
+    TargetRegistry::builtin()
+}
+
+/// Resolves one `--target` value: a preset name against the registry, or
+/// `@path.json` holding a standalone target-spec document. Returns the
+/// display label alongside the spec.
+fn parse_target_value(
+    value: &str,
+    registry: &TargetRegistry,
+) -> Result<(String, TargetSpec), CliError> {
+    if let Some(path) = value.strip_prefix('@') {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Unknown(format!("cannot read target spec {path:?}: {e}")))?;
+        let doc = ftqc_service::Value::parse(&text)
+            .map_err(|e| CliError::Unknown(format!("target spec {path}: {e}")))?;
+        let spec = target_from_json(&doc)
+            .map_err(|e| CliError::Unknown(format!("target spec {path}: {e}")))?;
+        Ok((value.to_string(), spec))
+    } else {
+        ftqc_compiler::resolve_target_ref(&TargetRef::Named(value.to_string()), registry)
+            .map(|spec| (value.to_string(), spec))
+            .map_err(CliError::Unknown)
+    }
+}
+
+/// Every `--target` value resolved, in command-line order.
+fn targets_from(p: &ParsedArgs) -> Result<Vec<(String, TargetSpec)>, CliError> {
+    let registry = target_registry();
+    p.get_all("target")
+        .into_iter()
+        .map(|value| parse_target_value(value, &registry))
+        .collect()
+}
+
+/// Whether any explicit machine flag was given (they override a
+/// `--target` preset's own values).
+fn machine_flags_present(p: &ParsedArgs) -> bool {
+    ["r", "factories", "t-msf"]
+        .iter()
+        .any(|k| p.contains_key(k))
+        || p.flag("unbounded-magic")
+}
+
 fn options_from(p: &ParsedArgs) -> Result<CompilerOptions, CliError> {
-    let mut o = CompilerOptions::default()
-        .routing_paths(p.get_or("r", 4u32)?)
-        .factories(p.get_or("factories", 1u32)?)
-        .magic_production(Ticks::from_d(p.get_or("t-msf", 11.0f64)?));
+    let mut o = CompilerOptions::default();
+    if let Some(value) = p.get("target") {
+        let (_, spec) = parse_target_value(value, &target_registry())?;
+        o = o.target(spec);
+    }
+    // Explicit flags override the target's own values; absent flags keep
+    // them (for the default paper target these are r=4, f=1, t_MSF=11d).
+    if p.contains_key("r") {
+        o = o.routing_paths(p.get_or("r", 4u32)?);
+    }
+    if p.contains_key("factories") {
+        o = o.factories(p.get_or("factories", 1u32)?);
+    }
+    if p.contains_key("t-msf") {
+        o = o.magic_production(Ticks::from_d(p.get_or("t-msf", 11.0f64)?));
+    }
     if p.flag("no-lookahead") {
         o = o.lookahead(false);
     }
@@ -263,8 +344,8 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         .clone();
     let circuit = load_circuit(&spec)?;
     let options = options_from(p)?;
-    let timing = options.timing;
-    let stop_after = match p.options.get("stop-after") {
+    let timing = options.target.timing;
+    let stop_after = match p.get("stop-after") {
         None => None,
         Some(name) => Some(Stage::parse_or_err(name).map_err(CliError::Unknown)?),
     };
@@ -404,12 +485,12 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
             .map_err(|e| CliError::Pipeline(format!("SEMANTICS FAILED: {e}")))?;
         let _ = write!(out, "\nsemantic verify : ok ({r})");
     }
-    if let Some(path) = p.options.get("csv") {
+    if let Some(path) = p.get("csv") {
         std::fs::write(path, to_csv(&program))
             .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
         let _ = write!(out, "\nschedule csv    : {path}");
     }
-    if let Some(path) = p.options.get("svg") {
+    if let Some(path) = p.get("svg") {
         std::fs::write(path, to_svg(&program))
             .map_err(|e| CliError::Pipeline(format!("cannot write {path}: {e}")))?;
         let _ = write!(out, "\nschedule svg    : {path}");
@@ -508,13 +589,13 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
     let pareto: String = p.get_or("pareto", "no".to_string())?;
     // --parallel defaults to all cores; an explicit --workers N implies
     // parallelism on its own rather than being silently ignored.
-    let workers = if p.flag("parallel") || p.options.contains_key("workers") {
+    let workers = if p.flag("parallel") || p.contains_key("workers") {
         worker_count(p)?
     } else {
         1
     };
 
-    let cache_file = p.options.get("cache").map(PathBuf::from);
+    let cache_file = p.get("cache").map(PathBuf::from);
     let mut cache = CompileCache::new(ftqc_service::DEFAULT_CACHE_CAPACITY);
     if let Some(path) = &cache_file {
         cache = cache
@@ -524,6 +605,69 @@ fn cmd_sweep(p: &ParsedArgs) -> Result<String, CliError> {
     let cache = SharedCache::new(cache);
 
     let stages = StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY);
+
+    // `--target a --target b …`: a cross-target sweep — one grid and one
+    // Pareto front per target, in one process, through one worker pool,
+    // one metrics cache, and one shared stage cache.
+    let targets = targets_from(p)?;
+    if !targets.is_empty() {
+        let sweeps = explore_targets(
+            &circuit,
+            &targets,
+            &rs,
+            &fs,
+            &CompilerOptions::default(),
+            workers,
+            &cache,
+            &stages,
+        )
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+        if cache_file.is_some() {
+            cache
+                .persist()
+                .map_err(|e| CliError::Pipeline(format!("cannot persist cache: {e}")))?;
+        }
+        let stats = cache.stats();
+        if p.flag("json") {
+            // The same document the server's target-aware POST /v1/sweep
+            // returns.
+            let response = MultiSweepResponse {
+                targets: sweeps,
+                cache: stats,
+                workers: workers as u64,
+            };
+            return Ok(response.to_json().render());
+        }
+        let mut out = String::new();
+        for sweep in &sweeps {
+            let _ = writeln!(
+                out,
+                "== target {} (digest {})",
+                sweep.name,
+                fingerprint::to_hex(sweep.digest)
+            );
+            out.push_str(&render_design_points(&sweep.front));
+            let _ = writeln!(
+                out,
+                " on the Pareto front ({} grid points evaluated)",
+                sweep.points.len()
+            );
+        }
+        let _ = write!(
+            out,
+            "service: {workers} worker(s), cache {}/{} hits ({:.0}%)",
+            stats.hits,
+            stats.lookups(),
+            stats.hit_rate() * 100.0,
+        );
+        let _ = write!(
+            out,
+            "\nstage cache: {}",
+            render_stage_stats(&stages.stats())
+        );
+        return Ok(out);
+    }
+
     let points = explore_session(
         &circuit,
         &rs,
@@ -634,7 +778,7 @@ fn write_results_out(
     results: &[JobResult<Metrics>],
     out: &mut String,
 ) -> Result<(), CliError> {
-    if let Some(out_path) = p.options.get("out") {
+    if let Some(out_path) = p.get("out") {
         std::fs::write(out_path, render_results(results))
             .map_err(|e| CliError::Pipeline(format!("cannot write {out_path}: {e}")))?;
         let _ = write!(out, "\nresults jsonl   : {out_path}");
@@ -662,7 +806,7 @@ fn cmd_batch(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     let config = BatchConfig {
         workers: worker_count(p)?,
         cache_capacity,
-        cache_file: p.options.get("cache").map(PathBuf::from),
+        cache_file: p.get("cache").map(PathBuf::from),
     };
     let persist = config.cache_file.is_some();
     let workers = config.workers;
@@ -674,15 +818,39 @@ fn cmd_batch(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     // reuse prepare/lower (and map, when only scheduling knobs differ),
     // and `stop_after`/`resume_from` job fields are honoured.
     let stages = StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY);
-    let results = service.run_jsonl::<CompilerOptions, _, _>(&jsonl, resolve_source, |c, job| {
-        let session = CompileSession::new(job.options.clone()).with_cache(stages.clone());
-        stage_outcome(
-            &session,
-            c,
-            job.stop_after.as_deref(),
-            job.resume_from.as_deref(),
-        )
-    });
+    // `--target` sets the default machine for jobs whose decoded machine
+    // spec is still the paper default; a job's own "target" field or any
+    // machine option that moves off the default wins. (A job that spells
+    // out exactly the paper defaults is indistinguishable from one that
+    // said nothing — add `"target":"paper"` to pin it explicitly.)
+    // Resolution runs before each job is fingerprinted.
+    let registry = target_registry();
+    let default_target = p
+        .get("target")
+        .map(|value| parse_target_value(value, &registry))
+        .transpose()?
+        .map(|(_, spec)| spec);
+    let results = service.run_jsonl_with::<CompilerOptions, _, _, _>(
+        &jsonl,
+        |mut job| {
+            if job.target.is_none() && job.options.target == TargetSpec::paper() {
+                if let Some(spec) = &default_target {
+                    job.options.target = spec.clone();
+                }
+            }
+            apply_job_target(job, &registry)
+        },
+        resolve_source,
+        |c, job| {
+            let session = CompileSession::new(job.options.clone()).with_cache(stages.clone());
+            stage_outcome(
+                &session,
+                c,
+                job.stop_after.as_deref(),
+                job.resume_from.as_deref(),
+            )
+        },
+    );
     let elapsed = started.elapsed();
     if results.is_empty() {
         return Err(CliError::Unknown(format!("{path} contains no jobs")));
@@ -730,7 +898,7 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
         addr: p.get_or("addr", "127.0.0.1:7070".to_string())?,
         workers: p.get_or("workers", 0usize)?,
         cache_capacity,
-        cache_file: p.options.get("cache").map(PathBuf::from),
+        cache_file: p.get("cache").map(PathBuf::from),
         max_connections: p.get_or("max-connections", 64usize)?.max(1),
         read_timeout: Duration::from_millis(p.get_or("timeout-ms", 10_000u64)?),
         ..ServerConfig::default()
@@ -776,8 +944,21 @@ fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
             let spec = p.positionals.get(1).ok_or_else(usage)?;
             let source =
                 ftqc_service::resolve::source_from_spec(spec).map_err(CliError::Unknown)?;
-            let job = CompileJob::new(spec.clone(), source, options_from(p)?);
-            let result = match p.options.get("stop-after") {
+            let options = options_from(p)?;
+            // Ship the target for the server to resolve (wire v2): the
+            // preset name when nothing overrides it, otherwise the merged
+            // spec inline so explicit --r/--factories flags survive the
+            // server-side replacement.
+            let job_target = match p.get("target") {
+                None => None,
+                Some(value) if !value.starts_with('@') && !machine_flags_present(p) => {
+                    Some(TargetRef::Named(value.clone()))
+                }
+                Some(_) => Some(TargetRef::Inline(target_to_json(&options.target))),
+            };
+            let mut job = CompileJob::new(spec.clone(), source, options);
+            job.target = job_target;
+            let result = match p.get("stop-after") {
                 Some(stage) => client.compile_staged(&job, stage),
                 None => client.compile(&job),
             }
@@ -857,8 +1038,8 @@ fn cmd_estimate(p: &ParsedArgs) -> Result<String, CliError> {
 fn cmd_compare(p: &ParsedArgs) -> Result<String, CliError> {
     let circuit = circuit_arg(p)?;
     let options = options_from(p)?;
-    let timing = options.timing;
-    let f = options.factories;
+    let timing = options.target.timing;
+    let f = options.target.factories;
     let program = Compiler::new(options.clone())
         .compile(&circuit)
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
@@ -931,6 +1112,59 @@ fn cmd_layout(p: &ParsedArgs) -> Result<String, CliError> {
         layout.grid().rows(),
         layout.grid().cols(),
     ))
+}
+
+/// `ftqc targets [list]` / `ftqc targets show <NAME|@spec.json>`.
+fn cmd_targets(p: &ParsedArgs) -> Result<String, CliError> {
+    let registry = target_registry();
+    match p.positionals.first().map(String::as_str) {
+        None | Some("list") => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<10} {:>3} {:>9} {:>7} {:>6} {:<18} description",
+                "name", "r", "factories", "t_msf", "bus", "digest"
+            );
+            for entry in registry.entries() {
+                let spec = &entry.spec;
+                let _ = writeln!(
+                    out,
+                    "{:<10} {:>3} {:>9} {:>7} {:>6} {:<18} {}",
+                    entry.name,
+                    spec.routing_paths(),
+                    spec.factories,
+                    spec.timing.magic_production.to_string(),
+                    if spec.bus_is_pinned() {
+                        "pinned"
+                    } else {
+                        "swept"
+                    },
+                    fingerprint::to_hex(target_digest(spec)),
+                    entry.description,
+                );
+            }
+            let _ = write!(
+                out,
+                "use --target NAME on compile/sweep/batch, or --target @spec.json \
+                 for a custom machine (see `ftqc targets show paper` for the schema)"
+            );
+            Ok(out)
+        }
+        Some("show") => {
+            let value = p.positionals.get(1).ok_or_else(|| {
+                CliError::Unknown("usage: ftqc targets show <NAME|@spec.json>".into())
+            })?;
+            let (label, spec) = parse_target_value(value, &registry)?;
+            Ok(format!(
+                "target : {label}\ndigest : {}\nspec   : {}",
+                fingerprint::to_hex(target_digest(&spec)),
+                target_to_json(&spec).render(),
+            ))
+        }
+        Some(other) => Err(CliError::Unknown(format!(
+            "unknown targets subcommand {other:?} (use list|show)"
+        ))),
+    }
 }
 
 fn cmd_bench() -> String {
@@ -1357,5 +1591,157 @@ mod tests {
     fn compile_ablation_flags_accepted() {
         let out = run_line("compile ising:2 --no-lookahead --no-redundant-elim").unwrap();
         assert!(out.contains("execution time"));
+    }
+
+    #[test]
+    fn targets_list_and_show() {
+        let out = run_line("targets").unwrap();
+        for name in ["paper", "sparse", "fast-d"] {
+            assert!(out.contains(name), "missing {name} in: {out}");
+        }
+        assert!(out.contains("pinned"), "sparse pins its bus: {out}");
+        assert_eq!(
+            run_line("targets").unwrap(),
+            run_line("targets list").unwrap()
+        );
+
+        let out = run_line("targets show sparse").unwrap();
+        assert!(out.contains("digest"), "got {out}");
+        assert!(out.contains("\"routing_paths\":2"), "got {out}");
+        assert!(out.contains("\"fixed_bus\":true"), "got {out}");
+        assert!(run_line("targets show warp").is_err());
+        assert!(run_line("targets frobnicate").is_err());
+        assert!(run_line("targets show").is_err());
+    }
+
+    #[test]
+    fn compile_with_target_flag() {
+        // --target sparse compiles on the r=2 clustered machine.
+        let out = run_line("compile ising:2 --target sparse").unwrap();
+        assert!(out.contains("layout          : r=2"), "got {out}");
+        // Explicit flags override the preset's values.
+        let out = run_line("compile ising:2 --target sparse --r 4").unwrap();
+        assert!(out.contains("layout          : r=4"), "got {out}");
+        assert!(run_line("compile ising:2 --target warp").is_err());
+
+        // A spec file works everywhere a preset name does.
+        let dir = std::env::temp_dir().join("ftqc-cli-test-target");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("lab.json");
+        std::fs::write(&spec, r#"{"routing_paths":3,"factories":2}"#).unwrap();
+        let out = run_line(&format!("compile ising:2 --target @{}", spec.display())).unwrap();
+        assert!(out.contains("layout          : r=3"), "got {out}");
+        let out = run_line(&format!("targets show @{}", spec.display())).unwrap();
+        assert!(out.contains("\"factories\":2"), "got {out}");
+    }
+
+    #[test]
+    fn sweep_multi_target_produces_per_target_fronts() {
+        let out = run_line(
+            "sweep ising:2 --target sparse --target paper --r 2..4 --factories 1..2 --parallel",
+        )
+        .unwrap();
+        assert!(out.contains("== target sparse"), "got {out}");
+        assert!(out.contains("== target paper"), "got {out}");
+        assert!(out.contains("on the Pareto front"), "got {out}");
+        // The sparse target pins its bus: 2 factory points; paper sweeps
+        // the full 3x2 grid.
+        assert!(out.contains("(2 grid points evaluated)"), "got {out}");
+        assert!(out.contains("(6 grid points evaluated)"), "got {out}");
+        assert!(out.contains("stage cache"), "one shared cache: {out}");
+
+        // --json emits the server's MultiSweepResponse schema.
+        let out = run_full("sweep ising:2 --target sparse --target paper --r 2..3 --json").unwrap();
+        let doc = ftqc_service::Value::parse(&out.text).expect("valid json");
+        let resp: MultiSweepResponse =
+            ftqc_service::FromJson::from_json(&doc).expect("decodes as MultiSweepResponse");
+        assert_eq!(resp.targets.len(), 2);
+        assert_eq!(resp.targets[0].name, "sparse");
+        assert!(!resp.targets[1].front.is_empty());
+    }
+
+    #[test]
+    fn batch_jobs_with_targets() {
+        let dir = std::env::temp_dir().join("ftqc-cli-test-batch-target");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("targets.jsonl");
+        std::fs::write(
+            &jobs,
+            concat!(
+                "{\"id\":\"s\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"target\":\"sparse\"}\n",
+                "{\"id\":\"d\",\"source\":{\"benchmark\":\"ising\",\"size\":2}}\n",
+                "{\"id\":\"r6\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":6}}\n",
+                "{\"id\":\"bad\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"target\":\"warp\"}\n",
+            ),
+        )
+        .unwrap();
+        // --target fast-d is the default for the job that names none.
+        let out = run_full(&format!(
+            "batch {} --workers 2 --target fast-d --out {}",
+            jobs.display(),
+            dir.join("out.jsonl").display()
+        ))
+        .unwrap();
+        assert!(
+            out.failed,
+            "the unknown-target line must fail: {}",
+            out.text
+        );
+        assert!(out.text.contains("3/4 jobs ok"), "got {}", out.text);
+        assert!(out.text.contains("unknown target"), "got {}", out.text);
+        let results = std::fs::read_to_string(dir.join("out.jsonl")).unwrap();
+        let r_of = |line: &str| {
+            ftqc_service::Value::parse(line)
+                .unwrap()
+                .get("metrics")
+                .and_then(|m| m.get("routing_paths"))
+                .and_then(ftqc_service::Value::as_u64)
+        };
+        let mut lines = results.lines();
+        assert_eq!(r_of(lines.next().unwrap()), Some(2), "job target wins");
+        // The default-machine job picked up --target fast-d (r=4 family,
+        // halved latencies); the r=6 job kept its explicit machine.
+        assert_eq!(r_of(lines.next().unwrap()), Some(4));
+        assert_eq!(
+            r_of(lines.next().unwrap()),
+            Some(6),
+            "explicit per-job machine options beat the --target default: {results}"
+        );
+    }
+
+    #[test]
+    fn client_compile_with_target() {
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let thread = std::thread::spawn(move || server.run().unwrap());
+
+        let out = run_full(&format!(
+            "client compile ising:2 --addr {addr} --target sparse --json"
+        ))
+        .unwrap();
+        assert!(!out.failed, "got: {}", out.text);
+        let doc = ftqc_service::Value::parse(&out.text).expect("valid json");
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("routing_paths"))
+                .and_then(ftqc_service::Value::as_u64),
+            Some(2),
+            "server resolved the named target: {}",
+            out.text
+        );
+        // An unknown preset is rejected by the server with a 400.
+        assert!(run_line(&format!(
+            "client compile ising:2 --addr {addr} --target warp"
+        ))
+        .is_err());
+
+        handle.shutdown();
+        thread.join().unwrap();
     }
 }

@@ -108,7 +108,13 @@ pub fn diagnose(program: &CompiledProgram) -> BottleneckReport {
     };
 
     let factory_utilization = if makespan > 0.0 && m.factories > 0 {
-        (m.n_magic_states as f64 * program.compile_options().timing.magic_production.as_d()
+        (m.n_magic_states as f64
+            * program
+                .compile_options()
+                .target
+                .timing
+                .magic_production
+                .as_d()
             / (m.factories as f64 * makespan))
             .min(1.0)
     } else {

@@ -174,7 +174,7 @@ impl<'a> Engine<'a> {
             .map(|&q| self.qubit_ready[q as usize])
             .fold(extra_dep, Ticks::max);
         let start = self.timeline.earliest_start(cells.iter().copied(), dep);
-        let duration = op.duration(&self.options.timing);
+        let duration = op.duration(&self.options.target.timing);
         self.timeline
             .reserve(cells.iter().copied(), start, duration);
         let end = start + duration;
@@ -586,7 +586,7 @@ mod tests {
             .factories(factories);
         let layout = Layout::with_routing_paths(circuit.num_qubits(), r);
         let mapping = InitialMapping::new(&layout, circuit.num_qubits(), MappingStrategy::Snake);
-        let bank = FactoryBank::dock(&layout, factories, options.timing.magic_production);
+        let bank = FactoryBank::dock(&layout, factories, options.target.timing.magic_production);
         let mut engine = Engine::new(&layout, &mapping, bank, &options);
         engine.run(circuit).expect("engine routes the circuit");
         engine.into_ops()
@@ -673,7 +673,7 @@ mod tests {
             .t_state_policy(crate::options::TStatePolicy::synthesis(3));
         let layout = Layout::with_routing_paths(4, 4);
         let mapping = InitialMapping::new(&layout, 4, MappingStrategy::Snake);
-        let bank = FactoryBank::dock(&layout, 1, options.timing.magic_production);
+        let bank = FactoryBank::dock(&layout, 1, options.target.timing.magic_production);
         let mut engine = Engine::new(&layout, &mapping, bank, &options);
         engine.run(&c).unwrap();
         let (_, magic) = engine.into_ops();

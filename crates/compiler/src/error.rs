@@ -1,7 +1,7 @@
 //! Compiler error type.
 
 use crate::session::Stage;
-use ftqc_arch::LayoutError;
+use ftqc_arch::{LayoutError, TargetError};
 use std::error::Error;
 use std::fmt;
 
@@ -11,6 +11,9 @@ use std::fmt;
 pub enum CompileError {
     /// The requested layout is invalid for this circuit.
     Layout(LayoutError),
+    /// The program violates the hardware target's capabilities (qubit
+    /// cap, Clifford-only machine, zero factories).
+    Target(TargetError),
     /// The router could not realise a gate (congestion beyond recovery).
     RoutingFailed {
         /// Index of the gate in the (lowered) circuit.
@@ -78,6 +81,7 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::Layout(e) => write!(f, "layout error: {e}"),
+            CompileError::Target(e) => write!(f, "target error: {e}"),
             CompileError::RoutingFailed { gate_index, reason } => {
                 write!(f, "routing failed at gate {gate_index}: {reason}")
             }
@@ -105,6 +109,7 @@ impl Error for CompileError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CompileError::Layout(e) => Some(e),
+            CompileError::Target(e) => Some(e),
             CompileError::Stage { source, .. } => Some(source.as_ref()),
             _ => None,
         }
@@ -114,6 +119,12 @@ impl Error for CompileError {
 impl From<LayoutError> for CompileError {
     fn from(e: LayoutError) -> Self {
         CompileError::Layout(e)
+    }
+}
+
+impl From<TargetError> for CompileError {
+    fn from(e: TargetError) -> Self {
+        CompileError::Target(e)
     }
 }
 
@@ -136,9 +147,22 @@ mod tests {
 
     #[test]
     fn source_chains_layout_errors() {
-        let e: CompileError = LayoutError::TooFewRoutingPaths { requested: 0 }.into();
+        let e: CompileError = LayoutError::TooFewRoutingPaths {
+            requested: 0,
+            max: 10,
+        }
+        .into();
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&CompileError::EmptyRegister).is_none());
+    }
+
+    #[test]
+    fn target_errors_convert_and_chain() {
+        let e: CompileError = TargetError::NoFactories.into();
+        assert!(e.to_string().contains("target error"), "got {e}");
+        assert!(Error::source(&e).is_some());
+        let e: CompileError = TargetError::TooManyQubits { qubits: 16, max: 9 }.into();
+        assert!(e.to_string().contains("16"), "got {e}");
     }
 
     #[test]

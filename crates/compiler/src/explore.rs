@@ -15,6 +15,7 @@ use crate::metrics::Metrics;
 use crate::options::CompilerOptions;
 use crate::pipeline::Compiler;
 use crate::session::{CompileSession, StageCache};
+use ftqc_arch::TargetSpec;
 use ftqc_circuit::Circuit;
 use ftqc_service::json::ToJson;
 use ftqc_service::{fingerprint, SharedCache, WorkerPool};
@@ -147,7 +148,7 @@ pub fn explore_parallel_with(
 }
 
 /// [`explore_parallel_with`] running each grid point through the staged
-/// [`CompileSession`](crate::CompileSession) against a caller-owned
+/// [`CompileSession`] against a caller-owned
 /// [`StageCache`]: whole-job repeats are still answered from `cache`, and
 /// misses reuse stage artifacts — a routing grid shares one prepare/lower
 /// pass, and a sweep varying only scheduling knobs reuses the routed ops
@@ -171,23 +172,7 @@ pub fn explore_session(
     let circuit_fp = fingerprint::fingerprint_circuit(circuit);
     let results = WorkerPool::new(workers).run(combos, |(r, f)| {
         let options = base.clone().routing_paths(r).factories(f);
-        let key = fingerprint::combine(
-            circuit_fp,
-            fingerprint::fingerprint_value(&options.to_json()),
-        );
-        if let Some(hit) = cache.get(key) {
-            return Ok(DesignPoint {
-                routing_paths: r,
-                factories: f,
-                metrics: hit.value,
-            });
-        }
-        let program = CompileSession::new(options)
-            .with_cache(stages.clone())
-            .compile(circuit)
-            .map_err(CompileError::into_root)?;
-        let metrics = *program.metrics();
-        cache.insert(key, metrics);
+        let metrics = compile_cached_session(circuit, circuit_fp, options, cache, stages)?;
         Ok(DesignPoint {
             routing_paths: r,
             factories: f,
@@ -199,9 +184,165 @@ pub fn explore_session(
     results.into_iter().collect()
 }
 
-/// Compiles `circuit` under `options`, memoised in `cache` under the
-/// content-addressed key `combine(circuit_fp, fingerprint(options))` —
-/// the single place that key recipe lives. `circuit_fp` is
+/// The whole-job cache key every memoised compile path uses:
+/// `combine(circuit_fp, fingerprint(options))`.
+fn job_key(circuit_fp: u64, options: &CompilerOptions) -> u64 {
+    fingerprint::combine(
+        circuit_fp,
+        fingerprint::fingerprint_value(&options.to_json()),
+    )
+}
+
+/// Compiles `circuit` under `options` through a staged session over
+/// `stages`, memoised in `cache` under [`job_key`] — the single recipe
+/// behind both [`explore_session`] and [`explore_targets`] grid points.
+fn compile_cached_session(
+    circuit: &Circuit,
+    circuit_fp: u64,
+    options: CompilerOptions,
+    cache: &SharedCache<Metrics>,
+    stages: &StageCache,
+) -> Result<Metrics, CompileError> {
+    let key = job_key(circuit_fp, &options);
+    if let Some(hit) = cache.get(key) {
+        return Ok(hit.value);
+    }
+    let program = CompileSession::new(options)
+        .with_cache(stages.clone())
+        .compile(circuit)
+        .map_err(CompileError::into_root)?;
+    let metrics = *program.metrics();
+    cache.insert(key, metrics);
+    Ok(metrics)
+}
+
+/// One target's slice of a cross-target sweep: its design points in grid
+/// order and their qubit/time Pareto front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetSweep {
+    /// The target's label (preset name or a caller-chosen tag).
+    pub name: String,
+    /// The target's canonical digest ([`crate::codec::target_digest`]).
+    pub digest: u64,
+    /// Every evaluated grid point, in grid order.
+    pub points: Vec<DesignPoint>,
+    /// The qubit/time Pareto front of `points`, sorted by qubit count.
+    pub front: Vec<DesignPoint>,
+}
+
+/// The exact option sets a cross-target sweep visits for one target — the
+/// shared work-list of [`explore_targets`] and its serial equivalent (one
+/// [`explore_session`]-style compile per entry), so the two are
+/// byte-identical by construction.
+///
+/// Targets with a pinned bus (explicit masks, [`fixed_bus`] presets) keep
+/// their own provisioning and sweep only the factory axis; routing-path
+/// families sweep the full `routing_paths × factories` grid. Targets the
+/// circuit cannot run on — capability violations (qubit cap,
+/// Clifford-only, zero factories) or a pinned layout that does not fit —
+/// contribute no entries, mirroring [`explore`]'s silent skip of invalid
+/// grid combinations, so one impossible target never sinks the rest of a
+/// cross-target fleet.
+///
+/// [`fixed_bus`]: ftqc_arch::Capabilities::fixed_bus
+pub fn target_sweep_options(
+    circuit: &Circuit,
+    spec: &TargetSpec,
+    routing_paths: &[u32],
+    factories: &[u32],
+    base: &CompilerOptions,
+) -> Vec<CompilerOptions> {
+    if spec
+        .validate(circuit.num_qubits(), circuit.t_count() as u64)
+        .is_err()
+    {
+        return Vec::new();
+    }
+    let with_target = base.clone().target(spec.clone());
+    if spec.bus_is_pinned() {
+        if spec.build_layout(circuit.num_qubits()).is_err() {
+            return Vec::new();
+        }
+        factories
+            .iter()
+            .map(|&f| with_target.clone().factories(f))
+            .collect()
+    } else {
+        sweep_grid(circuit, routing_paths, factories)
+            .into_iter()
+            .map(|(r, f)| with_target.clone().routing_paths(r).factories(f))
+            .collect()
+    }
+}
+
+/// Cross-target design-space exploration: one sweep per named target, all
+/// fanned through a single worker pool and sharing one metrics cache and
+/// one [`StageCache`]. The circuit prepares and lowers once for the whole
+/// fleet (those stages are target-independent), each target's grid points
+/// route under its own layout/timing, and every target comes back with its
+/// grid points plus its qubit/time Pareto front.
+///
+/// Results are byte-identical to compiling each target's
+/// [`target_sweep_options`] serially in order.
+///
+/// # Errors
+///
+/// As [`explore`]: the first compile failure in work-list order.
+#[allow(clippy::too_many_arguments)]
+pub fn explore_targets(
+    circuit: &Circuit,
+    targets: &[(String, TargetSpec)],
+    routing_paths: &[u32],
+    factories: &[u32],
+    base: &CompilerOptions,
+    workers: usize,
+    cache: &SharedCache<Metrics>,
+    stages: &StageCache,
+) -> Result<Vec<TargetSweep>, CompileError> {
+    let mut work: Vec<(usize, CompilerOptions)> = Vec::new();
+    for (index, (_, spec)) in targets.iter().enumerate() {
+        for options in target_sweep_options(circuit, spec, routing_paths, factories, base) {
+            work.push((index, options));
+        }
+    }
+    let circuit_fp = fingerprint::fingerprint_circuit(circuit);
+    let results: Vec<Result<(usize, DesignPoint), CompileError>> = WorkerPool::new(workers.max(1))
+        .run(work, |(index, options)| {
+            let routing_paths = options.target.routing_paths();
+            let factories = options.target.factories;
+            let metrics = compile_cached_session(circuit, circuit_fp, options, cache, stages)?;
+            Ok((
+                index,
+                DesignPoint {
+                    routing_paths,
+                    factories,
+                    metrics,
+                },
+            ))
+        });
+    let mut sweeps: Vec<TargetSweep> = targets
+        .iter()
+        .map(|(name, spec)| TargetSweep {
+            name: name.clone(),
+            digest: crate::codec::target_digest(spec),
+            points: Vec::new(),
+            front: Vec::new(),
+        })
+        .collect();
+    for result in results {
+        let (index, point) = result?;
+        sweeps[index].points.push(point);
+    }
+    for sweep in &mut sweeps {
+        sweep.front = pareto_front(&sweep.points);
+    }
+    Ok(sweeps)
+}
+
+/// Compiles `circuit` under `options` through the monolithic compiler,
+/// memoised in `cache` under the content-addressed `job_key`
+/// (`combine(circuit_fp, fingerprint(options))` — the one recipe every
+/// memoised path shares). `circuit_fp` is
 /// `ftqc_service::fingerprint::fingerprint_circuit(circuit)`, hoisted out
 /// so sweeps hash the circuit once, not per grid point.
 ///
@@ -215,10 +356,7 @@ pub fn compile_cached(
     options: CompilerOptions,
     cache: &SharedCache<Metrics>,
 ) -> Result<Metrics, CompileError> {
-    let key = fingerprint::combine(
-        circuit_fp,
-        fingerprint::fingerprint_value(&options.to_json()),
-    );
+    let key = job_key(circuit_fp, &options);
     if let Some(hit) = cache.get(key) {
         return Ok(hit.value);
     }
@@ -375,6 +513,57 @@ mod tests {
         assert_eq!(stats.prepare.insertions + stats.prepare.hits, 4);
         assert!(stats.prepare.hits >= 1, "front end reused: {stats:?}");
         assert_eq!(stats.map.misses, 4, "each grid point routes once");
+    }
+
+    #[test]
+    fn explore_targets_matches_per_target_serial() {
+        use ftqc_circuit::Circuit;
+        use ftqc_service::SharedCache;
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q).t(q);
+        }
+        c.cnot(0, 1).cnot(2, 3);
+        let base = CompilerOptions::default();
+        let targets = vec![
+            ("paper".to_string(), TargetSpec::paper()),
+            ("sparse".to_string(), TargetSpec::sparse()),
+            ("fast-d".to_string(), TargetSpec::fast_d()),
+        ];
+        let cache = SharedCache::in_memory(128);
+        let stages = StageCache::new(128);
+        let sweeps = explore_targets(&c, &targets, &[2, 4], &[1, 2], &base, 3, &cache, &stages)
+            .expect("sweeps");
+        assert_eq!(sweeps.len(), 3);
+        // Byte-for-byte equal to compiling each target's options serially.
+        for ((name, spec), sweep) in targets.iter().zip(&sweeps) {
+            assert_eq!(&sweep.name, name);
+            assert_eq!(sweep.digest, crate::codec::target_digest(spec));
+            let serial: Vec<DesignPoint> = target_sweep_options(&c, spec, &[2, 4], &[1, 2], &base)
+                .into_iter()
+                .map(|o| {
+                    let r = o.target.routing_paths();
+                    let f = o.target.factories;
+                    let metrics = *Compiler::new(o).compile(&c).expect("serial").metrics();
+                    DesignPoint {
+                        routing_paths: r,
+                        factories: f,
+                        metrics,
+                    }
+                })
+                .collect();
+            assert_eq!(sweep.points, serial, "target {name}");
+            assert_eq!(sweep.front, pareto_front(&serial));
+        }
+        // The sparse target pins its bus: factories axis only.
+        assert_eq!(sweeps[1].points.len(), 2);
+        assert!(sweeps[1].points.iter().all(|p| p.routing_paths == 2));
+        // Family targets sweep the full grid.
+        assert_eq!(sweeps[0].points.len(), 4);
+        // One shared front end across all targets: prepare/lower computed
+        // once (modulo benign recompute races).
+        let stats = stages.stats();
+        assert!(stats.prepare.hits >= 1, "front end shared: {stats:?}");
     }
 
     #[test]

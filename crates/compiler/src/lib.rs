@@ -56,18 +56,20 @@ pub mod routed;
 pub mod semantics;
 pub mod session;
 pub mod svg;
+pub mod targets;
 pub mod timer;
 pub mod trace;
 pub mod verify;
 
 pub use analysis::{diagnose, Bottleneck, BottleneckReport};
+pub use codec::{target_digest, target_from_json, target_to_json};
 pub use error::CompileError;
 pub use estimate::{
     estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate,
 };
 pub use explore::{
     best_by_volume, compile_cached, explore, explore_parallel, explore_parallel_with,
-    explore_session, pareto_front, DesignPoint,
+    explore_session, explore_targets, pareto_front, target_sweep_options, DesignPoint, TargetSweep,
 };
 pub use export::{to_csv, utilization, UtilizationStats};
 pub use mapping::{InitialMapping, MappingStrategy};
@@ -81,5 +83,6 @@ pub use session::{
     stage_outcome, CompileSession, Lowered, Mapped, Prepared, Stage, StageCache, StageCacheStats,
     StageEvent, StageRun, StageTrace, TraceHook, DEFAULT_STAGE_CACHE_CAPACITY,
 };
+pub use targets::{apply_job_target, resolve_target_ref};
 pub use trace::{activity_strip, kind_breakdown, Activity, KindBreakdown};
 pub use verify::{verify, VerifyError};

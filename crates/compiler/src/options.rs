@@ -1,7 +1,15 @@
 //! Compiler configuration.
+//!
+//! Since the target redesign, everything that describes the *machine* —
+//! bus provisioning, factories, latencies, port placement, capability
+//! flags — lives in one [`TargetSpec`] under [`CompilerOptions::target`];
+//! the remaining fields are *compilation policy* (heuristics, mapping,
+//! accounting). The legacy builder setters (`routing_paths`, `factories`,
+//! `timing`, …) are thin forwards into the target, so existing
+//! configuration code keeps reading the same.
 
 use crate::mapping::MappingStrategy;
-use ftqc_arch::{PortPlacement, Ticks, TimingModel};
+use ftqc_arch::{BusSpec, PortPlacement, Target, TargetSpec, Ticks, TimingModel};
 use serde::{Deserialize, Serialize};
 
 /// How many magic states a non-Clifford rotation consumes.
@@ -64,15 +72,13 @@ impl Default for TStatePolicy {
 ///
 /// Builder-style setters return `self` so configurations read as one
 /// expression; every knob corresponds to a paper parameter or a DESIGN.md
-/// ablation.
+/// ablation. Machine knobs forward into [`CompilerOptions::target`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompilerOptions {
-    /// Routing paths `r` of the layout (Fig 3). Default 4.
-    pub routing_paths: u32,
-    /// Number of distillation factories. Default 1.
-    pub factories: u32,
-    /// Operation latencies. Default [`TimingModel::paper`].
-    pub timing: TimingModel,
+    /// The hardware target: layout family or bus mask, factory bank,
+    /// timing model, and capability flags. Defaults to the paper machine
+    /// ([`TargetSpec::paper`]).
+    pub target: TargetSpec,
     /// Penalty weight of the Dijkstra cost model (§V.B). Default 5.
     pub penalty_weight: u64,
     /// Gate-dependent look-ahead configuration selection (§V.A). Default on.
@@ -87,42 +93,49 @@ pub struct CompilerOptions {
     /// merging) before lowering. Off by default: the paper compiles
     /// circuits as-is.
     pub optimize: bool,
-    /// Factory output-port placement on the boundary (DESIGN.md ablation).
-    pub port_placement: PortPlacement,
-    /// Model an unlimited magic-state supply (DASCOT-style assumption;
-    /// factories still provide ports). Default off.
-    pub unbounded_magic: bool,
-    /// Re-time the routed program under this latency model instead of
-    /// [`CompilerOptions::timing`]. The router still plans with `timing`;
+    /// Re-time the routed program under this latency model instead of the
+    /// target's timing. The router still plans with the target timing;
     /// only the scheduling stage (and its lower bound) uses the override,
     /// so a latency-model sweep through [`CompileSession`](crate::CompileSession)
     /// reuses the routed ops and re-runs scheduling alone. Default `None`
-    /// (schedule with `timing`, the paper's behaviour).
+    /// (schedule with the target timing, the paper's behaviour).
     pub schedule_timing: Option<TimingModel>,
 }
 
 impl CompilerOptions {
-    /// Sets the number of routing paths.
+    /// Replaces the whole hardware target.
+    pub fn target(mut self, spec: TargetSpec) -> Self {
+        self.target = spec;
+        self
+    }
+
+    /// Compiles for a [`Target`] implementation (its spec).
+    pub fn for_target(target: &dyn Target) -> Self {
+        CompilerOptions::default().target(target.spec())
+    }
+
+    /// Sets the number of routing paths (replaces any explicit bus mask
+    /// with the routing-path-parameterised family).
     pub fn routing_paths(mut self, r: u32) -> Self {
-        self.routing_paths = r;
+        self.target.bus = BusSpec::RoutingPaths(r);
         self
     }
 
     /// Sets the number of distillation factories.
     pub fn factories(mut self, n: u32) -> Self {
-        self.factories = n;
+        self.target.factories = n;
         self
     }
 
-    /// Sets the timing model.
+    /// Sets the target's timing model.
     pub fn timing(mut self, t: TimingModel) -> Self {
-        self.timing = t;
+        self.target.timing = t;
         self
     }
 
     /// Sets the magic-state production latency, keeping other timings.
     pub fn magic_production(mut self, t: Ticks) -> Self {
-        self.timing.magic_production = t;
+        self.target.timing.magic_production = t;
         self
     }
 
@@ -158,7 +171,7 @@ impl CompilerOptions {
 
     /// Models unlimited magic-state supply.
     pub fn unbounded_magic(mut self, on: bool) -> Self {
-        self.unbounded_magic = on;
+        self.target.unbounded_magic = on;
         self
     }
 
@@ -170,7 +183,7 @@ impl CompilerOptions {
 
     /// Sets the factory port placement policy.
     pub fn port_placement(mut self, p: PortPlacement) -> Self {
-        self.port_placement = p;
+        self.target.port_placement = p;
         self
     }
 
@@ -181,27 +194,23 @@ impl CompilerOptions {
     }
 
     /// The latency model the scheduling stage replays with:
-    /// [`CompilerOptions::schedule_timing`] when set, otherwise
-    /// [`CompilerOptions::timing`].
+    /// [`CompilerOptions::schedule_timing`] when set, otherwise the
+    /// target's timing.
     pub fn effective_schedule_timing(&self) -> &TimingModel {
-        self.schedule_timing.as_ref().unwrap_or(&self.timing)
+        self.schedule_timing.as_ref().unwrap_or(&self.target.timing)
     }
 }
 
 impl Default for CompilerOptions {
     fn default() -> Self {
         Self {
-            routing_paths: 4,
-            factories: 1,
-            timing: TimingModel::paper(),
+            target: TargetSpec::paper(),
             penalty_weight: 5,
             lookahead: true,
             eliminate_redundant_moves: true,
             mapping: MappingStrategy::Snake,
             t_state_policy: TStatePolicy::default(),
             optimize: false,
-            port_placement: PortPlacement::Spread,
-            unbounded_magic: false,
             schedule_timing: None,
         }
     }
@@ -210,6 +219,7 @@ impl Default for CompilerOptions {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ftqc_arch::PaperGrid;
 
     #[test]
     fn builder_chain() {
@@ -220,43 +230,66 @@ mod tests {
             .lookahead(false)
             .eliminate_redundant_moves(false)
             .unbounded_magic(true);
-        assert_eq!(o.routing_paths, 6);
-        assert_eq!(o.factories, 3);
+        assert_eq!(o.target.routing_paths(), 6);
+        assert_eq!(o.target.factories, 3);
         assert_eq!(o.penalty_weight, 2);
         assert!(!o.lookahead);
         assert!(!o.eliminate_redundant_moves);
-        assert!(o.unbounded_magic);
+        assert!(o.target.unbounded_magic);
     }
 
     #[test]
     fn default_matches_paper() {
         let o = CompilerOptions::default();
-        assert_eq!(o.factories, 1);
-        assert_eq!(o.timing.magic_production.as_d(), 11.0);
+        assert_eq!(o.target, TargetSpec::paper());
+        assert_eq!(o.target.factories, 1);
+        assert_eq!(o.target.timing.magic_production.as_d(), 11.0);
         assert!(o.lookahead);
         assert!(o.eliminate_redundant_moves);
         assert_eq!(o.t_state_policy.states_per_rz, 1);
     }
 
     #[test]
+    fn target_setters_and_for_target() {
+        let o = CompilerOptions::default().target(TargetSpec::sparse());
+        assert_eq!(o.target, TargetSpec::sparse());
+        assert_eq!(o.penalty_weight, 5, "policy knobs untouched");
+        assert_eq!(
+            CompilerOptions::for_target(&PaperGrid),
+            CompilerOptions::default()
+        );
+        // A routing-path override replaces an explicit mask with the family.
+        let o = CompilerOptions::default()
+            .target(TargetSpec {
+                bus: ftqc_arch::BusSpec::Explicit {
+                    rows: vec![-1],
+                    cols: vec![-1],
+                },
+                ..TargetSpec::paper()
+            })
+            .routing_paths(5);
+        assert_eq!(o.target.bus, ftqc_arch::BusSpec::RoutingPaths(5));
+    }
+
+    #[test]
     fn schedule_timing_override() {
         let o = CompilerOptions::default();
         assert_eq!(o.schedule_timing, None);
-        assert_eq!(*o.effective_schedule_timing(), o.timing);
+        assert_eq!(*o.effective_schedule_timing(), o.target.timing);
         let fast = TimingModel {
             cnot: Ticks::from_d(1.0),
             ..TimingModel::paper()
         };
         let o = o.schedule_timing(fast);
         assert_eq!(o.effective_schedule_timing().cnot.as_d(), 1.0);
-        assert_eq!(o.timing.cnot.as_d(), 2.0, "router timing untouched");
+        assert_eq!(o.target.timing.cnot.as_d(), 2.0, "router timing untouched");
     }
 
     #[test]
     fn magic_production_shortcut() {
         let o = CompilerOptions::default().magic_production(Ticks::from_d(5.0));
-        assert_eq!(o.timing.magic_production.as_d(), 5.0);
-        assert_eq!(o.timing.cnot.as_d(), 2.0);
+        assert_eq!(o.target.timing.magic_production.as_d(), 5.0);
+        assert_eq!(o.target.timing.cnot.as_d(), 2.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The compiler façade: lowering → mapping → routing → scheduling.
 //!
 //! [`Compiler::compile`] is a thin compatibility wrapper over the staged
-//! [`CompileSession`](crate::session::CompileSession) pipeline; use the
+//! [`CompileSession`] pipeline; use the
 //! session directly for stage-level caching, partial runs, and per-stage
 //! trace hooks.
 
@@ -49,7 +49,7 @@ impl Compiler {
     /// Compiles `circuit` to a timed lattice-surgery schedule.
     ///
     /// Equivalent to running the staged
-    /// [`CompileSession`](crate::session::CompileSession) end to end
+    /// [`CompileSession`] end to end
     /// without a stage cache; stage context is stripped from errors so
     /// callers see the same [`CompileError`] values as before the staged
     /// redesign.

@@ -40,7 +40,7 @@ use crate::pipeline::{lower, prepare, CompiledProgram};
 use crate::redundant::eliminate_redundant_moves;
 use crate::routed::RoutedOp;
 use crate::timer::{time_ops, CostKind};
-use ftqc_arch::{FactoryBank, Layout, Ticks};
+use ftqc_arch::{Layout, Ticks};
 use ftqc_circuit::Circuit;
 use ftqc_service::json::{ToJson, Value};
 use ftqc_service::{fingerprint, CacheStats, SharedCache, StageOutcome};
@@ -288,7 +288,10 @@ impl Default for StageCache {
 
 // Option subsets each stage actually reads; the union covers every
 // `CompilerOptions` field (`schedule_timing` belongs to the schedule
-// stage, folded into the effective timing below).
+// stage, folded into the effective timing below). The `"target"` key is
+// the codec's extension field — present only for targets the flat legacy
+// fields cannot express (explicit bus masks, capability flags) — so the
+// target digest is part of the map-stage key exactly when it matters.
 const PREPARE_OPTION_KEYS: &[&str] = &["optimize"];
 const MAP_OPTION_KEYS: &[&str] = &[
     "routing_paths",
@@ -300,6 +303,7 @@ const MAP_OPTION_KEYS: &[&str] = &[
     "t_state_policy",
     "port_placement",
     "unbounded_magic",
+    "target",
 ];
 
 /// Digest of the named fields of the canonical options rendering.
@@ -323,10 +327,13 @@ fn schedule_subset_fp(options: &CompilerOptions) -> u64 {
             "eliminate_redundant_moves".into(),
             Value::Bool(options.eliminate_redundant_moves),
         ),
-        ("factories".into(), Value::Num(f64::from(options.factories))),
+        (
+            "factories".into(),
+            Value::Num(f64::from(options.target.factories)),
+        ),
         (
             "unbounded_magic".into(),
-            Value::Bool(options.unbounded_magic),
+            Value::Bool(options.target.unbounded_magic),
         ),
         (
             "timing".into(),
@@ -697,20 +704,17 @@ impl Lowered {
 }
 
 /// The map stage's computation, a pure function of the lowered circuit and
-/// the map-stage option subset.
+/// the map-stage option subset. The target is the seam here: it validates
+/// the program shape against its capabilities (what used to panic deep in
+/// the factory-bank constructor now surfaces as a stage-tagged
+/// [`CompileError`]), builds the layout — routing-path family or explicit
+/// bus mask — and docks its own factory bank.
 fn compute_map(lowered: &Circuit, options: &CompilerOptions) -> Result<MappedArt, CompileError> {
-    let layout = Layout::try_with_routing_paths(lowered.num_qubits(), options.routing_paths)?;
+    let target = &options.target;
+    target.validate(lowered.num_qubits(), lowered.t_count() as u64)?;
+    let layout = target.build_layout(lowered.num_qubits())?;
     let mapping = InitialMapping::for_circuit(&layout, lowered, options.mapping);
-    let bank = if options.unbounded_magic {
-        FactoryBank::unbounded(&layout, options.factories)
-    } else {
-        FactoryBank::dock_with(
-            &layout,
-            options.factories,
-            options.timing.magic_production,
-            options.port_placement,
-        )
-    };
+    let bank = target.factory_bank(&layout);
     let factory_patches = bank.total_tiles();
     let mut engine = Engine::new(&layout, &mapping, bank, options);
     engine.run(lowered)?;
@@ -835,19 +839,19 @@ impl Mapped {
         let metrics = Metrics {
             execution_time: art.schedule.makespan(),
             unit_cost_time: art.unit_makespan,
-            lower_bound: if options.unbounded_magic {
+            lower_bound: if options.target.unbounded_magic {
                 Ticks::ZERO
             } else {
                 lower_bound(
                     self.art.n_magic_states,
                     timing.magic_production,
-                    options.factories,
+                    options.target.factories,
                 )
             },
             grid_patches: self.art.layout.total_patches(),
             factory_patches: self.art.factory_patches,
-            routing_paths: options.routing_paths,
-            factories: options.factories,
+            routing_paths: options.target.routing_paths(),
+            factories: options.target.factories,
             n_gates: self.input_gates,
             n_surgery_ops: art.n_surgery_ops,
             n_moves: art.n_moves,
@@ -882,18 +886,18 @@ fn compute_schedule(
     let schedule = time_ops(
         &ops,
         num_qubits,
-        options.factories as usize,
+        options.target.factories as usize,
         timing,
         CostKind::Realistic,
-        options.unbounded_magic,
+        options.target.unbounded_magic,
     );
     let unit_schedule = time_ops(
         &ops,
         num_qubits,
-        options.factories as usize,
+        options.target.factories as usize,
         timing,
         CostKind::UnitCost,
-        options.unbounded_magic,
+        options.target.unbounded_magic,
     );
     ScheduledArt {
         unit_makespan: unit_schedule.makespan(),

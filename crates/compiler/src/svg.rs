@@ -54,7 +54,7 @@ fn color_of(op: &SurgeryOp) -> &'static str {
 /// ```
 pub fn to_svg(program: &CompiledProgram) -> String {
     let n = program.lowered_circuit().num_qubits() as usize;
-    let n_factories = program.compile_options().factories as usize;
+    let n_factories = program.compile_options().target.factories as usize;
     let lanes = n + n_factories;
     let makespan_d = program.metrics().execution_time.as_d().max(1e-9);
     let height = AXIS_HEIGHT + lanes as f64 * (LANE_HEIGHT + LANE_GAP);

@@ -1,0 +1,133 @@
+//! Glue between the service's job-level target references and the
+//! architecture's [`TargetRegistry`]: resolving a name or inline spec
+//! into a [`TargetSpec`] and folding it into a job's options *before* the
+//! job is fingerprinted, so the compile cache keys on the machine that
+//! was actually compiled for.
+
+use crate::codec::target_from_json;
+use crate::options::CompilerOptions;
+use ftqc_arch::{TargetRegistry, TargetSpec};
+use ftqc_service::{CompileJob, TargetRef};
+
+/// Resolves a target reference: a name against `registry`, an inline
+/// document through the target codec.
+///
+/// # Errors
+///
+/// A rendered message — unknown names list the registered presets, inline
+/// decode failures carry the codec's schema error.
+pub fn resolve_target_ref(
+    target: &TargetRef,
+    registry: &TargetRegistry,
+) -> Result<TargetSpec, String> {
+    match target {
+        TargetRef::Named(name) => registry.get(name).cloned().ok_or_else(|| {
+            format!(
+                "unknown target {name:?} (registered: {})",
+                registry.names().join(", ")
+            )
+        }),
+        TargetRef::Inline(doc) => {
+            target_from_json(doc).map_err(|e| format!("inline target spec: {e}"))
+        }
+    }
+}
+
+/// Folds a job's `target` field into its options: the resolved spec
+/// replaces the options' machine half (the job-level target *is* the
+/// machine; options keep only compilation policy), and the reference is
+/// cleared so two jobs naming the same machine differently — preset name
+/// versus equivalent inline spec versus explicit options fields —
+/// fingerprint identically.
+///
+/// This must run before the job reaches the batch service's cache lookup;
+/// the server and CLI pass it as the `prepare` transform of
+/// [`run_jsonl_with`](ftqc_service::BatchService::run_jsonl_with).
+///
+/// # Errors
+///
+/// As [`resolve_target_ref`].
+pub fn apply_job_target(
+    mut job: CompileJob<CompilerOptions>,
+    registry: &TargetRegistry,
+) -> Result<CompileJob<CompilerOptions>, String> {
+    if let Some(target) = job.target.take() {
+        job.options.target = resolve_target_ref(&target, registry)?;
+    }
+    Ok(job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_service::json::Value;
+    use ftqc_service::CircuitSource;
+
+    fn job() -> CompileJob<CompilerOptions> {
+        CompileJob::new(
+            "j",
+            CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: Some(2),
+            },
+            CompilerOptions::default(),
+        )
+    }
+
+    #[test]
+    fn named_targets_resolve_against_the_registry() {
+        let registry = TargetRegistry::builtin();
+        let spec =
+            resolve_target_ref(&TargetRef::Named("sparse".into()), &registry).expect("resolves");
+        assert_eq!(spec, TargetSpec::sparse());
+        let err = resolve_target_ref(&TargetRef::Named("warp".into()), &registry).unwrap_err();
+        assert!(err.contains("unknown target"), "got {err}");
+        assert!(err.contains("paper"), "lists the presets: {err}");
+    }
+
+    #[test]
+    fn inline_targets_decode_with_defaults() {
+        let registry = TargetRegistry::builtin();
+        let doc = Value::parse(r#"{"routing_paths":2,"factories":3}"#).unwrap();
+        let spec = resolve_target_ref(&TargetRef::Inline(doc), &registry).expect("decodes");
+        assert_eq!(spec.routing_paths(), 2);
+        assert_eq!(spec.factories, 3);
+        let bad = Value::parse(r#"{"port_placement":"banana"}"#).unwrap();
+        let err = resolve_target_ref(&TargetRef::Inline(bad), &registry).unwrap_err();
+        assert!(err.contains("inline target spec"), "got {err}");
+    }
+
+    #[test]
+    fn apply_folds_the_target_into_the_options() {
+        use ftqc_service::json::ToJson;
+        let registry = TargetRegistry::builtin();
+        let with_name = apply_job_target(
+            job().with_target(TargetRef::Named("sparse".into())),
+            &registry,
+        )
+        .expect("applies");
+        assert_eq!(with_name.options.target, TargetSpec::sparse());
+        assert_eq!(with_name.target, None, "reference consumed");
+
+        // Naming the machine three ways fingerprints identically.
+        let inline_doc = crate::codec::target_to_json(&TargetSpec::sparse());
+        let with_inline =
+            apply_job_target(job().with_target(TargetRef::Inline(inline_doc)), &registry)
+                .expect("applies");
+        assert_eq!(
+            with_name.options.to_json().render(),
+            with_inline.options.to_json().render()
+        );
+
+        // A target-less job passes through untouched.
+        let plain = apply_job_target(job(), &registry).expect("passes");
+        assert_eq!(plain, job());
+
+        let err = apply_job_target(
+            job().with_target(TargetRef::Named("warp".into())),
+            &registry,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown target"), "got {err}");
+    }
+}

@@ -3,7 +3,7 @@
 //! every endpoint. Used by `ftqc client …`, the loopback tests, and the
 //! `remote_compile` example.
 
-use crate::api::{SweepRequest, SweepResponse};
+use crate::api::{MultiSweepResponse, SweepRequest, SweepResponse, TargetsResponse};
 use crate::http::{self, HttpError};
 use ftqc_compiler::{CompilerOptions, Metrics};
 use ftqc_service::json::{FromJson, JsonError, ToJson, Value};
@@ -184,10 +184,33 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Any [`ClientError`].
+    /// Any [`ClientError`]; a request carrying `targets` answers with the
+    /// multi-target shape — use [`Client::sweep_targets`] for those.
     pub fn sweep(&self, request: &SweepRequest) -> Result<SweepResponse, ClientError> {
         let doc = self.exchange_json("POST", "/v1/sweep", Some(&request.to_json()))?;
         Ok(SweepResponse::from_json(&doc)?)
+    }
+
+    /// `POST /v1/sweep` with a `targets` list (wire v2): one grid and one
+    /// Pareto front per target, sharing the server's caches.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; unknown targets come back as
+    /// [`ClientError::Status`] 400.
+    pub fn sweep_targets(&self, request: &SweepRequest) -> Result<MultiSweepResponse, ClientError> {
+        let doc = self.exchange_json("POST", "/v1/sweep", Some(&request.to_json()))?;
+        Ok(MultiSweepResponse::from_json(&doc)?)
+    }
+
+    /// `GET /v1/targets`: the server's registered hardware targets.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn targets(&self) -> Result<TargetsResponse, ClientError> {
+        let doc = self.exchange_json("GET", "/v1/targets", None)?;
+        Ok(TargetsResponse::from_json(&doc)?)
     }
 
     /// `GET /v1/cache/stats`: the shared cache's counters.

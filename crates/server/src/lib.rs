@@ -44,8 +44,9 @@ pub mod metrics;
 pub mod server;
 
 pub use api::{
-    check_wire_version, versioned, SweepRequest, SweepResponse, DEFAULT_FACTORIES,
-    DEFAULT_ROUTING_PATHS, WIRE_VERSION,
+    check_wire_version, negotiate_version, versioned, versioned_as, MultiSweepResponse,
+    SweepRequest, SweepResponse, TargetInfo, TargetsResponse, DEFAULT_FACTORIES,
+    DEFAULT_ROUTING_PATHS, MIN_WIRE_VERSION, WIRE_VERSION,
 };
 pub use client::{Client, ClientError};
 pub use metrics::{Endpoint, ServerMetrics};

@@ -20,18 +20,22 @@
 //! # Ok::<(), ftqc_server::ServerError>(())
 //! ```
 
-use crate::api::{check_wire_version, versioned, SweepRequest, SweepResponse};
+use crate::api::{
+    check_wire_version, negotiate_version, versioned, versioned_as, MultiSweepResponse,
+    SweepRequest, SweepResponse, TargetInfo, TargetsResponse, WIRE_VERSION,
+};
 use crate::http::{self, HttpError, Request};
 use crate::metrics::{Endpoint, ServerMetrics};
+use ftqc_arch::TargetRegistry;
 use ftqc_compiler::{
-    explore_session, pareto_front, stage_outcome, CompileSession, CompilerOptions, Metrics, Stage,
-    StageCache, StageCacheStats,
+    apply_job_target, explore_session, explore_targets, pareto_front, resolve_target_ref,
+    stage_outcome, CompileSession, CompilerOptions, Metrics, Stage, StageCache, StageCacheStats,
 };
 use ftqc_service::json::{JsonError, ToJson, Value};
 use ftqc_service::resolve::resolve_source_remote;
 use ftqc_service::{
     job_from_value, render_results, BatchService, CacheStats, CompileCache, CompileJob, JobResult,
-    SharedCache, StageOutcome, WorkerPool,
+    SharedCache, StageOutcome, TargetRef, WorkerPool,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -124,6 +128,9 @@ struct AppState {
     /// single jobs, batch lines, sweep grid points — resumes from whatever
     /// stages any earlier request already computed.
     stages: StageCache,
+    /// Named hardware targets: the built-in presets, served by
+    /// `GET /v1/targets` and resolved for job/sweep `"target"` fields.
+    targets: TargetRegistry,
     metrics: ServerMetrics,
     workers: usize,
     started: Instant,
@@ -216,6 +223,7 @@ impl Server {
             service: BatchService::with_cache(workers, cache.clone()),
             cache,
             stages: StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY),
+            targets: TargetRegistry::builtin(),
             metrics: ServerMetrics::new(),
             workers,
             started: Instant::now(),
@@ -413,6 +421,7 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
         ("POST", "/v1/compile") => handle_compile(state, request),
         ("POST", "/v1/batch") => handle_batch(state, request),
         ("POST", "/v1/sweep") => handle_sweep(state, request),
+        ("GET", "/v1/targets") => handle_targets(state),
         ("GET", "/v1/cache/stats") => handle_cache_stats(state),
         ("GET", "/healthz") => handle_healthz(state),
         ("GET", "/metrics") => (
@@ -426,7 +435,8 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
         ),
         (
             _,
-            "/v1/compile" | "/v1/batch" | "/v1/sweep" | "/v1/cache/stats" | "/healthz" | "/metrics",
+            "/v1/compile" | "/v1/batch" | "/v1/sweep" | "/v1/targets" | "/v1/cache/stats"
+            | "/healthz" | "/metrics",
         ) => (
             405,
             "application/json",
@@ -477,9 +487,12 @@ fn run_jobs(state: &AppState, jobs: Vec<CompileJob<CompilerOptions>>) -> Vec<Job
 /// object in, one JSON result out. The `stage` query parameter (or the
 /// body's `stop_after` field, which it overrides) stops the pipeline at
 /// the named stage: the result then carries the stage name and its
-/// artifact fingerprint instead of metrics. A job that fails to *compile*
-/// is still HTTP 200 — the failure is in the result's `status`; only an
-/// unparseable request (or an unsupported wire version) is a 400.
+/// artifact fingerprint instead of metrics. A `"target"` field (wire v2)
+/// — preset name or inline spec — is resolved against the registry and
+/// replaces the options' machine half before the job is fingerprinted. A
+/// job that fails to *compile* is still HTTP 200 — the failure is in the
+/// result's `status`; only an unparseable request (or an unsupported
+/// wire version, or an unknown target) is a 400.
 fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
     let parsed = request
         .body_str()
@@ -487,42 +500,47 @@ fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
         .and_then(|text| Value::parse(text).map_err(|e| e.to_string()))
         .and_then(|doc| {
             check_wire_version(&doc)?;
-            job_from_value::<CompilerOptions>(&doc, "job-1").map_err(|e| e.to_string())
+            let wire = negotiate_version(&doc)?;
+            let job =
+                job_from_value::<CompilerOptions>(&doc, "job-1").map_err(|e| e.to_string())?;
+            Ok((wire, job))
         })
-        .and_then(|mut job: CompileJob<CompilerOptions>| {
+        .and_then(|(wire, mut job)| {
             if let Some(stage) = request.query_param("stage") {
                 job.stop_after = Some(Stage::parse_or_err(stage)?.name().to_string());
             }
-            Ok(job)
+            let job = apply_job_target(job, &state.targets)?;
+            Ok((wire, job))
         });
     match parsed {
         Err(e) => (400, "application/json", error_body(&e)),
-        Ok(job) => {
+        Ok((wire, job)) => {
             let results = run_jobs(state, vec![job]);
             let result = results.into_iter().next().expect("one job, one result");
             (
                 200,
                 "application/json",
-                versioned(result.to_json()).render(),
+                versioned_as(wire, result.to_json()).render(),
             )
         }
     }
 }
 
 /// `POST /v1/batch`: a JSONL body fanned through the worker pool, JSONL
-/// results in submission order. Malformed lines cost only themselves: each
-/// yields an error result naming its line number.
+/// results in submission order. Malformed lines — including lines naming
+/// unknown targets — cost only themselves: each yields an error result
+/// naming its line number.
 fn handle_batch(state: &AppState, request: &Request) -> HandlerResult {
     let body = match request.body_str() {
         Ok(b) => b,
         Err(e) => return (400, "application/json", error_body(&e.to_string())),
     };
-    let results =
-        state
-            .service
-            .run_jsonl::<CompilerOptions, _, _>(body, resolve_source_remote, |c, job| {
-                compile_staged(state, c, job)
-            });
+    let results = state.service.run_jsonl_with::<CompilerOptions, _, _, _>(
+        body,
+        |job| apply_job_target(job, &state.targets),
+        resolve_source_remote,
+        |c, job| compile_staged(state, c, job),
+    );
     if results.is_empty() {
         return (
             400,
@@ -534,8 +552,33 @@ fn handle_batch(state: &AppState, request: &Request) -> HandlerResult {
     (200, "application/jsonl", render_results(&results))
 }
 
+/// Resolves a sweep request's target references to labelled specs (the
+/// preset name, or `inline-<k>` for the `k`-th inline spec).
+fn resolve_sweep_targets(
+    state: &AppState,
+    targets: &[TargetRef],
+) -> Result<Vec<(String, ftqc_arch::TargetSpec)>, String> {
+    targets
+        .iter()
+        .enumerate()
+        .map(|(index, target)| {
+            let spec = resolve_target_ref(target, &state.targets)?;
+            let label = match target {
+                TargetRef::Named(name) => name.clone(),
+                TargetRef::Inline(_) => format!("inline-{}", index + 1),
+            };
+            Ok((label, spec))
+        })
+        .collect()
+}
+
 /// `POST /v1/sweep`: an options grid in, design points (optionally reduced
-/// to the Pareto front) out, memoised in the shared cache.
+/// to the Pareto front) out, memoised in the shared cache. With a
+/// `"targets"` list (wire v2) the sweep runs once per target — per-target
+/// grids and Pareto fronts in one process, sharing the server's metrics
+/// and stage caches — and answers with the [`MultiSweepResponse`] shape
+/// (each slice always carries both its grid points and its front; the
+/// `pareto` flag only reduces the classic single-machine response).
 fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
     let parsed = request
         .body_str()
@@ -544,16 +587,50 @@ fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
         .and_then(|doc| {
             use ftqc_service::json::FromJson as _;
             check_wire_version(&doc)?;
-            SweepRequest::from_json(&doc).map_err(|e| e.to_string())
+            let wire = negotiate_version(&doc)?;
+            let req = SweepRequest::from_json(&doc).map_err(|e| e.to_string())?;
+            Ok((wire, req))
         });
-    let req = match parsed {
-        Ok(req) => req,
+    let (wire, req) = match parsed {
+        Ok(parsed) => parsed,
         Err(e) => return (400, "application/json", error_body(&e)),
     };
     let circuit = match resolve_source_remote(&req.source) {
         Ok(c) => c,
         Err(e) => return (400, "application/json", error_body(&e)),
     };
+
+    if !req.targets.is_empty() {
+        let targets = match resolve_sweep_targets(state, &req.targets) {
+            Ok(t) => t,
+            Err(e) => return (400, "application/json", error_body(&e)),
+        };
+        return match explore_targets(
+            &circuit,
+            &targets,
+            &req.routing_paths,
+            &req.factories,
+            &req.options,
+            state.workers,
+            &state.cache,
+            &state.stages,
+        ) {
+            Err(e) => (500, "application/json", error_body(&e.to_string())),
+            Ok(sweeps) => {
+                let response = MultiSweepResponse {
+                    targets: sweeps,
+                    cache: state.cache.stats(),
+                    workers: state.workers as u64,
+                };
+                (
+                    200,
+                    "application/json",
+                    versioned_as(wire, response.to_json()).render(),
+                )
+            }
+        };
+    }
+
     match explore_session(
         &circuit,
         &req.routing_paths,
@@ -578,10 +655,28 @@ fn handle_sweep(state: &AppState, request: &Request) -> HandlerResult {
             (
                 200,
                 "application/json",
-                versioned(response.to_json()).render(),
+                versioned_as(wire, response.to_json()).render(),
             )
         }
     }
+}
+
+/// `GET /v1/targets`: the registered hardware targets — names,
+/// descriptions, canonical spec documents, and digests.
+fn handle_targets(state: &AppState) -> HandlerResult {
+    let response = TargetsResponse {
+        targets: state
+            .targets
+            .entries()
+            .iter()
+            .map(TargetInfo::of_entry)
+            .collect(),
+    };
+    (
+        200,
+        "application/json",
+        versioned_as(WIRE_VERSION, response.to_json()).render(),
+    )
 }
 
 /// `GET /v1/cache/stats`: the shared cache's counters, the memory tier's
@@ -623,6 +718,7 @@ mod tests {
             service: BatchService::with_cache(workers, cache.clone()),
             cache,
             stages: StageCache::new(64),
+            targets: TargetRegistry::builtin(),
             metrics: ServerMetrics::new(),
             workers,
             started: Instant::now(),
@@ -730,6 +826,29 @@ mod tests {
             ),
         );
         assert_eq!(status, 200);
+        // v:2 is this server's native version.
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"v":2,"source":{"benchmark":"ising","size":2}}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("\"v\":2"),
+            "echoes the declared version: {body}"
+        );
+        // The classic (target-less) sweep echoes a declared v:2 too.
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/sweep",
+                r#"{"v":2,"source":{"benchmark":"ising","size":2},"routing_paths":[2],"factories":[1]}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"v\":2"), "got {body}");
         // A version from the future is refused, not misread.
         let (status, _, body) = handle_request(
             &state,
@@ -739,12 +858,171 @@ mod tests {
         assert!(body.contains("unsupported wire version"), "got {body}");
         let (status, _, _) = handle_request(
             &state,
-            &post("/v1/sweep", r#"{"v":2,"source":{"benchmark":"ising"}}"#),
+            &post("/v1/sweep", r#"{"v":99,"source":{"benchmark":"ising"}}"#),
         );
         assert_eq!(status, 400);
         // Error bodies are versioned too.
         let (_, _, body) = handle_request(&state, &post("/v1/compile", "{oops"));
         assert!(body.contains("\"v\":1"), "got {body}");
+    }
+
+    #[test]
+    fn v1_requests_stay_byte_identical() {
+        // The acceptance pin: a target-less request must produce the same
+        // bytes the pre-target server produced (v:1 stamp included).
+        let state = test_state(1);
+        let job =
+            r#"{"id":"a","source":{"benchmark":"ising","size":2},"options":{"routing_paths":4}}"#;
+        let (status, _, body) = handle_request(&state, &post("/v1/compile", job));
+        assert_eq!(status, 200);
+        assert!(body.starts_with("{\"v\":1,\"id\":\"a\""), "got {body}");
+        // The same job compiled through the paper target returns the same
+        // result document (modulo the wire stamp and timing): same
+        // fingerprint, same metrics.
+        let targeted = r#"{"id":"a","source":{"benchmark":"ising","size":2},"target":"paper","options":{"routing_paths":4}}"#;
+        let (status, _, tbody) = handle_request(&state, &post("/v1/compile", targeted));
+        assert_eq!(status, 200);
+        assert!(tbody.starts_with("{\"v\":2"), "got {tbody}");
+        let fp = |b: &str| {
+            Value::parse(b)
+                .unwrap()
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(fp(&body), fp(&tbody), "same machine, same fingerprint");
+    }
+
+    #[test]
+    fn targets_endpoint_lists_presets() {
+        let state = test_state(1);
+        let (status, _, body) = handle_request(&state, &get("/v1/targets"));
+        assert_eq!(status, 200, "got {body}");
+        assert!(body.starts_with("{\"v\":2"), "got {body}");
+        use ftqc_service::json::FromJson as _;
+        let resp = TargetsResponse::from_json(&Value::parse(&body).unwrap()).unwrap();
+        let names: Vec<&str> = resp.targets.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["paper", "sparse", "fast-d"]);
+        let (status, _, _) = handle_request(&state, &post("/v1/targets", ""));
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn compile_with_targets() {
+        let state = test_state(2);
+        // A named preset resolves; its result matches compiling the spec's
+        // options directly.
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"id":"s","source":{"benchmark":"ising","size":2},"target":"sparse"}"#,
+            ),
+        );
+        assert_eq!(status, 200, "got {body}");
+        let doc = Value::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        let m = doc.get("metrics").expect("metrics");
+        assert_eq!(m.get("routing_paths").and_then(Value::as_u64), Some(2));
+
+        // An inline spec object works too.
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"id":"i","source":{"benchmark":"ising","size":2},"target":{"routing_paths":3,"factories":2}}"#,
+            ),
+        );
+        assert_eq!(status, 200, "got {body}");
+        let doc = Value::parse(&body).unwrap();
+        let m = doc.get("metrics").expect("metrics");
+        assert_eq!(m.get("factories").and_then(Value::as_u64), Some(2));
+
+        // Unknown targets are client errors; declared-v1 + target too.
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"source":{"benchmark":"ising"},"target":"warp"}"#,
+            ),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown target"), "got {body}");
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"v":1,"source":{"benchmark":"ising"},"target":"paper"}"#,
+            ),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("wire version 2"), "got {body}");
+
+        // In a batch, a bad target fails its line alone.
+        let jsonl = concat!(
+            "{\"id\":\"good\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"target\":\"paper\"}\n",
+            "{\"id\":\"bad\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"target\":\"warp\"}\n",
+        );
+        let (status, _, body) = handle_request(&state, &post("/v1/batch", jsonl));
+        assert_eq!(status, 200);
+        let lines: Vec<&str> = body.lines().collect();
+        assert!(lines[0].contains("\"status\":\"ok\""), "got {body}");
+        assert!(lines[1].contains("unknown target"), "got {body}");
+    }
+
+    #[test]
+    fn sweep_with_targets_matches_local_explore_targets() {
+        let state = test_state(2);
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/sweep",
+                r#"{"source":{"benchmark":"ising","size":2},"routing_paths":[2,3],"factories":[1],"targets":["sparse","paper"]}"#,
+            ),
+        );
+        assert_eq!(status, 200, "got {body}");
+        use ftqc_service::json::FromJson as _;
+        let resp = MultiSweepResponse::from_json(&Value::parse(&body).unwrap()).unwrap();
+        assert_eq!(resp.targets.len(), 2);
+        assert_eq!(resp.targets[0].name, "sparse");
+        assert_eq!(resp.targets[1].name, "paper");
+        // Sparse pins its bus: factories axis only; paper sweeps the grid.
+        assert_eq!(resp.targets[0].points.len(), 1);
+        assert_eq!(resp.targets[1].points.len(), 2);
+        assert!(!resp.targets[0].front.is_empty());
+
+        // Byte-identical to the local cross-target sweep.
+        let circuit = resolve_source_remote(&ftqc_service::CircuitSource::Benchmark {
+            name: "ising".into(),
+            size: Some(2),
+        })
+        .unwrap();
+        let local = explore_targets(
+            &circuit,
+            &[
+                ("sparse".to_string(), ftqc_arch::TargetSpec::sparse()),
+                ("paper".to_string(), ftqc_arch::TargetSpec::paper()),
+            ],
+            &[2, 3],
+            &[1],
+            &CompilerOptions::default(),
+            2,
+            &SharedCache::in_memory(64),
+            &StageCache::new(64),
+        )
+        .unwrap();
+        assert_eq!(resp.targets, local);
+
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/sweep",
+                r#"{"source":{"benchmark":"ising","size":2},"targets":["warp"]}"#,
+            ),
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("unknown target"), "got {body}");
     }
 
     #[test]

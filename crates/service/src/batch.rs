@@ -188,6 +188,28 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
         C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
     {
+        self.run_jsonl_with(jsonl, Ok, resolve, compile)
+    }
+
+    /// [`BatchService::run_jsonl`] with a per-job `prepare` transform
+    /// applied right after parsing and **before** the job is fingerprinted
+    /// or looked up — the seam where job-level directives that change what
+    /// gets compiled (resolving a named hardware target into the options,
+    /// say) must run so the cache key reflects them. A transform failure
+    /// fails that job alone, like a malformed line.
+    pub fn run_jsonl_with<O, P, R, C>(
+        &self,
+        jsonl: &str,
+        prepare: P,
+        resolve: R,
+        compile: C,
+    ) -> Vec<JobResult<M>>
+    where
+        O: FromJson + ToJson + Send,
+        P: Fn(CompileJob<O>) -> Result<CompileJob<O>, String>,
+        R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
+        C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
+    {
         let lines = crate::job::parse_jobs_lenient::<O>(jsonl);
         let mut slots: Vec<Option<JobResult<M>>> = Vec::with_capacity(lines.len());
         let mut jobs = Vec::new();
@@ -195,9 +217,23 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         for line in lines {
             match line {
                 crate::job::ParsedLine::Job { job, .. } => {
-                    job_slots.push(slots.len());
-                    slots.push(None);
-                    jobs.push(job);
+                    let id = job.id.clone();
+                    match prepare(job) {
+                        Ok(job) => {
+                            job_slots.push(slots.len());
+                            slots.push(None);
+                            jobs.push(job);
+                        }
+                        Err(e) => slots.push(Some(JobResult {
+                            id,
+                            fingerprint: 0,
+                            status: JobStatus::Failed(e),
+                            metrics: None,
+                            provenance: CacheProvenance::Computed,
+                            micros: 0,
+                            stage: None,
+                        })),
+                    }
                 }
                 crate::job::ParsedLine::Malformed { lineno, error } => {
                     slots.push(Some(JobResult::malformed_line(lineno, &error)));

@@ -109,6 +109,40 @@ impl std::fmt::Display for CircuitSource {
     }
 }
 
+/// A job's hardware-target reference: a preset name resolved against the
+/// processing side's target registry, or an inline spec document decoded
+/// by the compiler's target codec. This crate only carries the reference;
+/// resolution (and folding into the options) happens above, before the
+/// job is fingerprinted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TargetRef {
+    /// A registry name, e.g. `"paper"` or `"sparse"`.
+    Named(String),
+    /// An inline target-spec document.
+    Inline(Value),
+}
+
+impl ToJson for TargetRef {
+    fn to_json(&self) -> Value {
+        match self {
+            TargetRef::Named(name) => Value::Str(name.clone()),
+            TargetRef::Inline(doc) => doc.clone(),
+        }
+    }
+}
+
+impl FromJson for TargetRef {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        match value {
+            Value::Str(name) => Ok(TargetRef::Named(name.clone())),
+            Value::Obj(_) => Ok(TargetRef::Inline(value.clone())),
+            _ => Err(JsonError::schema(
+                "\"target\" must be a preset name or a target-spec object",
+            )),
+        }
+    }
+}
+
 /// One unit of batch work: a circuit source plus compiler options.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompileJob<O> {
@@ -118,6 +152,11 @@ pub struct CompileJob<O> {
     pub source: CircuitSource,
     /// Compiler options for this job.
     pub options: O,
+    /// The hardware target to compile for (job schema v2). When set, the
+    /// processing side resolves it and it *replaces* the options' machine
+    /// spec before the job is fingerprinted; `None` compiles for whatever
+    /// machine the options carry (the paper target by default).
+    pub target: Option<TargetRef>,
     /// Stop the pipeline after this stage (`"prepare"`, `"lower"`,
     /// `"map"`, `"schedule"`); `None` compiles fully. Partial jobs bypass
     /// the whole-job metrics cache — their point is warming and probing
@@ -129,25 +168,39 @@ pub struct CompileJob<O> {
 }
 
 impl<O> CompileJob<O> {
-    /// A full-compile job (no stage fields set).
+    /// A full-compile job (no stage or target fields set).
     pub fn new(id: impl Into<String>, source: CircuitSource, options: O) -> Self {
         CompileJob {
             id: id.into(),
             source,
             options,
+            target: None,
             stop_after: None,
             resume_from: None,
         }
+    }
+
+    /// Names the hardware target to compile for.
+    pub fn with_target(mut self, target: TargetRef) -> Self {
+        self.target = Some(target);
+        self
     }
 }
 
 impl<O: ToJson> ToJson for CompileJob<O> {
     fn to_json(&self) -> Value {
-        let mut fields = vec![
-            ("id".to_string(), Value::Str(self.id.clone())),
-            ("source".to_string(), self.source.to_json()),
-            ("options".to_string(), self.options.to_json()),
-        ];
+        let mut fields = vec![("id".to_string(), Value::Str(self.id.clone()))];
+        if self.target.is_some() {
+            // Target-bearing documents declare the schema version that
+            // introduced the field, so a v1 consumer refuses them loudly
+            // instead of silently compiling for the wrong machine.
+            fields.push(("v".to_string(), Value::Num(JOB_SCHEMA_VERSION as f64)));
+        }
+        fields.push(("source".to_string(), self.source.to_json()));
+        fields.push(("options".to_string(), self.options.to_json()));
+        if let Some(target) = &self.target {
+            fields.push(("target".to_string(), target.to_json()));
+        }
         if let Some(stage) = &self.stop_after {
             fields.push(("stop_after".to_string(), Value::Str(stage.clone())));
         }
@@ -359,37 +412,54 @@ impl<M: FromJson> FromJson for JobResult<M> {
 }
 
 /// The job-document schema version this build speaks (the service half of
-/// the server's wire contract). Documents may carry `"v"`; absent means
-/// this version, anything else is refused rather than misread.
-pub const JOB_SCHEMA_VERSION: u64 = 1;
+/// the server's wire contract). v2 added the `"target"` field; v1
+/// documents (explicit or implied by a missing `"v"`) still decode, but a
+/// v1 document carrying `"target"` is refused — a v1 producer cannot have
+/// meant it.
+pub const JOB_SCHEMA_VERSION: u64 = 2;
+
+/// The oldest job-document schema version this build still accepts.
+pub const MIN_JOB_SCHEMA_VERSION: u64 = 1;
 
 /// Decodes one job object: `"id"` defaults to `default_id`, a missing
 /// `"options"` decodes `O` from an empty object (option types default
-/// missing fields), and an optional `"v"` field must match
-/// [`JOB_SCHEMA_VERSION`]. This is the single decoding recipe shared by
-/// the JSONL batch parsers and the HTTP server's `POST /v1/compile` body —
-/// so a future-version job line fails its line instead of being silently
-/// processed under current semantics.
+/// missing fields), and an optional `"v"` field must lie within
+/// [`MIN_JOB_SCHEMA_VERSION`]`..=`[`JOB_SCHEMA_VERSION`]. This is the
+/// single decoding recipe shared by the JSONL batch parsers and the HTTP
+/// server's `POST /v1/compile` body — so a future-version job line fails
+/// its line instead of being silently processed under current semantics.
 ///
 /// # Errors
 ///
-/// Returns a schema error when the object has the wrong shape or an
-/// unsupported version.
+/// Returns a schema error when the object has the wrong shape, an
+/// unsupported version, or uses v2 fields under a declared v1.
 pub fn job_from_value<O: FromJson>(
     doc: &Value,
     default_id: impl Into<String>,
 ) -> Result<CompileJob<O>, JsonError> {
-    if let Some(v) = doc.get("v") {
-        match v.as_u64() {
-            Some(n) if n == JOB_SCHEMA_VERSION => {}
+    let declared = match doc.get("v") {
+        None => None,
+        Some(v) => match v.as_u64() {
+            Some(n) if (MIN_JOB_SCHEMA_VERSION..=JOB_SCHEMA_VERSION).contains(&n) => Some(n),
             Some(n) => {
                 return Err(JsonError::schema(format!(
                     "unsupported job schema version {n} (this build speaks v{JOB_SCHEMA_VERSION})"
                 )))
             }
             None => return Err(JsonError::schema("\"v\" must be an integer version")),
+        },
+    };
+    let target = match doc.get("target") {
+        None => None,
+        Some(t) => {
+            if declared == Some(1) {
+                return Err(JsonError::schema(
+                    "\"target\" requires job schema v2 (declare \"v\":2)",
+                ));
+            }
+            Some(TargetRef::from_json(t)?)
         }
-    }
+    };
     let id = match doc.get("id") {
         Some(v) => v
             .as_str()
@@ -414,6 +484,7 @@ pub fn job_from_value<O: FromJson>(
         id,
         source,
         options,
+        target,
         stop_after: stage_field("stop_after")?,
         resume_from: stage_field("resume_from")?,
     })
@@ -676,8 +747,52 @@ mod tests {
     }
 
     #[test]
+    fn target_refs_parse_and_roundtrip() {
+        // A preset name.
+        let v =
+            Value::parse(r#"{"v":2,"source":{"benchmark":"ising"},"target":"sparse"}"#).unwrap();
+        let job: CompileJob<Opts> = job_from_value(&v, "x").unwrap();
+        assert_eq!(job.target, Some(TargetRef::Named("sparse".into())));
+        let back: CompileJob<Opts> = job_from_value(&job.to_json(), "x").unwrap();
+        assert_eq!(back, job);
+        assert!(job.to_json().render().contains("\"v\":2"));
+
+        // An inline spec object is carried verbatim.
+        let v = Value::parse(
+            r#"{"source":{"benchmark":"ising"},"target":{"routing_paths":2,"factories":3}}"#,
+        )
+        .unwrap();
+        let job: CompileJob<Opts> = job_from_value(&v, "x").unwrap();
+        assert!(matches!(job.target, Some(TargetRef::Inline(_))));
+
+        // v1 documents cannot carry a target; other shapes are rejected.
+        let v = Value::parse(r#"{"v":1,"source":{"benchmark":"ising"},"target":"paper"}"#).unwrap();
+        let err = job_from_value::<Opts>(&v, "x").unwrap_err();
+        assert!(err.message.contains("v2"), "got {err}");
+        let v = Value::parse(r#"{"source":{"benchmark":"ising"},"target":7}"#).unwrap();
+        assert!(job_from_value::<Opts>(&v, "x").is_err());
+
+        // Target-less jobs render without the field (and without "v").
+        let plain = CompileJob::new(
+            "p",
+            CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: None,
+            },
+            Opts { r: 4 },
+        );
+        let rendered = plain.to_json().render();
+        assert!(!rendered.contains("target"));
+        assert!(!rendered.contains("\"v\""));
+        let with = plain.with_target(TargetRef::Named("paper".into()));
+        assert!(with.to_json().render().contains("\"target\":\"paper\""));
+    }
+
+    #[test]
     fn job_schema_version_is_checked_per_document() {
         let ok = Value::parse(r#"{"v":1,"source":{"benchmark":"ising"}}"#).unwrap();
+        assert!(job_from_value::<Opts>(&ok, "x").is_ok());
+        let ok = Value::parse(r#"{"v":2,"source":{"benchmark":"ising"}}"#).unwrap();
         assert!(job_from_value::<Opts>(&ok, "x").is_ok());
         let future = Value::parse(r#"{"v":9,"source":{"benchmark":"ising"}}"#).unwrap();
         let err = job_from_value::<Opts>(&future, "x").unwrap_err();

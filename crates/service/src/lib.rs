@@ -87,7 +87,8 @@ pub use cache::{
 pub use fingerprint::{combine, fingerprint_circuit, fingerprint_value, Fnv64};
 pub use job::{
     job_from_value, parse_jobs, parse_jobs_lenient, render_results, CacheProvenance, CircuitSource,
-    CompileJob, JobResult, JobStatus, ParsedLine, StageOutcome,
+    CompileJob, JobResult, JobStatus, ParsedLine, StageOutcome, TargetRef, JOB_SCHEMA_VERSION,
+    MIN_JOB_SCHEMA_VERSION,
 };
 pub use json::{FromJson, JsonError, ToJson, Value};
 pub use pool::WorkerPool;

@@ -266,6 +266,7 @@ fn batch_and_sweep_over_loopback() {
         factories: vec![1, 2],
         options: CompilerOptions::default(),
         pareto: true,
+        targets: Vec::new(),
     };
     let response = client.sweep(&request).expect("sweep request");
     let local =
@@ -431,6 +432,73 @@ fn server_rejects_nonsense_gracefully() {
     ));
     // The server is still healthy afterwards.
     assert!(client.healthz().is_ok());
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn targets_over_loopback() {
+    use ftqc::arch::TargetSpec;
+    use ftqc::compiler::target_digest;
+    use ftqc::service::TargetRef;
+
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr);
+
+    // GET /v1/targets lists the presets with their canonical digests.
+    let listed = client.targets().expect("targets endpoint");
+    let names: Vec<&str> = listed.targets.iter().map(|t| t.name.as_str()).collect();
+    assert_eq!(names, vec!["paper", "sparse", "fast-d"]);
+    assert_eq!(listed.targets[1].spec, TargetSpec::sparse());
+    assert_eq!(
+        listed.targets[1].digest,
+        target_digest(&TargetSpec::sparse())
+    );
+
+    // A target-bearing compile resolves server-side and fingerprints
+    // identically to the equivalent explicit options.
+    let source = CircuitSource::Benchmark {
+        name: "ising".into(),
+        size: Some(2),
+    };
+    let named = CompileJob::new("t", source.clone(), CompilerOptions::default())
+        .with_target(TargetRef::Named("sparse".into()));
+    let by_name = client.compile(&named).expect("targeted compile");
+    assert!(by_name.is_ok(), "got {:?}", by_name.status);
+    let explicit = CompileJob::new(
+        "t",
+        source.clone(),
+        CompilerOptions::default().target(TargetSpec::sparse()),
+    );
+    let by_options = client.compile(&explicit).expect("explicit compile");
+    assert_eq!(by_name.fingerprint, by_options.fingerprint);
+    assert_eq!(
+        by_name.metrics.as_ref().unwrap().to_json().render(),
+        by_options.metrics.as_ref().unwrap().to_json().render()
+    );
+
+    // A cross-target sweep answers with per-target grids and fronts.
+    let request = SweepRequest {
+        source,
+        routing_paths: vec![2, 3],
+        factories: vec![1],
+        options: CompilerOptions::default(),
+        pareto: false,
+        targets: vec![
+            TargetRef::Named("paper".into()),
+            TargetRef::Named("sparse".into()),
+        ],
+    };
+    let multi = client.sweep_targets(&request).expect("target sweep");
+    assert_eq!(multi.targets.len(), 2);
+    assert_eq!(multi.targets[0].name, "paper");
+    assert_eq!(multi.targets[0].points.len(), 2, "family sweeps the grid");
+    assert_eq!(multi.targets[1].points.len(), 1, "sparse pins its bus");
+    assert!(!multi.targets[1].front.is_empty());
 
     handle.shutdown();
     thread.join().expect("server thread");

@@ -13,7 +13,7 @@ use ftqc::compiler::{
 };
 
 fn compile_and_verify(c: &Circuit, options: CompilerOptions) {
-    let timing = options.timing;
+    let timing = options.target.timing;
     let p = Compiler::new(options).compile(c).expect("compiles");
     verify(&p, &timing).expect("physically executable");
     check_semantics(c, &p).expect("semantically sound");
@@ -84,7 +84,7 @@ fn factory_starvation_is_bounded_below() {
         c.t(i % 4);
     }
     let options = CompilerOptions::default().routing_paths(4).factories(1);
-    let timing = options.timing;
+    let timing = options.target.timing;
     let p = Compiler::new(options).compile(&c).expect("compiles");
     verify(&p, &timing).expect("executable");
     check_semantics(&c, &p).expect("sound");
@@ -156,7 +156,7 @@ fn unbounded_magic_mode_verifies() {
     let options = CompilerOptions::default()
         .unbounded_magic(true)
         .factories(2);
-    let timing = options.timing;
+    let timing = options.target.timing;
     let p = Compiler::new(options).compile(&c).expect("compiles");
     // Factory-overrun checks don't apply in unbounded mode, but cell
     // exclusivity and semantics still must hold.
@@ -181,7 +181,7 @@ fn heavy_synthesis_policy_multiplies_consumption() {
     let options = CompilerOptions::default()
         .t_state_policy(TStatePolicy::synthesis(17))
         .factories(3);
-    let timing = options.timing;
+    let timing = options.target.timing;
     let p = Compiler::new(options).compile(&c).expect("compiles");
     verify(&p, &timing).expect("executable");
     let r = check_semantics(&c, &p).expect("sound");

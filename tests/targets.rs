@@ -1,0 +1,289 @@
+//! Target-determinism properties (ISSUE 4 satellite): the canonical
+//! `TargetSpec` digest is stable across JSON field order and
+//! default-field omission, and a cross-target sweep is byte-for-byte
+//! equal to compiling each target's option sets serially.
+
+use ftqc::arch::{BusSpec, Capabilities, PortPlacement, TargetSpec, Ticks};
+use ftqc::benchmarks::random_clifford_t;
+use ftqc::compiler::{
+    explore_targets, pareto_front, target_digest, target_from_json, target_sweep_options,
+    target_to_json, Compiler, CompilerOptions, DesignPoint, StageCache,
+};
+use ftqc::service::json::Value;
+use ftqc::service::SharedCache;
+use proptest::prelude::*;
+
+/// Builds a spec from the property inputs, exercising every descriptor
+/// dimension (bus family vs mask, factories, a timing knob, placement,
+/// capability flags).
+#[allow(clippy::too_many_arguments)]
+fn spec_from(
+    explicit_bus: bool,
+    r: u32,
+    factories: u32,
+    magic_d: u32,
+    clustered: bool,
+    unbounded: bool,
+    max_qubits: Option<u32>,
+    fixed_bus: bool,
+) -> TargetSpec {
+    TargetSpec {
+        bus: if explicit_bus {
+            BusSpec::Explicit {
+                rows: vec![-1, (r % 3) as i32],
+                cols: vec![-1],
+            }
+        } else {
+            BusSpec::RoutingPaths(r)
+        },
+        factories,
+        timing: ftqc::arch::TimingModel::paper()
+            .with_magic_production(Ticks::from_d(f64::from(magic_d))),
+        port_placement: if clustered {
+            PortPlacement::Clustered
+        } else {
+            PortPlacement::Spread
+        },
+        unbounded_magic: unbounded,
+        capabilities: Capabilities {
+            max_qubits,
+            magic_states: true,
+            fixed_bus,
+        },
+    }
+}
+
+/// Reverses an object's field order (recursively) — a worst-case
+/// permutation for order-sensitivity.
+fn reverse_fields(value: &Value) -> Value {
+    match value {
+        Value::Obj(fields) => Value::Obj(
+            fields
+                .iter()
+                .rev()
+                .map(|(k, v)| (k.clone(), reverse_fields(v)))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Drops every top-level field whose value equals the paper default's
+/// rendering — the "default omission" a sparse hand-written document does.
+fn drop_default_fields(value: &Value) -> Value {
+    let defaults = target_to_json(&TargetSpec::paper());
+    let Value::Obj(fields) = value else {
+        return value.clone();
+    };
+    Value::Obj(
+        fields
+            .iter()
+            .filter(|(k, v)| defaults.get(k) != Some(v))
+            .cloned()
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn digest_stable_across_field_order_and_default_omission(
+        explicit_bus in any::<bool>(),
+        r in 2u32..7,
+        factories in 1u32..4,
+        magic_d in 3u32..15,
+        clustered in any::<bool>(),
+        unbounded in any::<bool>(),
+        cap in 0u32..40,
+        fixed_bus in any::<bool>(),
+    ) {
+        let max_qubits = if cap >= 20 { Some(cap) } else { None };
+        let spec = spec_from(
+            explicit_bus, r, factories, magic_d, clustered, unbounded, max_qubits, fixed_bus,
+        );
+        let canonical = target_to_json(&spec);
+        let digest = target_digest(&spec);
+
+        // Roundtrip through the codec is identity.
+        let back = target_from_json(&canonical).expect("canonical decodes");
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(target_digest(&back), digest);
+
+        // Field order on the way in does not change the digest.
+        let reversed = reverse_fields(&canonical);
+        let from_reversed = target_from_json(&reversed).expect("reversed decodes");
+        prop_assert_eq!(target_digest(&from_reversed), digest);
+
+        // Omitting fields that hold their defaults does not either.
+        let sparse = drop_default_fields(&canonical);
+        let from_sparse = target_from_json(&sparse).expect("sparse decodes");
+        prop_assert_eq!(target_digest(&from_sparse), digest);
+
+        // And the sparse document re-renders to the canonical bytes.
+        prop_assert_eq!(target_to_json(&from_sparse).render(), canonical.render());
+    }
+
+    #[test]
+    fn cross_target_sweep_equals_serial_per_target(
+        n in 3u32..8,
+        gates in 4usize..40,
+        seed in 0u64..200,
+        workers in 1usize..4,
+    ) {
+        let circuit = random_clifford_t(n, gates, seed);
+        let base = CompilerOptions::default();
+        let targets = vec![
+            ("paper".to_string(), TargetSpec::paper()),
+            ("sparse".to_string(), TargetSpec::sparse()),
+            ("fast-d".to_string(), TargetSpec::fast_d()),
+        ];
+        let rs = [2u32, 4];
+        let fs = [1u32, 2];
+        let sweeps = explore_targets(
+            &circuit,
+            &targets,
+            &rs,
+            &fs,
+            &base,
+            workers,
+            &SharedCache::in_memory(256),
+            &StageCache::new(256),
+        )
+        .expect("cross-target sweep compiles");
+
+        for ((name, spec), sweep) in targets.iter().zip(&sweeps) {
+            prop_assert_eq!(&sweep.name, name);
+            let serial: Vec<DesignPoint> =
+                target_sweep_options(&circuit, spec, &rs, &fs, &base)
+                    .into_iter()
+                    .map(|options| {
+                        let routing_paths = options.target.routing_paths();
+                        let factories = options.target.factories;
+                        let metrics = *Compiler::new(options)
+                            .compile(&circuit)
+                            .expect("serial compiles")
+                            .metrics();
+                        DesignPoint { routing_paths, factories, metrics }
+                    })
+                    .collect();
+            prop_assert_eq!(&sweep.points, &serial, "target {}", name);
+            prop_assert_eq!(&sweep.front, &pareto_front(&serial));
+        }
+    }
+}
+
+#[test]
+fn invalid_targets_error_instead_of_panicking() {
+    // Zero factories on a bounded-magic target used to assert deep in the
+    // factory bank; now it is a typed compile error.
+    let mut c = ftqc::circuit::Circuit::new(4);
+    c.h(0).t(1);
+    let err = Compiler::new(CompilerOptions::default().factories(0))
+        .compile(&c)
+        .expect_err("zero factories");
+    assert!(err.to_string().contains("no factories"), "got {err}");
+
+    // A qubit cap and a Clifford-only machine both surface cleanly.
+    let small = CompilerOptions::default().target(TargetSpec {
+        capabilities: Capabilities {
+            max_qubits: Some(2),
+            ..Capabilities::default()
+        },
+        ..TargetSpec::paper()
+    });
+    let err = Compiler::new(small).compile(&c).expect_err("over the cap");
+    assert!(err.to_string().contains("at most 2"), "got {err}");
+
+    let clifford = CompilerOptions::default().target(TargetSpec {
+        capabilities: Capabilities {
+            magic_states: false,
+            ..Capabilities::default()
+        },
+        ..TargetSpec::paper()
+    });
+    let err = Compiler::new(clifford)
+        .compile(&c)
+        .expect_err("needs magic");
+    assert!(err.to_string().contains("Clifford-only"), "got {err}");
+
+    // Bus masks outside the block name the legal gap range.
+    let bad_mask = CompilerOptions::default().target(TargetSpec {
+        bus: BusSpec::Explicit {
+            rows: vec![-1, 9],
+            cols: vec![-1],
+        },
+        ..TargetSpec::paper()
+    });
+    let err = Compiler::new(bad_mask).compile(&c).expect_err("bad mask");
+    assert!(err.to_string().contains("-1..="), "got {err}");
+}
+
+#[test]
+fn impossible_targets_skip_instead_of_sinking_the_fleet() {
+    // One target the circuit cannot run on (qubit cap) must not cost the
+    // other targets their results: its sweep slice comes back empty, the
+    // rest compute normally.
+    let mut c = ftqc::circuit::Circuit::new(9);
+    for q in 0..9 {
+        c.h(q).t(q);
+    }
+    let capped = TargetSpec {
+        capabilities: Capabilities {
+            max_qubits: Some(4),
+            ..Capabilities::default()
+        },
+        ..TargetSpec::paper()
+    };
+    let targets = vec![
+        ("paper".to_string(), TargetSpec::paper()),
+        ("capped".to_string(), capped),
+    ];
+    let sweeps = explore_targets(
+        &c,
+        &targets,
+        &[2, 4],
+        &[1],
+        &CompilerOptions::default(),
+        2,
+        &SharedCache::in_memory(64),
+        &StageCache::new(64),
+    )
+    .expect("the fleet survives the impossible target");
+    assert_eq!(sweeps[0].points.len(), 2, "paper swept normally");
+    assert!(
+        sweeps[1].points.is_empty(),
+        "capped target contributed none"
+    );
+    assert!(sweeps[1].front.is_empty());
+}
+
+#[test]
+fn presets_compile_and_differ_meaningfully() {
+    let mut c = ftqc::circuit::Circuit::new(6);
+    for q in 0..6 {
+        c.h(q).t(q);
+    }
+    c.cnot(0, 1).cnot(2, 3);
+    let compile = |spec: TargetSpec| {
+        *Compiler::new(CompilerOptions::default().target(spec))
+            .compile(&c)
+            .expect("compiles")
+            .metrics()
+    };
+    let paper = compile(TargetSpec::paper());
+    let sparse = compile(TargetSpec::sparse());
+    let fast = compile(TargetSpec::fast_d());
+    assert_eq!(paper.routing_paths, 4);
+    assert_eq!(sparse.routing_paths, 2);
+    assert!(
+        sparse.grid_patches < paper.grid_patches,
+        "the sparse machine is smaller"
+    );
+    assert!(
+        fast.execution_time < paper.execution_time,
+        "halved latencies finish sooner: {} vs {}",
+        fast.execution_time,
+        paper.execution_time
+    );
+}

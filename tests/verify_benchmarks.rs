@@ -10,7 +10,7 @@ use ftqc::compiler::{verify, Compiler, CompilerOptions};
 use ftqc_circuit::Circuit;
 
 fn check(c: &Circuit, options: CompilerOptions) {
-    let timing = options.timing;
+    let timing = options.target.timing;
     let p = Compiler::new(options)
         .compile(c)
         .unwrap_or_else(|e| panic!("{}: {e}", c.name()));
