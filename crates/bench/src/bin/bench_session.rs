@@ -7,44 +7,68 @@
 //! cache actually saves (prepare/lower shared across targets, map/schedule
 //! per machine).
 //!
+//! It also measures the routing-bound hot path itself: the map stage of a
+//! dense-CNOT workload (`--routing-circuit`, default the 255-qubit GHZ
+//! chain) timed cache-less under the seed (reference) router and the
+//! incremental engine, recording the speedup and the router counters.
+//! `--check BASELINE.json` turns the run into a CI regression gate: the
+//! incremental map median must stay within 15% of the checked-in
+//! baseline.
+//!
 //! ```text
 //! cargo run --release -p ftqc-bench --bin bench_session -- \
-//!     --circuit ising:3 --iters 5 --json BENCH_session.json
+//!     --circuit ising:3 --iters 5 --json BENCH_session.json \
+//!     --check BENCH_session.json
 //! ```
 
 use ftqc_arch::TargetRegistry;
-use ftqc_bench::report::{summarise_stages, CaseReport, SessionReport};
+use ftqc_bench::report::{
+    check_regression, median_micros, summarise_stages, CaseReport, RoutingReport, SessionReport,
+};
 use ftqc_bench::Table;
-use ftqc_compiler::{CompileSession, CompilerOptions, StageCache, StageTrace, TraceHook};
+use ftqc_compiler::{
+    route_circuit, CompileSession, CompilerOptions, RouterMode, StageCache, StageTrace, TraceHook,
+};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// The CI gate's tolerance: fail when the incremental map median regresses
+/// more than 15% past the baseline.
+const REGRESSION_TOLERANCE: f64 = 0.15;
 
 struct Args {
     circuit: String,
+    routing_circuit: String,
     iters: u64,
     json: Option<String>,
+    check: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         circuit: "ising:3".into(),
+        routing_circuit: "ghz".into(),
         iters: 5,
         json: None,
+        check: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} expects a value"));
         match flag.as_str() {
             "--circuit" => args.circuit = value("--circuit")?,
+            "--routing-circuit" => args.routing_circuit = value("--routing-circuit")?,
             "--iters" => {
                 args.iters = value("--iters")?
                     .parse()
                     .map_err(|_| "--iters expects a number".to_string())?;
             }
             "--json" => args.json = Some(value("--json")?),
+            "--check" => args.check = Some(value("--check")?),
             other => {
                 return Err(format!(
-                    "unknown flag {other:?} (use --circuit/--iters/--json)"
-                ))
+                "unknown flag {other:?} (use --circuit/--routing-circuit/--iters/--json/--check)"
+            ))
             }
         }
     }
@@ -52,6 +76,54 @@ fn parse_args() -> Result<Args, String> {
         return Err("--iters must be at least 1".into());
     }
     Ok(args)
+}
+
+/// Times the map stage of `spec` cache-less under both router modes and
+/// reports medians, speedup, and the incremental counters. Aborts the
+/// process if the two modes ever emit different routed programs — the
+/// bench doubles as a last-line differential check.
+fn bench_routing(spec: &str, iters: u64) -> Result<RoutingReport, String> {
+    let circuit = ftqc_service::resolve::load_circuit_spec(spec)?;
+    let options = CompilerOptions::default();
+    let session = CompileSession::new(options.clone());
+    let lowered = session
+        .prepare(&circuit)
+        .map_err(|e| e.to_string())?
+        .lower()
+        .circuit()
+        .clone();
+
+    let reference =
+        route_circuit(&lowered, &options, RouterMode::Reference).map_err(|e| e.to_string())?;
+    let incremental =
+        route_circuit(&lowered, &options, RouterMode::Incremental).map_err(|e| e.to_string())?;
+    if reference.ops != incremental.ops {
+        return Err(format!(
+            "router differential failure on {spec}: reference and incremental ops diverge"
+        ));
+    }
+
+    let time_mode = |mode: RouterMode| -> Result<Vec<u64>, String> {
+        (0..iters)
+            .map(|_| {
+                let started = Instant::now();
+                route_circuit(&lowered, &options, mode).map_err(|e| e.to_string())?;
+                Ok(started.elapsed().as_micros() as u64)
+            })
+            .collect()
+    };
+    let reference_samples = time_mode(RouterMode::Reference)?;
+    let incremental_samples = time_mode(RouterMode::Incremental)?;
+    let incremental_min_micros = incremental_samples.iter().copied().min().unwrap_or(0);
+
+    Ok(RoutingReport {
+        circuit: spec.to_string(),
+        iterations: iters,
+        reference_median_micros: median_micros(reference_samples),
+        incremental_median_micros: median_micros(incremental_samples),
+        incremental_min_micros,
+        route: incremental.route,
+    })
 }
 
 fn main() {
@@ -120,18 +192,65 @@ fn main() {
         });
     }
 
+    // The routing-bound hot path: reference vs incremental map stage.
+    let routing = match bench_routing(&args.routing_circuit, args.iters) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_session: routing bench: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "\nrouting hot path ({}, {} iters): reference {}µs -> incremental {}µs ({:.2}x), \
+         {} arena reuses, path table {}/{} hits",
+        routing.circuit,
+        routing.iterations,
+        routing.reference_median_micros,
+        routing.incremental_median_micros,
+        routing.speedup(),
+        routing.route.arena_reuses,
+        routing.route.table_hits,
+        routing.route.table_hits + routing.route.table_misses,
+    );
+
     let report = SessionReport {
         circuit: args.circuit.clone(),
         iterations: args.iters,
         cases,
         stage_cache: stages.stats(),
+        routing: Some(routing),
     };
     let stats = report.stage_cache;
     println!(
-        "\nshared stage cache: {} hits / {} lookups",
+        "shared stage cache: {} hits / {} lookups",
         stats.hits(),
         stats.hits() + stats.misses()
     );
+
+    // CI regression gate *before* overwriting any baseline file.
+    if let Some(path) = &args.check {
+        let baseline = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|text| {
+                ftqc_service::Value::parse(text.trim())
+                    .map_err(|e| format!("cannot parse {path}: {e}"))
+            });
+        let verdict = baseline.and_then(|doc| {
+            check_regression(
+                report.routing.as_ref().expect("routing bench ran"),
+                &doc,
+                REGRESSION_TOLERANCE,
+            )
+        });
+        match verdict {
+            Ok(()) => println!("regression gate   : ok (vs {path})"),
+            Err(e) => {
+                eprintln!("bench_session: regression gate: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     if let Some(path) = &args.json {
         if let Err(e) = report.write_json(path) {
             eprintln!("bench_session: cannot write {path}: {e}");

@@ -3,7 +3,7 @@
 //! `BENCH_session.json` trajectory (median per-stage latencies,
 //! stage-cache hit ratios) next to the human-readable tables.
 
-use ftqc_compiler::{Stage, StageCacheStats, StageEvent};
+use ftqc_compiler::{RouteCounters, Stage, StageCacheStats, StageEvent};
 use ftqc_service::json::{ToJson, Value};
 use std::io;
 use std::path::Path;
@@ -96,6 +96,67 @@ impl ToJson for CaseReport {
     }
 }
 
+/// The routing-bound hot-path measurement: the map stage timed cache-less
+/// under the seed (reference) router and the incremental engine, on a
+/// dense-CNOT workload. This is the recorded perf trajectory entry the
+/// bench-regression CI gate compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingReport {
+    /// The routing-bound circuit spec (e.g. `"ghz"`).
+    pub circuit: String,
+    /// Map-stage runs per mode.
+    pub iterations: u64,
+    /// Median map-stage microseconds through the seed router.
+    pub reference_median_micros: u64,
+    /// Median map-stage microseconds through the incremental engine.
+    pub incremental_median_micros: u64,
+    /// Fastest map-stage run through the incremental engine. Scheduler
+    /// noise only ever *adds* time, so the minimum is the noise-robust
+    /// statistic the regression gate confirms a median excursion against.
+    pub incremental_min_micros: u64,
+    /// The incremental router's counters for one representative run.
+    pub route: RouteCounters,
+}
+
+impl RoutingReport {
+    /// Reference-over-incremental speedup (the headline number; 0 when
+    /// the incremental median is 0 — sub-microsecond map stages are not
+    /// meaningfully comparable).
+    pub fn speedup(&self) -> f64 {
+        if self.incremental_median_micros == 0 {
+            0.0
+        } else {
+            self.reference_median_micros as f64 / self.incremental_median_micros as f64
+        }
+    }
+}
+
+impl ToJson for RoutingReport {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("circuit".into(), Value::Str(self.circuit.clone())),
+            ("iterations".into(), num(self.iterations)),
+            (
+                "reference_median_micros".into(),
+                num(self.reference_median_micros),
+            ),
+            (
+                "incremental_median_micros".into(),
+                num(self.incremental_median_micros),
+            ),
+            (
+                "incremental_min_micros".into(),
+                num(self.incremental_min_micros),
+            ),
+            ("speedup".into(), Value::Num(self.speedup())),
+            (
+                "route".into(),
+                ftqc_compiler::route_counters_to_json(&self.route),
+            ),
+        ])
+    }
+}
+
 /// The whole bench run: what ran, how often, and what the shared stage
 /// cache did across all cases.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,11 +169,13 @@ pub struct SessionReport {
     pub cases: Vec<CaseReport>,
     /// The shared stage cache's final counters.
     pub stage_cache: StageCacheStats,
+    /// The routing-bound hot-path measurement, when the run performed one.
+    pub routing: Option<RoutingReport>,
 }
 
 impl ToJson for SessionReport {
     fn to_json(&self) -> Value {
-        Value::Obj(vec![
+        let mut fields = vec![
             ("circuit".into(), Value::Str(self.circuit.clone())),
             ("iterations".into(), num(self.iterations)),
             (
@@ -120,8 +183,77 @@ impl ToJson for SessionReport {
                 Value::Arr(self.cases.iter().map(ToJson::to_json).collect()),
             ),
             ("stage_cache".into(), self.stage_cache.to_json()),
-        ])
+        ];
+        if let Some(routing) = &self.routing {
+            fields.push(("routing".into(), routing.to_json()));
+        }
+        Value::Obj(fields)
     }
+}
+
+/// The CI regression gate: compares this run's incremental map-stage
+/// median against a checked-in baseline document and rejects a regression
+/// beyond `tolerance` (0.15 = fail when more than 15% slower).
+///
+/// Absolute microseconds are machine- and load-dependent, so a median
+/// excursion alone is not enough. Two vetoes keep the gate from flaking
+/// on hardware variance while still catching real regressions:
+///
+/// * the run's *minimum* must confirm the excursion — scheduler noise
+///   spikes inflate medians but rarely the fastest run;
+/// * the same-run reference/incremental *speedup ratio* must have
+///   degraded past the tolerance too. Load slows both modes in the same
+///   process equally (the ratio holds), whereas a regression in the
+///   incremental engine uniquely collapses it — the machine-independent
+///   signal the speedup claim is actually about.
+///
+/// Baselines missing the minimum or the speedup skip that veto.
+///
+/// # Errors
+///
+/// A rendered message naming the regression (or the baseline field that
+/// could not be read).
+pub fn check_regression(
+    current: &RoutingReport,
+    baseline: &Value,
+    tolerance: f64,
+) -> Result<(), String> {
+    let routing = baseline
+        .get("routing")
+        .ok_or("baseline document has no routing object")?;
+    let base = routing
+        .get("incremental_median_micros")
+        .and_then(Value::as_u64)
+        .ok_or("baseline document has no routing.incremental_median_micros")?;
+    let limit = (base as f64 * (1.0 + tolerance)).ceil() as u64;
+    let min_confirms = match routing
+        .get("incremental_min_micros")
+        .and_then(Value::as_u64)
+    {
+        Some(base_min) => {
+            let min_limit = (base_min as f64 * (1.0 + tolerance)).ceil() as u64;
+            current.incremental_min_micros > min_limit
+        }
+        // Old baseline without a recorded minimum: the median decides.
+        None => true,
+    };
+    let ratio_confirms = match routing.get("speedup").and_then(Value::as_f64) {
+        Some(base_speedup) => current.speedup() < base_speedup * (1.0 - tolerance),
+        None => true,
+    };
+    if current.incremental_median_micros > limit && min_confirms && ratio_confirms {
+        return Err(format!(
+            "map-stage regression: median {}µs (min {}µs, speedup {:.2}x) exceeds baseline \
+             {}µs by more than {:.0}% (limit {}µs)",
+            current.incremental_median_micros,
+            current.incremental_min_micros,
+            current.speedup(),
+            base,
+            tolerance * 100.0,
+            limit
+        ));
+    }
+    Ok(())
 }
 
 impl SessionReport {
@@ -193,11 +325,24 @@ mod tests {
                 stages: summarise_stages(&[]),
             }],
             stage_cache: StageCache::new(4).stats(),
+            routing: Some(RoutingReport {
+                circuit: "ghz".into(),
+                iterations: 5,
+                reference_median_micros: 9000,
+                incremental_median_micros: 3000,
+                incremental_min_micros: 2800,
+                route: RouteCounters::default(),
+            }),
         };
         let rendered = report.to_json().render();
         assert!(rendered.contains("\"circuit\":\"ising:2\""), "{rendered}");
         assert!(rendered.contains("\"median_micros\""), "{rendered}");
         assert!(rendered.contains("\"hit_ratio\""), "{rendered}");
+        assert!(
+            rendered.contains("\"incremental_median_micros\":3000"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"speedup\":3"), "{rendered}");
 
         let dir = std::env::temp_dir().join("ftqc-bench-report-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -207,5 +352,86 @@ mod tests {
         assert!(text.ends_with('\n'));
         // The written document parses back.
         assert!(ftqc_service::Value::parse(text.trim()).is_ok());
+    }
+
+    #[test]
+    fn regression_gate_compares_against_baseline() {
+        let current = RoutingReport {
+            circuit: "ghz".into(),
+            iterations: 5,
+            reference_median_micros: 9000,
+            incremental_median_micros: 1200,
+            incremental_min_micros: 1150,
+            route: RouteCounters::default(),
+        };
+        let baseline = |micros: u64| {
+            Value::parse(&format!(
+                "{{\"routing\":{{\"incremental_median_micros\":{micros}}}}}"
+            ))
+            .unwrap()
+        };
+        // Within 15% of a 1100µs baseline (limit 1265µs): pass.
+        check_regression(&current, &baseline(1100), 0.15).expect("within tolerance");
+        // More than 15% over a 1000µs baseline: fail, naming the numbers.
+        let err = check_regression(&current, &baseline(1000), 0.15).unwrap_err();
+        assert!(err.contains("1200µs"), "{err}");
+        assert!(err.contains("1000µs"), "{err}");
+        // A baseline without the fields is a loud error, not a silent pass.
+        let err = check_regression(&current, &Value::parse("{}").unwrap(), 0.15).unwrap_err();
+        assert!(err.contains("no routing object"), "{err}");
+        let err = check_regression(&current, &Value::parse("{\"routing\":{}}").unwrap(), 0.15)
+            .unwrap_err();
+        assert!(err.contains("incremental_median_micros"), "{err}");
+
+        // A baseline that also records the minimum gates on both: a median
+        // excursion whose minimum stayed fast is scheduler noise, not a
+        // regression…
+        let with_min = |median: u64, min: u64| {
+            Value::parse(&format!(
+                "{{\"routing\":{{\"incremental_median_micros\":{median},\
+                 \"incremental_min_micros\":{min}}}}}"
+            ))
+            .unwrap()
+        };
+        check_regression(&current, &with_min(1000, 1100), 0.15)
+            .expect("fast minimum vetoes the noisy median");
+        // …while a regression that moved the minimum too still fails.
+        let err = check_regression(&current, &with_min(1000, 900), 0.15).unwrap_err();
+        assert!(err.contains("min 1150µs"), "{err}");
+
+        // A baseline that also records the speedup gates on the
+        // machine-independent ratio: uniform machine slowness (absolute
+        // numbers up, same-run ratio held) is not a regression…
+        let full = |median: u64, min: u64, speedup: f64| {
+            Value::parse(&format!(
+                "{{\"routing\":{{\"incremental_median_micros\":{median},\
+                 \"incremental_min_micros\":{min},\"speedup\":{speedup}}}}}"
+            ))
+            .unwrap()
+        };
+        // current: median 1200, min 1150, speedup 9000/1200 = 7.5.
+        check_regression(&current, &full(1000, 900, 7.5), 0.15)
+            .expect("held speedup ratio vetoes a uniform slowdown");
+        // …while a collapse of the ratio itself still fails.
+        let err = check_regression(&current, &full(1000, 900, 10.0), 0.15).unwrap_err();
+        assert!(err.contains("speedup 7.50x"), "{err}");
+    }
+
+    #[test]
+    fn speedup_is_reference_over_incremental() {
+        let r = RoutingReport {
+            circuit: "ghz".into(),
+            iterations: 1,
+            reference_median_micros: 10,
+            incremental_median_micros: 4,
+            incremental_min_micros: 4,
+            route: RouteCounters::default(),
+        };
+        assert!((r.speedup() - 2.5).abs() < 1e-12);
+        let zero = RoutingReport {
+            incremental_median_micros: 0,
+            ..r
+        };
+        assert_eq!(zero.speedup(), 0.0);
     }
 }

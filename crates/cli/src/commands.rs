@@ -432,10 +432,19 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     };
 
     let mut out = String::new();
+    let m = program.metrics();
     if let Some(trace) = explain {
         out.push_str(&trace);
+        let r = &m.route;
+        let _ = writeln!(
+            out,
+            "router    : {} arena reuses, path table {}/{} hits, {} invalidations",
+            r.arena_reuses,
+            r.table_hits,
+            r.table_hits + r.table_misses,
+            r.table_invalidations
+        );
     }
-    let m = program.metrics();
     let _ = writeln!(
         out,
         "circuit         : {} ({} qubits, {} gates)",
@@ -1267,6 +1276,10 @@ mod tests {
         }
         assert!(out.contains("computed"), "got: {out}");
         assert!(out.contains("execution time"), "full report follows: {out}");
+        assert!(
+            out.contains("arena reuses") && out.contains("path table"),
+            "router counters follow the stage table: {out}"
+        );
     }
 
     #[test]

@@ -480,8 +480,34 @@ impl ToJson for Metrics {
                 num(self.n_moves_eliminated as u64),
             ),
             ("n_magic_states".into(), num(self.n_magic_states)),
+            ("route".into(), route_counters_to_json(&self.route)),
         ])
     }
+}
+
+/// Renders [`ftqc_route::RouteCounters`] as a canonical JSON object (the
+/// `"route"` member of the metrics document and of `/v1/cache/stats`).
+pub fn route_counters_to_json(c: &ftqc_route::RouteCounters) -> Value {
+    Value::Obj(vec![
+        ("arena_reuses".into(), num(c.arena_reuses)),
+        ("table_hits".into(), num(c.table_hits)),
+        ("table_misses".into(), num(c.table_misses)),
+        ("table_invalidations".into(), num(c.table_invalidations)),
+    ])
+}
+
+/// Decodes the object written by [`route_counters_to_json`].
+///
+/// # Errors
+///
+/// [`JsonError`] when a counter field is missing or not a `u64`.
+pub fn route_counters_from_json(value: &Value) -> Result<ftqc_route::RouteCounters, JsonError> {
+    Ok(ftqc_route::RouteCounters {
+        arena_reuses: json::require_u64(value, "arena_reuses")?,
+        table_hits: json::require_u64(value, "table_hits")?,
+        table_misses: json::require_u64(value, "table_misses")?,
+        table_invalidations: json::require_u64(value, "table_invalidations")?,
+    })
 }
 
 impl FromJson for Metrics {
@@ -504,6 +530,12 @@ impl FromJson for Metrics {
             n_moves: json::require_u64(value, "n_moves")? as usize,
             n_moves_eliminated: json::require_u64(value, "n_moves_eliminated")? as usize,
             n_magic_states: json::require_u64(value, "n_magic_states")?,
+            // Absent in documents written before the incremental router
+            // (old cache files, older peers): default counters.
+            route: match value.get("route") {
+                None => ftqc_route::RouteCounters::default(),
+                Some(v) => route_counters_from_json(v)?,
+            },
         })
     }
 }
@@ -822,9 +854,25 @@ mod tests {
             n_moves: 40,
             n_moves_eliminated: 6,
             n_magic_states: 10,
+            route: ftqc_route::RouteCounters {
+                arena_reuses: 99,
+                table_hits: 7,
+                table_misses: 92,
+                table_invalidations: 120,
+            },
         };
         let back = Metrics::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);
+
+        // Documents written before the incremental router carry no
+        // "route" object: they decode with default counters.
+        let mut legacy = m.to_json();
+        if let Value::Obj(fields) = &mut legacy {
+            fields.retain(|(k, _)| k != "route");
+        }
+        let back = Metrics::from_json(&legacy).unwrap();
+        assert_eq!(back.route, ftqc_route::RouteCounters::default());
+        assert_eq!(back.n_moves, m.n_moves);
     }
 
     #[test]
@@ -845,6 +893,7 @@ mod tests {
                 n_moves: 40,
                 n_moves_eliminated: 6,
                 n_magic_states: 10,
+                route: ftqc_route::RouteCounters::default(),
             },
         };
         let back = crate::DesignPoint::from_json(&p.to_json()).unwrap();
@@ -874,6 +923,7 @@ mod tests {
                 n_moves: 0,
                 n_moves_eliminated: 0,
                 n_magic_states: 0,
+                route: ftqc_route::RouteCounters::default(),
             }
             .to_json()
         }

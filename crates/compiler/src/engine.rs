@@ -24,17 +24,28 @@ use ftqc_arch::{
     cnot_ancilla, CellKind, Coord, FactoryBank, Grid, Layout, SingleQubitKind, SurgeryOp, Ticks,
 };
 use ftqc_circuit::{Circuit, Gate};
-use ftqc_route::dijkstra::{find_path, CostModel, Occupancy};
-use ftqc_route::moves::{best_cnot_config, Mover};
-use ftqc_route::space::{clear_cell_plan, space_search};
+use ftqc_route::dijkstra::{CostModel, Occupancy};
+use ftqc_route::incremental::{blocked_set_digest, RouteCounters, Router, RouterMode};
+use ftqc_route::moves::{best_cnot_config_with, Mover};
 use ftqc_sim::ResourceTimeline;
 use std::collections::{HashMap, HashSet};
 
-/// Occupancy view over the engine's mutable state.
+/// Occupancy view over the engine's mutable state. The occupancy
+/// predicate reads the engine's flat per-cell mirror (`occ_grid`) instead
+/// of the `cell -> qubit` hash map: the routing searches call
+/// `is_occupied` on every neighbour relaxation, and the O(1) array probe
+/// is what keeps the query cost bounded by the search itself.
 struct OccView<'a> {
     grid: &'a Grid,
-    occ: &'a HashMap<Coord, u32>,
+    occ_grid: &'a [bool],
     extra_blocked: &'a HashSet<Coord>,
+}
+
+impl OccView<'_> {
+    #[inline]
+    fn index(&self, c: Coord) -> usize {
+        c.row as usize * self.grid.cols() as usize + c.col as usize
+    }
 }
 
 impl Occupancy for OccView<'_> {
@@ -42,7 +53,7 @@ impl Occupancy for OccView<'_> {
         !self.grid.in_bounds(c) || self.extra_blocked.contains(&c)
     }
     fn is_occupied(&self, c: Coord) -> bool {
-        self.occ.contains_key(&c)
+        self.grid.in_bounds(c) && self.occ_grid[self.index(c)]
     }
 }
 
@@ -52,11 +63,18 @@ pub struct Engine<'a> {
     layout: &'a Layout,
     options: &'a CompilerOptions,
     bank: FactoryBank,
-    cost: CostModel,
+    /// The incremental routing facade: cost model, reusable search arena,
+    /// digest-keyed path table, and the live occupancy digest (updated on
+    /// every claim/release in [`Engine::raw_move`]).
+    router: Router,
     /// qubit -> current cell
     pos: Vec<Coord>,
     /// cell -> qubit
     occ: HashMap<Coord, u32>,
+    /// Flat row-major mirror of `occ`'s key set — the O(1) occupancy
+    /// predicate behind every [`OccView`]. Updated in lock-step with `occ`
+    /// by [`Engine::raw_move`].
+    occ_grid: Vec<bool>,
     /// Provisional per-cell timeline guiding greedy ordering decisions.
     timeline: ResourceTimeline,
     qubit_ready: Vec<Ticks>,
@@ -72,29 +90,52 @@ pub struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    /// Creates an engine over `layout` with qubits placed by `mapping`.
+    /// Creates an engine over `layout` with qubits placed by `mapping`,
+    /// routing through the incremental engine.
     pub fn new(
         layout: &'a Layout,
         mapping: &InitialMapping,
         bank: FactoryBank,
         options: &'a CompilerOptions,
     ) -> Self {
+        Self::with_mode(layout, mapping, bank, options, RouterMode::Incremental)
+    }
+
+    /// [`Engine::new`] with an explicit [`RouterMode`] — the seam the
+    /// differential tests and the bench baseline use to run the exact same
+    /// engine over the seed (reference) routing implementations.
+    pub fn with_mode(
+        layout: &'a Layout,
+        mapping: &InitialMapping,
+        bank: FactoryBank,
+        options: &'a CompilerOptions,
+        mode: RouterMode,
+    ) -> Self {
         let pos: Vec<Coord> = mapping.cells().to_vec();
-        let occ = pos
+        let occ: HashMap<Coord, u32> = pos
             .iter()
             .enumerate()
             .map(|(q, &c)| (c, q as u32))
             .collect();
+        let cost = CostModel {
+            penalty_weight: options.penalty_weight,
+        };
+        let mut router = Router::new(layout.grid(), cost, mode);
+        let grid = layout.grid();
+        let mut occ_grid = vec![false; (grid.rows() * grid.cols()) as usize];
+        for &c in occ.keys() {
+            router.claim(c);
+            occ_grid[c.row as usize * grid.cols() as usize + c.col as usize] = true;
+        }
         Self {
             layout,
             options,
             bank,
-            cost: CostModel {
-                penalty_weight: options.penalty_weight,
-            },
+            router,
             qubit_ready: vec![Ticks::ZERO; pos.len()],
             pos,
             occ,
+            occ_grid,
             timeline: ResourceTimeline::new(),
             ops: Vec::new(),
             current_gate: 0,
@@ -139,16 +180,19 @@ impl<'a> Engine<'a> {
         (self.ops, self.n_magic_states)
     }
 
+    /// The incremental router's activity counters so far.
+    pub fn route_counters(&self) -> RouteCounters {
+        self.router.counters()
+    }
+
     fn grid(&self) -> &Grid {
         self.layout.grid()
     }
 
-    fn view(&self) -> OccView<'_> {
-        OccView {
-            grid: self.layout.grid(),
-            occ: &self.occ,
-            extra_blocked: &self.protected,
-        }
+    /// Digest pinning the full routing-relevant state of a query whose
+    /// view blocks `extra` on top of the live occupancy.
+    fn query_digest(&self, extra: &HashSet<Coord>) -> u128 {
+        self.router.state_digest() ^ blocked_set_digest(extra)
     }
 
     fn fail(&self, reason: impl Into<String>) -> CompileError {
@@ -200,6 +244,11 @@ impl<'a> Engine<'a> {
         self.emit(SurgeryOp::Move { from, to }, vec![q], None, Ticks::ZERO);
         self.occ.remove(&from);
         self.occ.insert(to, q);
+        let cols = self.layout.grid().cols() as usize;
+        self.occ_grid[from.row as usize * cols + from.col as usize] = false;
+        self.occ_grid[to.row as usize * cols + to.col as usize] = true;
+        self.router.release(from);
+        self.router.claim(to);
         self.pos[q as usize] = to;
     }
 
@@ -221,13 +270,16 @@ impl<'a> Engine<'a> {
         relaxed.extend(self.protected.iter().copied());
         relaxed.remove(&cell);
         let plan = {
+            let grid = self.layout.grid();
+            let none = HashSet::new();
             let view = OccView {
-                grid: self.layout.grid(),
-                occ: &self.occ,
-                extra_blocked: &HashSet::new(),
+                grid,
+                occ_grid: &self.occ_grid,
+                extra_blocked: &none,
             };
-            clear_cell_plan(self.grid(), &view, cell, &strict)
-                .or_else(|| clear_cell_plan(self.grid(), &view, cell, &relaxed))
+            self.router
+                .clear_cell_plan(grid, &view, cell, &strict)
+                .or_else(|| self.router.clear_cell_plan(grid, &view, cell, &relaxed))
         };
         match plan {
             Some(moves) => {
@@ -254,12 +306,14 @@ impl<'a> Engine<'a> {
             let path = {
                 let mut blocked = self.protected.clone();
                 blocked.extend(banned.iter().copied());
+                let grid = self.layout.grid();
+                let digest = self.query_digest(&blocked);
                 let view = OccView {
-                    grid: self.layout.grid(),
-                    occ: &self.occ,
+                    grid,
+                    occ_grid: &self.occ_grid,
                     extra_blocked: &blocked,
                 };
-                find_path(self.grid(), &view, from, dest, &self.cost)
+                self.router.find_path(grid, &view, digest, from, dest)
             }
             .ok_or_else(|| self.fail(format!("no path from {from} to {dest}")))?;
             for i in 1..path.cells.len() {
@@ -295,8 +349,13 @@ impl<'a> Engine<'a> {
     /// Finds (clearing if necessary) a free ancilla adjacent to `cell`.
     fn acquire_ancilla(&mut self, cell: Coord) -> Result<Coord, CompileError> {
         let plan = {
-            let view = self.view();
-            space_search(self.grid(), &view, cell)
+            let grid = self.layout.grid();
+            let view = OccView {
+                grid,
+                occ_grid: &self.occ_grid,
+                extra_blocked: &self.protected,
+            };
+            self.router.space_search(grid, &view, cell)
         };
         match plan {
             Some(p) => {
@@ -407,8 +466,14 @@ impl<'a> Engine<'a> {
 
             let grant = self.bank.acquire(self.qubit_ready[q as usize]);
             let path = {
-                let view = self.view();
-                find_path(self.grid(), &view, grant.port, dest, &self.cost)
+                let grid = self.layout.grid();
+                let digest = self.query_digest(&self.protected);
+                let view = OccView {
+                    grid,
+                    occ_grid: &self.occ_grid,
+                    extra_blocked: &self.protected,
+                };
+                self.router.find_path(grid, &view, digest, grant.port, dest)
             }
             .ok_or_else(|| self.fail(format!("no delivery path {} -> {dest}", grant.port)))?;
             self.n_magic_states += 1;
@@ -467,17 +532,21 @@ impl<'a> Engine<'a> {
 
         // Preferred: the gate-dependent move heuristic over free cells.
         let cfg = {
+            let grid = self.layout.grid();
+            let digest = self.router.state_digest();
+            let none = HashSet::new();
             let view = OccView {
-                grid: self.layout.grid(),
-                occ: &self.occ,
-                extra_blocked: &HashSet::new(),
+                grid,
+                occ_grid: &self.occ_grid,
+                extra_blocked: &none,
             };
-            best_cnot_config(
-                self.grid(),
+            best_cnot_config_with(
+                &mut self.router,
+                grid,
                 &view,
+                digest,
                 c_pos,
                 t_pos,
-                &self.cost,
                 self.options.lookahead,
             )
         }
@@ -572,6 +641,66 @@ impl<'a> Engine<'a> {
         self.no_park.clear();
         Ok(())
     }
+}
+
+/// Everything the map stage produces for a lowered circuit: the layout,
+/// the initial placement, the routed operation sequence, and the routing
+/// engine's activity counters.
+#[derive(Debug, Clone)]
+pub struct RoutedProgram {
+    /// The layout the circuit was routed on.
+    pub layout: Layout,
+    /// The initial qubit placement.
+    pub mapping: InitialMapping,
+    /// Logical patches consumed by the factory bank.
+    pub factory_patches: u32,
+    /// The routed operations, in issue order.
+    pub ops: Vec<RoutedOp>,
+    /// Magic states the routed program consumes.
+    pub n_magic_states: u64,
+    /// The incremental router's counters for this compile.
+    pub route: RouteCounters,
+}
+
+/// Runs the map stage — target validation, layout construction, initial
+/// placement, factory docking, and greedy routing — over an already
+/// *lowered* circuit, with an explicit [`RouterMode`].
+///
+/// [`RouterMode::Incremental`] is what the pipeline uses;
+/// [`RouterMode::Reference`] re-routes through the seed (allocation-heavy)
+/// implementations and is the baseline of `tests/route_differential.rs`
+/// and the `bench_session` speedup measurement. Both modes produce
+/// byte-identical routed programs.
+///
+/// # Errors
+///
+/// [`CompileError::Target`], [`CompileError::Layout`], or
+/// [`CompileError::RoutingFailed`] — exactly as the map stage reports
+/// them (untagged; [`CompileSession`](crate::CompileSession) adds the
+/// stage tag).
+pub fn route_circuit(
+    lowered: &Circuit,
+    options: &CompilerOptions,
+    mode: RouterMode,
+) -> Result<RoutedProgram, CompileError> {
+    let target = &options.target;
+    target.validate(lowered.num_qubits(), lowered.t_count() as u64)?;
+    let layout = target.build_layout(lowered.num_qubits())?;
+    let mapping = InitialMapping::for_circuit(&layout, lowered, options.mapping);
+    let bank = target.factory_bank(&layout);
+    let factory_patches = bank.total_tiles();
+    let mut engine = Engine::with_mode(&layout, &mapping, bank, options, mode);
+    engine.run(lowered)?;
+    let route = engine.route_counters();
+    let (ops, n_magic_states) = engine.into_ops();
+    Ok(RoutedProgram {
+        layout,
+        mapping,
+        factory_patches,
+        ops,
+        n_magic_states,
+        route,
+    })
 }
 
 #[cfg(test)]

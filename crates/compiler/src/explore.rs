@@ -413,6 +413,7 @@ mod tests {
             n_moves: 0,
             n_moves_eliminated: 0,
             n_magic_states: 1,
+            route: ftqc_route::RouteCounters::default(),
         };
         metrics.factory_patches = 0;
         DesignPoint {

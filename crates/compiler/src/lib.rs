@@ -62,7 +62,11 @@ pub mod trace;
 pub mod verify;
 
 pub use analysis::{diagnose, Bottleneck, BottleneckReport};
-pub use codec::{target_digest, target_from_json, target_to_json};
+pub use codec::{
+    route_counters_from_json, route_counters_to_json, target_digest, target_from_json,
+    target_to_json,
+};
+pub use engine::{route_circuit, RoutedProgram};
 pub use error::CompileError;
 pub use estimate::{
     estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate,
@@ -72,6 +76,7 @@ pub use explore::{
     explore_session, explore_targets, pareto_front, target_sweep_options, DesignPoint, TargetSweep,
 };
 pub use export::{to_csv, utilization, UtilizationStats};
+pub use ftqc_route::{RouteCounters, RouterMode};
 pub use mapping::{InitialMapping, MappingStrategy};
 pub use metrics::Metrics;
 pub use options::{CompilerOptions, TStatePolicy};

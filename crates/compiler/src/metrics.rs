@@ -3,6 +3,7 @@
 //! CPI.
 
 use ftqc_arch::Ticks;
+use ftqc_route::RouteCounters;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -33,6 +34,12 @@ pub struct Metrics {
     pub n_moves_eliminated: usize,
     /// Magic states consumed.
     pub n_magic_states: u64,
+    /// Incremental-router activity for the routing run that produced this
+    /// program: arena reuses, path-table hits/misses, and incremental
+    /// invalidations. Deterministic per compile (the router's path table
+    /// is per-engine), so cached and fresh compiles report identical
+    /// values.
+    pub route: RouteCounters,
 }
 
 impl Metrics {
@@ -126,12 +133,20 @@ impl fmt::Display for Metrics {
             self.n_gates,
             self.n_magic_states
         )?;
-        write!(
+        writeln!(
             f,
             "spacetime: {:.0} qubit-d ({:.1} per op), CPI {:.2}",
             self.spacetime_volume(true),
             self.spacetime_volume_per_op(true),
             self.cpi()
+        )?;
+        write!(
+            f,
+            "router: {} arena reuses, path table {}/{} hits ({} invalidations)",
+            self.route.arena_reuses,
+            self.route.table_hits,
+            self.route.table_hits + self.route.table_misses,
+            self.route.table_invalidations
         )
     }
 }
@@ -154,6 +169,12 @@ mod tests {
             n_moves: 40,
             n_moves_eliminated: 6,
             n_magic_states: 10,
+            route: RouteCounters {
+                arena_reuses: 30,
+                table_hits: 5,
+                table_misses: 35,
+                table_invalidations: 80,
+            },
         }
     }
 
@@ -208,5 +229,6 @@ mod tests {
         assert!(s.contains("qubits: 155"));
         assert!(s.contains("overhead 1.20x"));
         assert!(s.contains("CPI 2.00"));
+        assert!(s.contains("router: 30 arena reuses, path table 5/40 hits"));
     }
 }

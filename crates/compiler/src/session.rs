@@ -31,7 +31,7 @@
 //! cache provenance, wall-clock micros); the CLI's `--explain` report and
 //! the service's stage accounting are built on them.
 
-use crate::engine::Engine;
+use crate::engine::route_circuit;
 use crate::error::CompileError;
 use crate::mapping::InitialMapping;
 use crate::metrics::{lower_bound, Metrics};
@@ -42,6 +42,7 @@ use crate::routed::RoutedOp;
 use crate::timer::{time_ops, CostKind};
 use ftqc_arch::{Layout, Ticks};
 use ftqc_circuit::Circuit;
+use ftqc_route::incremental::{RouteCounters, RouterMode};
 use ftqc_service::json::{ToJson, Value};
 use ftqc_service::{fingerprint, CacheStats, SharedCache, StageOutcome};
 use ftqc_sim::Schedule;
@@ -173,7 +174,8 @@ pub struct LoweredArt {
     content_fp: u64,
 }
 
-/// The map stage's artifact: layout, placement, and the routed op sequence.
+/// The map stage's artifact: layout, placement, the routed op sequence,
+/// and the incremental router's activity counters for that routing run.
 #[derive(Debug)]
 pub struct MappedArt {
     layout: Layout,
@@ -181,6 +183,7 @@ pub struct MappedArt {
     factory_patches: u32,
     ops: Vec<RoutedOp>,
     n_magic_states: u64,
+    route: RouteCounters,
 }
 
 /// The schedule stage's artifact: the timed schedules and op accounting.
@@ -241,6 +244,11 @@ pub struct StageCache {
     lower: SharedCache<Arc<LoweredArt>>,
     map: SharedCache<Arc<MappedArt>>,
     schedule: SharedCache<Arc<ScheduledArt>>,
+    /// Cumulative incremental-router counters across every map stage that
+    /// actually routed through this cache (misses only — a map-tier hit
+    /// runs no routing). This is what `/v1/cache/stats` and `/metrics`
+    /// report process-wide.
+    route_totals: Arc<Mutex<RouteCounters>>,
 }
 
 impl StageCache {
@@ -255,7 +263,19 @@ impl StageCache {
             lower: SharedCache::in_memory(capacity),
             map: SharedCache::in_memory(capacity),
             schedule: SharedCache::in_memory(capacity),
+            route_totals: Arc::new(Mutex::new(RouteCounters::default())),
         }
+    }
+
+    /// Folds one routing run's counters into the cumulative totals.
+    fn add_route(&self, counters: RouteCounters) {
+        let mut totals = self.route_totals.lock().expect("route totals lock");
+        *totals = totals.merged(counters);
+    }
+
+    /// Cumulative router counters over every routing run this cache saw.
+    pub fn route_stats(&self) -> RouteCounters {
+        *self.route_totals.lock().expect("route totals lock")
     }
 
     /// Whether the named stage's tier holds `key` (no counter or LRU
@@ -683,6 +703,7 @@ impl Lowered {
                 let art = Arc::new(art);
                 if let Some(c) = &self.session.cache {
                     c.map.insert(key, Arc::clone(&art));
+                    c.add_route(art.route);
                 }
                 (art, false)
             }
@@ -710,21 +731,14 @@ impl Lowered {
 /// [`CompileError`]), builds the layout — routing-path family or explicit
 /// bus mask — and docks its own factory bank.
 fn compute_map(lowered: &Circuit, options: &CompilerOptions) -> Result<MappedArt, CompileError> {
-    let target = &options.target;
-    target.validate(lowered.num_qubits(), lowered.t_count() as u64)?;
-    let layout = target.build_layout(lowered.num_qubits())?;
-    let mapping = InitialMapping::for_circuit(&layout, lowered, options.mapping);
-    let bank = target.factory_bank(&layout);
-    let factory_patches = bank.total_tiles();
-    let mut engine = Engine::new(&layout, &mapping, bank, options);
-    engine.run(lowered)?;
-    let (ops, n_magic_states) = engine.into_ops();
+    let routed = route_circuit(lowered, options, RouterMode::Incremental)?;
     Ok(MappedArt {
-        layout,
-        mapping,
-        factory_patches,
-        ops,
-        n_magic_states,
+        layout: routed.layout,
+        mapping: routed.mapping,
+        factory_patches: routed.factory_patches,
+        ops: routed.ops,
+        n_magic_states: routed.n_magic_states,
+        route: routed.route,
     })
 }
 
@@ -753,6 +767,12 @@ impl Mapped {
     /// Magic states the routed program consumes.
     pub fn n_magic_states(&self) -> u64 {
         self.art.n_magic_states
+    }
+
+    /// The incremental router's counters for the routing run that produced
+    /// this artifact.
+    pub fn route_counters(&self) -> RouteCounters {
+        self.art.route
     }
 
     /// The schedule-stage cache key this artifact would be finished under.
@@ -857,6 +877,7 @@ impl Mapped {
             n_moves: art.n_moves,
             n_moves_eliminated: art.n_moves_eliminated,
             n_magic_states: self.art.n_magic_states,
+            route: self.art.route,
         };
         Ok(CompiledProgram::assemble(
             self.art.layout.clone(),

@@ -8,7 +8,10 @@
 //! 3. operations on the same program qubit never overlap in time;
 //! 4. consecutive magic grants from one factory are spaced by at least the
 //!    production latency;
-//! 5. every cell used lies on the layout grid.
+//! 5. every cell used lies on the layout grid;
+//! 6. every magic-state consumption is fed: an earlier delivery ends at its
+//!    magic cell (or the consumption carries the factory grant itself) —
+//!    the invariant a stale or mis-invalidated cached delivery path breaks.
 //!
 //! The compiler's own tests run this on every schedule they produce; it is
 //! public so downstream users can validate programs before exporting them
@@ -64,6 +67,15 @@ pub enum VerifyError {
         /// The offending cell.
         cell: Coord,
     },
+    /// A magic-state consumption with no feeding delivery: no earlier
+    /// `DeliverMagic` ends at its magic cell (and it carries no factory
+    /// grant of its own).
+    UnfedMagic {
+        /// Index in the schedule.
+        index: usize,
+        /// The magic cell the consumption reads.
+        cell: Coord,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -96,6 +108,12 @@ impl fmt::Display for VerifyError {
             ),
             VerifyError::OffGrid { index, cell } => {
                 write!(f, "op {index} uses off-grid cell {cell}")
+            }
+            VerifyError::UnfedMagic { index, cell } => {
+                write!(
+                    f,
+                    "op {index} consumes a magic state at {cell} with no delivery ending there"
+                )
             }
         }
     }
@@ -185,6 +203,31 @@ pub fn verify_items(
                     second: w[1].2,
                 });
             }
+        }
+    }
+
+    // 6: magic delivery discipline, in issue order. Each delivery makes one
+    // state available at its terminal cell; each consumption without its
+    // own factory grant takes one from its magic cell.
+    let mut available: HashMap<Coord, u64> = HashMap::new();
+    for (i, item) in items.iter().enumerate() {
+        match &item.op.op {
+            ftqc_arch::SurgeryOp::DeliverMagic { path } => {
+                if let Some(&end) = path.last() {
+                    *available.entry(end).or_default() += 1;
+                }
+            }
+            ftqc_arch::SurgeryOp::ConsumeMagic { magic, .. } if item.op.factory.is_none() => {
+                let n = available.entry(*magic).or_default();
+                if *n == 0 {
+                    return Err(VerifyError::UnfedMagic {
+                        index: i,
+                        cell: *magic,
+                    });
+                }
+                *n -= 1;
+            }
+            _ => {}
         }
     }
 

@@ -1,0 +1,1013 @@
+//! The incremental routing engine: reusable search state and cached path
+//! tables for the compile hot path.
+//!
+//! The seed implementation re-ran a full [`find_path`] with freshly
+//! allocated `HashMap`/`BinaryHeap` state for every routed operation — the
+//! dominant cost of the map stage. This module rebuilds that hot path
+//! around three pieces:
+//!
+//! * [`SearchArena`] — distance/visited/parent buffers sized to the layout
+//!   and *generation-stamped*, so resetting between searches is O(1)
+//!   instead of O(cells), plus a bucket-queue (Dial) specialisation of
+//!   Dijkstra for the small integer penalty domain.
+//! * [`PathTable`] — a cache of shortest paths keyed on a compact
+//!   occupancy digest that the scheduler updates incrementally as
+//!   operations claim and release cells; a changed cell shifts the digest,
+//!   which implicitly invalidates every entry computed under the old
+//!   state.
+//! * [`Router`] — the facade the compiler engine drives. It owns the arena
+//!   and the table, maintains the live occupancy digest, and counts its
+//!   own activity ([`RouteCounters`]). In [`RouterMode::Reference`] every
+//!   query is answered by the seed implementations instead — the hook the
+//!   differential test harness and the bench baseline use.
+//!
+//! **Tie-breaking invariant:** every query through the incremental engine
+//! returns results *byte-identical* to the seed functions
+//! ([`find_path`], [`nearest_free_cell`], [`clear_cell_plan`],
+//! [`space_search`]) on the same state. `tests/route_differential.rs`
+//! enforces this path-for-path (cost, cells, tie-breaks) across random
+//! layouts and occupancy patterns.
+
+use crate::dijkstra::{find_path, CostModel, Occupancy, Path};
+use crate::space::{clear_cell_plan, nearest_free_cell, space_search, SpacePlan};
+use ftqc_arch::{Coord, Grid};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Largest bucket ring the Dial queue will allocate. Edge weights are
+/// `1 + penalty_weight`; beyond this bound the arena falls back to the
+/// seed binary-heap search (still byte-identical, just not bucketed).
+const MAX_BUCKET_RING: usize = 4096;
+
+/// Default [`PathTable`] capacity: entries beyond this flush the table
+/// (the digest keying makes a flush correctness-neutral).
+pub const DEFAULT_PATH_TABLE_CAPACITY: usize = 1 << 14;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A 128-bit mixing token for `(salt, cell)`. Tokens are XOR-combined, so
+/// claim/release (and add/remove from a blocked set) are their own
+/// inverses — the property that makes digest maintenance O(1) per cell.
+fn cell_token(salt: u64, c: Coord) -> u128 {
+    let packed = ((c.row as i64 as u64) << 32) ^ (c.col as i64 as u64 & 0xffff_ffff) ^ salt;
+    let lo = splitmix64(packed);
+    let hi = splitmix64(packed ^ 0xd6e8_feb8_6659_fd93);
+    ((hi as u128) << 64) | lo as u128
+}
+
+/// Digest contribution of a cell holding a data qubit.
+pub fn occupied_token(c: Coord) -> u128 {
+    cell_token(0x6f63_6375_7069_6564, c)
+}
+
+/// Digest contribution of a cell in an extra-blocked set.
+pub fn blocked_token(c: Coord) -> u128 {
+    cell_token(0x626c_6f63_6b65_645f, c)
+}
+
+/// XOR-digest of a (deduplicated) set of extra-blocked cells. Callers must
+/// pass each distinct cell once — XOR cancels duplicates — which a
+/// `HashSet` iteration guarantees.
+pub fn blocked_set_digest<'a>(cells: impl IntoIterator<Item = &'a Coord>) -> u128 {
+    cells.into_iter().fold(0u128, |d, &c| d ^ blocked_token(c))
+}
+
+/// Per-router activity counters, surfaced through compiler `Metrics`, the
+/// CLI's `--explain` report, `/v1/cache/stats`, and `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteCounters {
+    /// Searches that reused the arena's buffers via a generation bump
+    /// (everything after the first search on a given grid shape).
+    pub arena_reuses: u64,
+    /// Path queries answered from the [`PathTable`].
+    pub table_hits: u64,
+    /// Path queries that ran a search (and populated the table).
+    pub table_misses: u64,
+    /// Incremental invalidations: cell claims/releases that shifted the
+    /// occupancy digest, retiring every entry keyed under the old state.
+    pub table_invalidations: u64,
+}
+
+impl RouteCounters {
+    /// Field-wise sum — the accumulation the shared stage cache performs.
+    pub fn merged(self, other: RouteCounters) -> RouteCounters {
+        RouteCounters {
+            arena_reuses: self.arena_reuses + other.arena_reuses,
+            table_hits: self.table_hits + other.table_hits,
+            table_misses: self.table_misses + other.table_misses,
+            table_invalidations: self.table_invalidations + other.table_invalidations,
+        }
+    }
+
+    /// Hit ratio over table lookups (0 when the table was never queried).
+    pub fn hit_ratio(&self) -> f64 {
+        let lookups = self.table_hits + self.table_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.table_hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Reusable search state for one grid shape.
+///
+/// # Invariants
+///
+/// * A cell's `dist`/`prev` slots are meaningful only when its `stamp`
+///   equals the arena's current `generation`; bumping the generation is
+///   the O(1) whole-arena reset.
+/// * Buffers are sized to `rows * cols` of the last grid seen; searching a
+///   different shape reallocates (and does not count as a reuse).
+/// * The Dial bucket ring holds only distances in `[d, d + ring)` while
+///   level `d` drains — guaranteed because every edge weight is in
+///   `1..=1 + penalty_weight` and `ring = penalty_weight + 2`.
+/// * Within one distance level, cells drain in ascending row-major index
+///   order — exactly the `(d, row, col)` order of the seed binary heap,
+///   which is what keeps parent choices (and therefore paths) identical.
+#[derive(Debug, Default)]
+pub struct SearchArena {
+    rows: i32,
+    cols: i32,
+    generation: u32,
+    stamp: Vec<u32>,
+    dist: Vec<u64>,
+    prev: Vec<u32>,
+    buckets: Vec<Vec<u32>>,
+    last_ring: usize,
+    queue: VecDeque<u32>,
+    reuses: u64,
+}
+
+impl SearchArena {
+    /// An empty arena; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Searches served by reusing the buffers (no reallocation).
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Prepares the arena for a search on `grid`: O(1) generation bump
+    /// when the shape matches, reallocation otherwise.
+    fn reset(&mut self, grid: &Grid) {
+        let (rows, cols) = (grid.rows() as i32, grid.cols() as i32);
+        let cells = (rows as usize) * (cols as usize);
+        if self.rows != rows || self.cols != cols || self.stamp.len() != cells {
+            self.rows = rows;
+            self.cols = cols;
+            self.stamp = vec![0; cells];
+            self.dist = vec![0; cells];
+            self.prev = vec![0; cells];
+            self.generation = 1;
+            return;
+        }
+        if self.generation == u32::MAX {
+            self.stamp.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+        self.reuses += 1;
+    }
+
+    #[inline]
+    fn index(&self, c: Coord) -> usize {
+        c.row as usize * self.cols as usize + c.col as usize
+    }
+
+    #[inline]
+    fn coord(&self, i: u32) -> Coord {
+        Coord::new(i as i32 / self.cols, i as i32 % self.cols)
+    }
+
+    #[inline]
+    fn visited(&self, i: usize) -> bool {
+        self.stamp[i] == self.generation
+    }
+
+    /// Bucket-queue Dijkstra, byte-identical to [`find_path`].
+    pub fn find_path(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        from: Coord,
+        to: Coord,
+        cost: &CostModel,
+    ) -> Option<Path> {
+        let ring = match usize::try_from(cost.penalty_weight) {
+            Ok(w) if w + 2 <= MAX_BUCKET_RING => w + 2,
+            // Penalty weights outside the small integer domain: the bucket
+            // ring would be huge, so use the seed search (same result).
+            _ => return find_path(grid, occ, from, to, cost),
+        };
+        if !grid.in_bounds(from) || !grid.in_bounds(to) {
+            return None;
+        }
+        if from == to {
+            return Some(Path {
+                cells: vec![from],
+                length: 0,
+                occupied: 0,
+                cost: 0,
+            });
+        }
+        self.reset(grid);
+        if self.buckets.len() < ring {
+            self.buckets.resize_with(ring, Vec::new);
+        }
+        let clear_to = self.last_ring.max(ring).min(self.buckets.len());
+        for b in &mut self.buckets[..clear_to] {
+            b.clear();
+        }
+        self.last_ring = ring;
+
+        let generation = self.generation;
+        let from_i = self.index(from) as u32;
+        let to_i = self.index(to) as u32;
+        self.stamp[from_i as usize] = generation;
+        self.dist[from_i as usize] = 0;
+        self.buckets[0].push(from_i);
+        let mut pending = 1usize;
+        let mut d: u64 = 0;
+        let mut batch: Vec<u32> = Vec::new();
+        let mut reached = false;
+
+        'levels: while pending > 0 {
+            let slot = (d % ring as u64) as usize;
+            if !self.buckets[slot].is_empty() {
+                std::mem::swap(&mut batch, &mut self.buckets[slot]);
+                // Seed heap order for equal distances is (row, col) — i.e.
+                // ascending row-major index.
+                batch.sort_unstable();
+                for &ui in &batch {
+                    pending -= 1;
+                    if ui == to_i {
+                        reached = true;
+                        break 'levels;
+                    }
+                    if self.dist[ui as usize] < d {
+                        continue; // superseded by a shorter push
+                    }
+                    let u = self.coord(ui);
+                    for v in u.neighbours() {
+                        if !grid.in_bounds(v) {
+                            continue;
+                        }
+                        if v != to && occ.is_blocked(v) {
+                            continue;
+                        }
+                        let step = 1 + if occ.is_occupied(v) {
+                            cost.penalty_weight
+                        } else {
+                            0
+                        };
+                        let nd = d + step;
+                        let vi = self.index(v);
+                        let dv = if self.visited(vi) {
+                            self.dist[vi]
+                        } else {
+                            u64::MAX
+                        };
+                        if nd < dv {
+                            self.stamp[vi] = generation;
+                            self.dist[vi] = nd;
+                            self.prev[vi] = ui;
+                            self.buckets[(nd % ring as u64) as usize].push(vi as u32);
+                            pending += 1;
+                        }
+                    }
+                }
+                batch.clear();
+            }
+            d += 1;
+        }
+        batch.clear();
+        // Leftover entries (early exit) must not leak into the next search.
+        for b in &mut self.buckets[..ring] {
+            b.clear();
+        }
+
+        if !reached && !self.visited(to_i as usize) {
+            return None;
+        }
+        let total = self.dist[to_i as usize];
+        let mut cells = vec![to];
+        let mut cur = to_i;
+        while cur != from_i {
+            cur = self.prev[cur as usize];
+            cells.push(self.coord(cur));
+        }
+        cells.reverse();
+        let occupied = cells[1..].iter().filter(|&&c| occ.is_occupied(c)).count() as u32;
+        Some(Path {
+            length: (cells.len() - 1) as u32,
+            occupied,
+            cost: total,
+            cells,
+        })
+    }
+
+    /// Arena-backed breadth-first search for the nearest free cell,
+    /// byte-identical to [`nearest_free_cell`]: the frontier queue and the
+    /// visited stamps are reused instead of re-scanned/re-allocated per
+    /// call.
+    pub fn nearest_free_cell(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        from: Coord,
+    ) -> Option<Coord> {
+        if !grid.in_bounds(from) {
+            return None;
+        }
+        self.reset(grid);
+        let generation = self.generation;
+        self.queue.clear();
+        let from_i = self.index(from) as u32;
+        self.stamp[from_i as usize] = generation;
+        self.queue.push_back(from_i);
+        while let Some(ui) = self.queue.pop_front() {
+            let u = self.coord(ui);
+            for v in u.neighbours() {
+                if !grid.in_bounds(v) {
+                    continue;
+                }
+                let vi = self.index(v);
+                if self.stamp[vi] == generation || occ.is_blocked(v) {
+                    continue;
+                }
+                if !occ.is_occupied(v) {
+                    return Some(v);
+                }
+                self.stamp[vi] = generation;
+                self.queue.push_back(vi as u32);
+            }
+        }
+        None
+    }
+
+    /// Arena-backed BFS push-chain to the nearest free cell (the core of
+    /// [`clear_cell_plan`]/[`space_search`]), byte-identical to the seed's
+    /// `path_to_nearest_free`.
+    fn chain_to_nearest_free(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        start: Coord,
+        avoid: &HashSet<Coord>,
+    ) -> Option<Vec<Coord>> {
+        self.reset(grid);
+        let generation = self.generation;
+        self.queue.clear();
+        for &a in avoid {
+            if grid.in_bounds(a) {
+                let i = self.index(a);
+                self.stamp[i] = generation;
+            }
+        }
+        let start_i = self.index(start) as u32;
+        self.stamp[start_i as usize] = generation;
+        self.queue.push_back(start_i);
+        while let Some(ui) = self.queue.pop_front() {
+            let u = self.coord(ui);
+            for v in u.neighbours() {
+                if !grid.in_bounds(v) {
+                    continue;
+                }
+                let vi = self.index(v);
+                if self.stamp[vi] == generation || occ.is_blocked(v) {
+                    continue;
+                }
+                self.prev[vi] = ui;
+                if !occ.is_occupied(v) {
+                    let mut path = vec![v];
+                    let mut cur = vi as u32;
+                    while cur != start_i {
+                        cur = self.prev[cur as usize];
+                        path.push(self.coord(cur));
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                self.stamp[vi] = generation;
+                self.queue.push_back(vi as u32);
+            }
+        }
+        None
+    }
+
+    /// Arena-backed [`clear_cell_plan`] (identical results).
+    pub fn clear_cell_plan(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        cell: Coord,
+        avoid: &HashSet<Coord>,
+    ) -> Option<Vec<(Coord, Coord)>> {
+        if !occ.is_occupied(cell) {
+            return None;
+        }
+        let chain = self.chain_to_nearest_free(grid, occ, cell, avoid)?;
+        Some(crate::space::moves_from_chain(&chain, occ))
+    }
+
+    /// Arena-backed [`space_search`] (identical results): the nearest-free
+    /// frontier is reused across the four neighbour probes instead of
+    /// re-allocating per-call scan state.
+    pub fn space_search(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        target: Coord,
+    ) -> Option<SpacePlan> {
+        let mut best: Option<SpacePlan> = None;
+        let mut avoid = HashSet::new();
+        avoid.insert(target);
+        for n in target.neighbours() {
+            if !grid.in_bounds(n) || occ.is_blocked(n) {
+                continue;
+            }
+            if !occ.is_occupied(n) {
+                return Some(SpacePlan {
+                    ancilla: n,
+                    clearing_moves: Vec::new(),
+                });
+            }
+            if let Some(chain) = self.chain_to_nearest_free(grid, occ, n, &avoid) {
+                let plan = SpacePlan {
+                    ancilla: n,
+                    clearing_moves: crate::space::moves_from_chain(&chain, occ),
+                };
+                if best.as_ref().is_none_or(|b| plan.cost() < b.cost()) {
+                    best = Some(plan);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Key of one cached path: the full-state digest plus the endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PathKey {
+    digest: u128,
+    from: Coord,
+    to: Coord,
+}
+
+/// A cache of shortest paths keyed on a compact occupancy digest.
+///
+/// # Invariants
+///
+/// * An entry is returned only for a key whose 128-bit digest covers the
+///   *entire* routing-relevant state: grid shape, penalty weight, the set
+///   of occupied cells, and the query's extra-blocked set. Any claim or
+///   release shifts the digest, so entries computed under a different
+///   state can never be served — the incremental invalidation.
+/// * Negative results (`None`: unreachable) are cached too.
+/// * The table never exceeds its capacity: inserting into a full table
+///   flushes it (counted as an invalidation), which is correctness-neutral
+///   because entries are pure functions of their keys.
+#[derive(Debug)]
+pub struct PathTable {
+    entries: HashMap<PathKey, Option<Path>>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl PathTable {
+    /// A table holding at most `capacity` paths.
+    pub fn new(capacity: usize) -> Self {
+        PathTable {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Cached entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn lookup(&mut self, key: PathKey) -> Option<Option<Path>> {
+        match self.entries.get(&key) {
+            Some(path) => {
+                self.hits += 1;
+                Some(path.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: PathKey, path: Option<Path>) {
+        if self.entries.len() >= self.capacity {
+            self.entries.clear();
+            self.invalidations += 1;
+        }
+        self.entries.insert(key, path);
+    }
+
+    /// Records a digest shift (cell claim/release): every entry under the
+    /// old digest is now unreachable.
+    fn invalidated(&mut self) {
+        self.invalidations += 1;
+    }
+}
+
+impl Default for PathTable {
+    fn default() -> Self {
+        Self::new(DEFAULT_PATH_TABLE_CAPACITY)
+    }
+}
+
+/// Which implementation a [`Router`] answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterMode {
+    /// Arena + bucket queue + path table (the production hot path).
+    Incremental,
+    /// The seed implementations, query for query — the baseline the
+    /// differential tests and benches compare against.
+    Reference,
+}
+
+/// Pluggable path/space planning — the seam that lets
+/// [`best_cnot_config`](crate::moves::best_cnot_config) run identically
+/// over the seed functions or a [`Router`].
+pub trait RoutePlanner {
+    /// Minimum-cost path from `from` to `to` (see [`find_path`]).
+    /// `digest` pins the occupancy + extra-blocked state of `occ` for
+    /// cache keying; implementations without a cache ignore it.
+    fn plan_path(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        digest: u128,
+        from: Coord,
+        to: Coord,
+    ) -> Option<Path>;
+
+    /// Cheapest free-ancilla plan around `target` (see [`space_search`]).
+    fn plan_space(&mut self, grid: &Grid, occ: &impl Occupancy, target: Coord)
+        -> Option<SpacePlan>;
+}
+
+/// The seed planner: allocates per query, no caching. This is the
+/// reference behaviour the incremental engine must reproduce.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedPlanner {
+    /// Pathfinding cost parameters.
+    pub cost: CostModel,
+}
+
+impl RoutePlanner for SeedPlanner {
+    fn plan_path(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        _digest: u128,
+        from: Coord,
+        to: Coord,
+    ) -> Option<Path> {
+        find_path(grid, occ, from, to, &self.cost)
+    }
+
+    fn plan_space(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        target: Coord,
+    ) -> Option<SpacePlan> {
+        space_search(grid, occ, target)
+    }
+}
+
+/// The incremental routing facade the compiler engine drives.
+///
+/// The router owns the [`SearchArena`] and [`PathTable`], maintains the
+/// live occupancy digest (callers report cell [`claim`](Router::claim)s
+/// and [`release`](Router::release)s), and counts its own activity. All
+/// query methods return results byte-identical to the corresponding seed
+/// functions; in [`RouterMode::Reference`] they *are* the seed functions.
+#[derive(Debug)]
+pub struct Router {
+    mode: RouterMode,
+    cost: CostModel,
+    arena: SearchArena,
+    table: PathTable,
+    /// Digest of the static search context: grid shape + penalty weight.
+    context_digest: u128,
+    /// Live XOR digest of the occupied-cell set.
+    occ_digest: u128,
+}
+
+impl Router {
+    /// A router for searches on `grid` under `cost`.
+    pub fn new(grid: &Grid, cost: CostModel, mode: RouterMode) -> Self {
+        let context = splitmix64(
+            (grid.rows() as u64) ^ (grid.cols() as u64).rotate_left(32) ^ cost.penalty_weight,
+        );
+        Router {
+            mode,
+            cost,
+            arena: SearchArena::new(),
+            table: PathTable::default(),
+            context_digest: ((context as u128) << 64) | splitmix64(context) as u128,
+            occ_digest: 0,
+        }
+    }
+
+    /// The router's mode.
+    pub fn mode(&self) -> RouterMode {
+        self.mode
+    }
+
+    /// The cost model queries run under.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Digest of the current occupancy state (context + occupied set).
+    /// Callers fold in [`blocked_set_digest`] of their extra-blocked set
+    /// to key a query.
+    pub fn state_digest(&self) -> u128 {
+        self.context_digest ^ self.occ_digest
+    }
+
+    /// Records that `c` now holds a data qubit. In [`RouterMode::Reference`]
+    /// nothing is cached, so no invalidation is counted.
+    pub fn claim(&mut self, c: Coord) {
+        self.occ_digest ^= occupied_token(c);
+        if self.mode == RouterMode::Incremental {
+            self.table.invalidated();
+        }
+    }
+
+    /// Records that `c` no longer holds a data qubit (see
+    /// [`Router::claim`]).
+    pub fn release(&mut self, c: Coord) {
+        self.occ_digest ^= occupied_token(c);
+        if self.mode == RouterMode::Incremental {
+            self.table.invalidated();
+        }
+    }
+
+    /// Minimum-cost path from `from` to `to`, answered from the path table
+    /// when the state digest matches a previous query.
+    pub fn find_path(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        digest: u128,
+        from: Coord,
+        to: Coord,
+    ) -> Option<Path> {
+        if self.mode == RouterMode::Reference {
+            return find_path(grid, occ, from, to, &self.cost);
+        }
+        let key = PathKey { digest, from, to };
+        if let Some(cached) = self.table.lookup(key) {
+            return cached;
+        }
+        let path = self.arena.find_path(grid, occ, from, to, &self.cost);
+        self.table.insert(key, path.clone());
+        path
+    }
+
+    /// Nearest free cell (see [`nearest_free_cell`]).
+    pub fn nearest_free_cell(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        from: Coord,
+    ) -> Option<Coord> {
+        match self.mode {
+            RouterMode::Reference => nearest_free_cell(grid, occ, from),
+            RouterMode::Incremental => self.arena.nearest_free_cell(grid, occ, from),
+        }
+    }
+
+    /// Push-chain plan freeing `cell` (see [`clear_cell_plan`]).
+    pub fn clear_cell_plan(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        cell: Coord,
+        avoid: &HashSet<Coord>,
+    ) -> Option<Vec<(Coord, Coord)>> {
+        match self.mode {
+            RouterMode::Reference => clear_cell_plan(grid, occ, cell, avoid),
+            RouterMode::Incremental => self.arena.clear_cell_plan(grid, occ, cell, avoid),
+        }
+    }
+
+    /// Cheapest free-ancilla plan around `target` (see [`space_search`]).
+    pub fn space_search(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        target: Coord,
+    ) -> Option<SpacePlan> {
+        match self.mode {
+            RouterMode::Reference => space_search(grid, occ, target),
+            RouterMode::Incremental => self.arena.space_search(grid, occ, target),
+        }
+    }
+
+    /// The router's activity so far.
+    pub fn counters(&self) -> RouteCounters {
+        RouteCounters {
+            arena_reuses: self.arena.reuses(),
+            table_hits: self.table.hits,
+            table_misses: self.table.misses,
+            table_invalidations: self.table.invalidations,
+        }
+    }
+}
+
+impl RoutePlanner for Router {
+    fn plan_path(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        digest: u128,
+        from: Coord,
+        to: Coord,
+    ) -> Option<Path> {
+        self.find_path(grid, occ, digest, from, to)
+    }
+
+    fn plan_space(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        target: Coord,
+    ) -> Option<SpacePlan> {
+        self.space_search(grid, occ, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftqc_arch::CellKind;
+
+    struct SetOcc {
+        blocked: HashSet<Coord>,
+        occupied: HashSet<Coord>,
+    }
+
+    impl Occupancy for SetOcc {
+        fn is_blocked(&self, c: Coord) -> bool {
+            self.blocked.contains(&c)
+        }
+        fn is_occupied(&self, c: Coord) -> bool {
+            self.occupied.contains(&c)
+        }
+    }
+
+    fn occ_of(occupied: &[Coord], blocked: &[Coord]) -> SetOcc {
+        SetOcc {
+            blocked: blocked.iter().copied().collect(),
+            occupied: occupied.iter().copied().collect(),
+        }
+    }
+
+    fn grid(rows: u32, cols: u32) -> Grid {
+        Grid::filled(rows, cols, CellKind::Bus)
+    }
+
+    /// Deterministic pseudo-random state for the in-crate sweeps.
+    fn lcg(seed: &mut u64) -> u64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    #[test]
+    fn arena_matches_seed_find_path_on_random_states() {
+        let mut seed = 0x5eed;
+        let mut arena = SearchArena::new();
+        for case in 0..200 {
+            let rows = 3 + (lcg(&mut seed) % 8) as u32;
+            let cols = 3 + (lcg(&mut seed) % 8) as u32;
+            let g = grid(rows, cols);
+            let mut occupied = Vec::new();
+            let mut blocked = Vec::new();
+            for c in g.coords() {
+                match lcg(&mut seed) % 10 {
+                    0..=2 => occupied.push(c),
+                    3 => blocked.push(c),
+                    _ => {}
+                }
+            }
+            let occ = occ_of(&occupied, &blocked);
+            let from = Coord::new(
+                (lcg(&mut seed) % rows as u64) as i32,
+                (lcg(&mut seed) % cols as u64) as i32,
+            );
+            let to = Coord::new(
+                (lcg(&mut seed) % rows as u64) as i32,
+                (lcg(&mut seed) % cols as u64) as i32,
+            );
+            let cost = CostModel {
+                penalty_weight: lcg(&mut seed) % 9,
+            };
+            let reference = find_path(&g, &occ, from, to, &cost);
+            let incremental = arena.find_path(&g, &occ, from, to, &cost);
+            assert_eq!(reference, incremental, "case {case}: {from} -> {to}");
+        }
+        assert!(arena.reuses() > 0, "same-shape searches reuse the arena");
+    }
+
+    #[test]
+    fn arena_matches_seed_bfs_helpers() {
+        let mut seed = 0xbf5;
+        let mut arena = SearchArena::new();
+        for _ in 0..200 {
+            let g = grid(6, 6);
+            let mut occupied = Vec::new();
+            let mut blocked = Vec::new();
+            for c in g.coords() {
+                match lcg(&mut seed) % 5 {
+                    0..=1 => occupied.push(c),
+                    2 => blocked.push(c),
+                    _ => {}
+                }
+            }
+            let occ = occ_of(&occupied, &blocked);
+            let at = Coord::new((lcg(&mut seed) % 6) as i32, (lcg(&mut seed) % 6) as i32);
+            assert_eq!(
+                nearest_free_cell(&g, &occ, at),
+                arena.nearest_free_cell(&g, &occ, at)
+            );
+            assert_eq!(space_search(&g, &occ, at), arena.space_search(&g, &occ, at));
+            let avoid: HashSet<Coord> = [at].into_iter().collect();
+            let cell = Coord::new((lcg(&mut seed) % 6) as i32, (lcg(&mut seed) % 6) as i32);
+            assert_eq!(
+                clear_cell_plan(&g, &occ, cell, &avoid),
+                arena.clear_cell_plan(&g, &occ, cell, &avoid)
+            );
+        }
+    }
+
+    #[test]
+    fn huge_penalty_falls_back_to_seed_search() {
+        let g = grid(5, 5);
+        let occ = occ_of(&[Coord::new(2, 2)], &[]);
+        let cost = CostModel {
+            penalty_weight: u64::MAX / 4,
+        };
+        let mut arena = SearchArena::new();
+        assert_eq!(
+            arena.find_path(&g, &occ, Coord::new(0, 0), Coord::new(4, 4), &cost),
+            find_path(&g, &occ, Coord::new(0, 0), Coord::new(4, 4), &cost),
+        );
+    }
+
+    #[test]
+    fn router_table_hits_on_identical_state() {
+        let g = grid(5, 5);
+        let occ = occ_of(&[Coord::new(1, 1)], &[]);
+        let mut router = Router::new(&g, CostModel::default(), RouterMode::Incremental);
+        let d = router.state_digest();
+        let a = router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(4, 4));
+        let b = router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(4, 4));
+        assert_eq!(a, b);
+        let c = router.counters();
+        assert_eq!(c.table_hits, 1);
+        assert_eq!(c.table_misses, 1);
+    }
+
+    #[test]
+    fn claim_release_shift_and_restore_the_digest() {
+        let g = grid(5, 5);
+        let mut router = Router::new(&g, CostModel::default(), RouterMode::Incremental);
+        let before = router.state_digest();
+        router.claim(Coord::new(2, 2));
+        assert_ne!(router.state_digest(), before, "claim shifts the digest");
+        router.release(Coord::new(2, 2));
+        assert_eq!(router.state_digest(), before, "release restores it");
+        assert_eq!(router.counters().table_invalidations, 2);
+    }
+
+    #[test]
+    fn stale_state_never_hits() {
+        // A freed cell changes the digest, so a query that would now find a
+        // shorter path is *not* answered from the old entry.
+        let g = grid(3, 3);
+        let wall = [Coord::new(1, 0), Coord::new(1, 1), Coord::new(1, 2)];
+        let mut occ = occ_of(&wall, &[]);
+        let mut router = Router::new(
+            &g,
+            CostModel { penalty_weight: 20 },
+            RouterMode::Incremental,
+        );
+        let d1 = router.state_digest();
+        let long = router
+            .find_path(&g, &occ, d1, Coord::new(0, 1), Coord::new(2, 1))
+            .expect("crosses the wall");
+        assert_eq!(long.occupied, 1);
+
+        occ.occupied.remove(&Coord::new(1, 1));
+        router.release(Coord::new(1, 1));
+        let d2 = router.state_digest();
+        assert_ne!(d1, d2);
+        let short = router
+            .find_path(&g, &occ, d2, Coord::new(0, 1), Coord::new(2, 1))
+            .expect("walks through the gap");
+        assert_eq!(short.occupied, 0);
+        assert_eq!(router.counters().table_hits, 0);
+    }
+
+    #[test]
+    fn blocked_set_digest_is_order_independent_and_cancels() {
+        let a = Coord::new(1, 2);
+        let b = Coord::new(3, 4);
+        let ab: HashSet<Coord> = [a, b].into_iter().collect();
+        let ba: HashSet<Coord> = [b, a].into_iter().collect();
+        assert_eq!(blocked_set_digest(&ab), blocked_set_digest(&ba));
+        assert_ne!(blocked_set_digest(&ab), 0);
+        assert_eq!(
+            blocked_set_digest(&ab) ^ blocked_token(a) ^ blocked_token(b),
+            0
+        );
+        // Domain separation: blocked and occupied tokens differ.
+        assert_ne!(blocked_token(a), occupied_token(a));
+    }
+
+    #[test]
+    fn table_flush_at_capacity_keeps_answers_correct() {
+        let g = grid(4, 4);
+        let occ = occ_of(&[], &[]);
+        let mut router = Router::new(&g, CostModel::default(), RouterMode::Incremental);
+        router.table = PathTable::new(2);
+        let d = router.state_digest();
+        let mut answers = Vec::new();
+        for c in g.coords() {
+            answers.push(router.find_path(&g, &occ, d, Coord::new(0, 0), c));
+        }
+        for (c, cached) in g.coords().zip(&answers) {
+            let fresh = find_path(&g, &occ, Coord::new(0, 0), c, &CostModel::default());
+            assert_eq!(cached, &fresh);
+        }
+        assert!(router.table.len() <= 2);
+    }
+
+    #[test]
+    fn reference_mode_has_no_table_activity() {
+        let g = grid(4, 4);
+        let occ = occ_of(&[], &[]);
+        let mut router = Router::new(&g, CostModel::default(), RouterMode::Reference);
+        let d = router.state_digest();
+        router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(3, 3));
+        router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(3, 3));
+        let c = router.counters();
+        assert_eq!(c.table_hits + c.table_misses, 0);
+        assert_eq!(c.arena_reuses, 0);
+    }
+
+    #[test]
+    fn counters_merge_fieldwise() {
+        let a = RouteCounters {
+            arena_reuses: 1,
+            table_hits: 2,
+            table_misses: 3,
+            table_invalidations: 4,
+        };
+        let b = RouteCounters {
+            arena_reuses: 10,
+            table_hits: 20,
+            table_misses: 30,
+            table_invalidations: 40,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.arena_reuses, 11);
+        assert_eq!(m.table_hits, 22);
+        assert_eq!(m.table_misses, 33);
+        assert_eq!(m.table_invalidations, 44);
+        assert!((m.hit_ratio() - 22.0 / 55.0).abs() < 1e-12);
+        assert_eq!(RouteCounters::default().hit_ratio(), 0.0);
+    }
+}

@@ -15,11 +15,22 @@
 //!
 //! All three operate on an [`Occupancy`] view supplied by the compiler, so
 //! the heuristics stay independent of the scheduler's internal state.
+//!
+//! The [`incremental`] module layers a production hot path on top: a
+//! reusable generation-stamped [`SearchArena`], a digest-keyed
+//! [`PathTable`], and the [`Router`] facade the compiler engine drives —
+//! all pinned byte-identical to the seed functions by a differential test
+//! harness.
 
 pub mod dijkstra;
+pub mod incremental;
 pub mod moves;
 pub mod space;
 
 pub use dijkstra::{find_path, CostModel, Occupancy, Path};
-pub use moves::{best_cnot_config, CnotConfig};
+pub use incremental::{
+    blocked_set_digest, PathTable, RouteCounters, RoutePlanner, Router, RouterMode, SearchArena,
+    SeedPlanner,
+};
+pub use moves::{best_cnot_config, best_cnot_config_with, CnotConfig};
 pub use space::{clear_cell_plan, nearest_free_cell, space_search, SpacePlan};

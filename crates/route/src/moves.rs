@@ -9,8 +9,8 @@
 //! returning the cheapest. With look-ahead disabled (the ablation of
 //! DESIGN.md §7) the first feasible configuration is taken instead.
 
-use crate::dijkstra::{find_path, CostModel, Occupancy, Path};
-use crate::space::space_search;
+use crate::dijkstra::{CostModel, Occupancy, Path};
+use crate::incremental::{RoutePlanner, SeedPlanner};
 use ftqc_arch::{cnot_ancilla, Coord, Grid};
 use serde::{Deserialize, Serialize};
 
@@ -68,12 +68,37 @@ pub fn best_cnot_config(
     cost: &CostModel,
     lookahead: bool,
 ) -> Option<CnotConfig> {
+    best_cnot_config_with(
+        &mut SeedPlanner { cost: *cost },
+        grid,
+        occ,
+        0,
+        control,
+        target,
+        lookahead,
+    )
+}
+
+/// [`best_cnot_config`] over a pluggable [`RoutePlanner`] — the same
+/// candidate enumeration and scoring, with every path/space query routed
+/// through `planner` (so the incremental engine's arena and path table are
+/// exercised with *identical* control flow to the seed search). `digest`
+/// pins the occupancy state of `occ` for planners that cache.
+pub fn best_cnot_config_with<P: RoutePlanner>(
+    planner: &mut P,
+    grid: &Grid,
+    occ: &impl Occupancy,
+    digest: u128,
+    control: Coord,
+    target: Coord,
+    lookahead: bool,
+) -> Option<CnotConfig> {
     // Already diagonal: only the ancilla needs attention.
     if control.is_diagonal(target) {
         let ancilla = cnot_ancilla(control, target).expect("diagonal pair has an ancilla");
         if grid.in_bounds(ancilla) && !occ.is_blocked(ancilla) {
             let clearing = if occ.is_occupied(ancilla) {
-                space_search(grid, occ, ancilla).map(|p| {
+                planner.plan_space(grid, occ, ancilla).map(|p| {
                     // Clear the ancilla cell itself: push its occupant away.
                     let mut moves = p.clearing_moves;
                     moves.push((ancilla, p.ancilla));
@@ -134,12 +159,12 @@ pub fn best_cnot_config(
             if ancilla == c_pos || ancilla == t_pos {
                 continue;
             }
-            let route = match find_path(grid, occ, moving_from, dest, cost) {
+            let route = match planner.plan_path(grid, occ, digest, moving_from, dest) {
                 Some(p) => p,
                 None => continue,
             };
             let ancilla_clearing = if occ.is_occupied(ancilla) {
-                match space_search(grid, occ, ancilla) {
+                match planner.plan_space(grid, occ, ancilla) {
                     Some(plan) => {
                         let mut moves = plan.clearing_moves;
                         moves.push((ancilla, plan.ancilla));

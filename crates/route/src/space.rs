@@ -57,6 +57,20 @@ pub fn nearest_free_cell(grid: &Grid, occ: &impl Occupancy, from: Coord) -> Opti
     None
 }
 
+/// Turns a BFS chain `start..=free_cell` into clearing moves, farthest
+/// occupant first, so every move's destination is free when it executes.
+/// Shared by the seed searches and the arena-backed incremental variants —
+/// a semantic change here applies to both engines at once.
+pub(crate) fn moves_from_chain(chain: &[Coord], occ: &impl Occupancy) -> Vec<(Coord, Coord)> {
+    let mut moves = Vec::with_capacity(chain.len().saturating_sub(1));
+    for i in (0..chain.len().saturating_sub(1)).rev() {
+        if occ.is_occupied(chain[i]) {
+            moves.push((chain[i], chain[i + 1]));
+        }
+    }
+    moves
+}
+
 /// Shortest push-chain from `start` to the nearest free cell, avoiding
 /// `avoid` cells. Returns the BFS path `start..=free_cell`.
 fn path_to_nearest_free(
@@ -112,13 +126,7 @@ pub fn clear_cell_plan(
         return None;
     }
     let chain = path_to_nearest_free(grid, occ, cell, avoid)?;
-    let mut moves = Vec::with_capacity(chain.len() - 1);
-    for i in (0..chain.len() - 1).rev() {
-        if occ.is_occupied(chain[i]) {
-            moves.push((chain[i], chain[i + 1]));
-        }
-    }
-    Some(moves)
+    Some(moves_from_chain(&chain, occ))
 }
 
 /// Finds the cheapest way to obtain a free ancilla cell adjacent to
@@ -146,17 +154,9 @@ pub fn space_search(grid: &Grid, occ: &impl Occupancy, target: Coord) -> Option<
             });
         }
         if let Some(chain) = path_to_nearest_free(grid, occ, n, &avoid) {
-            // Push occupants along the chain, farthest first, so every move's
-            // destination is free when it executes.
-            let mut moves = Vec::with_capacity(chain.len() - 1);
-            for i in (0..chain.len() - 1).rev() {
-                if occ.is_occupied(chain[i]) {
-                    moves.push((chain[i], chain[i + 1]));
-                }
-            }
             let plan = SpacePlan {
                 ancilla: n,
-                clearing_moves: moves,
+                clearing_moves: moves_from_chain(&chain, occ),
             };
             if best.as_ref().is_none_or(|b| plan.cost() < b.cost()) {
                 best = Some(plan);

@@ -6,7 +6,7 @@
 //! [`ftqc_service::CacheStats`] at render time, so the numbers can never
 //! drift from what the cache itself reports.
 
-use ftqc_compiler::{Stage, StageCacheStats};
+use ftqc_compiler::{RouteCounters, Stage, StageCacheStats};
 use ftqc_service::CacheStats;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -160,12 +160,14 @@ impl ServerMetrics {
 
     /// Renders the Prometheus text exposition: request/error counts and
     /// latency sums per endpoint, the in-flight gauge, connection counters,
-    /// job outcomes, the shared cache's live counters, and the stage
-    /// cache's per-stage hit/miss counters.
+    /// job outcomes, the shared cache's live counters, the stage cache's
+    /// per-stage hit/miss counters, and the incremental router's cumulative
+    /// arena/path-table counters.
     pub fn render_prometheus(
         &self,
         cache: &CacheStats,
         stages: &StageCacheStats,
+        route: &RouteCounters,
         uptime: std::time::Duration,
     ) -> String {
         let mut out = String::with_capacity(2048);
@@ -303,6 +305,32 @@ impl ServerMetrics {
                 );
             }
         }
+        let route_counters: [(&str, &str, u64); 4] = [
+            (
+                "ftqc_route_arena_reuses_total",
+                "Router searches that reused the per-compile search arena.",
+                route.arena_reuses,
+            ),
+            (
+                "ftqc_route_table_hits_total",
+                "Path queries answered from the digest-keyed path table.",
+                route.table_hits,
+            ),
+            (
+                "ftqc_route_table_misses_total",
+                "Path queries that ran a search.",
+                route.table_misses,
+            ),
+            (
+                "ftqc_route_table_invalidations_total",
+                "Incremental path-table invalidations (cell claims/releases).",
+                route.table_invalidations,
+            ),
+        ];
+        for (name, help, value) in route_counters {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
         out
     }
 }
@@ -372,7 +400,13 @@ mod tests {
             },
             ..StageCacheStats::default()
         };
-        let text = m.render_prometheus(&cache, &stages, Duration::from_secs(42));
+        let route = RouteCounters {
+            arena_reuses: 17,
+            table_hits: 4,
+            table_misses: 13,
+            table_invalidations: 29,
+        };
+        let text = m.render_prometheus(&cache, &stages, &route, Duration::from_secs(42));
         assert!(text.contains("ftqc_http_requests_total{endpoint=\"compile\"} 2"));
         assert!(text.contains("ftqc_http_errors_total{endpoint=\"batch\"} 1"));
         assert!(text.contains("ftqc_http_latency_micros_total{endpoint=\"compile\"} 200"));
@@ -387,6 +421,10 @@ mod tests {
         assert!(text.contains("ftqc_stage_cache_hits_total{stage=\"map\"} 5"));
         assert!(text.contains("ftqc_stage_cache_misses_total{stage=\"map\"} 2"));
         assert!(text.contains("ftqc_stage_cache_hits_total{stage=\"prepare\"} 0"));
+        assert!(text.contains("ftqc_route_arena_reuses_total 17"));
+        assert!(text.contains("ftqc_route_table_hits_total 4"));
+        assert!(text.contains("ftqc_route_table_misses_total 13"));
+        assert!(text.contains("ftqc_route_table_invalidations_total 29"));
         // Every exposed family carries HELP/TYPE lines.
         assert_eq!(
             text.lines().filter(|l| l.starts_with("# HELP")).count(),

@@ -430,6 +430,7 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
             state.metrics.render_prometheus(
                 &state.cache.stats(),
                 &state.stages.stats(),
+                &state.stages.route_stats(),
                 state.started.elapsed(),
             ),
         ),
@@ -680,7 +681,8 @@ fn handle_targets(state: &AppState) -> HandlerResult {
 }
 
 /// `GET /v1/cache/stats`: the shared cache's counters, the memory tier's
-/// current entry count, and the stage cache's per-stage counters.
+/// current entry count, the stage cache's per-stage counters, and the
+/// incremental router's cumulative arena/path-table counters.
 fn handle_cache_stats(state: &AppState) -> HandlerResult {
     let mut doc = match state.cache.stats().to_json() {
         Value::Obj(fields) => fields,
@@ -688,6 +690,10 @@ fn handle_cache_stats(state: &AppState) -> HandlerResult {
     };
     doc.push(("entries".into(), Value::Num(state.cache.len() as f64)));
     doc.push(("stages".into(), state.stages.stats().to_json()));
+    doc.push((
+        "router".into(),
+        ftqc_compiler::route_counters_to_json(&state.stages.route_stats()),
+    ));
     (200, "application/json", versioned(Value::Obj(doc)).render())
 }
 
@@ -1107,6 +1113,8 @@ mod tests {
         assert!(body.contains("\"entries\":0"));
         assert!(body.contains("\"stages\""), "got {body}");
         assert!(body.contains("\"prepare\""), "got {body}");
+        assert!(body.contains("\"router\""), "got {body}");
+        assert!(body.contains("\"arena_reuses\":0"), "got {body}");
 
         state
             .metrics

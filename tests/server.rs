@@ -413,6 +413,99 @@ fn staged_requests_and_per_stage_counters_over_loopback() {
 }
 
 #[test]
+fn router_counters_over_loopback() {
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr.clone());
+
+    // Four T gates on one stationary qubit: the delivery corridor query
+    // repeats under an unchanged occupancy digest, so the router's path
+    // table must hit on every repeat within a compile.
+    let qasm =
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[4];\nt q[2];\nt q[2];\nt q[2];\nt q[2];\n";
+    let source = CircuitSource::QasmInline { qasm: qasm.into() };
+    let job = |id: &str, r: u32| {
+        CompileJob::new(
+            id,
+            source.clone(),
+            CompilerOptions::default().routing_paths(r),
+        )
+    };
+
+    let served_router = || {
+        use std::io::Write as _;
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"GET /v1/cache/stats HTTP/1.1\r\nhost: x\r\n\r\n")
+            .expect("send");
+        let response = ftqc::server::http::read_response(&mut stream).expect("response");
+        let doc = ftqc::service::Value::parse(response.body_str().expect("utf8")).expect("json");
+        ftqc::compiler::route_counters_from_json(doc.get("router").expect("router object"))
+            .expect("router counters decode")
+    };
+
+    // Known compile mix: two jobs that both route (different map keys).
+    let first = client.compile(&job("r4", 4)).expect("first compile");
+    assert!(first.is_ok(), "got {:?}", first.status);
+    let second = client.compile(&job("r3", 3)).expect("second compile");
+    assert!(second.is_ok());
+    let m1 = first.metrics.as_ref().expect("metrics").route;
+    let m2 = second.metrics.as_ref().expect("metrics").route;
+    assert!(m1.table_hits >= 3, "repeat deliveries hit in-job: {m1:?}");
+    assert!(m2.table_hits >= 3, "got {m2:?}");
+
+    // /v1/cache/stats exposes exactly the mix's cumulative counters.
+    let after_two = served_router();
+    assert_eq!(
+        after_two,
+        m1.merged(m2),
+        "served router counters must equal the sum over the compile mix"
+    );
+
+    // A *repeat* of the same job answers from the cache without routing —
+    // the counters stand still, which is the point of the stage cache…
+    let repeat = client.compile(&job("r4", 4)).expect("repeat compile");
+    assert!(repeat.provenance.is_hit(), "got {:?}", repeat.provenance);
+    assert_eq!(
+        repeat.metrics.as_ref().expect("metrics").route,
+        m1,
+        "cached metrics carry the original compile's router counters"
+    );
+    assert_eq!(served_router(), m1.merged(m2));
+
+    // …while a third routed compile grows them, with fresh table hits.
+    let third = client.compile(&job("r5", 5)).expect("third compile");
+    assert!(third.is_ok());
+    let m3 = third.metrics.as_ref().expect("metrics").route;
+    assert!(m3.table_hits >= 3, "got {m3:?}");
+    let after_three = served_router();
+    assert_eq!(after_three, m1.merged(m2).merged(m3));
+    assert!(after_three.table_hits > after_two.table_hits);
+
+    // /metrics renders the same cumulative counters as Prometheus text.
+    let metrics_text = client.metrics_text().expect("metrics");
+    for line in [
+        format!("ftqc_route_table_hits_total {}", after_three.table_hits),
+        format!("ftqc_route_table_misses_total {}", after_three.table_misses),
+        format!(
+            "ftqc_route_table_invalidations_total {}",
+            after_three.table_invalidations
+        ),
+        format!("ftqc_route_arena_reuses_total {}", after_three.arena_reuses),
+    ] {
+        assert!(
+            metrics_text.lines().any(|l| l == line),
+            "missing {line:?} in:\n{metrics_text}"
+        );
+    }
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
 fn server_rejects_nonsense_gracefully() {
     let (addr, handle, thread) = spawn_server(ServerConfig {
         workers: 1,

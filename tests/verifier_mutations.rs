@@ -218,6 +218,119 @@ fn factory_overrun_is_caught() {
     assert!(verify(&bad, &TimingModel::paper()).is_err());
 }
 
+/// A testbed with two magic deliveries to *different* delivery cells —
+/// the shape the incremental-router mutants below need.
+fn magic_testbed() -> CompiledProgram {
+    let mut c = Circuit::new(9);
+    c.t(0).t(5);
+    let p = Compiler::new(CompilerOptions::default().routing_paths(4).factories(1))
+        .compile(&c)
+        .expect("compiles");
+    verify(&p, &TimingModel::paper()).expect("clean program verifies");
+    p
+}
+
+/// Indices of every DeliverMagic in the schedule.
+fn deliveries(p: &CompiledProgram) -> Vec<usize> {
+    p.schedule()
+        .items()
+        .iter()
+        .enumerate()
+        .filter(|(_, it)| matches!(it.op.op, SurgeryOp::DeliverMagic { .. }))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[test]
+fn stale_path_table_entry_is_caught() {
+    // Simulates the incremental router serving a *stale* PathTable entry:
+    // a cached corridor computed for a different query is spliced into a
+    // delivery, so it no longer ends at the cell the consumption reads.
+    let p = magic_testbed();
+    let ds = deliveries(&p);
+    assert!(ds.len() >= 2, "testbed has two deliveries");
+    let (a, b) = (ds[0], ds[1]);
+    let path_of = |i: usize| match &p.schedule().items()[i].op.op {
+        SurgeryOp::DeliverMagic { path } => path.clone(),
+        _ => unreachable!(),
+    };
+    assert_ne!(
+        path_of(a).last(),
+        path_of(b).last(),
+        "the two deliveries end at different cells"
+    );
+    let bad = mutate(&p, |items| {
+        let (pa, pb) = (path_of(a), path_of(b));
+        items[a].op.op = SurgeryOp::DeliverMagic { path: pb };
+        items[b].op.op = SurgeryOp::DeliverMagic { path: pa };
+    });
+    let err = verify(&bad, &TimingModel::paper()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ftqc::compiler::VerifyError::UnfedMagic { .. }
+                | ftqc::compiler::VerifyError::ResourceConflict { .. }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn skipped_invalidation_reroute_is_caught() {
+    // Simulates a *skipped invalidation*: the router kept a corridor that
+    // crosses cells another operation has since claimed, so the delivery
+    // runs straight through a concurrently reserved cell.
+    let p = magic_testbed();
+    let d = deliveries(&p)[0];
+    // A busy multi-cell op to collide with: the magic consumption itself
+    // (it holds the target and magic cells while it runs).
+    let consume = find(&p, |op| matches!(op, SurgeryOp::ConsumeMagic { .. }));
+    let (target, magic) = match &p.schedule().items()[consume].op.op {
+        SurgeryOp::ConsumeMagic { target, magic } => (*target, *magic),
+        _ => unreachable!(),
+    };
+    assert!(target.is_adjacent(magic), "consume cells are adjacent");
+    let start = p.schedule().items()[consume].start;
+    let bad = mutate(&p, |items| {
+        items[d].op.op = SurgeryOp::DeliverMagic {
+            path: vec![magic, target],
+        };
+        items[d].start = start;
+    });
+    let err = verify(&bad, &TimingModel::paper()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ftqc::compiler::VerifyError::ResourceConflict { .. }
+                | ftqc::compiler::VerifyError::UnfedMagic { .. }
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn wrong_generation_stamp_path_is_caught() {
+    // Simulates a *wrong generation stamp*: parent pointers left over from
+    // a previous search leak into path reconstruction, producing a
+    // spliced, non-contiguous corridor.
+    let p = magic_testbed();
+    let d = deliveries(&p)[0];
+    let bad = mutate(&p, |items| {
+        if let SurgeryOp::DeliverMagic { path } = &mut items[d].op.op {
+            let first = path[0];
+            // A cell two steps away can never be adjacent to the first:
+            // the reconstructed chain visibly jumps between generations.
+            let jump = Coord::new(first.row + 2, first.col);
+            *path = vec![first, jump];
+        }
+    });
+    let err = verify(&bad, &TimingModel::paper()).unwrap_err();
+    assert!(
+        matches!(err, ftqc::compiler::VerifyError::InvalidPlacement { .. }),
+        "got {err}"
+    );
+}
+
 #[test]
 fn wrong_policy_count_is_caught() {
     let (c, p) = testbed();
