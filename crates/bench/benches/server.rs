@@ -93,6 +93,7 @@ fn bench_http_round_trip(c: &mut Criterion) {
         metrics: Some(hit.value),
         provenance: ftqc_service::CacheProvenance::MemoryHit,
         micros: 42,
+        queue_micros: 0,
         stage: None,
     };
     group.bench_function("serialize_response", |b| {
@@ -143,6 +144,7 @@ fn bench_http_round_trip(c: &mut Criterion) {
                 metrics: Some(hit.value),
                 provenance: ftqc_service::CacheProvenance::MemoryHit,
                 micros: 0,
+                queue_micros: 0,
                 stage: None,
             };
             let body = result.to_json().render();

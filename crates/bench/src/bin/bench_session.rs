@@ -23,7 +23,8 @@
 
 use ftqc_arch::TargetRegistry;
 use ftqc_bench::report::{
-    check_regression, median_micros, summarise_stages, CaseReport, RoutingReport, SessionReport,
+    check_regression, median_micros, summarise_stages, CaseReport, LatencyPercentiles,
+    RoutingReport, SessionReport,
 };
 use ftqc_bench::Table;
 use ftqc_compiler::{
@@ -120,8 +121,9 @@ fn bench_routing(spec: &str, iters: u64) -> Result<RoutingReport, String> {
         circuit: spec.to_string(),
         iterations: iters,
         reference_median_micros: median_micros(reference_samples),
-        incremental_median_micros: median_micros(incremental_samples),
+        incremental_median_micros: median_micros(incremental_samples.clone()),
         incremental_min_micros,
+        incremental_percentiles: LatencyPercentiles::from_samples(incremental_samples),
         route: incremental.route,
     })
 }
@@ -160,6 +162,8 @@ fn main() {
         "stage",
         "samples",
         "median µs",
+        "p95 µs",
+        "p99 µs",
         "hits",
         "hit ratio",
     ]);
@@ -182,6 +186,8 @@ fn main() {
                 s.stage.name().to_string(),
                 s.samples.to_string(),
                 s.median_micros.to_string(),
+                s.percentiles.p95.to_string(),
+                s.percentiles.p99.to_string(),
                 s.cached.to_string(),
                 format!("{:.2}", s.hit_ratio()),
             ]);
@@ -202,12 +208,14 @@ fn main() {
     };
     println!(
         "\nrouting hot path ({}, {} iters): reference {}µs -> incremental {}µs ({:.2}x), \
-         {} arena reuses, path table {}/{} hits",
+         p95 {}µs, p99 {}µs, {} arena reuses, path table {}/{} hits",
         routing.circuit,
         routing.iterations,
         routing.reference_median_micros,
         routing.incremental_median_micros,
         routing.speedup(),
+        routing.incremental_percentiles.p95,
+        routing.incremental_percentiles.p99,
         routing.route.arena_reuses,
         routing.route.table_hits,
         routing.route.table_hits + routing.route.table_misses,

@@ -21,6 +21,50 @@ pub fn median_micros(mut samples: Vec<u64>) -> u64 {
     samples[(samples.len() - 1) / 2]
 }
 
+/// Exact nearest-rank percentiles over a raw sample set. Unlike the
+/// server's log₂ histograms (which trade resolution for lock-free
+/// accumulation), the bench holds every sample, so these are computed
+/// from the sorted raw data with no bucketing error.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyPercentiles {
+    /// 50th percentile (lower-middle for even counts, matching
+    /// [`median_micros`]).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl LatencyPercentiles {
+    /// Computes the percentiles from raw samples (all zero when empty).
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let at = |q: f64| {
+            let rank = (q * samples.len() as f64).ceil() as usize;
+            samples[rank.saturating_sub(1).min(samples.len() - 1)]
+        };
+        LatencyPercentiles {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+        }
+    }
+}
+
+impl ToJson for LatencyPercentiles {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("p50_micros".into(), num(self.p50)),
+            ("p95_micros".into(), num(self.p95)),
+            ("p99_micros".into(), num(self.p99)),
+        ])
+    }
+}
+
 /// One pipeline stage's aggregate over a bench run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageSummary {
@@ -30,6 +74,8 @@ pub struct StageSummary {
     pub samples: u64,
     /// Median wall-clock microseconds per event.
     pub median_micros: u64,
+    /// Exact tail percentiles over the raw per-event timings.
+    pub percentiles: LatencyPercentiles,
     /// Events answered from the stage cache.
     pub cached: u64,
 }
@@ -51,6 +97,7 @@ impl ToJson for StageSummary {
             ("stage".into(), Value::Str(self.stage.name().into())),
             ("samples".into(), num(self.samples)),
             ("median_micros".into(), num(self.median_micros)),
+            ("percentiles".into(), self.percentiles.to_json()),
             ("cached".into(), num(self.cached)),
             ("hit_ratio".into(), Value::Num(self.hit_ratio())),
         ])
@@ -64,10 +111,12 @@ pub fn summarise_stages(events: &[StageEvent]) -> Vec<StageSummary> {
         .iter()
         .map(|&stage| {
             let of_stage: Vec<&StageEvent> = events.iter().filter(|e| e.stage == stage).collect();
+            let micros: Vec<u64> = of_stage.iter().map(|e| e.micros).collect();
             StageSummary {
                 stage,
                 samples: of_stage.len() as u64,
-                median_micros: median_micros(of_stage.iter().map(|e| e.micros).collect()),
+                median_micros: median_micros(micros.clone()),
+                percentiles: LatencyPercentiles::from_samples(micros),
                 cached: of_stage.iter().filter(|e| e.cached).count() as u64,
             }
         })
@@ -114,6 +163,10 @@ pub struct RoutingReport {
     /// noise only ever *adds* time, so the minimum is the noise-robust
     /// statistic the regression gate confirms a median excursion against.
     pub incremental_min_micros: u64,
+    /// Exact tail percentiles over the incremental map-stage samples.
+    /// Recorded for the trajectory only — the regression gate reads the
+    /// median/minimum/speedup, so baselines without these still check.
+    pub incremental_percentiles: LatencyPercentiles,
     /// The incremental router's counters for one representative run.
     pub route: RouteCounters,
 }
@@ -147,6 +200,10 @@ impl ToJson for RoutingReport {
             (
                 "incremental_min_micros".into(),
                 num(self.incremental_min_micros),
+            ),
+            (
+                "incremental_percentiles".into(),
+                self.incremental_percentiles.to_json(),
             ),
             ("speedup".into(), Value::Num(self.speedup())),
             (
@@ -281,6 +338,25 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        assert_eq!(
+            LatencyPercentiles::from_samples(vec![]),
+            LatencyPercentiles::default()
+        );
+        let one = LatencyPercentiles::from_samples(vec![7]);
+        assert_eq!((one.p50, one.p95, one.p99), (7, 7, 7));
+        // 1..=100: nearest-rank percentiles are the literal ranks.
+        let p = LatencyPercentiles::from_samples((1..=100).rev().collect());
+        assert_eq!((p.p50, p.p95, p.p99), (50, 95, 99));
+        // Even counts take the lower middle, agreeing with median_micros.
+        let four = vec![4, 1, 9, 5];
+        assert_eq!(
+            LatencyPercentiles::from_samples(four.clone()).p50,
+            median_micros(four)
+        );
+    }
+
+    #[test]
     fn summarise_groups_by_stage() {
         let events = vec![
             StageEvent {
@@ -331,6 +407,11 @@ mod tests {
                 reference_median_micros: 9000,
                 incremental_median_micros: 3000,
                 incremental_min_micros: 2800,
+                incremental_percentiles: LatencyPercentiles {
+                    p50: 3000,
+                    p95: 3400,
+                    p99: 3500,
+                },
                 route: RouteCounters::default(),
             }),
         };
@@ -343,6 +424,8 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("\"speedup\":3"), "{rendered}");
+        assert!(rendered.contains("\"p95_micros\":3400"), "{rendered}");
+        assert!(rendered.contains("\"percentiles\""), "{rendered}");
 
         let dir = std::env::temp_dir().join("ftqc-bench-report-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -362,6 +445,7 @@ mod tests {
             reference_median_micros: 9000,
             incremental_median_micros: 1200,
             incremental_min_micros: 1150,
+            incremental_percentiles: LatencyPercentiles::default(),
             route: RouteCounters::default(),
         };
         let baseline = |micros: u64| {
@@ -418,6 +502,41 @@ mod tests {
     }
 
     #[test]
+    fn gate_tolerates_baselines_without_percentiles() {
+        // The percentile fields are trajectory data, not gate inputs: a
+        // checked-in baseline written before they existed must still
+        // check cleanly, and one written after must not behave
+        // differently. Both documents here carry the same gate fields.
+        let current = RoutingReport {
+            circuit: "ghz".into(),
+            iterations: 5,
+            reference_median_micros: 9000,
+            incremental_median_micros: 1200,
+            incremental_min_micros: 1150,
+            incremental_percentiles: LatencyPercentiles {
+                p50: 1200,
+                p95: 1900,
+                p99: 2000,
+            },
+            route: RouteCounters::default(),
+        };
+        let old = Value::parse(
+            "{\"routing\":{\"incremental_median_micros\":1100,\
+             \"incremental_min_micros\":1100,\"speedup\":7.5}}",
+        )
+        .unwrap();
+        let new = Value::parse(
+            "{\"routing\":{\"incremental_median_micros\":1100,\
+             \"incremental_min_micros\":1100,\"speedup\":7.5,\
+             \"incremental_percentiles\":{\"p50_micros\":1100,\
+             \"p95_micros\":1150,\"p99_micros\":1160}}}",
+        )
+        .unwrap();
+        check_regression(&current, &old, 0.15).expect("percentile-less baseline checks");
+        check_regression(&current, &new, 0.15).expect("percentile-carrying baseline checks");
+    }
+
+    #[test]
     fn speedup_is_reference_over_incremental() {
         let r = RoutingReport {
             circuit: "ghz".into(),
@@ -425,6 +544,7 @@ mod tests {
             reference_median_micros: 10,
             incremental_median_micros: 4,
             incremental_min_micros: 4,
+            incremental_percentiles: LatencyPercentiles::default(),
             route: RouteCounters::default(),
         };
         assert!((r.speedup() - 2.5).abs() < 1e-12);

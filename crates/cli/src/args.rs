@@ -58,6 +58,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "parallel",
     "json",
     "explain",
+    "trace",
 ];
 
 /// Parses a raw argument list (without the program name).

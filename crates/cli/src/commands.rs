@@ -25,6 +25,7 @@ use ftqc_service::{
     fingerprint, render_results, BatchConfig, BatchService, CacheProvenance, CompileCache,
     CompileJob, JobResult, JobStatus, SharedCache, TargetRef,
 };
+use ftqc_telemetry::{render_span_tree, ActiveTrace, StageSpanHook, TraceId};
 use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
@@ -136,6 +137,8 @@ COMMANDS
                                      print the per-stage fingerprint report
                        --explain     full compile plus per-stage timing /
                                      fingerprint / cache-provenance table
+                       --trace       full compile plus the request span tree
+                                     (per-stage durations and self-times)
   explore <circuit>    sweep the design space
                        --r LO..HI (default 2..8), --factories LO..HI (default 1..4)
                        --pareto yes|no  print only the Pareto front (default no)
@@ -170,8 +173,9 @@ COMMANDS
                        --cache-capacity N  memory-tier entries (default 4096)
                        --out FILE       write results as JSON-lines
   serve                run the HTTP compile server (POST /v1/compile,
-                       /v1/batch, /v1/sweep; GET /v1/cache/stats, /healthz,
-                       /metrics); Ctrl-C drains and persists the cache
+                       /v1/batch, /v1/sweep; GET /v1/cache/stats, /v1/traces,
+                       /v1/trace/<id>, /healthz, /metrics); Ctrl-C drains
+                       and persists the cache
                        --addr HOST:PORT (default 127.0.0.1:7070; port 0
                                          picks an ephemeral port)
                        --workers N      worker threads (default: all cores)
@@ -185,10 +189,15 @@ COMMANDS
                                            or probe the server's stage cache)
                        --target NAME|@spec.json  resolved by the server
                                            (wire v2)
+                       --trace             also print the request's span
+                                           tree from the server's recorder
                        compile options as for `compile`; file paths are
                        shipped as inline QASM
   client batch <jobs.jsonl>  run a JSONL batch on a remote server
                        --addr HOST:PORT, --out FILE as for `batch`
+  client traces        list the server's retained request traces
+                       --min-micros N   only traces at least N µs long
+  client trace <id>    print one retained trace's span tree
   estimate <circuit>   physical resource estimate
                        --error-rate P (default 1e-3), --budget B (default 0.01)
                        --objective qubits|volume|time (default qubits)
@@ -332,6 +341,7 @@ fn local_job_result(id: &str, circuit: &Circuit, options: &CompilerOptions) -> J
         metrics,
         provenance: CacheProvenance::Computed,
         micros: started.elapsed().as_micros() as u64,
+        queue_micros: 0,
         stage: None,
     }
 }
@@ -356,6 +366,11 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
                 "--explain is a human-readable report; drop --json or --explain".into(),
             ));
         }
+        if p.flag("trace") {
+            return Err(CliError::Unknown(
+                "--trace is a human-readable report; drop --json or --trace".into(),
+            ));
+        }
         // `--json --stop-after <stage>`: the same staged JobResult the
         // server's `?stage=` endpoint returns. A compile failure stays on
         // the JSON contract too — a failed result document, not a
@@ -370,6 +385,7 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
                     metrics: run.program.as_ref().map(|prog| *prog.metrics()),
                     provenance: CacheProvenance::Computed,
                     micros: started.elapsed().as_micros() as u64,
+                    queue_micros: 0,
                     stage: Some(run.stage.name().to_string()),
                 },
                 Err(e) => JobResult::<Metrics> {
@@ -379,6 +395,7 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
                     metrics: None,
                     provenance: CacheProvenance::Computed,
                     micros: started.elapsed().as_micros() as u64,
+                    queue_micros: 0,
                     stage: None,
                 },
             };
@@ -415,15 +432,32 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         // stage table, like --explain).
     }
 
-    // `--explain`: compile through the session with a trace hook and
-    // prepend the per-stage timing/fingerprint report.
-    let (program, explain) = if p.flag("explain") || stop_after == Some(Stage::Schedule) {
+    // `--explain` / `--trace`: compile through the session with a trace
+    // hook and prepend the per-stage report (a timing/fingerprint table
+    // for --explain, a span tree with self-times for --trace).
+    let want_table = p.flag("explain") || stop_after == Some(Stage::Schedule);
+    let span_trace = p
+        .flag("trace")
+        .then(|| ActiveTrace::begin(TraceId::mint(), "compile"));
+    let (program, explain) = if want_table || span_trace.is_some() {
         let trace = StageTrace::new();
+        let hook: std::sync::Arc<dyn ftqc_compiler::TraceHook> = match &span_trace {
+            None => trace.clone(),
+            Some(active) => std::sync::Arc::new(FanoutHook(vec![
+                trace.clone(),
+                std::sync::Arc::new(
+                    StageSpanHook::new(std::sync::Arc::clone(active)).with_attr("job", &spec),
+                ),
+            ])),
+        };
         let program = CompileSession::new(options)
-            .with_hook(trace.clone())
+            .with_hook(hook)
             .compile(&circuit)
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
-        (program, Some(render_stage_trace(&trace.events())))
+        (
+            program,
+            want_table.then(|| render_stage_trace(&trace.events())),
+        )
     } else {
         let program = Compiler::new(options)
             .compile(&circuit)
@@ -433,6 +467,11 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
 
     let mut out = String::new();
     let m = program.metrics();
+    if let Some(active) = span_trace {
+        // Status 0 = the process-exit convention for a successful local
+        // compile (there is no HTTP status to report).
+        out.push_str(&render_span_tree(&active.finish(0, "compile")));
+    }
     if let Some(trace) = explain {
         out.push_str(&trace);
         let r = &m.route;
@@ -505,6 +544,18 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         let _ = write!(out, "\nschedule svg    : {path}");
     }
     Ok(out.into())
+}
+
+/// Fans one stage-event stream out to several hooks (`--explain --trace`
+/// needs both the table collector and the span recorder on one session).
+struct FanoutHook(Vec<std::sync::Arc<dyn ftqc_compiler::TraceHook>>);
+
+impl ftqc_compiler::TraceHook for FanoutHook {
+    fn on_stage(&self, event: &StageEvent) {
+        for hook in &self.0 {
+            hook.on_stage(event);
+        }
+    }
 }
 
 /// The per-stage table behind `compile --explain` and `--stop-after`.
@@ -947,7 +998,8 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
 fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     let addr: String = p.get_or("addr", "127.0.0.1:7070".to_string())?;
     let client = Client::new(addr);
-    let usage = || CliError::Unknown("usage: ftqc client compile|batch <arg> [--addr]".into());
+    let usage =
+        || CliError::Unknown("usage: ftqc client compile|batch|trace|traces <arg> [--addr]".into());
     match p.positionals.first().map(String::as_str) {
         Some("compile") => {
             let spec = p.positionals.get(1).ok_or_else(usage)?;
@@ -967,9 +1019,18 @@ fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
             };
             let mut job = CompileJob::new(spec.clone(), source, options);
             job.target = job_target;
-            let result = match p.get("stop-after") {
-                Some(stage) => client.compile_staged(&job, stage),
-                None => client.compile(&job),
+            // `--trace`: use the header-aware exchange, then pull the full
+            // span tree back off the server's flight recorder.
+            let mut trace_tree = None;
+            let result = match (p.get("stop-after"), p.flag("trace")) {
+                (Some(stage), _) => client.compile_staged(&job, stage),
+                (None, false) => client.compile(&job),
+                (None, true) => client.compile_traced(&job).map(|(result, id)| {
+                    trace_tree = id
+                        .and_then(|id| client.trace(id).ok())
+                        .map(|t| render_span_tree(&t));
+                    result
+                }),
             }
             .map_err(|e| CliError::Pipeline(e.to_string()))?;
             let failed = !result.is_ok();
@@ -979,12 +1040,44 @@ fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
                     failed,
                 });
             }
-            Ok(CmdOutput {
-                text: render_batch_table(std::slice::from_ref(&result))
-                    .trim_end()
-                    .to_string(),
-                failed,
-            })
+            let mut text = trace_tree.unwrap_or_default();
+            text.push_str(render_batch_table(std::slice::from_ref(&result)).trim_end());
+            Ok(CmdOutput { text, failed })
+        }
+        Some("trace") => {
+            let raw = p.positionals.get(1).ok_or_else(usage)?;
+            let id = TraceId::parse(raw).ok_or_else(|| {
+                CliError::Unknown(format!("malformed trace id {raw:?} (want 1-16 hex digits)"))
+            })?;
+            let trace = client
+                .trace(id)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            Ok(render_span_tree(&trace).trim_end().to_string().into())
+        }
+        Some("traces") => {
+            let min_micros: u64 = p.get_or("min-micros", 0)?;
+            let summaries = client
+                .traces(min_micros)
+                .map_err(|e| CliError::Pipeline(e.to_string()))?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "{:<17} {:<11} {:>6} {:>12} {:>6}",
+                "trace", "endpoint", "status", "µs", "spans"
+            );
+            for s in &summaries {
+                let _ = writeln!(
+                    out,
+                    "{:<17} {:<11} {:>6} {:>12} {:>6}",
+                    s.id.to_hex(),
+                    s.endpoint,
+                    s.status,
+                    s.duration_micros,
+                    s.spans
+                );
+            }
+            let _ = write!(out, "{} traces retained", summaries.len());
+            Ok(out.into())
         }
         Some("batch") => {
             let path = p.positionals.get(1).ok_or_else(usage)?;
@@ -1283,6 +1376,24 @@ mod tests {
     }
 
     #[test]
+    fn compile_trace_renders_span_tree() {
+        let out = run_line("compile ising:2 --trace").unwrap();
+        assert!(out.starts_with("trace "), "header line first: {out}");
+        assert!(out.contains("endpoint=compile"), "got: {out}");
+        for stage in ["prepare", "lower", "map", "schedule"] {
+            assert!(out.contains(stage), "missing {stage} span in: {out}");
+        }
+        assert!(out.contains("self"), "self-times shown: {out}");
+        assert!(out.contains("cached=false"), "stage attrs shown: {out}");
+        assert!(out.contains("execution time"), "full report follows: {out}");
+        // --trace and --explain compose: table and tree both print.
+        let both = run_line("compile ising:2 --trace --explain").unwrap();
+        assert!(both.contains("fingerprint") && both.starts_with("trace "));
+        // Like --explain, --trace is a human report.
+        assert!(run_line("compile ising:2 --json --trace").is_err());
+    }
+
+    #[test]
     fn explore_produces_table() {
         let out = run_line("explore ising:2 --r 2..4 --factories 1..2").unwrap();
         assert!(out.contains("design points"));
@@ -1519,6 +1630,31 @@ mod tests {
         .unwrap();
         assert!(!out.failed, "got: {}", out.text);
         assert!(out.text.contains("stopped after map"), "got: {}", out.text);
+
+        // `--trace` prints the server-side span tree above the result row.
+        let out = run_full(&format!("client compile ising:2 --addr {addr} --trace")).unwrap();
+        assert!(!out.failed, "got: {}", out.text);
+        assert!(out.text.starts_with("trace "), "got: {}", out.text);
+        assert!(out.text.contains("queue-wait"), "got: {}", out.text);
+        assert!(out.text.contains("ising:2"), "result row follows");
+
+        // The recorder lists it; `client trace <id>` replays any entry.
+        let out = run_full(&format!("client traces --addr {addr}")).unwrap();
+        assert!(out.text.contains("traces retained"), "got: {}", out.text);
+        let id = out
+            .text
+            .lines()
+            .nth(1)
+            .and_then(|row| row.split_whitespace().next())
+            .expect("at least one retained trace")
+            .to_string();
+        let out = run_full(&format!("client trace {id} --addr {addr}")).unwrap();
+        assert!(
+            out.text.starts_with(&format!("trace {id}")),
+            "got: {}",
+            out.text
+        );
+        assert!(run_line(&format!("client trace zz --addr {addr}")).is_err());
 
         let dir = std::env::temp_dir().join("ftqc-cli-test-client");
         std::fs::create_dir_all(&dir).unwrap();

@@ -40,6 +40,15 @@
 //! (renamed/retyped fields, changed semantics, new fields that change
 //! what gets compiled, like `target`) do. Old clients keep working
 //! against new servers and vice versa within a version.
+//!
+//! The tracing surface is a worked example of the additive rule: the
+//! `x-ftqc-trace` request/response header, the `queue_micros` result
+//! field (rendered only when nonzero, so v1 result lines stay
+//! byte-identical), the `latency`/`stage_latency`/`queue_wait`
+//! percentile objects on `GET /v1/cache/stats`, and the new
+//! `GET /v1/traces` + `GET /v1/trace/<id>` endpoints all landed without
+//! bumping [`WIRE_VERSION`]. A v1 client that ignores unknown fields —
+//! as the contract requires — never observes any of them.
 
 use ftqc_arch::{TargetEntry, TargetSpec};
 use ftqc_compiler::{

@@ -8,6 +8,7 @@ use crate::http::{self, HttpError};
 use ftqc_compiler::{CompilerOptions, Metrics};
 use ftqc_service::json::{FromJson, JsonError, ToJson, Value};
 use ftqc_service::{CacheStats, CompileJob, JobResult};
+use ftqc_telemetry::{FinishedTrace, TraceId, TraceSummary};
 use std::io;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -139,6 +140,30 @@ impl Client {
         Ok(JobResult::from_json(&doc)?)
     }
 
+    /// `POST /v1/compile`, also returning the server-assigned trace id
+    /// from the `x-ftqc-trace` response header — feed it to
+    /// [`Client::trace`] to fetch the request's span tree afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; a missing or malformed trace header decodes to
+    /// `None` (a pre-tracing server).
+    pub fn compile_traced(
+        &self,
+        job: &CompileJob<CompilerOptions>,
+    ) -> Result<(JobResult<Metrics>, Option<TraceId>), ClientError> {
+        let rendered = job.to_json().render();
+        let response = self.exchange(
+            "POST",
+            "/v1/compile",
+            "application/json",
+            rendered.as_bytes(),
+        )?;
+        let trace_id = response.header("x-ftqc-trace").and_then(TraceId::parse);
+        let doc = Value::parse(response.body_str()?)?;
+        Ok((JobResult::from_json(&doc)?, trace_id))
+    }
+
     /// `POST /v1/compile?stage=…`: run the pipeline only up to `stage`
     /// (`"prepare"`, `"lower"`, `"map"`, `"schedule"`). Partial results
     /// carry the stage name and its artifact fingerprint instead of
@@ -221,6 +246,39 @@ impl Client {
     pub fn cache_stats(&self) -> Result<CacheStats, ClientError> {
         let doc = self.exchange_json("GET", "/v1/cache/stats", None)?;
         Ok(CacheStats::from_json(&doc)?)
+    }
+
+    /// `GET /v1/traces`: newest-first summaries of the traces the server's
+    /// flight recorder retains, filtered to those at least `min_micros`
+    /// long (pass 0 for all).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn traces(&self, min_micros: u64) -> Result<Vec<TraceSummary>, ClientError> {
+        let path = format!("/v1/traces?min_micros={min_micros}");
+        let doc = self.exchange_json("GET", &path, None)?;
+        match doc.get("traces") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(|item| TraceSummary::from_json(item).map_err(ClientError::from))
+                .collect(),
+            _ => Err(ClientError::Decode(JsonError::schema(
+                "\"traces\" must be an array",
+            ))),
+        }
+    }
+
+    /// `GET /v1/trace/<id>`: one retained trace's full span tree.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; an id the recorder no longer holds comes back
+    /// as [`ClientError::Status`] 404.
+    pub fn trace(&self, id: TraceId) -> Result<FinishedTrace, ClientError> {
+        let path = format!("/v1/trace/{}", id.to_hex());
+        let doc = self.exchange_json("GET", &path, None)?;
+        Ok(FinishedTrace::from_json(&doc)?)
     }
 
     /// `GET /healthz`: the liveness document.

@@ -334,12 +334,29 @@ pub fn reason(status: u16) -> &'static str {
 /// `Connection: close` (this server is strictly one request per
 /// connection).
 pub fn render_response(status: u16, content_type: &str, body: &[u8]) -> Vec<u8> {
-    let mut out = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+    render_response_with(status, content_type, &[], body)
+}
+
+/// [`render_response`] with extra response headers (e.g. the per-request
+/// `x-ftqc-trace` id). Header names and values must already be wire-safe
+/// tokens; nothing is escaped here.
+pub fn render_response_with(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
         reason(status),
         body.len(),
-    )
-    .into_bytes();
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
+    let mut out = head.into_bytes();
     out.extend_from_slice(body);
     out
 }
@@ -387,6 +404,20 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.header("connection"), Some("close"));
         assert_eq!(resp.body_str().unwrap(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn extra_headers_roundtrip() {
+        let wire = render_response_with(
+            200,
+            "application/json",
+            &[("x-ftqc-trace", "00000000000000ff")],
+            b"{}",
+        );
+        let resp = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(resp.header("x-ftqc-trace"), Some("00000000000000ff"));
+        assert_eq!(resp.header("connection"), Some("close"));
+        assert_eq!(resp.body_str().unwrap(), "{}");
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * [`server`] — the bounded thread-per-connection accept loop, the JSON
 //!   endpoints, graceful (SIGINT-safe) shutdown that drains in-flight
 //!   requests and persists the cache file tier.
-//! * [`metrics`] — Prometheus-style counters behind `GET /metrics`.
+//! * [`metrics`] — Prometheus-style counters and latency histograms
+//!   behind `GET /metrics`.
 //! * [`api`] — sweep request/response wire types shared with the CLI.
 //! * [`client`] — a small blocking client for every endpoint.
 //!
@@ -28,7 +29,10 @@
 //! | `POST /v1/compile` | one JSON `CompileJob` → one JSON `JobResult` |
 //! | `POST /v1/batch` | JSONL jobs → JSONL results (submission order) |
 //! | `POST /v1/sweep` | options grid → design points / Pareto front |
-//! | `GET /v1/cache/stats` | shared compile-cache counters |
+//! | `GET /v1/targets` | the registered hardware targets |
+//! | `GET /v1/cache/stats` | compile-cache counters + latency percentiles |
+//! | `GET /v1/traces` | flight-recorder trace summaries, newest first |
+//! | `GET /v1/trace/<id>` | one retained trace's full span tree |
 //! | `GET /healthz` | liveness |
 //! | `GET /metrics` | Prometheus text exposition |
 //!
@@ -36,6 +40,12 @@
 //! [`ftqc_service::SharedCache`], so concurrent clients warm each other:
 //! the second client to ask for a configuration gets it at cache speed no
 //! matter who asked first.
+//!
+//! Every request is traced: the server assigns (or honours) an
+//! `x-ftqc-trace` id, records a span tree — parse, queue wait, pipeline
+//! stages, router counters — into a bounded keep-slowest flight
+//! recorder (`ftqc_telemetry`), and aggregates latencies into the log₂
+//! histograms `GET /metrics` exposes.
 
 pub mod api;
 pub mod client;

@@ -1,13 +1,17 @@
 //! Server-side counters rendered in the Prometheus text exposition format.
 //!
 //! Everything is a plain atomic: handlers bump counters as requests finish,
-//! and `GET /metrics` renders a point-in-time snapshot. Cache hit/miss
-//! gauges are not duplicated here — they are read live from the shared
-//! [`ftqc_service::CacheStats`] at render time, so the numbers can never
-//! drift from what the cache itself reports.
+//! and `GET /metrics` renders a point-in-time snapshot. Request, stage, and
+//! queue-wait latencies go into log₂ [`Histogram`]s, so the exposition
+//! carries proper `_bucket`/`_sum`/`_count` series and `/v1/cache/stats`
+//! can answer p50/p95/p99. Cache hit/miss gauges are not duplicated here —
+//! they are read live from the shared [`ftqc_service::CacheStats`] at
+//! render time, so the numbers can never drift from what the cache itself
+//! reports.
 
 use ftqc_compiler::{RouteCounters, Stage, StageCacheStats};
 use ftqc_service::CacheStats;
+use ftqc_telemetry::{duration_micros_saturating, Histogram, HistogramSnapshot};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -21,8 +25,12 @@ pub enum Endpoint {
     Batch,
     /// `POST /v1/sweep`
     Sweep,
+    /// `GET /v1/targets`
+    Targets,
     /// `GET /v1/cache/stats`
     CacheStats,
+    /// `GET /v1/traces` and `GET /v1/trace/<id>`
+    Traces,
     /// `GET /healthz`
     Healthz,
     /// `GET /metrics`
@@ -33,11 +41,13 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// All tracked endpoints, in render order.
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 9] = [
         Endpoint::Compile,
         Endpoint::Batch,
         Endpoint::Sweep,
+        Endpoint::Targets,
         Endpoint::CacheStats,
+        Endpoint::Traces,
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Other,
@@ -49,7 +59,9 @@ impl Endpoint {
             Endpoint::Compile => "compile",
             Endpoint::Batch => "batch",
             Endpoint::Sweep => "sweep",
+            Endpoint::Targets => "targets",
             Endpoint::CacheStats => "cache_stats",
+            Endpoint::Traces => "traces",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Other => "other",
@@ -62,9 +74,12 @@ impl Endpoint {
             "/v1/compile" => Endpoint::Compile,
             "/v1/batch" => Endpoint::Batch,
             "/v1/sweep" => Endpoint::Sweep,
+            "/v1/targets" => Endpoint::Targets,
             "/v1/cache/stats" => Endpoint::CacheStats,
+            "/v1/traces" => Endpoint::Traces,
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
+            _ if path.starts_with("/v1/trace/") => Endpoint::Traces,
             _ => Endpoint::Other,
         }
     }
@@ -81,13 +96,17 @@ impl Endpoint {
 struct EndpointCounters {
     requests: AtomicU64,
     errors: AtomicU64,
-    latency_micros: AtomicU64,
+    latency: Histogram,
 }
 
 /// The process-wide counter registry.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    per_endpoint: [EndpointCounters; 7],
+    per_endpoint: [EndpointCounters; 9],
+    /// Per-stage compile times, fed by the staged-session trace hooks.
+    per_stage: [Histogram; 4],
+    /// Worker-pool queue waits (batch submission → worker claim).
+    queue_wait: Histogram,
     in_flight: AtomicU64,
     connections: AtomicU64,
     rejected: AtomicU64,
@@ -119,15 +138,25 @@ impl ServerMetrics {
     }
 
     /// Records a finished request: endpoint, status, and wall-clock
-    /// latency.
+    /// latency. Durations past `u64::MAX` microseconds clamp instead of
+    /// truncating, and the histogram's running sum saturates at `u64::MAX`.
     pub fn record(&self, endpoint: Endpoint, status: u16, latency: std::time::Duration) {
         let c = &self.per_endpoint[endpoint.index()];
         c.requests.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
             c.errors.fetch_add(1, Ordering::Relaxed);
         }
-        c.latency_micros
-            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+        c.latency.record(duration_micros_saturating(latency));
+    }
+
+    /// Records one compile-stage execution time.
+    pub fn record_stage(&self, stage: Stage, micros: u64) {
+        self.per_stage[stage as usize].record(micros);
+    }
+
+    /// Records one job's queue wait (batch submission → worker claim).
+    pub fn record_queue_wait(&self, micros: u64) {
+        self.queue_wait.record(micros);
     }
 
     /// Records job outcomes from compile/batch handlers.
@@ -158,8 +187,23 @@ impl ServerMetrics {
         self.in_flight.load(Ordering::Relaxed)
     }
 
+    /// Point-in-time latency distribution for one endpoint.
+    pub fn latency_snapshot(&self, endpoint: Endpoint) -> HistogramSnapshot {
+        self.per_endpoint[endpoint.index()].latency.snapshot()
+    }
+
+    /// Point-in-time execution-time distribution for one compile stage.
+    pub fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        self.per_stage[stage as usize].snapshot()
+    }
+
+    /// Point-in-time queue-wait distribution.
+    pub fn queue_wait_snapshot(&self) -> HistogramSnapshot {
+        self.queue_wait.snapshot()
+    }
+
     /// Renders the Prometheus text exposition: request/error counts and
-    /// latency sums per endpoint, the in-flight gauge, connection counters,
+    /// latency histograms per endpoint, the in-flight gauge, connection counters,
     /// job outcomes, the shared cache's live counters, the stage cache's
     /// per-stage hit/miss counters, and the incremental router's cumulative
     /// arena/path-table counters.
@@ -197,18 +241,36 @@ impl ServerMetrics {
         }
         let _ = writeln!(
             out,
-            "# HELP ftqc_http_latency_micros_total Summed request latency in microseconds, by endpoint.\n# TYPE ftqc_http_latency_micros_total counter"
+            "# HELP ftqc_request_latency_micros Request latency in microseconds, by endpoint.\n# TYPE ftqc_request_latency_micros histogram"
         );
         for e in Endpoint::ALL {
-            let _ = writeln!(
-                out,
-                "ftqc_http_latency_micros_total{{endpoint=\"{}\"}} {}",
-                e.label(),
-                self.per_endpoint[e.index()]
-                    .latency_micros
-                    .load(Ordering::Relaxed)
+            let snap = self.latency_snapshot(e);
+            // Endpoints that never fired still emit a well-formed empty
+            // histogram (+Inf bucket, zero sum/count) so dashboards can
+            // rely on the series existing.
+            snap.render_prometheus(
+                &mut out,
+                "ftqc_request_latency_micros",
+                &format!("endpoint=\"{}\"", e.label()),
             );
         }
+        let _ = writeln!(
+            out,
+            "# HELP ftqc_stage_latency_micros Compile-stage execution time in microseconds, by stage.\n# TYPE ftqc_stage_latency_micros histogram"
+        );
+        for stage in Stage::ALL {
+            self.stage_snapshot(stage).render_prometheus(
+                &mut out,
+                "ftqc_stage_latency_micros",
+                &format!("stage=\"{}\"", stage.name()),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ftqc_queue_wait_micros Worker-pool queue wait in microseconds (batch submission to worker claim).\n# TYPE ftqc_queue_wait_micros histogram"
+        );
+        self.queue_wait_snapshot()
+            .render_prometheus(&mut out, "ftqc_queue_wait_micros", "");
         let gauges: [(&str, &str, u64); 6] = [
             (
                 "ftqc_http_in_flight",
@@ -357,10 +419,49 @@ mod tests {
         assert_eq!(Endpoint::of_path("/v1/compile"), Endpoint::Compile);
         assert_eq!(Endpoint::of_path("/v1/batch"), Endpoint::Batch);
         assert_eq!(Endpoint::of_path("/v1/sweep"), Endpoint::Sweep);
+        assert_eq!(Endpoint::of_path("/v1/targets"), Endpoint::Targets);
         assert_eq!(Endpoint::of_path("/v1/cache/stats"), Endpoint::CacheStats);
+        assert_eq!(Endpoint::of_path("/v1/traces"), Endpoint::Traces);
+        assert_eq!(Endpoint::of_path("/v1/trace/00ff"), Endpoint::Traces);
         assert_eq!(Endpoint::of_path("/healthz"), Endpoint::Healthz);
         assert_eq!(Endpoint::of_path("/metrics"), Endpoint::Metrics);
         assert_eq!(Endpoint::of_path("/nope"), Endpoint::Other);
+    }
+
+    /// Regression: `/v1/targets` used to fall through to `Other`, so its
+    /// traffic was invisible in the per-endpoint families.
+    #[test]
+    fn targets_is_a_first_class_endpoint() {
+        assert_ne!(Endpoint::of_path("/v1/targets"), Endpoint::Other);
+        assert!(Endpoint::ALL.contains(&Endpoint::Targets));
+        let m = ServerMetrics::new();
+        m.record(Endpoint::Targets, 200, Duration::from_micros(5));
+        assert_eq!(m.requests(Endpoint::Targets), 1);
+        assert_eq!(m.requests(Endpoint::Other), 0);
+        let text = m.render_prometheus(
+            &CacheStats::default(),
+            &StageCacheStats::default(),
+            &RouteCounters::default(),
+            Duration::ZERO,
+        );
+        assert!(text.contains("ftqc_http_requests_total{endpoint=\"targets\"} 1"));
+    }
+
+    /// `Duration::as_micros` yields a `u128`; a plain `as u64` cast used to
+    /// truncate absurd-but-possible durations to a small number. The record
+    /// path must clamp instead.
+    #[test]
+    fn oversized_latency_clamps_instead_of_truncating() {
+        let m = ServerMetrics::new();
+        // Duration::MAX is ~5.8e20 µs — past u64::MAX (~1.8e19), and its
+        // low 64 bits are a nonsense value the old cast would have kept.
+        m.record(Endpoint::Compile, 200, Duration::MAX);
+        let snap = m.latency_snapshot(Endpoint::Compile);
+        assert_eq!(snap.count, 1);
+        assert_eq!(snap.max, u64::MAX, "clamped to the ceiling, not wrapped");
+        assert_eq!(snap.min, u64::MAX);
+        // The sample lands in the +Inf overflow bucket, not a finite one.
+        assert_eq!(snap.counts.last(), Some(&1));
     }
 
     #[test]
@@ -406,10 +507,28 @@ mod tests {
             table_misses: 13,
             table_invalidations: 29,
         };
+        m.record_stage(Stage::Map, 120);
+        m.record_queue_wait(33);
+
         let text = m.render_prometheus(&cache, &stages, &route, Duration::from_secs(42));
         assert!(text.contains("ftqc_http_requests_total{endpoint=\"compile\"} 2"));
         assert!(text.contains("ftqc_http_errors_total{endpoint=\"batch\"} 1"));
-        assert!(text.contains("ftqc_http_latency_micros_total{endpoint=\"compile\"} 200"));
+        // The latency family is a real histogram now: bucketed counts plus
+        // exact sum/count per endpoint.
+        assert!(text.contains("ftqc_request_latency_micros_sum{endpoint=\"compile\"} 200"));
+        assert!(text.contains("ftqc_request_latency_micros_count{endpoint=\"compile\"} 2"));
+        assert!(
+            text.contains("ftqc_request_latency_micros_bucket{endpoint=\"compile\",le=\"+Inf\"} 2")
+        );
+        assert!(
+            text.contains("ftqc_request_latency_micros_bucket{endpoint=\"healthz\",le=\"+Inf\"} 0"),
+            "idle endpoints still expose an empty histogram"
+        );
+        assert!(text.contains("ftqc_stage_latency_micros_bucket{stage=\"map\",le=\"128\"} 1"));
+        assert!(text.contains("ftqc_stage_latency_micros_sum{stage=\"map\"} 120"));
+        assert!(text.contains("ftqc_stage_latency_micros_count{stage=\"prepare\"} 0"));
+        assert!(text.contains("ftqc_queue_wait_micros_sum 33"));
+        assert!(text.contains("ftqc_queue_wait_micros_count 1"));
         assert!(text.contains("ftqc_http_in_flight 0"));
         assert!(text.contains("ftqc_connections_total 2"));
         assert!(text.contains("ftqc_connections_rejected_total 1"));

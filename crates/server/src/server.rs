@@ -30,12 +30,16 @@ use ftqc_arch::TargetRegistry;
 use ftqc_compiler::{
     apply_job_target, explore_session, explore_targets, pareto_front, resolve_target_ref,
     stage_outcome, CompileSession, CompilerOptions, Metrics, Stage, StageCache, StageCacheStats,
+    StageEvent, TraceHook,
 };
 use ftqc_service::json::{JsonError, ToJson, Value};
 use ftqc_service::resolve::resolve_source_remote;
 use ftqc_service::{
     job_from_value, render_results, BatchService, CacheStats, CompileCache, CompileJob, JobResult,
     SharedCache, StageOutcome, TargetRef, WorkerPool,
+};
+use ftqc_telemetry::{
+    ActiveTrace, FlightRecorder, HistogramSnapshot, StageSpanHook, TraceId, DEFAULT_TRACE_CAPACITY,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,6 +67,9 @@ pub struct ServerConfig {
     pub read_timeout: Duration,
     /// How long shutdown waits for in-flight connections to drain.
     pub drain_timeout: Duration,
+    /// How many finished request traces the flight recorder retains for
+    /// `GET /v1/traces` / `GET /v1/trace/<id>`.
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +82,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             read_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(30),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
         }
     }
 }
@@ -131,7 +139,11 @@ struct AppState {
     /// Named hardware targets: the built-in presets, served by
     /// `GET /v1/targets` and resolved for job/sweep `"target"` fields.
     targets: TargetRegistry,
-    metrics: ServerMetrics,
+    /// Behind an `Arc` so per-job trace hooks on worker threads can feed
+    /// the stage histograms directly.
+    metrics: Arc<ServerMetrics>,
+    /// The last N finished request traces, served by `GET /v1/traces`.
+    recorder: FlightRecorder,
     workers: usize,
     started: Instant,
     read_timeout: Duration,
@@ -224,7 +236,8 @@ impl Server {
             cache,
             stages: StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY),
             targets: TargetRegistry::builtin(),
-            metrics: ServerMetrics::new(),
+            metrics: Arc::new(ServerMetrics::new()),
+            recorder: FlightRecorder::new(config.trace_capacity),
             workers,
             started: Instant::now(),
             read_timeout: config.read_timeout,
@@ -362,6 +375,10 @@ impl Server {
 fn serve_connection(state: &AppState, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(state.read_timeout));
     let _ = stream.set_nodelay(true);
+    // The trace clock starts before the request is read, so header/body
+    // read time shows up as root self-time and the parse span sits at the
+    // right offset.
+    let started = Instant::now();
     let request = match http::read_request(&mut stream) {
         Ok(Some(request)) => request,
         Ok(None) => return, // peer closed without sending anything
@@ -383,12 +400,25 @@ fn serve_connection(state: &AppState, mut stream: TcpStream) {
     };
 
     let endpoint = Endpoint::of_path(&request.path);
-    let started = Instant::now();
+    // Honour a caller-chosen id (distributed callers propagate theirs);
+    // mint otherwise.
+    let trace_id = request
+        .header("x-ftqc-trace")
+        .and_then(TraceId::parse)
+        .unwrap_or_else(TraceId::mint);
+    let trace = ActiveTrace::begin_at(trace_id, "request", started);
+    trace.add_span(
+        "parse",
+        None,
+        0,
+        trace.now_micros(),
+        vec![("bytes".into(), request.body.len().to_string())],
+    );
     let in_flight = state.metrics.begin_request();
     // A handler panic (a compiler bug on some exotic input) must cost one
     // request, not the whole server.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handle_request(state, &request)
+        handle_request(state, &request, &trace)
     }));
     drop(in_flight);
     let (status, content_type, body) = outcome.unwrap_or_else(|_| {
@@ -399,10 +429,21 @@ fn serve_connection(state: &AppState, mut stream: TcpStream) {
         )
     });
     state.metrics.record(endpoint, status, started.elapsed());
+    let trace_hex = trace_id.to_hex();
     let _ = http::write_all(
         &mut stream,
-        &http::render_response(status, content_type, body.as_bytes()),
+        &http::render_response_with(
+            status,
+            content_type,
+            &[("x-ftqc-trace", &trace_hex)],
+            body.as_bytes(),
+        ),
     );
+    // Record after the bytes are on the wire so the recorder never delays
+    // the response; the root duration therefore includes the write.
+    state
+        .recorder
+        .record(trace.finish(status, endpoint.label()));
 }
 
 fn error_body(message: &str) -> String {
@@ -416,13 +457,17 @@ fn error_body(message: &str) -> String {
 type HandlerResult = (u16, &'static str, String);
 
 /// Routes one parsed request to its endpoint.
-fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
+fn handle_request(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -> HandlerResult {
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/compile") => handle_compile(state, request),
-        ("POST", "/v1/batch") => handle_batch(state, request),
+        ("POST", "/v1/compile") => handle_compile(state, request, trace),
+        ("POST", "/v1/batch") => handle_batch(state, request, trace),
         ("POST", "/v1/sweep") => handle_sweep(state, request),
         ("GET", "/v1/targets") => handle_targets(state),
         ("GET", "/v1/cache/stats") => handle_cache_stats(state),
+        ("GET", "/v1/traces") => handle_traces(state, request),
+        ("GET", path) if path.strip_prefix("/v1/trace/").is_some() => {
+            handle_trace(state, path.strip_prefix("/v1/trace/").expect("guarded"))
+        }
         ("GET", "/healthz") => handle_healthz(state),
         ("GET", "/metrics") => (
             200,
@@ -437,8 +482,13 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
         (
             _,
             "/v1/compile" | "/v1/batch" | "/v1/sweep" | "/v1/targets" | "/v1/cache/stats"
-            | "/healthz" | "/metrics",
+            | "/v1/traces" | "/healthz" | "/metrics",
         ) => (
+            405,
+            "application/json",
+            error_body(&format!("method {} not allowed here", request.method)),
+        ),
+        (_, path) if path.starts_with("/v1/trace/") => (
             405,
             "application/json",
             error_body(&format!("method {} not allowed here", request.method)),
@@ -451,16 +501,38 @@ fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
     }
 }
 
+/// Feeds each finished stage into both consumers at once: the request
+/// trace (a child span per stage, tagged with the job id) and the
+/// process-wide per-stage latency histograms.
+struct ServerStageHook {
+    spans: StageSpanHook,
+    metrics: Arc<ServerMetrics>,
+}
+
+impl TraceHook for ServerStageHook {
+    fn on_stage(&self, event: &StageEvent) {
+        self.metrics.record_stage(event.stage, event.micros);
+        self.spans.on_stage(event);
+    }
+}
+
 /// The compile closure every job endpoint shares: a staged session over
 /// the process-wide stage cache, honouring each job's `stop_after` /
 /// `resume_from` stage fields. Failures carry the failing stage in their
 /// message, so batch JSONL error lines say where a job died.
 fn compile_staged(
     state: &AppState,
+    trace: &Arc<ActiveTrace>,
     circuit: &ftqc_circuit::Circuit,
     job: &CompileJob<CompilerOptions>,
 ) -> Result<StageOutcome<Metrics>, String> {
-    let session = CompileSession::new(job.options.clone()).with_cache(state.stages.clone());
+    let hook = Arc::new(ServerStageHook {
+        spans: StageSpanHook::new(Arc::clone(trace)).with_attr("job", &job.id),
+        metrics: Arc::clone(&state.metrics),
+    });
+    let session = CompileSession::new(job.options.clone())
+        .with_cache(state.stages.clone())
+        .with_hook(hook);
     stage_outcome(
         &session,
         circuit,
@@ -476,10 +548,54 @@ fn record_job_outcomes(state: &AppState, results: &[JobResult<Metrics>]) {
     state.metrics.record_jobs(ok, results.len() as u64 - ok);
 }
 
-fn run_jobs(state: &AppState, jobs: Vec<CompileJob<CompilerOptions>>) -> Vec<JobResult<Metrics>> {
+/// Post-run trace enrichment shared by the compile and batch endpoints:
+/// a `queue-wait` span per job (the pool's measured submission→claim gap,
+/// anchored at `submitted`), the queue-wait histogram samples, and a
+/// `route` span per successful job carrying the router's per-compile
+/// counters, parented under that job's `map` stage span.
+fn trace_job_results(
+    state: &AppState,
+    trace: &Arc<ActiveTrace>,
+    submitted: u64,
+    results: &[JobResult<Metrics>],
+) {
+    for r in results {
+        state.metrics.record_queue_wait(r.queue_micros);
+        trace.add_span(
+            "queue-wait",
+            None,
+            submitted,
+            r.queue_micros,
+            vec![("job".into(), r.id.clone())],
+        );
+        if let Some(m) = &r.metrics {
+            let parent = trace.find_span_with_attr("map", "job", &r.id);
+            trace.add_span(
+                "route",
+                parent,
+                submitted.saturating_add(r.queue_micros),
+                0,
+                vec![
+                    ("job".into(), r.id.clone()),
+                    ("arena_reuses".into(), m.route.arena_reuses.to_string()),
+                    ("table_hits".into(), m.route.table_hits.to_string()),
+                    ("table_misses".into(), m.route.table_misses.to_string()),
+                ],
+            );
+        }
+    }
+}
+
+fn run_jobs(
+    state: &AppState,
+    trace: &Arc<ActiveTrace>,
+    jobs: Vec<CompileJob<CompilerOptions>>,
+) -> Vec<JobResult<Metrics>> {
+    let submitted = trace.now_micros();
     let results = state.service.run(jobs, resolve_source_remote, |c, job| {
-        compile_staged(state, c, job)
+        compile_staged(state, trace, c, job)
     });
+    trace_job_results(state, trace, submitted, &results);
     record_job_outcomes(state, &results);
     results
 }
@@ -494,7 +610,7 @@ fn run_jobs(state: &AppState, jobs: Vec<CompileJob<CompilerOptions>>) -> Vec<Job
 /// job that fails to *compile* is still HTTP 200 — the failure is in the
 /// result's `status`; only an unparseable request (or an unsupported
 /// wire version, or an unknown target) is a 400.
-fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
+fn handle_compile(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -> HandlerResult {
     let parsed = request
         .body_str()
         .map_err(|e| e.to_string())
@@ -516,7 +632,7 @@ fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
     match parsed {
         Err(e) => (400, "application/json", error_body(&e)),
         Ok((wire, job)) => {
-            let results = run_jobs(state, vec![job]);
+            let results = run_jobs(state, trace, vec![job]);
             let result = results.into_iter().next().expect("one job, one result");
             (
                 200,
@@ -531,16 +647,17 @@ fn handle_compile(state: &AppState, request: &Request) -> HandlerResult {
 /// results in submission order. Malformed lines — including lines naming
 /// unknown targets — cost only themselves: each yields an error result
 /// naming its line number.
-fn handle_batch(state: &AppState, request: &Request) -> HandlerResult {
+fn handle_batch(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -> HandlerResult {
     let body = match request.body_str() {
         Ok(b) => b,
         Err(e) => return (400, "application/json", error_body(&e.to_string())),
     };
+    let submitted = trace.now_micros();
     let results = state.service.run_jsonl_with::<CompilerOptions, _, _, _>(
         body,
         |job| apply_job_target(job, &state.targets),
         resolve_source_remote,
-        |c, job| compile_staged(state, c, job),
+        |c, job| compile_staged(state, trace, c, job),
     );
     if results.is_empty() {
         return (
@@ -549,6 +666,7 @@ fn handle_batch(state: &AppState, request: &Request) -> HandlerResult {
             error_body("batch contains no jobs"),
         );
     }
+    trace_job_results(state, trace, submitted, &results);
     record_job_outcomes(state, &results);
     (200, "application/jsonl", render_results(&results))
 }
@@ -680,9 +798,83 @@ fn handle_targets(state: &AppState) -> HandlerResult {
     )
 }
 
+/// `GET /v1/traces?min_micros=N&limit=N`: newest-first flight-recorder
+/// summaries, optionally filtered to traces at least `min_micros` long.
+fn handle_traces(state: &AppState, request: &Request) -> HandlerResult {
+    let min_micros = match request.query_param("min_micros") {
+        None => 0,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(v) => v,
+            Err(_) => {
+                return (
+                    400,
+                    "application/json",
+                    error_body("min_micros must be a non-negative integer"),
+                )
+            }
+        },
+    };
+    let limit = match request.query_param("limit") {
+        None => 50,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(v) if v > 0 => v,
+            _ => {
+                return (
+                    400,
+                    "application/json",
+                    error_body("limit must be a positive integer"),
+                )
+            }
+        },
+    };
+    let summaries = state.recorder.recent(min_micros, limit);
+    let doc = Value::Obj(vec![
+        (
+            "traces".into(),
+            Value::Arr(summaries.iter().map(ToJson::to_json).collect()),
+        ),
+        ("retained".into(), Value::Num(state.recorder.len() as f64)),
+    ]);
+    (200, "application/json", versioned(doc).render())
+}
+
+/// `GET /v1/trace/<id>`: one retained trace's full span tree. Bad hex is
+/// a 400; an id the recorder no longer (or never) held is a 404.
+fn handle_trace(state: &AppState, raw_id: &str) -> HandlerResult {
+    let Some(id) = TraceId::parse(raw_id) else {
+        return (
+            400,
+            "application/json",
+            error_body(&format!(
+                "malformed trace id {raw_id:?} (want 1-16 hex digits)"
+            )),
+        );
+    };
+    match state.recorder.get(id) {
+        None => (
+            404,
+            "application/json",
+            error_body(&format!("no retained trace {}", id.to_hex())),
+        ),
+        Some(trace) => (200, "application/json", versioned(trace.to_json()).render()),
+    }
+}
+
+/// A latency distribution as a JSON object: count plus p50/p95/p99
+/// (microseconds).
+fn percentiles_json(snap: &HistogramSnapshot) -> Value {
+    Value::Obj(vec![
+        ("count".into(), Value::Num(snap.count as f64)),
+        ("p50_micros".into(), Value::Num(snap.p50() as f64)),
+        ("p95_micros".into(), Value::Num(snap.p95() as f64)),
+        ("p99_micros".into(), Value::Num(snap.p99() as f64)),
+    ])
+}
+
 /// `GET /v1/cache/stats`: the shared cache's counters, the memory tier's
-/// current entry count, the stage cache's per-stage counters, and the
-/// incremental router's cumulative arena/path-table counters.
+/// current entry count, the stage cache's per-stage counters, the
+/// incremental router's cumulative arena/path-table counters, and the
+/// request/stage/queue-wait latency percentiles.
 fn handle_cache_stats(state: &AppState) -> HandlerResult {
     let mut doc = match state.cache.stats().to_json() {
         Value::Obj(fields) => fields,
@@ -693,6 +885,29 @@ fn handle_cache_stats(state: &AppState) -> HandlerResult {
     doc.push((
         "router".into(),
         ftqc_compiler::route_counters_to_json(&state.stages.route_stats()),
+    ));
+    // Additive wire fields (no version bump): per-endpoint request-latency
+    // percentiles for endpoints that have seen traffic, per-stage compile
+    // times, and worker-pool queue waits.
+    let latency: Vec<(String, Value)> = Endpoint::ALL
+        .iter()
+        .filter_map(|e| {
+            let snap = state.metrics.latency_snapshot(*e);
+            (snap.count > 0).then(|| (e.label().to_string(), percentiles_json(&snap)))
+        })
+        .collect();
+    doc.push(("latency".into(), Value::Obj(latency)));
+    let stage_latency: Vec<(String, Value)> = Stage::ALL
+        .iter()
+        .filter_map(|s| {
+            let snap = state.metrics.stage_snapshot(*s);
+            (snap.count > 0).then(|| (s.name().to_string(), percentiles_json(&snap)))
+        })
+        .collect();
+    doc.push(("stage_latency".into(), Value::Obj(stage_latency)));
+    doc.push((
+        "queue_wait".into(),
+        percentiles_json(&state.metrics.queue_wait_snapshot()),
     ));
     (200, "application/json", versioned(Value::Obj(doc)).render())
 }
@@ -725,11 +940,31 @@ mod tests {
             cache,
             stages: StageCache::new(64),
             targets: TargetRegistry::builtin(),
-            metrics: ServerMetrics::new(),
+            metrics: Arc::new(ServerMetrics::new()),
+            recorder: FlightRecorder::new(16),
             workers,
             started: Instant::now(),
             read_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// Most tests don't care about tracing: mint a throwaway trace, call
+    /// the real router, and record the result like `serve_connection`
+    /// does. (Shadows the outer `handle_request` for the module.)
+    fn handle_request(state: &AppState, request: &Request) -> HandlerResult {
+        let trace = ActiveTrace::begin(TraceId::mint(), "request");
+        trace.add_span(
+            "parse",
+            None,
+            0,
+            trace.now_micros(),
+            vec![("bytes".into(), request.body.len().to_string())],
+        );
+        let result = super::handle_request(state, request, &trace);
+        state
+            .recorder
+            .record(trace.finish(result.0, Endpoint::of_path(&request.path).label()));
+        result
     }
 
     fn post_q(path: &str, query: &str, body: &str) -> Request {
@@ -746,14 +981,18 @@ mod tests {
         post_q(path, "", body)
     }
 
-    fn get(path: &str) -> Request {
+    fn get_q(path: &str, query: &str) -> Request {
         Request {
             method: "GET".into(),
             path: path.into(),
-            query: String::new(),
+            query: query.into(),
             headers: Vec::new(),
             body: Vec::new(),
         }
+    }
+
+    fn get(path: &str) -> Request {
+        get_q(path, "")
     }
 
     #[test]
@@ -1134,5 +1373,116 @@ mod tests {
         assert_eq!(status, 405);
         let (status, _, _) = handle_request(&state, &post("/metrics", ""));
         assert_eq!(status, 405);
+        let (status, _, _) = handle_request(&state, &post("/v1/traces", ""));
+        assert_eq!(status, 405);
+        let (status, _, _) = handle_request(&state, &post("/v1/trace/ff", ""));
+        assert_eq!(status, 405);
+    }
+
+    #[test]
+    fn trace_endpoints_serve_the_flight_recorder() {
+        let state = test_state(1);
+        let (status, _, _) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"id":"t","source":{"benchmark":"ising","size":2}}"#,
+            ),
+        );
+        assert_eq!(status, 200);
+
+        let (status, _, body) = handle_request(&state, &get("/v1/traces"));
+        assert_eq!(status, 200, "got {body}");
+        let doc = Value::parse(&body).unwrap();
+        let traces = match doc.get("traces") {
+            Some(Value::Arr(items)) => items.clone(),
+            other => panic!("traces must be an array, got {other:?}"),
+        };
+        assert_eq!(traces.len(), 1, "only the compile ran before this call");
+        assert_eq!(
+            traces[0].get("endpoint").and_then(Value::as_str),
+            Some("compile")
+        );
+        let id = traces[0]
+            .get("id")
+            .and_then(Value::as_str)
+            .expect("summary id")
+            .to_string();
+
+        // The full span tree covers parse → queue-wait → stages → route.
+        let (status, _, body) = handle_request(&state, &get(&format!("/v1/trace/{id}")));
+        assert_eq!(status, 200, "got {body}");
+        use ftqc_service::json::FromJson as _;
+        let trace =
+            ftqc_telemetry::FinishedTrace::from_json(&Value::parse(&body).unwrap()).unwrap();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        for expected in [
+            "request",
+            "parse",
+            "queue-wait",
+            "prepare",
+            "lower",
+            "map",
+            "schedule",
+            "route",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        let map = trace.spans.iter().find(|s| s.name == "map").unwrap();
+        let route = trace.spans.iter().find(|s| s.name == "route").unwrap();
+        assert_eq!(route.parent, Some(map.id), "route hangs off its map span");
+        assert_eq!(route.attr("job"), Some("t"));
+        assert_eq!(map.attr("cached"), Some("false"));
+
+        // min_micros filters; absurd thresholds leave nothing.
+        let (status, _, body) =
+            handle_request(&state, &get_q("/v1/traces", "min_micros=999999999999"));
+        assert_eq!(status, 200);
+        assert!(body.contains("\"traces\":[]"), "got {body}");
+        let (status, _, _) = handle_request(&state, &get_q("/v1/traces", "min_micros=-3"));
+        assert_eq!(status, 400);
+        let (status, _, _) = handle_request(&state, &get_q("/v1/traces", "limit=0"));
+        assert_eq!(status, 400);
+
+        // Bad hex is a 400; a well-formed unknown id is a 404.
+        let (status, _, _) = handle_request(&state, &get("/v1/trace/nothex"));
+        assert_eq!(status, 400);
+        let (status, _, _) = handle_request(&state, &get("/v1/trace/1234"));
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn cache_stats_carries_latency_percentiles() {
+        let state = test_state(1);
+        state
+            .metrics
+            .record(Endpoint::Compile, 200, Duration::from_micros(100));
+        let (status, _, body) = handle_request(
+            &state,
+            &post(
+                "/v1/compile",
+                r#"{"id":"p","source":{"benchmark":"ising","size":2}}"#,
+            ),
+        );
+        assert_eq!(status, 200, "got {body}");
+        let (status, _, body) = handle_request(&state, &get("/v1/cache/stats"));
+        assert_eq!(status, 200);
+        let doc = Value::parse(&body).unwrap();
+        let latency = doc.get("latency").expect("latency object");
+        let compile = latency.get("compile").expect("compile had traffic");
+        assert_eq!(compile.get("count").and_then(Value::as_u64), Some(1));
+        // One 100µs sample: the estimate clamps to the observed max.
+        assert_eq!(compile.get("p50_micros").and_then(Value::as_u64), Some(100));
+        assert!(
+            latency.get("other").is_none(),
+            "idle endpoints are omitted: {body}"
+        );
+        let stages = doc.get("stage_latency").expect("stage_latency object");
+        for stage in ["prepare", "lower", "map", "schedule"] {
+            let s = stages.get(stage).expect("every stage ran once");
+            assert_eq!(s.get("count").and_then(Value::as_u64), Some(1), "{stage}");
+        }
+        let queue = doc.get("queue_wait").expect("queue_wait object");
+        assert_eq!(queue.get("count").and_then(Value::as_u64), Some(1));
     }
 }

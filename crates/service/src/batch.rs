@@ -113,8 +113,12 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         let cache = &self.cache;
         let resolve = &resolve;
         let compile = &compile;
+        // The closure body runs the moment a worker claims the job off the
+        // pool's queue, so "now minus submission" is exactly the queue wait.
+        let submitted = Instant::now();
         self.pool.run(jobs, move |job| {
             let start = Instant::now();
+            let queue_micros = u64::try_from((start - submitted).as_micros()).unwrap_or(u64::MAX);
             let done = |status, fingerprint, metrics, provenance, stage| JobResult {
                 id: job.id.clone(),
                 fingerprint,
@@ -122,6 +126,7 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
                 metrics,
                 provenance,
                 micros: start.elapsed().as_micros() as u64,
+                queue_micros,
                 stage,
             };
 
@@ -231,6 +236,7 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
                             metrics: None,
                             provenance: CacheProvenance::Computed,
                             micros: 0,
+                            queue_micros: 0,
                             stage: None,
                         })),
                     }
@@ -456,6 +462,34 @@ mod tests {
         assert!(svc
             .run_jsonl::<Opts, _, _>("# nothing here\n", resolver, compile)
             .is_empty());
+    }
+
+    #[test]
+    fn queue_wait_is_measured_per_job() {
+        // One worker, jobs that sleep: the second job's queue wait covers
+        // at least the first job's compile time.
+        let svc = BatchService::<Out>::new(BatchConfig {
+            workers: 1,
+            cache_capacity: 16,
+            cache_file: None,
+        })
+        .unwrap();
+        let compile = |c: &Circuit, job: &CompileJob<Opts>| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            Ok(StageOutcome::complete(Out {
+                gates_times_cost: c.len() as u64 * job.options.cost,
+            }))
+        };
+        let results = svc.run(vec![job("a", 3, 1), job("b", 4, 1)], resolver, compile);
+        assert!(
+            results[1].queue_micros >= 8_000,
+            "job b waited behind job a, got {}µs",
+            results[1].queue_micros
+        );
+        assert!(
+            results[0].queue_micros < results[1].queue_micros,
+            "the first claimed job waits less"
+        );
     }
 
     #[test]

@@ -311,6 +311,10 @@ pub struct JobResult<M> {
     /// Wall-clock microseconds spent on this job (resolution + lookup +
     /// compile).
     pub micros: u64,
+    /// Microseconds the job waited in the worker pool's queue between
+    /// batch submission and a worker claiming it. Additive wire field
+    /// (absent or 0 in documents from older producers).
+    pub queue_micros: u64,
     /// The terminal stage of an explicitly staged job (`stop_after`);
     /// `None` for ordinary full compiles.
     pub stage: Option<String>,
@@ -333,6 +337,7 @@ impl<M> JobResult<M> {
             metrics: None,
             provenance: CacheProvenance::Computed,
             micros: 0,
+            queue_micros: 0,
             stage: None,
         }
     }
@@ -359,6 +364,14 @@ impl<M: ToJson> ToJson for JobResult<M> {
             ),
             ("micros".to_string(), Value::Num(self.micros as f64)),
         ];
+        // Rendered only when measured, so producers that never queue jobs
+        // (and pre-queue-wait consumers' goldens) keep their exact bytes.
+        if self.queue_micros > 0 {
+            fields.push((
+                "queue_micros".to_string(),
+                Value::Num(self.queue_micros as f64),
+            ));
+        }
         if let Some(stage) = &self.stage {
             fields.push(("stage".to_string(), Value::Str(stage.clone())));
         }
@@ -387,6 +400,10 @@ impl<M: FromJson> FromJson for JobResult<M> {
         let provenance = CacheProvenance::parse(json::require_str(value, "cache")?)
             .ok_or_else(|| JsonError::schema("bad \"cache\" value"))?;
         let micros = json::require_u64(value, "micros")?;
+        let queue_micros = value
+            .get("queue_micros")
+            .and_then(Value::as_u64)
+            .unwrap_or(0);
         let metrics = match value.get("metrics") {
             None => None,
             Some(m) => Some(M::from_json(m)?),
@@ -406,6 +423,7 @@ impl<M: FromJson> FromJson for JobResult<M> {
             metrics,
             provenance,
             micros,
+            queue_micros,
             stage,
         })
     }
@@ -688,6 +706,7 @@ mod tests {
                 metrics: Some(Opts { r: 6 }),
                 provenance: CacheProvenance::MemoryHit,
                 micros: 1234,
+                queue_micros: 17,
                 stage: None,
             },
             JobResult::<Opts> {
@@ -697,6 +716,7 @@ mod tests {
                 metrics: None,
                 provenance: CacheProvenance::Computed,
                 micros: 5,
+                queue_micros: 0,
                 stage: None,
             },
             JobResult::<Opts> {
@@ -706,6 +726,7 @@ mod tests {
                 metrics: None,
                 provenance: CacheProvenance::Computed,
                 micros: 9,
+                queue_micros: 3,
                 stage: Some("map".into()),
             },
         ];
@@ -715,6 +736,22 @@ mod tests {
             let back: JobResult<Opts> = JobResult::from_json(&Value::parse(line).unwrap()).unwrap();
             assert_eq!(&back, expected);
         }
+        // queue_micros renders only when measured: zero stays off the wire,
+        // so pre-queue-wait consumers see byte-identical result lines.
+        assert!(text.lines().next().unwrap().contains("\"queue_micros\":17"));
+        assert!(!text.lines().nth(1).unwrap().contains("queue_micros"));
+    }
+
+    #[test]
+    fn results_tolerate_absent_and_unknown_fields() {
+        // A document from an older producer (no queue_micros) decodes with
+        // the field defaulted, and unknown future fields are ignored —
+        // the additive-evolution contract new endpoints rely on.
+        let line = r#"{"id":"a","fingerprint":"00000000deadbeef","status":"ok","cache":"memory","micros":7,"future_field":{"x":1}}"#;
+        let back: JobResult<Opts> = JobResult::from_json(&Value::parse(line).unwrap()).unwrap();
+        assert_eq!(back.queue_micros, 0);
+        assert_eq!(back.micros, 7);
+        assert_eq!(back.status, JobStatus::Ok);
     }
 
     #[test]

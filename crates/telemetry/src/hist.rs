@@ -1,0 +1,301 @@
+//! Fixed-bucket log₂ histograms over plain atomics.
+//!
+//! An observation of `v` microseconds lands in the bucket whose upper
+//! bound is the smallest power of two ≥ `v` (bucket 0 catches 0 and 1).
+//! With [`BUCKETS`] buckets the finite bounds span 1 µs to 2³⁸ µs (about
+//! 76 hours); anything larger lands in the `+Inf` overflow bucket. That
+//! layout makes `record` a couple of relaxed atomic bumps — cheap enough
+//! for every request on the server's hot path — while still supporting
+//! upper-bound quantile estimates and the Prometheus histogram exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket count: indices `0..BUCKETS-1` have finite upper bounds
+/// `2^0 .. 2^(BUCKETS-2)`; the last bucket is `+Inf`.
+pub const BUCKETS: usize = 40;
+
+/// Adds `v` to an atomic counter with saturation instead of wrap-around,
+/// so a soak run can never silently overflow a latency sum.
+pub fn saturating_counter_add(cell: &AtomicU64, v: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(v);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+/// A `Duration` as whole microseconds, saturating at `u64::MAX` instead of
+/// truncating: `as_micros()` returns a `u128`, and a plain `as u64` cast
+/// would wrap a pathological duration to a small number.
+pub fn duration_micros_saturating(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// The bucket index for an observation.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        // Smallest i with v <= 2^i, clamped into the +Inf bucket.
+        ((64 - (v - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `i`, or `None` for `+Inf`.
+fn bucket_bound(i: usize) -> Option<u64> {
+    (i < BUCKETS - 1).then(|| 1u64 << i)
+}
+
+/// A concurrent log₂ latency histogram.
+///
+/// All counters are relaxed atomics; `record` never locks. Reads go
+/// through [`Histogram::snapshot`], which freezes a point-in-time copy for
+/// quantiles and rendering.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `v` microseconds.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        saturating_counter_add(&self.sum, v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a `Duration`, saturating the microsecond conversion.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(duration_micros_saturating(d));
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy for quantiles and rendering.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = counts.iter().sum();
+        HistogramSnapshot {
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (not cumulative).
+    pub counts: Vec<u64>,
+    /// Total observations (`counts` summed).
+    pub count: u64,
+    /// Saturating sum of all observations.
+    pub sum: u64,
+    /// Smallest observation (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An upper-bound estimate of the `q`-quantile (`0.0 ..= 1.0`):
+    /// the bound of the bucket holding the target rank, clamped into
+    /// `[min, max]` so the estimate never leaves the observed range.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let bound = bucket_bound(i).unwrap_or(self.max);
+                return bound.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Appends the Prometheus histogram exposition for this snapshot:
+    /// cumulative `<name>_bucket` series up to the highest non-empty
+    /// finite bound plus `le="+Inf"`, then `<name>_sum` and
+    /// `<name>_count`. `labels` is the rendered label list without braces
+    /// (e.g. `endpoint="compile"`), or empty.
+    pub fn render_prometheus(&self, out: &mut String, name: &str, labels: &str) {
+        use std::fmt::Write as _;
+        let sep = if labels.is_empty() { "" } else { "," };
+        let highest = self
+            .counts
+            .iter()
+            .rposition(|c| *c > 0)
+            .unwrap_or(0)
+            .min(BUCKETS - 2);
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate().take(highest + 1) {
+            cumulative += c;
+            let bound = bucket_bound(i).expect("finite bucket");
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{labels}{sep}le=\"{bound}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
+            self.count
+        );
+        if labels.is_empty() {
+            let _ = writeln!(out, "{name}_sum {}", self.sum);
+            let _ = writeln!(out, "{name}_count {}", self.count);
+        } else {
+            let _ = writeln!(out, "{name}_sum{{{labels}}} {}", self.sum);
+            let _ = writeln!(out, "{name}_count{{{labels}}} {}", self.count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2_with_inclusive_bounds() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Every finite bucket's bound maps back into that bucket.
+        for i in 0..BUCKETS - 1 {
+            let bound = bucket_bound(i).unwrap();
+            assert_eq!(bucket_index(bound), i, "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn records_and_estimates_quantiles() {
+        let h = Histogram::new();
+        for v in [3, 3, 3, 3, 3, 3, 3, 3, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 9 * 3 + 1000);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 1000);
+        // p50 falls in the bucket with bound 4; p99 reaches the outlier's
+        // bucket (bound 1024) but clamps to the observed max.
+        assert_eq!(s.p50(), 4);
+        assert_eq!(s.p99(), 1000);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+    }
+
+    #[test]
+    fn empty_histogram_is_quiet() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.5), 0);
+        let mut out = String::new();
+        s.render_prometheus(&mut out, "x", "");
+        assert!(out.contains("x_bucket{le=\"1\"} 0"));
+        assert!(out.contains("x_bucket{le=\"+Inf\"} 0"));
+        assert!(out.contains("x_count 0"));
+    }
+
+    #[test]
+    fn prometheus_rendering_is_cumulative_and_labelled() {
+        let h = Histogram::new();
+        for v in [1, 2, 2, 900] {
+            h.record(v);
+        }
+        let mut out = String::new();
+        h.snapshot()
+            .render_prometheus(&mut out, "lat", "endpoint=\"compile\"");
+        assert!(out.contains("lat_bucket{endpoint=\"compile\",le=\"1\"} 1"));
+        assert!(out.contains("lat_bucket{endpoint=\"compile\",le=\"2\"} 3"));
+        assert!(out.contains("lat_bucket{endpoint=\"compile\",le=\"1024\"} 4"));
+        assert!(out.contains("lat_bucket{endpoint=\"compile\",le=\"+Inf\"} 4"));
+        assert!(out.contains("lat_sum{endpoint=\"compile\"} 905"));
+        assert!(out.contains("lat_count{endpoint=\"compile\"} 4"));
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.sum, u64::MAX, "saturated, not wrapped");
+        assert_eq!(s.count, 2);
+        assert_eq!(s.counts[BUCKETS - 1], 2, "overflow bucket caught both");
+    }
+
+    #[test]
+    fn duration_conversion_saturates() {
+        use std::time::Duration;
+        assert_eq!(
+            duration_micros_saturating(Duration::from_micros(1234)),
+            1234
+        );
+        // u64::MAX seconds is far beyond u64::MAX microseconds: a plain
+        // `as u64` cast of `as_micros()` would truncate, this saturates.
+        assert_eq!(
+            duration_micros_saturating(Duration::new(u64::MAX, 0)),
+            u64::MAX
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Bridges the compiler's stage-event stream into a request trace.
+
+use crate::span::ActiveTrace;
+use ftqc_compiler::{StageEvent, TraceHook};
+use std::sync::Arc;
+
+/// A [`TraceHook`] that turns every finished pipeline stage into a child
+/// span of a request trace: the span carries the stage's cache-hit flag
+/// and artifact fingerprint, and its start time is back-dated by the
+/// stage's own duration so stages line up on the request's clock.
+///
+/// Attach one per compile job (sessions are per-job, so the hook is too);
+/// `with_attr` stamps a shared attribute — typically `job=<id>` — on every
+/// stage span, which is how a batch request's interleaved stage spans stay
+/// attributable.
+#[derive(Debug)]
+pub struct StageSpanHook {
+    trace: Arc<ActiveTrace>,
+    attrs: Vec<(String, String)>,
+}
+
+impl StageSpanHook {
+    /// A hook appending stage spans to `trace` (parented to the root).
+    pub fn new(trace: Arc<ActiveTrace>) -> StageSpanHook {
+        StageSpanHook {
+            trace,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds a `key=value` attribute stamped on every stage span.
+    #[must_use]
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> StageSpanHook {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+}
+
+impl TraceHook for StageSpanHook {
+    fn on_stage(&self, event: &StageEvent) {
+        let end = self.trace.now_micros();
+        let mut attrs = self.attrs.clone();
+        attrs.push(("cached".to_string(), event.cached.to_string()));
+        attrs.push((
+            "fingerprint".to_string(),
+            format!("{:016x}", event.fingerprint),
+        ));
+        self.trace.add_span(
+            event.stage.name(),
+            None,
+            end.saturating_sub(event.micros),
+            event.micros,
+            attrs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::TraceId;
+    use ftqc_circuit::Circuit;
+    use ftqc_compiler::{CompileSession, CompilerOptions, Stage};
+
+    #[test]
+    fn stage_events_become_child_spans() {
+        let mut circuit = Circuit::new(3);
+        circuit.h(0).cnot(0, 1).t(2).cnot(1, 2);
+        let trace = ActiveTrace::begin(TraceId::from_u64(42), "request");
+        let hook = Arc::new(StageSpanHook::new(Arc::clone(&trace)).with_attr("job", "j1"));
+        let session = CompileSession::new(CompilerOptions::default()).with_hook(hook);
+        session.run_until(&circuit, Stage::Schedule).unwrap();
+
+        let done = trace.finish(200, "compile");
+        let names: Vec<&str> = done.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["request", "prepare", "lower", "map", "schedule"]
+        );
+        for span in &done.spans[1..] {
+            assert_eq!(span.parent, Some(0));
+            assert_eq!(span.attr("job"), Some("j1"));
+            assert_eq!(span.attr("cached"), Some("false"));
+            let fp = span.attr("fingerprint").expect("fingerprint attr");
+            assert_eq!(fp.len(), 16, "hex fingerprint: {fp}");
+            assert!(
+                span.start_micros + span.duration_micros <= done.duration_micros,
+                "stage spans sit inside the request"
+            );
+        }
+    }
+}

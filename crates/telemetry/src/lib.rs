@@ -1,0 +1,34 @@
+//! `ftqc-telemetry` — request-scoped tracing and quantile-capable latency
+//! metrics for the compile server.
+//!
+//! Three pillars, all dependency-free over `std` atomics:
+//!
+//! * [`hist`] — fixed-bucket log₂ [`Histogram`]s: every observation lands
+//!   in the bucket whose upper bound is the next power of two, so a
+//!   handful of `AtomicU64`s yields Prometheus `_bucket`/`_sum`/`_count`
+//!   series and p50/p95/p99 estimates without locks or floats on the hot
+//!   path.
+//! * [`span`] — a 64-bit [`TraceId`] minted per server request (or
+//!   accepted inbound from the `x-ftqc-trace` header) and an
+//!   [`ActiveTrace`] collecting [`Span`]s — name, parent, start/duration
+//!   micros, key=value attrs — that a finished request freezes into a
+//!   [`FinishedTrace`] span tree.
+//! * [`recorder`] — the [`FlightRecorder`]: a bounded, lock-striped ring
+//!   of the last N finished traces with always-keep-slowest retention,
+//!   queried by `GET /v1/traces` and `GET /v1/trace/<id>`.
+//!
+//! [`hook::StageSpanHook`] adapts the compiler's
+//! [`TraceHook`](ftqc_compiler::TraceHook) stream: each finished pipeline
+//! stage becomes a child span carrying its cache-hit flag and artifact
+//! fingerprint, so one trace covers parse → queue-wait → per-stage compile
+//! → router attribution.
+
+pub mod hist;
+pub mod hook;
+pub mod recorder;
+pub mod span;
+
+pub use hist::{duration_micros_saturating, saturating_counter_add, Histogram, HistogramSnapshot};
+pub use hook::StageSpanHook;
+pub use recorder::{FlightRecorder, DEFAULT_TRACE_CAPACITY};
+pub use span::{render_span_tree, ActiveTrace, FinishedTrace, Span, TraceId, TraceSummary};

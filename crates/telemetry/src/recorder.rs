@@ -1,0 +1,189 @@
+//! The flight recorder: a bounded, lock-striped ring of the last N
+//! finished request traces.
+//!
+//! Recording happens on every request, so the structure is built for
+//! write throughput: traces land in one of [`STRIPES`] independent
+//! mutex-guarded rings keyed by trace id, and eviction is local to the
+//! stripe. Retention is *always-keep-slowest*: when a stripe overflows,
+//! the oldest entry is dropped **unless** it is the stripe's slowest
+//! trace, in which case the next-oldest goes instead — so the request you
+//! most want to debug survives a flood of fast ones.
+
+use crate::span::{FinishedTrace, TraceId, TraceSummary};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent rings (and locks).
+pub const STRIPES: usize = 8;
+
+/// Default total capacity (traces, across all stripes).
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+#[derive(Debug)]
+struct Entry {
+    seq: u64,
+    trace: Arc<FinishedTrace>,
+}
+
+/// The bounded trace ring. Cheap to share: interior mutability only.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    stripes: Vec<Mutex<VecDeque<Entry>>>,
+    per_stripe: usize,
+    seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining about `capacity` traces in total (rounded up
+    /// to a multiple of the stripe count; at least one per stripe).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let per_stripe = capacity.div_ceil(STRIPES).max(1);
+        FlightRecorder {
+            stripes: (0..STRIPES).map(|_| Mutex::new(VecDeque::new())).collect(),
+            per_stripe,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn stripe_of(&self, id: TraceId) -> &Mutex<VecDeque<Entry>> {
+        &self.stripes[(id.as_u64() % STRIPES as u64) as usize]
+    }
+
+    /// Records a finished trace, evicting with keep-slowest retention.
+    pub fn record(&self, trace: FinishedTrace) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut stripe = self.stripe_of(trace.id).lock().expect("recorder stripe");
+        stripe.push_back(Entry {
+            seq,
+            trace: Arc::new(trace),
+        });
+        while stripe.len() > self.per_stripe {
+            let slowest = stripe
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.trace.duration_micros)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            // Drop the oldest entry that is not the stripe's slowest.
+            let victim = if slowest == 0 { 1 } else { 0 };
+            stripe.remove(victim);
+        }
+    }
+
+    /// The full trace for `id`, when it is still retained. When a client
+    /// reused an id, the most recently recorded trace wins.
+    pub fn get(&self, id: TraceId) -> Option<Arc<FinishedTrace>> {
+        let stripe = self.stripe_of(id).lock().expect("recorder stripe");
+        stripe
+            .iter()
+            .rev()
+            .find(|e| e.trace.id == id)
+            .map(|e| Arc::clone(&e.trace))
+    }
+
+    /// Summaries of retained traces, newest first, keeping only traces at
+    /// least `min_micros` long, capped at `limit`.
+    pub fn recent(&self, min_micros: u64, limit: usize) -> Vec<TraceSummary> {
+        let mut entries: Vec<(u64, TraceSummary)> = Vec::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock().expect("recorder stripe");
+            entries.extend(
+                stripe
+                    .iter()
+                    .filter(|e| e.trace.duration_micros >= min_micros)
+                    .map(|e| (e.seq, e.trace.summary())),
+            );
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.0));
+        entries.truncate(limit);
+        entries.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// How many traces are currently retained.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("recorder stripe").len())
+            .sum()
+    }
+
+    /// Whether the recorder holds no traces yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(id: u64, micros: u64) -> FinishedTrace {
+        FinishedTrace {
+            id: TraceId::from_u64(id),
+            endpoint: "compile".into(),
+            status: 200,
+            duration_micros: micros,
+            spans: vec![crate::span::Span {
+                id: 0,
+                parent: None,
+                name: "request".into(),
+                start_micros: 0,
+                duration_micros: micros,
+                attrs: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn records_and_fetches_by_id() {
+        let rec = FlightRecorder::new(16);
+        rec.record(trace(1, 100));
+        rec.record(trace(2, 200));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.get(TraceId::from_u64(1)).unwrap().duration_micros, 100);
+        assert!(rec.get(TraceId::from_u64(99)).is_none());
+        // Reused id: latest wins.
+        rec.record(trace(1, 555));
+        assert_eq!(rec.get(TraceId::from_u64(1)).unwrap().duration_micros, 555);
+    }
+
+    #[test]
+    fn recent_filters_sorts_and_limits() {
+        let rec = FlightRecorder::new(64);
+        for i in 0..10u64 {
+            rec.record(trace(i + 1, i * 10));
+        }
+        let all = rec.recent(0, 100);
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].id, TraceId::from_u64(10), "newest first");
+        let slow = rec.recent(50, 100);
+        assert_eq!(slow.len(), 5, "min_micros filters");
+        assert!(slow.iter().all(|s| s.duration_micros >= 50));
+        assert_eq!(rec.recent(0, 3).len(), 3, "limit caps");
+    }
+
+    #[test]
+    fn overflow_keeps_the_slowest_trace() {
+        // Capacity 8 ⇒ one slot per stripe: every same-stripe insert
+        // evicts, and the slowest must still survive.
+        let rec = FlightRecorder::new(8);
+        let slow = 5 * STRIPES as u64; // same stripe as the fast ids below
+        rec.record(trace(slow, 1_000_000));
+        for i in 1..=20u64 {
+            rec.record(trace(i * STRIPES as u64, 10));
+        }
+        assert!(
+            rec.get(TraceId::from_u64(slow)).is_some(),
+            "slowest trace survives a flood of fast same-stripe traces"
+        );
+        assert!(rec.len() <= 8 + STRIPES, "bounded");
+    }
+
+    #[test]
+    fn zero_capacity_still_retains_one_per_stripe() {
+        let rec = FlightRecorder::new(0);
+        rec.record(trace(1, 5));
+        assert_eq!(rec.len(), 1);
+    }
+}

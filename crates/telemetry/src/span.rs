@@ -1,0 +1,510 @@
+//! Trace identifiers and the per-request span tree.
+//!
+//! A [`TraceId`] is minted once per server request (or accepted inbound,
+//! so a client can pick its own); an [`ActiveTrace`] collects [`Span`]s —
+//! all timed in microseconds relative to the trace's epoch, so a span
+//! recorded on a worker thread lines up with spans recorded on the
+//! connection thread without any clock plumbing. [`ActiveTrace::finish`]
+//! freezes the tree into a [`FinishedTrace`] for the flight recorder and
+//! the `/v1/trace/<id>` JSON shape.
+
+use ftqc_service::json::{self, FromJson, JsonError, ToJson, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// A 64-bit request-scoped trace identifier, rendered as 16 hex digits in
+/// the `x-ftqc-trace` header and the `/v1/trace/<id>` path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+/// SplitMix64 — a cheap full-period mixer, enough to make successive
+/// minted ids look unrelated.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TraceId {
+    /// Mints a fresh process-unique id: a per-process counter mixed with a
+    /// boot-time seed, so ids are unique within a process and unlikely to
+    /// collide across server restarts.
+    pub fn mint() -> TraceId {
+        static SEED: OnceLock<u64> = OnceLock::new();
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let seed = *SEED.get_or_init(|| {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            splitmix64(nanos ^ (std::process::id() as u64).rotate_left(32))
+        });
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        TraceId::from_u64(splitmix64(seed ^ n))
+    }
+
+    /// Wraps a raw id; 0 is reserved and remaps to a fixed sentinel.
+    pub fn from_u64(raw: u64) -> TraceId {
+        TraceId(if raw == 0 { 0x00DD_BA11 } else { raw })
+    }
+
+    /// The raw 64-bit value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The 16-hex-digit wire form.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+
+    /// Parses the wire form (1–16 hex digits, case-insensitive).
+    pub fn parse(s: &str) -> Option<TraceId> {
+        if s.is_empty() || s.len() > 16 {
+            return None;
+        }
+        u64::from_str_radix(s, 16).ok().map(TraceId::from_u64)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// One timed operation inside a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Index of this span in the trace (the root is always 0).
+    pub id: u32,
+    /// Parent span index; `None` only for the root.
+    pub parent: Option<u32>,
+    /// What this span measures (`"request"`, `"parse"`, `"queue-wait"`,
+    /// a stage name, `"route"`).
+    pub name: String,
+    /// Start, in microseconds since the trace epoch.
+    pub start_micros: u64,
+    /// Duration in microseconds.
+    pub duration_micros: u64,
+    /// Free-form key=value attributes (cache-hit flags, fingerprints,
+    /// job ids, router counters).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// The attribute value for `key`, when present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl ToJson for Span {
+    fn to_json(&self) -> Value {
+        let mut fields = vec![("id".to_string(), Value::Num(self.id as f64))];
+        if let Some(parent) = self.parent {
+            fields.push(("parent".to_string(), Value::Num(parent as f64)));
+        }
+        fields.push(("name".to_string(), Value::Str(self.name.clone())));
+        fields.push((
+            "start_micros".to_string(),
+            Value::Num(self.start_micros as f64),
+        ));
+        fields.push((
+            "duration_micros".to_string(),
+            Value::Num(self.duration_micros as f64),
+        ));
+        if !self.attrs.is_empty() {
+            fields.push((
+                "attrs".to_string(),
+                Value::Obj(
+                    self.attrs
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                        .collect(),
+                ),
+            ));
+        }
+        Value::Obj(fields)
+    }
+}
+
+impl FromJson for Span {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let attrs = match value.get("attrs") {
+            None => Vec::new(),
+            Some(Value::Obj(fields)) => fields
+                .iter()
+                .map(|(k, v)| {
+                    v.as_str()
+                        .map(|v| (k.clone(), v.to_string()))
+                        .ok_or_else(|| JsonError::schema("span attrs must be strings"))
+                })
+                .collect::<Result<_, _>>()?,
+            Some(_) => return Err(JsonError::schema("\"attrs\" must be an object")),
+        };
+        Ok(Span {
+            id: json::require_u64(value, "id")? as u32,
+            parent: value
+                .get("parent")
+                .and_then(Value::as_u64)
+                .map(|p| p as u32),
+            name: json::require_str(value, "name")?.to_string(),
+            start_micros: json::require_u64(value, "start_micros")?,
+            duration_micros: json::require_u64(value, "duration_micros")?,
+            attrs,
+        })
+    }
+}
+
+/// The span collector for one in-flight request. Cloned (via `Arc`) into
+/// worker threads and trace hooks; every mutation goes through one mutex,
+/// held only long enough to push a span.
+#[derive(Debug)]
+pub struct ActiveTrace {
+    id: TraceId,
+    epoch: Instant,
+    spans: Mutex<Vec<Span>>,
+}
+
+impl ActiveTrace {
+    /// Starts a trace whose root span is named `root` and whose clock
+    /// starts at `epoch` (pass the instant the request started being read
+    /// so parse time is inside the trace).
+    pub fn begin_at(id: TraceId, root: impl Into<String>, epoch: Instant) -> Arc<ActiveTrace> {
+        Arc::new(ActiveTrace {
+            id,
+            epoch,
+            spans: Mutex::new(vec![Span {
+                id: 0,
+                parent: None,
+                name: root.into(),
+                start_micros: 0,
+                duration_micros: 0,
+                attrs: Vec::new(),
+            }]),
+        })
+    }
+
+    /// [`ActiveTrace::begin_at`] with the epoch set to now.
+    pub fn begin(id: TraceId, root: impl Into<String>) -> Arc<ActiveTrace> {
+        ActiveTrace::begin_at(id, root, Instant::now())
+    }
+
+    /// This trace's id.
+    pub fn id(&self) -> TraceId {
+        self.id
+    }
+
+    /// Microseconds elapsed since the trace epoch.
+    pub fn now_micros(&self) -> u64 {
+        crate::hist::duration_micros_saturating(self.epoch.elapsed())
+    }
+
+    /// Records a completed span and returns its index. A missing parent
+    /// defaults to the root.
+    pub fn add_span(
+        &self,
+        name: impl Into<String>,
+        parent: Option<u32>,
+        start_micros: u64,
+        duration_micros: u64,
+        attrs: Vec<(String, String)>,
+    ) -> u32 {
+        let mut spans = self.spans.lock().expect("trace span lock");
+        let id = spans.len() as u32;
+        spans.push(Span {
+            id,
+            parent: Some(parent.unwrap_or(0)),
+            name: name.into(),
+            start_micros,
+            duration_micros,
+            attrs,
+        });
+        id
+    }
+
+    /// The most recently recorded span with `name` carrying `key=value`
+    /// (how the router span finds its per-job `map` parent).
+    pub fn find_span_with_attr(&self, name: &str, key: &str, value: &str) -> Option<u32> {
+        let spans = self.spans.lock().expect("trace span lock");
+        spans
+            .iter()
+            .rev()
+            .find(|s| s.name == name && s.attr(key) == Some(value))
+            .map(|s| s.id)
+    }
+
+    /// Freezes the trace: the root span's duration becomes the elapsed
+    /// time, and the request's status and endpoint are stamped on.
+    pub fn finish(&self, status: u16, endpoint: &str) -> FinishedTrace {
+        let duration = self.now_micros();
+        let mut spans = self.spans.lock().expect("trace span lock").clone();
+        spans[0].duration_micros = duration;
+        FinishedTrace {
+            id: self.id,
+            endpoint: endpoint.to_string(),
+            status,
+            duration_micros: duration,
+            spans,
+        }
+    }
+}
+
+/// A completed request's frozen span tree — what the flight recorder
+/// retains and `GET /v1/trace/<id>` serves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedTrace {
+    /// The request's trace id.
+    pub id: TraceId,
+    /// The endpoint label the request was accounted under.
+    pub endpoint: String,
+    /// The HTTP status the request finished with.
+    pub status: u16,
+    /// Root (whole-request) duration in microseconds.
+    pub duration_micros: u64,
+    /// The span tree; index 0 is the root.
+    pub spans: Vec<Span>,
+}
+
+impl FinishedTrace {
+    /// The one-line summary served by `GET /v1/traces`.
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary {
+            id: self.id,
+            endpoint: self.endpoint.clone(),
+            status: self.status,
+            duration_micros: self.duration_micros,
+            spans: self.spans.len() as u64,
+        }
+    }
+
+    /// A span's self-time: its duration minus its children's durations
+    /// (saturating, since child clocks can overlap under concurrency).
+    pub fn self_micros(&self, span: u32) -> u64 {
+        let children: u64 = self
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(span) && s.id != span)
+            .map(|s| s.duration_micros)
+            .sum();
+        self.spans[span as usize]
+            .duration_micros
+            .saturating_sub(children)
+    }
+}
+
+impl ToJson for FinishedTrace {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".to_string(), Value::Str(self.id.to_hex())),
+            ("endpoint".to_string(), Value::Str(self.endpoint.clone())),
+            ("status".to_string(), Value::Num(self.status as f64)),
+            (
+                "duration_micros".to_string(),
+                Value::Num(self.duration_micros as f64),
+            ),
+            (
+                "spans".to_string(),
+                Value::Arr(self.spans.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+impl FromJson for FinishedTrace {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        let id = TraceId::parse(json::require_str(value, "id")?)
+            .ok_or_else(|| JsonError::schema("\"id\" must be 1-16 hex digits"))?;
+        let spans = match value.get("spans") {
+            Some(Value::Arr(items)) => items
+                .iter()
+                .map(Span::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(JsonError::schema("\"spans\" must be an array")),
+        };
+        if spans.is_empty() {
+            return Err(JsonError::schema("a trace has at least its root span"));
+        }
+        Ok(FinishedTrace {
+            id,
+            endpoint: json::require_str(value, "endpoint")?.to_string(),
+            status: json::require_u64(value, "status")? as u16,
+            duration_micros: json::require_u64(value, "duration_micros")?,
+            spans,
+        })
+    }
+}
+
+/// The `GET /v1/traces` listing entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The trace id.
+    pub id: TraceId,
+    /// Endpoint label.
+    pub endpoint: String,
+    /// Final HTTP status.
+    pub status: u16,
+    /// Whole-request duration in microseconds.
+    pub duration_micros: u64,
+    /// How many spans the full trace holds.
+    pub spans: u64,
+}
+
+impl ToJson for TraceSummary {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("id".to_string(), Value::Str(self.id.to_hex())),
+            ("endpoint".to_string(), Value::Str(self.endpoint.clone())),
+            ("status".to_string(), Value::Num(self.status as f64)),
+            (
+                "duration_micros".to_string(),
+                Value::Num(self.duration_micros as f64),
+            ),
+            ("spans".to_string(), Value::Num(self.spans as f64)),
+        ])
+    }
+}
+
+impl FromJson for TraceSummary {
+    fn from_json(value: &Value) -> Result<Self, JsonError> {
+        Ok(TraceSummary {
+            id: TraceId::parse(json::require_str(value, "id")?)
+                .ok_or_else(|| JsonError::schema("\"id\" must be 1-16 hex digits"))?,
+            endpoint: json::require_str(value, "endpoint")?.to_string(),
+            status: json::require_u64(value, "status")? as u16,
+            duration_micros: json::require_u64(value, "duration_micros")?,
+            spans: json::require_u64(value, "spans")?,
+        })
+    }
+}
+
+/// Renders a trace as an indented tree with per-span self-times — the
+/// shape behind `ftqc compile --trace` and `ftqc client trace <id>`.
+pub fn render_span_tree(trace: &FinishedTrace) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trace {}  endpoint={}  status={}  {} spans",
+        trace.id.to_hex(),
+        trace.endpoint,
+        trace.status,
+        trace.spans.len()
+    );
+    // Depth-first over parent links, preserving recording order among
+    // siblings; defensive visited set so a malformed parent cycle (e.g. a
+    // hand-crafted trace JSON) cannot hang the renderer.
+    let mut visited = vec![false; trace.spans.len()];
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    while let Some((id, depth)) = stack.pop() {
+        if std::mem::replace(&mut visited[id as usize], true) {
+            continue;
+        }
+        let span = &trace.spans[id as usize];
+        let label = format!("{}{}", "  ".repeat(depth), span.name);
+        let attrs = span
+            .attrs
+            .iter()
+            .map(|(k, v)| format!(" {k}={v}"))
+            .collect::<String>();
+        let _ = writeln!(
+            out,
+            "{label:<28} {:>10}µs  self {:>10}µs{attrs}",
+            span.duration_micros,
+            trace.self_micros(id)
+        );
+        // Push children in reverse so the first-recorded child renders
+        // first.
+        for child in trace
+            .spans
+            .iter()
+            .filter(|s| s.parent == Some(id) && s.id != id)
+            .rev()
+        {
+            stack.push((child.id, depth + 1));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_mint_unique_and_roundtrip_hex() {
+        let a = TraceId::mint();
+        let b = TraceId::mint();
+        assert_ne!(a, b);
+        assert_eq!(TraceId::parse(&a.to_hex()), Some(a));
+        assert_eq!(a.to_hex().len(), 16);
+        assert_eq!(TraceId::parse("ff"), Some(TraceId::from_u64(0xff)));
+        assert!(TraceId::parse("").is_none());
+        assert!(TraceId::parse("xyz").is_none());
+        assert!(TraceId::parse("112233445566778899").is_none());
+        assert_ne!(TraceId::from_u64(0).as_u64(), 0, "zero is remapped");
+    }
+
+    #[test]
+    fn spans_collect_into_a_tree_with_self_times() {
+        let trace = ActiveTrace::begin(TraceId::from_u64(7), "request");
+        let map = trace.add_span(
+            "map",
+            None,
+            10,
+            100,
+            vec![
+                ("job".into(), "a".into()),
+                ("cached".into(), "false".into()),
+            ],
+        );
+        trace.add_span("route", Some(map), 110, 0, vec![]);
+        trace.add_span("schedule", None, 110, 40, vec![("job".into(), "a".into())]);
+        assert_eq!(trace.find_span_with_attr("map", "job", "a"), Some(map));
+        assert_eq!(trace.find_span_with_attr("map", "job", "zz"), None);
+
+        let done = trace.finish(200, "compile");
+        assert_eq!(done.status, 200);
+        assert_eq!(done.spans.len(), 4);
+        assert_eq!(done.spans[0].name, "request");
+        assert!(done.duration_micros >= done.spans[0].start_micros);
+        // Root self-time excludes its direct children (map + schedule).
+        assert_eq!(
+            done.self_micros(0),
+            done.duration_micros.saturating_sub(140)
+        );
+        assert_eq!(done.self_micros(map), 100, "route child has 0 duration");
+
+        let rendered = render_span_tree(&done);
+        assert!(rendered.contains("trace 0000000000000007"));
+        assert!(rendered.contains("  map"));
+        assert!(rendered.contains("    route"));
+        assert!(rendered.contains("cached=false"));
+    }
+
+    #[test]
+    fn finished_traces_roundtrip_json() {
+        let trace = ActiveTrace::begin(TraceId::from_u64(0xabc), "request");
+        trace.add_span("parse", None, 0, 5, vec![("bytes".into(), "120".into())]);
+        let done = trace.finish(200, "compile");
+        let json = done.to_json().render();
+        let back = FinishedTrace::from_json(&Value::parse(&json).unwrap()).unwrap();
+        assert_eq!(back, done);
+        // Unknown fields are tolerated (additive wire evolution).
+        let with_extra = json.replacen('{', "{\"future\":[1,2],", 1);
+        let back = FinishedTrace::from_json(&Value::parse(&with_extra).unwrap()).unwrap();
+        assert_eq!(back, done);
+
+        let summary = done.summary();
+        assert_eq!(summary.spans, 2);
+        let sjson = summary.to_json().render();
+        let sback = TraceSummary::from_json(&Value::parse(&sjson).unwrap()).unwrap();
+        assert_eq!(sback, summary);
+    }
+}

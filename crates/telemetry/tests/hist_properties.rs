@@ -1,0 +1,110 @@
+//! Property-based tests for the log₂ histogram: bucket accounting,
+//! quantile ordering/bounds, and the Prometheus text round-trip.
+
+use ftqc_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// A mix of small, medium, and pathological magnitudes so every bucket
+/// region (including `+Inf`) gets exercised.
+fn arb_sample() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..16,
+        1u64..100_000,
+        (0u32..63).prop_map(|shift| 1u64 << shift),
+        Just(u64::MAX),
+    ]
+}
+
+fn observe(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Parses the `name_bucket`/`name_sum`/`name_count` lines back out of the
+/// exposition text: (cumulative bucket counts with their `le` bounds, sum,
+/// count).
+fn parse_prometheus(text: &str, name: &str) -> (Vec<(String, u64)>, u64, u64) {
+    let mut buckets = Vec::new();
+    let mut sum = None;
+    let mut count = None;
+    for line in text.lines() {
+        let (series, value) = line.rsplit_once(' ').expect("line has a value");
+        let value: u64 = value.parse().expect("numeric value");
+        if let Some(rest) = series.strip_prefix(&format!("{name}_bucket{{")) {
+            let le = rest
+                .trim_end_matches('}')
+                .split(',')
+                .find_map(|kv| kv.strip_prefix("le="))
+                .expect("bucket has an le label")
+                .trim_matches('"')
+                .to_string();
+            buckets.push((le, value));
+        } else if series.starts_with(&format!("{name}_sum")) {
+            sum = Some(value);
+        } else if series.starts_with(&format!("{name}_count")) {
+            count = Some(value);
+        }
+    }
+    (buckets, sum.expect("sum line"), count.expect("count line"))
+}
+
+proptest! {
+    /// Per-bucket counts always sum to the snapshot's `_count`, and the
+    /// saturating `_sum` never exceeds (and without saturation equals) the
+    /// true total.
+    #[test]
+    fn bucket_counts_sum_to_count(samples in proptest::collection::vec(arb_sample(), 0..200)) {
+        let s = observe(&samples);
+        prop_assert_eq!(s.counts.iter().sum::<u64>(), s.count);
+        prop_assert_eq!(s.count, samples.len() as u64);
+        let true_sum = samples.iter().fold(0u64, |acc, v| acc.saturating_add(*v));
+        prop_assert_eq!(s.sum, true_sum);
+    }
+
+    /// Quantiles are monotone in q and bounded by the observed min/max.
+    #[test]
+    fn quantiles_monotone_and_bounded(samples in proptest::collection::vec(arb_sample(), 1..200)) {
+        let s = observe(&samples);
+        let (p50, p95, p99) = (s.p50(), s.p95(), s.p99());
+        prop_assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(est >= min && est <= max, "q={q} est={est} range=[{min},{max}]");
+        }
+    }
+
+    /// The Prometheus text exposition parses back to the same totals:
+    /// cumulative buckets are non-decreasing, `+Inf` equals `_count`, and
+    /// `_sum`/`_count` match the snapshot.
+    #[test]
+    fn prometheus_text_roundtrips(samples in proptest::collection::vec(arb_sample(), 0..200)) {
+        let s = observe(&samples);
+        let mut text = String::new();
+        s.render_prometheus(&mut text, "ftqc_test_micros", "endpoint=\"x\"");
+        let (buckets, sum, count) = parse_prometheus(&text, "ftqc_test_micros");
+        prop_assert_eq!(sum, s.sum);
+        prop_assert_eq!(count, s.count);
+        prop_assert!(!buckets.is_empty());
+        prop_assert_eq!(buckets.last().unwrap().0.as_str(), "+Inf");
+        prop_assert_eq!(buckets.last().unwrap().1, s.count, "+Inf bucket is the count");
+        let mut last = 0u64;
+        let mut last_bound = 0u64;
+        for (le, cumulative) in &buckets {
+            prop_assert!(*cumulative >= last, "cumulative counts never decrease");
+            last = *cumulative;
+            if le != "+Inf" {
+                let bound: u64 = le.parse().expect("finite bound");
+                prop_assert!(bound.is_power_of_two() && bound > last_bound || bound == 1);
+                // Cumulative count at `bound` equals the samples <= bound.
+                let expected = samples.iter().filter(|v| **v <= bound).count() as u64;
+                prop_assert_eq!(*cumulative, expected, "le={}", bound);
+                last_bound = bound;
+            }
+        }
+    }
+}

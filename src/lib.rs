@@ -27,6 +27,9 @@
 //!   sweeps, one process-wide compile cache shared by all clients,
 //!   Prometheus metrics, graceful shutdown, and a blocking client API
 //!   (`ftqc serve` / `ftqc client`).
+//! * [`telemetry`] — request-scoped tracing: trace ids, span trees,
+//!   log₂ latency histograms with percentiles, and the bounded flight
+//!   recorder behind the server's `/v1/traces` endpoints.
 //!
 //! # Quickstart
 //!
@@ -50,3 +53,4 @@ pub use ftqc_route as route;
 pub use ftqc_server as server;
 pub use ftqc_service as service;
 pub use ftqc_sim as sim;
+pub use ftqc_telemetry as telemetry;

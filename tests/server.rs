@@ -597,6 +597,155 @@ fn targets_over_loopback() {
     thread.join().expect("server thread");
 }
 
+#[test]
+fn trace_headers_and_span_accounting_over_loopback() {
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr);
+    let job = |id: &str, r: u32| {
+        CompileJob::new(
+            id,
+            CircuitSource::Benchmark {
+                name: "ising".into(),
+                size: Some(2),
+            },
+            CompilerOptions::default().routing_paths(r),
+        )
+    };
+
+    // Every response carries a server-assigned x-ftqc-trace header, unique
+    // per request.
+    let mut ids = Vec::new();
+    for (i, r) in [2u32, 3, 4].into_iter().enumerate() {
+        let (result, id) = client
+            .compile_traced(&job(&format!("j{i}"), r))
+            .expect("traced compile");
+        assert!(result.is_ok(), "got {:?}", result.status);
+        ids.push(id.expect("response carries x-ftqc-trace"));
+    }
+    let unique: std::collections::HashSet<u64> = ids.iter().map(|id| id.as_u64()).collect();
+    assert_eq!(unique.len(), ids.len(), "trace ids must be unique: {ids:?}");
+
+    // The retained trace covers the request end-to-end — parse, queue
+    // wait, and every pipeline stage — and accounts its time: the root
+    // duration bounds the stages' summed self-times.
+    let trace = client.trace(ids[2]).expect("trace fetch");
+    assert_eq!(trace.id, ids[2]);
+    assert_eq!(trace.endpoint, "compile");
+    assert_eq!(trace.status, 200);
+    let span = |name: &str| {
+        trace
+            .spans
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| {
+                panic!(
+                    "missing span {name:?} in {:?}",
+                    trace.spans.iter().map(|s| &s.name).collect::<Vec<_>>()
+                )
+            })
+    };
+    for name in [
+        "request",
+        "parse",
+        "queue-wait",
+        "prepare",
+        "lower",
+        "map",
+        "schedule",
+    ] {
+        span(name);
+    }
+    let stage_self: u64 = ["prepare", "lower", "map", "schedule"]
+        .iter()
+        .map(|n| trace.self_micros(span(n).id))
+        .sum();
+    assert!(
+        trace.duration_micros >= stage_self,
+        "root duration {}µs must bound the stages' summed self-time {stage_self}µs",
+        trace.duration_micros
+    );
+
+    // /v1/traces lists the compile among its newest-first summaries.
+    let summaries = client.traces(0).expect("trace summaries");
+    assert!(
+        summaries
+            .iter()
+            .any(|s| s.id == ids[2] && s.endpoint == "compile"),
+        "summaries must include the traced compile: {summaries:?}"
+    );
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn flight_recorder_keeps_slowest_over_loopback() {
+    use ftqc::telemetry::TraceId;
+    use std::io::Write as _;
+
+    // Capacity 8 ⇒ one recorder slot per stripe: every same-stripe
+    // request evicts something.
+    let (addr, handle, thread) = spawn_server(ServerConfig {
+        workers: 2,
+        trace_capacity: 8,
+        ..ServerConfig::default()
+    });
+    let client = Client::new(addr.clone());
+
+    // A compile pinned (via the inbound header) to recorder stripe 0.
+    let pinned = TraceId::from_u64(8);
+    {
+        let body = r#"{"id":"pinned","source":{"benchmark":"ising","size":3}}"#;
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/compile HTTP/1.1\r\nhost: x\r\nx-ftqc-trace: 8\r\n\
+                     content-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let response = ftqc::server::http::read_response(&mut stream).expect("response");
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.header("x-ftqc-trace"),
+            Some(pinned.to_hex()).as_deref(),
+            "inbound trace ids are honoured and echoed"
+        );
+    }
+
+    // Flood the same stripe with fast healthz probes. With one slot per
+    // stripe each probe forces an eviction, but keep-slowest retention
+    // must preserve the compile — the trace worth debugging.
+    for i in 2..40u64 {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(
+                format!(
+                    "GET /healthz HTTP/1.1\r\nhost: x\r\nx-ftqc-trace: {:x}\r\n\r\n",
+                    i * 8
+                )
+                .as_bytes(),
+            )
+            .expect("send");
+        let response = ftqc::server::http::read_response(&mut stream).expect("response");
+        assert_eq!(response.status, 200);
+    }
+    let survived = client
+        .trace(pinned)
+        .expect("slow compile trace survives the flood of fast probes");
+    assert_eq!(survived.endpoint, "compile");
+    assert_eq!(survived.status, 200);
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
 /// GETs `path` and returns the non-2xx status the server answered with.
 fn client_get_error(addr: &str, path: &str) -> u16 {
     use std::io::Write as _;
