@@ -59,6 +59,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "json",
     "explain",
     "trace",
+    "worker",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -19,7 +19,10 @@ use ftqc_compiler::{
     Compiler, CompilerOptions, DesignPoint, Metrics, Stage, StageCache, StageCacheStats,
     StageEvent, StageTrace,
 };
-use ftqc_server::{Client, MultiSweepResponse, Server, ServerConfig, SweepResponse};
+use ftqc_fleet::{CoordinatorConfig, CoordinatorExtension, WorkerConfig, WorkerExtension};
+use ftqc_server::{
+    Client, MultiSweepResponse, RetryPolicy, Server, ServerConfig, ServerExtension, SweepResponse,
+};
 use ftqc_service::json::ToJson;
 use ftqc_service::{
     fingerprint, render_results, BatchConfig, BatchService, CacheProvenance, CompileCache,
@@ -30,6 +33,7 @@ use std::error::Error;
 use std::fmt;
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A CLI failure: argument, I/O, parse, or pipeline error.
@@ -183,6 +187,19 @@ COMMANDS
                                         on shutdown
                        --cache-capacity N / --max-connections N (default 64)
                        --timeout-ms N   per-request read timeout (dflt 10000)
+                       --worker         fleet worker role: adds POST /v1/work
+                                        (result + verification witness) and
+                                        the peer-cache endpoints
+                       --peers A,B,…    all fleet node addresses (sharded
+                                        peer cache); requires --advertise
+                       --advertise ADDR this node's entry in --peers
+                       --fleet A,B,…    fleet coordinator role: dispatch
+                                        compile/batch jobs to these workers,
+                                        re-verify every witness, quarantine
+                                        cheaters, recompute locally
+                       --fleet-cap N    in-flight jobs per worker (default 2)
+                       --fleet-timeout-ms N  per-dispatch deadline before a
+                                        job is reassigned (default 60000)
   client compile <circuit>   compile on a remote server
                        --addr HOST:PORT (default 127.0.0.1:7070)
                        --stop-after STAGE  POST /v1/compile?stage=STAGE (warm
@@ -343,6 +360,7 @@ fn local_job_result(id: &str, circuit: &Circuit, options: &CompilerOptions) -> J
         micros: started.elapsed().as_micros() as u64,
         queue_micros: 0,
         stage: None,
+        witness: None,
     }
 }
 
@@ -387,6 +405,7 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
                     micros: started.elapsed().as_micros() as u64,
                     queue_micros: 0,
                     stage: Some(run.stage.name().to_string()),
+                    witness: None,
                 },
                 Err(e) => JobResult::<Metrics> {
                     id: spec,
@@ -397,6 +416,7 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
                     micros: started.elapsed().as_micros() as u64,
                     queue_micros: 0,
                     stage: None,
+                    witness: None,
                 },
             };
             let failed = !result.is_ok();
@@ -945,6 +965,59 @@ fn cmd_batch(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     })
 }
 
+/// Splits a comma-separated address list, dropping empty entries.
+fn split_addrs(raw: &str) -> Vec<String> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+/// Builds the fleet role requested by `--worker` / `--fleet`, if any.
+fn fleet_extension(p: &ParsedArgs) -> Result<(Option<Arc<dyn ServerExtension>>, String), CliError> {
+    let fleet = p.get("fleet");
+    if p.flag("worker") && fleet.is_some() {
+        return Err(CliError::Unknown(
+            "--worker and --fleet are mutually exclusive roles".into(),
+        ));
+    }
+    if let Some(raw) = fleet {
+        let workers = split_addrs(raw);
+        let n = workers.len();
+        let coordinator = CoordinatorExtension::new(CoordinatorConfig {
+            workers,
+            cap: p.get_or("fleet-cap", 2usize)?.max(1),
+            deadline: Duration::from_millis(p.get_or("fleet-timeout-ms", 60_000u64)?),
+            ..CoordinatorConfig::default()
+        })
+        .map_err(CliError::Unknown)?;
+        let healthy = coordinator.health_check();
+        let note = format!(", coordinating {healthy}/{n} workers");
+        return Ok((Some(Arc::new(coordinator)), note));
+    }
+    if p.flag("worker") {
+        let peers = p
+            .get("peers")
+            .map(|raw| split_addrs(raw))
+            .unwrap_or_default();
+        let n = peers.len();
+        let worker = WorkerExtension::new(WorkerConfig {
+            peers,
+            advertise: p.get("advertise").cloned(),
+            ..WorkerConfig::default()
+        })
+        .map_err(CliError::Unknown)?;
+        let note = if n == 0 {
+            ", worker role".to_string()
+        } else {
+            format!(", worker role ({n}-node peer cache)")
+        };
+        return Ok((Some(Arc::new(worker)), note));
+    }
+    Ok((None, String::new()))
+}
+
 /// Runs the HTTP compile server until SIGINT (or a shutdown poke), then
 /// reports what it served.
 fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
@@ -967,14 +1040,16 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
         Some(f) => format!(", cache file {}", f.display()),
         None => String::new(),
     };
-    let server = Server::bind(config).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let (extension, role_note) = fleet_extension(p)?;
+    let server =
+        Server::bind_with(config, extension).map_err(|e| CliError::Pipeline(e.to_string()))?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     server.install_sigint_handler();
     // Announce before blocking: main only prints after run() returns.
     println!(
-        "ftqc-server listening on {addr} ({} workers{cache_note}); Ctrl-C to stop",
+        "ftqc-server listening on {addr} ({} workers{cache_note}{role_note}); Ctrl-C to stop",
         server.workers()
     );
     let report = server
@@ -997,7 +1072,9 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
 /// `ftqc client compile|batch --addr …`: drive a remote compile server.
 fn cmd_client(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
     let addr: String = p.get_or("addr", "127.0.0.1:7070".to_string())?;
-    let client = Client::new(addr);
+    // Transient transport blips (server mid-restart, connection reset)
+    // retry with bounded jittered backoff rather than failing the command.
+    let client = Client::new(addr).retry(RetryPolicy::default());
     let usage =
         || CliError::Unknown("usage: ftqc client compile|batch|trace|traces <arg> [--addr]".into());
     match p.positionals.first().map(String::as_str) {

@@ -60,6 +60,7 @@ pub mod targets;
 pub mod timer;
 pub mod trace;
 pub mod verify;
+pub mod witness;
 
 pub use analysis::{diagnose, Bottleneck, BottleneckReport};
 pub use codec::{
@@ -91,3 +92,4 @@ pub use session::{
 pub use targets::{apply_job_target, resolve_target_ref};
 pub use trace::{activity_strip, kind_breakdown, Activity, KindBreakdown};
 pub use verify::{verify, VerifyError};
+pub use witness::{extract_witness, verify_witness, Witness, WitnessError, WITNESS_VERSION};

@@ -1,0 +1,436 @@
+//! The fleet coordinator role: a [`ServerExtension`] that keeps the whole
+//! `/v1/*` surface of the core server but executes compile and batch jobs
+//! by dispatching them to remote workers — then **re-verifies every
+//! result's witness before accepting it**.
+//!
+//! The trust model is asymmetric by design. Workers do the expensive
+//! O(compile) work; the coordinator does O(schedule) verification on the
+//! returned witness — re-timing the claimed routed schedule, re-checking
+//! the six structural invariants, and re-deriving the metrics member by
+//! member. A result that fails any of it is discarded, the worker is
+//! quarantined for the rest of the batch, and the job is recomputed
+//! locally — so the output of a fleet run is byte-identical to a local
+//! run even when a worker is actively malicious.
+//!
+//! Failure handling is deadline-based: each dispatch uses a bounded
+//! socket timeout plus the [`RetryPolicy`] backoff; when a worker still
+//! cannot answer it is marked dead, its job goes back on the shared queue
+//! for another worker, and whatever remains when no healthy workers are
+//! left is recomputed locally. Jobs always come back in submission order.
+
+use crate::metrics::FleetMetrics;
+use ftqc_compiler::{verify_witness, CompilerOptions, Metrics, StageCache, Witness, WitnessError};
+use ftqc_server::{Client, RetryPolicy, ServerContext, ServerExtension};
+use ftqc_service::json::{FromJson, ToJson, Value};
+use ftqc_service::resolve::resolve_source_remote;
+use ftqc_service::{fingerprint, CompileJob, JobResult};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Knobs for a [`CoordinatorExtension`].
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Worker addresses (`host:port`).
+    pub workers: Vec<String>,
+    /// In-flight jobs per worker (dispatch threads per worker).
+    pub cap: usize,
+    /// Per-request deadline; a worker that straggles past it (after
+    /// retries) is marked dead and its job reassigned.
+    pub deadline: Duration,
+    /// Backoff policy for transient transport failures, per worker.
+    pub retry: RetryPolicy,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            workers: Vec::new(),
+            cap: 2,
+            deadline: Duration::from_secs(60),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One remote worker as the coordinator sees it.
+#[derive(Debug)]
+struct WorkerHandle {
+    addr: String,
+    client: Client,
+    /// Transport-level failure: connection refused, timeout after
+    /// retries. Dead workers take no further jobs this process.
+    dead: AtomicBool,
+    /// Witness-level failure: the worker returned something verification
+    /// rejected. Quarantined workers take no further jobs, ever.
+    quarantined: AtomicBool,
+    /// Jobs this worker answered (accepted or not).
+    dispatched: AtomicU64,
+}
+
+impl WorkerHandle {
+    fn usable(&self) -> bool {
+        !self.dead.load(Ordering::Relaxed) && !self.quarantined.load(Ordering::Relaxed)
+    }
+}
+
+/// What coordinator-side verification decided about one worker result.
+enum Verdict {
+    /// Witness checked out; take the result as-is (minus the witness).
+    Accept(Box<JobResult<Metrics>>),
+    /// The *job* is at fault (it fails locally too, or cannot even be
+    /// resolved here) — recompute locally, worker keeps its standing.
+    Recompute,
+    /// The *worker* is at fault — recompute locally AND quarantine it.
+    Quarantine(String),
+}
+
+/// The coordinator role.
+#[derive(Debug)]
+pub struct CoordinatorExtension {
+    workers: Vec<WorkerHandle>,
+    cap: usize,
+    metrics: Arc<FleetMetrics>,
+}
+
+impl CoordinatorExtension {
+    /// Builds the coordinator for `config.workers`.
+    ///
+    /// # Errors
+    ///
+    /// A message when the worker list is empty.
+    pub fn new(config: CoordinatorConfig) -> Result<Self, String> {
+        if config.workers.is_empty() {
+            return Err("--fleet requires at least one worker address".into());
+        }
+        let workers = config
+            .workers
+            .iter()
+            .map(|addr| WorkerHandle {
+                addr: addr.clone(),
+                client: Client::new(addr.clone())
+                    .timeout(config.deadline)
+                    .retry(config.retry),
+                dead: AtomicBool::new(false),
+                quarantined: AtomicBool::new(false),
+                dispatched: AtomicU64::new(0),
+            })
+            .collect();
+        Ok(CoordinatorExtension {
+            workers,
+            cap: config.cap.max(1),
+            metrics: Arc::new(FleetMetrics::new()),
+        })
+    }
+
+    /// The shared counter registry (for tests and embedding).
+    pub fn metrics(&self) -> Arc<FleetMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Pings every worker's `/healthz`, marking unreachable ones dead.
+    /// Returns the number of usable workers.
+    pub fn health_check(&self) -> usize {
+        for worker in &self.workers {
+            if worker.client.healthz().is_err() {
+                worker.dead.store(true, Ordering::Relaxed);
+            }
+        }
+        self.workers.iter().filter(|w| w.usable()).count()
+    }
+
+    /// The worker addresses this coordinator fans out to.
+    pub fn worker_addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// Re-verifies one worker response for `job`.
+    ///
+    /// The only thing trusted from the wire is the witness itself — and
+    /// only after [`verify_witness`] re-times it, re-checks the invariants
+    /// against the *coordinator's* resolution of the circuit, and
+    /// re-derives the metrics. Failed-status results are never accepted
+    /// (a failure cannot carry a witness); they recompute locally without
+    /// blaming the worker, since a genuinely bad job fails everywhere.
+    fn verify(
+        &self,
+        job: &CompileJob<CompilerOptions>,
+        response: &Value,
+        stages: &StageCache,
+    ) -> Verdict {
+        let Ok(result) = JobResult::<Metrics>::from_json(response) else {
+            return Verdict::Quarantine("response is not a result document".into());
+        };
+        if result.id != job.id {
+            return Verdict::Quarantine(format!(
+                "answered for job {:?}, asked about {:?}",
+                result.id, job.id
+            ));
+        }
+        if !result.is_ok() {
+            return Verdict::Recompute;
+        }
+        let (Some(metrics), Some(witness_doc)) = (result.metrics.as_ref(), result.witness.as_ref())
+        else {
+            return Verdict::Quarantine("ok result without metrics and witness".into());
+        };
+        let Ok(witness) = Witness::from_json(witness_doc) else {
+            return Verdict::Quarantine("malformed witness".into());
+        };
+        let circuit = match resolve_source_remote(&job.source) {
+            Ok(c) => c,
+            // The coordinator itself cannot resolve the job; that is the
+            // job's problem, and the local recompute will report it.
+            Err(_) => return Verdict::Recompute,
+        };
+        let expected_fp = fingerprint::combine(
+            fingerprint::fingerprint_circuit(&circuit),
+            fingerprint::fingerprint_value(&job.options.to_json()),
+        );
+        if result.fingerprint != expected_fp {
+            return Verdict::Quarantine("fingerprint mismatch".into());
+        }
+        match verify_witness(&circuit, &job.options, &witness, metrics, Some(stages)) {
+            Ok(_) => Verdict::Accept(Box::new(result.without_witness())),
+            // Compile errors mean the coordinator cannot even reproduce
+            // the stage chain — a job/environment problem, not proof of a
+            // lying worker.
+            Err(WitnessError::Compile(_)) => Verdict::Recompute,
+            Err(e) => Verdict::Quarantine(e.to_string()),
+        }
+    }
+}
+
+impl ServerExtension for CoordinatorExtension {
+    /// Dispatches `jobs` across the fleet and merges results back into
+    /// submission order. Staged jobs (`stop_after`/`resume_from`) are not
+    /// dispatchable and run locally, as does anything left over when no
+    /// usable worker remains.
+    fn run_jobs(
+        &self,
+        ctx: &ServerContext<'_>,
+        jobs: Vec<CompileJob<CompilerOptions>>,
+    ) -> Vec<JobResult<Metrics>> {
+        let total = jobs.len();
+        let mut local: Vec<(usize, CompileJob<CompilerOptions>)> = Vec::new();
+        let queue: Mutex<VecDeque<(usize, CompileJob<CompilerOptions>)>> =
+            Mutex::new(VecDeque::new());
+        for (index, job) in jobs.into_iter().enumerate() {
+            if job.stop_after.is_some() || job.resume_from.is_some() {
+                local.push((index, job));
+            } else {
+                queue.lock().expect("poisoned").push_back((index, job));
+            }
+        }
+
+        let local = Mutex::new(local);
+        let done: Mutex<Vec<(usize, JobResult<Metrics>)>> = Mutex::new(Vec::with_capacity(total));
+        let stages = ctx.stages().clone();
+        let trace = Arc::clone(ctx.trace());
+
+        std::thread::scope(|scope| {
+            for worker in self.workers.iter().filter(|w| w.usable()) {
+                for _ in 0..self.cap {
+                    let queue = &queue;
+                    let done = &done;
+                    let local = &local;
+                    let stages = &stages;
+                    let trace = &trace;
+                    scope.spawn(move || loop {
+                        if !worker.usable() {
+                            return;
+                        }
+                        let Some((index, job)) = queue.lock().expect("poisoned").pop_front() else {
+                            return;
+                        };
+                        let started = trace.now_micros();
+                        let answer = worker.client.post_value("/v1/work", &job.to_json());
+                        let span = |outcome: &str| {
+                            let now = trace.now_micros();
+                            trace.add_span(
+                                "fleet.dispatch",
+                                None,
+                                started,
+                                now.saturating_sub(started),
+                                vec![
+                                    ("worker".into(), worker.addr.clone()),
+                                    ("job".into(), job.id.clone()),
+                                    ("outcome".into(), outcome.into()),
+                                ],
+                            );
+                        };
+                        match answer {
+                            Err(_) => {
+                                // Dead to us: requeue the job for someone
+                                // else and stop driving this worker.
+                                worker.dead.store(true, Ordering::Relaxed);
+                                FleetMetrics::bump(&self.metrics.reassign);
+                                span("reassign");
+                                queue.lock().expect("poisoned").push_front((index, job));
+                                return;
+                            }
+                            Ok(response) => {
+                                worker.dispatched.fetch_add(1, Ordering::Relaxed);
+                                FleetMetrics::bump(&self.metrics.dispatch);
+                                match self.verify(&job, &response, stages) {
+                                    Verdict::Accept(result) => {
+                                        FleetMetrics::bump(&self.metrics.verify_ok);
+                                        span("accept");
+                                        done.lock().expect("poisoned").push((index, *result));
+                                    }
+                                    Verdict::Recompute => {
+                                        // The job, not the worker, is at
+                                        // fault: send it straight to the
+                                        // local pile (re-dispatching it
+                                        // would just fail elsewhere too)
+                                        // and keep this worker busy.
+                                        span("recompute");
+                                        local.lock().expect("poisoned").push((index, job));
+                                    }
+                                    Verdict::Quarantine(reason) => {
+                                        FleetMetrics::bump(&self.metrics.verify_fail);
+                                        FleetMetrics::bump(&self.metrics.quarantine);
+                                        worker.quarantined.store(true, Ordering::Relaxed);
+                                        span(&format!("quarantine: {reason}"));
+                                        queue.lock().expect("poisoned").push_front((index, job));
+                                        return;
+                                    }
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        });
+
+        // Everything still queued — reassignment leftovers, quarantine
+        // fallout, or jobs no worker could take — plus the staged jobs
+        // runs on this process, through the exact local compile path.
+        let mut local = local.into_inner().expect("poisoned");
+        local.extend(queue.into_inner().expect("poisoned"));
+        let mut merged = done.into_inner().expect("poisoned");
+        if !local.is_empty() {
+            local.sort_by_key(|(index, _)| *index);
+            for _ in 0..local.len() {
+                FleetMetrics::bump(&self.metrics.local_recompute);
+            }
+            let (indices, batch): (Vec<usize>, Vec<CompileJob<CompilerOptions>>) =
+                local.into_iter().unzip();
+            let results = ctx.run_jobs_local(batch);
+            merged.extend(indices.into_iter().zip(results));
+        }
+        merged.sort_by_key(|(index, _)| *index);
+        debug_assert_eq!(merged.len(), total, "every job slot must be answered");
+        merged.into_iter().map(|(_, result)| result).collect()
+    }
+
+    fn metrics_text(&self) -> String {
+        let mut out = self.metrics.render_prometheus();
+        out.push_str(
+            "# HELP ftqc_fleet_worker_dispatch_total Jobs answered, per worker.\n# TYPE ftqc_fleet_worker_dispatch_total counter\n",
+        );
+        for worker in &self.workers {
+            let _ = writeln!(
+                out,
+                "ftqc_fleet_worker_dispatch_total{{worker=\"{}\"}} {}",
+                worker.addr,
+                worker.dispatched.load(Ordering::Relaxed)
+            );
+        }
+        out.push_str(
+            "# HELP ftqc_fleet_worker_usable Whether the worker is alive and unquarantined.\n# TYPE ftqc_fleet_worker_usable gauge\n",
+        );
+        for worker in &self.workers {
+            let _ = writeln!(
+                out,
+                "ftqc_fleet_worker_usable{{worker=\"{}\"}} {}",
+                worker.addr,
+                u8::from(worker.usable())
+            );
+        }
+        out
+    }
+
+    fn stats_fields(&self) -> Vec<(String, Value)> {
+        let mut fields = match self.metrics.to_json() {
+            Value::Obj(fields) => fields,
+            _ => unreachable!("FleetMetrics renders as an object"),
+        };
+        fields.insert(0, ("role".into(), Value::Str("coordinator".into())));
+        fields.push((
+            "workers".into(),
+            Value::Arr(
+                self.workers
+                    .iter()
+                    .map(|w| {
+                        Value::Obj(vec![
+                            ("addr".into(), Value::Str(w.addr.clone())),
+                            ("usable".into(), Value::Bool(w.usable())),
+                            (
+                                "quarantined".into(),
+                                Value::Bool(w.quarantined.load(Ordering::Relaxed)),
+                            ),
+                            (
+                                "dispatched".into(),
+                                Value::Num(w.dispatched.load(Ordering::Relaxed) as f64),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        vec![("fleet".into(), Value::Obj(fields))]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_an_empty_worker_list() {
+        let err = CoordinatorExtension::new(CoordinatorConfig::default()).unwrap_err();
+        assert!(err.contains("at least one worker"), "{err}");
+    }
+
+    #[test]
+    fn health_check_marks_unreachable_workers_dead() {
+        // Nothing listens on these ports; every worker should go dead.
+        let coord = CoordinatorExtension::new(CoordinatorConfig {
+            workers: vec!["127.0.0.1:1".into(), "127.0.0.1:2".into()],
+            deadline: Duration::from_millis(200),
+            retry: RetryPolicy::none(),
+            ..CoordinatorConfig::default()
+        })
+        .unwrap();
+        assert_eq!(coord.health_check(), 0);
+        assert!(coord.workers.iter().all(|w| !w.usable()));
+        let text = coord.metrics_text();
+        assert!(text.contains("ftqc_fleet_worker_usable{worker=\"127.0.0.1:1\"} 0"));
+    }
+
+    #[test]
+    fn stats_report_role_and_worker_states() {
+        let coord = CoordinatorExtension::new(CoordinatorConfig {
+            workers: vec!["w1:1".into()],
+            ..CoordinatorConfig::default()
+        })
+        .unwrap();
+        let fields = coord.stats_fields();
+        assert_eq!(fields.len(), 1);
+        let (key, doc) = &fields[0];
+        assert_eq!(key, "fleet");
+        assert_eq!(doc.get("role").and_then(Value::as_str), Some("coordinator"));
+        let workers = match doc.get("workers") {
+            Some(Value::Arr(items)) => items,
+            other => panic!("workers should be an array, got {other:?}"),
+        };
+        assert_eq!(workers.len(), 1);
+        assert_eq!(
+            workers[0].get("usable").and_then(Value::as_bool),
+            Some(true)
+        );
+    }
+}

@@ -1,0 +1,182 @@
+//! Fleet-side counters, appended to the host server's `GET /metrics`
+//! exposition and `GET /v1/cache/stats` document through the
+//! [`ServerExtension`] hooks.
+//!
+//! One registry serves both roles; each role bumps its own subset
+//! (coordinator: dispatch/verify/quarantine, worker: peer-cache traffic).
+//! Everything is a relaxed atomic — these are monotone counters, not
+//! synchronisation.
+//!
+//! [`ServerExtension`]: ftqc_server::ServerExtension
+
+use ftqc_service::json::Value;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The fleet counter registry.
+#[derive(Debug, Default)]
+pub struct FleetMetrics {
+    /// Jobs successfully round-tripped to a worker (coordinator).
+    pub dispatch: AtomicU64,
+    /// Witness verifications that accepted the result (coordinator).
+    pub verify_ok: AtomicU64,
+    /// Witness verifications that rejected the result (coordinator).
+    pub verify_fail: AtomicU64,
+    /// Workers quarantined for a rejected witness (coordinator).
+    pub quarantine: AtomicU64,
+    /// Jobs reassigned after a worker connection died or straggled past
+    /// the deadline (coordinator).
+    pub reassign: AtomicU64,
+    /// Jobs recomputed on the coordinator itself (quarantine fallout,
+    /// staged jobs, or a fleet with no healthy workers).
+    pub local_recompute: AtomicU64,
+    /// Peer-cache probes answered by the owning node (worker).
+    pub peer_hits: AtomicU64,
+    /// Peer-cache probes the owner could not answer (worker).
+    pub peer_misses: AtomicU64,
+    /// Peer-cache answers rejected by local witness verification (worker).
+    pub peer_rejects: AtomicU64,
+    /// `/v1/work` jobs answered from the local witness cache (worker).
+    pub witness_hits: AtomicU64,
+    /// Peek requests this node answered for peers (worker).
+    pub peeks_served: AtomicU64,
+    /// Results pushed to their owning node after a local compile (worker).
+    pub offers: AtomicU64,
+}
+
+impl FleetMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to `counter`.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn rows(&self) -> [(&'static str, &'static str, u64); 12] {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        [
+            (
+                "ftqc_fleet_dispatch_total",
+                "Jobs dispatched to fleet workers and answered.",
+                get(&self.dispatch),
+            ),
+            (
+                "ftqc_fleet_verify_total",
+                "Worker results accepted after witness verification.",
+                get(&self.verify_ok),
+            ),
+            (
+                "ftqc_fleet_verify_fail_total",
+                "Worker results rejected by witness verification.",
+                get(&self.verify_fail),
+            ),
+            (
+                "ftqc_fleet_quarantine_total",
+                "Workers quarantined for a rejected witness.",
+                get(&self.quarantine),
+            ),
+            (
+                "ftqc_fleet_reassign_total",
+                "Jobs reassigned after a worker died or straggled.",
+                get(&self.reassign),
+            ),
+            (
+                "ftqc_fleet_local_recompute_total",
+                "Jobs recomputed locally on the coordinator.",
+                get(&self.local_recompute),
+            ),
+            (
+                "ftqc_fleet_peer_hits_total",
+                "Peer-cache probes answered by the owning node.",
+                get(&self.peer_hits),
+            ),
+            (
+                "ftqc_fleet_peer_misses_total",
+                "Peer-cache probes the owning node could not answer.",
+                get(&self.peer_misses),
+            ),
+            (
+                "ftqc_fleet_peer_rejects_total",
+                "Peer-cache answers rejected by local verification.",
+                get(&self.peer_rejects),
+            ),
+            (
+                "ftqc_fleet_witness_cache_hits_total",
+                "Work requests answered from the local witness cache.",
+                get(&self.witness_hits),
+            ),
+            (
+                "ftqc_fleet_peeks_served_total",
+                "Peer-cache peeks this node answered for others.",
+                get(&self.peeks_served),
+            ),
+            (
+                "ftqc_fleet_offers_total",
+                "Results offered to their owning node after a compile.",
+                get(&self.offers),
+            ),
+        ]
+    }
+
+    /// Prometheus text for every fleet counter (always the full family
+    /// set, zeros included, so dashboards can rely on the series).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, help, value) in self.rows() {
+            let _ = writeln!(out, "# HELP {name} {help}\n# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        out
+    }
+
+    /// The same counters as a JSON object, for `/v1/cache/stats`; keys are
+    /// the metric names without the `ftqc_fleet_` prefix or `_total`
+    /// suffix.
+    pub fn to_json(&self) -> Value {
+        Value::Obj(
+            self.rows()
+                .iter()
+                .map(|(name, _, value)| {
+                    let key = name
+                        .trim_start_matches("ftqc_fleet_")
+                        .trim_end_matches("_total");
+                    (key.to_string(), Value::Num(*value as f64))
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_families_with_help_and_type() {
+        let m = FleetMetrics::new();
+        FleetMetrics::bump(&m.dispatch);
+        FleetMetrics::bump(&m.dispatch);
+        FleetMetrics::bump(&m.peer_hits);
+        let text = m.render_prometheus();
+        assert!(text.contains("ftqc_fleet_dispatch_total 2"));
+        assert!(text.contains("ftqc_fleet_quarantine_total 0"));
+        assert!(text.contains("ftqc_fleet_peer_hits_total 1"));
+        assert_eq!(
+            text.lines().filter(|l| l.starts_with("# HELP")).count(),
+            text.lines().filter(|l| l.starts_with("# TYPE")).count(),
+        );
+    }
+
+    #[test]
+    fn json_mirrors_the_counters() {
+        let m = FleetMetrics::new();
+        FleetMetrics::bump(&m.verify_ok);
+        let doc = m.to_json();
+        assert_eq!(doc.get("verify").and_then(Value::as_u64), Some(1));
+        assert_eq!(doc.get("dispatch").and_then(Value::as_u64), Some(0));
+        assert_eq!(doc.get("peer_hits").and_then(Value::as_u64), Some(0));
+    }
+}

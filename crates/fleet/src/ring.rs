@@ -1,0 +1,138 @@
+//! Consistent hashing over stage keys: each fleet node owns an arc of the
+//! 64-bit key space, so every worker agrees — with no coordination — on
+//! which peer is responsible for caching a given compile.
+//!
+//! Each node contributes [`VNODES`] virtual points (FNV-1a of
+//! `"{addr}#{v}"`), which smooths ownership to within a few percent of
+//! uniform even for two or three nodes. Lookup walks to the first point at
+//! or after the key, wrapping at the top of the space — the classic ring.
+//!
+//! The ring is only as consistent as its inputs: every node must be built
+//! from the **same peer list** (order does not matter — points sort by
+//! hash, and ties break by the index in the caller's list, so identical
+//! lists agree regardless of ordering only when they are identical as
+//! sets with identical indices; ship the list verbatim to every node).
+
+use ftqc_service::fingerprint::Fnv64;
+
+/// Virtual points per node.
+pub const VNODES: usize = 64;
+
+/// A consistent-hash ring over node indices.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// `(hash point, node index)`, sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `nodes` (typically advertise addresses). An
+    /// empty slice yields an empty ring that owns nothing.
+    pub fn new<S: AsRef<str>>(nodes: &[S]) -> Self {
+        let mut points = Vec::with_capacity(nodes.len() * VNODES);
+        for (index, node) in nodes.iter().enumerate() {
+            for v in 0..VNODES {
+                let hash = Fnv64::new()
+                    .write_str(node.as_ref())
+                    .write_str("#")
+                    .write_u64(v as u64)
+                    .finish();
+                points.push((hash, index));
+            }
+        }
+        points.sort_unstable();
+        HashRing {
+            points,
+            nodes: nodes.len(),
+        }
+    }
+
+    /// The node index owning `key`: the first point at or after it,
+    /// wrapping to the lowest point. `None` only for an empty ring.
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let at = self.points.partition_point(|(point, _)| *point < key);
+        let (_, index) = self.points[at % self.points.len()];
+        Some(index)
+    }
+
+    /// How many nodes the ring was built over.
+    pub fn len(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:7070")).collect()
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_total() {
+        let ring = HashRing::new(&nodes(3));
+        for key in [0u64, 1, u64::MAX, 0xdead_beef, 42] {
+            let a = ring.owner(key).unwrap();
+            let b = HashRing::new(&nodes(3)).owner(key).unwrap();
+            assert_eq!(a, b, "same list, same owner");
+            assert!(a < 3);
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(&nodes(1));
+        for key in [0u64, u64::MAX, 7] {
+            assert_eq!(ring.owner(key), Some(0));
+        }
+        assert_eq!(HashRing::new::<String>(&[]).owner(0), None);
+    }
+
+    #[test]
+    fn virtual_nodes_spread_ownership() {
+        let ring = HashRing::new(&nodes(3));
+        let mut counts = [0usize; 3];
+        // FNV over the key index is a decent proxy for stage-key spread.
+        for i in 0..3000u64 {
+            let key = Fnv64::new().write_u64(i).finish();
+            counts[ring.owner(key).unwrap()] += 1;
+        }
+        for (i, count) in counts.iter().enumerate() {
+            assert!(
+                (500..=1700).contains(count),
+                "node {i} owns {count}/3000 — ring badly skewed: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_moves_only_its_arc() {
+        // Consistency property: keys owned by surviving nodes stay put.
+        let three = HashRing::new(&nodes(3));
+        let two = HashRing::new(&nodes(2));
+        let mut moved = 0usize;
+        let total = 2000u64;
+        for i in 0..total {
+            let key = Fnv64::new().write_u64(i).finish();
+            let before = three.owner(key).unwrap();
+            let after = two.owner(key).unwrap();
+            if before < 2 && before != after {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved * 10 < total as usize,
+            "{moved}/{total} keys moved between surviving nodes"
+        );
+    }
+}

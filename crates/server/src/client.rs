@@ -65,20 +65,97 @@ impl From<JsonError> for ClientError {
     }
 }
 
+/// A bounded exponential-backoff retry policy for transient transport
+/// failures (connect refused, read timeout, connection reset). Non-transport
+/// failures — HTTP error statuses, malformed responses, decode errors —
+/// never retry: the server answered, retrying would not change its mind.
+///
+/// Retrying a POST re-sends the request; that is safe here because every
+/// compile endpoint is deterministic and cache-backed, so a duplicate
+/// delivery costs at most one cache hit.
+///
+/// The delay for attempt `n` (0-based) is `base_delay · 2ⁿ`, clamped to
+/// `max_delay`, with deterministic jitter keeping at least half the delay:
+/// the realised sleep lands in `[d/2, d]`, spread by a hash of the
+/// (seed, attempt) pair so a fleet of clients hammering one recovering
+/// worker desynchronises instead of thundering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 ⇒ no retries).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 50 ms base, 2 s cap — right for interactive CLI use.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: fail on the first transport error. The default
+    /// for a bare [`Client`], preserving its historical behaviour.
+    pub fn none() -> Self {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Is this failure worth retrying? Only transport-level ones.
+    pub fn retryable(error: &ClientError) -> bool {
+        matches!(
+            error,
+            ClientError::Io(_) | ClientError::Http(HttpError::Timeout | HttpError::Io(_))
+        )
+    }
+
+    /// The backoff before retry number `attempt` (0-based), jittered
+    /// deterministically by `seed`.
+    pub fn delay_for(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.base_delay.as_millis() as u64;
+        let cap = self.max_delay.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.min(32)).min(cap);
+        if exp == 0 {
+            return Duration::ZERO;
+        }
+        // FNV-1a over (seed, attempt): deterministic, but spread across
+        // seeds so concurrent clients don't retry in lockstep.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for byte in seed.to_le_bytes().iter().chain(&attempt.to_le_bytes()) {
+            h ^= u64::from(*byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let span = exp / 2;
+        Duration::from_millis(exp - span + if span > 0 { h % (span + 1) } else { 0 })
+    }
+}
+
 /// A handle on one server address.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
     timeout: Duration,
+    retry: RetryPolicy,
 }
 
 impl Client {
     /// A client for `addr` (e.g. `127.0.0.1:7070`) with a 60 s timeout
-    /// (sweeps over large circuits are slow).
+    /// (sweeps over large circuits are slow) and no retries.
     pub fn new(addr: impl Into<String>) -> Self {
         Client {
             addr: addr.into(),
             timeout: Duration::from_secs(60),
+            retry: RetryPolicy::none(),
         }
     }
 
@@ -88,8 +165,48 @@ impl Client {
         self
     }
 
-    /// One request/response exchange on a fresh connection.
+    /// Retries transient transport failures under `policy`.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// One request/response exchange, retried per the client's
+    /// [`RetryPolicy`] on transport failures.
     fn exchange(
+        &self,
+        method: &str,
+        path: &str,
+        content_type: &str,
+        body: &[u8],
+    ) -> Result<http::Response, ClientError> {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.addr.bytes().chain(path.bytes()) {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut attempt = 0u32;
+        loop {
+            match self.exchange_once(method, path, content_type, body) {
+                Ok(response) => return Ok(response),
+                Err(e)
+                    if attempt + 1 < self.retry.attempts.max(1) && RetryPolicy::retryable(&e) =>
+                {
+                    std::thread::sleep(self.retry.delay_for(attempt, seed));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One request/response exchange on a fresh connection.
+    fn exchange_once(
         &self,
         method: &str,
         path: &str,
@@ -112,6 +229,26 @@ impl Client {
             });
         }
         Ok(response)
+    }
+
+    /// `POST` a JSON document to an arbitrary path and parse the JSON
+    /// response — the raw seam extension endpoints (e.g. the fleet's
+    /// `/v1/work`) build their typed wrappers on.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn post_value(&self, path: &str, body: &Value) -> Result<Value, ClientError> {
+        self.exchange_json("POST", path, Some(body))
+    }
+
+    /// `GET` an arbitrary path and parse the JSON response.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn get_value(&self, path: &str) -> Result<Value, ClientError> {
+        self.exchange_json("GET", path, None)
     }
 
     fn exchange_json(
@@ -298,5 +435,101 @@ impl Client {
     pub fn metrics_text(&self) -> Result<String, ClientError> {
         let response = self.exchange("GET", "/metrics", "text/plain", b"")?;
         Ok(response.body_str()?.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(450),
+        };
+        // Each delay lands in [d/2, d] for d = min(base·2ⁿ, cap).
+        for (attempt, expected) in [(0u32, 100u64), (1, 200), (2, 400), (3, 450), (4, 450)] {
+            let d = policy.delay_for(attempt, 7).as_millis() as u64;
+            assert!(
+                (expected / 2..=expected).contains(&d),
+                "attempt {attempt}: {d}ms outside [{}, {expected}]",
+                expected / 2
+            );
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_spread_across_seeds() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.delay_for(1, 42), policy.delay_for(1, 42));
+        // 64 seeds at the same attempt must not all collapse to one value.
+        let distinct: std::collections::HashSet<_> =
+            (0..64u64).map(|seed| policy.delay_for(1, seed)).collect();
+        assert!(distinct.len() > 1, "jitter never varies");
+    }
+
+    #[test]
+    fn none_policy_never_sleeps() {
+        let policy = RetryPolicy::none();
+        assert_eq!(policy.attempts, 1);
+        assert_eq!(policy.delay_for(0, 9), Duration::ZERO);
+    }
+
+    #[test]
+    fn only_transport_failures_are_retryable() {
+        assert!(RetryPolicy::retryable(&ClientError::Io(io::Error::other(
+            "refused"
+        ))));
+        assert!(RetryPolicy::retryable(&ClientError::Http(
+            HttpError::Timeout
+        )));
+        assert!(!RetryPolicy::retryable(&ClientError::Status {
+            status: 500,
+            body: String::new(),
+        }));
+        assert!(!RetryPolicy::retryable(&ClientError::Decode(
+            JsonError::schema("x")
+        )));
+        assert!(!RetryPolicy::retryable(&ClientError::Http(
+            HttpError::Malformed("x".into())
+        )));
+    }
+
+    #[test]
+    fn exchange_retries_exactly_attempts_times() {
+        // A "server" that accepts and slams every connection: each attempt
+        // reaches it and dies mid-exchange, so the client must come back
+        // exactly `attempts` times and then surface the failure.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&hits);
+        let server = std::thread::spawn(move || {
+            for _ in 0..3 {
+                let (mut stream, _) = listener.accept().unwrap();
+                counted.fetch_add(1, Ordering::SeqCst);
+                // Read a byte so the client's write lands, then hang up.
+                let mut byte = [0u8; 1];
+                let _ = stream.read(&mut byte);
+                drop(stream);
+            }
+        });
+        let client = Client::new(addr.to_string())
+            .timeout(Duration::from_millis(500))
+            .retry(RetryPolicy {
+                attempts: 3,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+            });
+        let err = client.healthz().expect_err("every attempt is slammed");
+        assert!(RetryPolicy::retryable(&err), "failed as transport: {err}");
+        server.join().unwrap();
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "one hit per attempt");
     }
 }

@@ -58,6 +58,9 @@ pub use api::{
     SweepRequest, SweepResponse, TargetInfo, TargetsResponse, DEFAULT_FACTORIES,
     DEFAULT_ROUTING_PATHS, MIN_WIRE_VERSION, WIRE_VERSION,
 };
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy};
 pub use metrics::{Endpoint, ServerMetrics};
-pub use server::{Server, ServerConfig, ServerError, ServerReport, ShutdownHandle};
+pub use server::{
+    error_body, HandlerResult, Server, ServerConfig, ServerContext, ServerError, ServerExtension,
+    ServerReport, ShutdownHandle,
+};

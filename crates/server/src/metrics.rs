@@ -35,13 +35,18 @@ pub enum Endpoint {
     Healthz,
     /// `GET /metrics`
     Metrics,
+    /// `POST /v1/work` (fleet worker job execution).
+    Work,
+    /// `GET /v1/cache/peek/<key>` and `POST /v1/cache/offer/<key>`
+    /// (fleet sharded peer cache).
+    CachePeer,
     /// Everything else.
     Other,
 }
 
 impl Endpoint {
     /// All tracked endpoints, in render order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 11] = [
         Endpoint::Compile,
         Endpoint::Batch,
         Endpoint::Sweep,
@@ -50,6 +55,8 @@ impl Endpoint {
         Endpoint::Traces,
         Endpoint::Healthz,
         Endpoint::Metrics,
+        Endpoint::Work,
+        Endpoint::CachePeer,
         Endpoint::Other,
     ];
 
@@ -64,6 +71,8 @@ impl Endpoint {
             Endpoint::Traces => "traces",
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
+            Endpoint::Work => "work",
+            Endpoint::CachePeer => "cache_peer",
             Endpoint::Other => "other",
         }
     }
@@ -79,7 +88,11 @@ impl Endpoint {
             "/v1/traces" => Endpoint::Traces,
             "/healthz" => Endpoint::Healthz,
             "/metrics" => Endpoint::Metrics,
+            "/v1/work" => Endpoint::Work,
             _ if path.starts_with("/v1/trace/") => Endpoint::Traces,
+            _ if path.starts_with("/v1/cache/peek/") || path.starts_with("/v1/cache/offer/") => {
+                Endpoint::CachePeer
+            }
             _ => Endpoint::Other,
         }
     }
@@ -102,7 +115,7 @@ struct EndpointCounters {
 /// The process-wide counter registry.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    per_endpoint: [EndpointCounters; 9],
+    per_endpoint: [EndpointCounters; 11],
     /// Per-stage compile times, fed by the staged-session trace hooks.
     per_stage: [Histogram; 4],
     /// Worker-pool queue waits (batch submission → worker claim).
@@ -425,6 +438,15 @@ mod tests {
         assert_eq!(Endpoint::of_path("/v1/trace/00ff"), Endpoint::Traces);
         assert_eq!(Endpoint::of_path("/healthz"), Endpoint::Healthz);
         assert_eq!(Endpoint::of_path("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of_path("/v1/work"), Endpoint::Work);
+        assert_eq!(
+            Endpoint::of_path("/v1/cache/peek/00ff"),
+            Endpoint::CachePeer
+        );
+        assert_eq!(
+            Endpoint::of_path("/v1/cache/offer/00ff"),
+            Endpoint::CachePeer
+        );
         assert_eq!(Endpoint::of_path("/nope"), Endpoint::Other);
     }
 

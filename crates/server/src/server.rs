@@ -130,6 +130,9 @@ pub struct ServerReport {
 
 /// Everything the request handlers share, behind one `Arc`.
 struct AppState {
+    /// Role-specific behaviour grafted onto the core server (the fleet
+    /// crate's worker/coordinator roles); `None` for a plain server.
+    extension: Option<Arc<dyn ServerExtension>>,
     service: BatchService<Metrics>,
     cache: SharedCache<Metrics>,
     /// Process-wide stage-artifact cache: every compile on this server —
@@ -219,6 +222,22 @@ impl Server {
     /// [`ServerError::CacheFile`] when the cache file exists but is
     /// malformed.
     pub fn bind(config: ServerConfig) -> Result<Server, ServerError> {
+        Server::bind_with(config, None)
+    }
+
+    /// [`Server::bind`] with a role extension: the extension sees every
+    /// request before the core router, owns job execution, and contributes
+    /// to `/metrics` and `/v1/cache/stats`. This is how the fleet crate
+    /// turns the plain server into a worker or a coordinator without the
+    /// server crate depending on it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Server::bind`].
+    pub fn bind_with(
+        config: ServerConfig,
+        extension: Option<Arc<dyn ServerExtension>>,
+    ) -> Result<Server, ServerError> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let mut cache = CompileCache::new(config.cache_capacity);
@@ -232,6 +251,7 @@ impl Server {
             config.workers
         };
         let state = AppState {
+            extension,
             service: BatchService::with_cache(workers, cache.clone()),
             cache,
             stages: StageCache::new(ftqc_compiler::DEFAULT_STAGE_CACHE_CAPACITY),
@@ -307,6 +327,10 @@ impl Server {
                     std::thread::sleep(Duration::from_millis(50));
                 }
             }
+        }
+
+        if let Some(ext) = &self.state.extension {
+            ext.on_shutdown();
         }
 
         // Drain: connection threads are detached, so wait on the counter.
@@ -446,7 +470,9 @@ fn serve_connection(state: &AppState, mut stream: TcpStream) {
         .record(trace.finish(status, endpoint.label()));
 }
 
-fn error_body(message: &str) -> String {
+/// Renders the server's standard versioned `{"error": …}` body — public so
+/// extension endpoints answer failures in the same shape.
+pub fn error_body(message: &str) -> String {
     versioned(Value::Obj(vec![(
         "error".into(),
         Value::Str(message.into()),
@@ -454,10 +480,109 @@ fn error_body(message: &str) -> String {
     .render()
 }
 
-type HandlerResult = (u16, &'static str, String);
+/// What a handler returns: `(status, content type, body)`.
+pub type HandlerResult = (u16, &'static str, String);
+
+/// The slice of server internals an extension may use: local job
+/// execution (same staged sessions, stage cache, and per-job tracing the
+/// core endpoints use) plus the shared caches and registry. Handed to
+/// every [`ServerExtension`] hook by reference; never outlives the call.
+pub struct ServerContext<'a> {
+    state: &'a AppState,
+    trace: &'a Arc<ActiveTrace>,
+}
+
+impl ServerContext<'_> {
+    /// Runs `jobs` on this process — the exact compile path a plain
+    /// server's endpoints use (shared stage cache, per-stage spans and
+    /// histograms, whole-job cache) — returning results in submission
+    /// order. Job-outcome accounting is the caller's: the core endpoints
+    /// count results after any extension post-processing.
+    pub fn run_jobs_local(
+        &self,
+        jobs: Vec<CompileJob<CompilerOptions>>,
+    ) -> Vec<JobResult<Metrics>> {
+        self.state
+            .service
+            .run(jobs, resolve_source_remote, |c, job| {
+                compile_staged(self.state, self.trace, c, job)
+            })
+    }
+
+    /// The process-wide stage-artifact cache (cloneable shared handle).
+    pub fn stages(&self) -> &StageCache {
+        &self.state.stages
+    }
+
+    /// The whole-job compile cache.
+    pub fn cache(&self) -> &SharedCache<Metrics> {
+        &self.state.cache
+    }
+
+    /// The named hardware-target registry.
+    pub fn targets(&self) -> &TargetRegistry {
+        &self.state.targets
+    }
+
+    /// The request's active trace, for extension-added spans.
+    pub fn trace(&self) -> &Arc<ActiveTrace> {
+        self.trace
+    }
+
+    /// The resolved worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+}
+
+/// Role-specific behaviour grafted onto the core server via
+/// [`Server::bind_with`]: the fleet crate implements this once for the
+/// worker role (adds `/v1/work` and the peer-cache endpoints) and once for
+/// the coordinator role (reroutes job execution to remote workers). Every
+/// hook has a no-op default, so an extension overrides only what its role
+/// changes.
+pub trait ServerExtension: Send + Sync {
+    /// First crack at every request. Return `Some` to answer it; `None`
+    /// falls through to the core router.
+    fn handle(&self, _ctx: &ServerContext<'_>, _request: &Request) -> Option<HandlerResult> {
+        None
+    }
+
+    /// Executes the jobs behind `POST /v1/compile` and `POST /v1/batch`,
+    /// in submission order. The default compiles locally; a coordinator
+    /// overrides this to dispatch across its fleet.
+    fn run_jobs(
+        &self,
+        ctx: &ServerContext<'_>,
+        jobs: Vec<CompileJob<CompilerOptions>>,
+    ) -> Vec<JobResult<Metrics>> {
+        ctx.run_jobs_local(jobs)
+    }
+
+    /// Extra Prometheus exposition text appended to `GET /metrics`.
+    fn metrics_text(&self) -> String {
+        String::new()
+    }
+
+    /// Extra fields appended to the `GET /v1/cache/stats` document
+    /// (additive wire evolution: new keys, no version bump).
+    fn stats_fields(&self) -> Vec<(String, Value)> {
+        Vec::new()
+    }
+
+    /// Called once when the server begins draining (shutdown), before
+    /// in-flight connections finish.
+    fn on_shutdown(&self) {}
+}
 
 /// Routes one parsed request to its endpoint.
 fn handle_request(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -> HandlerResult {
+    if let Some(ext) = &state.extension {
+        let ctx = ServerContext { state, trace };
+        if let Some(result) = ext.handle(&ctx, request) {
+            return result;
+        }
+    }
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/compile") => handle_compile(state, request, trace),
         ("POST", "/v1/batch") => handle_batch(state, request, trace),
@@ -469,16 +594,18 @@ fn handle_request(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>)
             handle_trace(state, path.strip_prefix("/v1/trace/").expect("guarded"))
         }
         ("GET", "/healthz") => handle_healthz(state),
-        ("GET", "/metrics") => (
-            200,
-            "text/plain; version=0.0.4",
-            state.metrics.render_prometheus(
+        ("GET", "/metrics") => {
+            let mut text = state.metrics.render_prometheus(
                 &state.cache.stats(),
                 &state.stages.stats(),
                 &state.stages.route_stats(),
                 state.started.elapsed(),
-            ),
-        ),
+            );
+            if let Some(ext) = &state.extension {
+                text.push_str(&ext.metrics_text());
+            }
+            (200, "text/plain; version=0.0.4", text)
+        }
         (
             _,
             "/v1/compile" | "/v1/batch" | "/v1/sweep" | "/v1/targets" | "/v1/cache/stats"
@@ -586,15 +713,27 @@ fn trace_job_results(
     }
 }
 
+/// Runs `jobs` through the extension when one is installed (the
+/// coordinator's remote dispatch), the local pool otherwise.
+fn execute_jobs(
+    state: &AppState,
+    trace: &Arc<ActiveTrace>,
+    jobs: Vec<CompileJob<CompilerOptions>>,
+) -> Vec<JobResult<Metrics>> {
+    let ctx = ServerContext { state, trace };
+    match &state.extension {
+        Some(ext) => ext.run_jobs(&ctx, jobs),
+        None => ctx.run_jobs_local(jobs),
+    }
+}
+
 fn run_jobs(
     state: &AppState,
     trace: &Arc<ActiveTrace>,
     jobs: Vec<CompileJob<CompilerOptions>>,
 ) -> Vec<JobResult<Metrics>> {
     let submitted = trace.now_micros();
-    let results = state.service.run(jobs, resolve_source_remote, |c, job| {
-        compile_staged(state, trace, c, job)
-    });
+    let results = execute_jobs(state, trace, jobs);
     trace_job_results(state, trace, submitted, &results);
     record_job_outcomes(state, &results);
     results
@@ -653,11 +792,10 @@ fn handle_batch(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -
         Err(e) => return (400, "application/json", error_body(&e.to_string())),
     };
     let submitted = trace.now_micros();
-    let results = state.service.run_jsonl_with::<CompilerOptions, _, _, _>(
+    let results = ftqc_service::run_jsonl_via::<CompilerOptions, Metrics, _, _>(
         body,
         |job| apply_job_target(job, &state.targets),
-        resolve_source_remote,
-        |c, job| compile_staged(state, trace, c, job),
+        |jobs| execute_jobs(state, trace, jobs),
     );
     if results.is_empty() {
         return (
@@ -909,6 +1047,9 @@ fn handle_cache_stats(state: &AppState) -> HandlerResult {
         "queue_wait".into(),
         percentiles_json(&state.metrics.queue_wait_snapshot()),
     ));
+    if let Some(ext) = &state.extension {
+        doc.extend(ext.stats_fields());
+    }
     (200, "application/json", versioned(Value::Obj(doc)).render())
 }
 
@@ -936,6 +1077,7 @@ mod tests {
     fn test_state(workers: usize) -> AppState {
         let cache = SharedCache::in_memory(64);
         AppState {
+            extension: None,
             service: BatchService::with_cache(workers, cache.clone()),
             cache,
             stages: StageCache::new(64),

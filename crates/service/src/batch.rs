@@ -128,6 +128,7 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
                 micros: start.elapsed().as_micros() as u64,
                 queue_micros,
                 stage,
+                witness: None,
             };
 
             let circuit = match resolve(&job.source) {
@@ -215,44 +216,7 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
         C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
     {
-        let lines = crate::job::parse_jobs_lenient::<O>(jsonl);
-        let mut slots: Vec<Option<JobResult<M>>> = Vec::with_capacity(lines.len());
-        let mut jobs = Vec::new();
-        let mut job_slots = Vec::new();
-        for line in lines {
-            match line {
-                crate::job::ParsedLine::Job { job, .. } => {
-                    let id = job.id.clone();
-                    match prepare(job) {
-                        Ok(job) => {
-                            job_slots.push(slots.len());
-                            slots.push(None);
-                            jobs.push(job);
-                        }
-                        Err(e) => slots.push(Some(JobResult {
-                            id,
-                            fingerprint: 0,
-                            status: JobStatus::Failed(e),
-                            metrics: None,
-                            provenance: CacheProvenance::Computed,
-                            micros: 0,
-                            queue_micros: 0,
-                            stage: None,
-                        })),
-                    }
-                }
-                crate::job::ParsedLine::Malformed { lineno, error } => {
-                    slots.push(Some(JobResult::malformed_line(lineno, &error)));
-                }
-            }
-        }
-        for (slot, result) in job_slots.into_iter().zip(self.run(jobs, resolve, compile)) {
-            slots[slot] = Some(result);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("every line produced a result"))
-            .collect()
+        run_jsonl_via(jsonl, prepare, |jobs| self.run(jobs, resolve, compile))
     }
 
     /// Cache counters accumulated across every batch this service ran.
@@ -281,6 +245,61 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
     {
         self.cache.persist()
     }
+}
+
+/// The lenient-JSONL framing shared by every batch runner: parse lines,
+/// apply `prepare`, hand the well-formed jobs to `run` **as one vector**,
+/// and splice its results back into line order around the malformed-line
+/// and failed-prepare slots. `run` must return exactly one result per job
+/// in submission order — [`BatchService::run`] does, and so must any
+/// remote dispatcher (e.g. a fleet coordinator) injected here.
+pub fn run_jsonl_via<O, M, P, F>(jsonl: &str, prepare: P, run: F) -> Vec<JobResult<M>>
+where
+    O: FromJson,
+    P: Fn(CompileJob<O>) -> Result<CompileJob<O>, String>,
+    F: FnOnce(Vec<CompileJob<O>>) -> Vec<JobResult<M>>,
+{
+    let lines = crate::job::parse_jobs_lenient::<O>(jsonl);
+    let mut slots: Vec<Option<JobResult<M>>> = Vec::with_capacity(lines.len());
+    let mut jobs = Vec::new();
+    let mut job_slots = Vec::new();
+    for line in lines {
+        match line {
+            crate::job::ParsedLine::Job { job, .. } => {
+                let id = job.id.clone();
+                match prepare(job) {
+                    Ok(job) => {
+                        job_slots.push(slots.len());
+                        slots.push(None);
+                        jobs.push(job);
+                    }
+                    Err(e) => slots.push(Some(JobResult {
+                        id,
+                        fingerprint: 0,
+                        status: JobStatus::Failed(e),
+                        metrics: None,
+                        provenance: CacheProvenance::Computed,
+                        micros: 0,
+                        queue_micros: 0,
+                        stage: None,
+                        witness: None,
+                    })),
+                }
+            }
+            crate::job::ParsedLine::Malformed { lineno, error } => {
+                slots.push(Some(JobResult::malformed_line(lineno, &error)));
+            }
+        }
+    }
+    let results = run(jobs);
+    debug_assert_eq!(results.len(), job_slots.len(), "one result per job");
+    for (slot, result) in job_slots.into_iter().zip(results) {
+        slots[slot] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every line produced a result"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -318,6 +318,12 @@ pub struct JobResult<M> {
     /// The terminal stage of an explicitly staged job (`stop_after`);
     /// `None` for ordinary full compiles.
     pub stage: Option<String>,
+    /// An opaque verification witness attached by the producer (the fleet
+    /// worker's compile witness). Carried verbatim — this crate sits below
+    /// the compiler and cannot decode it. Additive wire field: rendered
+    /// only when present, so witness-less producers keep their exact
+    /// bytes.
+    pub witness: Option<Value>,
 }
 
 impl<M> JobResult<M> {
@@ -339,7 +345,16 @@ impl<M> JobResult<M> {
             micros: 0,
             queue_micros: 0,
             stage: None,
+            witness: None,
         }
+    }
+
+    /// This result without its witness — what a coordinator serves after
+    /// verification (the witness is coordinator-internal proof material,
+    /// not client payload).
+    pub fn without_witness(mut self) -> Self {
+        self.witness = None;
+        self
     }
 }
 
@@ -377,6 +392,9 @@ impl<M: ToJson> ToJson for JobResult<M> {
         }
         if let Some(m) = &self.metrics {
             fields.push(("metrics".to_string(), m.to_json()));
+        }
+        if let Some(w) = &self.witness {
+            fields.push(("witness".to_string(), w.clone()));
         }
         Value::Obj(fields)
     }
@@ -425,6 +443,7 @@ impl<M: FromJson> FromJson for JobResult<M> {
             micros,
             queue_micros,
             stage,
+            witness: value.get("witness").cloned(),
         })
     }
 }
@@ -708,6 +727,7 @@ mod tests {
                 micros: 1234,
                 queue_micros: 17,
                 stage: None,
+                witness: None,
             },
             JobResult::<Opts> {
                 id: "b".into(),
@@ -718,6 +738,7 @@ mod tests {
                 micros: 5,
                 queue_micros: 0,
                 stage: None,
+                witness: None,
             },
             JobResult::<Opts> {
                 id: "c".into(),
@@ -728,6 +749,7 @@ mod tests {
                 micros: 9,
                 queue_micros: 3,
                 stage: Some("map".into()),
+                witness: None,
             },
         ];
         let text = render_results(&results);

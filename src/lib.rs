@@ -27,6 +27,11 @@
 //!   sweeps, one process-wide compile cache shared by all clients,
 //!   Prometheus metrics, graceful shutdown, and a blocking client API
 //!   (`ftqc serve` / `ftqc client`).
+//! * [`fleet`] — the distributed compile fleet over that server: worker
+//!   processes that return results with compact verification witnesses,
+//!   a coordinator that dispatches batches and re-verifies every witness
+//!   (quarantining workers that fail), and a consistent-hash sharded
+//!   peer cache (`ftqc serve --worker` / `ftqc serve --fleet`).
 //! * [`telemetry`] — request-scoped tracing: trace ids, span trees,
 //!   log₂ latency histograms with percentiles, and the bounded flight
 //!   recorder behind the server's `/v1/traces` endpoints.
@@ -49,6 +54,7 @@ pub use ftqc_baselines as baselines;
 pub use ftqc_benchmarks as benchmarks;
 pub use ftqc_circuit as circuit;
 pub use ftqc_compiler as compiler;
+pub use ftqc_fleet as fleet;
 pub use ftqc_route as route;
 pub use ftqc_server as server;
 pub use ftqc_service as service;
