@@ -150,18 +150,48 @@ impl SurgeryOp {
 
     /// Every grid cell the operation occupies while it runs.
     pub fn cells(&self) -> Vec<Coord> {
+        let mut cells = Vec::with_capacity(3);
+        self.for_each_cell(|c| cells.push(c));
+        cells
+    }
+
+    /// Calls `f` with every cell the operation occupies —
+    /// [`cells`](Self::cells) without the allocation, for call sites that
+    /// scan whole op sequences (the schedule verifier runs on every
+    /// interactive differential recompile).
+    pub fn for_each_cell(&self, mut f: impl FnMut(Coord)) {
         match self {
-            SurgeryOp::Move { from, to } => vec![*from, *to],
-            SurgeryOp::DeliverMagic { path } => path.clone(),
-            SurgeryOp::MergeZz { a, b } | SurgeryOp::MergeXx { a, b } => vec![*a, *b],
+            SurgeryOp::Move { from, to } => {
+                f(*from);
+                f(*to);
+            }
+            SurgeryOp::DeliverMagic { path } => {
+                for &c in path {
+                    f(c);
+                }
+            }
+            SurgeryOp::MergeZz { a, b } | SurgeryOp::MergeXx { a, b } => {
+                f(*a);
+                f(*b);
+            }
             SurgeryOp::Cnot {
                 control,
                 target,
                 ancilla,
-            } => vec![*control, *target, *ancilla],
-            SurgeryOp::Single { cell, ancilla, .. } => vec![*cell, *ancilla],
-            SurgeryOp::ConsumeMagic { target, magic } => vec![*target, *magic],
-            SurgeryOp::MeasureZ { cell } | SurgeryOp::PauliFrame { cell } => vec![*cell],
+            } => {
+                f(*control);
+                f(*target);
+                f(*ancilla);
+            }
+            SurgeryOp::Single { cell, ancilla, .. } => {
+                f(*cell);
+                f(*ancilla);
+            }
+            SurgeryOp::ConsumeMagic { target, magic } => {
+                f(*target);
+                f(*magic);
+            }
+            SurgeryOp::MeasureZ { cell } | SurgeryOp::PauliFrame { cell } => f(*cell),
         }
     }
 

@@ -22,6 +22,12 @@
 //! trajectory data only — the regression gate ignores it, so fleet-less
 //! baselines keep checking.
 //!
+//! `--edits N` additionally runs the interactive-session hot path: N
+//! single-gate edit batches applied near the tail of the bench circuit
+//! through a live differential compiler, each timed edit-to-schedule,
+//! against the median cold full recompile — recorded under an `"edits"`
+//! key the regression gate likewise ignores.
+//!
 //! ```text
 //! cargo run --release -p ftqc-bench --bin bench_session -- \
 //!     --circuit ising:3 --iters 5 --json BENCH_session.json \
@@ -30,13 +36,16 @@
 
 use ftqc_arch::TargetRegistry;
 use ftqc_bench::report::{
-    check_regression, median_micros, summarise_stages, CaseReport, FleetReport, LatencyPercentiles,
-    RoutingReport, SessionReport,
+    check_regression, median_micros, summarise_stages, CaseReport, EditReport, FleetReport,
+    LatencyPercentiles, RoutingReport, SessionReport,
 };
 use ftqc_bench::Table;
+use ftqc_circuit::Gate;
 use ftqc_compiler::{
-    route_circuit, CompileSession, CompilerOptions, RouterMode, StageCache, StageTrace, TraceHook,
+    route_circuit, CompileSession, Compiler, CompilerOptions, DeltaKind, RouterMode, StageCache,
+    StageTrace, TraceHook,
 };
+use ftqc_editor::{CircuitEdit, EditSession, EditSet};
 use ftqc_fleet::{CoordinatorConfig, CoordinatorExtension, WorkerConfig, WorkerExtension};
 use ftqc_server::{Client, RetryPolicy, Server, ServerConfig, ServerExtension, ShutdownHandle};
 use std::sync::atomic::Ordering;
@@ -52,6 +61,7 @@ struct Args {
     routing_circuit: String,
     iters: u64,
     fleet: u64,
+    edits: u64,
     json: Option<String>,
     check: Option<String>,
 }
@@ -62,6 +72,7 @@ fn parse_args() -> Result<Args, String> {
         routing_circuit: "ghz".into(),
         iters: 5,
         fleet: 0,
+        edits: 0,
         json: None,
         check: None,
     };
@@ -81,12 +92,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--fleet expects a worker count".to_string())?;
             }
+            "--edits" => {
+                args.edits = value("--edits")?
+                    .parse()
+                    .map_err(|_| "--edits expects an edit-batch count".to_string())?;
+            }
             "--json" => args.json = Some(value("--json")?),
             "--check" => args.check = Some(value("--check")?),
             other => {
                 return Err(format!(
                     "unknown flag {other:?} \
-                     (use --circuit/--routing-circuit/--iters/--fleet/--json/--check)"
+                     (use --circuit/--routing-circuit/--iters/--fleet/--edits/--json/--check)"
                 ))
             }
         }
@@ -278,6 +294,62 @@ fn bench_fleet(spec: &str, workers: u64) -> Result<FleetReport, String> {
     Ok(report)
 }
 
+/// The edit storm: opens an edit session on the bench circuit and applies
+/// `edits` single-gate batches near the tail — the IDE keystroke pattern
+/// (append a T on the last qubit, retract it, repeat) — timing each batch
+/// edit-to-schedule through the live differential compiler. The baseline
+/// is the median of `iters` cold full recompiles of the same circuit;
+/// their ratio is the latency an interactive client actually saves.
+fn bench_edits(spec: &str, edits: u64, iters: u64) -> Result<EditReport, String> {
+    let circuit = ftqc_service::resolve::load_circuit_spec(spec)?;
+    let options = CompilerOptions::default();
+    let qubit = circuit.num_qubits().saturating_sub(1);
+    let (mut session, _) =
+        EditSession::open("bench", circuit.clone(), options.clone()).map_err(|e| e.to_string())?;
+
+    let mut samples = Vec::with_capacity(edits as usize);
+    let mut differential = 0u64;
+    let mut full_fallbacks = 0u64;
+    for i in 0..edits {
+        let len = session.circuit().len();
+        let edit = if i % 2 == 0 {
+            CircuitEdit::Insert {
+                index: len,
+                gate: Gate::T(qubit),
+            }
+        } else {
+            CircuitEdit::Remove { index: len - 1 }
+        };
+        let set = EditSet::new(vec![edit]);
+        let started = Instant::now();
+        let (_, delta) = session.apply(&set).map_err(|e| e.to_string())?;
+        samples.push(started.elapsed().as_micros() as u64);
+        match delta.kind {
+            DeltaKind::Differential => differential += 1,
+            DeltaKind::Full => full_fallbacks += 1,
+        }
+    }
+
+    let full_samples: Vec<u64> = (0..iters)
+        .map(|_| {
+            let started = Instant::now();
+            Compiler::new(options.clone())
+                .compile(&circuit)
+                .map_err(|e| e.to_string())?;
+            Ok(started.elapsed().as_micros() as u64)
+        })
+        .collect::<Result<_, String>>()?;
+
+    Ok(EditReport {
+        edits,
+        differential,
+        full_fallbacks,
+        edit_median_micros: median_micros(samples.clone()),
+        edit_percentiles: LatencyPercentiles::from_samples(samples),
+        full_median_micros: median_micros(full_samples),
+    })
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -403,6 +475,36 @@ fn main() {
         None
     };
 
+    // The edit storm, when asked for: the interactive-session hot path,
+    // single-gate batches through a live differential compiler against
+    // cold full recompiles.
+    let edits = if args.edits > 0 {
+        match bench_edits(&args.circuit, args.edits, args.iters) {
+            Ok(e) => {
+                println!(
+                    "\nedit storm ({} batches): edit-to-schedule {}µs median \
+                     (p95 {}µs, p99 {}µs) vs full recompile {}µs ({:.2}x), \
+                     {} differential / {} full fallbacks",
+                    e.edits,
+                    e.edit_median_micros,
+                    e.edit_percentiles.p95,
+                    e.edit_percentiles.p99,
+                    e.full_median_micros,
+                    e.speedup(),
+                    e.differential,
+                    e.full_fallbacks,
+                );
+                Some(e)
+            }
+            Err(e) => {
+                eprintln!("bench_session: edit bench: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     let report = SessionReport {
         circuit: args.circuit.clone(),
         iterations: args.iters,
@@ -410,6 +512,7 @@ fn main() {
         stage_cache: stages.stats(),
         routing: Some(routing),
         fleet,
+        edits,
     };
     let stats = report.stage_cache;
     println!(

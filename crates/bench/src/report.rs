@@ -319,6 +319,57 @@ impl ToJson for FleetReport {
     }
 }
 
+/// The edit-storm measurement: single-gate edit batches applied near the
+/// tail of a live [`EditSession`]-style differential compiler, each timed
+/// edit-to-schedule, against the median of cold full recompiles of the
+/// same circuit. Recorded for the trajectory only — the regression gate
+/// never reads it, so edit-less baselines keep checking cleanly.
+///
+/// [`EditSession`]: https://docs.rs/ftqc-editor
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditReport {
+    /// Edit batches applied in the storm.
+    pub edits: u64,
+    /// Batches answered on the differential path (suffix re-lower,
+    /// checkpointed routing resume, spliced re-timing).
+    pub differential: u64,
+    /// Batches that fell back to a clean full rebuild.
+    pub full_fallbacks: u64,
+    /// Median edit-to-schedule microseconds across the storm.
+    pub edit_median_micros: u64,
+    /// Exact tail percentiles over the edit-to-schedule samples.
+    pub edit_percentiles: LatencyPercentiles,
+    /// Median microseconds for a cold full recompile of the same circuit.
+    pub full_median_micros: u64,
+}
+
+impl EditReport {
+    /// Full-recompile-over-edit speedup (the headline number; 0 when the
+    /// edit median is 0 — sub-microsecond edits are not meaningfully
+    /// comparable).
+    pub fn speedup(&self) -> f64 {
+        if self.edit_median_micros == 0 {
+            0.0
+        } else {
+            self.full_median_micros as f64 / self.edit_median_micros as f64
+        }
+    }
+}
+
+impl ToJson for EditReport {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("edits".into(), num(self.edits)),
+            ("differential".into(), num(self.differential)),
+            ("full_fallbacks".into(), num(self.full_fallbacks)),
+            ("edit_median_micros".into(), num(self.edit_median_micros)),
+            ("edit_percentiles".into(), self.edit_percentiles.to_json()),
+            ("full_median_micros".into(), num(self.full_median_micros)),
+            ("speedup".into(), Value::Num(self.speedup())),
+        ])
+    }
+}
+
 /// The whole bench run: what ran, how often, and what the shared stage
 /// cache did across all cases.
 #[derive(Debug, Clone, PartialEq)]
@@ -335,6 +386,8 @@ pub struct SessionReport {
     pub routing: Option<RoutingReport>,
     /// The distributed-fleet measurement, when `--fleet N` asked for one.
     pub fleet: Option<FleetReport>,
+    /// The edit-storm measurement, when `--edits N` asked for one.
+    pub edits: Option<EditReport>,
 }
 
 impl ToJson for SessionReport {
@@ -353,6 +406,9 @@ impl ToJson for SessionReport {
         }
         if let Some(fleet) = &self.fleet {
             fields.push(("fleet".into(), fleet.to_json()));
+        }
+        if let Some(edits) = &self.edits {
+            fields.push(("edits".into(), edits.to_json()));
         }
         Value::Obj(fields)
     }
@@ -538,6 +594,18 @@ mod tests {
                 peer_misses: 1,
                 witness_cache_hits: 4,
             }),
+            edits: Some(EditReport {
+                edits: 40,
+                differential: 39,
+                full_fallbacks: 1,
+                edit_median_micros: 200,
+                edit_percentiles: LatencyPercentiles {
+                    p50: 200,
+                    p95: 260,
+                    p99: 300,
+                },
+                full_median_micros: 1600,
+            }),
         };
         let rendered = report.to_json().render();
         assert!(rendered.contains("\"circuit\":\"ising:2\""), "{rendered}");
@@ -552,6 +620,11 @@ mod tests {
         assert!(rendered.contains("\"speedup\":3"), "{rendered}");
         assert!(rendered.contains("\"p95_micros\":3400"), "{rendered}");
         assert!(rendered.contains("\"percentiles\""), "{rendered}");
+        assert!(
+            rendered.contains("\"edit_median_micros\":200"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("\"full_fallbacks\":1"), "{rendered}");
 
         let dir = std::env::temp_dir().join("ftqc-bench-report-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -721,6 +794,54 @@ mod tests {
         .unwrap();
         check_regression(&current, &fleet_less, 0.15).expect("fleet-less baseline checks");
         check_regression(&current, &fleet_full, 0.15).expect("fleet-carrying baseline checks");
+    }
+
+    #[test]
+    fn gate_ignores_the_edits_section() {
+        // Like the fleet numbers, the edit-storm numbers are trajectory
+        // data: baselines with and without an "edits" key must check
+        // identically, so CI runs with and without --edits can share
+        // checked-in baselines.
+        let current = RoutingReport {
+            circuit: "ghz".into(),
+            iterations: 5,
+            reference_median_micros: 9000,
+            incremental_median_micros: 1200,
+            incremental_min_micros: 1150,
+            incremental_percentiles: LatencyPercentiles::default(),
+            route: RouteCounters::default(),
+        };
+        let edit_less = Value::parse(
+            "{\"routing\":{\"incremental_median_micros\":1100,\
+             \"incremental_min_micros\":1100,\"speedup\":7.5}}",
+        )
+        .unwrap();
+        let edit_full = Value::parse(
+            "{\"routing\":{\"incremental_median_micros\":1100,\
+             \"incremental_min_micros\":1100,\"speedup\":7.5},\
+             \"edits\":{\"edits\":40,\"edit_median_micros\":1,\"speedup\":900.0}}",
+        )
+        .unwrap();
+        check_regression(&current, &edit_less, 0.15).expect("edit-less baseline checks");
+        check_regression(&current, &edit_full, 0.15).expect("edit-carrying baseline checks");
+    }
+
+    #[test]
+    fn edit_speedup_is_full_over_edit() {
+        let e = EditReport {
+            edits: 10,
+            differential: 10,
+            full_fallbacks: 0,
+            edit_median_micros: 4,
+            edit_percentiles: LatencyPercentiles::default(),
+            full_median_micros: 30,
+        };
+        assert!((e.speedup() - 7.5).abs() < 1e-12);
+        let zero = EditReport {
+            edit_median_micros: 0,
+            ..e
+        };
+        assert_eq!(zero.speedup(), 0.0);
     }
 
     #[test]

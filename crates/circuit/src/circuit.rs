@@ -29,6 +29,54 @@ pub struct Circuit {
     name: String,
 }
 
+/// Why an index-based circuit edit was rejected. The non-panicking twin
+/// of [`Circuit::push`]'s assertions, for callers applying untrusted
+/// edits (interactive edit sessions, wire-format decoders).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The gate references a qubit outside the register.
+    QubitOutOfRange {
+        /// The offending operand.
+        qubit: Qubit,
+        /// The register size.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate uses the same qubit twice.
+    DuplicateOperand {
+        /// The repeated operand.
+        qubit: Qubit,
+    },
+    /// The gate index is outside the circuit.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The circuit's gate count.
+        len: usize,
+    },
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::QubitOutOfRange { qubit, num_qubits } => write!(
+                f,
+                "qubit {qubit} out of range (register has {num_qubits} qubits)"
+            ),
+            EditError::DuplicateOperand { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} twice")
+            }
+            EditError::IndexOutOfRange { index, len } => {
+                write!(
+                    f,
+                    "gate index {index} out of range (circuit has {len} gates)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
 impl Circuit {
     /// Creates an empty circuit over `num_qubits` qubits.
     pub fn new(num_qubits: u32) -> Self {
@@ -107,6 +155,82 @@ impl Circuit {
         }
         self.gates.push(gate);
         self
+    }
+
+    /// Validates `gate` against this register without modifying anything —
+    /// the same checks [`Circuit::push`] panics on, as a `Result` for
+    /// callers applying untrusted edits (the interactive edit sessions).
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::QubitOutOfRange`] or [`EditError::DuplicateOperand`].
+    pub fn check_gate(&self, gate: &Gate) -> Result<(), EditError> {
+        for q in gate.qubits() {
+            if q >= self.num_qubits {
+                return Err(EditError::QubitOutOfRange {
+                    qubit: q,
+                    num_qubits: self.num_qubits,
+                });
+            }
+        }
+        if gate.is_two_qubit() {
+            let qs: Vec<Qubit> = gate.qubits().collect();
+            if qs[0] == qs[1] {
+                return Err(EditError::DuplicateOperand { qubit: qs[0] });
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts `gate` at `index` (existing gates at `index..` shift right;
+    /// `index == len` appends).
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::IndexOutOfRange`] when `index > len`, or the gate's own
+    /// validation errors (see [`Circuit::check_gate`]).
+    pub fn insert_gate(&mut self, index: usize, gate: Gate) -> Result<(), EditError> {
+        if index > self.gates.len() {
+            return Err(EditError::IndexOutOfRange {
+                index,
+                len: self.gates.len(),
+            });
+        }
+        self.check_gate(&gate)?;
+        self.gates.insert(index, gate);
+        Ok(())
+    }
+
+    /// Removes and returns the gate at `index`.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::IndexOutOfRange`] when `index >= len`.
+    pub fn remove_gate(&mut self, index: usize) -> Result<Gate, EditError> {
+        if index >= self.gates.len() {
+            return Err(EditError::IndexOutOfRange {
+                index,
+                len: self.gates.len(),
+            });
+        }
+        Ok(self.gates.remove(index))
+    }
+
+    /// Replaces the gate at `index`, returning the previous gate.
+    ///
+    /// # Errors
+    ///
+    /// [`EditError::IndexOutOfRange`] when `index >= len`, or the new
+    /// gate's own validation errors (see [`Circuit::check_gate`]).
+    pub fn replace_gate(&mut self, index: usize, gate: Gate) -> Result<Gate, EditError> {
+        if index >= self.gates.len() {
+            return Err(EditError::IndexOutOfRange {
+                index,
+                len: self.gates.len(),
+            });
+        }
+        self.check_gate(&gate)?;
+        Ok(std::mem::replace(&mut self.gates[index], gate))
     }
 
     /// Appends all gates from an iterator (see also the [`Extend`] impl).

@@ -42,7 +42,7 @@ pub mod statevector;
 pub mod synthesis;
 pub mod tableau;
 
-pub use circuit::{Circuit, GateCounts};
+pub use circuit::{Circuit, EditError, GateCounts};
 pub use dag::{DagCircuit, DagNode, FrontTracker, NodeId};
 pub use gate::{Angle, Gate, Qubit};
 pub use optimize::{optimize, OptimizeStats};

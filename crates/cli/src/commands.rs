@@ -19,6 +19,10 @@ use ftqc_compiler::{
     Compiler, CompilerOptions, DesignPoint, Metrics, Stage, StageCache, StageCacheStats,
     StageEvent, StageTrace,
 };
+use ftqc_editor::{
+    delta_to_json, edit_failed_json, edit_result_json, EditSession, EditSet, ExtensionPair,
+    SessionExtension, DEFAULT_SESSION_CAPACITY, DEFAULT_SESSION_TTL,
+};
 use ftqc_fleet::{CoordinatorConfig, CoordinatorExtension, WorkerConfig, WorkerExtension};
 use ftqc_server::{
     Client, MultiSweepResponse, RetryPolicy, Server, ServerConfig, ServerExtension, SweepResponse,
@@ -102,6 +106,7 @@ pub fn run(raw: &[String]) -> Result<CmdOutput, CliError> {
         "sweep" => cmd_sweep(&parsed).map(CmdOutput::from),
         "batch" => cmd_batch(&parsed),
         "serve" => cmd_serve(&parsed).map(CmdOutput::from),
+        "edit" => cmd_edit(&parsed),
         "client" => cmd_client(&parsed),
         "estimate" => cmd_estimate(&parsed).map(CmdOutput::from),
         "compare" => cmd_compare(&parsed).map(CmdOutput::from),
@@ -200,6 +205,22 @@ COMMANDS
                        --fleet-cap N    in-flight jobs per worker (default 2)
                        --fleet-timeout-ms N  per-dispatch deadline before a
                                         job is reassigned (default 60000)
+                       sessions: POST /v1/session opens an interactive edit
+                       session (create body = compile-job shape); POST
+                       /v1/session/<id>/edit applies JSONL edit batches
+                       differentially; GET/DELETE /v1/session/<id>
+                       --session-capacity N  max live sessions (default 64)
+                       --session-ttl-s N     idle eviction (default 900)
+  edit <circuit>       interactive differential recompile loop: one edit
+                       (or {\"edits\":[…]} batch) JSON per stdin line, one
+                       delta-annotated result line out; `quit` or EOF ends
+                       edits: {\"op\":\"insert|remove|retarget|replace\",
+                               \"index\":N[,\"gate\":{\"gate\":\"t\",\"qubits\":[0]}]
+                               [,\"qubits\":[…]]}  (rz adds \"angle\", in π)
+                       --from FILE.qasm  seed from an OpenQASM 2 file
+                       --server HOST:PORT  keep the session on a remote
+                                        server via /v1/session endpoints
+                       compile options (--target/--r/--factories/…) as above
   client compile <circuit>   compile on a remote server
                        --addr HOST:PORT (default 127.0.0.1:7070)
                        --stop-after STAGE  POST /v1/compile?stage=STAGE (warm
@@ -1040,9 +1061,25 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
         Some(f) => format!(", cache file {}", f.display()),
         None => String::new(),
     };
-    let (extension, role_note) = fleet_extension(p)?;
-    let server =
-        Server::bind_with(config, extension).map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let (fleet_ext, role_note) = fleet_extension(p)?;
+    // Interactive edit sessions ride along on every serve role, stacked
+    // over the fleet extension (which keeps job execution) when one is
+    // configured.
+    let session_capacity = p
+        .get_or("session-capacity", DEFAULT_SESSION_CAPACITY)?
+        .max(1);
+    let session_ttl = Duration::from_secs(
+        p.get_or("session-ttl-s", DEFAULT_SESSION_TTL.as_secs())?
+            .max(1),
+    );
+    let sessions: Arc<dyn ServerExtension> =
+        Arc::new(SessionExtension::new(session_capacity, session_ttl));
+    let extension: Arc<dyn ServerExtension> = match fleet_ext {
+        Some(role) => Arc::new(ExtensionPair::new(sessions, role)),
+        None => sessions,
+    };
+    let server = Server::bind_with(config, Some(extension))
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
     let addr = server
         .local_addr()
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
@@ -1067,6 +1104,180 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
         let _ = write!(out, "\ncache persisted : {}", path.display());
     }
     Ok(out)
+}
+
+/// Seeds the edit session's circuit: `--from file.qasm` parses the file
+/// through the OpenQASM reader; otherwise the positional spec resolves
+/// like every other command's circuit argument.
+fn edit_seed(p: &ParsedArgs) -> Result<(String, Circuit), CliError> {
+    if let Some(path) = p.get("from") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Unknown(format!("cannot read {path:?}: {e}")))?;
+        let circuit = ftqc_circuit::parse_qasm(&text)
+            .map_err(|e| CliError::Unknown(format!("QASM parse error in {path:?}: {e}")))?;
+        return Ok((path.clone(), circuit));
+    }
+    let spec = p
+        .positionals
+        .first()
+        .ok_or_else(|| CliError::Unknown("usage: ftqc edit <circuit> | --from file.qasm".into()))?;
+    Ok((spec.clone(), load_circuit(spec)?))
+}
+
+/// `ftqc edit`: an interactive differential-recompile loop. Reads one
+/// edit (or edit-set) JSON document per stdin line, applies it to the
+/// live session, and prints one delta-annotated result line per batch —
+/// the same wire shape `POST /v1/session/<id>/edit` answers. With
+/// `--server ADDR` the session lives on a remote server instead and
+/// every batch round-trips through `/v1/session/<id>/edit`.
+fn cmd_edit(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
+    use std::io::BufRead as _;
+    if let Some(addr) = p.get("server") {
+        return cmd_edit_remote(p, addr);
+    }
+    let (label, circuit) = edit_seed(p)?;
+    let options = options_from(p)?;
+    let started = Instant::now();
+    let (mut session, delta) = EditSession::open("local", circuit, options)
+        .map_err(|e| CliError::Pipeline(format!("seed compile failed: {e}")))?;
+    let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    println!(
+        "{}",
+        ftqc_service::json::Value::Obj(vec![
+            (
+                "id".to_string(),
+                ftqc_service::json::Value::Str("local".into())
+            ),
+            ("source".to_string(), ftqc_service::json::Value::Str(label)),
+            ("version".to_string(), ftqc_service::json::Value::Num(0.0)),
+            (
+                "gates".to_string(),
+                ftqc_service::json::Value::Num(session.circuit().len() as f64)
+            ),
+            ("delta".to_string(), delta_to_json(&delta)),
+            ("metrics".to_string(), session.program().metrics().to_json()),
+            (
+                "micros".to_string(),
+                ftqc_service::json::Value::Num(micros as f64)
+            ),
+        ])
+        .render()
+    );
+    let stdin = std::io::stdin();
+    let mut batches = 0u64;
+    let mut rejected = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        batches += 1;
+        let started = Instant::now();
+        let doc = match EditSet::parse_line(line) {
+            Err(e) => {
+                rejected += 1;
+                edit_failed_json("local", session.version(), &format!("bad edit line: {e}"))
+            }
+            Ok(set) => {
+                let digest = set.digest();
+                match session.apply(&set) {
+                    Ok((program, delta)) => {
+                        let micros =
+                            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        edit_result_json(
+                            "local",
+                            session.version(),
+                            digest,
+                            program.metrics(),
+                            &delta,
+                            micros,
+                        )
+                    }
+                    Err(e) => {
+                        rejected += 1;
+                        edit_failed_json("local", session.version(), &e.to_string())
+                    }
+                }
+            }
+        };
+        println!("{}", doc.render());
+    }
+    Ok(CmdOutput {
+        text: format!(
+            "session closed at v{}: {} batches ({} rejected), {} differential / {} full recompiles",
+            session.version(),
+            batches,
+            rejected,
+            session.differential_recompiles(),
+            session.full_recompiles(),
+        ),
+        failed: false,
+    })
+}
+
+/// The remote half of `ftqc edit --server ADDR`.
+fn cmd_edit_remote(p: &ParsedArgs, addr: &str) -> Result<CmdOutput, CliError> {
+    use std::io::BufRead as _;
+    let source = if let Some(path) = p.get("from") {
+        let qasm = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Unknown(format!("cannot read {path:?}: {e}")))?;
+        ftqc_service::CircuitSource::QasmInline { qasm }
+    } else {
+        let spec = p.positionals.first().ok_or_else(|| {
+            CliError::Unknown("usage: ftqc edit <circuit> | --from file.qasm".into())
+        })?;
+        ftqc_service::resolve::source_from_spec(spec).map_err(CliError::Unknown)?
+    };
+    let options = options_from(p)?;
+    let client = Client::new(addr).retry(RetryPolicy::default());
+    let job = CompileJob::new("edit", source, options);
+    let descriptor = client
+        .session_create(&job)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    let id = descriptor
+        .get("id")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| CliError::Pipeline("session descriptor has no id".into()))?
+        .to_string();
+    println!("{}", descriptor.render());
+    let stdin = std::io::stdin();
+    let mut batches = 0u64;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| CliError::Pipeline(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        batches += 1;
+        match client.session_edit(&id, line) {
+            Ok(docs) => {
+                for doc in docs {
+                    println!("{}", doc.render());
+                }
+            }
+            Err(e) => println!(
+                "{}",
+                edit_failed_json(&id, 0, &format!("edit request failed: {e}")).render()
+            ),
+        }
+    }
+    let closed = client
+        .session_close(&id)
+        .map_err(|e| CliError::Pipeline(e.to_string()))?;
+    Ok(CmdOutput {
+        text: format!(
+            "closed remote session {id} after {batches} batches: {}",
+            closed.render()
+        ),
+        failed: false,
+    })
 }
 
 /// `ftqc client compile|batch --addr …`: drive a remote compile server.

@@ -42,6 +42,7 @@
 
 pub mod analysis;
 pub mod codec;
+pub mod differential;
 pub mod engine;
 pub mod error;
 pub mod estimate;
@@ -67,7 +68,10 @@ pub use codec::{
     route_counters_from_json, route_counters_to_json, target_digest, target_from_json,
     target_to_json,
 };
-pub use engine::{route_circuit, RoutedProgram};
+pub use differential::{
+    CompileDelta, DeltaKind, DifferentialCompiler, DEFAULT_CHECKPOINT_EVERY, DEFAULT_TIMER_EVERY,
+};
+pub use engine::{route_circuit, EngineCheckpoint, RoutedProgram};
 pub use error::CompileError;
 pub use estimate::{
     estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate,
@@ -77,7 +81,7 @@ pub use explore::{
     explore_session, explore_targets, pareto_front, target_sweep_options, DesignPoint, TargetSweep,
 };
 pub use export::{to_csv, utilization, UtilizationStats};
-pub use ftqc_route::{RouteCounters, RouterMode};
+pub use ftqc_route::{RouteCounters, RouterMode, RouterParts};
 pub use mapping::{InitialMapping, MappingStrategy};
 pub use metrics::Metrics;
 pub use options::{CompilerOptions, TStatePolicy};
@@ -90,6 +94,7 @@ pub use session::{
     StageEvent, StageRun, StageTrace, TraceHook, DEFAULT_STAGE_CACHE_CAPACITY,
 };
 pub use targets::{apply_job_target, resolve_target_ref};
+pub use timer::{time_ops, CostKind, Timer};
 pub use trace::{activity_strip, kind_breakdown, Activity, KindBreakdown};
 pub use verify::{verify, VerifyError};
 pub use witness::{extract_witness, verify_witness, Witness, WitnessError, WITNESS_VERSION};

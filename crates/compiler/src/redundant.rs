@@ -11,8 +11,7 @@
 //! dependency-equivalent to the original for every other operation.
 
 use crate::routed::RoutedOp;
-use ftqc_arch::SurgeryOp;
-use std::collections::HashSet;
+use ftqc_arch::{Coord, SurgeryOp};
 
 /// Cancels inverse move pairs in place; returns the number of *ops removed*
 /// (twice the number of cancelled pairs).
@@ -31,9 +30,10 @@ pub fn eliminate_redundant_moves(ops: &mut Vec<RoutedOp>) -> usize {
 }
 
 fn eliminate_once(ops: &mut Vec<RoutedOp>) -> usize {
-    let mut cancel: HashSet<usize> = HashSet::new();
+    let mut cancel = vec![false; ops.len()];
+    let mut cancelled = 0usize;
     'outer: for i in 0..ops.len() {
-        if cancel.contains(&i) {
+        if cancel[i] {
             continue;
         }
         let (q, from, to) = match move_parts(&ops[i]) {
@@ -44,18 +44,18 @@ fn eliminate_once(ops: &mut Vec<RoutedOp>) -> usize {
         // iteration is intentional: the cancel set is consulted per index.
         #[allow(clippy::needless_range_loop)]
         for j in i + 1..ops.len() {
-            if cancel.contains(&j) {
+            if cancel[j] {
                 continue;
             }
-            let touches_cells = ops[j].op.cells().iter().any(|&c| c == from || c == to);
-            let touches_qubit = ops[j].patches.contains(&q);
-            if !(touches_cells || touches_qubit) {
+            let touches = touches_cell(&ops[j].op, from, to) || ops[j].patches.contains(&q);
+            if !touches {
                 continue;
             }
             if let Some((q2, from2, to2)) = move_parts(&ops[j]) {
                 if q2 == q && from2 == to && to2 == from {
-                    cancel.insert(i);
-                    cancel.insert(j);
+                    cancel[i] = true;
+                    cancel[j] = true;
+                    cancelled += 2;
                     continue 'outer;
                 }
             }
@@ -63,16 +63,36 @@ fn eliminate_once(ops: &mut Vec<RoutedOp>) -> usize {
             continue 'outer;
         }
     }
-    if cancel.is_empty() {
+    if cancelled == 0 {
         return 0;
     }
     let mut idx = 0;
     ops.retain(|_| {
-        let keep = !cancel.contains(&idx);
+        let keep = !cancel[idx];
         idx += 1;
         keep
     });
-    cancel.len()
+    cancelled
+}
+
+/// Whether `op` uses cell `a` or `b` — [`SurgeryOp::cells`] without the
+/// per-call allocation (this predicate runs for every op between every
+/// candidate move pair, squarely on the recompile hot path).
+fn touches_cell(op: &SurgeryOp, a: Coord, b: Coord) -> bool {
+    let hit = |c: Coord| c == a || c == b;
+    match op {
+        SurgeryOp::Move { from, to } => hit(*from) || hit(*to),
+        SurgeryOp::DeliverMagic { path } => path.iter().any(|&c| hit(c)),
+        SurgeryOp::MergeZz { a: x, b: y } | SurgeryOp::MergeXx { a: x, b: y } => hit(*x) || hit(*y),
+        SurgeryOp::Cnot {
+            control,
+            target,
+            ancilla,
+        } => hit(*control) || hit(*target) || hit(*ancilla),
+        SurgeryOp::Single { cell, ancilla, .. } => hit(*cell) || hit(*ancilla),
+        SurgeryOp::ConsumeMagic { target, magic } => hit(*target) || hit(*magic),
+        SurgeryOp::MeasureZ { cell } | SurgeryOp::PauliFrame { cell } => hit(*cell),
+    }
 }
 
 fn move_parts(op: &RoutedOp) -> Option<(u32, ftqc_arch::Coord, ftqc_arch::Coord)> {

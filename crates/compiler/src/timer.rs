@@ -23,6 +23,81 @@ pub enum CostKind {
     UnitCost,
 }
 
+/// The timing replay's complete mutable state, one op at a time.
+///
+/// [`time_ops`] drives it front to back; the differential recompile path
+/// clones snapshots of it mid-replay and later resumes timing from the
+/// first op a circuit edit actually changed — item *i* of the schedule
+/// depends only on `ops[0..=i]`, so a resumed replay is byte-identical to
+/// a full one over the same prefix.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    timing: TimingModel,
+    cost: CostKind,
+    unbounded_magic: bool,
+    timeline: ResourceTimeline,
+    qubit_ready: Vec<Ticks>,
+    factory_ready: Vec<Ticks>,
+}
+
+impl Timer {
+    /// A fresh replay state: every cell free, every qubit ready at 0, the
+    /// first state of every factory completing at `magic_production`.
+    pub fn new(
+        num_qubits: u32,
+        num_factories: usize,
+        timing: &TimingModel,
+        cost: CostKind,
+        unbounded_magic: bool,
+    ) -> Self {
+        Timer {
+            timing: *timing,
+            cost,
+            unbounded_magic,
+            timeline: ResourceTimeline::new(),
+            qubit_ready: vec![Ticks::ZERO; num_qubits as usize],
+            factory_ready: vec![timing.magic_production; num_factories.max(1)],
+        }
+    }
+
+    /// Times the next op, advancing the replay state; returns its assigned
+    /// `(start, duration)`.
+    pub fn push(&mut self, routed: &RoutedOp) -> (Ticks, Ticks) {
+        let cells = routed.op.cells();
+        let dep_ready = routed
+            .patches
+            .iter()
+            .map(|&q| self.qubit_ready[q as usize])
+            .fold(Ticks::ZERO, Ticks::max);
+        let mut start = self
+            .timeline
+            .earliest_start(cells.iter().copied(), dep_ready);
+
+        // Any op carrying a factory grant (normally the delivery; the
+        // consumption directly when the port is adjacent to the consumer)
+        // waits for that factory's next state.
+        if let Some(f) = routed.factory {
+            let f = f.min(self.factory_ready.len() - 1);
+            if !self.unbounded_magic {
+                let available = self.factory_ready[f].max(start);
+                self.factory_ready[f] = available + self.timing.magic_production;
+                start = available;
+            }
+        }
+
+        let duration = match self.cost {
+            CostKind::Realistic => routed.op.duration(&self.timing),
+            CostKind::UnitCost => routed.op.unit_duration(&self.timing),
+        };
+        self.timeline
+            .reserve(cells.iter().copied(), start, duration);
+        for &q in &routed.patches {
+            self.qubit_ready[q as usize] = start + duration;
+        }
+        (start, duration)
+    }
+}
+
 /// Replays `ops` in order, assigning each operation the earliest start at
 /// which (a) every grid cell it touches is free, (b) every program qubit it
 /// involves is ready, and (c) — for magic deliveries — its factory has a
@@ -42,40 +117,10 @@ pub fn time_ops(
     cost: CostKind,
     unbounded_magic: bool,
 ) -> Schedule<RoutedOp> {
-    let mut timeline = ResourceTimeline::new();
-    let mut qubit_ready = vec![Ticks::ZERO; num_qubits as usize];
-    let mut factory_ready = vec![timing.magic_production; num_factories.max(1)];
+    let mut timer = Timer::new(num_qubits, num_factories, timing, cost, unbounded_magic);
     let mut schedule = Schedule::new();
-
     for routed in ops {
-        let cells = routed.op.cells();
-        let dep_ready = routed
-            .patches
-            .iter()
-            .map(|&q| qubit_ready[q as usize])
-            .fold(Ticks::ZERO, Ticks::max);
-        let mut start = timeline.earliest_start(cells.iter().copied(), dep_ready);
-
-        // Any op carrying a factory grant (normally the delivery; the
-        // consumption directly when the port is adjacent to the consumer)
-        // waits for that factory's next state.
-        if let Some(f) = routed.factory {
-            let f = f.min(factory_ready.len() - 1);
-            if !unbounded_magic {
-                let available = factory_ready[f].max(start);
-                factory_ready[f] = available + timing.magic_production;
-                start = available;
-            }
-        }
-
-        let duration = match cost {
-            CostKind::Realistic => routed.op.duration(timing),
-            CostKind::UnitCost => routed.op.unit_duration(timing),
-        };
-        timeline.reserve(cells.iter().copied(), start, duration);
-        for &q in &routed.patches {
-            qubit_ready[q as usize] = start + duration;
-        }
+        let (start, duration) = timer.push(routed);
         schedule.push(routed.clone(), start, duration);
     }
     schedule

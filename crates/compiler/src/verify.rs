@@ -21,7 +21,6 @@ use crate::pipeline::CompiledProgram;
 use crate::routed::RoutedOp;
 use ftqc_arch::{Coord, Ticks, TimingModel};
 use ftqc_sim::ScheduledOp;
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -142,115 +141,151 @@ pub fn verify_items(
     timing: &TimingModel,
     in_bounds: impl Fn(Coord) -> bool,
 ) -> Result<(), VerifyError> {
-    // 1 & 5: placement and bounds.
+    // One pass handles invariants 1 & 5 and collects the interval lists
+    // for 2 & 3. Intervals are bucketed by counting sort over the (dense,
+    // bounded) cell and qubit key spaces rather than hashed or
+    // comparison-sorted — the verifier gates every interactive
+    // differential recompile, where both alternatives measurably
+    // dominated it.
+    let mut cell_intervals: Vec<(Coord, u64, u64, usize)> = Vec::new();
+    let mut qubit_intervals: Vec<(usize, u64, u64, usize)> = Vec::new();
+    let (mut max_row, mut max_col, mut max_qubit) = (0usize, 0usize, 0usize);
     for (i, item) in items.iter().enumerate() {
         if let Err(reason) = item.op.op.validate() {
             return Err(VerifyError::InvalidPlacement { index: i, reason });
         }
-        for c in item.op.op.cells() {
-            if !in_bounds(c) {
-                return Err(VerifyError::OffGrid { index: i, cell: c });
+        let mut off_grid = None;
+        item.op.op.for_each_cell(|c| {
+            if off_grid.is_none() && !in_bounds(c) {
+                off_grid = Some(c);
             }
+        });
+        if let Some(cell) = off_grid {
+            return Err(VerifyError::OffGrid { index: i, cell });
         }
-    }
-
-    // 2: resource conflicts via a sweep over per-cell interval lists.
-    let mut by_cell: HashMap<Coord, Vec<(u64, u64, usize)>> = HashMap::new();
-    for (i, item) in items.iter().enumerate() {
         if item.duration == Ticks::ZERO {
             continue;
         }
-        for c in item.op.op.cells() {
-            by_cell
-                .entry(c)
-                .or_default()
-                .push((item.start.raw(), item.end().raw(), i));
+        let (start, end) = (item.start.raw(), item.end().raw());
+        // In-bounds cells have non-negative coordinates (invariant 5 just
+        // checked them), so they flatten onto row-major counting-sort keys
+        // once the grid extent is known.
+        item.op.op.for_each_cell(|c| {
+            max_row = max_row.max(c.row as usize);
+            max_col = max_col.max(c.col as usize);
+            cell_intervals.push((c, start, end, i));
+        });
+        for &q in &item.op.patches {
+            max_qubit = max_qubit.max(q as usize);
+            qubit_intervals.push((q as usize, start, end, i));
         }
     }
-    for (cell, mut intervals) in by_cell {
-        intervals.sort_unstable();
-        for w in intervals.windows(2) {
-            if w[1].0 < w[0].1 {
-                return Err(VerifyError::ResourceConflict {
-                    first: w[0].2,
-                    second: w[1].2,
-                    cell,
-                });
-            }
-        }
+
+    // 2: resource conflicts — per-cell buckets swept in start order.
+    let width = max_col + 1;
+    let keyed: Vec<(usize, u64, u64, usize)> = cell_intervals
+        .iter()
+        .map(|&(c, s, e, i)| (c.row as usize * width + c.col as usize, s, e, i))
+        .collect();
+    if let Some((key, first, second)) = bucket_overlap(&keyed, (max_row + 1) * width) {
+        return Err(VerifyError::ResourceConflict {
+            first,
+            second,
+            cell: Coord::new((key / width) as i32, (key % width) as i32),
+        });
     }
 
     // 3: per-qubit ordering.
-    let mut by_qubit: HashMap<u32, Vec<(u64, u64, usize)>> = HashMap::new();
-    for (i, item) in items.iter().enumerate() {
-        if item.duration == Ticks::ZERO {
-            continue;
-        }
-        for &q in &item.op.patches {
-            by_qubit
-                .entry(q)
-                .or_default()
-                .push((item.start.raw(), item.end().raw(), i));
-        }
-    }
-    for (qubit, mut intervals) in by_qubit {
-        intervals.sort_unstable();
-        for w in intervals.windows(2) {
-            if w[1].0 < w[0].1 {
-                return Err(VerifyError::QubitOverlap {
-                    qubit,
-                    first: w[0].2,
-                    second: w[1].2,
-                });
-            }
-        }
+    if let Some((qubit, first, second)) = bucket_overlap(&qubit_intervals, max_qubit + 1) {
+        return Err(VerifyError::QubitOverlap {
+            qubit: qubit as u32,
+            first,
+            second,
+        });
     }
 
     // 6: magic delivery discipline, in issue order. Each delivery makes one
     // state available at its terminal cell; each consumption without its
-    // own factory grant takes one from its magic cell.
-    let mut available: HashMap<Coord, u64> = HashMap::new();
+    // own factory grant takes one from its magic cell. Distinct magic cells
+    // are few (one per factory outlet), so a linear scan beats hashing.
+    let mut available: Vec<(Coord, u64)> = Vec::new();
     for (i, item) in items.iter().enumerate() {
         match &item.op.op {
             ftqc_arch::SurgeryOp::DeliverMagic { path } => {
                 if let Some(&end) = path.last() {
-                    *available.entry(end).or_default() += 1;
+                    match available.iter_mut().find(|(c, _)| *c == end) {
+                        Some(slot) => slot.1 += 1,
+                        None => available.push((end, 1)),
+                    }
                 }
             }
             ftqc_arch::SurgeryOp::ConsumeMagic { magic, .. } if item.op.factory.is_none() => {
-                let n = available.entry(*magic).or_default();
-                if *n == 0 {
-                    return Err(VerifyError::UnfedMagic {
-                        index: i,
-                        cell: *magic,
-                    });
+                match available.iter_mut().find(|(c, _)| c == magic) {
+                    Some(slot) if slot.1 > 0 => slot.1 -= 1,
+                    _ => {
+                        return Err(VerifyError::UnfedMagic {
+                            index: i,
+                            cell: *magic,
+                        })
+                    }
                 }
-                *n -= 1;
             }
             _ => {}
         }
     }
 
     // 4: factory production spacing.
-    let mut per_factory: HashMap<usize, Vec<u64>> = HashMap::new();
+    let mut grants: Vec<(usize, u64)> = Vec::new();
     for item in items {
         if let Some(f) = item.op.factory {
-            per_factory.entry(f).or_default().push(item.start.raw());
+            grants.push((f, item.start.raw()));
         }
     }
-    for (factory, mut starts) in per_factory {
-        starts.sort_unstable();
-        for w in starts.windows(2) {
-            if w[1] - w[0] < timing.magic_production.raw() {
-                return Err(VerifyError::FactoryOverrun {
-                    factory,
-                    starts: (w[0], w[1]),
-                });
-            }
+    grants.sort_unstable();
+    for w in grants.windows(2) {
+        if w[0].0 == w[1].0 && w[1].1 - w[0].1 < timing.magic_production.raw() {
+            return Err(VerifyError::FactoryOverrun {
+                factory: w[0].0,
+                starts: (w[0].1, w[1].1),
+            });
         }
     }
 
     Ok(())
+}
+
+/// Buckets `(key, start, end, op-index)` intervals by key with a counting
+/// sort over `0..n_keys`, orders each bucket by start (near-sorted already
+/// — schedules are emitted in time order — so the per-bucket sorts are
+/// effectively linear), and returns the first time-overlapping pair found
+/// as `(key, first-op, second-op)`.
+fn bucket_overlap(
+    intervals: &[(usize, u64, u64, usize)],
+    n_keys: usize,
+) -> Option<(usize, usize, usize)> {
+    let mut heads = vec![0usize; n_keys + 1];
+    for &(k, ..) in intervals {
+        heads[k + 1] += 1;
+    }
+    for k in 0..n_keys {
+        heads[k + 1] += heads[k];
+    }
+    let mut slots = vec![(0u64, 0u64, 0usize); intervals.len()];
+    let mut next = heads.clone();
+    for &(k, s, e, i) in intervals {
+        slots[next[k]] = (s, e, i);
+        next[k] += 1;
+    }
+    for k in 0..n_keys {
+        let bucket = &mut slots[heads[k]..heads[k + 1]];
+        bucket.sort_unstable();
+        for w in bucket.windows(2) {
+            if w[1].0 < w[0].1 {
+                return Some((k, w[0].2, w[1].2));
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -541,6 +541,31 @@ impl Default for PathTable {
     }
 }
 
+/// The reusable halves of a [`Router`] — the warm [`SearchArena`] and
+/// [`PathTable`] — detached from any particular occupancy state so they
+/// can outlive one compile and seed the next (an edit session keeps one
+/// `RouterParts` alive and re-threads it through every differential
+/// recompile).
+///
+/// Carrying the table across compiles is correctness-neutral for the same
+/// reason flush-on-capacity is: every entry is a pure function of its
+/// 128-bit digest key, which pins the grid shape, penalty weight, occupied
+/// set and extra-blocked set the path was computed under. An entry from a
+/// previous compile is either keyed by a state the new compile reproduces
+/// exactly (a legitimate hit) or unreachable.
+#[derive(Debug, Default)]
+pub struct RouterParts {
+    arena: SearchArena,
+    table: PathTable,
+}
+
+impl RouterParts {
+    /// Cached path-table entries currently held.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+}
+
 /// Which implementation a [`Router`] answers with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RouterMode {
@@ -634,6 +659,35 @@ impl Router {
             table: PathTable::default(),
             context_digest: ((context as u128) << 64) | splitmix64(context) as u128,
             occ_digest: 0,
+        }
+    }
+
+    /// A router warmed by `parts` (see [`RouterParts`]). Activity counters
+    /// restart from zero — they describe one compile, not the parts'
+    /// lifetime — and the occupancy digest restarts empty: the caller
+    /// re-[`claim`](Router::claim)s whichever cells are occupied in the
+    /// state it resumes from.
+    pub fn from_parts(grid: &Grid, cost: CostModel, mode: RouterMode, parts: RouterParts) -> Self {
+        let mut router = Router::new(grid, cost, mode);
+        let RouterParts {
+            mut arena,
+            mut table,
+        } = parts;
+        arena.reuses = 0;
+        table.hits = 0;
+        table.misses = 0;
+        table.invalidations = 0;
+        router.arena = arena;
+        router.table = table;
+        router
+    }
+
+    /// Detaches the warm arena and path table for reuse by a later
+    /// [`Router::from_parts`].
+    pub fn into_parts(self) -> RouterParts {
+        RouterParts {
+            arena: self.arena,
+            table: self.table,
         }
     }
 

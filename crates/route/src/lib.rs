@@ -29,8 +29,8 @@ pub mod space;
 
 pub use dijkstra::{find_path, CostModel, Occupancy, Path};
 pub use incremental::{
-    blocked_set_digest, PathTable, RouteCounters, RoutePlanner, Router, RouterMode, SearchArena,
-    SeedPlanner,
+    blocked_set_digest, PathTable, RouteCounters, RoutePlanner, Router, RouterMode, RouterParts,
+    SearchArena, SeedPlanner,
 };
 pub use moves::{best_cnot_config, best_cnot_config_with, CnotConfig};
 pub use space::{clear_cell_plan, nearest_free_cell, space_search, SpacePlan};

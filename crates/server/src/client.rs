@@ -375,6 +375,56 @@ impl Client {
         Ok(TargetsResponse::from_json(&doc)?)
     }
 
+    /// `POST /v1/session`: open an interactive edit session from a
+    /// compile-job document (same shape as [`Client::compile`] takes).
+    /// Answers the session descriptor — `"id"` is the handle for
+    /// [`Client::session_edit`] and friends. Requires a server running
+    /// the session extension (`ftqc serve`); a plain core server answers
+    /// 404.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn session_create(&self, job: &CompileJob<CompilerOptions>) -> Result<Value, ClientError> {
+        self.exchange_json("POST", "/v1/session", Some(&job.to_json()))
+    }
+
+    /// `POST /v1/session/<id>/edit`: JSONL edit batches in, one
+    /// delta-annotated result document per batch out.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; per-batch failures come back as documents
+    /// whose `status` carries the error.
+    pub fn session_edit(&self, id: &str, jsonl: &str) -> Result<Vec<Value>, ClientError> {
+        let path = format!("/v1/session/{id}/edit");
+        let response = self.exchange("POST", &path, "application/jsonl", jsonl.as_bytes())?;
+        let text = response.body_str()?;
+        text.lines()
+            .filter(|line| !line.trim().is_empty())
+            .map(|line| Value::parse(line).map_err(ClientError::from))
+            .collect()
+    }
+
+    /// `GET /v1/session/<id>`: the session's snapshot document.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`]; an expired or unknown session is a 404
+    /// [`ClientError::Status`].
+    pub fn session_get(&self, id: &str) -> Result<Value, ClientError> {
+        self.exchange_json("GET", &format!("/v1/session/{id}"), None)
+    }
+
+    /// `DELETE /v1/session/<id>`: close the session.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`].
+    pub fn session_close(&self, id: &str) -> Result<Value, ClientError> {
+        self.exchange_json("DELETE", &format!("/v1/session/{id}"), None)
+    }
+
     /// `GET /v1/cache/stats`: the shared cache's counters.
     ///
     /// # Errors

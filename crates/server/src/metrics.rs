@@ -40,13 +40,16 @@ pub enum Endpoint {
     /// `GET /v1/cache/peek/<key>` and `POST /v1/cache/offer/<key>`
     /// (fleet sharded peer cache).
     CachePeer,
+    /// `POST /v1/session`, `GET|DELETE /v1/session/<id>`, and
+    /// `POST /v1/session/<id>/edit` (interactive edit sessions).
+    Session,
     /// Everything else.
     Other,
 }
 
 impl Endpoint {
     /// All tracked endpoints, in render order.
-    pub const ALL: [Endpoint; 11] = [
+    pub const ALL: [Endpoint; 12] = [
         Endpoint::Compile,
         Endpoint::Batch,
         Endpoint::Sweep,
@@ -57,6 +60,7 @@ impl Endpoint {
         Endpoint::Metrics,
         Endpoint::Work,
         Endpoint::CachePeer,
+        Endpoint::Session,
         Endpoint::Other,
     ];
 
@@ -73,6 +77,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Work => "work",
             Endpoint::CachePeer => "cache_peer",
+            Endpoint::Session => "session",
             Endpoint::Other => "other",
         }
     }
@@ -93,6 +98,8 @@ impl Endpoint {
             _ if path.starts_with("/v1/cache/peek/") || path.starts_with("/v1/cache/offer/") => {
                 Endpoint::CachePeer
             }
+            "/v1/session" => Endpoint::Session,
+            _ if path.starts_with("/v1/session/") => Endpoint::Session,
             _ => Endpoint::Other,
         }
     }
@@ -115,7 +122,7 @@ struct EndpointCounters {
 /// The process-wide counter registry.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    per_endpoint: [EndpointCounters; 11],
+    per_endpoint: [EndpointCounters; 12],
     /// Per-stage compile times, fed by the staged-session trace hooks.
     per_stage: [Histogram; 4],
     /// Worker-pool queue waits (batch submission → worker claim).
@@ -467,6 +474,31 @@ mod tests {
             Duration::ZERO,
         );
         assert!(text.contains("ftqc_http_requests_total{endpoint=\"targets\"} 1"));
+    }
+
+    /// Regression guard for the same bug class on the session routes: every
+    /// `/v1/session*` shape must classify as `Session`, not `Other`.
+    #[test]
+    fn session_is_a_first_class_endpoint() {
+        assert_ne!(Endpoint::of_path("/v1/session"), Endpoint::Other);
+        assert_eq!(Endpoint::of_path("/v1/session"), Endpoint::Session);
+        assert_eq!(Endpoint::of_path("/v1/session/abc123"), Endpoint::Session);
+        assert_eq!(
+            Endpoint::of_path("/v1/session/abc123/edit"),
+            Endpoint::Session
+        );
+        assert!(Endpoint::ALL.contains(&Endpoint::Session));
+        let m = ServerMetrics::new();
+        m.record(Endpoint::Session, 200, Duration::from_micros(5));
+        assert_eq!(m.requests(Endpoint::Session), 1);
+        assert_eq!(m.requests(Endpoint::Other), 0);
+        let text = m.render_prometheus(
+            &CacheStats::default(),
+            &StageCacheStats::default(),
+            &RouteCounters::default(),
+            Duration::ZERO,
+        );
+        assert!(text.contains("ftqc_http_requests_total{endpoint=\"session\"} 1"));
     }
 
     /// `Duration::as_micros` yields a `u128`; a plain `as u64` cast used to

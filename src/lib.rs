@@ -27,6 +27,11 @@
 //!   sweeps, one process-wide compile cache shared by all clients,
 //!   Prometheus metrics, graceful shutdown, and a blocking client API
 //!   (`ftqc serve` / `ftqc client`).
+//! * [`editor`] — interactive edit sessions: gate-level circuit edits
+//!   batched over the wire, recompiled differentially (suffix re-lower,
+//!   checkpointed routing resume, spliced re-timing) with verification
+//!   on every result, served as the stateful `/v1/session*` endpoints
+//!   (`ftqc edit`).
 //! * [`fleet`] — the distributed compile fleet over that server: worker
 //!   processes that return results with compact verification witnesses,
 //!   a coordinator that dispatches batches and re-verifies every witness
@@ -54,6 +59,7 @@ pub use ftqc_baselines as baselines;
 pub use ftqc_benchmarks as benchmarks;
 pub use ftqc_circuit as circuit;
 pub use ftqc_compiler as compiler;
+pub use ftqc_editor as editor;
 pub use ftqc_fleet as fleet;
 pub use ftqc_route as route;
 pub use ftqc_server as server;
