@@ -22,6 +22,13 @@
 //! trajectory data only — the regression gate ignores it, so fleet-less
 //! baselines keep checking.
 //!
+//! `--reactor N` additionally measures concurrent-connection capacity:
+//! idle connections held against a thread-per-connection server and
+//! against an event-driven reactor server (up to the ceiling N) until a
+//! live probe is refused, plus the saturated reactor's request-latency
+//! percentiles — recorded under a `"reactor"` key the regression gate
+//! likewise ignores.
+//!
 //! `--edits N` additionally runs the interactive-session hot path: N
 //! single-gate edit batches applied near the tail of the bench circuit
 //! through a live differential compiler, each timed edit-to-schedule,
@@ -36,8 +43,8 @@
 
 use ftqc_arch::TargetRegistry;
 use ftqc_bench::report::{
-    check_regression, median_micros, summarise_stages, CaseReport, EditReport, FleetReport,
-    LatencyPercentiles, RoutingReport, SessionReport,
+    check_regression, median_micros, summarise_stages, CapacityReport, CaseReport, EditReport,
+    FleetReport, LatencyPercentiles, RoutingReport, SessionReport,
 };
 use ftqc_bench::Table;
 use ftqc_circuit::Gate;
@@ -47,7 +54,9 @@ use ftqc_compiler::{
 };
 use ftqc_editor::{CircuitEdit, EditSession, EditSet};
 use ftqc_fleet::{CoordinatorConfig, CoordinatorExtension, WorkerConfig, WorkerExtension};
-use ftqc_server::{Client, RetryPolicy, Server, ServerConfig, ServerExtension, ShutdownHandle};
+use ftqc_server::{
+    Client, RetryPolicy, Server, ServerConfig, ServerExtension, ShutdownHandle, Transport,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -62,6 +71,7 @@ struct Args {
     iters: u64,
     fleet: u64,
     edits: u64,
+    reactor: u64,
     json: Option<String>,
     check: Option<String>,
 }
@@ -73,6 +83,7 @@ fn parse_args() -> Result<Args, String> {
         iters: 5,
         fleet: 0,
         edits: 0,
+        reactor: 0,
         json: None,
         check: None,
     };
@@ -97,12 +108,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| "--edits expects an edit-batch count".to_string())?;
             }
+            "--reactor" => {
+                args.reactor = value("--reactor")?
+                    .parse()
+                    .map_err(|_| "--reactor expects a connection ceiling".to_string())?;
+            }
             "--json" => args.json = Some(value("--json")?),
             "--check" => args.check = Some(value("--check")?),
             other => {
                 return Err(format!(
-                    "unknown flag {other:?} \
-                     (use --circuit/--routing-circuit/--iters/--fleet/--edits/--json/--check)"
+                    "unknown flag {other:?} (use --circuit/--routing-circuit\
+                     /--iters/--fleet/--edits/--reactor/--json/--check)"
                 ))
             }
         }
@@ -292,6 +308,114 @@ fn bench_fleet(spec: &str, workers: u64) -> Result<FleetReport, String> {
         thread.join().ok();
     }
     Ok(report)
+}
+
+/// One raw probe request: a fresh connection, `GET /healthz`, the whole
+/// response read back. Returns the wall-clock microseconds when the
+/// server answered 200, `Ok(None)` when it refused (connection error,
+/// non-200, or timeout) — refusal is data for the capacity bench, not a
+/// failure.
+fn probe(addr: &str) -> Option<u64> {
+    use std::io::{Read, Write};
+    let started = Instant::now();
+    let mut stream = std::net::TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    stream
+        .set_write_timeout(Some(Duration::from_secs(5)))
+        .ok()?;
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n")
+        .ok()?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).ok()?;
+    response
+        .starts_with(b"HTTP/1.1 200")
+        .then(|| started.elapsed().as_micros() as u64)
+}
+
+/// Opens idle connections against `addr` until a live probe fails or
+/// `ceiling` is reached, probing every 8. Returns the held sockets (kept
+/// open by the caller) and the held count at the last successful probe.
+fn hold_idle(addr: &str, ceiling: u64) -> (Vec<std::net::TcpStream>, u64) {
+    let mut held = Vec::new();
+    let mut last_good = 0u64;
+    while (held.len() as u64) < ceiling {
+        match std::net::TcpStream::connect(addr) {
+            Ok(s) => held.push(s),
+            Err(_) => break,
+        }
+        if held.len() % 8 == 0 || held.len() as u64 == ceiling {
+            if probe(addr).is_none() {
+                break;
+            }
+            last_good = held.len() as u64;
+        }
+    }
+    (held, last_good)
+}
+
+/// The connection-capacity measurement: a threaded server and a reactor
+/// server, each loaded with idle connections until they refuse a live
+/// probe (capped at `ceiling`, the bench's fd budget), then the reactor
+/// probed `iters * 40` more times *while* saturated for the latency
+/// percentiles. Both servers get a long read timeout so the held idle
+/// connections survive the measurement window.
+fn bench_capacity(ceiling: u64, iters: u64) -> Result<CapacityReport, String> {
+    let config = |transport: Transport| ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        transport,
+        read_timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    };
+    let run = |config: ServerConfig| -> Result<_, String> {
+        let server = Server::bind_with(config, None).map_err(|e| e.to_string())?;
+        let bound = server.local_addr().map_err(|e| e.to_string())?.to_string();
+        let handle = server.handle().map_err(|e| e.to_string())?;
+        let thread = std::thread::spawn(move || {
+            let _ = server.run();
+        });
+        Ok((bound, handle, thread))
+    };
+
+    let (threaded_addr, threaded_handle, threaded_thread) = run(config(Transport::Threaded))?;
+    if probe(&threaded_addr).is_none() {
+        return Err("threaded server refused the first probe".into());
+    }
+    let (threaded_held, threaded_connections) = hold_idle(&threaded_addr, ceiling);
+    drop(threaded_held);
+    threaded_handle.shutdown();
+    // The held idle sockets are closed; the drain notices on its next tick.
+    let _ = probe(&threaded_addr);
+    threaded_thread.join().ok();
+
+    let (reactor_addr, reactor_handle, reactor_thread) = run(config(Transport::Reactor))?;
+    if probe(&reactor_addr).is_none() {
+        return Err("reactor server refused the first probe".into());
+    }
+    let (reactor_held, reactor_connections) = hold_idle(&reactor_addr, ceiling);
+    let probe_requests = iters.max(1) * 40;
+    let samples: Vec<u64> = (0..probe_requests)
+        .filter_map(|_| probe(&reactor_addr))
+        .collect();
+    let answered = samples.len() as u64;
+    drop(reactor_held);
+    reactor_handle.shutdown();
+    let _ = probe(&reactor_addr);
+    reactor_thread.join().ok();
+    if answered < probe_requests {
+        return Err(format!(
+            "saturated reactor dropped probes: {answered}/{probe_requests} answered"
+        ));
+    }
+
+    Ok(CapacityReport {
+        threaded_connections,
+        reactor_connections,
+        probe_ceiling: ceiling,
+        probe_requests,
+        latency: LatencyPercentiles::from_samples(samples),
+    })
 }
 
 /// The edit storm: opens an edit session on the bench circuit and applies
@@ -505,6 +629,35 @@ fn main() {
         None
     };
 
+    // The connection-capacity probe, when asked for: idle connections
+    // held against both transports until a live probe is refused, then
+    // the saturated reactor's request latency.
+    let reactor = if args.reactor > 0 {
+        match bench_capacity(args.reactor, args.iters) {
+            Ok(c) => {
+                println!(
+                    "\ncapacity (ceiling {}): threaded {} conns -> reactor {} conns ({:.1}x); \
+                     saturated reactor p50 {}µs, p95 {}µs, p99 {}µs over {} probes",
+                    c.probe_ceiling,
+                    c.threaded_connections,
+                    c.reactor_connections,
+                    c.capacity_ratio(),
+                    c.latency.p50,
+                    c.latency.p95,
+                    c.latency.p99,
+                    c.probe_requests,
+                );
+                Some(c)
+            }
+            Err(e) => {
+                eprintln!("bench_session: capacity bench: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     let report = SessionReport {
         circuit: args.circuit.clone(),
         iterations: args.iters,
@@ -513,6 +666,7 @@ fn main() {
         routing: Some(routing),
         fleet,
         edits,
+        reactor,
     };
     let stats = report.stage_cache;
     println!(

@@ -319,6 +319,62 @@ impl ToJson for FleetReport {
     }
 }
 
+/// The concurrent-connection capacity measurement: idle connections held
+/// open against the thread-per-connection transport and against the
+/// event-driven reactor transport, each probed with live requests until
+/// the server refuses new work. The reactor side also records request
+/// latency percentiles taken *while* the idle connections are held — the
+/// number that shows event-driven readiness doesn't pay for parked
+/// sockets. Recorded for the trajectory only — the regression gate never
+/// reads it, so reactor-less baselines keep checking cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityReport {
+    /// Idle connections the threaded transport held while still serving
+    /// probes (bounded by its connection cap).
+    pub threaded_connections: u64,
+    /// Idle connections the reactor transport held while still serving
+    /// probes. When this equals [`probe_ceiling`](Self::probe_ceiling)
+    /// the measurement stopped at the bench's own fd budget, not at the
+    /// server's limit — the true capacity is at least this.
+    pub reactor_connections: u64,
+    /// The bench's own ceiling on held connections (fd budget).
+    pub probe_ceiling: u64,
+    /// Probe requests timed against the saturated reactor.
+    pub probe_requests: u64,
+    /// Request latency percentiles against the reactor while all
+    /// [`reactor_connections`](Self::reactor_connections) idle
+    /// connections are held.
+    pub latency: LatencyPercentiles,
+}
+
+impl CapacityReport {
+    /// Reactor-over-threaded concurrent-connection capacity (0 when the
+    /// threaded capacity is unmeasured).
+    pub fn capacity_ratio(&self) -> f64 {
+        if self.threaded_connections == 0 {
+            0.0
+        } else {
+            self.reactor_connections as f64 / self.threaded_connections as f64
+        }
+    }
+}
+
+impl ToJson for CapacityReport {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            (
+                "threaded_connections".into(),
+                num(self.threaded_connections),
+            ),
+            ("reactor_connections".into(), num(self.reactor_connections)),
+            ("probe_ceiling".into(), num(self.probe_ceiling)),
+            ("capacity_ratio".into(), Value::Num(self.capacity_ratio())),
+            ("probe_requests".into(), num(self.probe_requests)),
+            ("latency".into(), self.latency.to_json()),
+        ])
+    }
+}
+
 /// The edit-storm measurement: single-gate edit batches applied near the
 /// tail of a live [`EditSession`]-style differential compiler, each timed
 /// edit-to-schedule, against the median of cold full recompiles of the
@@ -388,6 +444,9 @@ pub struct SessionReport {
     pub fleet: Option<FleetReport>,
     /// The edit-storm measurement, when `--edits N` asked for one.
     pub edits: Option<EditReport>,
+    /// The connection-capacity measurement, when `--reactor N` asked for
+    /// one.
+    pub reactor: Option<CapacityReport>,
 }
 
 impl ToJson for SessionReport {
@@ -409,6 +468,9 @@ impl ToJson for SessionReport {
         }
         if let Some(edits) = &self.edits {
             fields.push(("edits".into(), edits.to_json()));
+        }
+        if let Some(reactor) = &self.reactor {
+            fields.push(("reactor".into(), reactor.to_json()));
         }
         Value::Obj(fields)
     }
@@ -606,6 +668,17 @@ mod tests {
                 },
                 full_median_micros: 1600,
             }),
+            reactor: Some(CapacityReport {
+                threaded_connections: 64,
+                reactor_connections: 1280,
+                probe_ceiling: 1280,
+                probe_requests: 200,
+                latency: LatencyPercentiles {
+                    p50: 90,
+                    p95: 300,
+                    p99: 900,
+                },
+            }),
         };
         let rendered = report.to_json().render();
         assert!(rendered.contains("\"circuit\":\"ising:2\""), "{rendered}");
@@ -625,6 +698,12 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("\"full_fallbacks\":1"), "{rendered}");
+        assert!(rendered.contains("\"reactor\""), "{rendered}");
+        assert!(rendered.contains("\"capacity_ratio\":20"), "{rendered}");
+        assert!(
+            rendered.contains("\"reactor_connections\":1280"),
+            "{rendered}"
+        );
 
         let dir = std::env::temp_dir().join("ftqc-bench-report-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -824,6 +903,54 @@ mod tests {
         .unwrap();
         check_regression(&current, &edit_less, 0.15).expect("edit-less baseline checks");
         check_regression(&current, &edit_full, 0.15).expect("edit-carrying baseline checks");
+    }
+
+    #[test]
+    fn gate_ignores_the_reactor_section() {
+        // The connection-capacity numbers are trajectory data too:
+        // baselines with and without a "reactor" key must check
+        // identically, so CI runs with and without --reactor can share
+        // checked-in baselines.
+        let current = RoutingReport {
+            circuit: "ghz".into(),
+            iterations: 5,
+            reference_median_micros: 9000,
+            incremental_median_micros: 1200,
+            incremental_min_micros: 1150,
+            incremental_percentiles: LatencyPercentiles::default(),
+            route: RouteCounters::default(),
+        };
+        let reactor_less = Value::parse(
+            "{\"routing\":{\"incremental_median_micros\":1100,\
+             \"incremental_min_micros\":1100,\"speedup\":7.5}}",
+        )
+        .unwrap();
+        let reactor_full = Value::parse(
+            "{\"routing\":{\"incremental_median_micros\":1100,\
+             \"incremental_min_micros\":1100,\"speedup\":7.5},\
+             \"reactor\":{\"threaded_connections\":64,\
+             \"reactor_connections\":1280,\"capacity_ratio\":20}}",
+        )
+        .unwrap();
+        check_regression(&current, &reactor_less, 0.15).expect("reactor-less baseline checks");
+        check_regression(&current, &reactor_full, 0.15).expect("reactor-carrying baseline checks");
+    }
+
+    #[test]
+    fn capacity_ratio_guards_unmeasured_threaded_side() {
+        let capacity = CapacityReport {
+            threaded_connections: 64,
+            reactor_connections: 1280,
+            probe_ceiling: 1280,
+            probe_requests: 200,
+            latency: LatencyPercentiles::default(),
+        };
+        assert!((capacity.capacity_ratio() - 20.0).abs() < 1e-9);
+        let unmeasured = CapacityReport {
+            threaded_connections: 0,
+            ..capacity
+        };
+        assert_eq!(unmeasured.capacity_ratio(), 0.0);
     }
 
     #[test]

@@ -60,6 +60,7 @@ const BOOLEAN_FLAGS: &[&str] = &[
     "explain",
     "trace",
     "worker",
+    "reactor",
 ];
 
 /// Parses a raw argument list (without the program name).

@@ -26,6 +26,7 @@ use ftqc_editor::{
 use ftqc_fleet::{CoordinatorConfig, CoordinatorExtension, WorkerConfig, WorkerExtension};
 use ftqc_server::{
     Client, MultiSweepResponse, RetryPolicy, Server, ServerConfig, ServerExtension, SweepResponse,
+    Transport,
 };
 use ftqc_service::json::ToJson;
 use ftqc_service::{
@@ -192,6 +193,14 @@ COMMANDS
                                         on shutdown
                        --cache-capacity N / --max-connections N (default 64)
                        --timeout-ms N   per-request read timeout (dflt 10000)
+                       --reactor        event-driven transport (Linux):
+                                        sharded epoll loops, thousands of
+                                        connections, bounded admission queue,
+                                        429 + Retry-After over capacity
+                       --shards N       reactor event-loop shards (dflt auto)
+                       --queue-cap N    reactor admission queue (default 256)
+                       --queue-timeout-s N  max queue wait before a
+                                        retryable 503 (default 30)
                        --worker         fleet worker role: adds POST /v1/work
                                         (result + verification witness) and
                                         the peer-cache endpoints
@@ -1055,6 +1064,14 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
         cache_file: p.get("cache").map(PathBuf::from),
         max_connections: p.get_or("max-connections", 64usize)?.max(1),
         read_timeout: Duration::from_millis(p.get_or("timeout-ms", 10_000u64)?),
+        transport: if p.flag("reactor") {
+            Transport::Reactor
+        } else {
+            Transport::Threaded
+        },
+        shards: p.get_or("shards", 0usize)?,
+        queue_cap: p.get_or("queue-cap", 256usize)?.max(1),
+        queue_timeout: Duration::from_secs(p.get_or("queue-timeout-s", 30u64)?.max(1)),
         ..ServerConfig::default()
     };
     let cache_note = match &config.cache_file {
@@ -1085,8 +1102,9 @@ fn cmd_serve(p: &ParsedArgs) -> Result<String, CliError> {
         .map_err(|e| CliError::Pipeline(e.to_string()))?;
     server.install_sigint_handler();
     // Announce before blocking: main only prints after run() returns.
+    let transport_note = if p.flag("reactor") { ", reactor" } else { "" };
     println!(
-        "ftqc-server listening on {addr} ({} workers{cache_note}{role_note}); Ctrl-C to stop",
+        "ftqc-server listening on {addr} ({} workers{transport_note}{cache_note}{role_note}); Ctrl-C to stop",
         server.workers()
     );
     let report = server

@@ -1,0 +1,200 @@
+//! The bounded admission queue between the event loops and the dispatcher
+//! threads, with per-client fairness.
+//!
+//! Work is laned by peer IP and claimed round-robin across lanes, so a
+//! client that floods the server with requests only ever has one request
+//! ahead of every other client's next request — a single greedy peer
+//! cannot starve the rest. The bound is enforced at push: the event loop
+//! checks [`FairQueue::depth`] the moment a request head completes and
+//! turns the request away with 429 before its body is ever read.
+
+use std::collections::{HashMap, VecDeque};
+use std::net::IpAddr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+struct Lanes<T> {
+    /// Pending items per peer, FIFO within a lane.
+    lanes: HashMap<IpAddr, VecDeque<T>>,
+    /// Claim order: lanes with pending work, round-robin.
+    rotation: VecDeque<IpAddr>,
+    len: usize,
+    closed: bool,
+}
+
+/// A bounded MPMC queue fanned by peer address.
+pub struct FairQueue<T> {
+    cap: usize,
+    /// Mirror of the locked length, readable without the lock (the event
+    /// loops' admission check and the metrics gauge).
+    depth: AtomicUsize,
+    inner: Mutex<Lanes<T>>,
+    ready: Condvar,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `cap` items (clamped to at least 1).
+    pub fn new(cap: usize) -> FairQueue<T> {
+        FairQueue {
+            cap: cap.max(1),
+            depth: AtomicUsize::new(0),
+            inner: Mutex::new(Lanes {
+                lanes: HashMap::new(),
+                rotation: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The current queue depth (lock-free snapshot).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues `item` on `peer`'s lane. `Ok(depth)` with the depth after
+    /// the push; `Err(depth)` when the queue is full or closed.
+    pub fn push(&self, peer: IpAddr, item: T) -> Result<usize, usize> {
+        let mut inner = self.inner.lock().expect("admission queue lock");
+        if inner.closed || inner.len >= self.cap {
+            return Err(inner.len);
+        }
+        let lane = inner.lanes.entry(peer).or_default();
+        let was_empty = lane.is_empty();
+        lane.push_back(item);
+        if was_empty {
+            inner.rotation.push_back(peer);
+        }
+        inner.len += 1;
+        let depth = inner.len;
+        self.depth.store(depth, Ordering::SeqCst);
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocks until an item is claimable, returning `(item, depth-after)`.
+    /// Claims rotate across peer lanes. `None` once the queue is closed
+    /// *and* drained — dispatchers keep serving queued work through a
+    /// graceful shutdown.
+    pub fn pop(&self) -> Option<(T, usize)> {
+        let mut inner = self.inner.lock().expect("admission queue lock");
+        loop {
+            if inner.len > 0 {
+                let peer = inner
+                    .rotation
+                    .pop_front()
+                    .expect("non-empty queue has a rotation entry");
+                let lane = inner
+                    .lanes
+                    .get_mut(&peer)
+                    .expect("rotation entries have lanes");
+                let item = lane.pop_front().expect("rotated lanes are non-empty");
+                if lane.is_empty() {
+                    inner.lanes.remove(&peer);
+                } else {
+                    inner.rotation.push_back(peer);
+                }
+                inner.len -= 1;
+                let depth = inner.len;
+                self.depth.store(depth, Ordering::SeqCst);
+                return Some((item, depth));
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .expect("admission queue condition wait");
+        }
+    }
+
+    /// Refuses new pushes and releases blocked `pop`s once drained.
+    pub fn close(&self) {
+        self.inner.lock().expect("admission queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+impl<T> std::fmt::Debug for FairQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FairQueue")
+            .field("cap", &self.cap)
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::from([127, 0, 0, last])
+    }
+
+    #[test]
+    fn fifo_within_a_single_peer() {
+        let q = FairQueue::new(8);
+        for i in 0..4 {
+            q.push(ip(1), i).unwrap();
+        }
+        let order: Vec<i32> = (0..4).map(|_| q.pop().unwrap().0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn round_robin_across_peers() {
+        // Peer 1 floods; peer 2 sends one request after the flood. The
+        // flood only costs peer 2 one slot, not the whole backlog.
+        let q = FairQueue::new(16);
+        for i in 0..5 {
+            q.push(ip(1), format!("a{i}")).unwrap();
+        }
+        q.push(ip(2), "b0".to_string()).unwrap();
+        let order: Vec<String> = (0..6).map(|_| q.pop().unwrap().0).collect();
+        assert_eq!(order, vec!["a0", "b0", "a1", "a2", "a3", "a4"]);
+    }
+
+    #[test]
+    fn bound_is_enforced_with_depth_reported() {
+        let q = FairQueue::new(2);
+        assert_eq!(q.push(ip(1), 0), Ok(1));
+        assert_eq!(q.push(ip(2), 1), Ok(2));
+        assert_eq!(q.push(ip(3), 2), Err(2));
+        assert_eq!(q.depth(), 2);
+        let (_, depth) = q.pop().unwrap();
+        assert_eq!(depth, 1);
+        assert_eq!(q.push(ip(3), 2), Ok(2));
+    }
+
+    #[test]
+    fn close_drains_then_releases() {
+        let q = FairQueue::new(4);
+        q.push(ip(1), 7).unwrap();
+        q.close();
+        assert_eq!(q.push(ip(1), 8), Err(1), "closed queues refuse pushes");
+        // Queued work is still served through shutdown.
+        assert_eq!(q.pop().map(|(v, _)| v), Some(7));
+        assert_eq!(q.pop().map(|(v, _)| v), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = std::sync::Arc::new(FairQueue::<u32>::new(4));
+        let waiter = {
+            let q = std::sync::Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

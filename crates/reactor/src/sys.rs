@@ -1,0 +1,250 @@
+//! Thin `extern "C"` wrappers over the Linux readiness syscalls.
+//!
+//! The build environment has no registry access, so there is no libc or
+//! mio crate here: std already links libc on every unix target, and
+//! declaring the handful of symbols the reactor needs keeps the crate
+//! dependency-free — the same trick the server crate uses for its SIGINT
+//! handler. Everything unsafe lives behind the two small safe types below
+//! ([`Poller`], [`Waker`]); errors come out of
+//! `io::Error::last_os_error()`, so no errno plumbing is needed.
+
+use std::io;
+use std::os::raw::c_void;
+
+/// One readiness record, ABI-compatible with the kernel's `epoll_event`
+/// (packed on x86-64, naturally aligned elsewhere).
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Round-robins listener readiness across the shards' epoll instances
+/// instead of waking every shard per connection (thundering herd).
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EFD_CLOEXEC: i32 = 0o2000000;
+const EFD_NONBLOCK: i32 = 0o4000;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: i32, buf: *const c_void, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Marks `fd` non-blocking via `fcntl(F_SETFL, O_NONBLOCK)`.
+///
+/// # Errors
+///
+/// The underlying `fcntl` failure.
+pub fn set_nonblocking(fd: i32) -> io::Result<()> {
+    // Safety: fcntl on a caller-owned fd; no memory is passed.
+    let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// One epoll instance: a shard's readiness multiplexer.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: i32,
+}
+
+impl Poller {
+    /// Creates the epoll instance (close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        // Safety: no pointers involved.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut event = EpollEvent {
+            events,
+            data: token,
+        };
+        // Safety: `event` outlives the call; the kernel copies it.
+        if unsafe { epoll_ctl(self.epfd, op, fd, &mut event) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure.
+    pub fn add(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Replaces `fd`'s interest set.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure.
+    pub fn modify(&self, fd: i32, token: u64, events: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    ///
+    /// The `epoll_ctl` failure.
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Waits up to `timeout_ms` for readiness, filling `events` and
+    /// returning how many fired. EINTR is absorbed (returns 0).
+    ///
+    /// # Errors
+    ///
+    /// Any other `epoll_wait` failure.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // Safety: the buffer is valid for `events.len()` records.
+        let n = unsafe {
+            epoll_wait(
+                self.epfd,
+                events.as_mut_ptr(),
+                events.len() as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        // Safety: closing our own fd exactly once.
+        unsafe { close(self.epfd) };
+    }
+}
+
+/// A cross-thread wakeup: an eventfd registered in a shard's poller so
+/// dispatcher threads can interrupt its `epoll_wait` when response bytes
+/// are ready.
+#[derive(Debug)]
+pub struct Waker {
+    fd: i32,
+}
+
+impl Waker {
+    /// Creates the eventfd (non-blocking, close-on-exec).
+    ///
+    /// # Errors
+    ///
+    /// The `eventfd` failure.
+    pub fn new() -> io::Result<Waker> {
+        // Safety: no pointers involved.
+        let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Waker { fd })
+    }
+
+    /// The fd to register for EPOLLIN.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Signals the owning shard (async-signal-safe: one 8-byte write).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // Safety: writing 8 bytes from a stack value; a full counter
+        // (EAGAIN) already means the shard has a pending wakeup.
+        unsafe { write(self.fd, (&one as *const u64).cast::<c_void>(), 8) };
+    }
+
+    /// Clears the pending wakeup count.
+    pub fn drain(&self) {
+        let mut count: u64 = 0;
+        // Safety: reading 8 bytes into a stack value; EAGAIN just means
+        // nothing was pending.
+        unsafe { read(self.fd, (&mut count as *mut u64).cast::<c_void>(), 8) };
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // Safety: closing our own fd exactly once.
+        unsafe { close(self.fd) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poller_registers_and_reports_readiness() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.add(waker.fd(), 7, EPOLLIN).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        // Nothing pending: a zero-timeout wait returns no events.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        waker.wake();
+        let n = poller.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 7);
+        waker.drain();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        poller.delete(waker.fd()).unwrap();
+    }
+
+    #[test]
+    fn set_nonblocking_applies_to_a_socket() {
+        use std::os::unix::io::AsRawFd;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        set_nonblocking(listener.as_raw_fd()).unwrap();
+        // An accept with no pending peer must now fail fast.
+        let err = listener.accept().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

@@ -27,6 +27,9 @@ pub enum ClientError {
         status: u16,
         /// The response body, as text.
         body: String,
+        /// The `Retry-After` header in seconds, when the server sent one
+        /// (the reactor transport's 429/503 backpressure responses do).
+        retry_after: Option<u64>,
     },
     /// The response body did not decode to the expected shape.
     Decode(JsonError),
@@ -37,7 +40,7 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "connection failed: {e}"),
             ClientError::Http(e) => write!(f, "bad HTTP exchange: {e}"),
-            ClientError::Status { status, body } => {
+            ClientError::Status { status, body, .. } => {
                 write!(f, "server answered {status}: {body}")
             }
             ClientError::Decode(e) => write!(f, "cannot decode response: {e}"),
@@ -111,11 +114,19 @@ impl RetryPolicy {
         }
     }
 
-    /// Is this failure worth retrying? Only transport-level ones.
+    /// Is this failure worth retrying? Transport-level ones, plus the two
+    /// statuses that *mean* "try again": 429 (over capacity) and 503 (at
+    /// the connection limit / draining). Other statuses never retry: the
+    /// server answered, retrying would not change its mind.
     pub fn retryable(error: &ClientError) -> bool {
         matches!(
             error,
-            ClientError::Io(_) | ClientError::Http(HttpError::Timeout | HttpError::Io(_))
+            ClientError::Io(_)
+                | ClientError::Http(HttpError::Timeout | HttpError::Io(_))
+                | ClientError::Status {
+                    status: 429 | 503,
+                    ..
+                }
         )
     }
 
@@ -197,7 +208,17 @@ impl Client {
                 Err(e)
                     if attempt + 1 < self.retry.attempts.max(1) && RetryPolicy::retryable(&e) =>
                 {
-                    std::thread::sleep(self.retry.delay_for(attempt, seed));
+                    // A server-stated Retry-After beats the exponential
+                    // schedule — it knows its queue — but never past the
+                    // policy's ceiling.
+                    let delay = match &e {
+                        ClientError::Status {
+                            retry_after: Some(secs),
+                            ..
+                        } => Duration::from_secs(*secs).min(self.retry.max_delay),
+                        _ => self.retry.delay_for(attempt, seed),
+                    };
+                    std::thread::sleep(delay);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -226,6 +247,9 @@ impl Client {
             return Err(ClientError::Status {
                 status: response.status,
                 body: String::from_utf8_lossy(&response.body).into_owned(),
+                retry_after: response
+                    .header("retry-after")
+                    .and_then(|v| v.trim().parse().ok()),
             });
         }
         Ok(response)
@@ -542,13 +566,90 @@ mod tests {
         assert!(!RetryPolicy::retryable(&ClientError::Status {
             status: 500,
             body: String::new(),
+            retry_after: None,
         }));
+        // The two explicit back-off statuses are worth another try.
+        for status in [429, 503] {
+            assert!(RetryPolicy::retryable(&ClientError::Status {
+                status,
+                body: String::new(),
+                retry_after: Some(1),
+            }));
+        }
         assert!(!RetryPolicy::retryable(&ClientError::Decode(
             JsonError::schema("x")
         )));
         assert!(!RetryPolicy::retryable(&ClientError::Http(
             HttpError::Malformed("x".into())
         )));
+    }
+
+    /// One canned HTTP/1.1 response per accepted connection, then exit.
+    fn canned_server(
+        answers: &'static [&'static str],
+    ) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let thread = std::thread::spawn(move || {
+            for answer in answers {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut buf = [0u8; 1024];
+                let _ = stream.read(&mut buf);
+                use std::io::Write as _;
+                stream.write_all(answer.as_bytes()).unwrap();
+            }
+        });
+        (addr, thread)
+    }
+
+    #[test]
+    fn status_errors_carry_the_retry_after_header() {
+        let (addr, server) = canned_server(&[
+            "HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\nretry-after: 7\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+        ]);
+        let err = Client::new(addr.to_string())
+            .timeout(Duration::from_secs(5))
+            .healthz()
+            .expect_err("429 is an error without retries");
+        match err {
+            ClientError::Status {
+                status: 429,
+                retry_after: Some(7),
+                ..
+            } => {}
+            other => panic!("wrong error shape: {other:?}"),
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn retry_after_is_honoured_but_capped_by_max_delay() {
+        let (addr, server) = canned_server(&[
+            // The server asks for a 7 s pause; the policy's ceiling is
+            // 150 ms, so the retry must come quickly — but not instantly.
+            "HTTP/1.1 429 Too Many Requests\r\ncontent-type: application/json\r\nretry-after: 7\r\ncontent-length: 2\r\nconnection: close\r\n\r\n{}",
+            "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 15\r\nconnection: close\r\n\r\n{\"status\":\"ok\"}",
+        ]);
+        let client = Client::new(addr.to_string())
+            .timeout(Duration::from_secs(5))
+            .retry(RetryPolicy {
+                attempts: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(150),
+            });
+        let started = std::time::Instant::now();
+        let doc = client.healthz().expect("the retry succeeds");
+        let waited = started.elapsed();
+        server.join().unwrap();
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert!(
+            waited >= Duration::from_millis(140),
+            "retry fired before the capped Retry-After pause: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "the 7 s Retry-After was not capped: {waited:?}"
+        );
     }
 
     #[test]

@@ -183,11 +183,22 @@ fn parse_headers(lines: std::str::Split<'_, &str>) -> Result<Vec<(String, String
     Ok(headers)
 }
 
+/// How a message body is delimited when `Content-Length` is absent.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Unframed {
+    /// Requests: no `Content-Length` means an empty body.
+    Empty,
+    /// Responses: no `Content-Length` means the body runs to connection
+    /// close (the server's streaming JSONL responses).
+    ReadToEof,
+}
+
 /// Reads the `Content-Length` body, `leftover` first.
 fn read_body<R: Read>(
     reader: &mut R,
     headers: &[(String, String)],
     mut leftover: Vec<u8>,
+    unframed: Unframed,
 ) -> Result<Vec<u8>, HttpError> {
     if let Some(te) = header_of(headers, "transfer-encoding") {
         if !te.eq_ignore_ascii_case("identity") {
@@ -197,6 +208,22 @@ fn read_body<R: Read>(
         }
     }
     let length: usize = match header_of(headers, "content-length") {
+        None if unframed == Unframed::ReadToEof => {
+            let mut body = leftover;
+            let mut chunk = [0u8; 8192];
+            loop {
+                let n = reader.read(&mut chunk)?;
+                if n == 0 {
+                    return Ok(body);
+                }
+                body.extend_from_slice(&chunk[..n]);
+                if body.len() > MAX_BODY_BYTES {
+                    return Err(HttpError::TooLarge(format!(
+                        "streamed body exceeds {MAX_BODY_BYTES} bytes"
+                    )));
+                }
+            }
+        }
         None => 0,
         Some(v) => v
             .parse()
@@ -265,7 +292,7 @@ pub fn read_request<R: Read>(reader: &mut R) -> Result<Option<Request>, HttpErro
         None => (target.to_string(), String::new()),
     };
     let headers = parse_headers(lines)?;
-    let body = read_body(reader, &headers, leftover)?;
+    let body = read_body(reader, &headers, leftover, Unframed::Empty)?;
     Ok(Some(Request {
         method,
         path,
@@ -306,7 +333,7 @@ pub fn read_response<R: Read>(reader: &mut R) -> Result<Response, HttpError> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::Malformed(format!("bad status in {status_line:?}")))?;
     let headers = parse_headers(lines)?;
-    let body = read_body(reader, &headers, leftover)?;
+    let body = read_body(reader, &headers, leftover, Unframed::ReadToEof)?;
     Ok(Response {
         status,
         headers,
@@ -323,6 +350,7 @@ pub fn reason(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         408 => "Request Timeout",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         501 => "Not Implemented",
         503 => "Service Unavailable",
@@ -359,6 +387,27 @@ pub fn render_response_with(
     let mut out = head.into_bytes();
     out.extend_from_slice(body);
     out
+}
+
+/// Serializes a response head with **no** `Content-Length`: the body
+/// streams after it, delimited by connection close (which this server
+/// sends on every response anyway). Used for JSONL batch responses where
+/// each line is written as its job completes.
+pub fn render_streaming_head(
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\n",
+        reason(status),
+    );
+    for (name, value) in extra_headers {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    head.push_str("connection: close\r\n\r\n");
+    head.into_bytes()
 }
 
 /// Serializes a request with Content-Length framing (the client half).
@@ -435,6 +484,31 @@ mod tests {
         let req = read_request(&mut Cursor::new(wire)).unwrap().unwrap();
         assert_eq!(req.query, "");
         assert_eq!(req.query_param("verbose"), None);
+    }
+
+    #[test]
+    fn streaming_response_body_runs_to_eof() {
+        let mut wire = render_streaming_head(200, "application/jsonl", &[("x-ftqc-trace", "ab")]);
+        wire.extend_from_slice(b"{\"line\":1}\n{\"line\":2}\n");
+        let resp = read_response(&mut Cursor::new(wire)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-length"), None);
+        assert_eq!(resp.header("x-ftqc-trace"), Some("ab"));
+        assert_eq!(resp.body_str().unwrap(), "{\"line\":1}\n{\"line\":2}\n");
+    }
+
+    #[test]
+    fn requests_without_content_length_stay_bodyless() {
+        // EOF-delimited bodies are a response-side affordance only; a
+        // request with trailing garbage and no Content-Length is an error.
+        let wire = b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\ntrailing".to_vec();
+        let e = read_request(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(e, HttpError::Malformed(_)), "got {e:?}");
+    }
+
+    #[test]
+    fn too_many_requests_has_a_reason() {
+        assert_eq!(reason(429), "Too Many Requests");
     }
 
     #[test]

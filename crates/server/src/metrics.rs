@@ -127,9 +127,19 @@ pub struct ServerMetrics {
     per_stage: [Histogram; 4],
     /// Worker-pool queue waits (batch submission → worker claim).
     queue_wait: Histogram,
+    /// Reactor admission waits (request framed → dispatcher claim).
+    admission_wait: Histogram,
     in_flight: AtomicU64,
     connections: AtomicU64,
     rejected: AtomicU64,
+    /// Live reactor admission-queue depth.
+    queue_depth: AtomicU64,
+    /// Requests admitted through the reactor's bounded queue.
+    admitted: AtomicU64,
+    /// Requests refused with 429 because the admission queue was full.
+    throttled: AtomicU64,
+    /// Requests that out-waited their admission deadline in the queue.
+    expired: AtomicU64,
     jobs_ok: AtomicU64,
     jobs_failed: AtomicU64,
 }
@@ -177,6 +187,43 @@ impl ServerMetrics {
     /// Records one job's queue wait (batch submission → worker claim).
     pub fn record_queue_wait(&self, micros: u64) {
         self.queue_wait.record(micros);
+    }
+
+    /// Records one request's admission-queue wait (request framed →
+    /// dispatcher claim) and counts the admission.
+    pub fn record_admission(&self, wait_micros: u64) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.admission_wait.record(wait_micros);
+    }
+
+    /// Updates the live admission-queue depth gauge.
+    pub fn set_queue_depth(&self, depth: u64) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+    }
+
+    /// Counts a request refused with 429 over admission-queue capacity.
+    pub fn request_throttled(&self) {
+        self.throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request that out-waited its admission deadline.
+    pub fn request_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests refused with 429 so far.
+    pub fn throttled(&self) -> u64 {
+        self.throttled.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted through the bounded queue so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time admission-wait distribution.
+    pub fn admission_wait_snapshot(&self) -> HistogramSnapshot {
+        self.admission_wait.snapshot()
     }
 
     /// Records job outcomes from compile/batch handlers.
@@ -291,7 +338,16 @@ impl ServerMetrics {
         );
         self.queue_wait_snapshot()
             .render_prometheus(&mut out, "ftqc_queue_wait_micros", "");
-        let gauges: [(&str, &str, u64); 6] = [
+        let _ = writeln!(
+            out,
+            "# HELP ftqc_admission_wait_micros Reactor admission-queue wait in microseconds (request framed to dispatcher claim).\n# TYPE ftqc_admission_wait_micros histogram"
+        );
+        self.admission_wait_snapshot().render_prometheus(
+            &mut out,
+            "ftqc_admission_wait_micros",
+            "",
+        );
+        let gauges: [(&str, &str, u64); 10] = [
             (
                 "ftqc_http_in_flight",
                 "Requests currently being handled.",
@@ -306,6 +362,26 @@ impl ServerMetrics {
                 "ftqc_connections_rejected_total",
                 "Connections turned away at the connection limit.",
                 self.rejected.load(Ordering::Relaxed),
+            ),
+            (
+                "ftqc_admission_queue_depth",
+                "Requests waiting in the reactor admission queue.",
+                self.queue_depth.load(Ordering::Relaxed),
+            ),
+            (
+                "ftqc_requests_admitted_total",
+                "Requests admitted through the reactor's bounded queue.",
+                self.admitted(),
+            ),
+            (
+                "ftqc_requests_throttled_total",
+                "Requests refused with 429 over admission-queue capacity.",
+                self.throttled(),
+            ),
+            (
+                "ftqc_requests_expired_total",
+                "Requests that out-waited their admission deadline in the queue.",
+                self.expired.load(Ordering::Relaxed),
             ),
             (
                 "ftqc_jobs_ok_total",
@@ -516,6 +592,38 @@ mod tests {
         assert_eq!(snap.min, u64::MAX);
         // The sample lands in the +Inf overflow bucket, not a finite one.
         assert_eq!(snap.counts.last(), Some(&1));
+    }
+
+    /// The reactor transport's admission families: the wait histogram,
+    /// the live depth gauge, and the throttle/expiry counters.
+    #[test]
+    fn admission_families_accumulate_and_render() {
+        let m = ServerMetrics::new();
+        m.record_admission(250);
+        m.record_admission(80);
+        m.set_queue_depth(7);
+        m.request_throttled();
+        m.request_throttled();
+        m.request_expired();
+        assert_eq!(m.admitted(), 2);
+        assert_eq!(m.throttled(), 2);
+        let snap = m.admission_wait_snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum, 330);
+        let text = m.render_prometheus(
+            &CacheStats::default(),
+            &StageCacheStats::default(),
+            &RouteCounters::default(),
+            Duration::ZERO,
+        );
+        assert!(text.contains("ftqc_admission_wait_micros_count 2"));
+        assert!(text.contains("ftqc_admission_wait_micros_sum 330"));
+        assert!(text.contains("ftqc_admission_queue_depth 7"));
+        assert!(text.contains("ftqc_requests_admitted_total 2"));
+        assert!(text.contains("ftqc_requests_throttled_total 2"));
+        assert!(text.contains("ftqc_requests_expired_total 1"));
+        // The depth gauge is a gauge, not a counter.
+        assert!(text.contains("# TYPE ftqc_admission_queue_depth gauge"));
     }
 
     #[test]

@@ -32,6 +32,7 @@ use ftqc_compiler::{
     stage_outcome, CompileSession, CompilerOptions, Metrics, Stage, StageCache, StageCacheStats,
     StageEvent, TraceHook,
 };
+use ftqc_reactor::{ReactorConfig, ReactorService, Refusal};
 use ftqc_service::json::{JsonError, ToJson, Value};
 use ftqc_service::resolve::resolve_source_remote;
 use ftqc_service::{
@@ -39,7 +40,8 @@ use ftqc_service::{
     SharedCache, StageOutcome, TargetRef, WorkerPool,
 };
 use ftqc_telemetry::{
-    ActiveTrace, FlightRecorder, HistogramSnapshot, StageSpanHook, TraceId, DEFAULT_TRACE_CAPACITY,
+    duration_micros_saturating, ActiveTrace, FlightRecorder, HistogramSnapshot, StageSpanHook,
+    TraceId, DEFAULT_TRACE_CAPACITY,
 };
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -47,6 +49,20 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Which connection engine a [`Server`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One blocking thread per connection, bounded by
+    /// [`ServerConfig::max_connections`]. Simple and the default.
+    #[default]
+    Threaded,
+    /// The `ftqc-reactor` event-driven core: sharded epoll loops
+    /// multiplexing thousands of connections, a bounded per-client-fair
+    /// admission queue feeding the worker pool, and 429 + `Retry-After`
+    /// backpressure. Linux only (`ftqc serve --reactor`).
+    Reactor,
+}
 
 /// Sizing, persistence, and safety knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -70,6 +86,18 @@ pub struct ServerConfig {
     /// How many finished request traces the flight recorder retains for
     /// `GET /v1/traces` / `GET /v1/trace/<id>`.
     pub trace_capacity: usize,
+    /// The connection engine ([`Transport::Threaded`] by default).
+    pub transport: Transport,
+    /// Reactor event-loop shards (0 ⇒ auto). Ignored by the threaded
+    /// transport.
+    pub shards: usize,
+    /// Reactor admission-queue bound: requests beyond it are answered
+    /// with 429 + `Retry-After` before their bodies are read. Ignored by
+    /// the threaded transport.
+    pub queue_cap: usize,
+    /// Longest a request may wait in the reactor's admission queue before
+    /// it is answered with a retryable 503 instead of being served stale.
+    pub queue_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +111,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             drain_timeout: Duration::from_secs(30),
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            transport: Transport::default(),
+            shards: 0,
+            queue_cap: 256,
+            queue_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -211,6 +243,10 @@ pub struct Server {
     max_connections: usize,
     drain_timeout: Duration,
     cache_file: Option<PathBuf>,
+    transport: Transport,
+    shards: usize,
+    queue_cap: usize,
+    queue_timeout: Duration,
 }
 
 impl Server {
@@ -270,6 +306,10 @@ impl Server {
             max_connections: config.max_connections.max(1),
             drain_timeout: config.drain_timeout,
             cache_file: config.cache_file,
+            transport: config.transport,
+            shards: config.shards,
+            queue_cap: config.queue_cap,
+            queue_timeout: config.queue_timeout,
         })
     }
 
@@ -306,15 +346,74 @@ impl Server {
         self.state.workers
     }
 
-    /// Runs the accept loop until a [`ShutdownHandle`] fires or SIGINT
-    /// arrives (after [`Self::install_sigint_handler`]), then drains
-    /// in-flight connections, persists the cache file tier, and reports.
+    /// Runs the configured transport until a [`ShutdownHandle`] fires or
+    /// SIGINT arrives (after [`Self::install_sigint_handler`]), then
+    /// drains in-flight connections, persists the cache file tier, and
+    /// reports.
     ///
     /// # Errors
     ///
-    /// [`ServerError::Io`] from persisting the cache; accept errors on
-    /// individual connections are absorbed, not fatal.
+    /// [`ServerError::Io`] from persisting the cache (or, for the reactor
+    /// transport, from event-loop setup — including `Unsupported` on
+    /// non-Linux platforms); accept errors on individual connections are
+    /// absorbed, not fatal.
     pub fn run(self) -> Result<ServerReport, ServerError> {
+        match self.transport {
+            Transport::Threaded => self.run_threaded(),
+            Transport::Reactor => self.run_reactor(),
+        }
+    }
+
+    /// The event-driven transport: hands the listener to `ftqc-reactor`
+    /// with [`ReactorApp`] as the service. The reactor owns accepting,
+    /// framing, admission, and draining; the application path
+    /// ([`serve_parsed`]) is byte-for-byte the one the threaded transport
+    /// runs.
+    fn run_reactor(self) -> Result<ServerReport, ServerError> {
+        let config = ReactorConfig {
+            shards: self.shards,
+            // Compile work still fans out across the worker pool;
+            // dispatchers only shuttle requests into it.
+            dispatchers: self.state.workers,
+            queue_cap: self.queue_cap.max(1),
+            // The admission queue, not the connection count, is the
+            // reactor's real backpressure: keep thousands of sockets open
+            // while refusing the requests the queue cannot absorb.
+            max_connections: self.max_connections.max(4096),
+            read_timeout: self.state.read_timeout,
+            queue_timeout: self.queue_timeout,
+            drain_timeout: self.drain_timeout,
+            head_limit: http::MAX_HEAD_BYTES,
+            body_limit: http::MAX_BODY_BYTES,
+        };
+        let app = Arc::new(ReactorApp {
+            state: Arc::clone(&self.state),
+        });
+        let shutdown = Arc::clone(&self.shutdown);
+        ftqc_reactor::run(self.listener, app, &config, move || {
+            shutdown.load(Ordering::SeqCst) || SIGINT_FLAG.load(Ordering::SeqCst)
+        })?;
+        if let Some(ext) = &self.state.extension {
+            ext.on_shutdown();
+        }
+        let persisted = match &self.cache_file {
+            Some(path) => {
+                self.state.cache.persist().map_err(ServerError::Io)?;
+                Some(path.clone())
+            }
+            None => None,
+        };
+        Ok(ServerReport {
+            requests: self.state.metrics.total_requests(),
+            connections: self.state.metrics.connections(),
+            cache: self.state.cache.stats(),
+            stages: self.state.stages.stats(),
+            persisted,
+        })
+    }
+
+    /// The classic transport: a bounded thread-per-connection accept loop.
+    fn run_threaded(self) -> Result<ServerReport, ServerError> {
         while !self.should_stop() {
             match self.listener.accept() {
                 Ok((stream, _peer)) => self.dispatch(stream),
@@ -369,11 +468,29 @@ impl Server {
         let _ = stream.set_nonblocking(false);
         if self.active.load(Ordering::SeqCst) >= self.max_connections {
             self.state.metrics.connection_rejected();
-            let body = error_body("server at connection limit, retry later");
-            let _ = http::write_all(
-                &mut stream,
-                &http::render_response(503, "application/json", body.as_bytes()),
-            );
+            // Refuse off the accept thread: writing synchronously here
+            // used to let one peer with a full receive window stall every
+            // subsequent accept. Best-effort, bounded by a short write
+            // timeout — the peer is over limit, it is not owed patience.
+            std::thread::spawn(move || {
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+                let body = error_body("server at connection limit, retry later");
+                let _ = http::write_all(
+                    &mut stream,
+                    &http::render_response(503, "application/json", body.as_bytes()),
+                );
+                // Drain whatever request the peer managed to send before
+                // closing: dropping a socket with unread input turns the
+                // close into an RST that can discard the 503 mid-flight.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+                let mut scratch = [0u8; 4096];
+                while let Ok(n) = io::Read::read(&mut stream, &mut scratch) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+            });
             return;
         }
         self.state.metrics.connection_opened();
@@ -395,15 +512,38 @@ impl Server {
     }
 }
 
+/// Enforces a whole-request read deadline over a blocking stream: every
+/// read's socket timeout is the time *remaining*, so a peer dribbling one
+/// byte per interval (slow loris) is reaped when the total budget runs
+/// out — a per-read timeout alone never fires against steady dribble.
+struct DeadlineStream<'a> {
+    stream: &'a mut TcpStream,
+    deadline: Instant,
+}
+
+impl io::Read for DeadlineStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = self.deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(io::ErrorKind::TimedOut.into());
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        self.stream.read(buf)
+    }
+}
+
 /// Serves one request on `stream` and closes it (`Connection: close`).
 fn serve_connection(state: &AppState, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(state.read_timeout));
     let _ = stream.set_nodelay(true);
     // The trace clock starts before the request is read, so header/body
     // read time shows up as root self-time and the parse span sits at the
     // right offset.
     let started = Instant::now();
-    let request = match http::read_request(&mut stream) {
+    let mut reader = DeadlineStream {
+        stream: &mut stream,
+        deadline: started + state.read_timeout,
+    };
+    let request = match http::read_request(&mut reader) {
         Ok(Some(request)) => request,
         Ok(None) => return, // peer closed without sending anything
         Err(e) => {
@@ -422,7 +562,35 @@ fn serve_connection(state: &AppState, mut stream: TcpStream) {
             return;
         }
     };
+    let mut respond = |bytes: &[u8]| {
+        let _ = http::write_all(&mut stream, bytes);
+    };
+    serve_parsed(state, &request, started, &mut respond);
+}
 
+/// How a routed request was answered.
+enum Served {
+    /// A complete `(status, content type, body)` still to be rendered.
+    Full(HandlerResult),
+    /// The handler already wrote its head and body through the sink
+    /// (streaming endpoints); only the status remains to account.
+    Streamed {
+        /// The status the streamed head carried.
+        status: u16,
+    },
+}
+
+/// The transport-neutral half of the connection path: traces, routes, and
+/// answers one parsed request, pushing raw response bytes (head first,
+/// then body chunks) through `respond`. Both transports run exactly this,
+/// which is what keeps their responses byte-identical. Returns the
+/// response status.
+fn serve_parsed(
+    state: &AppState,
+    request: &Request,
+    started: Instant,
+    respond: &mut dyn FnMut(&[u8]),
+) -> u16 {
     let endpoint = Endpoint::of_path(&request.path);
     // Honour a caller-chosen id (distributed callers propagate theirs);
     // mint otherwise.
@@ -438,36 +606,168 @@ fn serve_connection(state: &AppState, mut stream: TcpStream) {
         trace.now_micros(),
         vec![("bytes".into(), request.body.len().to_string())],
     );
+    let trace_hex = trace_id.to_hex();
     let in_flight = state.metrics.begin_request();
     // A handler panic (a compiler bug on some exotic input) must cost one
     // request, not the whole server.
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handle_request(state, &request, &trace)
+        route_request(state, request, &trace, &trace_hex, respond)
     }));
     drop(in_flight);
-    let (status, content_type, body) = outcome.unwrap_or_else(|_| {
-        (
+    let status = match outcome.unwrap_or_else(|_| {
+        Served::Full((
             500,
             "application/json",
             error_body("internal error: handler panicked"),
-        )
-    });
+        ))
+    }) {
+        Served::Streamed { status } => status,
+        Served::Full((status, content_type, body)) => {
+            respond(&http::render_response_with(
+                status,
+                content_type,
+                &[("x-ftqc-trace", &trace_hex)],
+                body.as_bytes(),
+            ));
+            status
+        }
+    };
     state.metrics.record(endpoint, status, started.elapsed());
-    let trace_hex = trace_id.to_hex();
-    let _ = http::write_all(
-        &mut stream,
-        &http::render_response_with(
-            status,
-            content_type,
-            &[("x-ftqc-trace", &trace_hex)],
-            body.as_bytes(),
-        ),
-    );
     // Record after the bytes are on the wire so the recorder never delays
     // the response; the root duration therefore includes the write.
     state
         .recorder
         .record(trace.finish(status, endpoint.label()));
+    status
+}
+
+/// [`handle_request`] plus the streaming special case: `POST /v1/batch`
+/// writes its head and each JSONL line through the sink as jobs finish.
+fn route_request(
+    state: &AppState,
+    request: &Request,
+    trace: &Arc<ActiveTrace>,
+    trace_hex: &str,
+    respond: &mut dyn FnMut(&[u8]),
+) -> Served {
+    if request.method == "POST" && request.path == "/v1/batch" {
+        // The extension still gets its first crack before the stream
+        // starts (a coordinator may own this endpoint outright).
+        if let Some(ext) = &state.extension {
+            let ctx = ServerContext { state, trace };
+            if let Some(result) = ext.handle(&ctx, request) {
+                return Served::Full(result);
+            }
+        }
+        return handle_batch_streamed(state, request, trace, trace_hex, respond);
+    }
+    Served::Full(handle_request(state, request, trace))
+}
+
+/// The reactor-transport service: frames arrive complete from the event
+/// loops, get parsed by the same strict parser the threaded transport
+/// uses, and flow through [`serve_parsed`]. Refusals render the same
+/// bodies the threaded transport writes for the equivalent condition.
+struct ReactorApp {
+    state: Arc<AppState>,
+}
+
+impl ReactorService for ReactorApp {
+    fn handle(&self, _peer: SocketAddr, request: Vec<u8>, respond: &mut dyn FnMut(&[u8])) {
+        let started = Instant::now();
+        let request = match http::read_request(&mut &request[..]) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // empty frame: nothing owed
+            Err(e) => {
+                let status = match e {
+                    HttpError::Malformed(_) => 400,
+                    HttpError::TooLarge(_) => 413,
+                    HttpError::Unsupported(_) => 501,
+                    HttpError::Timeout => 408,
+                    HttpError::Io(_) => return,
+                };
+                let body = error_body(&e.to_string());
+                respond(&http::render_response(
+                    status,
+                    "application/json",
+                    body.as_bytes(),
+                ));
+                return;
+            }
+        };
+        serve_parsed(&self.state, &request, started, respond);
+    }
+
+    fn refuse(&self, refusal: &Refusal) -> Vec<u8> {
+        match refusal {
+            Refusal::OverCapacity {
+                retry_after_secs, ..
+            } => http::render_response_with(
+                429,
+                "application/json",
+                &[("retry-after", &retry_after_secs.to_string())],
+                error_body("server over capacity, retry later").as_bytes(),
+            ),
+            Refusal::ConnectionLimit { .. } => http::render_response(
+                503,
+                "application/json",
+                error_body("server at connection limit, retry later").as_bytes(),
+            ),
+            // Exactly the bodies the threaded transport's read path
+            // produces for the same limits (HttpError::TooLarge's
+            // display over http.rs's messages).
+            Refusal::HeadTooLarge { limit } => http::render_response(
+                413,
+                "application/json",
+                error_body(&format!("message too large: head exceeds {limit} bytes")).as_bytes(),
+            ),
+            Refusal::BodyTooLarge { length, limit } => http::render_response(
+                413,
+                "application/json",
+                error_body(&format!(
+                    "message too large: body of {length} bytes exceeds {limit}"
+                ))
+                .as_bytes(),
+            ),
+            // The body the threaded transport's read path produces for
+            // the same condition (HttpError::Timeout's display).
+            Refusal::Timeout => http::render_response(
+                408,
+                "application/json",
+                error_body("timed out reading from peer").as_bytes(),
+            ),
+            Refusal::Expired { retry_after_secs } => http::render_response_with(
+                503,
+                "application/json",
+                &[("retry-after", &retry_after_secs.to_string())],
+                error_body("request expired in the admission queue, retry later").as_bytes(),
+            ),
+        }
+    }
+
+    fn on_connection(&self) {
+        self.state.metrics.connection_opened();
+    }
+
+    fn on_admitted(&self, wait: Duration, depth: usize) {
+        self.state
+            .metrics
+            .record_admission(duration_micros_saturating(wait));
+        self.state.metrics.set_queue_depth(depth as u64);
+    }
+
+    fn on_rejected(&self, refusal: &Refusal) {
+        match refusal {
+            Refusal::OverCapacity { .. } => self.state.metrics.request_throttled(),
+            Refusal::ConnectionLimit { .. } => self.state.metrics.connection_rejected(),
+            Refusal::Expired { .. } => self.state.metrics.request_expired(),
+            Refusal::HeadTooLarge { .. } | Refusal::BodyTooLarge { .. } | Refusal::Timeout => {}
+        }
+    }
+
+    fn on_queue_depth(&self, depth: usize) {
+        self.state.metrics.set_queue_depth(depth as u64);
+    }
 }
 
 /// Renders the server's standard versioned `{"error": …}` body — public so
@@ -575,7 +875,9 @@ pub trait ServerExtension: Send + Sync {
     fn on_shutdown(&self) {}
 }
 
-/// Routes one parsed request to its endpoint.
+/// Routes one parsed request to its endpoint: extension first crack, then
+/// the core router. The buffered sibling of [`route_request`], kept for
+/// callers that want a plain [`HandlerResult`] (tests, embedding).
 fn handle_request(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -> HandlerResult {
     if let Some(ext) = &state.extension {
         let ctx = ServerContext { state, trace };
@@ -583,6 +885,15 @@ fn handle_request(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>)
             return result;
         }
     }
+    handle_request_core(state, request, trace)
+}
+
+/// The core router (no extension dispatch).
+fn handle_request_core(
+    state: &AppState,
+    request: &Request,
+    trace: &Arc<ActiveTrace>,
+) -> HandlerResult {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/compile") => handle_compile(state, request, trace),
         ("POST", "/v1/batch") => handle_batch(state, request, trace),
@@ -727,6 +1038,28 @@ fn execute_jobs(
     }
 }
 
+/// [`execute_jobs`] with a per-job streaming sink. The local pool calls
+/// `sink` as each job's ordered prefix completes; an extension runs the
+/// whole batch first (its results still reach the sink through the
+/// caller's trailing flush), so coordinators keep working unchanged.
+fn execute_jobs_streamed(
+    state: &AppState,
+    trace: &Arc<ActiveTrace>,
+    jobs: Vec<CompileJob<CompilerOptions>>,
+    sink: &mut dyn FnMut(usize, &JobResult<Metrics>),
+) -> Vec<JobResult<Metrics>> {
+    let ctx = ServerContext { state, trace };
+    match &state.extension {
+        Some(ext) => ext.run_jobs(&ctx, jobs),
+        None => state.service.run_streamed(
+            jobs,
+            resolve_source_remote,
+            |c, job| compile_staged(state, trace, c, job),
+            |index, result| sink(index, result),
+        ),
+    }
+}
+
 fn run_jobs(
     state: &AppState,
     trace: &Arc<ActiveTrace>,
@@ -807,6 +1140,58 @@ fn handle_batch(state: &AppState, request: &Request, trace: &Arc<ActiveTrace>) -
     trace_job_results(state, trace, submitted, &results);
     record_job_outcomes(state, &results);
     (200, "application/jsonl", render_results(&results))
+}
+
+/// [`handle_batch`], streaming: the 200 head goes out when the first
+/// result line is ready, and every subsequent JSONL line is written the
+/// moment its job (and all earlier lines) finish — a long batch trickles
+/// results instead of buffering them. An empty batch never streams; it
+/// stays the full 400 the buffered path produces.
+fn handle_batch_streamed(
+    state: &AppState,
+    request: &Request,
+    trace: &Arc<ActiveTrace>,
+    trace_hex: &str,
+    respond: &mut dyn FnMut(&[u8]),
+) -> Served {
+    let body = match request.body_str() {
+        Ok(b) => b,
+        Err(e) => return Served::Full((400, "application/json", error_body(&e.to_string()))),
+    };
+    let submitted = trace.now_micros();
+    let mut streamed_head = false;
+    let results = {
+        let streamed_head = &mut streamed_head;
+        let mut emit_line = move |result: &JobResult<Metrics>| {
+            if !*streamed_head {
+                *streamed_head = true;
+                respond(&http::render_streaming_head(
+                    200,
+                    "application/jsonl",
+                    &[("x-ftqc-trace", trace_hex)],
+                ));
+            }
+            let mut line = result.to_json().render();
+            line.push('\n');
+            respond(line.as_bytes());
+        };
+        ftqc_service::run_jsonl_streamed_via::<CompilerOptions, Metrics, _, _, _>(
+            body,
+            |job| apply_job_target(job, &state.targets),
+            |jobs, sink| execute_jobs_streamed(state, trace, jobs, sink),
+            &mut emit_line,
+        )
+    };
+    if results.is_empty() {
+        return Served::Full((
+            400,
+            "application/json",
+            error_body("batch contains no jobs"),
+        ));
+    }
+    trace_job_results(state, trace, submitted, &results);
+    record_job_outcomes(state, &results);
+    Served::Streamed { status: 200 }
 }
 
 /// Resolves a sweep request's target references to labelled specs (the
@@ -1046,6 +1431,26 @@ fn handle_cache_stats(state: &AppState) -> HandlerResult {
     doc.push((
         "queue_wait".into(),
         percentiles_json(&state.metrics.queue_wait_snapshot()),
+    ));
+    // Reactor admission-control counters (additive, zero under the
+    // threaded transport): admitted/throttled requests and the queue-wait
+    // percentiles between framing and dispatch.
+    doc.push((
+        "admission".into(),
+        Value::Obj(vec![
+            (
+                "admitted".into(),
+                Value::Num(state.metrics.admitted() as f64),
+            ),
+            (
+                "throttled".into(),
+                Value::Num(state.metrics.throttled() as f64),
+            ),
+            (
+                "wait".into(),
+                percentiles_json(&state.metrics.admission_wait_snapshot()),
+            ),
+        ]),
     ));
     if let Some(ext) = &state.extension {
         doc.extend(ext.stats_fields());

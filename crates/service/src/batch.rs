@@ -110,13 +110,34 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
         R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
         C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
     {
+        self.run_streamed(jobs, resolve, compile, |_, _| {})
+    }
+
+    /// [`BatchService::run`] with a streaming hook: `emit(index, &result)`
+    /// fires in submission order as each result's ordered prefix completes
+    /// (see [`WorkerPool::run_with`]) — the seam that lets the server
+    /// write JSONL batch lines onto the wire while later jobs are still
+    /// compiling.
+    pub fn run_streamed<O, R, C, E>(
+        &self,
+        jobs: Vec<CompileJob<O>>,
+        resolve: R,
+        compile: C,
+        emit: E,
+    ) -> Vec<JobResult<M>>
+    where
+        O: ToJson + Send,
+        R: Fn(&crate::job::CircuitSource) -> Result<Circuit, String> + Sync,
+        C: Fn(&Circuit, &CompileJob<O>) -> Result<StageOutcome<M>, String> + Sync,
+        E: FnMut(usize, &JobResult<M>),
+    {
         let cache = &self.cache;
         let resolve = &resolve;
         let compile = &compile;
         // The closure body runs the moment a worker claims the job off the
         // pool's queue, so "now minus submission" is exactly the queue wait.
         let submitted = Instant::now();
-        self.pool.run(jobs, move |job| {
+        let run_one = move |job: CompileJob<O>| {
             let start = Instant::now();
             let queue_micros = u64::try_from((start - submitted).as_micros()).unwrap_or(u64::MAX);
             let done = |status, fingerprint, metrics, provenance, stage| JobResult {
@@ -180,7 +201,8 @@ impl<M: Clone + Send + FromJson> BatchService<M> {
                     None,
                 ),
             }
-        })
+        };
+        self.pool.run_with(jobs, run_one, emit)
     }
 
     /// Runs a JSONL batch leniently: every well-formed line compiles as
@@ -259,6 +281,28 @@ where
     P: Fn(CompileJob<O>) -> Result<CompileJob<O>, String>,
     F: FnOnce(Vec<CompileJob<O>>) -> Vec<JobResult<M>>,
 {
+    run_jsonl_streamed_via(jsonl, prepare, |jobs, _sink| run(jobs), |_| {})
+}
+
+/// [`run_jsonl_via`] with line streaming: `emit_line` receives every
+/// result **in line order**, each as early as possible — a malformed-line
+/// result immediately, a compiled result the moment `run` reports it via
+/// its sink (`sink(job_index, &result)`, job indices in submission order,
+/// as [`crate::pool::WorkerPool::run_with`] provides). A `run` that never
+/// calls its sink still works: its results are emitted together after it
+/// returns. The full in-order result list is returned either way.
+pub fn run_jsonl_streamed_via<O, M, P, F, E>(
+    jsonl: &str,
+    prepare: P,
+    run: F,
+    mut emit_line: E,
+) -> Vec<JobResult<M>>
+where
+    O: FromJson,
+    P: Fn(CompileJob<O>) -> Result<CompileJob<O>, String>,
+    F: FnOnce(Vec<CompileJob<O>>, &mut dyn FnMut(usize, &JobResult<M>)) -> Vec<JobResult<M>>,
+    E: FnMut(&JobResult<M>),
+{
     let lines = crate::job::parse_jobs_lenient::<O>(jsonl);
     let mut slots: Vec<Option<JobResult<M>>> = Vec::with_capacity(lines.len());
     let mut jobs = Vec::new();
@@ -291,10 +335,36 @@ where
             }
         }
     }
-    let results = run(jobs);
+    // Stream in line order: when the runner reports job `j`, every line
+    // before job `j`'s is either an earlier job (already streamed — jobs
+    // arrive in submission order) or a pre-filled malformed/failed slot.
+    let mut cursor = 0;
+    let results = {
+        let slots = &slots;
+        let job_slots = &job_slots;
+        let cursor = &mut cursor;
+        let emit_line = &mut emit_line;
+        let mut sink = move |job_index: usize, result: &JobResult<M>| {
+            let target = job_slots[job_index];
+            while *cursor < target {
+                emit_line(slots[*cursor].as_ref().expect("pre-job slots are filled"));
+                *cursor += 1;
+            }
+            if *cursor == target {
+                emit_line(result);
+                *cursor += 1;
+            }
+        };
+        run(jobs, &mut sink)
+    };
     debug_assert_eq!(results.len(), job_slots.len(), "one result per job");
     for (slot, result) in job_slots.into_iter().zip(results) {
         slots[slot] = Some(result);
+    }
+    // Whatever was not streamed (trailing malformed lines; everything,
+    // for a runner that ignored its sink) goes out now, still in order.
+    for slot in &slots[cursor..] {
+        emit_line(slot.as_ref().expect("every line produced a result"));
     }
     slots
         .into_iter()
@@ -481,6 +551,68 @@ mod tests {
         assert!(svc
             .run_jsonl::<Opts, _, _>("# nothing here\n", resolver, compile)
             .is_empty());
+    }
+
+    fn fabricated(id: &str) -> JobResult<Out> {
+        JobResult {
+            id: id.to_string(),
+            fingerprint: 0,
+            status: JobStatus::Failed("fabricated".into()),
+            metrics: None,
+            provenance: CacheProvenance::Computed,
+            micros: 0,
+            queue_micros: 0,
+            stage: None,
+            witness: None,
+        }
+    }
+
+    const STREAM_JSONL: &str = concat!(
+        "{\"id\":\"a\",\"source\":{\"qasm\":\"1\"}}\n",
+        "{nope}\n",
+        "{\"id\":\"b\",\"source\":{\"qasm\":\"2\"}}\n",
+        "{also bad\n",
+    );
+
+    #[test]
+    fn streamed_framing_emits_lines_in_order_as_jobs_complete() {
+        use std::cell::RefCell;
+        let streamed: RefCell<Vec<String>> = RefCell::new(Vec::new());
+        let results = run_jsonl_streamed_via::<Opts, Out, _, _, _>(
+            STREAM_JSONL,
+            Ok,
+            |jobs, sink| {
+                assert_eq!(jobs.len(), 2);
+                let results: Vec<JobResult<Out>> = jobs.iter().map(|j| fabricated(&j.id)).collect();
+                for (i, r) in results.iter().enumerate() {
+                    sink(i, r);
+                    // The job's line (and every line before it) is on the
+                    // wire before the batch finishes.
+                    assert_eq!(streamed.borrow().last(), Some(&r.id));
+                }
+                results
+            },
+            |r| streamed.borrow_mut().push(r.id.clone()),
+        );
+        let ids: Vec<String> = results.iter().map(|r| r.id.clone()).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], "a");
+        assert_eq!(ids[2], "b");
+        assert_eq!(streamed.into_inner(), ids, "streamed order is line order");
+    }
+
+    #[test]
+    fn streamed_framing_tolerates_a_runner_that_never_streams() {
+        let mut streamed = Vec::new();
+        let results = run_jsonl_streamed_via::<Opts, Out, _, _, _>(
+            STREAM_JSONL,
+            Ok,
+            |jobs, _sink| jobs.iter().map(|j| fabricated(&j.id)).collect(),
+            |r| streamed.push(r.id.clone()),
+        );
+        let ids: Vec<String> = results.iter().map(|r| r.id.clone()).collect();
+        assert_eq!(streamed, ids, "everything still goes out, in order");
+        assert_eq!(ids.len(), 4);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod json;
 pub mod pool;
 pub mod resolve;
 
-pub use batch::{run_jsonl_via, BatchConfig, BatchService};
+pub use batch::{run_jsonl_streamed_via, run_jsonl_via, BatchConfig, BatchService};
 pub use cache::{
     CacheHit, CacheStats, CacheTier, CompileCache, SharedCache, DEFAULT_CACHE_CAPACITY,
 };

@@ -54,9 +54,36 @@ impl WorkerPool {
         R: Send,
         F: Fn(J) -> R + Sync,
     {
+        self.run_with(jobs, f, |_, _| {})
+    }
+
+    /// [`WorkerPool::run`] plus a streaming hook: `emit(index, &result)`
+    /// is called from the merging thread for every result **in submission
+    /// order**, as soon as the ordered prefix is complete — result 3 is
+    /// emitted the moment results 0..=3 all exist, without waiting for the
+    /// rest of the batch. The full ordered result list is still returned.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker closure.
+    pub fn run_with<J, R, F, E>(&self, jobs: Vec<J>, f: F, mut emit: E) -> Vec<R>
+    where
+        J: Send,
+        R: Send,
+        F: Fn(J) -> R + Sync,
+        E: FnMut(usize, &R),
+    {
         let n = jobs.len();
         if self.workers == 1 || n <= 1 {
-            return jobs.into_iter().map(f).collect();
+            return jobs
+                .into_iter()
+                .enumerate()
+                .map(|(index, job)| {
+                    let result = f(job);
+                    emit(index, &result);
+                    result
+                })
+                .collect();
         }
 
         let queue = Mutex::new(jobs.into_iter().enumerate());
@@ -86,8 +113,17 @@ impl WorkerPool {
             drop(tx);
 
             let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+            let mut next_emit = 0;
             for (index, result) in rx {
                 slots[index] = Some(result);
+                // Flush the newly-complete ordered prefix to the stream.
+                while next_emit < n {
+                    match &slots[next_emit] {
+                        Some(ready) => emit(next_emit, ready),
+                        None => break,
+                    }
+                    next_emit += 1;
+                }
             }
             // Join by hand so a panicking worker's own payload reaches the
             // caller (scope's implicit join would replace it with a generic
@@ -157,6 +193,60 @@ mod tests {
         assert_eq!(pool.run(vec![1, 2, 3], |j| j + 1), vec![2, 3, 4]);
         let empty: Vec<u32> = Vec::new();
         assert_eq!(WorkerPool::new(8).run(empty, |j| j), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn run_with_emits_every_result_in_order() {
+        for workers in [1, 4] {
+            let pool = WorkerPool::new(workers);
+            let mut emitted = Vec::new();
+            let out = pool.run_with(
+                (0..32u64).collect::<Vec<_>>(),
+                |j| {
+                    // Invert completion order so streaming must buffer.
+                    std::thread::sleep(std::time::Duration::from_millis(32 - j.min(32)));
+                    j * 2
+                },
+                |index, r| emitted.push((index, *r)),
+            );
+            assert_eq!(out, (0..32).map(|j| j * 2).collect::<Vec<_>>());
+            assert_eq!(
+                emitted,
+                (0..32).map(|j| (j as usize, j * 2)).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_streams_the_prefix_before_the_batch_finishes() {
+        use std::sync::atomic::AtomicBool;
+        // Job 0 is instant, job 1 blocks until job 0 has been emitted:
+        // deadlock-free only if the prefix streams mid-run.
+        let first_emitted = AtomicBool::new(false);
+        let pool = WorkerPool::new(2);
+        let out = pool.run_with(
+            vec![0u32, 1],
+            |j| {
+                if j == 1 {
+                    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+                    while !first_emitted.load(Ordering::SeqCst) {
+                        assert!(
+                            std::time::Instant::now() < deadline,
+                            "job 0 was never emitted while job 1 ran"
+                        );
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+                j
+            },
+            |index, _| {
+                if index == 0 {
+                    first_emitted.store(true, Ordering::SeqCst);
+                }
+            },
+        );
+        assert_eq!(out, vec![0, 1]);
     }
 
     #[test]

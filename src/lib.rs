@@ -32,6 +32,12 @@
 //!   checkpointed routing resume, spliced re-timing) with verification
 //!   on every result, served as the stateful `/v1/session*` endpoints
 //!   (`ftqc edit`).
+//! * [`reactor`] — the event-driven serving core behind `ftqc serve
+//!   --reactor`: a dependency-free epoll reactor with sharded event
+//!   loops, incremental HTTP framing, a bounded per-client-fair
+//!   admission queue, computed `Retry-After` backpressure, and graceful
+//!   drain — ~10x the threaded transport's concurrent-connection
+//!   capacity.
 //! * [`fleet`] — the distributed compile fleet over that server: worker
 //!   processes that return results with compact verification witnesses,
 //!   a coordinator that dispatches batches and re-verifies every witness
@@ -61,6 +67,7 @@ pub use ftqc_circuit as circuit;
 pub use ftqc_compiler as compiler;
 pub use ftqc_editor as editor;
 pub use ftqc_fleet as fleet;
+pub use ftqc_reactor as reactor;
 pub use ftqc_route as route;
 pub use ftqc_server as server;
 pub use ftqc_service as service;

@@ -1,0 +1,470 @@
+//! Loopback integration tests for the event-driven reactor transport
+//! (ISSUE 9 acceptance criteria): the reactor serves the same wire
+//! surface as the thread-per-connection transport byte-for-byte (modulo
+//! volatile fields like wall-clock timings and trace ids), admission
+//! control answers overload with well-formed `429 + Retry-After`
+//! responses, and neither transport leaks connection slots to slow-loris
+//! or truncated requests.
+
+use ftqc::editor::SessionExtension;
+use ftqc::server::{Server, ServerConfig, ServerExtension, ShutdownHandle, Transport};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Starts a server on an ephemeral loopback port.
+fn spawn(
+    config: ServerConfig,
+    extension: Option<Arc<dyn ServerExtension>>,
+) -> (
+    String,
+    ShutdownHandle,
+    std::thread::JoinHandle<ftqc::server::ServerReport>,
+) {
+    let server = Server::bind_with(
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..config
+        },
+        extension,
+    )
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let handle = server.handle().expect("shutdown handle");
+    let thread = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle, thread)
+}
+
+/// One raw request, the whole response read to EOF (both transports
+/// close after answering).
+fn raw(addr: &str, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read response");
+    String::from_utf8(response).expect("utf8 response")
+}
+
+fn post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn get(path: &str) -> Vec<u8> {
+    format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").into_bytes()
+}
+
+/// Replaces the JSON number after every `"key":` with `0` — wall-clock
+/// fields differ between any two runs, never mind two transports.
+fn scrub_number(text: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let mut out = String::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&pat) {
+        let after = pos + pat.len();
+        out.push_str(&rest[..after]);
+        let tail = &rest[after..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(tail.len());
+        out.push('0');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Replaces the JSON string after every `"key":"…"` with `"X"`.
+fn scrub_string(text: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":\"");
+    let mut out = String::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(&pat) {
+        let after = pos + pat.len();
+        out.push_str(&rest[..after]);
+        let tail = &rest[after..];
+        let end = tail.find('"').unwrap_or(tail.len());
+        out.push('X');
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Normalises a full raw response for transport comparison: the trace id
+/// and content-length header values (timing digits shift lengths), and
+/// the wall-clock JSON fields.
+fn normalise(response: &str) -> String {
+    let (head, body) = response.split_once("\r\n\r\n").unwrap_or((response, ""));
+    let head: Vec<String> = head
+        .lines()
+        .map(|line| {
+            let lower = line.to_ascii_lowercase();
+            if lower.starts_with("x-ftqc-trace:") {
+                "x-ftqc-trace: X".into()
+            } else if lower.starts_with("content-length:") {
+                "content-length: X".into()
+            } else {
+                line.to_string()
+            }
+        })
+        .collect();
+    let mut body = body.to_string();
+    // queue_micros is only serialised when a request actually waited, so
+    // its very presence is run-dependent: drop the whole field.
+    while let Some(pos) = body.find("\"queue_micros\":") {
+        let tail = &body[pos..];
+        let end = tail
+            .find([',', '}'])
+            .map(|e| if tail.as_bytes()[e] == b',' { e + 1 } else { e })
+            .unwrap_or(tail.len());
+        body.replace_range(pos..pos + end, "");
+    }
+    for key in ["micros", "uptime_seconds"] {
+        body = scrub_number(&body, key);
+    }
+    body = scrub_string(&body, "id");
+    format!("{}\r\n\r\n{body}", head.join("\r\n"))
+}
+
+const COMPILE_JOB: &str =
+    r#"{"id":"smoke","source":{"benchmark":"ising","size":2},"options":{"routing_paths":4}}"#;
+
+/// The loopback suite both transports must answer identically: every
+/// endpoint family, plus the error paths (404, 405, bad JSON, oversized
+/// declared body).
+fn wire_suite() -> Vec<(&'static str, Vec<u8>)> {
+    let batch = concat!(
+        "{\"id\":\"a\",\"source\":{\"benchmark\":\"ising\",\"size\":2}}\n",
+        "{definitely not json}\n",
+        "{\"id\":\"b\",\"source\":{\"benchmark\":\"ising\",\"size\":2},\"options\":{\"routing_paths\":3}}\n",
+    );
+    let sweep = r#"{"source":{"benchmark":"ising","size":2},"routing_paths":[2,3],"factories":[1],"pareto":true}"#;
+    vec![
+        ("healthz", get("/healthz")),
+        ("compile", post("/v1/compile", COMPILE_JOB)),
+        ("staged", post("/v1/compile?stage=map", COMPILE_JOB)),
+        ("repeat", post("/v1/compile", COMPILE_JOB)),
+        ("batch", post("/v1/batch", batch)),
+        ("sweep", post("/v1/sweep", sweep)),
+        ("targets", get("/v1/targets")),
+        ("unknown path", get("/nope")),
+        ("wrong method", get("/v1/compile")),
+        ("bad json", post("/v1/compile", "{nope")),
+        (
+            "oversized declared body",
+            format!(
+                "POST /v1/compile HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n",
+                64 * 1024 * 1024 + 1
+            )
+            .into_bytes(),
+        ),
+    ]
+}
+
+#[test]
+fn reactor_matches_threaded_byte_for_byte_across_the_wire_suite() {
+    let sessions = || -> Option<Arc<dyn ServerExtension>> {
+        Some(Arc::new(SessionExtension::new(
+            16,
+            Duration::from_secs(600),
+        )))
+    };
+    let (threaded_addr, threaded_handle, threaded_thread) = spawn(
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+        sessions(),
+    );
+    let (reactor_addr, reactor_handle, reactor_thread) = spawn(
+        ServerConfig {
+            workers: 2,
+            transport: Transport::Reactor,
+            ..ServerConfig::default()
+        },
+        sessions(),
+    );
+
+    // Identical request sequences against both transports: the cache and
+    // extension state evolve in lockstep, so every normalised response
+    // must match byte-for-byte.
+    for (label, request) in wire_suite() {
+        let threaded = normalise(&raw(&threaded_addr, &request));
+        let reactor = normalise(&raw(&reactor_addr, &request));
+        assert_eq!(
+            threaded, reactor,
+            "{label}: transports must answer identically"
+        );
+    }
+
+    // The interactive-session extension rides both transports: open,
+    // edit, snapshot, close — same normalised wire text throughout.
+    let session_id = |addr: &str| -> String {
+        let opened = raw(addr, &post("/v1/session", COMPILE_JOB));
+        let body = opened.split_once("\r\n\r\n").expect("framed").1;
+        let pat = "\"id\":\"";
+        let at = body.find(pat).expect("descriptor id") + pat.len();
+        body[at..].split('"').next().expect("hex id").to_string()
+    };
+    let threaded_sid = session_id(&threaded_addr);
+    let reactor_sid = session_id(&reactor_addr);
+    let edit = r#"{"op":"insert","index":0,"gate":{"gate":"t","qubits":[1]}}"#;
+    type SessionRequest = Box<dyn Fn(&str) -> Vec<u8>>;
+    let exchanges: Vec<(&str, SessionRequest)> = vec![
+        (
+            "edit",
+            Box::new(move |sid| post(&format!("/v1/session/{sid}/edit"), edit)),
+        ),
+        (
+            "snapshot",
+            Box::new(|sid| get(&format!("/v1/session/{sid}"))),
+        ),
+        (
+            "close",
+            Box::new(|sid| {
+                format!("DELETE /v1/session/{sid} HTTP/1.1\r\nhost: t\r\n\r\n").into_bytes()
+            }),
+        ),
+    ];
+    for (label, request) in &exchanges {
+        let threaded = normalise(&raw(&threaded_addr, &request(&threaded_sid)));
+        let reactor = normalise(&raw(&reactor_addr, &request(&reactor_sid)));
+        assert_eq!(
+            threaded, reactor,
+            "session {label}: transports must answer identically"
+        );
+    }
+
+    // The admission telemetry is additive and reactor-only: the reactor's
+    // stats carry admitted requests, and the shared JSON shape is present
+    // on both transports.
+    let reactor_stats = raw(&reactor_addr, &get("/v1/cache/stats"));
+    assert!(
+        reactor_stats.contains("\"admission\""),
+        "reactor stats expose the admission block: {reactor_stats}"
+    );
+    let threaded_stats = raw(&threaded_addr, &get("/v1/cache/stats"));
+    assert!(
+        threaded_stats.contains("\"admission\""),
+        "the admission block is part of the shared wire shape: {threaded_stats}"
+    );
+
+    threaded_handle.shutdown();
+    threaded_thread.join().expect("threaded server thread");
+    reactor_handle.shutdown();
+    reactor_thread.join().expect("reactor server thread");
+}
+
+#[test]
+fn slow_loris_and_truncation_leak_no_slots_on_either_transport() {
+    for transport in [Transport::Threaded, Transport::Reactor] {
+        let (addr, handle, thread) = spawn(
+            ServerConfig {
+                workers: 1,
+                transport,
+                read_timeout: Duration::from_millis(300),
+                ..ServerConfig::default()
+            },
+            None,
+        );
+
+        // Three loris cycles: stalled and truncated connections must be
+        // reaped every round, or the accumulated slots would eventually
+        // starve the healthz probe.
+        for cycle in 0..3 {
+            let mut stalled = Vec::new();
+            for _ in 0..4 {
+                let mut stream = TcpStream::connect(&addr).expect("connect");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(10)))
+                    .unwrap();
+                // A head that never finishes: the whole-request deadline
+                // must fire and answer 408.
+                stream.write_all(b"GET /healthz HT").expect("partial head");
+                stalled.push(stream);
+            }
+            for _ in 0..4 {
+                // A declared body that never arrives, then a hangup:
+                // nothing is owed, the slot just comes back.
+                let mut stream = TcpStream::connect(&addr).expect("connect");
+                stream
+                    .write_all(
+                        b"POST /v1/compile HTTP/1.1\r\nhost: t\r\ncontent-length: 100\r\n\r\ntrunc",
+                    )
+                    .expect("partial body");
+                drop(stream);
+            }
+            for mut stream in stalled {
+                let mut response = String::new();
+                stream.read_to_string(&mut response).expect("408 response");
+                assert!(
+                    response.starts_with("HTTP/1.1 408"),
+                    "{transport:?} cycle {cycle}: stalled request must time out with 408, \
+                     got {response:?}"
+                );
+                assert!(
+                    response.contains("timed out reading from peer"),
+                    "{transport:?} cycle {cycle}: got {response:?}"
+                );
+            }
+            let health = raw(&addr, &get("/healthz"));
+            assert!(
+                health.starts_with("HTTP/1.1 200"),
+                "{transport:?} cycle {cycle}: server must stay healthy, got {health:?}"
+            );
+        }
+
+        // Full capacity survives the abuse: a real request still compiles.
+        let compiled = raw(&addr, &post("/v1/compile", COMPILE_JOB));
+        assert!(
+            compiled.contains("\"status\":\"ok\""),
+            "{transport:?}: post-abuse compile must succeed, got {compiled:?}"
+        );
+
+        handle.shutdown();
+        thread.join().expect("server thread");
+    }
+}
+
+#[test]
+fn reactor_answers_overload_with_well_formed_429s() {
+    // One dispatcher (workers: 1) and a single queue slot: while a slow
+    // sweep occupies the dispatcher, one request may wait and everything
+    // else must be refused before its body is read.
+    let (addr, handle, thread) = spawn(
+        ServerConfig {
+            workers: 1,
+            transport: Transport::Reactor,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        },
+        None,
+    );
+
+    let sweep = r#"{"source":{"benchmark":"ising","size":3},"routing_paths":[2,3,4,5],"factories":[1,2],"pareto":true}"#;
+    let sweep_addr = addr.clone();
+    let slow = std::thread::spawn(move || raw(&sweep_addr, &post("/v1/sweep", sweep)));
+    // Let the sweep get admitted before the storm.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let storm: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.clone();
+                scope.spawn(move || raw(&addr, &post("/v1/compile", COMPILE_JOB)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut served = 0;
+    let mut throttled = 0;
+    for response in &storm {
+        if response.starts_with("HTTP/1.1 200") {
+            assert!(response.contains("\"status\":\"ok\""), "got {response:?}");
+            served += 1;
+        } else {
+            assert!(
+                response.starts_with("HTTP/1.1 429"),
+                "overload must answer 200 or 429, got {response:?}"
+            );
+            assert!(
+                response.contains("server over capacity, retry later"),
+                "got {response:?}"
+            );
+            let retry_after: u64 = response
+                .lines()
+                .find_map(|l| {
+                    l.to_ascii_lowercase()
+                        .strip_prefix("retry-after:")
+                        .map(str::to_string)
+                })
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or_else(|| panic!("429 must carry a numeric retry-after: {response:?}"));
+            assert!((1..=60).contains(&retry_after), "got {retry_after}");
+            throttled += 1;
+        }
+    }
+    assert_eq!(served + throttled, 8);
+    assert!(
+        throttled >= 1,
+        "a single-slot queue under an 8-way storm must throttle someone: \
+         {served} served / {throttled} throttled"
+    );
+
+    let swept = slow.join().expect("sweep thread");
+    assert!(
+        swept.starts_with("HTTP/1.1 200"),
+        "the admitted sweep must finish, got {swept:?}"
+    );
+    // Recovery: with the storm over, fresh requests are admitted again.
+    let after = raw(&addr, &post("/v1/compile", COMPILE_JOB));
+    assert!(after.contains("\"status\":\"ok\""), "got {after:?}");
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
+
+#[test]
+fn threaded_at_limit_rejection_does_not_block_the_accept_loop() {
+    let (addr, handle, thread) = spawn(
+        ServerConfig {
+            workers: 1,
+            max_connections: 1,
+            read_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+        None,
+    );
+
+    // One idle connection pins the single slot.
+    let holder = TcpStream::connect(&addr).expect("connect");
+
+    // A burst of connections that never read their 503s: the rejection
+    // writes must happen off the accept thread, so later arrivals are
+    // still answered promptly instead of queueing behind a stalled write.
+    let deadbeats: Vec<TcpStream> = (0..4)
+        .map(|_| TcpStream::connect(&addr).expect("connect"))
+        .collect();
+    let started = Instant::now();
+    let refused = raw(&addr, &get("/healthz"));
+    assert!(
+        refused.starts_with("HTTP/1.1 503"),
+        "at-limit probe must get the 503, got {refused:?}"
+    );
+    assert!(
+        refused.contains("server at connection limit, retry later"),
+        "got {refused:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "rejection must not serialise behind the deadbeat connections: \
+         took {:?}",
+        started.elapsed()
+    );
+    drop(deadbeats);
+
+    // Releasing the slot restores service.
+    drop(holder);
+    let mut healthy = false;
+    for _ in 0..50 {
+        if raw(&addr, &get("/healthz")).starts_with("HTTP/1.1 200") {
+            healthy = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert!(healthy, "capacity must recover once the holder disconnects");
+
+    handle.shutdown();
+    thread.join().expect("server thread");
+}
