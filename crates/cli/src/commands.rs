@@ -527,11 +527,12 @@ fn cmd_compile(p: &ParsedArgs) -> Result<CmdOutput, CliError> {
         let r = &m.route;
         let _ = writeln!(
             out,
-            "router    : {} arena reuses, path table {}/{} hits, {} invalidations",
+            "router    : {} arena reuses, path table {}/{} hits, {} claim-invalidated, {} flushes",
             r.arena_reuses,
             r.table_hits,
             r.table_hits + r.table_misses,
-            r.table_invalidations
+            r.table_invalidated_by_claim,
+            r.table_flushes
         );
     }
     let _ = writeln!(

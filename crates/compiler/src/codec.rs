@@ -492,21 +492,39 @@ pub fn route_counters_to_json(c: &ftqc_route::RouteCounters) -> Value {
         ("arena_reuses".into(), num(c.arena_reuses)),
         ("table_hits".into(), num(c.table_hits)),
         ("table_misses".into(), num(c.table_misses)),
+        // Legacy aggregate (= invalidated_by_claim + flushes), kept for
+        // wire compatibility; the split fields are additive, so no
+        // WIRE_VERSION bump.
         ("table_invalidations".into(), num(c.table_invalidations)),
+        (
+            "table_invalidated_by_claim".into(),
+            num(c.table_invalidated_by_claim),
+        ),
+        ("table_flushes".into(), num(c.table_flushes)),
     ])
 }
 
-/// Decodes the object written by [`route_counters_to_json`].
+/// Decodes the object written by [`route_counters_to_json`]. The split
+/// invalidation fields default to zero when absent (documents written
+/// before the spatial occupancy index).
 ///
 /// # Errors
 ///
-/// [`JsonError`] when a counter field is missing or not a `u64`.
+/// [`JsonError`] when a legacy counter field is missing or not a `u64`.
 pub fn route_counters_from_json(value: &Value) -> Result<ftqc_route::RouteCounters, JsonError> {
+    let optional_u64 = |key: &str| -> Result<u64, JsonError> {
+        match value.get(key) {
+            None => Ok(0),
+            Some(_) => json::require_u64(value, key),
+        }
+    };
     Ok(ftqc_route::RouteCounters {
         arena_reuses: json::require_u64(value, "arena_reuses")?,
         table_hits: json::require_u64(value, "table_hits")?,
         table_misses: json::require_u64(value, "table_misses")?,
         table_invalidations: json::require_u64(value, "table_invalidations")?,
+        table_invalidated_by_claim: optional_u64("table_invalidated_by_claim")?,
+        table_flushes: optional_u64("table_flushes")?,
     })
 }
 
@@ -859,6 +877,8 @@ mod tests {
                 table_hits: 7,
                 table_misses: 92,
                 table_invalidations: 120,
+                table_invalidated_by_claim: 100,
+                table_flushes: 20,
             },
         };
         let back = Metrics::from_json(&m.to_json()).unwrap();

@@ -71,7 +71,9 @@ pub use codec::{
 pub use differential::{
     CompileDelta, DeltaKind, DifferentialCompiler, DEFAULT_CHECKPOINT_EVERY, DEFAULT_TIMER_EVERY,
 };
-pub use engine::{route_circuit, EngineCheckpoint, RoutedProgram};
+pub use engine::{
+    route_circuit, route_circuit_with_workers, route_workers, EngineCheckpoint, RoutedProgram,
+};
 pub use error::CompileError;
 pub use estimate::{
     estimate_resources, EstimateError, EstimateRequest, Objective, ResourceEstimate,

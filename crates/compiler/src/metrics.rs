@@ -142,11 +142,12 @@ impl fmt::Display for Metrics {
         )?;
         write!(
             f,
-            "router: {} arena reuses, path table {}/{} hits ({} invalidations)",
+            "router: {} arena reuses, path table {}/{} hits ({} claim-invalidated, {} flushes)",
             self.route.arena_reuses,
             self.route.table_hits,
             self.route.table_hits + self.route.table_misses,
-            self.route.table_invalidations
+            self.route.table_invalidated_by_claim,
+            self.route.table_flushes
         )
     }
 }
@@ -174,6 +175,8 @@ mod tests {
                 table_hits: 5,
                 table_misses: 35,
                 table_invalidations: 80,
+                table_invalidated_by_claim: 78,
+                table_flushes: 2,
             },
         }
     }

@@ -10,13 +10,18 @@
 //!   and *generation-stamped*, so resetting between searches is O(1)
 //!   instead of O(cells), plus a bucket-queue (Dial) specialisation of
 //!   Dijkstra for the small integer penalty domain.
-//! * [`PathTable`] — a cache of shortest paths keyed on a compact
-//!   occupancy digest that the scheduler updates incrementally as
-//!   operations claim and release cells; a changed cell shifts the digest,
-//!   which implicitly invalidates every entry computed under the old
-//!   state.
+//! * [`PathTable`] — a cache of shortest paths validated through a
+//!   *spatial occupancy index*: the grid is tiled into square regions
+//!   (see [`RegionMap`]), each region carries its own incremental XOR
+//!   digest, and every cached path remembers the digests of exactly the
+//!   regions its search *read*. A claim or release shifts one region's
+//!   digest, so it can only retire entries whose search footprint
+//!   actually crossed that region — distant activity leaves the rest of
+//!   the table hot. (The first cut of this engine keyed entries on a
+//!   whole-grid digest, which every claim shifted: `table_hits` was
+//!   structurally zero and the cache was pure overhead.)
 //! * [`Router`] — the facade the compiler engine drives. It owns the arena
-//!   and the table, maintains the live occupancy digest, and counts its
+//!   and the table, maintains the live per-region digests, and counts its
 //!   own activity ([`RouteCounters`]). In [`RouterMode::Reference`] every
 //!   query is answered by the seed implementations instead — the hook the
 //!   differential test harness and the bench baseline use.
@@ -42,6 +47,27 @@ const MAX_BUCKET_RING: usize = 4096;
 /// Default [`PathTable`] capacity: entries beyond this flush the table
 /// (the digest keying makes a flush correctness-neutral).
 pub const DEFAULT_PATH_TABLE_CAPACITY: usize = 1 << 14;
+
+/// Default [`RegionMap`] tile edge, in cells. Overridable per process via
+/// the `FTQC_ROUTE_REGION` environment variable (see
+/// [`default_region_size`]) or per router via
+/// [`Router::with_region_size`].
+pub const DEFAULT_REGION_SIZE: u32 = 8;
+
+/// The process-wide region-size knob: `FTQC_ROUTE_REGION` when set to a
+/// positive integer, [`DEFAULT_REGION_SIZE`] otherwise. Region size is a
+/// pure cache-granularity trade-off (smaller regions → finer invalidation
+/// but longer footprints); it never changes routing results.
+pub fn default_region_size() -> u32 {
+    static SIZE: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *SIZE.get_or_init(|| {
+        std::env::var("FTQC_ROUTE_REGION")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or(DEFAULT_REGION_SIZE)
+    })
+}
 
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -77,6 +103,60 @@ pub fn blocked_set_digest<'a>(cells: impl IntoIterator<Item = &'a Coord>) -> u12
     cells.into_iter().fold(0u128, |d, &c| d ^ blocked_token(c))
 }
 
+/// 64-bit per-region digest contribution of an occupied cell. Regions
+/// XOR-combine these, so a claim/release touches exactly one region digest
+/// in O(1) and claim∘release restores it — the property that lets a cached
+/// path *re-validate* after a transient occupation passes through.
+fn region_token(c: Coord) -> u64 {
+    splitmix64(
+        ((c.row as i64 as u64) << 32) ^ (c.col as i64 as u64 & 0xffff_ffff) ^ 0x7265_6769_6f6e_5f31,
+    )
+}
+
+/// The spatial occupancy index's tiling: the grid cut into square regions
+/// of `region_size × region_size` cells (edge tiles may be smaller).
+///
+/// Searches record which regions they *read* (their footprint); cached
+/// paths are validated against the current digests of only those regions,
+/// so occupancy churn in one corner of the layout cannot retire paths
+/// routed in another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionMap {
+    region_size: i32,
+    regions_per_row: i32,
+    num_regions: usize,
+}
+
+impl RegionMap {
+    /// Tiling of `grid` into `region_size`-cell squares.
+    pub fn new(grid: &Grid, region_size: u32) -> Self {
+        let region_size = region_size.max(1) as i32;
+        let regions_per_row = (grid.cols() as i32 + region_size - 1) / region_size;
+        let region_rows = (grid.rows() as i32 + region_size - 1) / region_size;
+        RegionMap {
+            region_size,
+            regions_per_row: regions_per_row.max(1),
+            num_regions: (regions_per_row.max(1) as usize) * (region_rows.max(1) as usize),
+        }
+    }
+
+    /// The tile edge, in cells.
+    pub fn region_size(&self) -> u32 {
+        self.region_size as u32
+    }
+
+    /// Total number of regions in the tiling.
+    pub fn num_regions(&self) -> usize {
+        self.num_regions
+    }
+
+    /// The region index of an in-bounds cell.
+    #[inline]
+    pub fn region_of(&self, c: Coord) -> u32 {
+        ((c.row / self.region_size) * self.regions_per_row + c.col / self.region_size) as u32
+    }
+}
+
 /// Per-router activity counters, surfaced through compiler `Metrics`, the
 /// CLI's `--explain` report, `/v1/cache/stats`, and `/metrics`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,9 +168,21 @@ pub struct RouteCounters {
     pub table_hits: u64,
     /// Path queries that ran a search (and populated the table).
     pub table_misses: u64,
-    /// Incremental invalidations: cell claims/releases that shifted the
-    /// occupancy digest, retiring every entry keyed under the old state.
+    /// Legacy aggregate kept for wire compatibility: always the sum of
+    /// [`table_invalidated_by_claim`](RouteCounters::table_invalidated_by_claim)
+    /// and [`table_flushes`](RouteCounters::table_flushes). (Before the
+    /// spatial index this counter also ticked on every claim/release,
+    /// which made it uninterpretable — 1627 "invalidations" for 554
+    /// lookups on the GHZ bench.)
     pub table_invalidations: u64,
+    /// Cached entries retired because a claim/release shifted a region
+    /// digest inside the entry's search footprint (detected and counted at
+    /// lookup time, when the stale entry is evicted).
+    #[serde(default)]
+    pub table_invalidated_by_claim: u64,
+    /// Whole-table flushes triggered by the capacity bound.
+    #[serde(default)]
+    pub table_flushes: u64,
 }
 
 impl RouteCounters {
@@ -101,6 +193,9 @@ impl RouteCounters {
             table_hits: self.table_hits + other.table_hits,
             table_misses: self.table_misses + other.table_misses,
             table_invalidations: self.table_invalidations + other.table_invalidations,
+            table_invalidated_by_claim: self.table_invalidated_by_claim
+                + other.table_invalidated_by_claim,
+            table_flushes: self.table_flushes + other.table_flushes,
         }
     }
 
@@ -142,6 +237,13 @@ pub struct SearchArena {
     last_ring: usize,
     queue: VecDeque<u32>,
     reuses: u64,
+    /// Per-region mark stamps for footprint tracking (see
+    /// [`SearchArena::find_path_tracked`]); meaningful when equal to
+    /// `fp_gen`.
+    fp_stamp: Vec<u32>,
+    fp_gen: u32,
+    /// Regions read by the last tracked search, in first-touch order.
+    fp_list: Vec<u32>,
 }
 
 impl SearchArena {
@@ -202,22 +304,76 @@ impl SearchArena {
         to: Coord,
         cost: &CostModel,
     ) -> Option<Path> {
+        self.find_path_core(grid, occ, from, to, cost, None).0
+    }
+
+    /// [`SearchArena::find_path`] plus read-footprint tracking: records the
+    /// region (per `regions`) of every cell whose occupancy or blocked
+    /// state the search probes. Returns the path and whether a footprint
+    /// was captured (`false` on the huge-penalty seed fallback, whose
+    /// result must therefore not be cached spatially). The footprint is
+    /// readable via [`SearchArena::footprint`] until the next search.
+    ///
+    /// Soundness: the search is a deterministic function of exactly the
+    /// probed cells (plus static grid shape and cost), so a cached result
+    /// may be served as long as no probed cell changed — which the
+    /// per-region digests of the footprint certify.
+    pub fn find_path_tracked(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        from: Coord,
+        to: Coord,
+        cost: &CostModel,
+        regions: &RegionMap,
+    ) -> (Option<Path>, bool) {
+        if self.fp_stamp.len() != regions.num_regions() {
+            self.fp_stamp = vec![0; regions.num_regions()];
+            self.fp_gen = 0;
+        }
+        self.fp_gen = self.fp_gen.wrapping_add(1);
+        if self.fp_gen == 0 {
+            self.fp_stamp.fill(0);
+            self.fp_gen = 1;
+        }
+        self.fp_list.clear();
+        self.find_path_core(grid, occ, from, to, cost, Some(regions))
+    }
+
+    /// Regions read by the last [`SearchArena::find_path_tracked`] call.
+    pub fn footprint(&self) -> &[u32] {
+        &self.fp_list
+    }
+
+    fn find_path_core(
+        &mut self,
+        grid: &Grid,
+        occ: &impl Occupancy,
+        from: Coord,
+        to: Coord,
+        cost: &CostModel,
+        regions: Option<&RegionMap>,
+    ) -> (Option<Path>, bool) {
         let ring = match usize::try_from(cost.penalty_weight) {
             Ok(w) if w + 2 <= MAX_BUCKET_RING => w + 2,
             // Penalty weights outside the small integer domain: the bucket
-            // ring would be huge, so use the seed search (same result).
-            _ => return find_path(grid, occ, from, to, cost),
+            // ring would be huge, so use the seed search (same result, but
+            // no footprint — callers must not cache it spatially).
+            _ => return (find_path(grid, occ, from, to, cost), false),
         };
         if !grid.in_bounds(from) || !grid.in_bounds(to) {
-            return None;
+            return (None, true);
         }
         if from == to {
-            return Some(Path {
-                cells: vec![from],
-                length: 0,
-                occupied: 0,
-                cost: 0,
-            });
+            return (
+                Some(Path {
+                    cells: vec![from],
+                    length: 0,
+                    occupied: 0,
+                    cost: 0,
+                }),
+                true,
+            );
         }
         self.reset(grid);
         if self.buckets.len() < ring {
@@ -261,6 +417,16 @@ impl SearchArena {
                         if !grid.in_bounds(v) {
                             continue;
                         }
+                        // The occupancy of `v` is about to be read (blocked
+                        // and/or occupied probe): its region joins the
+                        // search footprint.
+                        if let Some(rm) = regions {
+                            let r = rm.region_of(v) as usize;
+                            if self.fp_stamp[r] != self.fp_gen {
+                                self.fp_stamp[r] = self.fp_gen;
+                                self.fp_list.push(r as u32);
+                            }
+                        }
                         if v != to && occ.is_blocked(v) {
                             continue;
                         }
@@ -296,7 +462,7 @@ impl SearchArena {
         }
 
         if !reached && !self.visited(to_i as usize) {
-            return None;
+            return (None, true);
         }
         let total = self.dist[to_i as usize];
         let mut cells = vec![to];
@@ -307,12 +473,15 @@ impl SearchArena {
         }
         cells.reverse();
         let occupied = cells[1..].iter().filter(|&&c| occ.is_occupied(c)).count() as u32;
-        Some(Path {
-            length: (cells.len() - 1) as u32,
-            occupied,
-            cost: total,
-            cells,
-        })
+        (
+            Some(Path {
+                length: (cells.len() - 1) as u32,
+                occupied,
+                cost: total,
+                cells,
+            }),
+            true,
+        )
     }
 
     /// Arena-backed breadth-first search for the nearest free cell,
@@ -455,7 +624,11 @@ impl SearchArena {
     }
 }
 
-/// Key of one cached path: the full-state digest plus the endpoints.
+/// Key of one cached path: the static query context (grid shape, penalty
+/// weight, region geometry, extra-blocked set) plus the endpoints. The
+/// *occupancy* state is deliberately absent — it is certified at lookup
+/// time by the entry's spatial footprint instead, which is what lets a
+/// query hit across unrelated claims elsewhere on the grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct PathKey {
     digest: u128,
@@ -463,26 +636,43 @@ struct PathKey {
     to: Coord,
 }
 
-/// A cache of shortest paths keyed on a compact occupancy digest.
+/// One cached search result plus the evidence needed to re-validate it.
+#[derive(Debug, Clone)]
+struct PathEntry {
+    path: Option<Path>,
+    /// `(region, digest-at-compute-time)` for every region the search
+    /// read. The entry is servable iff all of them still match the live
+    /// region digests.
+    footprint: Box<[(u32, u64)]>,
+}
+
+/// A cache of shortest paths validated through the spatial occupancy
+/// index.
 ///
 /// # Invariants
 ///
-/// * An entry is returned only for a key whose 128-bit digest covers the
-///   *entire* routing-relevant state: grid shape, penalty weight, the set
-///   of occupied cells, and the query's extra-blocked set. Any claim or
-///   release shifts the digest, so entries computed under a different
-///   state can never be served — the incremental invalidation.
+/// * An entry is returned only when (a) its 128-bit key digest matches the
+///   query's static context — grid shape, penalty weight, region geometry
+///   and extra-blocked set — and (b) every region in its recorded search
+///   footprint still carries the digest it had when the path was computed.
+///   Together these pin every cell the original search read, so the replay
+///   is byte-identical by determinism of the search.
+/// * A claim or release shifts exactly one region digest; entries whose
+///   footprint does not include that region remain servable. A stale entry
+///   is detected (and evicted, counting `table_invalidated_by_claim`) at
+///   lookup time.
 /// * Negative results (`None`: unreachable) are cached too.
 /// * The table never exceeds its capacity: inserting into a full table
-///   flushes it (counted as an invalidation), which is correctness-neutral
-///   because entries are pure functions of their keys.
+///   flushes it (counting `table_flushes`), which is correctness-neutral
+///   because entries are pure functions of key + footprint state.
 #[derive(Debug)]
 pub struct PathTable {
-    entries: HashMap<PathKey, Option<Path>>,
+    entries: HashMap<PathKey, PathEntry>,
     capacity: usize,
     hits: u64,
     misses: u64,
-    invalidations: u64,
+    stale: u64,
+    flushes: u64,
 }
 
 impl PathTable {
@@ -493,7 +683,8 @@ impl PathTable {
             capacity: capacity.max(1),
             hits: 0,
             misses: 0,
-            invalidations: 0,
+            stale: 0,
+            flushes: 0,
         }
     }
 
@@ -507,31 +698,37 @@ impl PathTable {
         self.entries.is_empty()
     }
 
-    fn lookup(&mut self, key: PathKey) -> Option<Option<Path>> {
-        match self.entries.get(&key) {
-            Some(path) => {
+    /// Serves `key` if present *and* spatially valid against the live
+    /// `region_digests`; evicts (and counts) a stale entry.
+    fn lookup(&mut self, key: PathKey, region_digests: &[u64]) -> Option<Option<Path>> {
+        if let Some(entry) = self.entries.get(&key) {
+            let valid = entry
+                .footprint
+                .iter()
+                .all(|&(r, d)| region_digests.get(r as usize) == Some(&d));
+            if valid {
                 self.hits += 1;
-                Some(path.clone())
+                return Some(entry.path.clone());
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            self.entries.remove(&key);
+            self.stale += 1;
         }
+        self.misses += 1;
+        None
     }
 
-    fn insert(&mut self, key: PathKey, path: Option<Path>) {
+    /// Caches a search result with its footprint snapshot: the current
+    /// digest of every region the search read.
+    fn insert(&mut self, key: PathKey, path: Option<Path>, footprint: &[u32], digests: &[u64]) {
         if self.entries.len() >= self.capacity {
             self.entries.clear();
-            self.invalidations += 1;
+            self.flushes += 1;
         }
-        self.entries.insert(key, path);
-    }
-
-    /// Records a digest shift (cell claim/release): every entry under the
-    /// old digest is now unreachable.
-    fn invalidated(&mut self) {
-        self.invalidations += 1;
+        let footprint = footprint
+            .iter()
+            .map(|&r| (r, digests.get(r as usize).copied().unwrap_or(0)))
+            .collect();
+        self.entries.insert(key, PathEntry { path, footprint });
     }
 }
 
@@ -548,11 +745,13 @@ impl Default for PathTable {
 /// recompile).
 ///
 /// Carrying the table across compiles is correctness-neutral for the same
-/// reason flush-on-capacity is: every entry is a pure function of its
-/// 128-bit digest key, which pins the grid shape, penalty weight, occupied
-/// set and extra-blocked set the path was computed under. An entry from a
-/// previous compile is either keyed by a state the new compile reproduces
-/// exactly (a legitimate hit) or unreachable.
+/// reason flush-on-capacity is: every entry is pinned by its key (grid
+/// shape, penalty weight, region geometry, extra-blocked set, endpoints)
+/// plus its spatial footprint digests, which are canonical functions of
+/// the occupied set in the regions the search read. An entry from a
+/// previous compile is served only when the new compile reproduces that
+/// exact local state (a legitimate hit); otherwise it is detected stale at
+/// lookup and evicted.
 #[derive(Debug, Default)]
 pub struct RouterParts {
     arena: SearchArena,
@@ -630,27 +829,51 @@ impl RoutePlanner for SeedPlanner {
 /// The incremental routing facade the compiler engine drives.
 ///
 /// The router owns the [`SearchArena`] and [`PathTable`], maintains the
-/// live occupancy digest (callers report cell [`claim`](Router::claim)s
-/// and [`release`](Router::release)s), and counts its own activity. All
-/// query methods return results byte-identical to the corresponding seed
-/// functions; in [`RouterMode::Reference`] they *are* the seed functions.
+/// spatial occupancy index (callers report cell [`claim`](Router::claim)s
+/// and [`release`](Router::release)s, each shifting one region digest),
+/// and counts its own activity. All query methods return results
+/// byte-identical to the corresponding seed functions; in
+/// [`RouterMode::Reference`] they *are* the seed functions.
 #[derive(Debug)]
 pub struct Router {
     mode: RouterMode,
     cost: CostModel,
     arena: SearchArena,
     table: PathTable,
-    /// Digest of the static search context: grid shape + penalty weight.
+    /// Digest of the static search context: grid shape + penalty weight +
+    /// region geometry.
     context_digest: u128,
-    /// Live XOR digest of the occupied-cell set.
-    occ_digest: u128,
+    /// The spatial tiling searches record footprints against.
+    regions: RegionMap,
+    /// Live per-region XOR digests of the occupied-cell set.
+    region_digests: Vec<u64>,
 }
 
 impl Router {
-    /// A router for searches on `grid` under `cost`.
+    /// A router for searches on `grid` under `cost`, tiled at
+    /// [`default_region_size`].
     pub fn new(grid: &Grid, cost: CostModel, mode: RouterMode) -> Self {
+        Router::with_region_size(grid, cost, mode, default_region_size())
+    }
+
+    /// A router with an explicit spatial-index tile size (the region-size
+    /// knob). Granularity never changes routing results — only how much of
+    /// the path table a single claim can retire.
+    pub fn with_region_size(
+        grid: &Grid,
+        cost: CostModel,
+        mode: RouterMode,
+        region_size: u32,
+    ) -> Self {
+        let regions = RegionMap::new(grid, region_size);
+        // Region geometry participates in the context digest so entries
+        // recorded under one tiling are unreachable from another (their
+        // footprint region ids would not be comparable).
         let context = splitmix64(
-            (grid.rows() as u64) ^ (grid.cols() as u64).rotate_left(32) ^ cost.penalty_weight,
+            (grid.rows() as u64)
+                ^ (grid.cols() as u64).rotate_left(32)
+                ^ cost.penalty_weight
+                ^ (regions.region_size() as u64).rotate_left(16),
         );
         Router {
             mode,
@@ -658,15 +881,18 @@ impl Router {
             arena: SearchArena::new(),
             table: PathTable::default(),
             context_digest: ((context as u128) << 64) | splitmix64(context) as u128,
-            occ_digest: 0,
+            region_digests: vec![0; regions.num_regions()],
+            regions,
         }
     }
 
     /// A router warmed by `parts` (see [`RouterParts`]). Activity counters
     /// restart from zero — they describe one compile, not the parts'
-    /// lifetime — and the occupancy digest restarts empty: the caller
+    /// lifetime — and the spatial index restarts empty: the caller
     /// re-[`claim`](Router::claim)s whichever cells are occupied in the
-    /// state it resumes from.
+    /// state it resumes from, which rebuilds the region digests (and
+    /// thereby re-validates any carried entries whose local occupancy is
+    /// reproduced).
     pub fn from_parts(grid: &Grid, cost: CostModel, mode: RouterMode, parts: RouterParts) -> Self {
         let mut router = Router::new(grid, cost, mode);
         let RouterParts {
@@ -676,7 +902,8 @@ impl Router {
         arena.reuses = 0;
         table.hits = 0;
         table.misses = 0;
-        table.invalidations = 0;
+        table.stale = 0;
+        table.flushes = 0;
         router.arena = arena;
         router.table = table;
         router
@@ -701,33 +928,49 @@ impl Router {
         &self.cost
     }
 
-    /// Digest of the current occupancy state (context + occupied set).
-    /// Callers fold in [`blocked_set_digest`] of their extra-blocked set
-    /// to key a query.
+    /// Digest of the static query context (grid shape, penalty weight,
+    /// region geometry). Callers fold in [`blocked_set_digest`] of their
+    /// extra-blocked set to key a query. Occupancy is *not* part of the
+    /// key: the spatial index validates it per lookup, so the same
+    /// from/to/extra query re-hits across unrelated occupancy churn.
     pub fn state_digest(&self) -> u128 {
-        self.context_digest ^ self.occ_digest
+        self.context_digest
     }
 
-    /// Records that `c` now holds a data qubit. In [`RouterMode::Reference`]
-    /// nothing is cached, so no invalidation is counted.
+    /// The spatial tiling this router records footprints against.
+    pub fn regions(&self) -> &RegionMap {
+        &self.regions
+    }
+
+    /// Live digest of one region of the spatial index.
+    pub fn region_digest(&self, region: u32) -> u64 {
+        self.region_digests
+            .get(region as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Records that `c` now holds a data qubit: shifts the digest of the
+    /// one region containing `c`, implicitly retiring exactly the cached
+    /// paths whose search footprint crossed that region.
     pub fn claim(&mut self, c: Coord) {
-        self.occ_digest ^= occupied_token(c);
-        if self.mode == RouterMode::Incremental {
-            self.table.invalidated();
+        let r = self.regions.region_of(c) as usize;
+        if let Some(d) = self.region_digests.get_mut(r) {
+            *d ^= region_token(c);
         }
     }
 
     /// Records that `c` no longer holds a data qubit (see
-    /// [`Router::claim`]).
+    /// [`Router::claim`]). Release is claim's inverse, so an entry retired
+    /// by a transient occupation becomes servable again once the region's
+    /// occupancy is restored.
     pub fn release(&mut self, c: Coord) {
-        self.occ_digest ^= occupied_token(c);
-        if self.mode == RouterMode::Incremental {
-            self.table.invalidated();
-        }
+        self.claim(c);
     }
 
     /// Minimum-cost path from `from` to `to`, answered from the path table
-    /// when the state digest matches a previous query.
+    /// when the endpoints + extra-blocked context match a previous query
+    /// whose spatial footprint is still valid.
     pub fn find_path(
         &mut self,
         grid: &Grid,
@@ -740,11 +983,18 @@ impl Router {
             return find_path(grid, occ, from, to, &self.cost);
         }
         let key = PathKey { digest, from, to };
-        if let Some(cached) = self.table.lookup(key) {
+        if let Some(cached) = self.table.lookup(key, &self.region_digests) {
             return cached;
         }
-        let path = self.arena.find_path(grid, occ, from, to, &self.cost);
-        self.table.insert(key, path.clone());
+        let (path, tracked) =
+            self.arena
+                .find_path_tracked(grid, occ, from, to, &self.cost, &self.regions);
+        if tracked {
+            let footprint = std::mem::take(&mut self.arena.fp_list);
+            self.table
+                .insert(key, path.clone(), &footprint, &self.region_digests);
+            self.arena.fp_list = footprint;
+        }
         path
     }
 
@@ -788,13 +1038,16 @@ impl Router {
         }
     }
 
-    /// The router's activity so far.
+    /// The router's activity so far. The legacy `table_invalidations`
+    /// aggregate is maintained as the sum of its two split components.
     pub fn counters(&self) -> RouteCounters {
         RouteCounters {
             arena_reuses: self.arena.reuses(),
             table_hits: self.table.hits,
             table_misses: self.table.misses,
-            table_invalidations: self.table.invalidations,
+            table_invalidations: self.table.stale + self.table.flushes,
+            table_invalidated_by_claim: self.table.stale,
+            table_flushes: self.table.flushes,
         }
     }
 }
@@ -955,21 +1208,30 @@ mod tests {
     }
 
     #[test]
-    fn claim_release_shift_and_restore_the_digest() {
+    fn claim_release_shift_and_restore_the_region_digest() {
         let g = grid(5, 5);
         let mut router = Router::new(&g, CostModel::default(), RouterMode::Incremental);
-        let before = router.state_digest();
-        router.claim(Coord::new(2, 2));
-        assert_ne!(router.state_digest(), before, "claim shifts the digest");
-        router.release(Coord::new(2, 2));
-        assert_eq!(router.state_digest(), before, "release restores it");
-        assert_eq!(router.counters().table_invalidations, 2);
+        let c = Coord::new(2, 2);
+        let r = router.regions().region_of(c);
+        let before = router.region_digest(r);
+        router.claim(c);
+        assert_ne!(router.region_digest(r), before, "claim shifts the region");
+        router.release(c);
+        assert_eq!(router.region_digest(r), before, "release restores it");
+        // The query context is occupancy-independent: claims do not move
+        // cache keys (that is the whole point of the spatial index).
+        assert_eq!(
+            Router::new(&g, CostModel::default(), RouterMode::Incremental).state_digest(),
+            router.state_digest()
+        );
     }
 
     #[test]
     fn stale_state_never_hits() {
-        // A freed cell changes the digest, so a query that would now find a
-        // shorter path is *not* answered from the old entry.
+        // A freed cell shifts its region digest, so a query that would now
+        // find a shorter path is *not* answered from the old entry — the
+        // entry's footprint covers the freed cell's region, it is detected
+        // stale at lookup and evicted.
         let g = grid(3, 3);
         let wall = [Coord::new(1, 0), Coord::new(1, 1), Coord::new(1, 2)];
         let mut occ = occ_of(&wall, &[]);
@@ -978,21 +1240,112 @@ mod tests {
             CostModel { penalty_weight: 20 },
             RouterMode::Incremental,
         );
-        let d1 = router.state_digest();
+        let d = router.state_digest();
         let long = router
-            .find_path(&g, &occ, d1, Coord::new(0, 1), Coord::new(2, 1))
+            .find_path(&g, &occ, d, Coord::new(0, 1), Coord::new(2, 1))
             .expect("crosses the wall");
         assert_eq!(long.occupied, 1);
 
         occ.occupied.remove(&Coord::new(1, 1));
         router.release(Coord::new(1, 1));
-        let d2 = router.state_digest();
-        assert_ne!(d1, d2);
         let short = router
-            .find_path(&g, &occ, d2, Coord::new(0, 1), Coord::new(2, 1))
+            .find_path(&g, &occ, d, Coord::new(0, 1), Coord::new(2, 1))
             .expect("walks through the gap");
         assert_eq!(short.occupied, 0);
-        assert_eq!(router.counters().table_hits, 0);
+        let c = router.counters();
+        assert_eq!(c.table_hits, 0);
+        assert_eq!(c.table_invalidated_by_claim, 1, "stale entry evicted");
+        assert_eq!(c.table_invalidations, 1, "legacy sum tracks the split");
+    }
+
+    #[test]
+    fn far_region_claims_leave_cached_paths_servable() {
+        // The headline fix: occupancy churn in a far corner must not
+        // retire a cached path whose search never read that corner.
+        let g = grid(24, 24);
+        let occ = occ_of(&[Coord::new(1, 1)], &[]);
+        let mut router =
+            Router::with_region_size(&g, CostModel::default(), RouterMode::Incremental, 4);
+        let d = router.state_digest();
+        let first = router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(3, 3));
+        // Claim/release storm in the opposite corner (distinct regions).
+        for _ in 0..10 {
+            router.claim(Coord::new(23, 23));
+            router.claim(Coord::new(22, 20));
+            router.release(Coord::new(23, 23));
+            router.claim(Coord::new(20, 22));
+        }
+        let second = router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(3, 3));
+        assert_eq!(first, second);
+        let c = router.counters();
+        assert_eq!(c.table_hits, 1, "far-region churn did not invalidate");
+        assert_eq!(c.table_misses, 1);
+        assert_eq!(c.table_invalidated_by_claim, 0);
+    }
+
+    #[test]
+    fn transient_occupation_revalidates_entries() {
+        // claim ∘ release restores the region digest, so an entry retired
+        // by a passing qubit becomes servable again — digests, unlike
+        // monotonic version counters, are canonical in the occupied set.
+        let g = grid(8, 8);
+        let occ = occ_of(&[], &[]);
+        let mut router = Router::new(&g, CostModel::default(), RouterMode::Incremental);
+        let d = router.state_digest();
+        let first = router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(7, 7));
+        router.claim(Coord::new(3, 3));
+        router.release(Coord::new(3, 3));
+        let second = router.find_path(&g, &occ, d, Coord::new(0, 0), Coord::new(7, 7));
+        assert_eq!(first, second);
+        assert_eq!(router.counters().table_hits, 1);
+    }
+
+    #[test]
+    fn region_map_tiles_the_grid() {
+        let g = grid(10, 13);
+        let rm = RegionMap::new(&g, 4);
+        // ceil(13/4) = 4 regions per row, ceil(10/4) = 3 region rows.
+        assert_eq!(rm.num_regions(), 12);
+        assert_eq!(rm.region_of(Coord::new(0, 0)), 0);
+        assert_eq!(rm.region_of(Coord::new(0, 12)), 3);
+        assert_eq!(rm.region_of(Coord::new(9, 0)), 8);
+        assert_eq!(rm.region_of(Coord::new(9, 12)), 11);
+        // Cells within one tile share a region; crossing an edge changes it.
+        assert_eq!(
+            rm.region_of(Coord::new(5, 5)),
+            rm.region_of(Coord::new(6, 6))
+        );
+        assert_ne!(
+            rm.region_of(Coord::new(3, 0)),
+            rm.region_of(Coord::new(4, 0))
+        );
+    }
+
+    #[test]
+    fn tracked_search_footprint_covers_the_path() {
+        let g = grid(16, 16);
+        let occ = occ_of(&[Coord::new(2, 3)], &[]);
+        let mut arena = SearchArena::new();
+        let rm = RegionMap::new(&g, 4);
+        let (path, tracked) = arena.find_path_tracked(
+            &g,
+            &occ,
+            Coord::new(0, 0),
+            Coord::new(5, 5),
+            &CostModel::default(),
+            &rm,
+        );
+        assert!(tracked);
+        let path = path.expect("reachable");
+        let fp: HashSet<u32> = arena.footprint().iter().copied().collect();
+        for &cell in &path.cells[1..] {
+            assert!(
+                fp.contains(&rm.region_of(cell)),
+                "footprint must cover every probed path cell"
+            );
+        }
+        // A far region the search cannot have explored is absent.
+        assert!(!fp.contains(&rm.region_of(Coord::new(15, 15))));
     }
 
     #[test]
@@ -1027,6 +1380,12 @@ mod tests {
             assert_eq!(cached, &fresh);
         }
         assert!(router.table.len() <= 2);
+        let c = router.counters();
+        assert!(c.table_flushes > 0, "capacity flushes are counted");
+        assert_eq!(
+            c.table_invalidations,
+            c.table_flushes + c.table_invalidated_by_claim
+        );
     }
 
     #[test]
@@ -1049,18 +1408,24 @@ mod tests {
             table_hits: 2,
             table_misses: 3,
             table_invalidations: 4,
+            table_invalidated_by_claim: 3,
+            table_flushes: 1,
         };
         let b = RouteCounters {
             arena_reuses: 10,
             table_hits: 20,
             table_misses: 30,
             table_invalidations: 40,
+            table_invalidated_by_claim: 30,
+            table_flushes: 10,
         };
         let m = a.merged(b);
         assert_eq!(m.arena_reuses, 11);
         assert_eq!(m.table_hits, 22);
         assert_eq!(m.table_misses, 33);
         assert_eq!(m.table_invalidations, 44);
+        assert_eq!(m.table_invalidated_by_claim, 33);
+        assert_eq!(m.table_flushes, 11);
         assert!((m.hit_ratio() - 22.0 / 55.0).abs() < 1e-12);
         assert_eq!(RouteCounters::default().hit_ratio(), 0.0);
     }

@@ -463,7 +463,7 @@ impl ServerMetrics {
                 );
             }
         }
-        let route_counters: [(&str, &str, u64); 4] = [
+        let route_counters: [(&str, &str, u64); 6] = [
             (
                 "ftqc_route_arena_reuses_total",
                 "Router searches that reused the per-compile search arena.",
@@ -471,7 +471,7 @@ impl ServerMetrics {
             ),
             (
                 "ftqc_route_table_hits_total",
-                "Path queries answered from the digest-keyed path table.",
+                "Path queries answered from the spatially-validated path table.",
                 route.table_hits,
             ),
             (
@@ -481,8 +481,18 @@ impl ServerMetrics {
             ),
             (
                 "ftqc_route_table_invalidations_total",
-                "Incremental path-table invalidations (cell claims/releases).",
+                "Legacy aggregate: invalidated_by_claim + flushes.",
                 route.table_invalidations,
+            ),
+            (
+                "ftqc_route_table_invalidated_by_claim_total",
+                "Cached paths retired because a claim/release shifted a region digest in their search footprint.",
+                route.table_invalidated_by_claim,
+            ),
+            (
+                "ftqc_route_table_flushes_total",
+                "Whole path-table flushes at the capacity bound.",
+                route.table_flushes,
             ),
         ];
         for (name, help, value) in route_counters {
@@ -668,6 +678,8 @@ mod tests {
             table_hits: 4,
             table_misses: 13,
             table_invalidations: 29,
+            table_invalidated_by_claim: 26,
+            table_flushes: 3,
         };
         m.record_stage(Stage::Map, 120);
         m.record_queue_wait(33);
@@ -706,6 +718,8 @@ mod tests {
         assert!(text.contains("ftqc_route_table_hits_total 4"));
         assert!(text.contains("ftqc_route_table_misses_total 13"));
         assert!(text.contains("ftqc_route_table_invalidations_total 29"));
+        assert!(text.contains("ftqc_route_table_invalidated_by_claim_total 26"));
+        assert!(text.contains("ftqc_route_table_flushes_total 3"));
         // Every exposed family carries HELP/TYPE lines.
         assert_eq!(
             text.lines().filter(|l| l.starts_with("# HELP")).count(),
